@@ -1,0 +1,104 @@
+// E10 — server-side transparent data conversion (paper section 3.2).
+//
+// Claim: "Any data conversions (byte order, precision, integer-float) are
+// performed transparently by the server, again so that the simulation is
+// disturbed as little as possible."
+//
+// Measured: the sender-side cost of building a data message (flat: a copy
+// of native bytes, no conversion ever) and the receiver-side cost of each
+// conversion kind, over a payload-size sweep.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "wire/convert.hpp"
+#include "wire/message.hpp"
+
+namespace {
+
+using cs::common::ByteOrder;
+using cs::common::Bytes;
+
+Bytes random_payload(std::size_t bytes) {
+  cs::common::Rng rng{3};
+  Bytes out(bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+/// Sender side: the cost the *simulation* pays, independent of what the
+/// receiver needs.
+void BM_SenderEncode(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0)) / 8;
+  std::vector<double> values(count, 1.25);
+  for (auto _ : state) {
+    auto m = cs::wire::make_data_message(1, values.data(), values.size());
+    benchmark::DoNotOptimize(m.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * 8));
+  state.SetLabel("sender/native-copy");
+}
+
+enum class Kind { kSameType, kByteswap, kWiden, kIntToFloat };
+
+void BM_ReceiverConvert(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const auto kind = static_cast<Kind>(state.range(1));
+  const Bytes payload = random_payload(bytes);
+
+  cs::wire::ScalarType src_type{}, dst_type{};
+  ByteOrder order = cs::common::native_order();
+  std::size_t count = 0;
+  const char* label = "";
+  switch (kind) {
+    case Kind::kSameType:
+      src_type = dst_type = cs::wire::ScalarType::kFloat64;
+      count = bytes / 8;
+      label = "same-type (memcpy path)";
+      break;
+    case Kind::kByteswap:
+      src_type = dst_type = cs::wire::ScalarType::kFloat64;
+      order = cs::common::native_order() == ByteOrder::kBig
+                  ? ByteOrder::kLittle
+                  : ByteOrder::kBig;
+      count = bytes / 8;
+      label = "byte-order swap";
+      break;
+    case Kind::kWiden:
+      src_type = cs::wire::ScalarType::kFloat32;
+      dst_type = cs::wire::ScalarType::kFloat64;
+      count = bytes / 4;
+      label = "float32 -> float64";
+      break;
+    case Kind::kIntToFloat:
+      src_type = cs::wire::ScalarType::kInt32;
+      dst_type = cs::wire::ScalarType::kFloat64;
+      count = bytes / 4;
+      label = "int32 -> float64";
+      break;
+  }
+  Bytes out(count * cs::wire::size_of(dst_type));
+  for (auto _ : state) {
+    auto s = cs::wire::convert_elements(src_type, order, payload, count,
+                                        dst_type, out.data());
+    if (!s.is_ok()) {
+      state.SkipWithError("conversion failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(label);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SenderEncode)
+    ->Range(1 << 10, 16 << 20)
+    ->MinTime(0.2);
+BENCHMARK(BM_ReceiverConvert)
+    ->ArgsProduct({{1 << 10, 1 << 16, 1 << 20, 16 << 20}, {0, 1, 2, 3}})
+    ->MinTime(0.2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// E8 — the collaborative multiplexer (paper section 3.3).
+//
+// Claim: "a 'multiplexer' simply sends all VISIT send-requests to all
+// participating visualizations, ensuring that everyone views the same data.
+// Receive-requests are only sent to a 'master' visualization."
+//
+// Measured: latency of one sample from the simulation's send() until every
+// one of N viewers has received it, and the simulation-side cost of a
+// steering-parameter round trip — which must stay flat in N, because the
+// multiplexer answers from the master's parameter table.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "visit/client.hpp"
+#include "visit/multiplexer.hpp"
+#include "visit/viewer.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using cs::common::Deadline;
+
+constexpr std::uint32_t kTagSample = 1;
+constexpr std::uint32_t kTagParam = 2;
+
+struct Session {
+  cs::net::InProcNetwork net;
+  std::unique_ptr<cs::visit::Multiplexer> mux;
+  cs::visit::SimClient sim;
+  std::vector<cs::visit::ViewerClient> viewers;
+
+  bool setup(int viewer_count) {
+    cs::visit::Multiplexer::Options o;
+    o.sim_address = "mux:sim";
+    o.viewer_address = "mux:view";
+    o.password = "pw";
+    auto m = cs::visit::Multiplexer::start(net, o);
+    if (!m.is_ok()) return false;
+    mux = std::move(m).value();
+    for (int i = 0; i < viewer_count; ++i) {
+      auto v = cs::visit::ViewerClient::connect(net, {"mux:view", "pw", 500ms},
+                                                Deadline::after(5s));
+      if (!v.is_ok()) return false;
+      viewers.push_back(std::move(v).value());
+    }
+    const auto ready = Deadline::after(5s);
+    while (mux->viewer_count() < static_cast<std::size_t>(viewer_count) &&
+           !ready.has_expired()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    auto s = cs::visit::SimClient::connect(net, {"mux:sim", "pw", 500ms},
+                                           Deadline::after(5s));
+    if (!s.is_ok()) return false;
+    sim = std::move(s).value();
+    // The first viewer (master) publishes a parameter once.
+    if (!viewers.empty()) {
+      (void)viewers[0].steer<double>(kTagParam, {0.5});
+    }
+    return true;
+  }
+};
+
+/// One sample delivered to all N viewers.
+void BM_SampleFanOut(benchmark::State& state) {
+  const int n_viewers = static_cast<int>(state.range(0));
+  const int sample_kb = static_cast<int>(state.range(1));
+  Session session;
+  if (!session.setup(n_viewers)) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const std::vector<float> sample(
+      static_cast<std::size_t>(sample_kb) * 1024 / sizeof(float), 1.5f);
+  for (auto _ : state) {
+    if (!session.sim.send(kTagSample, sample).is_ok()) {
+      state.SkipWithError("send failed");
+      return;
+    }
+    for (auto& viewer : session.viewers) {
+      for (;;) {
+        auto e = viewer.poll(Deadline::after(5s));
+        if (!e.is_ok()) {
+          state.SkipWithError("viewer poll failed");
+          return;
+        }
+        if (e.value().kind == cs::visit::ViewerClient::Event::Kind::kData &&
+            e.value().tag == kTagSample) {
+          break;
+        }
+      }
+    }
+  }
+  state.counters["samples_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetLabel("viewers=" + std::to_string(n_viewers) + "/sample_kb=" +
+                 std::to_string(sample_kb));
+}
+
+/// The simulation's parameter round trip: answered by the multiplexer's
+/// table, independent of the number of attached viewers.
+void BM_SteerRoundTrip(benchmark::State& state) {
+  const int n_viewers = static_cast<int>(state.range(0));
+  Session session;
+  if (!session.setup(n_viewers)) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::this_thread::sleep_for(20ms);  // let the steer land in the table
+  for (auto _ : state) {
+    auto param = session.sim.request<double>(kTagParam, Deadline::after(5s));
+    if (!param.is_ok()) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    benchmark::DoNotOptimize(param.value().data());
+  }
+  state.SetLabel("viewers=" + std::to_string(n_viewers));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SampleFanOut)
+    ->ArgsProduct({{1, 4, 16, 32}, {64}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+BENCHMARK(BM_SteerRoundTrip)
+    ->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

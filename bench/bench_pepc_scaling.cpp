@@ -1,0 +1,82 @@
+// E5 — O(N log N) force summation (paper section 3.4).
+//
+// Claim: "The code uses a hierarchical tree algorithm to perform potential
+// and force summation for charged particles in a time O(N log N), allowing
+// mesh-free particle simulation on length- and time-scales normally
+// possible only with particle-in-cell or hydrodynamic techniques."
+//
+// Measured: full force evaluation (tree build + traversal, theta = 0.6)
+// versus O(N^2) direct summation over an N sweep; the complexity counter
+// reports interactions per particle, which should grow ~log N for the tree
+// and ~N for direct.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sim/pepc/direct.hpp"
+#include "sim/pepc/tree.hpp"
+
+namespace {
+
+using cs::common::Vec3;
+
+std::vector<cs::pepc::Particle> plasma(int n) {
+  cs::common::Rng rng{17};
+  std::vector<cs::pepc::Particle> particles(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = particles[static_cast<std::size_t>(i)];
+    p.pos[0] = rng.uniform(-1, 1);
+    p.pos[1] = rng.uniform(-1, 1);
+    p.pos[2] = rng.uniform(-1, 1);
+    p.charge = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  return particles;
+}
+
+void BM_TreeForces(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto particles = plasma(n);
+  std::vector<Vec3> forces(particles.size());
+  cs::pepc::TreeConfig config;
+  config.theta = 0.6;
+  double interactions_per_particle = 0;
+  for (auto _ : state) {
+    cs::pepc::Octree tree(config);
+    tree.build(particles);
+    tree.accumulate_forces(particles, forces);
+    benchmark::DoNotOptimize(forces.data());
+    interactions_per_particle =
+        static_cast<double>(tree.interaction_count()) / n;
+  }
+  state.counters["interactions_per_particle"] = interactions_per_particle;
+  state.counters["particles_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+
+void BM_DirectForces(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto particles = plasma(n);
+  std::vector<Vec3> forces(particles.size());
+  cs::pepc::DirectSolver solver(0.05);
+  for (auto _ : state) {
+    solver.accumulate_forces(particles, forces);
+    benchmark::DoNotOptimize(forces.data());
+  }
+  state.counters["interactions_per_particle"] = static_cast<double>(n - 1);
+  state.counters["particles_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TreeForces)
+    ->RangeMultiplier(4)
+    ->Range(256, 1 << 17)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_DirectForces)
+    ->RangeMultiplier(4)
+    ->Range(256, 1 << 14)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+BENCHMARK_MAIN();

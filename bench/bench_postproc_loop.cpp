@@ -1,0 +1,144 @@
+// E2 — the post-processing feedback loop (paper section 4.3).
+//
+// Claim: "With a local feedback loop involving the generation of a new
+// cutting plane and rendering it ... it is possible to have 15 or more
+// frames per second with modified content. In a collaborative environment
+// such scene update rates are only possible if the generation of the new
+// content is done locally and only synchronisation information such as the
+// parameter set for the cutting plane determination is exchanged."
+//
+// Measured: master steers the cutting-plane position, every replica pumps
+// and re-executes; time until *all* participants show the new content.
+// Sweeps participant count and field resolution — the parameter-sync time
+// should be flat in both, because only ~40-byte records cross the wire.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "covise/collab.hpp"
+#include "net/inproc.hpp"
+#include "visit/control.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using cs::common::Deadline;
+using cs::common::Vec3;
+
+cs::covise::UniformGridData analytic_field(int n, double time) {
+  cs::covise::UniformGridData g;
+  g.nx = g.ny = g.nz = n;
+  g.spacing = 2.0 / (n - 1);
+  g.origin = Vec3{-1, -1, -1};
+  g.values.resize(static_cast<std::size_t>(n) * n * n);
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const Vec3 p = g.origin +
+                       Vec3{x * g.spacing, y * g.spacing, z * g.spacing};
+        g.values[(static_cast<std::size_t>(z) * n + y) * n + x] =
+            static_cast<float>(0.6 - norm(p) + 0.05 * std::sin(time));
+      }
+    }
+  }
+  return g;
+}
+
+cs::covise::PipelineBuilder pipeline(int field_n) {
+  return [field_n](cs::covise::Controller& c)
+             -> cs::common::Result<std::string> {
+    if (auto s = c.add_host("local"); !s.is_ok()) return s;
+    auto src = c.add_module(
+        "local", std::make_unique<cs::covise::FieldSourceModule>(
+                     [field_n](double t) { return analytic_field(field_n, t); }));
+    if (!src.is_ok()) return src.status();
+    auto cut =
+        c.add_module("local", std::make_unique<cs::covise::CuttingPlaneModule>());
+    if (!cut.is_ok()) return cut.status();
+    auto ren =
+        c.add_module("local", std::make_unique<cs::covise::RendererModule>());
+    if (!ren.is_ok()) return ren.status();
+    if (auto s = c.connect_ports(src.value(), "field", cut.value(), "field");
+        !s.is_ok()) return s;
+    if (auto s =
+            c.connect_ports(cut.value(), "geometry", ren.value(), "geometry0");
+        !s.is_ok()) return s;
+    cs::viz::Camera cam;
+    cam.look_at({0, 1.5, 3}, {0, 0, 0}, {0, 1, 0});
+    (void)c.set_param(ren.value(), "camera", cam.serialize());
+    (void)c.set_param(ren.value(), "width", "160");
+    (void)c.set_param(ren.value(), "height", "120");
+    return ren.value();
+  };
+}
+
+/// Full collaborative update: steer -> broadcast -> every replica
+/// re-executes. Args: participants, field resolution.
+void BM_ParamSyncUpdate(benchmark::State& state) {
+  const int participants = static_cast<int>(state.range(0));
+  const int field_n = static_cast<int>(state.range(1));
+
+  cs::net::InProcNetwork net;
+  auto hub = cs::visit::ControlServer::start(net, {"hub", "pw", 100ms});
+  if (!hub.is_ok()) {
+    state.SkipWithError("hub failed");
+    return;
+  }
+  auto master = cs::covise::CollabParticipant::join(
+      net, {"hub", "pw", "actor", "master"}, pipeline(field_n));
+  if (!master.is_ok()) {
+    state.SkipWithError("master join failed");
+    return;
+  }
+  std::vector<std::unique_ptr<cs::covise::CollabParticipant>> observers;
+  for (int i = 1; i < participants; ++i) {
+    auto obs = cs::covise::CollabParticipant::join(
+        net, {"hub", "pw", "observer", "obs" + std::to_string(i)},
+        pipeline(field_n));
+    if (!obs.is_ok()) {
+      state.SkipWithError("observer join failed");
+      return;
+    }
+    observers.push_back(std::move(obs).value());
+  }
+  const auto ready = Deadline::after(5s);
+  while (hub.value()->participant_count() <
+             static_cast<std::size_t>(participants) &&
+         !ready.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+
+  double position = 0.30;
+  for (auto _ : state) {
+    position = position > 0.69 ? 0.30 : position + 0.01;
+    if (!master.value()
+             ->steer("CuttingPlane_1", "position", std::to_string(position),
+                     Deadline::after(5s))
+             .is_ok()) {
+      state.SkipWithError("steer failed");
+      return;
+    }
+    for (auto& obs : observers) {
+      auto applied = obs->pump(Deadline::after(5s));
+      if (!applied.is_ok() || applied.value() == 0) {
+        state.SkipWithError("observer missed the update");
+        return;
+      }
+    }
+  }
+  state.counters["updates_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetLabel("participants=" + std::to_string(participants) +
+                 "/grid=" + std::to_string(field_n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParamSyncUpdate)
+    ->ArgsProduct({{2, 4, 8}, {12, 20, 28}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,212 @@
+// E9 — VISIT-over-UNICORE proxy overhead (paper section 3.3).
+//
+// Claim: "By polling the target system for new data, that plugin is able to
+// emulate the server capabilities that are required for the VISIT
+// connection." The price of firewall-friendly, authenticated steering is up
+// to one poll period of extra latency per leg.
+//
+// Measured: time from a steering update published by the user until the
+// simulation observes the new value — once over a direct VISIT connection
+// (multiplexer), and once through the full UNICORE path (client -> gateway
+// -> NJS -> proxy-server) at several plugin poll periods.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "unicore/client.hpp"
+#include "unicore/gateway.hpp"
+#include "unicore/njs.hpp"
+#include "unicore/tsi.hpp"
+#include "visit/client.hpp"
+#include "visit/multiplexer.hpp"
+#include "visit/proxy.hpp"
+#include "visit/viewer.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using cs::common::Deadline;
+
+constexpr std::uint32_t kTagParam = 2;
+
+/// Waits until the sim-side request() returns `expected`.
+template <typename Client>
+bool wait_for_value(Client& sim, double expected) {
+  const auto deadline = Deadline::after(10s);
+  while (!deadline.has_expired()) {
+    auto param = sim.template request<double>(kTagParam, Deadline::after(1s));
+    if (param.is_ok() && !param.value().empty() &&
+        param.value()[0] == expected) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Direct path: viewer -> multiplexer table -> sim request.
+void BM_DirectSteerLatency(benchmark::State& state) {
+  cs::net::InProcNetwork net;
+  cs::visit::Multiplexer::Options o;
+  o.sim_address = "mux:sim";
+  o.viewer_address = "mux:view";
+  o.password = "pw";
+  auto mux = cs::visit::Multiplexer::start(net, o);
+  auto viewer = cs::visit::ViewerClient::connect(net, {"mux:view", "pw", 500ms},
+                                                 Deadline::after(5s));
+  auto sim = cs::visit::SimClient::connect(net, {"mux:sim", "pw", 500ms},
+                                           Deadline::after(5s));
+  if (!mux.is_ok() || !viewer.is_ok() || !sim.is_ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  double value = 1.0;
+  for (auto _ : state) {
+    value += 1.0;
+    if (!viewer.value().steer<double>(kTagParam, {value}).is_ok() ||
+        !wait_for_value(sim.value(), value)) {
+      state.SkipWithError("steer lost");
+      return;
+    }
+  }
+  state.SetLabel("direct");
+}
+
+/// UNICORE path at a given plugin poll period.
+void BM_ProxiedSteerLatency(benchmark::State& state) {
+  const auto poll_period =
+      std::chrono::milliseconds(static_cast<int>(state.range(0)));
+
+  cs::net::InProcNetwork net;
+  cs::unicore::TargetSystem tsi{net, {"site", 2, cs::common::Duration::zero()}};
+  // The "simulation" here is driven by the benchmark loop itself, so the
+  // registered app just parks until the job is aborted at teardown.
+  tsi.register_application("park", [](cs::unicore::ExecutionContext& ctx) {
+    while (!ctx.cancelled->load()) std::this_thread::sleep_for(1ms);
+    return cs::common::Status::ok();
+  });
+  cs::unicore::Njs njs{"site", tsi};
+  auto gateway = cs::unicore::Gateway::start(net, {"gw"});
+  const auto user = cs::unicore::issue_certificate("CN=Bench", "k");
+  gateway.value()->trust_store().trust(user);
+  njs.uudb().add_mapping(user, "bench");
+  gateway.value()->register_vsite(njs);
+
+  cs::unicore::UnicoreClient client{net, {"gw", user, 5s}};
+  auto job = client.submit(cs::unicore::AjoBuilder("steered", "site")
+                               .start_steering("pw")
+                               .execute("park")
+                               .build());
+  if (!job.is_ok()) {
+    state.SkipWithError("submit failed");
+    return;
+  }
+  // Wait for the proxy to exist, then connect the sim side directly to it
+  // (vsite-local, as the real application would).
+  cs::visit::ProxyServer* proxy = nullptr;
+  const auto ready = Deadline::after(5s);
+  while (proxy == nullptr && !ready.has_expired()) {
+    proxy = tsi.visit_proxy(job.value());
+    if (proxy == nullptr) std::this_thread::sleep_for(2ms);
+  }
+  if (proxy == nullptr) {
+    state.SkipWithError("proxy never started");
+    return;
+  }
+  auto sim = cs::visit::SimClient::connect(
+      net, {proxy->sim_address(), "pw", 500ms}, Deadline::after(5s));
+  cs::visit::ProxyClient::Options popts;
+  popts.poll_period = poll_period;
+  auto plugin = cs::visit::ProxyClient::attach(
+      client.visit_transactor("site", job.value()), popts);
+  if (!sim.is_ok() || !plugin.is_ok()) {
+    state.SkipWithError("attach failed");
+    return;
+  }
+  auto viewer = cs::visit::ViewerClient::adopt(plugin.value()->connection(),
+                                               {"", "", 500ms});
+
+  double value = 1.0;
+  for (auto _ : state) {
+    value += 1.0;
+    if (!viewer.steer<double>(kTagParam, {value}).is_ok() ||
+        !wait_for_value(sim.value(), value)) {
+      state.SkipWithError("steer lost");
+      return;
+    }
+  }
+  state.SetLabel("unicore-proxy/poll_ms=" + std::to_string(poll_period.count()));
+  (void)client.abort("site", job.value());
+}
+
+/// Downstream leg: sample emitted by the simulation until the plugin's
+/// polling loop delivers it to the viewer — this is where the poll period
+/// shows up (up to one period of added latency).
+void BM_ProxiedSampleLatency(benchmark::State& state) {
+  const auto poll_period =
+      std::chrono::milliseconds(static_cast<int>(state.range(0)));
+  cs::net::InProcNetwork net;
+  auto proxy = cs::visit::ProxyServer::start(net, {"proxy:sim", "pw", 1024});
+  if (!proxy.is_ok()) {
+    state.SkipWithError("proxy failed");
+    return;
+  }
+  auto sim = cs::visit::SimClient::connect(net, {"proxy:sim", "pw", 500ms},
+                                           Deadline::after(5s));
+  cs::visit::ProxyClient::Options popts;
+  popts.poll_period = poll_period;
+  auto plugin = cs::visit::ProxyClient::attach(
+      [&](cs::common::ByteSpan request) -> cs::common::Result<cs::common::Bytes> {
+        auto decoded = cs::visit::decode_proxy_request(request);
+        if (!decoded.is_ok()) return decoded.status();
+        return cs::visit::encode_proxy_response(
+            proxy.value()->transact(decoded.value()));
+      },
+      popts);
+  if (!sim.is_ok() || !plugin.is_ok()) {
+    state.SkipWithError("attach failed");
+    return;
+  }
+  auto viewer = cs::visit::ViewerClient::adopt(plugin.value()->connection(),
+                                               {"", "", 500ms});
+  // Drain the attach-time role message.
+  (void)viewer.poll(Deadline::after(1s));
+
+  const std::vector<double> sample(256, 1.0);
+  for (auto _ : state) {
+    if (!sim.value().send(1, sample).is_ok()) {
+      state.SkipWithError("send failed");
+      return;
+    }
+    for (;;) {
+      auto e = viewer.poll(Deadline::after(5s));
+      if (!e.is_ok()) {
+        state.SkipWithError("poll failed");
+        return;
+      }
+      if (e.value().kind == cs::visit::ViewerClient::Event::Kind::kData) {
+        break;
+      }
+    }
+  }
+  state.SetLabel("sample-delivery/poll_ms=" + std::to_string(poll_period.count()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_DirectSteerLatency)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+BENCHMARK(BM_ProxiedSteerLatency)
+    ->Arg(1)->Arg(5)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+BENCHMARK(BM_ProxiedSampleLatency)
+    ->Arg(1)->Arg(5)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

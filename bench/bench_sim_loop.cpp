@@ -1,0 +1,86 @@
+// E3 — the simulation feedback loop (paper section 4.4).
+//
+// Claim: "people can tolerate delays of up to a minute while waiting for
+// new simulation results. This tolerance can even be increased if
+// intermediate results like from an iterative solver are displayed
+// in-between."
+//
+// Measured on the LBM demo scenario: after steering the miscibility, (a)
+// the delay until the *first intermediate sample* reflects the change
+// versus (b) the delay until the run reaches a converged structure. The
+// gap between the two is the value of intermediate-result display.
+#include <benchmark/benchmark.h>
+
+#include "sim/lbm/lbm.hpp"
+
+namespace {
+
+/// Time-to-first-intermediate-sample: one simulation step + sample
+/// extraction — what a user sees almost immediately after steering.
+void BM_FirstIntermediateResult(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::lbm::LbmConfig config;
+  config.nx = config.ny = config.nz = n;
+  config.coupling = 0.0;
+  cs::lbm::TwoFluidLbm sim(config);
+  for (int s = 0; s < 20; ++s) sim.step();  // settle
+
+  for (auto _ : state) {
+    sim.set_coupling(1.8);  // the steering action
+    sim.step();             // first step with the new physics
+    auto sample = sim.order_parameter();  // the intermediate result
+    benchmark::DoNotOptimize(sample.data());
+    sim.set_coupling(0.0);
+  }
+  state.SetLabel("grid=" + std::to_string(n));
+}
+
+/// Time-to-converged-result: steps until segregation crosses 0.35 —
+/// the "new simulation result" a user would otherwise wait for.
+void BM_ConvergedResult(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cs::lbm::LbmConfig config;
+    config.nx = config.ny = config.nz = n;
+    config.coupling = 0.0;
+    config.seed = 7;
+    cs::lbm::TwoFluidLbm sim(config);
+    for (int s = 0; s < 20; ++s) sim.step();
+    sim.set_coupling(1.8);
+    int steps = 0;
+    while (sim.segregation() < 0.35 && steps < 5000) {
+      sim.step();
+      ++steps;
+    }
+    state.counters["steps_to_converge"] = static_cast<double>(steps);
+    benchmark::DoNotOptimize(sim.segregation());
+  }
+  state.SetLabel("grid=" + std::to_string(n));
+}
+
+/// Raw step throughput, for translating steps into wall-clock budgets.
+void BM_LbmStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::lbm::LbmConfig config;
+  config.nx = config.ny = config.nz = n;
+  config.coupling = 1.5;
+  cs::lbm::TwoFluidLbm sim(config);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.counters["cells_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * sim.grid().cells(),
+      benchmark::Counter::kIsRate);
+  state.SetLabel("grid=" + std::to_string(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_FirstIntermediateResult)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.3);
+BENCHMARK(BM_ConvergedResult)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_LbmStep)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Ablation — transport substrate (DESIGN.md section 4, decision 1).
+//
+// The library's middleware runs over an abstract message transport. This
+// bench compares the in-process implementation (the WAN-model substrate all
+// experiments use) against real loopback TCP, for the message shapes the
+// steering protocols actually produce: small control records and multi-MB
+// sample payloads. It quantifies how much of the measured latencies is
+// substrate artifact (answer: the in-process transport is faster than TCP,
+// so the reproduced WAN effects are dominated by the link models, not by
+// transport overhead).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using cs::common::Bytes;
+using cs::common::Deadline;
+
+struct Pair {
+  cs::net::ConnectionPtr client;
+  cs::net::ConnectionPtr server;
+  std::unique_ptr<cs::net::InProcNetwork> inproc;
+  std::unique_ptr<cs::net::TcpNetwork> tcp;
+  cs::net::ListenerPtr listener;
+
+  static Pair make(bool use_tcp) {
+    Pair p;
+    if (use_tcp) {
+      p.tcp = std::make_unique<cs::net::TcpNetwork>();
+      auto listener = p.tcp->listen("0");
+      p.listener = std::move(listener).value();
+      auto client = p.tcp->connect(p.listener->address(), Deadline::after(5s));
+      auto server = p.listener->accept(Deadline::after(5s));
+      p.client = std::move(client).value();
+      p.server = std::move(server).value();
+    } else {
+      p.inproc = std::make_unique<cs::net::InProcNetwork>();
+      auto listener = p.inproc->listen("x");
+      p.listener = std::move(listener).value();
+      auto client = p.inproc->connect("x", Deadline::after(5s));
+      auto server = p.listener->accept(Deadline::after(5s));
+      p.client = std::move(client).value();
+      p.server = std::move(server).value();
+    }
+    return p;
+  }
+};
+
+/// Ping-pong round trip: the steering-control message shape.
+void BM_RoundTrip(benchmark::State& state) {
+  const bool use_tcp = state.range(0) != 0;
+  const auto size = static_cast<std::size_t>(state.range(1));
+  Pair pair = Pair::make(use_tcp);
+  std::jthread echo([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto m = pair.server->recv(Deadline::after(50ms));
+      if (m.is_ok()) {
+        (void)pair.server->send(m.value(), Deadline::after(1s));
+      } else if (m.status().code() == cs::common::StatusCode::kClosed) {
+        return;
+      }
+    }
+  });
+  const Bytes payload(size, 0x5a);
+  for (auto _ : state) {
+    if (!pair.client->send(payload, Deadline::after(5s)).is_ok() ||
+        !pair.client->recv(Deadline::after(5s)).is_ok()) {
+      state.SkipWithError("round trip failed");
+      break;
+    }
+  }
+  pair.client->close();
+  pair.server->close();
+  state.SetLabel(std::string(use_tcp ? "tcp" : "inproc") + "/bytes=" +
+                 std::to_string(size));
+}
+
+/// One-way sample throughput: the data-plane shape.
+void BM_Throughput(benchmark::State& state) {
+  const bool use_tcp = state.range(0) != 0;
+  const auto size = static_cast<std::size_t>(state.range(1));
+  Pair pair = Pair::make(use_tcp);
+  std::jthread drain([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto m = pair.server->recv(Deadline::after(50ms));
+      if (!m.is_ok() &&
+          m.status().code() == cs::common::StatusCode::kClosed) {
+        return;
+      }
+    }
+  });
+  const Bytes payload(size, 0x33);
+  for (auto _ : state) {
+    if (!pair.client->send(payload, Deadline::after(5s)).is_ok()) {
+      state.SkipWithError("send failed");
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  pair.client->close();
+  pair.server->close();
+  state.SetLabel(std::string(use_tcp ? "tcp" : "inproc"));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RoundTrip)
+    ->ArgsProduct({{0, 1}, {64, 64 << 10}})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+BENCHMARK(BM_Throughput)
+    ->ArgsProduct({{0, 1}, {64 << 10, 4 << 20}})
+    ->UseRealTime()
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

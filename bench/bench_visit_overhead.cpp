@@ -1,0 +1,142 @@
+// E4 — the VISIT isolation guarantee (paper section 3.2).
+//
+// Claim: "A main design goal of VISIT was to minimize the load on the
+// steered simulation and to prevent failures or slow operation of the
+// visualization from disturbing the simulation progress. ... all operations
+// are initiated by the simulation and are guaranteed to complete (or fail)
+// after a user-specified timeout."
+//
+// Measured: PEPC step + sample emission under four visualization regimes —
+// no visualization at all, a fast (draining) server, a dead server (accepts
+// then never reads; the send window fills and sends time out), and a sweep
+// of the user-specified timeout with the dead server. Step time must stay
+// bounded by (roughly) step + timeout in every regime.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "sim/pepc/pepc.hpp"
+#include "visit/client.hpp"
+#include "visit/server.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using cs::common::Deadline;
+
+constexpr std::uint32_t kTagParticles = 1;
+
+cs::pepc::PepcConfig sim_config() {
+  cs::pepc::PepcConfig config;
+  config.target_pairs = 256;
+  config.processors = 1;
+  return config;
+}
+
+/// Baseline: the simulation alone.
+void BM_StepNoViz(benchmark::State& state) {
+  cs::pepc::PepcSimulation sim(sim_config());
+  const auto desc = cs::pepc::particle_struct_desc();
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetLabel("no-viz");
+}
+
+/// A healthy visualization draining everything.
+void BM_StepFastViz(benchmark::State& state) {
+  cs::net::InProcNetwork net;
+  auto server = cs::visit::VizServer::listen(net, {"viz", "pw"});
+  std::jthread drainer([&] {
+    auto session = server.value().accept(Deadline::after(5s));
+    if (!session.is_ok()) return;
+    for (;;) {
+      auto event = session.value().serve(Deadline::after(1s));
+      if (!event.is_ok() &&
+          event.status().code() == cs::common::StatusCode::kClosed) {
+        return;
+      }
+      if (event.is_ok() &&
+          event.value().kind == cs::visit::SimSession::Event::Kind::kBye) {
+        return;
+      }
+    }
+  });
+  auto client = cs::visit::SimClient::connect(net, {"viz", "pw", 100ms},
+                                              Deadline::after(5s));
+  if (!client.is_ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  cs::pepc::PepcSimulation sim(sim_config());
+  const auto desc = cs::pepc::particle_struct_desc();
+  for (auto _ : state) {
+    sim.step();
+    (void)client.value().send_struct(kTagParticles, desc,
+                                     sim.particles().data(),
+                                     sim.particles().size());
+  }
+  client.value().disconnect();
+  state.SetLabel("fast-viz");
+}
+
+/// A dead visualization: accepted the connection, never reads. The send
+/// window (64 KiB here) fills; every further send fails after `timeout`.
+/// The step itself keeps running — that is the guarantee.
+void BM_StepDeadViz(benchmark::State& state) {
+  const auto timeout =
+      std::chrono::milliseconds(static_cast<int>(state.range(0)));
+  cs::net::InProcNetwork net;
+  auto listener = net.listen("dead-viz");
+  cs::net::ConnectionPtr held;
+  std::jthread accepter([&] {
+    auto conn = listener.value()->accept(Deadline::after(5s));
+    if (!conn.is_ok()) return;
+    (void)cs::visit::handshake_accept(*conn.value(), "pw",
+                                      Deadline::after(5s));
+    held = conn.value();  // hold it open, never read again
+  });
+  cs::net::ConnectOptions opts;
+  opts.recv_capacity_bytes = 64 << 10;
+  auto conn = net.connect("dead-viz", Deadline::after(5s), opts);
+  if (!conn.is_ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  auto client = cs::visit::SimClient::adopt(
+      conn.value(), {"dead-viz", "pw", timeout}, Deadline::after(5s));
+  if (!client.is_ok()) {
+    state.SkipWithError("handshake failed");
+    return;
+  }
+  cs::pepc::PepcSimulation sim(sim_config());
+  const auto desc = cs::pepc::particle_struct_desc();
+  std::uint64_t timeouts = 0;
+  for (auto _ : state) {
+    sim.step();
+    const auto s = client.value().send_struct(kTagParticles, desc,
+                                              sim.particles().data(),
+                                              sim.particles().size());
+    if (s.code() == cs::common::StatusCode::kTimeout) ++timeouts;
+  }
+  state.counters["send_timeouts"] = static_cast<double>(timeouts);
+  state.SetLabel("dead-viz/timeout_ms=" + std::to_string(timeout.count()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_StepNoViz)->Unit(benchmark::kMillisecond)->MinTime(0.3);
+BENCHMARK(BM_StepFastViz)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+BENCHMARK(BM_StepDeadViz)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E6 — the VizServer traffic claim (paper section 2.4).
+//
+// Claim: "The datasets which are being rendered as isosurfaces are too
+// large to be visualized on a laptop client. VizServer allows the output of
+// the graphics pipes from an Onyx visual supercomputer to be accessed
+// remotely. In addition this greatly reduces network traffic since only
+// compressed bitmaps need to be sent to the participating sites."
+//
+// Measured per LBM-like grid size: bytes that must cross the wire for one
+// view update under three distribution strategies — raw field (the data),
+// extracted isosurface geometry (the scene-graph approach), and the
+// compressed bitmap delta of a small camera move (the VizServer approach).
+// The frame cost is constant in data size; the other two grow.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "viz/compress.hpp"
+#include "viz/isosurface.hpp"
+#include "viz/remote.hpp"
+
+namespace {
+
+using cs::common::Vec3;
+
+std::vector<float> blob_field(int n) {
+  std::vector<float> values(static_cast<std::size_t>(n) * n * n);
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const double fx = 2.0 * x / (n - 1) - 1;
+        const double fy = 2.0 * y / (n - 1) - 1;
+        const double fz = 2.0 * z / (n - 1) - 1;
+        // Lumpy two-phase structure, like a demixed LBM order parameter.
+        values[(static_cast<std::size_t>(z) * n + y) * n + x] =
+            static_cast<float>(std::sin(3.1 * fx) * std::sin(2.7 * fy) *
+                                   std::sin(2.3 * fz) +
+                               0.2 * std::sin(7.9 * fx * fy * fz));
+      }
+    }
+  }
+  return values;
+}
+
+void BM_TrafficPerViewUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto values = blob_field(n);
+  cs::viz::ScalarField field{n, n, n, values, {-1, -1, -1}, 2.0 / (n - 1)};
+  const auto mesh = cs::viz::extract_isosurface(field, 0.0f);
+
+  // Render two adjacent viewpoints; the delta between them is what
+  // VizServer ships per interaction.
+  cs::viz::Renderer renderer(320, 240);
+  cs::viz::Camera camera;
+  camera.look_at({3, 2, 4}, {0, 0, 0}, {0, 1, 0});
+  renderer.clear();
+  renderer.draw_mesh(mesh, camera, {90, 170, 255});
+  const cs::viz::Image frame_a = renderer.frame();
+  camera.orbit(0.05, 0.0);
+  renderer.clear();
+  renderer.draw_mesh(mesh, camera, {90, 170, 255});
+  const cs::viz::Image frame_b = renderer.frame();
+
+  std::size_t delta_bytes = 0;
+  for (auto _ : state) {
+    const auto delta = cs::viz::compress_frame_delta(frame_b, frame_a);
+    benchmark::DoNotOptimize(delta.data());
+    delta_bytes = delta.size();
+  }
+  state.counters["raw_field_bytes"] =
+      static_cast<double>(values.size() * sizeof(float));
+  state.counters["geometry_bytes"] = static_cast<double>(mesh.byte_size());
+  state.counters["frame_delta_bytes"] = static_cast<double>(delta_bytes);
+  state.counters["triangles"] = static_cast<double>(mesh.triangle_count());
+  state.SetLabel("grid=" + std::to_string(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_TrafficPerViewUpdate)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+BENCHMARK_MAIN();

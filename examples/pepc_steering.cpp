@@ -1,0 +1,234 @@
+// PEPC steering through UNICORE (paper Fig. 3, section 3).
+//
+// The Jülich demonstration: the PEPC plasma code runs as a UNICORE batch
+// job; the VISIT-UNICORE extension (proxy-server at the TSI, polling
+// proxy-client in the UNICORE client) carries the steering session through
+// the single-port gateway; two authenticated users view collaboratively and
+// hand the master role over; the beam is retargeted live.
+//
+// Writes pepc_before.ppm / pepc_after.ppm: particles as diamond glyphs plus
+// the Morton-decomposition domain boxes ("transparent or solid boxes,
+// providing immediate insight into both the physical and algorithmic
+// workings of the parallel tree code").
+#include <cstdio>
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "sim/pepc/pepc.hpp"
+#include "unicore/client.hpp"
+#include "unicore/gateway.hpp"
+#include "unicore/njs.hpp"
+#include "unicore/tsi.hpp"
+#include "viz/render.hpp"
+#include "visit/client.hpp"
+#include "visit/proxy.hpp"
+#include "visit/viewer.hpp"
+
+using namespace std::chrono_literals;
+using cs::common::Deadline;
+
+namespace {
+constexpr std::uint32_t kTagParticles = 1;
+constexpr std::uint32_t kTagDomains = 2;
+constexpr std::uint32_t kTagBeamDirection = 10;
+constexpr std::uint32_t kTagBeamFire = 11;
+
+/// The PEPC application as registered in the TSI's application database.
+cs::common::Status pepc_app(cs::unicore::ExecutionContext& ctx) {
+  cs::pepc::PepcConfig config;
+  config.target_pairs = 400;
+  config.processors = 4;
+  cs::pepc::PepcSimulation sim(config);
+
+  cs::visit::SimClientOptions opts;
+  opts.server_address = ctx.visit_address;
+  opts.password = ctx.visit_password;
+  opts.default_timeout = 200ms;
+  auto visit = cs::visit::SimClient::connect(*ctx.net, opts, Deadline::after(5s));
+  if (!visit.is_ok()) return visit.status();
+
+  const auto particle_desc = cs::pepc::particle_struct_desc();
+  const auto domain_desc = cs::pepc::domain_box_struct_desc();
+  int pulses_fired = 0;
+  for (int step = 0; step < 900 && !ctx.cancelled->load(); ++step) {
+    // Pull steering parameters (initiated by the simulation, as always).
+    auto direction = visit.value().request<double>(kTagBeamDirection);
+    if (direction.is_ok() && direction.value().size() == 3) {
+      sim.beam().direction = {direction.value()[0], direction.value()[1],
+                              direction.value()[2]};
+      sim.beam().origin = -3.0 * normalized(sim.beam().direction);
+    }
+    auto fire = visit.value().request<std::int32_t>(kTagBeamFire);
+    if (fire.is_ok() && !fire.value().empty() &&
+        fire.value()[0] > pulses_fired) {
+      sim.emit_beam();
+      ++pulses_fired;
+      *ctx.stdout_text += "pulse " + std::to_string(pulses_fired) +
+                          " fired along (" +
+                          std::to_string(sim.beam().direction.x) + "," +
+                          std::to_string(sim.beam().direction.y) + "," +
+                          std::to_string(sim.beam().direction.z) + ")\n";
+    }
+    sim.step();
+    if (step % 5 == 0) {
+      (void)visit.value().send_struct(kTagParticles, particle_desc,
+                                      sim.particles().data(),
+                                      sim.particles().size());
+      (void)visit.value().send_struct(kTagDomains, domain_desc,
+                                      sim.domains().data(),
+                                      sim.domains().size());
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  *ctx.stdout_text +=
+      "final particle count " + std::to_string(sim.particles().size()) + "\n";
+  visit.value().disconnect();
+  return cs::common::Status::ok();
+}
+
+/// Renders what a viewer received into a PPM.
+void render_view(const std::vector<cs::pepc::Particle>& particles,
+                 const std::vector<cs::pepc::DomainBox>& domains,
+                 const std::string& path) {
+  cs::viz::Renderer renderer(480, 360);
+  renderer.clear({8, 8, 20});
+  cs::viz::Camera camera;
+  camera.look_at({4.5, 3.0, 5.5}, {0, 0, 0}, {0, 1, 0});
+  std::vector<cs::viz::ParticleSprite> sprites;
+  sprites.reserve(particles.size());
+  for (const auto& p : particles) {
+    cs::viz::Color color = p.charge > 0
+                               ? cs::viz::Color{255, 120, 60}    // ions
+                               : cs::viz::Color{120, 180, 255};  // electrons
+    sprites.push_back({p.position(), p.velocity(), color});
+  }
+  renderer.draw_particles(sprites, camera, cs::viz::GlyphStyle::kDiamond, 2);
+  for (const auto& b : domains) {
+    renderer.draw_box({b.lo[0], b.lo[1], b.lo[2]}, {b.hi[0], b.hi[1], b.hi[2]},
+                      camera, {90, 90, 90});
+  }
+  (void)renderer.frame().write_ppm(path);
+}
+
+/// Drains viewer events, keeping the freshest particle/domain snapshot.
+struct ViewerState {
+  std::vector<cs::pepc::Particle> particles;
+  std::vector<cs::pepc::DomainBox> domains;
+
+  void drain(cs::visit::ViewerClient& viewer, cs::common::Duration budget) {
+    const auto deadline = Deadline::after(budget);
+    while (!deadline.has_expired()) {
+      auto event = viewer.poll(Deadline::after(100ms));
+      if (!event.is_ok()) continue;
+      if (event.value().kind !=
+          cs::visit::ViewerClient::Event::Kind::kStructData) {
+        continue;
+      }
+      auto count = viewer.record_count(event.value());
+      if (!count.is_ok()) continue;
+      if (event.value().tag == kTagParticles) {
+        particles.resize(count.value());
+        (void)viewer.unpack(event.value(), cs::pepc::particle_struct_desc(),
+                            particles.data(), particles.size());
+      } else if (event.value().tag == kTagDomains) {
+        domains.resize(count.value());
+        (void)viewer.unpack(event.value(), cs::pepc::domain_box_struct_desc(),
+                            domains.data(), domains.size());
+      }
+    }
+  }
+};
+}  // namespace
+
+int main() {
+  cs::net::InProcNetwork net;
+
+  // --- the Jülich UNICORE installation -----------------------------------
+  cs::unicore::TargetSystem tsi{net, {"juelich", 2, 10ms}};
+  tsi.register_application("pepc", pepc_app);
+  cs::unicore::Njs njs{"juelich", tsi};
+  auto gateway = cs::unicore::Gateway::start(net, {"gw:juelich"});
+  if (!gateway.is_ok()) return 1;
+  gateway.value()->register_vsite(njs);
+
+  const auto paul = cs::unicore::issue_certificate("CN=Paul Gibbon", "k1");
+  const auto anke = cs::unicore::issue_certificate("CN=Anke Visser", "k2");
+  gateway.value()->trust_store().trust(paul);
+  gateway.value()->trust_store().trust(anke);
+  njs.uudb().add_mapping(paul, "pgibbon");
+  njs.uudb().add_mapping(anke, "avisser");
+
+  // --- submit the steered PEPC job ---------------------------------------
+  cs::unicore::UnicoreClient client{net, {"gw:juelich", paul, 5s}};
+  const auto ajo = cs::unicore::AjoBuilder("pepc-laser-plasma", "juelich")
+                       .start_steering("visit-pw")
+                       .execute("pepc")
+                       .build();
+  auto job = client.submit(ajo);
+  if (!job.is_ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", job.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("[unicore] consigned %s\n", job.value().c_str());
+
+  // --- attach the steering plugin (polls through the gateway) ------------
+  cs::visit::ProxyClient::Options popts;
+  popts.poll_period = 10ms;
+  auto plugin = cs::visit::ProxyClient::attach(
+      client.visit_transactor("juelich", job.value()), popts);
+  const auto attach_deadline = Deadline::after(10s);
+  while (!plugin.is_ok() && !attach_deadline.has_expired()) {
+    std::this_thread::sleep_for(20ms);
+    plugin = cs::visit::ProxyClient::attach(
+        client.visit_transactor("juelich", job.value()), popts);
+  }
+  if (!plugin.is_ok()) return 1;
+  auto viewer =
+      cs::visit::ViewerClient::adopt(plugin.value()->connection(), {"", "", 300ms});
+  std::printf("[steerer] attached through the VISIT-UNICORE proxies\n");
+
+  // --- watch the quiescent target, render "before" -----------------------
+  ViewerState state;
+  state.drain(viewer, 800ms);
+  render_view(state.particles, state.domains, "pepc_before.ppm");
+  std::printf("[steerer] %zu particles, %zu domains -> pepc_before.ppm\n",
+              state.particles.size(), state.domains.size());
+
+  // --- steer: aim the beam along +z and fire two pulses -------------------
+  std::printf("[steerer] aiming beam along +z and firing two pulses\n");
+  (void)viewer.steer<double>(kTagBeamDirection, {0.0, 0.0, 1.0});
+  (void)viewer.steer<std::int32_t>(kTagBeamFire, {1});
+  state.drain(viewer, 800ms);
+  (void)viewer.steer<std::int32_t>(kTagBeamFire, {2});
+
+  // --- a collaborator joins (after being invited) and takes over ---------
+  if (!client.invite("juelich", job.value(), anke).is_ok()) return 1;
+  cs::unicore::UnicoreClient anke_client{net, {"gw:juelich", anke, 5s}};
+  auto anke_plugin = cs::visit::ProxyClient::attach(
+      anke_client.visit_transactor("juelich", job.value()), popts);
+  if (anke_plugin.is_ok()) {
+    auto anke_viewer = cs::visit::ViewerClient::adopt(
+        anke_plugin.value()->connection(), {"", "", 300ms});
+    (void)anke_viewer.take_master();
+    std::printf("[collab]  second authenticated user joined and took the master role\n");
+    ViewerState anke_state;
+    anke_state.drain(anke_viewer, 600ms);
+    std::printf("[collab]  she sees the same run: %zu particles\n",
+                anke_state.particles.size());
+  }
+
+  // --- final view ---------------------------------------------------------
+  state.drain(viewer, 1200ms);
+  render_view(state.particles, state.domains, "pepc_after.ppm");
+  std::printf("[steerer] beam visible -> pepc_after.ppm\n");
+
+  // --- let the job finish and fetch the outcome ---------------------------
+  (void)client.abort("juelich", job.value());
+  auto outcome = client.wait("juelich", job.value(), Deadline::after(15s));
+  if (outcome.is_ok()) {
+    std::printf("[unicore] job %s\n%s",
+                std::string(to_string(outcome.value().state)).c_str(),
+                outcome.value().stdout_text.c_str());
+  }
+  return 0;
+}

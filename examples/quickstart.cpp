@@ -1,0 +1,146 @@
+// Quickstart: instrument a simulation for collaborative steering.
+//
+// The smallest end-to-end tour of the library:
+//   1. a toy simulation registers steerable/monitored parameters
+//      (cs::steer — the RealityGrid-style instrumentation API),
+//   2. a steering service wraps it and publishes to a registry
+//      (cs::ogsa — the paper's Fig. 2 architecture),
+//   3. the simulation ships samples over the VISIT channel
+//      (cs::visit — simulation-as-client, timeout-guaranteed),
+//   4. a "remote" steering client discovers the service, watches the
+//      monitored value, and changes a parameter mid-run.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "ogsa/host.hpp"
+#include "ogsa/registry.hpp"
+#include "ogsa/steering_service.hpp"
+#include "steer/control.hpp"
+#include "visit/client.hpp"
+#include "visit/server.hpp"
+
+using namespace std::chrono_literals;
+using cs::common::Deadline;
+
+namespace {
+constexpr std::uint32_t kTagWave = 1;
+
+/// The "simulation": a damped oscillator whose frequency is steerable.
+void run_simulation(cs::net::InProcNetwork& net,
+                    std::shared_ptr<cs::steer::SteeringControl> control) {
+  double frequency = 1.0;  // steerable
+  double amplitude = 1.0;  // monitored
+  control->register_steerable("frequency", &frequency, 0.1, 10.0);
+  control->register_monitored("amplitude", [&] { return amplitude; });
+
+  // VISIT channel for sample data (fire-and-forget, never blocks the sim
+  // longer than the timeout).
+  auto visit = cs::visit::SimClient::connect(
+      net, {"quickstart:viz", "demo-password", 50ms}, Deadline::after(2s));
+
+  for (int step = 0; step < 400; ++step) {
+    // One iteration of "physics".
+    amplitude = std::exp(-step * 0.01);
+    const double value =
+        amplitude * std::sin(frequency * static_cast<double>(step) * 0.1);
+
+    // Steering boundary: apply pending parameter changes, honor commands.
+    if (control->sync() == cs::steer::Command::kStop) break;
+    control->set_status("step " + std::to_string(step));
+
+    // Emit a sample for whoever is watching.
+    if (visit.is_ok()) {
+      const std::vector<double> sample{static_cast<double>(step), value,
+                                       frequency};
+      (void)visit.value().send(kTagWave, sample);
+      control->note_sample_emitted();
+    }
+    std::this_thread::sleep_for(2ms);
+  }
+  if (visit.is_ok()) visit.value().disconnect();
+}
+}  // namespace
+
+int main() {
+  cs::net::InProcNetwork net;  // the "grid": everything talks through here
+
+  // --- visualization side: a VISIT server that prints incoming samples ---
+  auto viz = cs::visit::VizServer::listen(net, {"quickstart:viz",
+                                                "demo-password"});
+  if (!viz.is_ok()) {
+    std::fprintf(stderr, "viz listen failed: %s\n",
+                 viz.status().to_string().c_str());
+    return 1;
+  }
+  std::jthread viz_thread([&] {
+    auto session = viz.value().accept(Deadline::after(5s));
+    if (!session.is_ok()) return;
+    int shown = 0;
+    for (;;) {
+      auto event = session.value().serve(Deadline::after(2s));
+      if (!event.is_ok() ||
+          event.value().kind == cs::visit::SimSession::Event::Kind::kBye) {
+        break;
+      }
+      auto values = session.value().extract<double>(event.value());
+      if (values.is_ok() && values.value().size() == 3 && ++shown % 50 == 0) {
+        std::printf("[viz]      step %4.0f  value %+0.3f  (frequency %.1f)\n",
+                    values.value()[0], values.value()[1], values.value()[2]);
+      }
+    }
+  });
+
+  // --- application side: instrumented simulation + published service ----
+  auto control = std::make_shared<cs::steer::SteeringControl>();
+  auto registry = std::make_shared<cs::ogsa::Registry>();
+  auto service = std::make_shared<cs::ogsa::SteeringService>(
+      "ogsi://quickstart/steering/oscillator", "application", control);
+  (void)registry->publish(service);
+  auto host = cs::ogsa::ServiceHost::start(net, registry, {"quickstart:ogsi"});
+  if (!host.is_ok()) return 1;
+
+  std::jthread sim_thread([&] { run_simulation(net, control); });
+
+  // --- steering client: discover, bind, steer ---------------------------
+  std::this_thread::sleep_for(100ms);  // let the sim take a few steps
+  auto client = cs::ogsa::ServiceClient::connect(net, "quickstart:ogsi",
+                                                 Deadline::after(2s));
+  if (!client.is_ok()) return 1;
+  auto handles = client.value().find("ogsi://quickstart/steering/*",
+                                     Deadline::after(2s));
+  if (!handles.is_ok() || handles.value().empty()) {
+    std::fprintf(stderr, "no steering service found\n");
+    return 1;
+  }
+  const auto handle = handles.value()[0];
+  std::printf("[steerer]  discovered %s\n", handle.c_str());
+
+  auto params = client.value().invoke(handle, "list-params", {},
+                                      Deadline::after(2s));
+  std::printf("[steerer]  parameters:\n%s\n",
+              params.is_ok() ? params.value().c_str() : "?");
+
+  std::printf("[steerer]  steering frequency 1.0 -> 5.0\n");
+  (void)client.value().invoke(handle, "set-param", {"frequency", "5.0"},
+                              Deadline::after(2s));
+  std::this_thread::sleep_for(200ms);
+  auto freq = client.value().invoke(handle, "get-param", {"frequency"},
+                                    Deadline::after(2s));
+  auto amp = client.value().invoke(handle, "get-param", {"amplitude"},
+                                   Deadline::after(2s));
+  std::printf("[steerer]  now frequency=%s amplitude=%s\n",
+              freq.is_ok() ? freq.value().c_str() : "?",
+              amp.is_ok() ? amp.value().c_str() : "?");
+
+  std::printf("[steerer]  stopping the simulation\n");
+  (void)client.value().invoke(handle, "command", {"stop"},
+                              Deadline::after(2s));
+  sim_thread.join();
+  std::printf("[done]     samples emitted: %llu\n",
+              static_cast<unsigned long long>(control->samples_emitted()));
+  return 0;
+}

@@ -1,0 +1,203 @@
+// RealityGrid demonstration (paper Fig. 1 + Fig. 2, sections 2.2-2.4).
+//
+// The full pipeline of the SC2003 demo, on the in-process grid:
+//
+//   "ucl/dirac"        — the two-fluid lattice-Boltzmann simulation,
+//                        instrumented with the steering API; emits order-
+//                        parameter samples over VISIT across a WAN link.
+//   "manchester/bezier"— the visualization supercomputer: receives samples,
+//                        extracts isosurfaces, and runs a VizServer-style
+//                        remote-rendering session.
+//   "laptop"           — the conference-floor client: receives compressed
+//                        bitmaps only, steers the *miscibility* through the
+//                        OGSA steering service found in the registry.
+//
+// Writes frames to rg_mixed.ppm / rg_demixed.ppm as proof of the steering
+// effect ("as the miscibility parameter was altered, the structures formed
+// by the fluids changed").
+#include <cstdio>
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "ogsa/host.hpp"
+#include "ogsa/registry.hpp"
+#include "ogsa/steering_service.hpp"
+#include "sim/lbm/lbm.hpp"
+#include "steer/control.hpp"
+#include "viz/isosurface.hpp"
+#include "viz/remote.hpp"
+#include "visit/client.hpp"
+#include "visit/server.hpp"
+
+using namespace std::chrono_literals;
+using cs::common::Deadline;
+
+namespace {
+constexpr std::uint32_t kTagOrderParameter = 1;
+constexpr int kGrid = 24;
+
+/// The simulation component on "ucl/dirac".
+void run_lbm(cs::net::InProcNetwork& net,
+             std::shared_ptr<cs::steer::SteeringControl> control) {
+  cs::lbm::LbmConfig config;
+  config.nx = config.ny = config.nz = kGrid;
+  config.coupling = 0.0;  // start fully miscible
+  cs::lbm::TwoFluidLbm sim(config);
+
+  double miscibility_coupling = config.coupling;
+  control->register_steerable("coupling", &miscibility_coupling, 0.0, 2.5);
+  control->register_monitored("segregation", [&] { return sim.segregation(); });
+  control->register_monitored("step",
+                              [&] { return static_cast<double>(sim.steps_done()); });
+
+  // WAN link UCL -> Manchester (SuperJanet-like).
+  cs::net::ConnectOptions wan;
+  wan.link = cs::net::LinkModel::wan_europe();
+  auto conn = net.connect("manchester:visit", Deadline::after(5s), wan);
+  if (!conn.is_ok()) return;
+  auto visit = cs::visit::SimClient::adopt(
+      conn.value(), {"manchester:visit", "rg-password", 200ms},
+      Deadline::after(5s));
+  if (!visit.is_ok()) return;
+
+  for (int step = 0; step < 1200; ++step) {
+    if (control->sync() == cs::steer::Command::kStop) break;
+    sim.set_coupling(miscibility_coupling);
+    sim.step();
+    control->set_status("step " + std::to_string(step) + " segregation " +
+                        std::to_string(sim.segregation()));
+    if (step % 10 == 0) {  // periodic sample emission
+      (void)visit.value().send(kTagOrderParameter, sim.order_parameter());
+      control->note_sample_emitted();
+    }
+  }
+  visit.value().disconnect();
+}
+
+/// The visualization component on "manchester/bezier".
+void run_viz(cs::net::InProcNetwork& net,
+             std::shared_ptr<cs::viz::SceneStore> scene,
+             std::shared_ptr<cs::steer::SteeringControl> viz_control,
+             double* isolevel) {
+  auto server =
+      cs::visit::VizServer::listen(net, {"manchester:visit", "rg-password"});
+  if (!server.is_ok()) return;
+  auto session = server.value().accept(Deadline::after(10s));
+  if (!session.is_ok()) return;
+  for (;;) {
+    auto event = session.value().serve(Deadline::after(3s));
+    if (!event.is_ok() ||
+        event.value().kind == cs::visit::SimSession::Event::Kind::kBye) {
+      break;
+    }
+    auto phi = session.value().extract<float>(event.value());
+    if (!phi.is_ok()) continue;
+    viz_control->apply_pending();  // isolevel may have been steered
+    cs::viz::ScalarField field{kGrid, kGrid, kGrid, phi.value(),
+                               {-1, -1, -1}, 2.0 / (kGrid - 1)};
+    auto mesh =
+        cs::viz::extract_isosurface(field, static_cast<float>(*isolevel));
+    scene->set_mesh(std::move(mesh), {90, 170, 255});
+  }
+}
+}  // namespace
+
+int main() {
+  cs::net::InProcNetwork net;
+
+  // --- Manchester: scene + VizServer-style remote renderer ---------------
+  auto scene = std::make_shared<cs::viz::SceneStore>();
+  auto render_server = cs::viz::RemoteRenderServer::start(
+      net, scene, {"manchester:vizserver", 320, 240, 5ms});
+  if (!render_server.is_ok()) return 1;
+
+  double isolevel = 0.0;
+  auto viz_control = std::make_shared<cs::steer::SteeringControl>();
+  viz_control->register_steerable("isolevel", &isolevel, -1.0, 1.0);
+
+  // --- OGSA layer: registry + two steering services (Fig. 2) -------------
+  auto app_control = std::make_shared<cs::steer::SteeringControl>();
+  auto registry = std::make_shared<cs::ogsa::Registry>();
+  (void)registry->publish(std::make_shared<cs::ogsa::SteeringService>(
+      "ogsi://realitygrid/steering/lb3d", "application", app_control));
+  (void)registry->publish(std::make_shared<cs::ogsa::SteeringService>(
+      "ogsi://realitygrid/steering/visualization", "visualization",
+      viz_control));
+  auto ogsi_host =
+      cs::ogsa::ServiceHost::start(net, registry, {"realitygrid:ogsi"});
+  if (!ogsi_host.is_ok()) return 1;
+
+  // --- start the distributed components ----------------------------------
+  std::jthread viz_thread(
+      [&] { run_viz(net, scene, viz_control, &isolevel); });
+  std::this_thread::sleep_for(50ms);
+  std::jthread sim_thread([&] { run_lbm(net, app_control); });
+
+  // --- the laptop: remote-render client + steering client ----------------
+  cs::net::ConnectOptions laptop_link;
+  laptop_link.link = cs::net::LinkModel::wan_europe();
+  auto laptop_conn =
+      net.connect("manchester:vizserver", Deadline::after(5s), laptop_link);
+  if (!laptop_conn.is_ok()) return 1;
+  auto laptop = cs::viz::RemoteRenderClient::adopt(laptop_conn.value());
+  cs::viz::Camera camera;
+  camera.look_at({2.5, 1.8, 3.2}, {0, 0, 0}, {0, 1, 0});
+  (void)laptop.set_view(camera, Deadline::after(2s));
+
+  auto steerer = cs::ogsa::ServiceClient::connect(net, "realitygrid:ogsi",
+                                                  Deadline::after(2s));
+  if (!steerer.is_ok()) return 1;
+  auto services = steerer.value().find("ogsi://realitygrid/steering/*",
+                                       Deadline::after(2s));
+  std::printf("[laptop] registry lists %zu steering services\n",
+              services.is_ok() ? services.value().size() : 0);
+
+  // Phase 1: fully miscible fluids — watch a few frames arrive.
+  std::this_thread::sleep_for(900ms);
+  auto frame = laptop.await_frame(Deadline::after(5s));
+  if (frame.is_ok()) {
+    (void)frame.value().write_ppm("rg_mixed.ppm");
+    std::printf("[laptop] mixed-phase frame written to rg_mixed.ppm\n");
+  }
+  auto seg = steerer.value().invoke("ogsi://realitygrid/steering/lb3d",
+                                    "get-param", {"segregation"},
+                                    Deadline::after(2s));
+  std::printf("[laptop] segregation while miscible: %s\n",
+              seg.is_ok() ? seg.value().c_str() : "?");
+
+  // Phase 2: steer the miscibility — the fluids demix.
+  std::printf("[laptop] steering coupling 0.0 -> 1.8 (demixing)\n");
+  (void)steerer.value().invoke("ogsi://realitygrid/steering/lb3d",
+                               "set-param", {"coupling", "1.8"},
+                               Deadline::after(2s));
+  // Also steer the visualization service: tighten the isosurface level.
+  (void)steerer.value().invoke("ogsi://realitygrid/steering/visualization",
+                               "set-param", {"isolevel", "0.2"},
+                               Deadline::after(2s));
+
+  std::this_thread::sleep_for(2500ms);
+  // Drain to the freshest frame.
+  cs::viz::Image last;
+  for (int i = 0; i < 50; ++i) {
+    auto f = laptop.await_frame(Deadline::after(200ms));
+    if (!f.is_ok()) break;
+    last = f.value();
+  }
+  if (!last.empty()) {
+    (void)last.write_ppm("rg_demixed.ppm");
+    std::printf("[laptop] demixed-phase frame written to rg_demixed.ppm\n");
+  }
+  seg = steerer.value().invoke("ogsi://realitygrid/steering/lb3d",
+                               "get-param", {"segregation"},
+                               Deadline::after(2s));
+  std::printf("[laptop] segregation after steering: %s\n",
+              seg.is_ok() ? seg.value().c_str() : "?");
+
+  (void)steerer.value().invoke("ogsi://realitygrid/steering/lb3d", "command",
+                               {"stop"}, Deadline::after(2s));
+  sim_thread.join();
+  viz_thread.join();
+  std::printf("[done]   samples shipped: %llu\n",
+              static_cast<unsigned long long>(app_control->samples_emitted()));
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "ag/desktop.hpp"
+
+#include "wire/message.hpp"
+
+namespace cs::ag {
+
+using common::Bytes;
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+constexpr std::uint32_t kTagUpdate = 0xa6c1;
+constexpr std::uint32_t kTagEvent = 0xa6c2;
+}  // namespace
+
+Result<std::unique_ptr<DesktopShareServer>> DesktopShareServer::start(
+    net::InProcNetwork& net, const Options& options,
+    std::function<void(const std::string&)> on_event) {
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<DesktopShareServer> server{new DesktopShareServer};
+  server->listener_ = std::move(listener).value();
+  server->on_event_ = std::move(on_event);
+  DesktopShareServer* self = server.get();
+  server->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  return server;
+}
+
+DesktopShareServer::~DesktopShareServer() { stop(); }
+
+void DesktopShareServer::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  if (listener_) listener_->close();
+  std::vector<Viewer> doomed;
+  std::vector<std::jthread> graves;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [id, v] : viewers_) {
+      v.conn->close();
+      doomed.push_back(std::move(v));
+    }
+    viewers_.clear();
+    graves = std::move(graveyard_);
+  }
+  for (auto& v : doomed) {
+    if (v.pump.joinable()) {
+      v.pump.request_stop();
+      v.pump.join();
+    }
+  }
+  for (auto& t : graves) {
+    if (t.joinable()) {
+      t.request_stop();
+      t.join();
+    }
+  }
+}
+
+Status DesktopShareServer::update(const viz::Image& desktop) {
+  std::vector<std::pair<std::uint64_t, net::ConnectionPtr>> targets;
+  {
+    std::scoped_lock lock(mutex_);
+    desktop_ = desktop;
+    for (auto& [id, v] : viewers_) targets.emplace_back(id, v.conn);
+  }
+  for (auto& [id, conn] : targets) {
+    Bytes payload;
+    {
+      std::scoped_lock lock(mutex_);
+      auto it = viewers_.find(id);
+      if (it == viewers_.end()) continue;
+      payload = viz::compress_frame_delta(desktop, it->second.last_frame);
+      it->second.last_frame = desktop;
+    }
+    const auto m =
+        wire::make_data_message(kTagUpdate, payload.data(), payload.size());
+    if (conn->send(m.encode(), Deadline::after(std::chrono::seconds(1)))
+            .is_ok()) {
+      std::scoped_lock lock(mutex_);
+      ++stats_.updates_pushed;
+      stats_.bytes_pushed += payload.size();
+    }
+  }
+  return Status::ok();
+}
+
+std::size_t DesktopShareServer::viewer_count() const {
+  std::scoped_lock lock(mutex_);
+  return viewers_.size();
+}
+
+DesktopShareServer::Stats DesktopShareServer::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void DesktopShareServer::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    net::ConnectionPtr c = std::move(conn).value();
+    // Send the current desktop as a key frame so the viewer has a base.
+    viz::Image snapshot;
+    {
+      std::scoped_lock lock(mutex_);
+      snapshot = desktop_;
+    }
+    if (!snapshot.empty()) {
+      const Bytes payload = viz::compress_frame(snapshot);
+      (void)c->send(
+          wire::make_data_message(kTagUpdate, payload.data(), payload.size())
+              .encode(),
+          Deadline::after(std::chrono::seconds(1)));
+    }
+    std::scoped_lock lock(mutex_);
+    const std::uint64_t id = next_id_++;
+    Viewer viewer;
+    viewer.conn = c;
+    viewer.last_frame = snapshot;
+    viewers_.emplace(id, std::move(viewer));
+    viewers_[id].pump = std::jthread(
+        [this, id](std::stop_token pst) { viewer_pump(pst, id); });
+  }
+}
+
+void DesktopShareServer::viewer_pump(const std::stop_token& st,
+                                     std::uint64_t id) {
+  net::ConnectionPtr conn;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = viewers_.find(id);
+    if (it == viewers_.end()) return;
+    conn = it->second.conn;
+  }
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) {
+        std::scoped_lock lock(mutex_);
+        auto it = viewers_.find(id);
+        if (it != viewers_.end()) {
+          it->second.conn->close();
+          it->second.pump.request_stop();
+          graveyard_.push_back(std::move(it->second.pump));
+          viewers_.erase(it);
+        }
+        return;
+      }
+      continue;
+    }
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok() || m.value().header.tag != kTagEvent) continue;
+    auto body = wire::extract_string(m.value());
+    if (!body.is_ok()) continue;
+    std::function<void(const std::string&)> handler;
+    {
+      std::scoped_lock lock(mutex_);
+      ++stats_.events_received;
+      handler = on_event_;
+    }
+    if (handler) handler(body.value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DesktopShareViewer
+// ---------------------------------------------------------------------------
+
+Result<DesktopShareViewer> DesktopShareViewer::connect(net::InProcNetwork& net,
+                                                       const std::string& address,
+                                                       Deadline deadline) {
+  auto conn = net.connect(address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  return adopt(std::move(conn).value());
+}
+
+DesktopShareViewer DesktopShareViewer::adopt(net::ConnectionPtr conn) {
+  DesktopShareViewer viewer;
+  viewer.conn_ = std::move(conn);
+  return viewer;
+}
+
+Result<viz::Image> DesktopShareViewer::await_update(Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "not connected"};
+  for (;;) {
+    auto raw = conn_->recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) return m.status();
+    if (m.value().header.tag != kTagUpdate) continue;
+    auto image = viz::decompress_frame_delta(m.value().payload, desktop_);
+    if (!image.is_ok()) return image.status();
+    desktop_ = std::move(image).value();
+    return desktop_;
+  }
+}
+
+Status DesktopShareViewer::send_event(const std::string& event,
+                                      Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "not connected"};
+  return conn_->send(wire::make_control_message(kTagEvent, event).encode(),
+                     deadline);
+}
+
+void DesktopShareViewer::disconnect() {
+  if (conn_) conn_->close();
+  conn_.reset();
+}
+
+}  // namespace cs::ag

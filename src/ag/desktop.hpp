@@ -1,0 +1,105 @@
+// vnc-style desktop sharing.
+//
+// "The use of vnc to distribute a desktop on which the simulation is being
+// displayed" (paper section 1) — and the paper's contrast case for COVISE:
+// pixel sharing needs no application support but its traffic scales with
+// the screen content (section 4.6), which is exactly what experiment E7
+// measures against parameter-sync collaboration.
+//
+// The server pushes delta-compressed framebuffer updates to each viewer;
+// viewers just decode. Anyone may also send an input event upstream
+// ("sharing the steering client requires the use of vnc" — the *active*
+// collaboration mode), which the application consumes via a callback.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/inproc.hpp"
+#include "viz/compress.hpp"
+#include "viz/image.hpp"
+
+namespace cs::ag {
+
+class DesktopShareServer {
+ public:
+  struct Options {
+    std::string address;
+  };
+
+  struct Stats {
+    std::uint64_t updates_pushed = 0;
+    std::uint64_t bytes_pushed = 0;
+    std::uint64_t events_received = 0;
+  };
+
+  /// `on_event` runs on a pump thread whenever a viewer sends an input
+  /// event (e.g. "SET miscibility 0.3").
+  static common::Result<std::unique_ptr<DesktopShareServer>> start(
+      net::InProcNetwork& net, const Options& options,
+      std::function<void(const std::string&)> on_event = {});
+  ~DesktopShareServer();
+  DesktopShareServer(const DesktopShareServer&) = delete;
+  DesktopShareServer& operator=(const DesktopShareServer&) = delete;
+  void stop();
+
+  /// Publishes a new desktop frame; every viewer receives a delta update.
+  common::Status update(const viz::Image& desktop);
+
+  std::size_t viewer_count() const;
+  Stats stats() const;
+
+ private:
+  DesktopShareServer() = default;
+  void accept_loop(const std::stop_token& st);
+  void viewer_pump(const std::stop_token& st, std::uint64_t id);
+
+  struct Viewer {
+    net::ConnectionPtr conn;
+    viz::Image last_frame;
+    std::jthread pump;
+  };
+
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  std::function<void(const std::string&)> on_event_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Viewer> viewers_;
+  std::vector<std::jthread> graveyard_;
+  std::uint64_t next_id_ = 1;
+  viz::Image desktop_;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+};
+
+class DesktopShareViewer {
+ public:
+  static common::Result<DesktopShareViewer> connect(net::InProcNetwork& net,
+                                                    const std::string& address,
+                                                    common::Deadline deadline);
+  /// Wraps an existing connection (lets benchmarks attach a link model).
+  static DesktopShareViewer adopt(net::ConnectionPtr conn);
+
+  /// Receives and applies the next desktop update.
+  common::Result<viz::Image> await_update(common::Deadline deadline);
+
+  /// Sends an input event upstream (active collaboration).
+  common::Status send_event(const std::string& event,
+                            common::Deadline deadline);
+
+  const viz::Image& desktop() const noexcept { return desktop_; }
+  void disconnect();
+
+ private:
+  net::ConnectionPtr conn_;
+  viz::Image desktop_;
+};
+
+}  // namespace cs::ag

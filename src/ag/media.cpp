@@ -1,0 +1,163 @@
+#include "ag/media.hpp"
+
+namespace cs::ag {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+}
+
+Result<MediaStream> MediaStream::join(net::InProcNetwork& net,
+                                      const std::string& group,
+                                      const net::LinkModel& link) {
+  auto socket = net.join_group(group, link);
+  if (!socket.is_ok()) return socket.status();
+  MediaStream stream;
+  stream.socket_ = std::move(socket).value();
+  return stream;
+}
+
+Status MediaStream::send_frame(const viz::Image& frame) {
+  if (!socket_) return Status{StatusCode::kClosed, "left the group"};
+  const common::Bytes payload = viz::compress_frame(frame);
+  Status s = socket_->send(payload, Deadline::expired());
+  if (s.is_ok()) {
+    ++frames_sent_;
+    bytes_sent_ += payload.size();
+  }
+  return s;
+}
+
+Result<viz::Image> MediaStream::receive_frame(Deadline deadline) {
+  if (!socket_) return Status{StatusCode::kClosed, "left the group"};
+  auto raw = socket_->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  return viz::decompress_frame(raw.value());
+}
+
+void MediaStream::leave() {
+  if (socket_) socket_->leave();
+  socket_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// UnicastBridge
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<UnicastBridge>> UnicastBridge::start(
+    net::InProcNetwork& net, const Options& options) {
+  auto socket = net.join_group(options.group);
+  if (!socket.is_ok()) return socket.status();
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<UnicastBridge> bridge{new UnicastBridge};
+  bridge->socket_ = std::move(socket).value();
+  bridge->listener_ = std::move(listener).value();
+  UnicastBridge* self = bridge.get();
+  bridge->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  bridge->group_thread_ =
+      std::jthread([self](std::stop_token st) { self->group_pump(st); });
+  return bridge;
+}
+
+UnicastBridge::~UnicastBridge() { stop(); }
+
+void UnicastBridge::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  group_thread_.request_stop();
+  if (listener_) listener_->close();
+  if (socket_) socket_->leave();
+  std::vector<std::jthread> threads;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [id, conn] : clients_) conn->close();
+    clients_.clear();
+    threads = std::move(client_threads_);
+  }
+  for (auto& t : threads) {
+    t.request_stop();
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t UnicastBridge::client_count() const {
+  std::scoped_lock lock(mutex_);
+  return clients_.size();
+}
+
+void UnicastBridge::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    const std::uint64_t id = next_id_++;
+    clients_[id] = std::move(conn).value();
+    client_threads_.emplace_back(
+        [this, id](std::stop_token cst) { client_pump(cst, id); });
+  }
+}
+
+void UnicastBridge::group_pump(const std::stop_token& st) {
+  // Multicast -> every unicast client.
+  while (!st.stop_requested()) {
+    auto message = socket_->recv(Deadline::after(kPumpSlice));
+    if (!message.is_ok()) {
+      if (message.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::vector<net::ConnectionPtr> targets;
+    {
+      std::scoped_lock lock(mutex_);
+      for (const auto& [id, conn] : clients_) targets.push_back(conn);
+    }
+    for (auto& conn : targets) {
+      (void)conn->send(message.value(), Deadline::expired());  // best effort
+    }
+  }
+}
+
+void UnicastBridge::client_pump(const std::stop_token& st, std::uint64_t id) {
+  // Unicast client -> multicast group (and implicitly to other clients on
+  // the next group_pump round? no: multicast loopback excludes the sender
+  // socket, so relay to the other unicast clients explicitly).
+  net::ConnectionPtr conn;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    conn = it->second;
+  }
+  while (!st.stop_requested()) {
+    auto message = conn->recv(Deadline::after(kPumpSlice));
+    if (!message.is_ok()) {
+      if (message.status().code() == StatusCode::kClosed) {
+        std::scoped_lock lock(mutex_);
+        clients_.erase(id);
+        return;
+      }
+      continue;
+    }
+    (void)socket_->send(message.value(), Deadline::expired());
+    std::vector<net::ConnectionPtr> others;
+    {
+      std::scoped_lock lock(mutex_);
+      for (const auto& [cid, c] : clients_) {
+        if (cid != id) others.push_back(c);
+      }
+    }
+    for (auto& c : others) {
+      (void)c->send(message.value(), Deadline::expired());
+    }
+  }
+}
+
+}  // namespace cs::ag

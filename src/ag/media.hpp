@@ -1,0 +1,84 @@
+// vic-style media streams and unicast/multicast bridges.
+//
+// "The redirection of the visualization into vic to make 3D animations
+// available over the Access Grid" (paper section 1) is a sequence of
+// independently-decodable compressed frames on a multicast group. Sites
+// behind multicast-blocking firewalls use a bridge: "we added support for
+// unicast/multicast bridges and point to point sessions" (section 4.6).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/inproc.hpp"
+#include "viz/compress.hpp"
+#include "viz/image.hpp"
+
+namespace cs::ag {
+
+/// One video stream endpoint on a multicast group. Frames are key-frame
+/// compressed (each independently decodable, tolerating loss, like vic).
+class MediaStream {
+ public:
+  static common::Result<MediaStream> join(net::InProcNetwork& net,
+                                          const std::string& group,
+                                          const net::LinkModel& link = {});
+
+  /// Sends one frame to the whole group (best effort).
+  common::Status send_frame(const viz::Image& frame);
+
+  /// Receives and decodes the next frame.
+  common::Result<viz::Image> receive_frame(common::Deadline deadline);
+
+  std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  void leave();
+
+ private:
+  net::MulticastSocketPtr socket_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Relays a multicast group to unicast clients and back — for venues whose
+/// participants sit behind NAT/firewalls without multicast.
+class UnicastBridge {
+ public:
+  struct Options {
+    std::string group;    ///< multicast group to bridge
+    std::string address;  ///< unicast address clients connect to
+  };
+
+  static common::Result<std::unique_ptr<UnicastBridge>> start(
+      net::InProcNetwork& net, const Options& options);
+  ~UnicastBridge();
+  UnicastBridge(const UnicastBridge&) = delete;
+  UnicastBridge& operator=(const UnicastBridge&) = delete;
+  void stop();
+
+  std::size_t client_count() const;
+
+ private:
+  UnicastBridge() = default;
+  void accept_loop(const std::stop_token& st);
+  void group_pump(const std::stop_token& st);
+  void client_pump(const std::stop_token& st, std::uint64_t id);
+
+  net::MulticastSocketPtr socket_;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  std::jthread group_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, net::ConnectionPtr> clients_;
+  std::vector<std::jthread> client_threads_;
+  std::uint64_t next_id_ = 1;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cs::ag

@@ -1,0 +1,304 @@
+#include "ag/venue.hpp"
+
+#include "common/strings.hpp"
+#include "wire/message.hpp"
+
+namespace cs::ag {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+constexpr std::uint32_t kTagVenue = 0xa610;
+constexpr char kSep = '\x1f';
+
+std::string ok(std::string body = {}) {
+  return "OK" + (body.empty() ? "" : std::string(1, kSep) + body);
+}
+std::string err(StatusCode code, const std::string& message) {
+  return std::string("ERR") + kSep +
+         std::string(common::to_string(code)) + kSep + message;
+}
+}  // namespace
+
+Result<std::unique_ptr<VenueServer>> VenueServer::start(
+    net::InProcNetwork& net, const Options& options) {
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<VenueServer> server{new VenueServer};
+  server->net_ = &net;
+  server->listener_ = std::move(listener).value();
+  VenueServer* self = server.get();
+  server->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  return server;
+}
+
+VenueServer::~VenueServer() { stop(); }
+
+void VenueServer::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  if (listener_) listener_->close();
+  std::vector<std::jthread> threads;
+  {
+    std::scoped_lock lock(mutex_);
+    threads = std::move(connection_threads_);
+  }
+  for (auto& t : threads) {
+    t.request_stop();
+    if (t.joinable()) t.join();
+  }
+}
+
+Status VenueServer::create_venue(const std::string& venue,
+                                 const VenueStreams& streams) {
+  std::scoped_lock lock(mutex_);
+  auto [it, inserted] = venues_.emplace(venue, Venue{streams, {}, {}});
+  if (!inserted) {
+    return Status{StatusCode::kAlreadyExists, "venue exists: " + venue};
+  }
+  return Status::ok();
+}
+
+std::size_t VenueServer::venue_count() const {
+  std::scoped_lock lock(mutex_);
+  return venues_.size();
+}
+
+std::vector<Participant> VenueServer::participants(
+    const std::string& venue) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Participant> out;
+  auto it = venues_.find(venue);
+  if (it == venues_.end()) return out;
+  for (const auto& [name, p] : it->second.participants) out.push_back(p);
+  return out;
+}
+
+void VenueServer::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    net::ConnectionPtr c = std::move(conn).value();
+    connection_threads_.emplace_back(
+        [this, c](std::stop_token cst) { serve(cst, c); });
+  }
+}
+
+void VenueServer::serve(const std::stop_token& st, net::ConnectionPtr conn) {
+  std::string session_venue, session_name;
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) break;
+      continue;
+    }
+    std::string reply;
+    auto m = wire::Message::decode(raw.value());
+    auto body = m.is_ok() ? wire::extract_string(m.value())
+                          : Result<std::string>{m.status()};
+    if (!body.is_ok()) {
+      reply = err(StatusCode::kProtocolError, "bad frame");
+    } else {
+      reply = handle(body.value(), session_venue, session_name);
+    }
+    if (!conn->send(wire::make_control_message(kTagVenue, reply).encode(),
+                    Deadline::after(std::chrono::seconds(2)))
+             .is_ok()) {
+      break;
+    }
+  }
+  // Connection gone: the participant implicitly leaves (venue presence is
+  // tied to the connection, as in the real venue server).
+  if (!session_venue.empty()) {
+    std::scoped_lock lock(mutex_);
+    auto it = venues_.find(session_venue);
+    if (it != venues_.end()) it->second.participants.erase(session_name);
+  }
+}
+
+std::string VenueServer::handle(const std::string& request,
+                                std::string& session_venue,
+                                std::string& session_name) {
+  const auto fields = common::split(request, kSep);
+  if (fields.empty()) return err(StatusCode::kInvalidArgument, "empty");
+  std::scoped_lock lock(mutex_);
+  const auto& op = fields[0];
+
+  if (op == "ENTER" && fields.size() == 4) {
+    auto it = venues_.find(fields[1]);
+    if (it == venues_.end()) {
+      return err(StatusCode::kNotFound, "no venue " + fields[1]);
+    }
+    if (!session_venue.empty()) {
+      auto old = venues_.find(session_venue);
+      if (old != venues_.end()) old->second.participants.erase(session_name);
+    }
+    session_venue = fields[1];
+    session_name = fields[2];
+    it->second.participants[session_name] =
+        Participant{session_name, fields[3] == "1"};
+    return ok();
+  }
+  if (op == "LEAVE") {
+    if (!session_venue.empty()) {
+      auto it = venues_.find(session_venue);
+      if (it != venues_.end()) it->second.participants.erase(session_name);
+      session_venue.clear();
+      session_name.clear();
+    }
+    return ok();
+  }
+  if (op == "LIST") {
+    auto it = venues_.find(session_venue);
+    if (it == venues_.end()) {
+      return err(StatusCode::kUnavailable, "not in a venue");
+    }
+    std::string body;
+    for (const auto& [name, p] : it->second.participants) {
+      if (!body.empty()) body += '\n';
+      body += name + (p.multicast_capable ? " mc" : " uc");
+    }
+    return ok(body);
+  }
+  if (op == "STREAMS") {
+    auto it = venues_.find(session_venue);
+    if (it == venues_.end()) {
+      return err(StatusCode::kUnavailable, "not in a venue");
+    }
+    return ok(it->second.streams.video_group + "\n" +
+              it->second.streams.audio_group);
+  }
+  if (op == "REGISTER_APP" && fields.size() == 3) {
+    auto it = venues_.find(session_venue);
+    if (it == venues_.end()) {
+      return err(StatusCode::kUnavailable, "not in a venue");
+    }
+    it->second.apps[fields[1]] = SharedApp{fields[1], fields[2]};
+    return ok();
+  }
+  if (op == "FIND_APP" && fields.size() == 2) {
+    auto it = venues_.find(session_venue);
+    if (it == venues_.end()) {
+      return err(StatusCode::kUnavailable, "not in a venue");
+    }
+    auto app = it->second.apps.find(fields[1]);
+    if (app == it->second.apps.end()) {
+      return err(StatusCode::kNotFound, "no app " + fields[1]);
+    }
+    return ok(app->second.connect_info);
+  }
+  return err(StatusCode::kInvalidArgument, "bad request: " + op);
+}
+
+// ---------------------------------------------------------------------------
+// VenueClient
+// ---------------------------------------------------------------------------
+
+Result<VenueClient> VenueClient::connect(net::InProcNetwork& net,
+                                         const std::string& address,
+                                         Deadline deadline) {
+  auto conn = net.connect(address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  VenueClient client;
+  client.conn_ = std::move(conn).value();
+  return client;
+}
+
+Result<std::string> VenueClient::transact(const std::string& request,
+                                          Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "not connected"};
+  std::scoped_lock lock(mutex_);
+  if (Status s = conn_->send(
+          wire::make_control_message(kTagVenue, request).encode(), deadline);
+      !s.is_ok()) {
+    return s;
+  }
+  auto raw = conn_->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  auto m = wire::Message::decode(raw.value());
+  if (!m.is_ok()) return m.status();
+  auto body = wire::extract_string(m.value());
+  if (!body.is_ok()) return body.status();
+  const auto fields = common::split(body.value(), kSep);
+  if (!fields.empty() && fields[0] == "OK") {
+    return fields.size() > 1 ? fields[1] : std::string{};
+  }
+  if (fields.size() >= 3 && fields[0] == "ERR") {
+    for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+      if (fields[1] == common::to_string(static_cast<StatusCode>(c))) {
+        return Status{static_cast<StatusCode>(c), fields[2]};
+      }
+    }
+  }
+  return Status{StatusCode::kProtocolError, "bad venue reply"};
+}
+
+Status VenueClient::enter(const std::string& venue, const std::string& name,
+                          bool multicast_capable, Deadline deadline) {
+  auto r = transact("ENTER" + std::string(1, kSep) + venue +
+                        std::string(1, kSep) + name + std::string(1, kSep) +
+                        (multicast_capable ? "1" : "0"),
+                    deadline);
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
+Status VenueClient::leave(Deadline deadline) {
+  auto r = transact("LEAVE", deadline);
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
+Result<std::vector<Participant>> VenueClient::list_participants(
+    Deadline deadline) {
+  auto r = transact("LIST", deadline);
+  if (!r.is_ok()) return r.status();
+  std::vector<Participant> out;
+  if (!r.value().empty()) {
+    for (const auto& line : common::split(r.value(), '\n')) {
+      const auto cols = common::split(line, ' ');
+      if (cols.size() == 2) {
+        out.push_back(Participant{cols[0], cols[1] == "mc"});
+      }
+    }
+  }
+  return out;
+}
+
+Result<VenueStreams> VenueClient::streams(Deadline deadline) {
+  auto r = transact("STREAMS", deadline);
+  if (!r.is_ok()) return r.status();
+  const auto lines = common::split(r.value(), '\n');
+  if (lines.size() != 2) {
+    return Status{StatusCode::kProtocolError, "bad streams reply"};
+  }
+  return VenueStreams{lines[0], lines[1]};
+}
+
+Status VenueClient::register_app(const SharedApp& app, Deadline deadline) {
+  auto r = transact("REGISTER_APP" + std::string(1, kSep) + app.name +
+                        std::string(1, kSep) + app.connect_info,
+                    deadline);
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
+Result<SharedApp> VenueClient::find_app(const std::string& name,
+                                        Deadline deadline) {
+  auto r = transact("FIND_APP" + std::string(1, kSep) + name, deadline);
+  if (!r.is_ok()) return r.status();
+  return SharedApp{name, r.value()};
+}
+
+void VenueClient::disconnect() {
+  if (conn_) conn_->close();
+  conn_.reset();
+}
+
+}  // namespace cs::ag

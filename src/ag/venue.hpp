@@ -1,0 +1,127 @@
+// Access Grid Virtual Venue server.
+//
+// The Access Grid "coordinates multiple channels of communication within a
+// virtual space (the Virtual Venue of the meeting)" (paper section 1). Our
+// venue server models what the demonstrations rely on: named rooms whose
+// state lists the participants (with their multicast capability), the
+// media-stream group addresses of the room, and — the HLRS extension of
+// section 4.6 — "additional information on a per room basis which allows
+// the start-up of shared applications" such as a COVISE session.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/inproc.hpp"
+
+namespace cs::ag {
+
+/// One registered shared application (e.g. a COVISE sync hub) in a venue.
+struct SharedApp {
+  std::string name;         ///< e.g. "covise"
+  std::string connect_info; ///< address/password blob participants need
+};
+
+struct Participant {
+  std::string name;
+  bool multicast_capable = true;
+};
+
+/// Media channels of a venue (vic/rat would bind to these).
+struct VenueStreams {
+  std::string video_group;
+  std::string audio_group;
+};
+
+class VenueServer {
+ public:
+  struct Options {
+    std::string address;
+  };
+
+  static common::Result<std::unique_ptr<VenueServer>> start(
+      net::InProcNetwork& net, const Options& options);
+  ~VenueServer();
+  VenueServer(const VenueServer&) = delete;
+  VenueServer& operator=(const VenueServer&) = delete;
+  void stop();
+
+  /// Administrative: creates a venue with its media groups.
+  common::Status create_venue(const std::string& venue,
+                              const VenueStreams& streams);
+
+  std::size_t venue_count() const;
+  std::vector<Participant> participants(const std::string& venue) const;
+
+ private:
+  VenueServer() = default;
+  void accept_loop(const std::stop_token& st);
+  void serve(const std::stop_token& st, net::ConnectionPtr conn);
+  std::string handle(const std::string& request, std::string& session_venue,
+                     std::string& session_name);
+
+  struct Venue {
+    VenueStreams streams;
+    std::map<std::string, Participant> participants;
+    std::map<std::string, SharedApp> apps;
+  };
+
+  net::InProcNetwork* net_ = nullptr;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Venue> venues_;
+  std::vector<std::jthread> connection_threads_;
+  std::atomic<bool> stopped_{false};
+};
+
+/// A participant's handle on the venue server.
+class VenueClient {
+ public:
+  static common::Result<VenueClient> connect(net::InProcNetwork& net,
+                                             const std::string& address,
+                                             common::Deadline deadline);
+
+  /// Enters a venue (implicitly leaving any previous one).
+  common::Status enter(const std::string& venue, const std::string& name,
+                       bool multicast_capable, common::Deadline deadline);
+  common::Status leave(common::Deadline deadline);
+
+  common::Result<std::vector<Participant>> list_participants(
+      common::Deadline deadline);
+
+  /// Media group addresses of the current venue.
+  common::Result<VenueStreams> streams(common::Deadline deadline);
+
+  /// Publishes a shared application other participants can join.
+  common::Status register_app(const SharedApp& app, common::Deadline deadline);
+
+  /// Looks up a shared application registered in the current venue.
+  common::Result<SharedApp> find_app(const std::string& name,
+                                     common::Deadline deadline);
+
+  void disconnect();
+
+ private:
+  common::Result<std::string> transact(const std::string& request,
+                                       common::Deadline deadline);
+
+  net::ConnectionPtr conn_;
+  std::mutex mutex_;
+
+ public:
+  VenueClient() = default;
+  VenueClient(VenueClient&& other) noexcept : conn_(std::move(other.conn_)) {}
+  VenueClient& operator=(VenueClient&& other) noexcept {
+    conn_ = std::move(other.conn_);
+    return *this;
+  }
+};
+
+}  // namespace cs::ag

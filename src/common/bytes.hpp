@@ -1,0 +1,80 @@
+// Byte-buffer helpers and explicit endian conversion.
+//
+// The wire layer (cs::wire) writes multi-byte integers in a *declared* byte
+// order so that a receiver can convert transparently (the VISIT "server-side
+// conversion" design, paper section 3.2). These helpers are the only place
+// where byte-order punning happens.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace cs::common {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Byte order of multi-byte scalars in a buffer.
+enum class ByteOrder : std::uint8_t {
+  kLittle = 0,
+  kBig = 1,
+};
+
+/// Byte order of the machine we are running on.
+constexpr ByteOrder native_order() noexcept {
+  return std::endian::native == std::endian::big ? ByteOrder::kBig
+                                                 : ByteOrder::kLittle;
+}
+
+/// Reverses the byte order of an unsigned integer.
+template <typename T>
+constexpr T byteswap(T value) noexcept {
+  static_assert(std::is_unsigned_v<T>, "byteswap operates on unsigned types");
+  if constexpr (sizeof(T) == 1) {
+    return value;
+  } else {
+    T out = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out = static_cast<T>(out << 8) |
+            static_cast<T>((value >> (8 * i)) & 0xffU);
+    }
+    return out;
+  }
+}
+
+/// Appends an unsigned integer in the given byte order.
+template <typename T>
+void append_uint(Bytes& out, T value, ByteOrder order) {
+  static_assert(std::is_unsigned_v<T>);
+  if (order != native_order()) value = byteswap(value);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+/// Reads an unsigned integer in the given byte order.
+/// Precondition: in.size() >= sizeof(T).
+template <typename T>
+T read_uint(ByteSpan in, ByteOrder order) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  T value{};
+  std::memcpy(&value, in.data(), sizeof(T));
+  if (order != native_order()) value = byteswap(value);
+  return value;
+}
+
+/// Appends raw bytes.
+inline void append_bytes(Bytes& out, ByteSpan data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+/// View of a trivially copyable object as bytes.
+template <typename T>
+ByteSpan as_bytes(const T& value) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return ByteSpan{reinterpret_cast<const std::uint8_t*>(&value), sizeof(T)};
+}
+
+}  // namespace cs::common

@@ -1,0 +1,55 @@
+// Deadlines and time helpers shared by every blocking call in the library.
+//
+// The VISIT design rule (paper section 3.2) is that every operation issued by
+// the steered simulation completes or fails by a caller-supplied timeout.
+// Deadline is the vocabulary type for that rule.
+#pragma once
+
+#include <chrono>
+
+namespace cs::common {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+/// A point in time by which a blocking operation must return.
+class Deadline {
+ public:
+  /// Never expires.
+  static Deadline infinite() noexcept { return Deadline{TimePoint::max()}; }
+
+  /// Expires `d` from now.
+  static Deadline after(Duration d) noexcept {
+    if (d >= TimePoint::max() - Clock::now()) return infinite();
+    return Deadline{Clock::now() + d};
+  }
+
+  /// Already expired (poll semantics: try once, never block).
+  static Deadline expired() noexcept { return Deadline{TimePoint::min()}; }
+
+  explicit Deadline(TimePoint when) noexcept : when_(when) {}
+
+  TimePoint time_point() const noexcept { return when_; }
+  bool is_infinite() const noexcept { return when_ == TimePoint::max(); }
+
+  bool has_expired() const noexcept {
+    return !is_infinite() && Clock::now() >= when_;
+  }
+
+  /// Time left; zero when expired, Duration::max() when infinite.
+  Duration remaining() const noexcept {
+    if (is_infinite()) return Duration::max();
+    const auto now = Clock::now();
+    return now >= when_ ? Duration::zero() : when_ - now;
+  }
+
+ private:
+  TimePoint when_;
+};
+
+inline std::chrono::milliseconds ms(std::int64_t n) noexcept {
+  return std::chrono::milliseconds{n};
+}
+
+}  // namespace cs::common

@@ -1,0 +1,43 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace cs::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::scoped_lock lock(g_io_mutex);
+  std::fprintf(stderr, "[%10lld.%03lld] %s %-12s %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), level_tag(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace cs::common

@@ -1,0 +1,53 @@
+// Minimal thread-safe leveled logger.
+//
+// Default level is kWarn so tests and benchmarks stay quiet; examples raise
+// it to kInfo to narrate the demo scenarios.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cs::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr (serialized across threads).
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cs::common
+
+#define CS_LOG(level, component)                                  \
+  if (static_cast<int>(level) < static_cast<int>(cs::common::log_level())) {} \
+  else cs::common::detail::LogStream(level, component)
+
+#define CS_LOG_DEBUG(component) CS_LOG(cs::common::LogLevel::kDebug, component)
+#define CS_LOG_INFO(component) CS_LOG(cs::common::LogLevel::kInfo, component)
+#define CS_LOG_WARN(component) CS_LOG(cs::common::LogLevel::kWarn, component)
+#define CS_LOG_ERROR(component) CS_LOG(cs::common::LogLevel::kError, component)

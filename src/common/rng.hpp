@@ -1,0 +1,45 @@
+// Deterministic pseudo-random numbers.
+//
+// Everything stochastic in collabsteer (particle initial conditions, link
+// jitter, workload generators) draws from this generator so that runs are
+// reproducible from a single seed. xoshiro256** passes BigCrush and is
+// cheap enough for per-message jitter draws.
+#pragma once
+
+#include <cstdint>
+
+namespace cs::common {
+
+/// splitmix64: used to expand a single seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna), deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair).
+  double normal() noexcept;
+
+  /// Splits off an independent stream (for per-thread use).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cs::common

@@ -1,0 +1,96 @@
+// Status / Result<T>: error propagation without exceptions on hot paths.
+//
+// Middleware and steering calls in this library are expected to fail in
+// routine operation (peer gone, deadline expired, venue missing); callers
+// must be able to branch on the failure kind cheaply. Exceptions remain in
+// use for programming errors (contract violations).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cs::common {
+
+/// Failure categories shared across all collabsteer subsystems.
+enum class StatusCode {
+  kOk = 0,
+  kTimeout,          ///< deadline expired before the operation completed
+  kClosed,           ///< peer or channel already shut down
+  kNotFound,         ///< name/id lookup failed (registry, venue, job, ...)
+  kAlreadyExists,    ///< unique name/id collision
+  kPermissionDenied, ///< auth failure or role does not allow the operation
+  kInvalidArgument,  ///< malformed input detected before any side effect
+  kProtocolError,    ///< malformed/unexpected bytes from a peer
+  kResourceExhausted,///< queue full, quota hit, no capacity
+  kUnavailable,      ///< transient: retry may succeed (e.g. not yet started)
+  kInternal,         ///< invariant broken on our side
+};
+
+/// Human-readable name of a status code (stable, for logs and tests).
+std::string_view to_string(StatusCode code) noexcept;
+
+/// A status code plus optional context message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+  bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status make_status(StatusCode code, std::string message = {}) {
+  return Status{code, std::move(message)};
+}
+
+/// Either a value or a Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(state_).is_ok()) {
+      state_ = Status{StatusCode::kInternal, "Result constructed from OK status"};
+    }
+  }
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Status of a failed Result; OK when a value is present.
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(state_);
+  }
+
+  /// Precondition: is_ok().
+  T& value() & { return std::get<T>(state_); }
+  const T& value() const& { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace cs::common

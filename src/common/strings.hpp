@@ -1,0 +1,27 @@
+// Small string utilities used by the middleware layers (names, key=value
+// incarnation scripts, registry queries).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs::common {
+
+/// Splits on a separator; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Simple glob match supporting '*' (any run) and '?' (any one char);
+/// used by registry queries.
+bool glob_match(std::string_view pattern, std::string_view text) noexcept;
+
+}  // namespace cs::common

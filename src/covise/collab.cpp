@@ -1,0 +1,87 @@
+#include "covise/collab.hpp"
+
+#include "common/strings.hpp"
+
+namespace cs::covise {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Result<std::unique_ptr<CollabParticipant>> CollabParticipant::join(
+    net::InProcNetwork& net, const Options& options,
+    const PipelineBuilder& builder) {
+  std::unique_ptr<CollabParticipant> participant{
+      new CollabParticipant(net, options.replica_name)};
+  auto renderer = builder(participant->controller_);
+  if (!renderer.is_ok()) return renderer.status();
+  participant->renderer_ = std::move(renderer).value();
+  // Initial execution so every replica starts from the same state.
+  if (auto executed = participant->controller_.execute(); !executed.is_ok()) {
+    return executed.status();
+  }
+  auto sync = visit::ControlClient::connect(
+      net, options.sync_address, options.password, options.role,
+      Deadline::after(std::chrono::seconds(5)));
+  if (!sync.is_ok()) return sync.status();
+  participant->sync_ = std::move(sync).value();
+  return participant;
+}
+
+Status CollabParticipant::steer(const std::string& module,
+                                const std::string& key,
+                                const std::string& value, Deadline deadline) {
+  if (Status s = controller_.set_param(module, key, value); !s.is_ok()) {
+    return s;
+  }
+  if (auto executed = controller_.execute(); !executed.is_ok()) {
+    return executed.status();
+  }
+  // Tiny record: this is all that crosses the network in parameter-sync
+  // collaboration, regardless of scene size.
+  return sync_.publish("PARAM\x1f" + module + "\x1f" + key + "\x1f" + value,
+                       deadline);
+}
+
+Result<std::size_t> CollabParticipant::pump(Deadline deadline) {
+  std::size_t applied = 0;
+  for (;;) {
+    auto record = sync_.receive(deadline);
+    if (!record.is_ok()) {
+      if (record.status().code() == StatusCode::kTimeout) break;
+      if (applied > 0 && record.status().code() == StatusCode::kClosed) break;
+      return record.status();
+    }
+    if (Status s = apply_update(record.value()); !s.is_ok()) return s;
+    ++applied;
+    // Drain whatever else is already queued without waiting again.
+    deadline = Deadline::expired();
+  }
+  return applied;
+}
+
+Status CollabParticipant::apply_update(const std::string& record) {
+  const auto fields = common::split(record, '\x1f');
+  if (fields.size() == 4 && fields[0] == "PARAM") {
+    if (Status s = controller_.set_param(fields[1], fields[2], fields[3]);
+        !s.is_ok()) {
+      return s;
+    }
+    auto executed = controller_.execute();
+    return executed.is_ok() ? Status::ok() : executed.status();
+  }
+  return Status{StatusCode::kProtocolError, "bad sync record: " + record};
+}
+
+Result<viz::Image> CollabParticipant::current_view() const {
+  auto output = controller_.output_of(renderer_, "image");
+  if (!output.is_ok()) return output.status();
+  const auto* image = output.value()->as<ImageData>();
+  if (image == nullptr) {
+    return Status{StatusCode::kInternal, "renderer produced no image"};
+  }
+  return image->image;
+}
+
+}  // namespace cs::covise

@@ -1,0 +1,78 @@
+// Collaborative sessions over replicated module networks.
+//
+// "In a collaborative session all partners see the same screen
+// representations at the same time on their local workstation" and "such
+// scene update rates are only possible if the generation of the new content
+// is done locally and only synchronisation information such as the
+// parameter set for the cutting plane determination is exchanged." (paper
+// sections 4.5/4.3).
+//
+// Each participant holds a full local replica of the pipeline (its own
+// Controller). The latency-sensitive sync channel is the external control
+// server of section 3.3 (visit::ControlServer): the master's parameter and
+// viewpoint changes travel as tiny text records; every replica re-executes
+// locally. Only the master steers; observers' publishes are rejected by the
+// control server's role system.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "covise/controller.hpp"
+#include "covise/modules.hpp"
+#include "net/inproc.hpp"
+#include "visit/control.hpp"
+
+namespace cs::covise {
+
+/// Builds the (identical) module network inside a participant's controller.
+/// Returns the renderer module id whose "image" output is the shared view.
+using PipelineBuilder =
+    std::function<common::Result<std::string>(Controller& controller)>;
+
+class CollabParticipant {
+ public:
+  struct Options {
+    /// Address of the shared visit::ControlServer.
+    std::string sync_address;
+    std::string password;
+    /// "actor" (may steer) or "observer".
+    std::string role = "observer";
+    /// Unique per participant; scopes its hosts/brokers on the shared net.
+    std::string replica_name;
+  };
+
+  /// Creates the participant: builds the local replica and joins the sync
+  /// channel.
+  static common::Result<std::unique_ptr<CollabParticipant>> join(
+      net::InProcNetwork& net, const Options& options,
+      const PipelineBuilder& builder);
+
+  /// Master-side steering: applies locally, re-executes, and broadcasts
+  /// "PARAM <module> <key> <value>" to all other participants.
+  common::Status steer(const std::string& module, const std::string& key,
+                       const std::string& value, common::Deadline deadline);
+
+  /// Applies remote updates until the deadline (observers call this in
+  /// their event loop). Returns how many updates were applied.
+  common::Result<std::size_t> pump(common::Deadline deadline);
+
+  /// The participant's current view (renderer output).
+  common::Result<viz::Image> current_view() const;
+
+  Controller& controller() noexcept { return controller_; }
+  const std::string& renderer_module() const noexcept { return renderer_; }
+
+ private:
+  CollabParticipant(net::InProcNetwork& net, std::string replica)
+      : controller_(net, std::move(replica)) {}
+
+  common::Status apply_update(const std::string& record);
+
+  Controller controller_;
+  visit::ControlClient sync_;
+  std::string renderer_;
+};
+
+}  // namespace cs::covise

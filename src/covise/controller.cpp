@@ -1,0 +1,234 @@
+#include "covise/controller.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace cs::covise {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Status Controller::add_host(const std::string& host,
+                            const net::LinkModel& link) {
+  if (hosts_.contains(host)) {
+    return Status{StatusCode::kAlreadyExists, "host already added: " + host};
+  }
+  HostRuntime runtime;
+  runtime.sds = std::make_shared<SharedDataSpace>(host);
+  auto crb = RequestBroker::start(net_, runtime.sds, session_, link);
+  if (!crb.is_ok()) return crb.status();
+  runtime.crb = std::move(crb).value();
+  hosts_.emplace(host, std::move(runtime));
+  return Status::ok();
+}
+
+Result<std::string> Controller::add_module(const std::string& host,
+                                           ModulePtr module) {
+  if (!module) return Status{StatusCode::kInvalidArgument, "null module"};
+  if (!hosts_.contains(host)) {
+    return Status{StatusCode::kNotFound, "unknown host: " + host};
+  }
+  const std::string id =
+      module->type_name() + "_" + std::to_string(++type_counts_[module->type_name()]);
+  ModuleEntry entry;
+  entry.host = host;
+  entry.module = std::move(module);
+  modules_.emplace(id, std::move(entry));
+  return id;
+}
+
+Status Controller::connect_ports(const std::string& from_module,
+                                 const std::string& from_port,
+                                 const std::string& to_module,
+                                 const std::string& to_port) {
+  auto from = modules_.find(from_module);
+  auto to = modules_.find(to_module);
+  if (from == modules_.end() || to == modules_.end()) {
+    return Status{StatusCode::kNotFound, "unknown module in connection"};
+  }
+  const auto& outs = from->second.module->output_ports();
+  const auto& ins = to->second.module->input_ports();
+  if (std::find(outs.begin(), outs.end(), from_port) == outs.end()) {
+    return Status{StatusCode::kNotFound,
+                  from_module + " has no output port " + from_port};
+  }
+  if (std::find(ins.begin(), ins.end(), to_port) == ins.end()) {
+    return Status{StatusCode::kNotFound,
+                  to_module + " has no input port " + to_port};
+  }
+  for (const auto& c : connections_) {
+    if (c.to_module == to_module && c.to_port == to_port) {
+      return Status{StatusCode::kAlreadyExists,
+                    "input port already connected: " + to_module + "." + to_port};
+    }
+  }
+  connections_.push_back({from_module, from_port, to_module, to_port});
+  to->second.dirty = true;
+  return Status::ok();
+}
+
+Status Controller::set_param(const std::string& module, const std::string& key,
+                             std::string value) {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return Status{StatusCode::kNotFound, "unknown module: " + module};
+  }
+  it->second.params[key] = std::move(value);
+  it->second.dirty = true;
+  return Status::ok();
+}
+
+Result<std::string> Controller::get_param(const std::string& module,
+                                          const std::string& key) const {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return Status{StatusCode::kNotFound, "unknown module: " + module};
+  }
+  auto p = it->second.params.find(key);
+  if (p == it->second.params.end()) {
+    return Status{StatusCode::kNotFound, "no parameter " + key};
+  }
+  return p->second;
+}
+
+Status Controller::mark_dirty(const std::string& module) {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return Status{StatusCode::kNotFound, "unknown module: " + module};
+  }
+  it->second.dirty = true;
+  return Status::ok();
+}
+
+Result<std::vector<std::string>> Controller::topological_order() const {
+  // Kahn's algorithm over the connection graph.
+  std::map<std::string, int> in_degree;
+  for (const auto& [id, entry] : modules_) in_degree[id] = 0;
+  for (const auto& c : connections_) ++in_degree[c.to_module];
+  std::vector<std::string> ready;
+  for (const auto& [id, degree] : in_degree) {
+    if (degree == 0) ready.push_back(id);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (const auto& c : connections_) {
+      if (c.from_module == id && --in_degree[c.to_module] == 0) {
+        ready.push_back(c.to_module);
+      }
+    }
+  }
+  if (order.size() != modules_.size()) {
+    return Status{StatusCode::kInvalidArgument, "module network has a cycle"};
+  }
+  return order;
+}
+
+Result<std::size_t> Controller::execute() {
+  auto order = topological_order();
+  if (!order.is_ok()) return order.status();
+
+  // Dirty closure: a module runs if marked dirty or fed by one that ran.
+  std::set<std::string> will_run;
+  for (const auto& id : order.value()) {
+    bool run = modules_.at(id).dirty;
+    if (!run) {
+      for (const auto& c : connections_) {
+        if (c.to_module == id && will_run.contains(c.from_module)) {
+          run = true;
+          break;
+        }
+      }
+    }
+    if (run) will_run.insert(id);
+  }
+
+  std::size_t executed = 0;
+  for (const auto& id : order.value()) {
+    if (!will_run.contains(id)) continue;
+    ModuleEntry& entry = modules_.at(id);
+    HostRuntime& host = hosts_.at(entry.host);
+
+    // Resolve connected inputs through this host's broker: local objects
+    // come straight from the SDS, remote ones cross the network once.
+    std::map<std::string, DataObjectPtr> inputs;
+    for (const auto& c : connections_) {
+      if (c.to_module != id) continue;
+      const auto& upstream = modules_.at(c.from_module);
+      auto name_it = upstream.outputs.find(c.from_port);
+      if (name_it == upstream.outputs.end()) continue;  // never produced
+      auto object =
+          host.crb->resolve(name_it->second, Deadline::after(std::chrono::seconds(10)));
+      if (!object.is_ok()) return object.status();
+      inputs[c.to_port] = std::move(object).value();
+    }
+
+    ModuleContext ctx(std::move(inputs), &entry.params);
+    if (Status s = entry.module->compute(ctx); !s.is_ok()) {
+      return Status{s.code(), id + ": " + s.message()};
+    }
+
+    // Publish outputs under fresh unique names; drop the previous
+    // generation (end of its lifetime).
+    for (auto& [port, payload] : ctx.outputs()) {
+      auto old = entry.outputs.find(port);
+      if (old != entry.outputs.end()) {
+        (void)host.sds->remove(old->second);
+      }
+      const std::string name = host.sds->unique_name(id, port);
+      auto object =
+          std::make_shared<DataObject>(name, std::move(payload));
+      if (Status s = host.sds->put(std::move(object)); !s.is_ok()) return s;
+      entry.outputs[port] = name;
+    }
+    entry.dirty = false;
+    ++executed;
+  }
+  return executed;
+}
+
+Result<DataObjectPtr> Controller::output_of(const std::string& module,
+                                            const std::string& port) const {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return Status{StatusCode::kNotFound, "unknown module: " + module};
+  }
+  auto name_it = it->second.outputs.find(port);
+  if (name_it == it->second.outputs.end()) {
+    return Status{StatusCode::kUnavailable,
+                  module + "." + port + " has not produced output yet"};
+  }
+  return hosts_.at(it->second.host).sds->get(name_it->second);
+}
+
+RequestBroker::Stats Controller::transfer_stats() const {
+  RequestBroker::Stats total;
+  for (const auto& [host, runtime] : hosts_) {
+    const auto s = runtime.crb->stats();
+    total.objects_served += s.objects_served;
+    total.objects_fetched += s.objects_fetched;
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+    total.local_hits += s.local_hits;
+  }
+  return total;
+}
+
+std::vector<std::string> Controller::hosts() const {
+  std::vector<std::string> out;
+  for (const auto& [host, runtime] : hosts_) out.push_back(host);
+  return out;
+}
+
+std::vector<std::string> Controller::modules() const {
+  std::vector<std::string> out;
+  for (const auto& [id, entry] : modules_) out.push_back(id);
+  return out;
+}
+
+}  // namespace cs::covise

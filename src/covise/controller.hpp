@@ -1,0 +1,103 @@
+// Central controller — "session management for adding new hosts and
+// synchronizing the tasks in the module network is done in a central
+// controller which has the only knowledge about the whole application
+// topology" (paper section 4.5).
+//
+// The controller owns the module network (the Map, in COVISE terms):
+// modules placed on named hosts, connections between ports, and parameter
+// state. execute() runs dirty modules in topological order; data objects
+// flow through each host's SDS and cross hosts through the CRBs, so the
+// transfer statistics reflect the real placement of the pipeline.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "covise/crb.hpp"
+#include "covise/module.hpp"
+#include "covise/sds.hpp"
+#include "net/inproc.hpp"
+
+namespace cs::covise {
+
+class Controller {
+ public:
+  /// `session` scopes all network addresses so multiple controllers (the
+  /// replicated collaborative sessions of section 4.6) can share one net.
+  Controller(net::InProcNetwork& net, std::string session)
+      : net_(net), session_(std::move(session)) {}
+
+  /// Adds a host with its SDS and request broker. `link` shapes traffic
+  /// *into* this host's broker connections.
+  common::Status add_host(const std::string& host,
+                          const net::LinkModel& link = {});
+
+  /// Places a module instance on a host. Returns the instance id
+  /// ("<type>_<n>").
+  common::Result<std::string> add_module(const std::string& host,
+                                         ModulePtr module);
+
+  /// Connects an output port to an input port.
+  common::Status connect_ports(const std::string& from_module,
+                               const std::string& from_port,
+                               const std::string& to_module,
+                               const std::string& to_port);
+
+  /// Sets a module parameter and marks it dirty.
+  common::Status set_param(const std::string& module, const std::string& key,
+                           std::string value);
+
+  common::Result<std::string> get_param(const std::string& module,
+                                        const std::string& key) const;
+
+  /// Marks a module dirty without touching parameters (new upstream data).
+  common::Status mark_dirty(const std::string& module);
+
+  /// Runs every dirty module and everything downstream of it, in
+  /// topological order. Returns the number of modules executed.
+  common::Result<std::size_t> execute();
+
+  /// Latest output object of a port (after execute()).
+  common::Result<DataObjectPtr> output_of(const std::string& module,
+                                          const std::string& port) const;
+
+  /// Aggregated CRB statistics over all hosts.
+  RequestBroker::Stats transfer_stats() const;
+
+  std::vector<std::string> hosts() const;
+  std::vector<std::string> modules() const;
+  const std::string& session() const noexcept { return session_; }
+
+ private:
+  struct HostRuntime {
+    std::shared_ptr<SharedDataSpace> sds;
+    std::unique_ptr<RequestBroker> crb;
+  };
+
+  struct ModuleEntry {
+    std::string host;
+    ModulePtr module;
+    std::map<std::string, std::string> params;
+    std::map<std::string, std::string> outputs;  // port -> object name
+    bool dirty = true;
+  };
+
+  struct Connection {
+    std::string from_module, from_port, to_module, to_port;
+  };
+
+  common::Result<std::vector<std::string>> topological_order() const;
+
+  net::InProcNetwork& net_;
+  std::string session_;
+  std::map<std::string, HostRuntime> hosts_;
+  std::map<std::string, ModuleEntry> modules_;
+  std::vector<Connection> connections_;
+  std::map<std::string, int> type_counts_;
+};
+
+}  // namespace cs::covise

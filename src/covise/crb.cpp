@@ -1,0 +1,166 @@
+#include "covise/crb.hpp"
+
+#include "common/strings.hpp"
+#include "wire/message.hpp"
+
+namespace cs::covise {
+
+using common::Bytes;
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+constexpr std::uint32_t kTagGet = 0xc0b1;
+constexpr std::uint32_t kTagObject = 0xc0b2;
+constexpr std::uint32_t kTagMiss = 0xc0b3;
+}  // namespace
+
+Result<std::unique_ptr<RequestBroker>> RequestBroker::start(
+    net::InProcNetwork& net, std::shared_ptr<SharedDataSpace> sds,
+    const std::string& session, const net::LinkModel& link) {
+  if (!sds) return Status{StatusCode::kInvalidArgument, "null SDS"};
+  auto listener = net.listen("crb/" + session + "/" + sds->host());
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<RequestBroker> broker{new RequestBroker};
+  broker->net_ = &net;
+  broker->session_ = session;
+  broker->link_ = link;
+  broker->sds_ = std::move(sds);
+  broker->listener_ = std::move(listener).value();
+  RequestBroker* self = broker.get();
+  broker->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->serve_loop(st); });
+  return broker;
+}
+
+RequestBroker::~RequestBroker() { stop(); }
+
+void RequestBroker::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  if (listener_) listener_->close();
+  std::vector<std::jthread> threads;
+  {
+    std::scoped_lock lock(mutex_);
+    threads = std::move(connection_threads_);
+    for (auto& [host, conn] : peers_) conn->close();
+    peers_.clear();
+  }
+  for (auto& t : threads) {
+    t.request_stop();
+    if (t.joinable()) t.join();
+  }
+}
+
+void RequestBroker::serve_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    net::ConnectionPtr c = std::move(conn).value();
+    connection_threads_.emplace_back(
+        [this, c](std::stop_token cst) { serve_connection(cst, c); });
+  }
+}
+
+void RequestBroker::serve_connection(const std::stop_token& st,
+                                     net::ConnectionPtr conn) {
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok() || m.value().header.tag != kTagGet) continue;
+    auto name = wire::extract_string(m.value());
+    if (!name.is_ok()) continue;
+    auto object = sds_->get(name.value());
+    wire::Message reply;
+    if (object.is_ok()) {
+      const Bytes encoded = object.value()->encode();
+      reply = wire::make_data_message(kTagObject, encoded.data(),
+                                      encoded.size());
+      std::scoped_lock lock(mutex_);
+      ++stats_.objects_served;
+      stats_.bytes_sent += encoded.size();
+    } else {
+      reply = wire::make_control_message(kTagMiss, name.value());
+    }
+    if (!conn->send(reply.encode(), Deadline::after(std::chrono::seconds(5)))
+             .is_ok()) {
+      return;
+    }
+  }
+}
+
+Result<net::ConnectionPtr> RequestBroker::peer_connection(
+    const std::string& host, Deadline deadline) {
+  std::scoped_lock lock(mutex_);
+  auto it = peers_.find(host);
+  if (it != peers_.end() && it->second->is_open()) return it->second;
+  net::ConnectOptions options;
+  options.link = link_;
+  auto conn =
+      net_->connect("crb/" + session_ + "/" + host, deadline, options);
+  if (!conn.is_ok()) return conn.status();
+  peers_[host] = conn.value();
+  return std::move(conn).value();
+}
+
+Result<DataObjectPtr> RequestBroker::resolve(const std::string& object_name,
+                                             Deadline deadline) {
+  if (auto local = sds_->get(object_name); local.is_ok()) {
+    std::scoped_lock lock(mutex_);
+    ++stats_.local_hits;
+    return local;
+  }
+  // Owner host is the leading name component ("host/module/port/serial").
+  const auto slash = object_name.find('/');
+  if (slash == std::string::npos) {
+    return Status{StatusCode::kNotFound,
+                  "unresolvable object name: " + object_name};
+  }
+  const std::string host = object_name.substr(0, slash);
+  auto conn = peer_connection(host, deadline);
+  if (!conn.is_ok()) return conn.status();
+
+  const auto request = wire::make_control_message(kTagGet, object_name);
+  if (Status s = conn.value()->send(request.encode(), deadline); !s.is_ok()) {
+    return s;
+  }
+  auto raw = conn.value()->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  auto m = wire::Message::decode(raw.value());
+  if (!m.is_ok()) return m.status();
+  if (m.value().header.tag == kTagMiss) {
+    return Status{StatusCode::kNotFound,
+                  "remote host has no object " + object_name};
+  }
+  if (m.value().header.tag != kTagObject) {
+    return Status{StatusCode::kProtocolError, "unexpected CRB reply"};
+  }
+  auto object = DataObject::decode(m.value().payload);
+  if (!object.is_ok()) return object.status();
+  auto ptr = std::make_shared<const DataObject>(std::move(object).value());
+  {
+    std::scoped_lock lock(mutex_);
+    ++stats_.objects_fetched;
+    stats_.bytes_received += m.value().payload.size();
+  }
+  (void)sds_->put(ptr);  // cache locally; name collision means already there
+  return DataObjectPtr{ptr};
+}
+
+RequestBroker::Stats RequestBroker::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cs::covise

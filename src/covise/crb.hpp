@@ -1,0 +1,73 @@
+// Request broker — one per participating host.
+//
+// "Request brokers on each participating host take care of data management,
+// efficient data transfer and conversion between different platforms"
+// (paper section 4.5). A broker serves its host's SDS over the network;
+// fetching a remote object caches it in the local SDS so repeated use stays
+// local. Transfer statistics feed experiments E2/E7.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "covise/sds.hpp"
+#include "net/inproc.hpp"
+
+namespace cs::covise {
+
+class RequestBroker {
+ public:
+  struct Stats {
+    std::uint64_t objects_served = 0;
+    std::uint64_t objects_fetched = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t local_hits = 0;  ///< requests satisfied from the local SDS
+  };
+
+  /// Starts a broker serving `sds` at "crb/<session>/<host>".
+  static common::Result<std::unique_ptr<RequestBroker>> start(
+      net::InProcNetwork& net, std::shared_ptr<SharedDataSpace> sds,
+      const std::string& session, const net::LinkModel& link = {});
+
+  ~RequestBroker();
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+  void stop();
+
+  /// Resolves an object: local SDS first, then the owning host's broker
+  /// (the host is the first '/'-separated component of the object name).
+  /// Fetched objects are cached locally.
+  common::Result<DataObjectPtr> resolve(const std::string& object_name,
+                                        common::Deadline deadline);
+
+  std::shared_ptr<SharedDataSpace> sds() const { return sds_; }
+  Stats stats() const;
+
+ private:
+  RequestBroker() = default;
+  void serve_loop(const std::stop_token& st);
+  void serve_connection(const std::stop_token& st, net::ConnectionPtr conn);
+  common::Result<net::ConnectionPtr> peer_connection(
+      const std::string& host, common::Deadline deadline);
+
+  net::InProcNetwork* net_ = nullptr;
+  std::string session_;
+  net::LinkModel link_;
+  std::shared_ptr<SharedDataSpace> sds_;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::string, net::ConnectionPtr> peers_;
+  std::vector<std::jthread> connection_threads_;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cs::covise

@@ -1,0 +1,223 @@
+#include "covise/dataobject.hpp"
+
+#include <cstring>
+
+namespace cs::covise {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+constexpr std::uint8_t kTagNone = 0;
+constexpr std::uint8_t kTagGrid = 1;
+constexpr std::uint8_t kTagGeometry = 2;
+constexpr std::uint8_t kTagImage = 3;
+constexpr std::uint8_t kTagText = 4;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  common::append_uint<std::uint32_t>(out, v, ByteOrder::kBig);
+}
+
+void put_string(Bytes& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_raw(Bytes& out, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+struct Reader {
+  ByteSpan in;
+  bool failed = false;
+
+  std::uint32_t u32() {
+    if (in.size() < 4) {
+      failed = true;
+      return 0;
+    }
+    const auto v = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+    in = in.subspan(4);
+    return v;
+  }
+
+  std::string str() {
+    const auto n = u32();
+    if (failed || in.size() < n) {
+      failed = true;
+      return {};
+    }
+    std::string s{reinterpret_cast<const char*>(in.data()), n};
+    in = in.subspan(n);
+    return s;
+  }
+
+  bool raw(void* out, std::size_t size) {
+    if (in.size() < size) {
+      failed = true;
+      return false;
+    }
+    std::memcpy(out, in.data(), size);
+    in = in.subspan(size);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::size_t DataObject::byte_size() const {
+  std::size_t size = name_.size();
+  if (const auto* g = as<UniformGridData>()) {
+    size += g->values.size() * sizeof(float) + 32;
+  } else if (const auto* m = as<GeometryData>()) {
+    size += m->mesh.byte_size() + 3;
+  } else if (const auto* i = as<ImageData>()) {
+    size += i->image.byte_size();
+  } else if (const auto* t = as<std::string>()) {
+    size += t->size();
+  }
+  for (const auto& [k, v] : attributes_) size += k.size() + v.size();
+  return size;
+}
+
+Bytes DataObject::encode() const {
+  Bytes out;
+  put_string(out, name_);
+  put_u32(out, static_cast<std::uint32_t>(attributes_.size()));
+  for (const auto& [k, v] : attributes_) {
+    put_string(out, k);
+    put_string(out, v);
+  }
+  if (const auto* g = as<UniformGridData>()) {
+    out.push_back(kTagGrid);
+    put_u32(out, static_cast<std::uint32_t>(g->nx));
+    put_u32(out, static_cast<std::uint32_t>(g->ny));
+    put_u32(out, static_cast<std::uint32_t>(g->nz));
+    put_raw(out, &g->origin, sizeof(g->origin));
+    put_raw(out, &g->spacing, sizeof(g->spacing));
+    put_raw(out, g->values.data(), g->values.size() * sizeof(float));
+  } else if (const auto* m = as<GeometryData>()) {
+    out.push_back(kTagGeometry);
+    put_u32(out, static_cast<std::uint32_t>(m->mesh.vertices.size()));
+    put_raw(out, m->mesh.vertices.data(),
+            m->mesh.vertices.size() * sizeof(common::Vec3));
+    put_u32(out, static_cast<std::uint32_t>(m->mesh.triangles.size()));
+    put_raw(out, m->mesh.triangles.data(),
+            m->mesh.triangles.size() * sizeof(viz::Triangle));
+    out.push_back(m->color.r);
+    out.push_back(m->color.g);
+    out.push_back(m->color.b);
+  } else if (const auto* i = as<ImageData>()) {
+    out.push_back(kTagImage);
+    put_u32(out, static_cast<std::uint32_t>(i->image.width()));
+    put_u32(out, static_cast<std::uint32_t>(i->image.height()));
+    put_raw(out, i->image.pixels().data(), i->image.byte_size());
+  } else if (const auto* t = as<std::string>()) {
+    out.push_back(kTagText);
+    put_string(out, *t);
+  } else {
+    out.push_back(kTagNone);
+  }
+  return out;
+}
+
+Result<DataObject> DataObject::decode(ByteSpan data) {
+  Reader r{data};
+  DataObject obj;
+  obj.name_ = r.str();
+  const auto nattrs = r.u32();
+  for (std::uint32_t i = 0; i < nattrs && !r.failed; ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    if (!r.failed) obj.attributes_[std::move(k)] = std::move(v);
+  }
+  if (r.failed || r.in.empty()) {
+    return Status{StatusCode::kProtocolError, "data object truncated"};
+  }
+  const std::uint8_t tag = r.in[0];
+  r.in = r.in.subspan(1);
+  switch (tag) {
+    case kTagNone:
+      obj.payload_ = std::monostate{};
+      break;
+    case kTagGrid: {
+      UniformGridData g;
+      g.nx = static_cast<int>(r.u32());
+      g.ny = static_cast<int>(r.u32());
+      g.nz = static_cast<int>(r.u32());
+      if (!r.raw(&g.origin, sizeof(g.origin))) break;
+      if (!r.raw(&g.spacing, sizeof(g.spacing))) break;
+      if (g.nx < 0 || g.ny < 0 || g.nz < 0 ||
+          static_cast<std::size_t>(g.nx) * static_cast<std::size_t>(g.ny) *
+                  static_cast<std::size_t>(g.nz) * sizeof(float) >
+              r.in.size()) {
+        r.failed = true;
+        break;
+      }
+      g.values.resize(static_cast<std::size_t>(g.nx) *
+                      static_cast<std::size_t>(g.ny) *
+                      static_cast<std::size_t>(g.nz));
+      r.raw(g.values.data(), g.values.size() * sizeof(float));
+      obj.payload_ = std::move(g);
+      break;
+    }
+    case kTagGeometry: {
+      GeometryData m;
+      const auto nv = r.u32();
+      if (r.failed || nv * sizeof(common::Vec3) > r.in.size()) {
+        r.failed = true;
+        break;
+      }
+      m.mesh.vertices.resize(nv);
+      r.raw(m.mesh.vertices.data(), nv * sizeof(common::Vec3));
+      const auto nt = r.u32();
+      if (r.failed || nt * sizeof(viz::Triangle) > r.in.size()) {
+        r.failed = true;
+        break;
+      }
+      m.mesh.triangles.resize(nt);
+      r.raw(m.mesh.triangles.data(), nt * sizeof(viz::Triangle));
+      std::uint8_t rgb[3];
+      if (r.raw(rgb, 3)) m.color = viz::Color{rgb[0], rgb[1], rgb[2]};
+      for (const auto& t : m.mesh.triangles) {
+        if (t.a >= nv || t.b >= nv || t.c >= nv) {
+          r.failed = true;
+          break;
+        }
+      }
+      obj.payload_ = std::move(m);
+      break;
+    }
+    case kTagImage: {
+      const auto w = r.u32();
+      const auto h = r.u32();
+      if (r.failed || w > 16384 || h > 16384 ||
+          static_cast<std::size_t>(w) * h * 3 > r.in.size()) {
+        r.failed = true;
+        break;
+      }
+      ImageData img{viz::Image(static_cast<int>(w), static_cast<int>(h))};
+      r.raw(img.image.pixels().data(), img.image.byte_size());
+      obj.payload_ = std::move(img);
+      break;
+    }
+    case kTagText: {
+      obj.payload_ = r.str();
+      break;
+    }
+    default:
+      return Status{StatusCode::kProtocolError, "unknown payload tag"};
+  }
+  if (r.failed) {
+    return Status{StatusCode::kProtocolError, "data object truncated"};
+  }
+  return obj;
+}
+
+}  // namespace cs::covise

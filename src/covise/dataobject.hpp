@@ -1,0 +1,95 @@
+// COVISE-style data objects.
+//
+// "COVISE, in contrast to other visualization systems, uses the notion of
+// data objects instead of relying on a pure data flow paradigm. The
+// underlying data management takes care of assigning system-wide unique
+// names to data generated during a session in the shared data spaces."
+// (paper section 4.5). A DataObject is immutable once published: modules
+// share it by shared_ptr inside one host (the shared-memory SDS) and by
+// CRB transfer between hosts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/vec3.hpp"
+#include "viz/image.hpp"
+#include "viz/mesh.hpp"
+
+namespace cs::covise {
+
+/// Scalar values on a uniform grid ("grids on which dependent data is
+/// defined" — here grid + data in one object for brevity).
+struct UniformGridData {
+  int nx = 0, ny = 0, nz = 0;
+  common::Vec3 origin{0, 0, 0};
+  double spacing = 1.0;
+  std::vector<float> values;  ///< size nx*ny*nz, x-fastest
+
+  viz::ScalarField field() const noexcept {
+    return viz::ScalarField{nx, ny, nz, values, origin, spacing};
+  }
+};
+
+/// Renderable geometry produced by post-processing modules.
+struct GeometryData {
+  viz::TriangleMesh mesh;
+  viz::Color color{200, 200, 200};
+};
+
+/// Rendered frame produced by a renderer module (sink output).
+struct ImageData {
+  viz::Image image;
+};
+
+using Payload =
+    std::variant<std::monostate, UniformGridData, GeometryData, ImageData,
+                 std::string>;
+
+class DataObject {
+ public:
+  DataObject() = default;
+  DataObject(std::string name, Payload payload)
+      : name_(std::move(name)), payload_(std::move(payload)) {}
+
+  /// System-wide unique name, e.g. "session1/IsoSurface_2/geometry/7".
+  const std::string& name() const noexcept { return name_; }
+
+  const Payload& payload() const noexcept { return payload_; }
+
+  template <typename T>
+  const T* as() const noexcept {
+    return std::get_if<T>(&payload_);
+  }
+
+  /// Named attributes ("data objects have attributes such as names and
+  /// lifetime"); COLOR, PART, TIMESTEP and friends in real COVISE.
+  void set_attribute(const std::string& key, std::string value) {
+    attributes_[key] = std::move(value);
+  }
+  const std::map<std::string, std::string>& attributes() const noexcept {
+    return attributes_;
+  }
+
+  /// Approximate in-memory size (CRB accounting).
+  std::size_t byte_size() const;
+
+  /// Wire form for CRB transfer between hosts.
+  common::Bytes encode() const;
+  static common::Result<DataObject> decode(common::ByteSpan data);
+
+ private:
+  std::string name_;
+  Payload payload_;
+  std::map<std::string, std::string> attributes_;
+};
+
+using DataObjectPtr = std::shared_ptr<const DataObject>;
+
+}  // namespace cs::covise

@@ -1,0 +1,90 @@
+// Module base class — the unit of COVISE's visual-programming pipelines.
+//
+// "Distributed applications can be built by combining modules (modeled as
+// processes) from different application categories on different hosts to
+// form module networks." (paper section 4.5). A module declares input and
+// output ports and parameters; the Controller decides when compute() runs
+// and on which host's data it operates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "covise/dataobject.hpp"
+
+namespace cs::covise {
+
+/// Everything a module sees during one compute() call.
+class ModuleContext {
+ public:
+  ModuleContext(std::map<std::string, DataObjectPtr> inputs,
+                const std::map<std::string, std::string>* params)
+      : inputs_(std::move(inputs)), params_(params) {}
+
+  /// Connected input object, or kUnavailable when the port is unconnected.
+  common::Result<DataObjectPtr> input(const std::string& port) const {
+    auto it = inputs_.find(port);
+    if (it == inputs_.end() || !it->second) {
+      return common::Status{common::StatusCode::kUnavailable,
+                            "port not connected: " + port};
+    }
+    return it->second;
+  }
+
+  /// Publishes the payload on an output port (named by the controller).
+  void set_output(const std::string& port, Payload payload) {
+    outputs_[port] = std::move(payload);
+  }
+
+  std::string param(const std::string& key,
+                    const std::string& fallback = {}) const {
+    auto it = params_->find(key);
+    return it == params_->end() ? fallback : it->second;
+  }
+
+  double param_double(const std::string& key, double fallback) const;
+  int param_int(const std::string& key, int fallback) const;
+
+  std::map<std::string, Payload>& outputs() noexcept { return outputs_; }
+
+ private:
+  std::map<std::string, DataObjectPtr> inputs_;
+  const std::map<std::string, std::string>* params_;
+  std::map<std::string, Payload> outputs_;
+};
+
+class Module {
+ public:
+  explicit Module(std::string type_name) : type_name_(std::move(type_name)) {}
+  virtual ~Module() = default;
+
+  const std::string& type_name() const noexcept { return type_name_; }
+  const std::vector<std::string>& input_ports() const noexcept {
+    return input_ports_;
+  }
+  const std::vector<std::string>& output_ports() const noexcept {
+    return output_ports_;
+  }
+
+  /// Runs the module's computation. Inputs were resolved by the controller
+  /// (via SDS/CRB); outputs land in ctx.outputs().
+  virtual common::Status compute(ModuleContext& ctx) = 0;
+
+ protected:
+  void add_input(std::string port) { input_ports_.push_back(std::move(port)); }
+  void add_output(std::string port) {
+    output_ports_.push_back(std::move(port));
+  }
+
+ private:
+  std::string type_name_;
+  std::vector<std::string> input_ports_;
+  std::vector<std::string> output_ports_;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace cs::covise

@@ -1,0 +1,143 @@
+#include "covise/modules.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace cs::covise {
+
+using common::Status;
+using common::StatusCode;
+
+double ModuleContext::param_double(const std::string& key,
+                                   double fallback) const {
+  auto it = params_->find(key);
+  if (it == params_->end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : v;
+}
+
+int ModuleContext::param_int(const std::string& key, int fallback) const {
+  auto it = params_->find(key);
+  if (it == params_->end()) return fallback;
+  int v = fallback;
+  const auto& s = it->second;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+Status FieldSourceModule::compute(ModuleContext& ctx) {
+  if (!generator_) {
+    return Status{StatusCode::kUnavailable, "no generator bound"};
+  }
+  ctx.set_output("field", generator_(ctx.param_double("time", 0.0)));
+  return Status::ok();
+}
+
+Status IsoSurfaceModule::compute(ModuleContext& ctx) {
+  auto input = ctx.input("field");
+  if (!input.is_ok()) return input.status();
+  const auto* grid = input.value()->as<UniformGridData>();
+  if (grid == nullptr) {
+    return Status{StatusCode::kInvalidArgument, "input is not a grid"};
+  }
+  GeometryData geometry;
+  geometry.mesh = viz::extract_isosurface(
+      grid->field(), static_cast<float>(ctx.param_double("isovalue", 0.0)));
+  geometry.color = viz::Color{
+      static_cast<std::uint8_t>(ctx.param_int("r", 80)),
+      static_cast<std::uint8_t>(ctx.param_int("g", 170)),
+      static_cast<std::uint8_t>(ctx.param_int("b", 255))};
+  ctx.set_output("geometry", std::move(geometry));
+  return Status::ok();
+}
+
+Status CuttingPlaneModule::compute(ModuleContext& ctx) {
+  auto input = ctx.input("field");
+  if (!input.is_ok()) return input.status();
+  const auto* grid = input.value()->as<UniformGridData>();
+  if (grid == nullptr) {
+    return Status{StatusCode::kInvalidArgument, "input is not a grid"};
+  }
+  const int axis = std::clamp(ctx.param_int("axis", 2), 0, 2);
+  const double position = std::clamp(ctx.param_double("position", 0.5), 0.0, 1.0);
+  const auto field = grid->field();
+
+  // Dimensions of the slice plane (u, v) and the fixed slice index.
+  const int dims[3] = {grid->nx, grid->ny, grid->nz};
+  const int u_axis = (axis + 1) % 3;
+  const int v_axis = (axis + 2) % 3;
+  const int nu = dims[u_axis];
+  const int nv = dims[v_axis];
+  const int slice = std::min<int>(
+      dims[axis] - 1, static_cast<int>(position * (dims[axis] - 1)));
+  if (nu < 2 || nv < 2 || dims[axis] < 1) {
+    return Status{StatusCode::kInvalidArgument, "field too small to slice"};
+  }
+
+  GeometryData geometry;
+  geometry.color = viz::Color{
+      static_cast<std::uint8_t>(ctx.param_int("r", 255)),
+      static_cast<std::uint8_t>(ctx.param_int("g", 180)),
+      static_cast<std::uint8_t>(ctx.param_int("b", 60))};
+  auto& mesh = geometry.mesh;
+  mesh.vertices.reserve(static_cast<std::size_t>(nu) * nv);
+  const auto vertex_at = [&](int u, int v) {
+    int idx[3];
+    idx[axis] = slice;
+    idx[u_axis] = u;
+    idx[v_axis] = v;
+    common::Vec3 p = field.world(idx[0], idx[1], idx[2]);
+    // Displace along the slice normal by the field value: the slice carries
+    // the data, and its triangle count scales with resolution.
+    const double h = field.at(idx[0], idx[1], idx[2]) * 0.2 * field.spacing;
+    if (axis == 0) p.x += h;
+    else if (axis == 1) p.y += h;
+    else p.z += h;
+    return p;
+  };
+  for (int v = 0; v < nv; ++v) {
+    for (int u = 0; u < nu; ++u) {
+      mesh.vertices.push_back(vertex_at(u, v));
+    }
+  }
+  const auto vid = [&](int u, int v) {
+    return static_cast<std::uint32_t>(v * nu + u);
+  };
+  for (int v = 0; v + 1 < nv; ++v) {
+    for (int u = 0; u + 1 < nu; ++u) {
+      mesh.triangles.push_back({vid(u, v), vid(u + 1, v), vid(u + 1, v + 1)});
+      mesh.triangles.push_back({vid(u, v), vid(u + 1, v + 1), vid(u, v + 1)});
+    }
+  }
+  ctx.set_output("geometry", std::move(geometry));
+  return Status::ok();
+}
+
+Status RendererModule::compute(ModuleContext& ctx) {
+  const int width = std::clamp(ctx.param_int("width", 320), 8, 4096);
+  const int height = std::clamp(ctx.param_int("height", 240), 8, 4096);
+  viz::Camera camera;
+  const std::string cam_text = ctx.param("camera");
+  if (!cam_text.empty()) {
+    auto parsed = viz::Camera::parse(cam_text);
+    if (!parsed.is_ok()) return parsed.status();
+    camera = parsed.value();
+  }
+  viz::Renderer renderer(width, height);
+  renderer.clear();
+  for (const auto& port : input_ports()) {
+    auto input = ctx.input(port);
+    if (!input.is_ok()) continue;  // unconnected geometry slots are fine
+    const auto* geometry = input.value()->as<GeometryData>();
+    if (geometry == nullptr) {
+      return Status{StatusCode::kInvalidArgument,
+                    port + " is not geometry"};
+    }
+    renderer.draw_mesh(geometry->mesh, camera, geometry->color);
+  }
+  ctx.set_output("image", ImageData{renderer.frame()});
+  return Status::ok();
+}
+
+}  // namespace cs::covise

@@ -1,0 +1,73 @@
+// Standard module library: the application categories of a COVISE map —
+// a data source, post-processing filters (isosurface, cutting plane), and
+// the renderer sink.
+#pragma once
+
+#include <functional>
+
+#include "covise/module.hpp"
+#include "viz/camera.hpp"
+#include "viz/isosurface.hpp"
+#include "viz/render.hpp"
+
+namespace cs::covise {
+
+/// Produces a scalar field from a generator, e.g. a coupled simulation's
+/// current sample ("ReadSim"). Parameter: "time" (passed to the generator).
+class FieldSourceModule : public Module {
+ public:
+  using Generator = std::function<UniformGridData(double time)>;
+
+  explicit FieldSourceModule(Generator generator)
+      : Module("FieldSource"), generator_(std::move(generator)) {
+    add_output("field");
+  }
+
+  common::Status compute(ModuleContext& ctx) override;
+
+ private:
+  Generator generator_;
+};
+
+/// Extracts an isosurface. Parameters: "isovalue" (default 0),
+/// "r","g","b" (surface color).
+class IsoSurfaceModule : public Module {
+ public:
+  IsoSurfaceModule() : Module("IsoSurface") {
+    add_input("field");
+    add_output("geometry");
+  }
+
+  common::Status compute(ModuleContext& ctx) override;
+};
+
+/// Extracts an axis-aligned cutting plane as a per-cell quad mesh whose
+/// vertices are displaced by the field value (so geometry volume scales
+/// with grid resolution, as a real colored slice's would).
+/// Parameters: "axis" (0|1|2), "position" (fraction in [0,1]), "r","g","b".
+class CuttingPlaneModule : public Module {
+ public:
+  CuttingPlaneModule() : Module("CuttingPlane") {
+    add_input("field");
+    add_output("geometry");
+  }
+
+  common::Status compute(ModuleContext& ctx) override;
+};
+
+/// Renders connected geometry into an image — the end of the pipeline.
+/// Parameters: "camera" (serialized viz::Camera), "width", "height".
+class RendererModule : public Module {
+ public:
+  /// `geometry_inputs`: number of geometry input ports ("geometry0"...).
+  explicit RendererModule(int geometry_inputs = 1) : Module("Renderer") {
+    for (int i = 0; i < geometry_inputs; ++i) {
+      add_input("geometry" + std::to_string(i));
+    }
+    add_output("image");
+  }
+
+  common::Status compute(ModuleContext& ctx) override;
+};
+
+}  // namespace cs::covise

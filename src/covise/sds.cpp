@@ -1,0 +1,73 @@
+#include "covise/sds.hpp"
+
+#include "common/strings.hpp"
+
+namespace cs::covise {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+std::string SharedDataSpace::unique_name(const std::string& module,
+                                         const std::string& port) {
+  return host_ + "/" + module + "/" + port + "/" +
+         std::to_string(serial_.fetch_add(1));
+}
+
+Status SharedDataSpace::put(DataObjectPtr object) {
+  if (!object || object->name().empty()) {
+    return Status{StatusCode::kInvalidArgument, "object without a name"};
+  }
+  std::scoped_lock lock(mutex_);
+  auto [it, inserted] = objects_.emplace(object->name(), std::move(object));
+  if (!inserted) {
+    return Status{StatusCode::kAlreadyExists,
+                  "object name in use: " + it->first};
+  }
+  return Status::ok();
+}
+
+Result<DataObjectPtr> SharedDataSpace::get(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Status{StatusCode::kNotFound, "no object named " + name};
+  }
+  return it->second;
+}
+
+Status SharedDataSpace::remove(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  if (objects_.erase(name) == 0) {
+    return Status{StatusCode::kNotFound, "no object named " + name};
+  }
+  return Status::ok();
+}
+
+std::size_t SharedDataSpace::remove_prefix(const std::string& prefix) {
+  std::scoped_lock lock(mutex_);
+  std::size_t removed = 0;
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (common::starts_with(it->first, prefix)) {
+      it = objects_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t SharedDataSpace::size() const {
+  std::scoped_lock lock(mutex_);
+  return objects_.size();
+}
+
+std::size_t SharedDataSpace::total_bytes() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, obj] : objects_) total += obj->byte_size();
+  return total;
+}
+
+}  // namespace cs::covise

@@ -1,0 +1,55 @@
+// Shared data space — one per host.
+//
+// "The shared data space (SDS) is used on a single host for the exchange of
+// data objects between the locally running modules to minimize copying
+// overhead. On most platforms this is realized as shared memory
+// communication." (paper section 4.5). In-process, shared_ptr aliasing *is*
+// zero-copy sharing; the tests assert that local module-to-module handoff
+// moves no payload bytes.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "covise/dataobject.hpp"
+
+namespace cs::covise {
+
+class SharedDataSpace {
+ public:
+  explicit SharedDataSpace(std::string host) : host_(std::move(host)) {}
+
+  const std::string& host() const noexcept { return host_; }
+
+  /// Generates a system-wide unique object name.
+  std::string unique_name(const std::string& module,
+                          const std::string& port);
+
+  /// Publishes an object (immutable from now on). kAlreadyExists on
+  /// name collision.
+  common::Status put(DataObjectPtr object);
+
+  /// kNotFound when absent.
+  common::Result<DataObjectPtr> get(const std::string& name) const;
+
+  common::Status remove(const std::string& name);
+
+  /// Drops every object whose name starts with `prefix` (end-of-lifetime
+  /// cleanup for a module's old outputs). Returns the count removed.
+  std::size_t remove_prefix(const std::string& prefix);
+
+  std::size_t size() const;
+  std::size_t total_bytes() const;
+
+ private:
+  std::string host_;
+  mutable std::mutex mutex_;
+  std::map<std::string, DataObjectPtr> objects_;
+  std::atomic<std::uint64_t> serial_{0};
+};
+
+}  // namespace cs::covise

@@ -1,0 +1,408 @@
+#include "net/inproc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cs::net {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// Mailbox: one direction of a connection (or one member's multicast inbox).
+// ---------------------------------------------------------------------------
+
+struct Mailbox {
+  explicit Mailbox(std::size_t capacity, LinkModel link, std::uint64_t seed)
+      : capacity_bytes(capacity), scheduler(link, seed) {}
+
+  struct Item {
+    common::TimePoint deliver_at;
+    Bytes payload;
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  std::size_t queued_bytes = 0;
+  const std::size_t capacity_bytes;
+  bool closed = false;
+  LinkScheduler scheduler;
+
+  /// Sender side: applies backpressure, the link model, then enqueues.
+  Status push(ByteSpan message, Deadline deadline) {
+    std::unique_lock lock(mutex);
+    const auto fits = [&] {
+      return closed || queued_bytes + message.size() <= capacity_bytes;
+    };
+    if (!fits()) {
+      if (deadline.is_infinite()) {
+        cv.wait(lock, fits);
+      } else if (!cv.wait_until(lock, deadline.time_point(), fits)) {
+        return Status{StatusCode::kTimeout, "receive window full"};
+      }
+    }
+    if (closed) return Status{StatusCode::kClosed, "mailbox closed"};
+    common::TimePoint deliver_at;
+    if (!scheduler.schedule(message.size(), deliver_at)) {
+      return Status::ok();  // dropped by the link model: fire-and-forget
+    }
+    queued_bytes += message.size();
+    queue.push_back(Item{deliver_at, Bytes{message.begin(), message.end()}});
+    cv.notify_all();
+    return Status::ok();
+  }
+
+  /// Receiver side: waits for the head message to exist *and* to have
+  /// traversed the modelled link.
+  Result<Bytes> pop(Deadline deadline) {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      if (!queue.empty()) {
+        const auto ready_at = queue.front().deliver_at;
+        const auto now = common::Clock::now();
+        if (now >= ready_at) {
+          Bytes payload = std::move(queue.front().payload);
+          queued_bytes -= payload.size();
+          queue.pop_front();
+          cv.notify_all();
+          return payload;
+        }
+        // Head-of-line message still "in flight": wait for its arrival or
+        // the caller's deadline, whichever is first.
+        if (!deadline.is_infinite() && deadline.time_point() <= now) {
+          return Status{StatusCode::kTimeout, "no message before deadline"};
+        }
+        const auto wake = deadline.is_infinite()
+                              ? ready_at
+                              : std::min(ready_at, deadline.time_point());
+        cv.wait_until(lock, wake);
+        continue;
+      }
+      if (closed) return Status{StatusCode::kClosed, "peer closed"};
+      if (deadline.is_infinite()) {
+        cv.wait(lock);
+      } else if (cv.wait_until(lock, deadline.time_point()) ==
+                     std::cv_status::timeout &&
+                 queue.empty() && !closed) {
+        return Status{StatusCode::kTimeout, "no message before deadline"};
+      }
+    }
+  }
+
+  void close() {
+    std::scoped_lock lock(mutex);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// InProcConnection
+// ---------------------------------------------------------------------------
+
+class InProcConnection : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<Mailbox> rx, std::shared_ptr<Mailbox> tx,
+                   std::string peer)
+      : rx_(std::move(rx)), tx_(std::move(tx)), peer_(std::move(peer)) {}
+
+  ~InProcConnection() override { close(); }
+
+  Status send(ByteSpan message, Deadline deadline) override {
+    if (!open_.load(std::memory_order_acquire)) {
+      return Status{StatusCode::kClosed, "connection closed"};
+    }
+    Status s = tx_->push(message, deadline);
+    if (s.is_ok()) {
+      messages_sent_.fetch_add(1, std::memory_order_relaxed);
+      bytes_sent_.fetch_add(message.size(), std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  Result<Bytes> recv(Deadline deadline) override {
+    Result<Bytes> r = rx_->pop(deadline);
+    if (r.is_ok()) {
+      messages_received_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(r.value().size(), std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+  void close() override {
+    if (open_.exchange(false, std::memory_order_acq_rel)) {
+      rx_->close();
+      tx_->close();
+    }
+  }
+
+  bool is_open() const override { return open_.load(std::memory_order_acquire); }
+
+  std::string peer_address() const override { return peer_; }
+
+  ConnStats stats() const override {
+    return ConnStats{messages_sent_.load(), bytes_sent_.load(),
+                     messages_received_.load(), bytes_received_.load()};
+  }
+
+ private:
+  std::shared_ptr<Mailbox> rx_;
+  std::shared_ptr<Mailbox> tx_;
+  std::string peer_;
+  std::atomic<bool> open_{true};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+// ---------------------------------------------------------------------------
+// InProcListener
+// ---------------------------------------------------------------------------
+
+class InProcListener : public Listener {
+ public:
+  InProcListener(InProcNetwork* net, std::string address)
+      : net_(net), address_(std::move(address)) {}
+
+  ~InProcListener() override { close(); }
+
+  Result<ConnectionPtr> accept(Deadline deadline) override {
+    std::unique_lock lock(mutex_);
+    const auto ready = [&] { return closed_ || !backlog_.empty(); };
+    if (!ready()) {
+      if (deadline.is_infinite()) {
+        cv_.wait(lock, ready);
+      } else if (!cv_.wait_until(lock, deadline.time_point(), ready)) {
+        return Status{StatusCode::kTimeout, "no inbound connection"};
+      }
+    }
+    if (!backlog_.empty()) {
+      ConnectionPtr conn = std::move(backlog_.front());
+      backlog_.pop_front();
+      cv_.notify_all();
+      return conn;
+    }
+    return Status{StatusCode::kClosed, "listener closed"};
+  }
+
+  void close() override {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      for (auto& conn : backlog_) conn->close();
+      backlog_.clear();
+      cv_.notify_all();
+    }
+    net_->unregister_listener(address_);
+  }
+
+  std::string address() const override { return address_; }
+
+  /// Called by InProcNetwork::connect with the server-side endpoint.
+  Status offer(ConnectionPtr server_side, Deadline deadline) {
+    std::unique_lock lock(mutex_);
+    constexpr std::size_t kBacklogLimit = 128;
+    const auto has_room = [&] {
+      return closed_ || backlog_.size() < kBacklogLimit;
+    };
+    if (!has_room()) {
+      if (deadline.is_infinite()) {
+        cv_.wait(lock, has_room);
+      } else if (!cv_.wait_until(lock, deadline.time_point(), has_room)) {
+        return Status{StatusCode::kTimeout, "listener backlog full"};
+      }
+    }
+    if (closed_) return Status{StatusCode::kClosed, "listener closed"};
+    backlog_.push_back(std::move(server_side));
+    cv_.notify_all();
+    return Status::ok();
+  }
+
+ private:
+  InProcNetwork* net_;
+  std::string address_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ConnectionPtr> backlog_;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Multicast
+// ---------------------------------------------------------------------------
+
+struct MulticastMember {
+  std::uint64_t id;
+  std::shared_ptr<Mailbox> inbox;
+};
+
+struct MulticastGroupState {
+  std::mutex mutex;
+  std::vector<MulticastMember> members;
+  std::atomic<std::uint64_t> next_member_id{1};
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// MulticastSocket
+// ---------------------------------------------------------------------------
+
+MulticastSocket::MulticastSocket(
+    std::string group, std::shared_ptr<detail::MulticastGroupState> state,
+    std::uint64_t member_id)
+    : group_(std::move(group)), state_(std::move(state)), member_id_(member_id) {}
+
+MulticastSocket::~MulticastSocket() { leave(); }
+
+Status MulticastSocket::send(ByteSpan message, Deadline deadline) {
+  if (!state_) return Status{StatusCode::kClosed, "socket left the group"};
+  std::vector<std::shared_ptr<detail::Mailbox>> targets;
+  {
+    std::scoped_lock lock(state_->mutex);
+    targets.reserve(state_->members.size());
+    for (const auto& m : state_->members) {
+      if (m.id != member_id_) targets.push_back(m.inbox);
+    }
+  }
+  // Best-effort fan-out, UDP-multicast style: a full/slow member does not
+  // block the others (the paper's passive viewers must never stall the
+  // steerer). A member whose window is full simply misses the message.
+  for (auto& inbox : targets) {
+    (void)inbox->push(message, Deadline::expired());
+    (void)deadline;
+  }
+  return Status::ok();
+}
+
+Result<Bytes> MulticastSocket::recv(Deadline deadline) {
+  if (!state_) return Status{StatusCode::kClosed, "socket left the group"};
+  std::shared_ptr<detail::Mailbox> inbox;
+  {
+    std::scoped_lock lock(state_->mutex);
+    for (const auto& m : state_->members) {
+      if (m.id == member_id_) inbox = m.inbox;
+    }
+  }
+  if (!inbox) return Status{StatusCode::kClosed, "socket left the group"};
+  return inbox->pop(deadline);
+}
+
+void MulticastSocket::leave() {
+  if (!state_) return;
+  std::scoped_lock lock(state_->mutex);
+  std::erase_if(state_->members,
+                [&](const auto& m) { return m.id == member_id_; });
+  state_.reset();
+}
+
+bool MulticastSocket::is_member() const noexcept { return state_ != nullptr; }
+
+ConnStats MulticastSocket::stats() const { return {}; }
+
+// ---------------------------------------------------------------------------
+// InProcNetwork
+// ---------------------------------------------------------------------------
+
+InProcNetwork::InProcNetwork() = default;
+InProcNetwork::~InProcNetwork() = default;
+
+Result<ListenerPtr> InProcNetwork::listen(const std::string& address) {
+  std::scoped_lock lock(mutex_);
+  if (listeners_.contains(address)) {
+    return Status{StatusCode::kAlreadyExists, "address in use: " + address};
+  }
+  auto listener = std::make_unique<detail::InProcListener>(this, address);
+  listeners_[address] = listener.get();
+  return ListenerPtr{std::move(listener)};
+}
+
+void InProcNetwork::unregister_listener(const std::string& address) {
+  std::scoped_lock lock(mutex_);
+  listeners_.erase(address);
+}
+
+Result<ConnectionPtr> InProcNetwork::connect(const std::string& address,
+                                             Deadline deadline) {
+  ConnectOptions options;
+  {
+    std::scoped_lock lock(mutex_);
+    options.link = default_link_;
+  }
+  return connect(address, deadline, options);
+}
+
+Result<ConnectionPtr> InProcNetwork::connect(const std::string& address,
+                                             Deadline deadline,
+                                             const ConnectOptions& options) {
+  detail::InProcListener* listener = nullptr;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = listeners_.find(address);
+    if (it == listeners_.end()) {
+      return Status{StatusCode::kNotFound, "no listener at " + address};
+    }
+    listener = it->second;
+  }
+  const std::uint64_t id = next_conn_id_.fetch_add(1);
+  const std::uint64_t seed = jitter_seed_.fetch_add(2);
+  auto client_to_server = std::make_shared<detail::Mailbox>(
+      options.recv_capacity_bytes, options.link, seed);
+  auto server_to_client = std::make_shared<detail::Mailbox>(
+      options.recv_capacity_bytes, options.link, seed + 1);
+  auto client_side = std::make_shared<detail::InProcConnection>(
+      server_to_client, client_to_server, address);
+  auto server_side = std::make_shared<detail::InProcConnection>(
+      client_to_server, server_to_client,
+      address + "#client" + std::to_string(id));
+  Status s = listener->offer(std::move(server_side), deadline);
+  if (!s.is_ok()) return s;
+  return ConnectionPtr{std::move(client_side)};
+}
+
+void InProcNetwork::set_default_link(LinkModel link) {
+  std::scoped_lock lock(mutex_);
+  default_link_ = link;
+}
+
+Result<MulticastSocketPtr> InProcNetwork::join_group(const std::string& group,
+                                                     const LinkModel& link) {
+  std::shared_ptr<detail::MulticastGroupState> state;
+  {
+    std::scoped_lock lock(mutex_);
+    auto& slot = groups_[group];
+    if (!slot) slot = std::make_shared<detail::MulticastGroupState>();
+    state = slot;
+  }
+  const std::uint64_t id = state->next_member_id.fetch_add(1);
+  auto inbox = std::make_shared<detail::Mailbox>(
+      std::size_t{64} << 20, link, jitter_seed_.fetch_add(1));
+  {
+    std::scoped_lock lock(state->mutex);
+    state->members.push_back(detail::MulticastMember{id, std::move(inbox)});
+  }
+  return MulticastSocketPtr{new MulticastSocket(group, state, id)};
+}
+
+std::size_t InProcNetwork::group_size(const std::string& group) const {
+  std::shared_ptr<detail::MulticastGroupState> state;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = groups_.find(group);
+    if (it == groups_.end()) return 0;
+    state = it->second;
+  }
+  std::scoped_lock lock(state->mutex);
+  return state->members.size();
+}
+
+}  // namespace cs::net

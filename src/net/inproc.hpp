@@ -1,0 +1,109 @@
+// In-process network: the deterministic substitute for the paper's WAN.
+//
+// A single InProcNetwork instance is one "universe" of named endpoints.
+// Components (simulation, visualization server, gateway, venue server...)
+// listen on string addresses such as "juelich:visit" and connect to each
+// other exactly as they would over sockets, but every connection carries a
+// LinkModel that injects the latency/bandwidth/jitter/loss of the link being
+// modelled. This is what lets the reaction-time benchmarks (paper sections
+// 4.2-4.4) sweep WAN conditions reproducibly on one machine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/transport.hpp"
+
+namespace cs::net {
+
+/// Per-connection tuning accepted by InProcNetwork::connect().
+struct ConnectOptions {
+  /// Link model applied independently to each direction.
+  LinkModel link = LinkModel::perfect();
+  /// Receive-window size per direction; senders block when it is full.
+  std::size_t recv_capacity_bytes = 64u << 20;
+};
+
+namespace detail {
+struct Mailbox;
+class InProcConnection;
+class InProcListener;
+struct MulticastGroupState;
+}  // namespace detail
+
+/// vic-style multicast endpoint: every send fans out to all other members
+/// of the group, each through that member's own link model.
+class MulticastSocket {
+ public:
+  ~MulticastSocket();
+  MulticastSocket(const MulticastSocket&) = delete;
+  MulticastSocket& operator=(const MulticastSocket&) = delete;
+
+  common::Status send(common::ByteSpan message, common::Deadline deadline);
+  common::Result<common::Bytes> recv(common::Deadline deadline);
+  void leave();
+  bool is_member() const noexcept;
+  ConnStats stats() const;
+  const std::string& group() const noexcept { return group_; }
+
+ private:
+  friend class InProcNetwork;
+  MulticastSocket(std::string group,
+                  std::shared_ptr<detail::MulticastGroupState> state,
+                  std::uint64_t member_id);
+
+  std::string group_;
+  std::shared_ptr<detail::MulticastGroupState> state_;
+  std::uint64_t member_id_;
+};
+
+using MulticastSocketPtr = std::shared_ptr<MulticastSocket>;
+
+/// The in-process Network implementation.
+class InProcNetwork : public Network {
+ public:
+  InProcNetwork();
+  ~InProcNetwork() override;
+
+  common::Result<ListenerPtr> listen(const std::string& address) override;
+
+  common::Result<ConnectionPtr> connect(const std::string& address,
+                                        common::Deadline deadline) override;
+
+  /// connect() with an explicit link model / receive window.
+  common::Result<ConnectionPtr> connect(const std::string& address,
+                                        common::Deadline deadline,
+                                        const ConnectOptions& options);
+
+  /// Link model used by the two-argument connect().
+  void set_default_link(LinkModel link);
+
+  /// Joins a multicast group (created on first join). The link model shapes
+  /// traffic *towards* this member.
+  common::Result<MulticastSocketPtr> join_group(const std::string& group,
+                                                const LinkModel& link = {});
+
+  /// Number of current members of a group (0 when absent).
+  std::size_t group_size(const std::string& group) const;
+
+ private:
+  friend class detail::InProcListener;
+  void unregister_listener(const std::string& address);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, detail::InProcListener*> listeners_;
+  std::map<std::string, std::shared_ptr<detail::MulticastGroupState>> groups_;
+  LinkModel default_link_;
+  std::atomic<std::uint64_t> next_conn_id_{1};
+  std::atomic<std::uint64_t> jitter_seed_{0x51ed270b'9f642a11ULL};
+};
+
+}  // namespace cs::net

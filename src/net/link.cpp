@@ -1,0 +1,60 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace cs::net {
+
+using namespace std::chrono_literals;
+
+LinkModel LinkModel::wan_europe() noexcept {
+  LinkModel m;
+  m.latency = 15ms;
+  m.jitter = 2ms;
+  m.bandwidth_bytes_per_sec = 100ULL * 1000 * 1000 / 8;
+  return m;
+}
+
+LinkModel LinkModel::wan_transatlantic() noexcept {
+  LinkModel m;
+  m.latency = 60ms;
+  m.jitter = 5ms;
+  m.bandwidth_bytes_per_sec = 45ULL * 1000 * 1000 / 8;
+  return m;
+}
+
+LinkModel LinkModel::lan() noexcept {
+  LinkModel m;
+  m.latency = 200us;
+  m.bandwidth_bytes_per_sec = 1000ULL * 1000 * 1000 / 8;
+  return m;
+}
+
+bool LinkScheduler::schedule(std::size_t size, common::TimePoint& deliver_at) {
+  std::scoped_lock lock(mutex_);
+  if (model_.drop_probability > 0.0 &&
+      rng_.next_double() < model_.drop_probability) {
+    return false;
+  }
+  const auto now = common::Clock::now();
+  common::Duration transmit = common::Duration::zero();
+  if (model_.bandwidth_bytes_per_sec > 0) {
+    const double seconds = static_cast<double>(size) /
+                           static_cast<double>(model_.bandwidth_bytes_per_sec);
+    transmit = std::chrono::duration_cast<common::Duration>(
+        std::chrono::duration<double>(seconds));
+  }
+  // The link serializes messages: transmission starts when the link frees up.
+  const auto start = std::max(now, busy_until_);
+  busy_until_ = start + transmit;
+  common::Duration jitter = common::Duration::zero();
+  if (model_.jitter > common::Duration::zero()) {
+    jitter = std::chrono::duration_cast<common::Duration>(
+        std::chrono::duration<double>(
+            rng_.next_double() *
+            std::chrono::duration<double>(model_.jitter).count()));
+  }
+  deliver_at = busy_until_ + model_.latency + jitter;
+  return true;
+}
+
+}  // namespace cs::net

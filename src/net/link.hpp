@@ -1,0 +1,65 @@
+// Link model: injects WAN behaviour (latency, bandwidth, jitter, loss) into
+// the in-process transport.
+//
+// The paper's latency-budget arguments (sections 4.2-4.4) are about what a
+// feedback loop observes over real wide-area links (SuperJanet, G-WiN).
+// Reproducing them requires dialing in those link properties; this model is
+// the substitution documented in DESIGN.md section 1.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace cs::net {
+
+/// Static description of one direction of a link.
+struct LinkModel {
+  /// One-way propagation delay added to every message.
+  common::Duration latency = common::Duration::zero();
+  /// Uniform jitter in [0, jitter] added on top of latency.
+  common::Duration jitter = common::Duration::zero();
+  /// Serialization rate; 0 means infinite (no transmission delay).
+  std::uint64_t bandwidth_bytes_per_sec = 0;
+  /// Probability in [0,1] that a message is silently dropped.
+  double drop_probability = 0.0;
+
+  /// A perfect link (defaults): zero latency, infinite bandwidth, no loss.
+  static LinkModel perfect() noexcept { return {}; }
+
+  /// Typical 2003-era trans-European research link as used in the paper's
+  /// demos: ~15 ms one-way, ~100 Mbit/s.
+  static LinkModel wan_europe() noexcept;
+
+  /// Transatlantic link: ~60 ms one-way, ~45 Mbit/s.
+  static LinkModel wan_transatlantic() noexcept;
+
+  /// Campus LAN: 0.2 ms, 1 Gbit/s.
+  static LinkModel lan() noexcept;
+};
+
+/// Per-direction scheduler that turns a LinkModel into delivery timestamps.
+///
+/// Thread-safe: multiple senders may share one direction.
+class LinkScheduler {
+ public:
+  explicit LinkScheduler(LinkModel model, std::uint64_t jitter_seed = 1) noexcept
+      : model_(model), rng_(jitter_seed) {}
+
+  /// Decides the delivery time of a message of `size` bytes sent now.
+  /// Returns false when the link model drops the message.
+  bool schedule(std::size_t size, common::TimePoint& deliver_at);
+
+  const LinkModel& model() const noexcept { return model_; }
+
+ private:
+  LinkModel model_;
+  common::Rng rng_;
+  common::TimePoint busy_until_{};  // serialization point of the link
+  std::mutex mutex_;
+};
+
+}  // namespace cs::net

@@ -1,0 +1,279 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "common/bytes.hpp"
+
+namespace cs::net {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+Status errno_status(const char* what) {
+  return Status{StatusCode::kInternal,
+                std::string(what) + ": " + std::strerror(errno)};
+}
+
+/// Waits for `events` on `fd` until the deadline. Returns kTimeout / kInternal.
+Status wait_fd(int fd, short events, Deadline deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (!deadline.is_infinite()) {
+      const auto rem = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline.remaining());
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(rem.count(), 0));
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::ok();
+    if (rc == 0) return Status{StatusCode::kTimeout, "poll timeout"};
+    if (errno == EINTR) continue;
+    return errno_status("poll");
+  }
+}
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd, std::string peer)
+      : fd_(fd), peer_(std::move(peer)) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Non-blocking + poll() is what makes per-call deadlines possible.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  ~TcpConnection() override { close(); }
+
+  Status send(ByteSpan message, Deadline deadline) override {
+    if (message.size() > TcpNetwork::kMaxMessageBytes) {
+      return Status{StatusCode::kInvalidArgument, "message too large"};
+    }
+    std::scoped_lock lock(send_mutex_);
+    std::uint8_t header[4];
+    const auto n = static_cast<std::uint32_t>(message.size());
+    header[0] = static_cast<std::uint8_t>(n >> 24);
+    header[1] = static_cast<std::uint8_t>(n >> 16);
+    header[2] = static_cast<std::uint8_t>(n >> 8);
+    header[3] = static_cast<std::uint8_t>(n);
+    if (Status s = send_all(header, sizeof(header), deadline); !s.is_ok())
+      return s;
+    if (Status s = send_all(message.data(), message.size(), deadline);
+        !s.is_ok())
+      return s;
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(message.size(), std::memory_order_relaxed);
+    return Status::ok();
+  }
+
+  Result<Bytes> recv(Deadline deadline) override {
+    std::scoped_lock lock(recv_mutex_);
+    std::uint8_t header[4];
+    if (Status s = recv_all(header, sizeof(header), deadline); !s.is_ok())
+      return s;
+    const std::uint32_t n = (std::uint32_t{header[0]} << 24) |
+                            (std::uint32_t{header[1]} << 16) |
+                            (std::uint32_t{header[2]} << 8) |
+                            std::uint32_t{header[3]};
+    if (n > TcpNetwork::kMaxMessageBytes) {
+      return Status{StatusCode::kProtocolError, "length prefix too large"};
+    }
+    Bytes payload(n);
+    if (n > 0) {
+      if (Status s = recv_all(payload.data(), n, deadline); !s.is_ok())
+        return s;
+    }
+    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(n, std::memory_order_relaxed);
+    return payload;
+  }
+
+  void close() override {
+    int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+  bool is_open() const override {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
+
+  std::string peer_address() const override { return peer_; }
+
+  ConnStats stats() const override {
+    return ConnStats{messages_sent_.load(), bytes_sent_.load(),
+                     messages_received_.load(), bytes_received_.load()};
+  }
+
+ private:
+  Status send_all(const void* data, std::size_t size, Deadline deadline) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::size_t done = 0;
+    while (done < size) {
+      const int fd = fd_.load(std::memory_order_acquire);
+      if (fd < 0) return Status{StatusCode::kClosed, "connection closed"};
+      const ssize_t rc = ::send(fd, p + done, size - done, MSG_NOSIGNAL);
+      if (rc > 0) {
+        done += static_cast<std::size_t>(rc);
+        continue;
+      }
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (Status s = wait_fd(fd, POLLOUT, deadline); !s.is_ok()) return s;
+        continue;
+      }
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+        return Status{StatusCode::kClosed, "peer closed"};
+      }
+      return errno_status("send");
+    }
+    return Status::ok();
+  }
+
+  Status recv_all(void* data, std::size_t size, Deadline deadline) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    std::size_t done = 0;
+    while (done < size) {
+      const int fd = fd_.load(std::memory_order_acquire);
+      if (fd < 0) return Status{StatusCode::kClosed, "connection closed"};
+      const ssize_t rc = ::recv(fd, p + done, size - done, 0);
+      if (rc > 0) {
+        done += static_cast<std::size_t>(rc);
+        continue;
+      }
+      if (rc == 0) return Status{StatusCode::kClosed, "peer closed"};
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (Status s = wait_fd(fd, POLLIN, deadline); !s.is_ok()) return s;
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return errno_status("recv");
+    }
+    return Status::ok();
+  }
+
+  std::atomic<int> fd_;
+  std::string peer_;
+  std::mutex send_mutex_;
+  std::mutex recv_mutex_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+class TcpListener : public Listener {
+ public:
+  TcpListener(int fd, std::string address)
+      : fd_(fd), address_(std::move(address)) {}
+
+  ~TcpListener() override { close(); }
+
+  Result<ConnectionPtr> accept(Deadline deadline) override {
+    for (;;) {
+      const int fd = fd_.load(std::memory_order_acquire);
+      if (fd < 0) return Status{StatusCode::kClosed, "listener closed"};
+      sockaddr_in addr{};
+      socklen_t len = sizeof(addr);
+      const int conn =
+          ::accept4(fd, reinterpret_cast<sockaddr*>(&addr), &len, 0);
+      if (conn >= 0) {
+        char buf[64];
+        ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+        return ConnectionPtr{std::make_shared<TcpConnection>(
+            conn,
+            std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port)))};
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (Status s = wait_fd(fd, POLLIN, deadline); !s.is_ok()) return s;
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return errno_status("accept");
+    }
+  }
+
+  void close() override {
+    int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::close(fd);
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  std::atomic<int> fd_;
+  std::string address_;
+};
+
+}  // namespace
+
+Result<ListenerPtr> TcpNetwork::listen(const std::string& address) {
+  const int port = std::atoi(address.c_str());
+  if (port < 0 || port > 65535) {
+    return Status{StatusCode::kInvalidArgument, "bad port: " + address};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return errno_status("bind");
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    return errno_status("listen");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return ListenerPtr{
+      std::make_unique<TcpListener>(fd, std::to_string(ntohs(addr.sin_port)))};
+}
+
+Result<ConnectionPtr> TcpNetwork::connect(const std::string& address,
+                                          Deadline deadline) {
+  const int port = std::atoi(address.c_str());
+  if (port <= 0 || port > 65535) {
+    return Status{StatusCode::kInvalidArgument, "bad port: " + address};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    if (errno == ECONNREFUSED) {
+      return Status{StatusCode::kNotFound, "no listener at port " + address};
+    }
+    return errno_status("connect");
+  }
+  (void)deadline;  // loopback connect completes immediately or refuses
+  return ConnectionPtr{std::make_shared<TcpConnection>(fd, "127.0.0.1:" + address)};
+}
+
+}  // namespace cs::net

@@ -1,0 +1,94 @@
+// Message-oriented transport abstraction.
+//
+// Every protocol in the paper's environment (VISIT tagged messages, UNICORE
+// transactions, vnc frame updates, vic media packets) is message-shaped, so
+// the transport deals in whole messages rather than byte streams. Two
+// implementations exist: the in-process network with a configurable link
+// model (net/inproc.hpp) and real loopback TCP (net/tcp.hpp).
+//
+// All blocking calls take a Deadline and are guaranteed to return by it —
+// the transport-level half of the VISIT timeout contract (paper section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace cs::net {
+
+/// Traffic counters; readable concurrently with use.
+struct ConnStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// One bidirectional, connected endpoint.
+///
+/// Thread-compatible per direction: one thread may send while another
+/// receives, but two threads must not call send() (or recv()) concurrently
+/// on the same connection.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Queues one message. Blocks while the peer's receive window is full;
+  /// returns kTimeout if the window does not open before the deadline,
+  /// kClosed if either side has closed.
+  virtual common::Status send(common::ByteSpan message,
+                              common::Deadline deadline) = 0;
+
+  /// Receives the next message. Returns kTimeout if none arrives before the
+  /// deadline, kClosed after the peer closed and the queue drained.
+  virtual common::Result<common::Bytes> recv(common::Deadline deadline) = 0;
+
+  /// Closes both directions; idempotent. Wakes all blocked calls.
+  virtual void close() = 0;
+
+  virtual bool is_open() const = 0;
+
+  /// Address of the remote endpoint (for logs and registry entries).
+  virtual std::string peer_address() const = 0;
+
+  virtual ConnStats stats() const = 0;
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Accepts inbound connections on one address.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Waits for the next inbound connection.
+  virtual common::Result<ConnectionPtr> accept(common::Deadline deadline) = 0;
+
+  /// Stops accepting; wakes blocked accept() calls with kClosed.
+  virtual void close() = 0;
+
+  virtual std::string address() const = 0;
+};
+
+using ListenerPtr = std::unique_ptr<Listener>;
+
+/// Connection factory — one per "universe" (an in-process network instance,
+/// or the host TCP stack).
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Binds a listener to `address`. kAlreadyExists if the address is taken.
+  virtual common::Result<ListenerPtr> listen(const std::string& address) = 0;
+
+  /// Connects to a listening address. kNotFound when nothing listens there,
+  /// kTimeout when the listener does not accept in time.
+  virtual common::Result<ConnectionPtr> connect(const std::string& address,
+                                                common::Deadline deadline) = 0;
+};
+
+}  // namespace cs::net

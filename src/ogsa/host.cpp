@@ -1,0 +1,211 @@
+#include "ogsa/host.hpp"
+
+#include "common/strings.hpp"
+#include "wire/message.hpp"
+
+namespace cs::ogsa {
+
+using common::Bytes;
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+constexpr std::uint32_t kRpcTag = 0x0651;  // "OGSI" RPC channel
+constexpr char kSep = '\x1f';
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += kSep;
+    out += fields[i];
+  }
+  return out;
+}
+}  // namespace
+
+Result<std::unique_ptr<ServiceHost>> ServiceHost::start(
+    net::Network& net, std::shared_ptr<Registry> registry,
+    const Options& options) {
+  if (!registry) {
+    return Status{StatusCode::kInvalidArgument, "null registry"};
+  }
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<ServiceHost> host{new ServiceHost};
+  host->registry_ = std::move(registry);
+  host->listener_ = std::move(listener).value();
+  ServiceHost* self = host.get();
+  host->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  return host;
+}
+
+ServiceHost::~ServiceHost() { stop(); }
+
+void ServiceHost::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  if (listener_) listener_->close();
+  std::vector<std::jthread> threads;
+  {
+    std::scoped_lock lock(mutex_);
+    threads = std::move(connection_threads_);
+  }
+  for (auto& t : threads) {
+    t.request_stop();
+    if (t.joinable()) t.join();
+  }
+}
+
+void ServiceHost::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    net::ConnectionPtr c = std::move(conn).value();
+    connection_threads_.emplace_back(
+        [this, c](std::stop_token cst) { serve(cst, c); });
+  }
+}
+
+void ServiceHost::serve(const std::stop_token& st, net::ConnectionPtr conn) {
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::string reply;
+    auto m = wire::Message::decode(raw.value());
+    auto body = m.is_ok() ? wire::extract_string(m.value())
+                          : Result<std::string>{m.status()};
+    if (!body.is_ok()) {
+      reply = std::string("ERR") + kSep + "PROTOCOL_ERROR" + kSep +
+              body.status().to_string();
+    } else {
+      const auto fields = common::split(body.value(), kSep);
+      if (fields.size() >= 2 && fields[0] == "FIND") {
+        std::string out;
+        for (const auto& entry : registry_->find(fields[1])) {
+          if (!out.empty()) out += '\n';
+          out += entry.handle;
+        }
+        reply = std::string("OK") + kSep + out;
+      } else if (fields.size() >= 3 && fields[0] == "INVOKE") {
+        auto service = registry_->resolve(fields[1]);
+        if (!service.is_ok()) {
+          reply = std::string("ERR") + kSep +
+                  std::string(common::to_string(service.status().code())) +
+                  kSep + service.status().message();
+        } else {
+          std::vector<std::string> args(fields.begin() + 3, fields.end());
+          auto result = service.value()->invoke(fields[2], args);
+          if (result.is_ok()) {
+            reply = std::string("OK") + kSep + result.value();
+          } else {
+            reply = std::string("ERR") + kSep +
+                    std::string(common::to_string(result.status().code())) +
+                    kSep + result.status().message();
+          }
+        }
+      } else {
+        reply = std::string("ERR") + kSep + "INVALID_ARGUMENT" + kSep +
+                "bad request";
+      }
+    }
+    if (!conn->send(wire::make_control_message(kRpcTag, reply).encode(),
+                    Deadline::after(std::chrono::seconds(2)))
+             .is_ok()) {
+      return;
+    }
+  }
+}
+
+Result<ServiceClient> ServiceClient::connect(net::Network& net,
+                                             const std::string& address,
+                                             Deadline deadline) {
+  auto conn = net.connect(address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  ServiceClient client;
+  client.conn_ = std::move(conn).value();
+  return client;
+}
+
+namespace {
+Result<std::string> parse_reply(const Bytes& raw) {
+  auto m = wire::Message::decode(raw);
+  if (!m.is_ok()) return m.status();
+  auto body = wire::extract_string(m.value());
+  if (!body.is_ok()) return body.status();
+  const auto fields = common::split(body.value(), kSep);
+  if (fields.empty()) {
+    return Status{StatusCode::kProtocolError, "empty reply"};
+  }
+  if (fields[0] == "OK") {
+    return fields.size() > 1 ? fields[1] : std::string{};
+  }
+  if (fields[0] == "ERR" && fields.size() >= 3) {
+    for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+      if (fields[1] == common::to_string(static_cast<StatusCode>(c))) {
+        return Status{static_cast<StatusCode>(c), fields[2]};
+      }
+    }
+  }
+  return Status{StatusCode::kProtocolError, "bad reply: " + body.value()};
+}
+}  // namespace
+
+Result<std::vector<Handle>> ServiceClient::find(const std::string& pattern,
+                                                Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "not connected"};
+  std::scoped_lock lock(mutex_);
+  const std::string request = join_fields({"FIND", pattern});
+  if (Status s = conn_->send(
+          wire::make_control_message(kRpcTag, request).encode(), deadline);
+      !s.is_ok()) {
+    return s;
+  }
+  auto raw = conn_->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  auto body = parse_reply(raw.value());
+  if (!body.is_ok()) return body.status();
+  std::vector<Handle> handles;
+  if (!body.value().empty()) {
+    for (auto& line : common::split(body.value(), '\n')) {
+      handles.push_back(std::move(line));
+    }
+  }
+  return handles;
+}
+
+Result<std::string> ServiceClient::invoke(const Handle& handle,
+                                          const std::string& operation,
+                                          const std::vector<std::string>& args,
+                                          Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "not connected"};
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> fields{"INVOKE", handle, operation};
+  fields.insert(fields.end(), args.begin(), args.end());
+  if (Status s = conn_->send(
+          wire::make_control_message(kRpcTag, join_fields(fields)).encode(),
+          deadline);
+      !s.is_ok()) {
+    return s;
+  }
+  auto raw = conn_->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  return parse_reply(raw.value());
+}
+
+void ServiceClient::disconnect() {
+  if (conn_) conn_->close();
+  conn_.reset();
+}
+
+}  // namespace cs::ogsa

@@ -1,0 +1,87 @@
+// Lightweight service hosting environment — the OGSI::Lite substitute.
+//
+// "RealityGrid has therefore developed a lightweight OGSA hosting
+// environment called OGSI-Lite... can thus run on almost any platform"
+// (paper section 2.3). A ServiceHost binds a Registry (and every service it
+// publishes) to one network address and speaks a minimal text RPC, so a
+// SteeringClient on another "machine" of the in-process network can
+// discover, bind and invoke services exactly as the laptop on the Sheffield
+// conference floor did in the 2002 demonstrator.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "ogsa/registry.hpp"
+
+namespace cs::ogsa {
+
+class ServiceHost {
+ public:
+  struct Options {
+    std::string address;
+  };
+
+  static common::Result<std::unique_ptr<ServiceHost>> start(
+      net::Network& net, std::shared_ptr<Registry> registry,
+      const Options& options);
+  ~ServiceHost();
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+  void stop();
+
+  std::shared_ptr<Registry> registry() const { return registry_; }
+
+ private:
+  ServiceHost() = default;
+  void accept_loop(const std::stop_token& st);
+  void serve(const std::stop_token& st, net::ConnectionPtr conn);
+
+  std::shared_ptr<Registry> registry_;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  std::mutex mutex_;
+  std::vector<std::jthread> connection_threads_;
+  std::atomic<bool> stopped_{false};
+};
+
+/// Remote stub: the steering client's view of a hosting environment.
+class ServiceClient {
+ public:
+  static common::Result<ServiceClient> connect(net::Network& net,
+                                               const std::string& address,
+                                               common::Deadline deadline);
+
+  /// Handles of live services matching the glob pattern.
+  common::Result<std::vector<Handle>> find(const std::string& pattern,
+                                           common::Deadline deadline);
+
+  /// Invokes an operation on a service by handle.
+  common::Result<std::string> invoke(const Handle& handle,
+                                     const std::string& operation,
+                                     const std::vector<std::string>& args,
+                                     common::Deadline deadline);
+
+  void disconnect();
+
+ private:
+  net::ConnectionPtr conn_;
+  std::mutex mutex_;  // serializes request/response pairs
+
+ public:
+  ServiceClient(ServiceClient&& other) noexcept
+      : conn_(std::move(other.conn_)) {}
+  ServiceClient& operator=(ServiceClient&& other) noexcept {
+    conn_ = std::move(other.conn_);
+    return *this;
+  }
+  ServiceClient() = default;
+};
+
+}  // namespace cs::ogsa

@@ -1,0 +1,102 @@
+#include "ogsa/registry.hpp"
+
+#include "common/strings.hpp"
+
+namespace cs::ogsa {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Status Registry::publish(ServicePtr service) {
+  if (!service) {
+    return Status{StatusCode::kInvalidArgument, "null service"};
+  }
+  std::scoped_lock lock(mutex_);
+  sweep_locked();
+  auto [it, inserted] = services_.emplace(service->handle(), service);
+  if (!inserted) {
+    return Status{StatusCode::kAlreadyExists,
+                  "handle already published: " + service->handle()};
+  }
+  return Status::ok();
+}
+
+Status Registry::unpublish(const Handle& handle) {
+  std::scoped_lock lock(mutex_);
+  if (services_.erase(handle) == 0) {
+    return Status{StatusCode::kNotFound, "not published: " + handle};
+  }
+  return Status::ok();
+}
+
+std::vector<RegistryEntry> Registry::find(
+    const std::string& handle_pattern) const {
+  std::scoped_lock lock(mutex_);
+  sweep_locked();
+  std::vector<RegistryEntry> out;
+  for (const auto& [handle, service] : services_) {
+    if (common::glob_match(handle_pattern, handle)) {
+      out.push_back(RegistryEntry{handle, service->query_service_data("*")});
+    }
+  }
+  return out;
+}
+
+std::vector<RegistryEntry> Registry::find_by_service_data(
+    const std::string& name, const std::string& value_pattern) const {
+  std::scoped_lock lock(mutex_);
+  sweep_locked();
+  std::vector<RegistryEntry> out;
+  for (const auto& [handle, service] : services_) {
+    auto value = service->find_service_data(name);
+    if (value.is_ok() && common::glob_match(value_pattern, value.value())) {
+      out.push_back(RegistryEntry{handle, service->query_service_data("*")});
+    }
+  }
+  return out;
+}
+
+Result<ServicePtr> Registry::resolve(const Handle& handle) const {
+  std::scoped_lock lock(mutex_);
+  sweep_locked();
+  auto it = services_.find(handle);
+  if (it == services_.end()) {
+    return Status{StatusCode::kNotFound, "no live service at " + handle};
+  }
+  return it->second;
+}
+
+std::size_t Registry::size() const {
+  std::scoped_lock lock(mutex_);
+  sweep_locked();
+  return services_.size();
+}
+
+Result<std::string> Registry::invoke(const std::string& operation,
+                                     const std::vector<std::string>& args) {
+  if (operation == "find") {
+    if (args.size() != 1) {
+      return Status{StatusCode::kInvalidArgument, "find needs one pattern"};
+    }
+    std::string out;
+    for (const auto& entry : find(args[0])) {
+      if (!out.empty()) out += "\n";
+      out += entry.handle;
+    }
+    return out;
+  }
+  return GridService::invoke(operation, args);
+}
+
+void Registry::sweep_locked() const {
+  for (auto it = services_.begin(); it != services_.end();) {
+    if (!it->second->is_alive()) {
+      it = services_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cs::ogsa

@@ -1,0 +1,63 @@
+// Service registry (paper Fig. 2).
+//
+// "The steering client contacts a registry which has details of the
+// steering services that have published to the registry. ... The client
+// chooses the services it will require and binds them to the client."
+// Publication is soft-state: a service whose termination time has passed is
+// swept on the next query, so a crashed service disappears from discovery
+// without explicit cleanup.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ogsa/service.hpp"
+
+namespace cs::ogsa {
+
+/// Discovery record returned by find().
+struct RegistryEntry {
+  Handle handle;
+  /// Snapshot of the service's SDEs at query time.
+  std::vector<std::pair<std::string, std::string>> service_data;
+};
+
+class Registry : public GridService {
+ public:
+  explicit Registry(Handle handle = "ogsi://registry")
+      : GridService(std::move(handle)) {}
+
+  /// Publishes a service. kAlreadyExists if the handle is taken by a
+  /// still-alive service; republishing over a dead one is allowed.
+  common::Status publish(ServicePtr service);
+
+  common::Status unpublish(const Handle& handle);
+
+  /// All live services whose handle matches the glob pattern.
+  std::vector<RegistryEntry> find(const std::string& handle_pattern) const;
+
+  /// Live services carrying an SDE `name` whose value matches the pattern.
+  std::vector<RegistryEntry> find_by_service_data(
+      const std::string& name, const std::string& value_pattern) const;
+
+  /// Binds to a published live service.
+  common::Result<ServicePtr> resolve(const Handle& handle) const;
+
+  /// Number of live entries (sweeps dead ones).
+  std::size_t size() const;
+
+  /// Registry operations are themselves invocable ("find <pattern>").
+  common::Result<std::string> invoke(
+      const std::string& operation,
+      const std::vector<std::string>& args) override;
+
+ private:
+  void sweep_locked() const;
+
+  mutable std::mutex mutex_;
+  mutable std::map<Handle, ServicePtr> services_;
+};
+
+}  // namespace cs::ogsa

@@ -1,0 +1,64 @@
+#include "ogsa/service.hpp"
+
+#include "common/strings.hpp"
+
+namespace cs::ogsa {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+void GridService::set_service_data(const std::string& name,
+                                   std::string value) {
+  std::scoped_lock lock(mutex_);
+  service_data_[name] = std::move(value);
+}
+
+Result<std::string> GridService::find_service_data(
+    const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  auto it = service_data_.find(name);
+  if (it == service_data_.end()) {
+    return Status{StatusCode::kNotFound, "no SDE named " + name};
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, std::string>>
+GridService::query_service_data(const std::string& pattern) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, value] : service_data_) {
+    if (common::glob_match(pattern, name)) out.emplace_back(name, value);
+  }
+  return out;
+}
+
+void GridService::request_termination_after(common::Duration lifetime) {
+  std::scoped_lock lock(mutex_);
+  termination_ = common::Clock::now() + lifetime;
+}
+
+void GridService::destroy() {
+  std::scoped_lock lock(mutex_);
+  termination_ = common::TimePoint::min();
+}
+
+bool GridService::is_alive() const {
+  std::scoped_lock lock(mutex_);
+  return common::Clock::now() < termination_;
+}
+
+Result<std::string> GridService::invoke(const std::string& operation,
+                                        const std::vector<std::string>& args) {
+  if (operation == "find-service-data") {
+    if (args.size() != 1) {
+      return Status{StatusCode::kInvalidArgument,
+                    "find-service-data needs one argument"};
+    }
+    return find_service_data(args[0]);
+  }
+  return Status{StatusCode::kNotFound, "unknown operation: " + operation};
+}
+
+}  // namespace cs::ogsa

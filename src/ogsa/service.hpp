@@ -1,0 +1,80 @@
+// OGSI-style grid services.
+//
+// The paper (sections 2.2-2.3) runs its steering as "a steering service
+// which is fully compliant with OGSI and with the proposed OGSA
+// architecture", hosted in the lightweight OGSI::Lite environment. The OGSI
+// essentials modelled here are the ones the steering architecture (Fig. 2)
+// actually uses:
+//   * service data elements (SDEs) — typed-as-text key/value descriptors a
+//     client can query before binding ("findServiceData"),
+//   * soft-state lifetime — a termination time after which the service is
+//     dead and the registry sweeps it,
+//   * a uniform invocation interface ("portType"), used by the text RPC in
+//     ogsa/host.hpp.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace cs::ogsa {
+
+/// Grid Service Handle: globally unique name, e.g.
+/// "ogsi://realitygrid/steering/lbm-1".
+using Handle = std::string;
+
+class GridService {
+ public:
+  explicit GridService(Handle handle) : handle_(std::move(handle)) {}
+  virtual ~GridService() = default;
+
+  const Handle& handle() const noexcept { return handle_; }
+
+  // --- service data ---------------------------------------------------
+
+  void set_service_data(const std::string& name, std::string value);
+
+  /// Value of one SDE; kNotFound when absent.
+  common::Result<std::string> find_service_data(const std::string& name) const;
+
+  /// All SDEs whose name matches the glob pattern.
+  std::vector<std::pair<std::string, std::string>> query_service_data(
+      const std::string& pattern) const;
+
+  // --- lifetime (OGSI soft state) --------------------------------------
+
+  /// Sets the termination time `lifetime` from now.
+  void request_termination_after(common::Duration lifetime);
+
+  /// Keeps the service alive for another `lifetime` (client keep-alive).
+  void keep_alive(common::Duration lifetime) {
+    request_termination_after(lifetime);
+  }
+
+  /// Immediate destruction.
+  void destroy();
+
+  bool is_alive() const;
+
+  // --- invocation ------------------------------------------------------
+
+  /// Uniform operation entry point. Default implementation serves
+  /// "find-service-data <name>"; subclasses extend the vocabulary.
+  virtual common::Result<std::string> invoke(
+      const std::string& operation, const std::vector<std::string>& args);
+
+ private:
+  Handle handle_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> service_data_;
+  common::TimePoint termination_ = common::TimePoint::max();
+};
+
+using ServicePtr = std::shared_ptr<GridService>;
+
+}  // namespace cs::ogsa

@@ -1,0 +1,87 @@
+#include "ogsa/steering_service.hpp"
+
+namespace cs::ogsa {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+SteeringService::SteeringService(Handle handle, std::string component,
+                                 std::shared_ptr<SteeringBackend> backend)
+    : GridService(std::move(handle)), backend_(std::move(backend)) {
+  set_service_data("service-type", "steering");
+  set_service_data("component", component);
+  if (backend_) {
+    std::string names;
+    for (const auto& p : backend_->list_params()) {
+      if (!names.empty()) names += ",";
+      names += p.name;
+      set_service_data("param/" + p.name,
+                       p.steerable ? "steerable" : "monitored");
+    }
+    set_service_data("params", names);
+  }
+}
+
+std::vector<SteeringBackend::ParamInfo> SteeringService::list_params() const {
+  return backend_ ? backend_->list_params()
+                  : std::vector<SteeringBackend::ParamInfo>{};
+}
+
+Result<std::string> SteeringService::get_param(const std::string& name) const {
+  if (!backend_) return Status{StatusCode::kUnavailable, "no backend"};
+  return backend_->get_param(name);
+}
+
+Status SteeringService::set_param(const std::string& name,
+                                  const std::string& value) {
+  if (!backend_) return Status{StatusCode::kUnavailable, "no backend"};
+  return backend_->set_param(name, value);
+}
+
+Status SteeringService::command(const std::string& command) {
+  if (!backend_) return Status{StatusCode::kUnavailable, "no backend"};
+  return backend_->command(command);
+}
+
+std::string SteeringService::status() const {
+  return backend_ ? backend_->status() : "no backend";
+}
+
+Result<std::string> SteeringService::invoke(
+    const std::string& operation, const std::vector<std::string>& args) {
+  if (operation == "list-params") {
+    std::string out;
+    for (const auto& p : list_params()) {
+      if (!out.empty()) out += "\n";
+      out += p.name + "=" + p.value + (p.steerable ? " [steerable]" : " [monitored]");
+    }
+    return out;
+  }
+  if (operation == "get-param") {
+    if (args.size() != 1) {
+      return Status{StatusCode::kInvalidArgument, "get-param <name>"};
+    }
+    return get_param(args[0]);
+  }
+  if (operation == "set-param") {
+    if (args.size() != 2) {
+      return Status{StatusCode::kInvalidArgument, "set-param <name> <value>"};
+    }
+    if (Status s = set_param(args[0], args[1]); !s.is_ok()) return s;
+    return std::string("ok");
+  }
+  if (operation == "command") {
+    if (args.size() != 1) {
+      return Status{StatusCode::kInvalidArgument, "command <cmd>"};
+    }
+    if (Status s = command(args[0]); !s.is_ok()) return s;
+    return std::string("ok");
+  }
+  if (operation == "status") {
+    return status();
+  }
+  return GridService::invoke(operation, args);
+}
+
+}  // namespace cs::ogsa

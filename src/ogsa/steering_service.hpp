@@ -1,0 +1,68 @@
+// The OGSA steering service (paper Fig. 2).
+//
+// One SteeringService steers one workflow component — "one service that
+// steers the application and another that steers the visualization. In more
+// complex workflows there could be more services". The service fronts a
+// SteeringBackend (the component's control surface); the RealityGrid-style
+// instrumentation API in src/steer implements that backend for simulations,
+// and the visualization pipelines implement it for render parameters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ogsa/service.hpp"
+
+namespace cs::ogsa {
+
+/// Control surface a steerable component exposes to its service.
+class SteeringBackend {
+ public:
+  virtual ~SteeringBackend() = default;
+
+  struct ParamInfo {
+    std::string name;
+    std::string value;
+    double min_value = 0.0;
+    double max_value = 0.0;
+    bool steerable = false;  ///< false: monitored-only
+  };
+
+  virtual std::vector<ParamInfo> list_params() const = 0;
+  virtual common::Result<std::string> get_param(const std::string& name) const = 0;
+  virtual common::Status set_param(const std::string& name,
+                                   const std::string& value) = 0;
+  /// "pause" | "resume" | "stop" | "checkpoint" | "emit-sample"
+  virtual common::Status command(const std::string& command) = 0;
+  virtual std::string status() const = 0;
+};
+
+class SteeringService : public GridService {
+ public:
+  /// `component` names what is steered ("application", "visualization") —
+  /// it is published as an SDE so clients can pick services by role.
+  SteeringService(Handle handle, std::string component,
+                  std::shared_ptr<SteeringBackend> backend);
+
+  std::shared_ptr<SteeringBackend> backend() const { return backend_; }
+
+  // Typed API (used by in-process clients).
+  std::vector<SteeringBackend::ParamInfo> list_params() const;
+  common::Result<std::string> get_param(const std::string& name) const;
+  common::Status set_param(const std::string& name, const std::string& value);
+  common::Status command(const std::string& command);
+  std::string status() const;
+
+  /// Text-RPC vocabulary: list-params | get-param <n> | set-param <n> <v> |
+  /// command <c> | status (+ the base find-service-data).
+  common::Result<std::string> invoke(
+      const std::string& operation,
+      const std::vector<std::string>& args) override;
+
+ private:
+  std::shared_ptr<SteeringBackend> backend_;
+};
+
+}  // namespace cs::ogsa

@@ -1,0 +1,115 @@
+#include "sim/lbm/checkpoint.hpp"
+
+#include <cstring>
+
+namespace cs::lbm {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4c424d31;  // "LBM1"
+
+void put_f64(Bytes& out, double v) {
+  common::append_bytes(out, common::as_bytes(v));
+}
+
+void put_doubles(Bytes& out, const std::vector<double>& values) {
+  common::append_uint<std::uint64_t>(out, values.size(), ByteOrder::kBig);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+  out.insert(out.end(), p, p + values.size() * sizeof(double));
+}
+
+struct Reader {
+  ByteSpan in;
+  bool failed = false;
+
+  std::uint32_t u32() {
+    if (in.size() < 4) { failed = true; return 0; }
+    const auto v = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+    in = in.subspan(4);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (in.size() < 8) { failed = true; return 0; }
+    const auto v = common::read_uint<std::uint64_t>(in, ByteOrder::kBig);
+    in = in.subspan(8);
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    if (in.size() < 8) { failed = true; return 0; }
+    std::memcpy(&v, in.data(), 8);
+    in = in.subspan(8);
+    return v;
+  }
+  bool doubles(std::vector<double>& out) {
+    const auto n = u64();
+    if (failed || in.size() < n * sizeof(double)) { failed = true; return false; }
+    out.resize(n);
+    std::memcpy(out.data(), in.data(), n * sizeof(double));
+    in = in.subspan(n * sizeof(double));
+    return true;
+  }
+};
+}  // namespace
+
+Bytes checkpoint(const TwoFluidLbm& sim) {
+  Bytes out;
+  common::append_uint<std::uint32_t>(out, kMagic, ByteOrder::kBig);
+  const auto& c = sim.config();
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(c.nx),
+                                     ByteOrder::kBig);
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(c.ny),
+                                     ByteOrder::kBig);
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(c.nz),
+                                     ByteOrder::kBig);
+  put_f64(out, c.tau_a);
+  put_f64(out, c.tau_b);
+  put_f64(out, sim.coupling());
+  put_f64(out, c.rho0);
+  put_f64(out, c.noise);
+  common::append_uint<std::uint64_t>(out, c.seed, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, sim.steps_done(), ByteOrder::kBig);
+  put_doubles(out, sim.distributions_a());
+  put_doubles(out, sim.distributions_b());
+  return out;
+}
+
+Result<TwoFluidLbm> restore(ByteSpan data) {
+  Reader r{data};
+  if (r.u32() != kMagic || r.failed) {
+    return Status{StatusCode::kProtocolError, "not an LBM checkpoint"};
+  }
+  LbmConfig config;
+  config.nx = static_cast<int>(r.u32());
+  config.ny = static_cast<int>(r.u32());
+  config.nz = static_cast<int>(r.u32());
+  config.tau_a = r.f64();
+  config.tau_b = r.f64();
+  config.coupling = r.f64();
+  config.rho0 = r.f64();
+  config.noise = r.f64();
+  config.seed = r.u64();
+  const std::uint64_t steps = r.u64();
+  if (r.failed || config.nx <= 0 || config.nx > 1024 || config.ny <= 0 ||
+      config.ny > 1024 || config.nz <= 0 || config.nz > 1024) {
+    return Status{StatusCode::kProtocolError, "corrupt checkpoint header"};
+  }
+  std::vector<double> f_a, f_b;
+  if (!r.doubles(f_a) || !r.doubles(f_b)) {
+    return Status{StatusCode::kProtocolError, "checkpoint truncated"};
+  }
+  TwoFluidLbm sim(config);
+  if (Status s = sim.set_state(std::move(f_a), std::move(f_b), steps);
+      !s.is_ok()) {
+    return s;
+  }
+  return sim;
+}
+
+}  // namespace cs::lbm

@@ -1,0 +1,24 @@
+// Checkpoint/restore for the LBM — the substrate of session migration.
+//
+// "RealityGrid is developing the ability to migrate both computation and
+// visualization within a session without any disturbance or intervention on
+// the part of the participating clients." (paper section 2.4). Migration is
+// checkpoint + restart elsewhere; restore() reproduces the distribution
+// functions bit-exactly, so the migrated run continues the same trajectory.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "sim/lbm/lbm.hpp"
+
+namespace cs::lbm {
+
+/// Serializes the full simulation state (config + distributions + step
+/// counter).
+common::Bytes checkpoint(const TwoFluidLbm& sim);
+
+/// Reconstructs a simulation from a checkpoint. The restored object
+/// produces bit-identical future steps.
+common::Result<TwoFluidLbm> restore(common::ByteSpan data);
+
+}  // namespace cs::lbm

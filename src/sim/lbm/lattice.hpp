@@ -1,0 +1,70 @@
+// D3Q19 lattice constants and indexing for the lattice-Boltzmann substrate.
+//
+// The RealityGrid demonstration (paper section 2.2) steers "a Lattice
+// Boltzmann 3D code simulating a mixture of two fluids ... on a 3D grid
+// with periodic boundary conditions". D3Q19 is the standard 3D stencil.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cs::lbm {
+
+inline constexpr int kQ = 19;
+
+/// Discrete velocity set (D3Q19).
+inline constexpr std::array<std::array<int, 3>, kQ> kVelocities{{
+    {0, 0, 0},
+    {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+    {1, 1, 0}, {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},
+    {1, 0, 1}, {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},
+    {0, 1, 1}, {0, -1, -1}, {0, 1, -1}, {0, -1, 1},
+}};
+
+/// Lattice weights (D3Q19): 1/3 rest, 1/18 face, 1/36 edge.
+inline constexpr std::array<double, kQ> kWeights{
+    1.0 / 3.0,
+    1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+};
+
+/// Index of the velocity opposite to i (bounce-back pairing).
+inline constexpr std::array<int, kQ> kOpposite{
+    0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17};
+
+/// Speed of sound squared in lattice units.
+inline constexpr double kCs2 = 1.0 / 3.0;
+
+/// Geometry of a periodic box.
+struct Grid {
+  int nx = 0, ny = 0, nz = 0;
+
+  std::size_t cells() const noexcept {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+
+  std::size_t index(int x, int y, int z) const noexcept {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(ny) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  }
+
+  /// Periodic wrap of one coordinate.
+  static int wrap(int v, int n) noexcept {
+    v %= n;
+    return v < 0 ? v + n : v;
+  }
+
+  std::size_t neighbor(int x, int y, int z, int q) const noexcept {
+    return index(wrap(x + kVelocities[static_cast<std::size_t>(q)][0], nx),
+                 wrap(y + kVelocities[static_cast<std::size_t>(q)][1], ny),
+                 wrap(z + kVelocities[static_cast<std::size_t>(q)][2], nz));
+  }
+};
+
+}  // namespace cs::lbm

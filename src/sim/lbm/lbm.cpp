@@ -1,0 +1,228 @@
+#include "sim/lbm/lbm.hpp"
+
+#include <cmath>
+
+namespace cs::lbm {
+
+namespace {
+
+/// Second-order equilibrium distribution.
+inline double equilibrium(int q, double rho, double ux, double uy, double uz) {
+  const auto& e = kVelocities[static_cast<std::size_t>(q)];
+  const double eu = e[0] * ux + e[1] * uy + e[2] * uz;
+  const double u2 = ux * ux + uy * uy + uz * uz;
+  return kWeights[static_cast<std::size_t>(q)] * rho *
+         (1.0 + eu / kCs2 + eu * eu / (2.0 * kCs2 * kCs2) - u2 / (2.0 * kCs2));
+}
+
+}  // namespace
+
+TwoFluidLbm::TwoFluidLbm(const LbmConfig& config) : config_(config) {
+  grid_ = Grid{config_.nx, config_.ny, config_.nz};
+  const std::size_t n = grid_.cells();
+  f_a_.resize(n * kQ);
+  f_b_.resize(n * kQ);
+  buf_.resize(n * kQ);
+  rho_a_.resize(n);
+  rho_b_.resize(n);
+  mom_a_.resize(n * 3);
+  mom_b_.resize(n * 3);
+
+  // Initial condition: both components near rho0 with opposite-signed
+  // perturbations, at rest — the classic spinodal quench setup.
+  common::Rng rng{config_.seed};
+  for (std::size_t c = 0; c < n; ++c) {
+    const double delta = config_.noise * (2.0 * rng.next_double() - 1.0);
+    const double ra = config_.rho0 + delta;
+    const double rb = config_.rho0 - delta;
+    for (int q = 0; q < kQ; ++q) {
+      f_a_[c * kQ + static_cast<std::size_t>(q)] = equilibrium(q, ra, 0, 0, 0);
+      f_b_[c * kQ + static_cast<std::size_t>(q)] = equilibrium(q, rb, 0, 0, 0);
+    }
+  }
+  compute_densities();
+}
+
+void TwoFluidLbm::compute_densities() {
+  const std::size_t n = grid_.cells();
+  for (std::size_t c = 0; c < n; ++c) {
+    double ra = 0, rb = 0;
+    double max_ = 0, may = 0, maz = 0, mbx = 0, mby = 0, mbz = 0;
+    for (int q = 0; q < kQ; ++q) {
+      const double fa = f_a_[c * kQ + static_cast<std::size_t>(q)];
+      const double fb = f_b_[c * kQ + static_cast<std::size_t>(q)];
+      const auto& e = kVelocities[static_cast<std::size_t>(q)];
+      ra += fa;
+      rb += fb;
+      max_ += fa * e[0];
+      may += fa * e[1];
+      maz += fa * e[2];
+      mbx += fb * e[0];
+      mby += fb * e[1];
+      mbz += fb * e[2];
+    }
+    rho_a_[c] = ra;
+    rho_b_[c] = rb;
+    mom_a_[c * 3 + 0] = max_;
+    mom_a_[c * 3 + 1] = may;
+    mom_a_[c * 3 + 2] = maz;
+    mom_b_[c * 3 + 0] = mbx;
+    mom_b_[c * 3 + 1] = mby;
+    mom_b_[c * 3 + 2] = mbz;
+  }
+}
+
+void TwoFluidLbm::step() {
+  const std::size_t n = grid_.cells();
+  const double g = config_.coupling;
+  const double inv_tau_a = 1.0 / config_.tau_a;
+  const double inv_tau_b = 1.0 / config_.tau_b;
+
+  // --- Shan-Chen inter-component force (psi = rho) ----------------------
+  // F_a(x) = -g * rho_a(x) * sum_i w_i * rho_b(x + e_i) * e_i, and b<->a.
+  std::vector<double> force_a(n * 3, 0.0), force_b(n * 3, 0.0);
+  if (g != 0.0) {
+    for (int z = 0; z < grid_.nz; ++z) {
+      for (int y = 0; y < grid_.ny; ++y) {
+        for (int x = 0; x < grid_.nx; ++x) {
+          const std::size_t c = grid_.index(x, y, z);
+          double gbx = 0, gby = 0, gbz = 0;  // gradient-like sum of rho_b
+          double gax = 0, gay = 0, gaz = 0;  // and of rho_a
+          for (int q = 1; q < kQ; ++q) {
+            const std::size_t nb = grid_.neighbor(x, y, z, q);
+            const auto& e = kVelocities[static_cast<std::size_t>(q)];
+            const double w = kWeights[static_cast<std::size_t>(q)];
+            gbx += w * rho_b_[nb] * e[0];
+            gby += w * rho_b_[nb] * e[1];
+            gbz += w * rho_b_[nb] * e[2];
+            gax += w * rho_a_[nb] * e[0];
+            gay += w * rho_a_[nb] * e[1];
+            gaz += w * rho_a_[nb] * e[2];
+          }
+          force_a[c * 3 + 0] = -g * rho_a_[c] * gbx;
+          force_a[c * 3 + 1] = -g * rho_a_[c] * gby;
+          force_a[c * 3 + 2] = -g * rho_a_[c] * gbz;
+          force_b[c * 3 + 0] = -g * rho_b_[c] * gax;
+          force_b[c * 3 + 1] = -g * rho_b_[c] * gay;
+          force_b[c * 3 + 2] = -g * rho_b_[c] * gaz;
+        }
+      }
+    }
+  }
+
+  // --- collide -----------------------------------------------------------
+  // Common velocity u' (Shan-Chen): weighted by rho/tau; each component
+  // relaxes towards equilibrium at u' shifted by tau*F/rho.
+  for (std::size_t c = 0; c < n; ++c) {
+    const double ra = rho_a_[c];
+    const double rb = rho_b_[c];
+    const double wa = ra * inv_tau_a;
+    const double wb = rb * inv_tau_b;
+    const double wsum = wa + wb;
+    double upx = 0, upy = 0, upz = 0;
+    if (wsum > 0) {
+      upx = (mom_a_[c * 3 + 0] * inv_tau_a + mom_b_[c * 3 + 0] * inv_tau_b) / wsum;
+      upy = (mom_a_[c * 3 + 1] * inv_tau_a + mom_b_[c * 3 + 1] * inv_tau_b) / wsum;
+      upz = (mom_a_[c * 3 + 2] * inv_tau_a + mom_b_[c * 3 + 2] * inv_tau_b) / wsum;
+    }
+    const double uax = ra > 1e-12 ? upx + config_.tau_a * force_a[c * 3 + 0] / ra : upx;
+    const double uay = ra > 1e-12 ? upy + config_.tau_a * force_a[c * 3 + 1] / ra : upy;
+    const double uaz = ra > 1e-12 ? upz + config_.tau_a * force_a[c * 3 + 2] / ra : upz;
+    const double ubx = rb > 1e-12 ? upx + config_.tau_b * force_b[c * 3 + 0] / rb : upx;
+    const double uby = rb > 1e-12 ? upy + config_.tau_b * force_b[c * 3 + 1] / rb : upy;
+    const double ubz = rb > 1e-12 ? upz + config_.tau_b * force_b[c * 3 + 2] / rb : upz;
+    for (int q = 0; q < kQ; ++q) {
+      const std::size_t i = c * kQ + static_cast<std::size_t>(q);
+      f_a_[i] -= inv_tau_a * (f_a_[i] - equilibrium(q, ra, uax, uay, uaz));
+      f_b_[i] -= inv_tau_b * (f_b_[i] - equilibrium(q, rb, ubx, uby, ubz));
+    }
+  }
+
+  // --- stream (periodic) ---------------------------------------------------
+  for (auto* field : {&f_a_, &f_b_}) {
+    for (int z = 0; z < grid_.nz; ++z) {
+      for (int y = 0; y < grid_.ny; ++y) {
+        for (int x = 0; x < grid_.nx; ++x) {
+          const std::size_t c = grid_.index(x, y, z);
+          for (int q = 0; q < kQ; ++q) {
+            buf_[grid_.neighbor(x, y, z, q) * kQ + static_cast<std::size_t>(q)] =
+                (*field)[c * kQ + static_cast<std::size_t>(q)];
+          }
+        }
+      }
+    }
+    field->swap(buf_);
+  }
+
+  compute_densities();
+  ++steps_;
+}
+
+double TwoFluidLbm::mass_a() const {
+  double m = 0;
+  for (double r : rho_a_) m += r;
+  return m;
+}
+
+double TwoFluidLbm::mass_b() const {
+  double m = 0;
+  for (double r : rho_b_) m += r;
+  return m;
+}
+
+std::vector<float> TwoFluidLbm::order_parameter() const {
+  std::vector<float> phi(grid_.cells());
+  for (std::size_t c = 0; c < phi.size(); ++c) {
+    const double total = rho_a_[c] + rho_b_[c];
+    phi[c] = total > 1e-12
+                 ? static_cast<float>((rho_a_[c] - rho_b_[c]) / total)
+                 : 0.0f;
+  }
+  return phi;
+}
+
+double TwoFluidLbm::segregation() const {
+  double sum = 0;
+  const std::size_t n = grid_.cells();
+  for (std::size_t c = 0; c < n; ++c) {
+    const double total = rho_a_[c] + rho_b_[c];
+    if (total > 1e-12) sum += std::abs(rho_a_[c] - rho_b_[c]) / total;
+  }
+  return sum / static_cast<double>(n);
+}
+
+common::Status TwoFluidLbm::set_state(std::vector<double> f_a,
+                                      std::vector<double> f_b,
+                                      std::uint64_t steps_done) {
+  const std::size_t expected = grid_.cells() * kQ;
+  if (f_a.size() != expected || f_b.size() != expected) {
+    return common::Status{common::StatusCode::kInvalidArgument,
+                          "distribution size does not match the grid"};
+  }
+  f_a_ = std::move(f_a);
+  f_b_ = std::move(f_b);
+  steps_ = steps_done;
+  compute_densities();
+  return common::Status::ok();
+}
+
+std::uint64_t TwoFluidLbm::interface_links() const {
+  std::uint64_t links = 0;
+  for (int z = 0; z < grid_.nz; ++z) {
+    for (int y = 0; y < grid_.ny; ++y) {
+      for (int x = 0; x < grid_.nx; ++x) {
+        const std::size_t c = grid_.index(x, y, z);
+        const double phi_c = rho_a_[c] - rho_b_[c];
+        // Only +x/+y/+z neighbors so each link is counted once.
+        for (int q : {1, 3, 5}) {
+          const std::size_t nb = grid_.neighbor(x, y, z, q);
+          const double phi_n = rho_a_[nb] - rho_b_[nb];
+          if ((phi_c > 0) != (phi_n > 0)) ++links;
+        }
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace cs::lbm

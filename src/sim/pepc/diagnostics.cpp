@@ -1,0 +1,94 @@
+#include "sim/pepc/diagnostics.hpp"
+
+#include <cmath>
+
+namespace cs::pepc {
+
+using common::Vec3;
+
+namespace {
+
+/// CIC deposition: distributes `weight` of a particle at `pos` onto the 8
+/// surrounding cell centers, accumulating into `field`. Particles outside
+/// the mesh (beyond half a cell of the boundary) are dropped.
+void deposit_cic(const DiagnosticMesh& mesh, const Vec3& pos, double weight,
+                 std::vector<float>& field) {
+  const Vec3 d = mesh.spacing();
+  // Position in "cell-center coordinates": cell i's center sits at i.
+  const double cx = (pos.x - mesh.lo.x) / d.x - 0.5;
+  const double cy = (pos.y - mesh.lo.y) / d.y - 0.5;
+  const double cz = (pos.z - mesh.lo.z) / d.z - 0.5;
+  const int ix = static_cast<int>(std::floor(cx));
+  const int iy = static_cast<int>(std::floor(cy));
+  const int iz = static_cast<int>(std::floor(cz));
+  const double fx = cx - ix;
+  const double fy = cy - iy;
+  const double fz = cz - iz;
+  for (int oz = 0; oz < 2; ++oz) {
+    for (int oy = 0; oy < 2; ++oy) {
+      for (int ox = 0; ox < 2; ++ox) {
+        const int x = ix + ox;
+        const int y = iy + oy;
+        const int z = iz + oz;
+        if (x < 0 || y < 0 || z < 0 || x >= mesh.nx || y >= mesh.ny ||
+            z >= mesh.nz) {
+          continue;
+        }
+        const double w = (ox ? fx : 1.0 - fx) * (oy ? fy : 1.0 - fy) *
+                         (oz ? fz : 1.0 - fz);
+        field[(static_cast<std::size_t>(z) * mesh.ny + y) * mesh.nx + x] +=
+            static_cast<float>(weight * w);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<float> charge_density(const DiagnosticMesh& mesh,
+                                  std::span<const Particle> particles) {
+  std::vector<float> field(mesh.cells(), 0.0f);
+  for (const auto& p : particles) {
+    deposit_cic(mesh, p.position(), p.charge, field);
+  }
+  const Vec3 d = mesh.spacing();
+  const float inv_volume = static_cast<float>(1.0 / (d.x * d.y * d.z));
+  for (auto& v : field) v *= inv_volume;
+  return field;
+}
+
+CurrentDensity current_density(const DiagnosticMesh& mesh,
+                               std::span<const Particle> particles) {
+  CurrentDensity j;
+  j.jx.assign(mesh.cells(), 0.0f);
+  j.jy.assign(mesh.cells(), 0.0f);
+  j.jz.assign(mesh.cells(), 0.0f);
+  for (const auto& p : particles) {
+    deposit_cic(mesh, p.position(), p.charge * p.vel[0], j.jx);
+    deposit_cic(mesh, p.position(), p.charge * p.vel[1], j.jy);
+    deposit_cic(mesh, p.position(), p.charge * p.vel[2], j.jz);
+  }
+  const Vec3 d = mesh.spacing();
+  const float inv_volume = static_cast<float>(1.0 / (d.x * d.y * d.z));
+  for (auto* component : {&j.jx, &j.jy, &j.jz}) {
+    for (auto& v : *component) v *= inv_volume;
+  }
+  return j;
+}
+
+std::vector<float> electric_field_magnitude(const DiagnosticMesh& mesh,
+                                            const Octree& tree) {
+  std::vector<float> field(mesh.cells(), 0.0f);
+  for (int z = 0; z < mesh.nz; ++z) {
+    for (int y = 0; y < mesh.ny; ++y) {
+      for (int x = 0; x < mesh.nx; ++x) {
+        const Vec3 e = tree.field_at(mesh.cell_center(x, y, z));
+        field[(static_cast<std::size_t>(z) * mesh.ny + y) * mesh.nx + x] =
+            static_cast<float>(norm(e));
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace cs::pepc

@@ -1,0 +1,59 @@
+// Mesh diagnostics — the extension the paper announces for PEPC:
+// "A future extension will also provide selected diagnostic quantities
+// mapped onto a user-defined mesh, such as charge density, current,
+// electric fields and laser intensity." (paper section 3.4)
+//
+// Charge and current density are deposited with cloud-in-cell (CIC)
+// weighting; the electric field is sampled from the octree at the mesh
+// points. The outputs are x-fastest float arrays ready for the viz
+// substrate (isosurfaces, cutting planes) and the COVISE grid object.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "sim/pepc/particle.hpp"
+#include "sim/pepc/tree.hpp"
+
+namespace cs::pepc {
+
+/// A user-defined diagnostic mesh over an axis-aligned box.
+struct DiagnosticMesh {
+  int nx = 16, ny = 16, nz = 16;
+  common::Vec3 lo{-2, -2, -2};
+  common::Vec3 hi{2, 2, 2};
+
+  std::size_t cells() const noexcept {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+  common::Vec3 spacing() const noexcept {
+    return {(hi.x - lo.x) / nx, (hi.y - lo.y) / ny, (hi.z - lo.z) / nz};
+  }
+  /// Center of cell (x, y, z).
+  common::Vec3 cell_center(int x, int y, int z) const noexcept {
+    const auto d = spacing();
+    return {lo.x + (x + 0.5) * d.x, lo.y + (y + 0.5) * d.y,
+            lo.z + (z + 0.5) * d.z};
+  }
+};
+
+/// Charge density: sum of q_i deposited CIC onto the mesh, divided by the
+/// cell volume. Total deposited charge equals the total charge of all
+/// particles inside the mesh (conservation property, tested).
+std::vector<float> charge_density(const DiagnosticMesh& mesh,
+                                  std::span<const Particle> particles);
+
+/// Current density: q_i * v_i deposited CIC; one array per component.
+struct CurrentDensity {
+  std::vector<float> jx, jy, jz;
+};
+CurrentDensity current_density(const DiagnosticMesh& mesh,
+                               std::span<const Particle> particles);
+
+/// |E| sampled from the tree at every cell center.
+std::vector<float> electric_field_magnitude(
+    const DiagnosticMesh& mesh, const Octree& tree);
+
+}  // namespace cs::pepc

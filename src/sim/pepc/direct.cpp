@@ -1,0 +1,55 @@
+#include "sim/pepc/direct.hpp"
+
+#include <cmath>
+
+namespace cs::pepc {
+
+using common::Vec3;
+
+Vec3 DirectSolver::field_at(std::span<const Particle> particles,
+                            const Vec3& where, std::size_t skip) const {
+  Vec3 field{};
+  const double eps2 = softening_ * softening_;
+  for (std::size_t j = 0; j < particles.size(); ++j) {
+    if (j == skip) continue;
+    const Vec3 r = where - particles[j].position();
+    const double r2 = norm2(r) + eps2;
+    const double inv_r = 1.0 / std::sqrt(r2);
+    field += particles[j].charge * (inv_r / r2) * r;
+  }
+  return field;
+}
+
+void DirectSolver::accumulate_forces(std::span<const Particle> particles,
+                                     std::span<Vec3> forces) const {
+  const double eps2 = softening_ * softening_;
+  for (auto& f : forces) f = Vec3{};
+  // Pairwise symmetric accumulation: each pair visited once.
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::size_t j = i + 1; j < particles.size(); ++j) {
+      const Vec3 r = particles[i].position() - particles[j].position();
+      const double r2 = norm2(r) + eps2;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const Vec3 e = (particles[i].charge * particles[j].charge) *
+                     (inv_r / r2) * r;
+      forces[i] += e;
+      forces[j] -= e;
+    }
+  }
+}
+
+double DirectSolver::potential_energy(
+    std::span<const Particle> particles) const {
+  const double eps2 = softening_ * softening_;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::size_t j = i + 1; j < particles.size(); ++j) {
+      const Vec3 r = particles[i].position() - particles[j].position();
+      energy += particles[i].charge * particles[j].charge /
+                std::sqrt(norm2(r) + eps2);
+    }
+  }
+  return energy;
+}
+
+}  // namespace cs::pepc

@@ -1,0 +1,33 @@
+// O(N^2) direct force summation — the baseline the tree code is measured
+// against (experiment E5) and the accuracy reference for the multipole
+// approximation.
+#pragma once
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "sim/pepc/particle.hpp"
+
+namespace cs::pepc {
+
+class DirectSolver {
+ public:
+  explicit DirectSolver(double softening = 0.05) : softening_(softening) {}
+
+  /// Field (force per unit charge) at `where`, excluding particle `skip`.
+  common::Vec3 field_at(std::span<const Particle> particles,
+                        const common::Vec3& where,
+                        std::size_t skip = static_cast<std::size_t>(-1)) const;
+
+  /// Forces on all particles (exact pairwise sum).
+  void accumulate_forces(std::span<const Particle> particles,
+                         std::span<common::Vec3> forces) const;
+
+  /// Exact potential energy 0.5 * sum_i sum_{j!=i} q_i q_j / r_ij.
+  double potential_energy(std::span<const Particle> particles) const;
+
+ private:
+  double softening_;
+};
+
+}  // namespace cs::pepc

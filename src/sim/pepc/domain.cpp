@@ -1,0 +1,90 @@
+#include "sim/pepc/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace cs::pepc {
+
+using common::Vec3;
+
+std::uint64_t interleave3(std::uint32_t x, std::uint32_t y,
+                          std::uint32_t z) noexcept {
+  const auto spread = [](std::uint64_t v) {
+    v &= 0x1fffff;  // 21 bits
+    v = (v | (v << 32)) & 0x1f00000000ffffULL;
+    v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+    v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+    v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+    v = (v | (v << 2)) & 0x1249249249249249ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+}
+
+std::uint64_t morton_key(const Vec3& position, const Vec3& lo,
+                         double size) noexcept {
+  const double scale = size > 0 ? (static_cast<double>(1 << 21) - 1) / size : 0;
+  const auto clampc = [&](double v) {
+    return static_cast<std::uint32_t>(
+        std::clamp(v * scale, 0.0, static_cast<double>((1 << 21) - 1)));
+  };
+  return interleave3(clampc(position.x - lo.x), clampc(position.y - lo.y),
+                     clampc(position.z - lo.z));
+}
+
+std::vector<DomainBox> decompose(std::span<Particle> particles,
+                                 int processors) {
+  std::vector<DomainBox> boxes;
+  if (particles.empty() || processors <= 0) return boxes;
+
+  Vec3 lo = particles[0].position(), hi = lo;
+  for (const auto& p : particles) {
+    lo.x = std::min(lo.x, p.pos[0]);
+    lo.y = std::min(lo.y, p.pos[1]);
+    lo.z = std::min(lo.z, p.pos[2]);
+    hi.x = std::max(hi.x, p.pos[0]);
+    hi.y = std::max(hi.y, p.pos[1]);
+    hi.z = std::max(hi.z, p.pos[2]);
+  }
+  const double size = std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-12});
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(particles.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    keyed[i] = {morton_key(particles[i].position(), lo, size),
+                static_cast<std::uint32_t>(i)};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  boxes.assign(static_cast<std::size_t>(processors), DomainBox{});
+  for (auto& b : boxes) {
+    b.lo[0] = b.lo[1] = b.lo[2] = std::numeric_limits<double>::max();
+    b.hi[0] = b.hi[1] = b.hi[2] = std::numeric_limits<double>::lowest();
+  }
+  const std::size_t n = particles.size();
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const auto proc = static_cast<int>(
+        std::min<std::size_t>(rank * static_cast<std::size_t>(processors) / n,
+                              static_cast<std::size_t>(processors) - 1));
+    Particle& p = particles[keyed[rank].second];
+    p.proc = proc;
+    auto& b = boxes[static_cast<std::size_t>(proc)];
+    b.proc = proc;
+    ++b.count;
+    for (int a = 0; a < 3; ++a) {
+      b.lo[a] = std::min(b.lo[a], p.pos[a]);
+      b.hi[a] = std::max(b.hi[a], p.pos[a]);
+    }
+  }
+  // Empty domains (more procs than particles) get a degenerate box at lo.
+  for (auto& b : boxes) {
+    if (b.count == 0) {
+      b.lo[0] = b.lo[1] = b.lo[2] = 0;
+      b.hi[0] = b.hi[1] = b.hi[2] = 0;
+    }
+  }
+  return boxes;
+}
+
+}  // namespace cs::pepc

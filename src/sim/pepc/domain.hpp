@@ -1,0 +1,35 @@
+// Morton-key domain decomposition.
+//
+// PEPC assigns particles to processors by sorting them along a space-
+// filling curve and cutting the sorted order into equal chunks; the
+// resulting per-processor bounding boxes are what the online visualization
+// draws "as transparent or solid boxes, providing immediate insight into
+// both the physical and algorithmic workings of the parallel tree code"
+// (paper section 3.4). Our solver is single-process; the decomposition
+// exists because the *visualization of it* is part of what the paper shows,
+// and because it drives the work partition of the threaded force loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/pepc/particle.hpp"
+
+namespace cs::pepc {
+
+/// 63-bit Morton key of a position inside the bounding cube [lo, lo+size).
+std::uint64_t morton_key(const common::Vec3& position, const common::Vec3& lo,
+                         double size) noexcept;
+
+/// Interleaves 21-bit coordinates x,y,z into a Morton code.
+std::uint64_t interleave3(std::uint32_t x, std::uint32_t y,
+                          std::uint32_t z) noexcept;
+
+/// Assigns `proc` = chunk index along the Morton order, balancing particle
+/// counts across `processors` chunks, and returns the per-processor
+/// bounding boxes.
+std::vector<DomainBox> decompose(std::span<Particle> particles,
+                                 int processors);
+
+}  // namespace cs::pepc

@@ -1,0 +1,31 @@
+#include "sim/pepc/particle.hpp"
+
+#include <cstddef>
+
+namespace cs::pepc {
+
+wire::StructDesc particle_struct_desc() {
+  wire::StructDesc d{"pepc.particle", sizeof(Particle)};
+  d.add_field("pos", wire::ScalarType::kFloat64, 3, offsetof(Particle, pos))
+      .add_field("vel", wire::ScalarType::kFloat64, 3, offsetof(Particle, vel))
+      .add_field("charge", wire::ScalarType::kFloat64, 1,
+                 offsetof(Particle, charge))
+      .add_field("mass", wire::ScalarType::kFloat64, 1,
+                 offsetof(Particle, mass))
+      .add_field("proc", wire::ScalarType::kInt32, 1, offsetof(Particle, proc))
+      .add_field("label", wire::ScalarType::kInt64, 1,
+                 offsetof(Particle, label));
+  return d;
+}
+
+wire::StructDesc domain_box_struct_desc() {
+  wire::StructDesc d{"pepc.domain", sizeof(DomainBox)};
+  d.add_field("lo", wire::ScalarType::kFloat64, 3, offsetof(DomainBox, lo))
+      .add_field("hi", wire::ScalarType::kFloat64, 3, offsetof(DomainBox, hi))
+      .add_field("proc", wire::ScalarType::kInt32, 1, offsetof(DomainBox, proc))
+      .add_field("count", wire::ScalarType::kInt32, 1,
+                 offsetof(DomainBox, count));
+  return d;
+}
+
+}  // namespace cs::pepc

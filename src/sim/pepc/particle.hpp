@@ -1,0 +1,48 @@
+// Particle record of the plasma solver.
+//
+// The fields mirror exactly what PEPC ships to its visualization: "particle
+// data-space comprising coordinates, velocities, charge, processor number
+// and tracking-label" (paper section 3.4). The StructDesc lets the record
+// cross the VISIT channel with server-side conversion.
+#pragma once
+
+#include <cstdint>
+
+#include "common/vec3.hpp"
+#include "wire/structdesc.hpp"
+
+namespace cs::pepc {
+
+struct Particle {
+  double pos[3] = {0, 0, 0};
+  double vel[3] = {0, 0, 0};
+  double charge = 0.0;
+  double mass = 1.0;
+  std::int32_t proc = 0;     ///< owning "processor" after decomposition
+  std::int64_t label = 0;    ///< stable tracking label
+
+  common::Vec3 position() const noexcept { return {pos[0], pos[1], pos[2]}; }
+  common::Vec3 velocity() const noexcept { return {vel[0], vel[1], vel[2]}; }
+  void set_position(const common::Vec3& p) noexcept {
+    pos[0] = p.x; pos[1] = p.y; pos[2] = p.z;
+  }
+  void set_velocity(const common::Vec3& v) noexcept {
+    vel[0] = v.x; vel[1] = v.y; vel[2] = v.z;
+  }
+};
+
+/// Wire schema of a Particle (field names are the public contract).
+wire::StructDesc particle_struct_desc();
+
+/// Axis-aligned box of one processor domain — "a set of node coordinates
+/// representing each processor domain", displayed as transparent boxes.
+struct DomainBox {
+  double lo[3] = {0, 0, 0};
+  double hi[3] = {0, 0, 0};
+  std::int32_t proc = 0;
+  std::int32_t count = 0;  ///< particles in the domain
+};
+
+wire::StructDesc domain_box_struct_desc();
+
+}  // namespace cs::pepc

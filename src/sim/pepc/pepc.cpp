@@ -1,0 +1,152 @@
+#include "sim/pepc/pepc.hpp"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace cs::pepc {
+
+using common::Vec3;
+
+PepcSimulation::PepcSimulation(const PepcConfig& config)
+    : config_(config), tree_(config.tree), rng_(config.seed) {
+  // Spherical quasi-neutral target: electron/ion pairs, uniformly filling
+  // a ball. Ions are heavy and cold; electrons carry a small thermal spread.
+  particles_.reserve(static_cast<std::size_t>(config_.target_pairs) * 2);
+  for (int i = 0; i < config_.target_pairs; ++i) {
+    Vec3 pos;
+    do {
+      pos = Vec3{rng_.uniform(-1, 1), rng_.uniform(-1, 1), rng_.uniform(-1, 1)};
+    } while (norm2(pos) > 1.0);
+    pos *= config_.target_radius;
+
+    Particle ion;
+    ion.set_position(pos);
+    ion.charge = 1.0;
+    ion.mass = config_.ion_mass;
+    ion.label = next_label_++;
+    particles_.push_back(ion);
+
+    Particle electron;
+    electron.set_position(pos + Vec3{rng_.uniform(-0.01, 0.01),
+                                     rng_.uniform(-0.01, 0.01),
+                                     rng_.uniform(-0.01, 0.01)});
+    electron.charge = -1.0;
+    electron.mass = 1.0;
+    electron.set_velocity(Vec3{rng_.normal(), rng_.normal(), rng_.normal()} *
+                          config_.electron_temperature);
+    electron.label = next_label_++;
+    particles_.push_back(electron);
+  }
+  forces_.resize(particles_.size());
+  domains_ = decompose(particles_, config_.processors);
+}
+
+void PepcSimulation::emit_beam() {
+  BeamConfig beam = beam_;
+  const Vec3 dir = normalized(beam.direction);
+  // Build an orthonormal frame (dir, t1, t2) for the transverse spread.
+  const Vec3 up = std::abs(dir.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  const Vec3 t1 = normalized(cross(dir, up));
+  const Vec3 t2 = cross(dir, t1);
+  for (int i = 0; i < beam.pulse_size; ++i) {
+    double u, v;
+    do {
+      u = rng_.uniform(-1, 1);
+      v = rng_.uniform(-1, 1);
+    } while (u * u + v * v > 1.0);
+    Particle p;
+    p.set_position(beam.origin + (u * beam.radius) * t1 +
+                   (v * beam.radius) * t2 +
+                   dir * rng_.uniform(-0.05, 0.05));
+    p.set_velocity(dir * beam.speed);
+    p.charge = beam.charge;
+    p.mass = 1.0;
+    p.label = next_label_++;
+    particles_.push_back(p);
+  }
+  forces_.resize(particles_.size());
+  forces_fresh_ = false;
+  domains_ = decompose(particles_, config_.processors);
+}
+
+void PepcSimulation::compute_forces() {
+  tree_.build(particles_);
+  const std::size_t n = particles_.size();
+  const int threads = std::max(1, config_.processors);
+  if (threads == 1 || n < 256) {
+    tree_.accumulate_forces(particles_, forces_);
+  } else {
+    // Each worker takes a contiguous index slice; the tree is read-only
+    // during traversal so no synchronization is needed beyond the join.
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    const std::size_t chunk = (n + static_cast<std::size_t>(threads) - 1) /
+                              static_cast<std::size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back([this, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          forces_[i] =
+              particles_[i].charge * tree_.field_at(particles_[i].position(), i);
+        }
+      });
+    }
+  }
+  forces_fresh_ = true;
+}
+
+void PepcSimulation::step() {
+  if (!forces_fresh_) compute_forces();
+  const double dt = config_.dt;
+  // Kick (half), drift, rebuild forces, kick (half).
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    Particle& p = particles_[i];
+    p.set_velocity(p.velocity() + (0.5 * dt / p.mass) * forces_[i]);
+    p.set_position(p.position() + dt * p.velocity());
+  }
+  compute_forces();
+  const double keep = 1.0 - config_.damping;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    Particle& p = particles_[i];
+    Vec3 v = p.velocity() + (0.5 * dt / p.mass) * forces_[i];
+    if (config_.damping > 0.0) v *= keep;
+    p.set_velocity(v);
+  }
+  domains_ = decompose(particles_, config_.processors);
+  ++steps_;
+}
+
+double PepcSimulation::kinetic_energy() const {
+  double e = 0.0;
+  for (const auto& p : particles_) e += 0.5 * p.mass * norm2(p.velocity());
+  return e;
+}
+
+double PepcSimulation::potential_energy() const {
+  Octree tree(config_.tree);
+  tree.build(particles_);
+  return tree.potential_energy(particles_);
+}
+
+double PepcSimulation::mean_electron_speed() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& p : particles_) {
+    if (p.charge < 0.0) {
+      sum += norm(p.velocity());
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+Vec3 PepcSimulation::total_momentum() const {
+  Vec3 m{};
+  for (const auto& p : particles_) m += p.mass * p.velocity();
+  return m;
+}
+
+}  // namespace cs::pepc

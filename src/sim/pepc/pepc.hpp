@@ -1,0 +1,106 @@
+// PEPC — the plasma simulation driver.
+//
+// Recreates the paper's demonstration scenario (section 3.4): "a particle
+// beam striking a spherical plasma target", with the beam parameters
+// "(charge/intensity, direction) altered by the user interactively while
+// the application is running", plus the "assist an initially random plasma
+// system towards a cold, ordered state" capability via a steerable velocity
+// damping factor.
+//
+// Integration is leapfrog (kick-drift-kick); forces come from the
+// Barnes-Hut octree (O(N log N)), optionally evaluated by a thread pool
+// partitioned along the Morton domain decomposition — the shared-memory
+// stand-in for PEPC's MPI parallelism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "sim/pepc/domain.hpp"
+#include "sim/pepc/particle.hpp"
+#include "sim/pepc/tree.hpp"
+
+namespace cs::pepc {
+
+struct BeamConfig {
+  /// Particles injected per emit_beam() call.
+  int pulse_size = 64;
+  /// Charge of each beam particle (sign matters: electrons are negative).
+  double charge = -1.0;
+  /// Beam speed (intensity knob of the paper).
+  double speed = 2.0;
+  /// Unit-ish direction; normalized internally.
+  common::Vec3 direction{1.0, 0.0, 0.0};
+  /// Where pulses start (offset from the target center).
+  common::Vec3 origin{-3.0, 0.0, 0.0};
+  /// Transverse radius of the beam.
+  double radius = 0.2;
+};
+
+struct PepcConfig {
+  /// Electron/ion pairs in the spherical target.
+  int target_pairs = 512;
+  double target_radius = 1.0;
+  /// Thermal velocity of target electrons (ions start cold).
+  double electron_temperature = 0.05;
+  double dt = 0.005;
+  TreeConfig tree;
+  /// Morton-decomposed "processor" domains (also force threads when >1).
+  int processors = 4;
+  /// Velocity damping factor per step in [0,1]; 0 = none. Steerable: lets
+  /// the user cool the plasma towards a quiescent state.
+  double damping = 0.0;
+  std::uint64_t seed = 42;
+  /// Ion/electron mass ratio (reduced for visible dynamics).
+  double ion_mass = 100.0;
+};
+
+class PepcSimulation {
+ public:
+  explicit PepcSimulation(const PepcConfig& config);
+
+  /// One leapfrog step: kick-drift-kick with a fresh tree each step,
+  /// followed by domain re-decomposition.
+  void step();
+
+  /// Injects one beam pulse with the current beam parameters.
+  void emit_beam();
+
+  // ---- steering handles --------------------------------------------------
+  BeamConfig& beam() noexcept { return beam_; }
+  const BeamConfig& beam() const noexcept { return beam_; }
+  void set_damping(double d) noexcept { config_.damping = d; }
+  double damping() const noexcept { return config_.damping; }
+
+  // ---- observables --------------------------------------------------------
+  const std::vector<Particle>& particles() const noexcept { return particles_; }
+  const std::vector<DomainBox>& domains() const noexcept { return domains_; }
+  std::uint64_t steps_done() const noexcept { return steps_; }
+
+  double kinetic_energy() const;
+  double potential_energy() const;
+  double total_energy() const { return kinetic_energy() + potential_energy(); }
+  /// Mean electron speed — the "temperature" the cooling capability drives
+  /// down.
+  double mean_electron_speed() const;
+  common::Vec3 total_momentum() const;
+  const Octree& tree() const noexcept { return tree_; }
+
+ private:
+  void compute_forces();
+
+  PepcConfig config_;
+  BeamConfig beam_;
+  std::vector<Particle> particles_;
+  std::vector<common::Vec3> forces_;
+  std::vector<DomainBox> domains_;
+  Octree tree_;
+  common::Rng rng_;
+  std::int64_t next_label_ = 0;
+  std::uint64_t steps_ = 0;
+  bool forces_fresh_ = false;
+};
+
+}  // namespace cs::pepc

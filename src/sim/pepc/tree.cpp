@@ -1,0 +1,244 @@
+#include "sim/pepc/tree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+namespace cs::pepc {
+
+using common::Vec3;
+
+namespace {
+constexpr int kMaxDepth = 32;
+}
+
+void Octree::build(std::span<const Particle> particles) {
+  particles_ = particles;
+  nodes_.clear();
+  order_.resize(particles.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  interactions_ = 0;
+  if (particles.empty()) {
+    nodes_.push_back(TreeNode{});
+    return;
+  }
+
+  // Root cube: centered bounding cube of all particles.
+  Vec3 lo = particles[0].position(), hi = lo;
+  for (const auto& p : particles) {
+    lo.x = std::min(lo.x, p.pos[0]);
+    lo.y = std::min(lo.y, p.pos[1]);
+    lo.z = std::min(lo.z, p.pos[2]);
+    hi.x = std::max(hi.x, p.pos[0]);
+    hi.y = std::max(hi.y, p.pos[1]);
+    hi.z = std::max(hi.z, p.pos[2]);
+  }
+  TreeNode root;
+  root.center = (lo + hi) * 0.5;
+  root.half_size =
+      0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-9});
+  root.begin = 0;
+  root.end = static_cast<std::uint32_t>(particles.size());
+  nodes_.push_back(root);
+  subdivide(0, 0);
+  compute_moments(0);
+}
+
+void Octree::subdivide(std::uint32_t node_index, int depth) {
+  TreeNode node = nodes_[node_index];  // copy: nodes_ may reallocate below
+  const auto count = node.end - node.begin;
+  if (count <= static_cast<std::uint32_t>(config_.leaf_capacity) ||
+      depth >= kMaxDepth) {
+    return;
+  }
+
+  // Partition the index range into 8 octants around the node center.
+  const auto octant_of = [&](std::uint32_t pi) {
+    const auto& p = particles_[pi];
+    return (p.pos[0] >= node.center.x ? 1 : 0) |
+           (p.pos[1] >= node.center.y ? 2 : 0) |
+           (p.pos[2] >= node.center.z ? 4 : 0);
+  };
+  std::array<std::uint32_t, 9> bounds{};
+  {
+    std::array<std::uint32_t, 8> counts{};
+    for (auto i = node.begin; i < node.end; ++i) {
+      ++counts[static_cast<std::size_t>(octant_of(order_[i]))];
+    }
+    bounds[0] = node.begin;
+    for (int o = 0; o < 8; ++o) {
+      bounds[static_cast<std::size_t>(o) + 1] =
+          bounds[static_cast<std::size_t>(o)] +
+          counts[static_cast<std::size_t>(o)];
+    }
+    // In-place bucket partition.
+    std::array<std::uint32_t, 8> cursor;
+    std::copy(bounds.begin(), bounds.end() - 1, cursor.begin());
+    for (int o = 0; o < 8; ++o) {
+      auto& cur = cursor[static_cast<std::size_t>(o)];
+      const auto end = bounds[static_cast<std::size_t>(o) + 1];
+      while (cur < end) {
+        const int target = octant_of(order_[cur]);
+        if (target == o) {
+          ++cur;
+        } else {
+          std::swap(order_[cur], order_[cursor[static_cast<std::size_t>(target)]]);
+          ++cursor[static_cast<std::size_t>(target)];
+        }
+      }
+    }
+  }
+
+  const auto first_child = static_cast<std::uint32_t>(nodes_.size());
+  nodes_[node_index].first_child = first_child;
+  const double child_half = node.half_size * 0.5;
+  for (int o = 0; o < 8; ++o) {
+    TreeNode child;
+    child.center = node.center + Vec3{(o & 1) ? child_half : -child_half,
+                                      (o & 2) ? child_half : -child_half,
+                                      (o & 4) ? child_half : -child_half};
+    child.half_size = child_half;
+    child.begin = bounds[static_cast<std::size_t>(o)];
+    child.end = bounds[static_cast<std::size_t>(o) + 1];
+    nodes_.push_back(child);
+  }
+  for (int o = 0; o < 8; ++o) {
+    const auto ci = first_child + static_cast<std::uint32_t>(o);
+    if (nodes_[ci].end > nodes_[ci].begin) subdivide(ci, depth + 1);
+  }
+}
+
+void Octree::compute_moments(std::uint32_t node_index) {
+  TreeNode& node = nodes_[node_index];
+  node.monopole = 0.0;
+  node.dipole = Vec3{};
+  if (node.first_child == 0) {
+    for (auto i = node.begin; i < node.end; ++i) {
+      const auto& p = particles_[order_[i]];
+      node.monopole += p.charge;
+      node.dipole += p.charge * (p.position() - node.center);
+    }
+    return;
+  }
+  for (int o = 0; o < 8; ++o) {
+    const auto ci = node.first_child + static_cast<std::uint32_t>(o);
+    if (nodes_[ci].end == nodes_[ci].begin) continue;
+    compute_moments(ci);
+    node.monopole += nodes_[ci].monopole;
+    node.dipole += nodes_[ci].dipole +
+                   nodes_[ci].monopole * (nodes_[ci].center - node.center);
+  }
+}
+
+namespace {
+
+/// Plummer-softened contribution of a point charge q at displacement r.
+inline void point_field(const Vec3& r, double q, double eps2, Vec3& field,
+                        double& potential) {
+  const double r2 = norm2(r) + eps2;
+  const double inv_r = 1.0 / std::sqrt(r2);
+  const double inv_r3 = inv_r / r2;
+  field += q * inv_r3 * r;
+  potential += q * inv_r;
+}
+
+/// Monopole+dipole contribution of a cell about its center.
+inline void cell_field(const Vec3& r, double mono, const Vec3& dip,
+                       double eps2, Vec3& field, double& potential) {
+  const double r2 = norm2(r) + eps2;
+  const double inv_r = 1.0 / std::sqrt(r2);
+  const double inv_r2 = 1.0 / r2;
+  const double inv_r3 = inv_r * inv_r2;
+  field += mono * inv_r3 * r;
+  potential += mono * inv_r;
+  // Dipole: phi = d.r / r^3 ; E = (3 (d.r) r / r^2 - d) / r^3.
+  const double dr = dot(dip, r);
+  field += (3.0 * dr * inv_r2 * r - dip) * inv_r3;
+  potential += dr * inv_r3;
+}
+
+}  // namespace
+
+Vec3 Octree::field_at(const Vec3& where, std::size_t skip) const {
+  Vec3 field{};
+  double potential = 0.0;
+  const double eps2 = config_.softening * config_.softening;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const TreeNode& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.end == node.begin) continue;
+    const Vec3 r = where - node.center;
+    const double d = norm(r);
+    if (node.first_child == 0 ||
+        2.0 * node.half_size < config_.theta * d) {
+      if (node.first_child == 0) {
+        for (auto i = node.begin; i < node.end; ++i) {
+          const auto pi = order_[i];
+          if (pi == skip) continue;
+          const auto& p = particles_[pi];
+          point_field(where - p.position(), p.charge, eps2, field, potential);
+          ++interactions_;
+        }
+      } else {
+        cell_field(r, node.monopole, node.dipole, eps2, field, potential);
+        ++interactions_;
+      }
+      continue;
+    }
+    for (int o = 0; o < 8; ++o) {
+      stack.push_back(node.first_child + static_cast<std::uint32_t>(o));
+    }
+  }
+  return field;
+}
+
+double Octree::potential_at(const Vec3& where, std::size_t skip) const {
+  double potential = 0.0;
+  Vec3 field{};
+  const double eps2 = config_.softening * config_.softening;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const TreeNode& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.end == node.begin) continue;
+    const Vec3 r = where - node.center;
+    const double d = norm(r);
+    if (node.first_child == 0 ||
+        2.0 * node.half_size < config_.theta * d) {
+      if (node.first_child == 0) {
+        for (auto i = node.begin; i < node.end; ++i) {
+          const auto pi = order_[i];
+          if (pi == skip) continue;
+          const auto& p = particles_[pi];
+          point_field(where - p.position(), p.charge, eps2, field, potential);
+        }
+      } else {
+        cell_field(r, node.monopole, node.dipole, eps2, field, potential);
+      }
+      continue;
+    }
+    for (int o = 0; o < 8; ++o) {
+      stack.push_back(node.first_child + static_cast<std::uint32_t>(o));
+    }
+  }
+  return potential;
+}
+
+void Octree::accumulate_forces(std::span<const Particle> particles,
+                               std::span<Vec3> forces) const {
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    forces[i] = particles[i].charge * field_at(particles[i].position(), i);
+  }
+}
+
+double Octree::potential_energy(std::span<const Particle> particles) const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    energy += particles[i].charge * potential_at(particles[i].position(), i);
+  }
+  return 0.5 * energy;
+}
+
+}  // namespace cs::pepc

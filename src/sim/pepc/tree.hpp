@@ -1,0 +1,85 @@
+// Barnes-Hut octree for electrostatic force summation.
+//
+// "The code uses a hierarchical tree algorithm to perform potential and
+// force summation for charged particles in a time O(N log N), allowing
+// mesh-free particle simulation on length- and time-scales normally
+// possible only with particle-in-cell or hydrodynamic techniques." (paper
+// section 3.4)
+//
+// Cells carry monopole + dipole moments about their geometric center so
+// accuracy survives mixed-sign (quasi-neutral plasma) charge distributions.
+// The multipole acceptance criterion is the classic s/d < theta.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "sim/pepc/particle.hpp"
+
+namespace cs::pepc {
+
+struct TreeConfig {
+  /// Opening angle: a cell of size s at distance d is accepted when
+  /// s < theta * d. Smaller = more accurate = slower.
+  double theta = 0.6;
+  /// Plummer softening length (avoids the 1/r^2 singularity).
+  double softening = 0.05;
+  /// Leaves hold at most this many particles.
+  int leaf_capacity = 8;
+};
+
+/// Octree node. Children are stored by index into the node pool; 0 = none
+/// (node 0 is always the root, which is nobody's child).
+struct TreeNode {
+  common::Vec3 center;       ///< geometric center of the cube
+  double half_size = 0.0;    ///< half edge length
+  common::Vec3 dipole;       ///< sum q_i * (x_i - center)
+  double monopole = 0.0;     ///< sum q_i
+  std::uint32_t first_child = 0;  ///< index of first of 8 children; 0 = leaf
+  std::uint32_t begin = 0;   ///< particle index range [begin, end)
+  std::uint32_t end = 0;
+};
+
+class Octree {
+ public:
+  explicit Octree(TreeConfig config = {}) : config_(config) {}
+
+  /// Builds the tree over the particles (reorders `order_` internally;
+  /// particles themselves are not moved).
+  void build(std::span<const Particle> particles);
+
+  /// Field (force per unit charge) at `where`, excluding any particle whose
+  /// index equals `skip` (pass SIZE_MAX to include all).
+  common::Vec3 field_at(const common::Vec3& where,
+                        std::size_t skip = static_cast<std::size_t>(-1)) const;
+
+  /// Electrostatic potential at `where` (same acceptance rules).
+  double potential_at(const common::Vec3& where,
+                      std::size_t skip = static_cast<std::size_t>(-1)) const;
+
+  /// Forces on all particles: F_i = q_i * E(x_i) excluding self.
+  void accumulate_forces(std::span<const Particle> particles,
+                         std::span<common::Vec3> forces) const;
+
+  /// Total potential energy 0.5 * sum q_i phi(x_i).
+  double potential_energy(std::span<const Particle> particles) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t interaction_count() const noexcept { return interactions_; }
+  const TreeConfig& config() const noexcept { return config_; }
+  const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
+
+ private:
+  void subdivide(std::uint32_t node_index, int depth);
+  void compute_moments(std::uint32_t node_index);
+
+  TreeConfig config_;
+  std::span<const Particle> particles_;
+  std::vector<std::uint32_t> order_;  ///< particle indices, tree-sorted
+  std::vector<TreeNode> nodes_;
+  mutable std::size_t interactions_ = 0;
+};
+
+}  // namespace cs::pepc

@@ -1,0 +1,226 @@
+#include "steer/control.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace cs::steer {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+std::string_view to_string(Command command) noexcept {
+  switch (command) {
+    case Command::kNone: return "none";
+    case Command::kPause: return "pause";
+    case Command::kResume: return "resume";
+    case Command::kStop: return "stop";
+    case Command::kCheckpoint: return "checkpoint";
+    case Command::kEmitSample: return "emit-sample";
+  }
+  return "?";
+}
+
+void SteeringControl::register_steerable(const std::string& name,
+                                         double* value, double min_value,
+                                         double max_value) {
+  std::scoped_lock lock(mutex_);
+  doubles_[name] = DoubleParam{value, *value, min_value, max_value, {}};
+}
+
+void SteeringControl::register_steerable_int(const std::string& name,
+                                             std::int64_t* value,
+                                             std::int64_t min_value,
+                                             std::int64_t max_value) {
+  std::scoped_lock lock(mutex_);
+  ints_[name] = IntParam{value, *value, min_value, max_value, {}};
+}
+
+void SteeringControl::register_monitored(const std::string& name,
+                                         std::function<double()> probe) {
+  std::scoped_lock lock(mutex_);
+  monitors_[name] = Monitor{std::move(probe), 0.0};
+  // Prime the cache so clients never see an uninitialized value.
+  monitors_[name].cached = monitors_[name].probe();
+}
+
+std::vector<std::string> SteeringControl::apply_pending() {
+  std::vector<std::string> changed;
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, p] : doubles_) {
+    if (p.pending) {
+      *p.target = *p.pending;
+      p.shadow = *p.pending;
+      p.pending.reset();
+      changed.push_back(name);
+    } else {
+      p.shadow = *p.target;  // track app-side changes too
+    }
+  }
+  for (auto& [name, p] : ints_) {
+    if (p.pending) {
+      *p.target = *p.pending;
+      p.shadow = *p.pending;
+      p.pending.reset();
+      changed.push_back(name);
+    } else {
+      p.shadow = *p.target;
+    }
+  }
+  for (auto& [name, m] : monitors_) m.cached = m.probe();
+  return changed;
+}
+
+Command SteeringControl::next_command() {
+  std::scoped_lock lock(mutex_);
+  if (commands_.empty()) return Command::kNone;
+  Command c = commands_.front();
+  commands_.pop_front();
+  return c;
+}
+
+Command SteeringControl::sync() {
+  apply_pending();
+  for (;;) {
+    Command c = next_command();
+    switch (c) {
+      case Command::kPause: {
+        std::unique_lock lock(mutex_);
+        paused_ = true;
+        status_ = "paused";
+        cv_.wait(lock, [&] { return !paused_ || stop_; });
+        if (stop_) return Command::kStop;
+        lock.unlock();
+        apply_pending();  // pick up anything set while paused
+        continue;
+      }
+      case Command::kResume:
+        continue;  // already running
+      case Command::kStop:
+        return Command::kStop;
+      case Command::kCheckpoint:
+      case Command::kEmitSample:
+        return c;
+      case Command::kNone:
+        return Command::kNone;
+    }
+  }
+}
+
+void SteeringControl::set_status(const std::string& status) {
+  std::scoped_lock lock(mutex_);
+  status_ = status;
+}
+
+void SteeringControl::note_sample_emitted() {
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SteeringControl::samples_emitted() const {
+  return samples_.load(std::memory_order_relaxed);
+}
+
+bool SteeringControl::stop_requested() const {
+  std::scoped_lock lock(mutex_);
+  return stop_;
+}
+
+std::vector<SteeringControl::ParamInfo> SteeringControl::list_params() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<ParamInfo> out;
+  for (const auto& [name, p] : doubles_) {
+    out.push_back(ParamInfo{name, std::to_string(p.shadow), p.min_value,
+                            p.max_value, true});
+  }
+  for (const auto& [name, p] : ints_) {
+    out.push_back(ParamInfo{name, std::to_string(p.shadow),
+                            static_cast<double>(p.min_value),
+                            static_cast<double>(p.max_value), true});
+  }
+  for (const auto& [name, m] : monitors_) {
+    out.push_back(ParamInfo{name, std::to_string(m.cached), 0, 0, false});
+  }
+  return out;
+}
+
+Result<std::string> SteeringControl::get_param(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  if (auto it = doubles_.find(name); it != doubles_.end()) {
+    return std::to_string(it->second.pending.value_or(it->second.shadow));
+  }
+  if (auto it = ints_.find(name); it != ints_.end()) {
+    return std::to_string(it->second.pending.value_or(it->second.shadow));
+  }
+  if (auto it = monitors_.find(name); it != monitors_.end()) {
+    return std::to_string(it->second.cached);
+  }
+  return Status{StatusCode::kNotFound, "no parameter named " + name};
+}
+
+Status SteeringControl::set_param(const std::string& name,
+                                  const std::string& value) {
+  std::scoped_lock lock(mutex_);
+  if (auto it = doubles_.find(name); it != doubles_.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) {
+      return Status{StatusCode::kInvalidArgument, "not a number: " + value};
+    }
+    if (v < it->second.min_value || v > it->second.max_value) {
+      return Status{StatusCode::kInvalidArgument,
+                    name + " out of range [" +
+                        std::to_string(it->second.min_value) + ", " +
+                        std::to_string(it->second.max_value) + "]"};
+    }
+    it->second.pending = v;
+    return Status::ok();
+  }
+  if (auto it = ints_.find(name); it != ints_.end()) {
+    std::int64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      return Status{StatusCode::kInvalidArgument, "not an integer: " + value};
+    }
+    if (v < it->second.min_value || v > it->second.max_value) {
+      return Status{StatusCode::kInvalidArgument, name + " out of range"};
+    }
+    it->second.pending = v;
+    return Status::ok();
+  }
+  if (monitors_.contains(name)) {
+    return Status{StatusCode::kPermissionDenied,
+                  name + " is monitored-only"};
+  }
+  return Status{StatusCode::kNotFound, "no parameter named " + name};
+}
+
+Status SteeringControl::command(const std::string& command) {
+  std::scoped_lock lock(mutex_);
+  if (command == "pause") {
+    commands_.push_back(Command::kPause);
+  } else if (command == "resume") {
+    paused_ = false;
+    commands_.push_back(Command::kResume);
+    cv_.notify_all();
+  } else if (command == "stop") {
+    stop_ = true;
+    paused_ = false;
+    commands_.push_back(Command::kStop);
+    cv_.notify_all();
+  } else if (command == "checkpoint") {
+    commands_.push_back(Command::kCheckpoint);
+  } else if (command == "emit-sample") {
+    commands_.push_back(Command::kEmitSample);
+  } else {
+    return Status{StatusCode::kInvalidArgument, "unknown command: " + command};
+  }
+  return Status::ok();
+}
+
+std::string SteeringControl::status() const {
+  std::scoped_lock lock(mutex_);
+  return status_;
+}
+
+}  // namespace cs::steer

@@ -1,0 +1,116 @@
+// Application-side steering instrumentation — the RealityGrid-style API.
+//
+// "The RealityGrid project has defined APIs for the steering calls which
+// can be used to link from the application to the services." (paper section
+// 2.3). A simulation creates one SteeringControl, registers its steerable
+// parameters (pointers into its own state) and monitored quantities
+// (read-only probes), then calls apply_pending() once per main-loop
+// iteration. Everything a remote steerer does lands between iterations —
+// parameters never change mid-step.
+//
+// SteeringControl implements ogsa::SteeringBackend, so wrapping it in an
+// ogsa::SteeringService and publishing that to a registry is one line each;
+// that is exactly the Fig. 1 / Fig. 2 wiring.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ogsa/steering_service.hpp"
+
+namespace cs::steer {
+
+/// Control verbs a steerer can issue; delivered to the app's main loop.
+enum class Command { kNone, kPause, kResume, kStop, kCheckpoint, kEmitSample };
+
+std::string_view to_string(Command command) noexcept;
+
+class SteeringControl : public ogsa::SteeringBackend {
+ public:
+  // ---- registration (call from the application before steering starts) --
+
+  /// Registers a steerable double living in the application. The pointer
+  /// must outlive this object; it is written only inside apply_pending().
+  void register_steerable(const std::string& name, double* value,
+                          double min_value, double max_value);
+
+  /// Registers a steerable integer.
+  void register_steerable_int(const std::string& name, std::int64_t* value,
+                              std::int64_t min_value, std::int64_t max_value);
+
+  /// Registers a monitored (read-only) quantity; the probe is evaluated
+  /// only inside apply_pending(), i.e. on the application thread.
+  void register_monitored(const std::string& name,
+                          std::function<double()> probe);
+
+  // ---- main-loop calls (application thread) ----------------------------
+
+  /// Applies queued parameter updates and refreshes monitored values.
+  /// Returns the names of parameters that changed.
+  std::vector<std::string> apply_pending();
+
+  /// Pops the next queued command (kNone when idle).
+  Command next_command();
+
+  /// Convenience: apply updates, honor pause (blocking until resume/stop),
+  /// and return kStop/kCheckpoint/kEmitSample if requested.
+  Command sync();
+
+  /// Publishes a one-line status shown to steering clients.
+  void set_status(const std::string& status);
+
+  /// Bumps the sample counter (the app emits via its VISIT channel).
+  void note_sample_emitted();
+  std::uint64_t samples_emitted() const;
+
+  bool stop_requested() const;
+
+  // ---- SteeringBackend (service thread) --------------------------------
+
+  std::vector<ParamInfo> list_params() const override;
+  common::Result<std::string> get_param(const std::string& name) const override;
+  common::Status set_param(const std::string& name,
+                           const std::string& value) override;
+  common::Status command(const std::string& command) override;
+  std::string status() const override;
+
+ private:
+  struct DoubleParam {
+    double* target;
+    double shadow;
+    double min_value, max_value;
+    std::optional<double> pending;
+  };
+  struct IntParam {
+    std::int64_t* target;
+    std::int64_t shadow;
+    std::int64_t min_value, max_value;
+    std::optional<std::int64_t> pending;
+  };
+  struct Monitor {
+    std::function<double()> probe;
+    double cached = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, DoubleParam> doubles_;
+  std::map<std::string, IntParam> ints_;
+  std::map<std::string, Monitor> monitors_;
+  std::deque<Command> commands_;
+  bool paused_ = false;
+  bool stop_ = false;
+  std::string status_ = "initialising";
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+}  // namespace cs::steer

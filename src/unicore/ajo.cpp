@@ -1,0 +1,151 @@
+#include "unicore/ajo.hpp"
+
+#include "common/strings.hpp"
+
+namespace cs::unicore {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+// The serialized form is line-oriented; every free-text field is
+// percent-escaped so newlines/pipes in file contents survive.
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '%' || c == '\n' || c == '|') {
+      static const char* hex = "0123456789ABCDEF";
+      out += '%';
+      out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+      out += hex[static_cast<unsigned char>(c) & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      out += text[i];
+      continue;
+    }
+    if (i + 2 >= text.size()) {
+      return Status{StatusCode::kProtocolError, "truncated escape"};
+    }
+    const auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = nibble(text[i + 1]);
+    const int lo = nibble(text[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status{StatusCode::kProtocolError, "bad escape"};
+    }
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::string_view kind_name(AjoTask::Kind kind) {
+  switch (kind) {
+    case AjoTask::Kind::kImportFile: return "IMPORT";
+    case AjoTask::Kind::kExecute: return "EXECUTE";
+    case AjoTask::Kind::kExportFile: return "EXPORT";
+    case AjoTask::Kind::kStartSteering: return "STEERING";
+  }
+  return "?";
+}
+
+Result<AjoTask::Kind> parse_kind(std::string_view name) {
+  if (name == "IMPORT") return AjoTask::Kind::kImportFile;
+  if (name == "EXECUTE") return AjoTask::Kind::kExecute;
+  if (name == "EXPORT") return AjoTask::Kind::kExportFile;
+  if (name == "STEERING") return AjoTask::Kind::kStartSteering;
+  return Status{StatusCode::kProtocolError,
+                "unknown task kind: " + std::string(name)};
+}
+
+}  // namespace
+
+std::string Ajo::serialize() const {
+  std::string out = "AJO1|" + escape(job_name) + "|" + escape(vsite) + "\n";
+  for (const auto& task : tasks) {
+    out += std::string(kind_name(task.kind)) + "|" + escape(task.name) + "|" +
+           escape(task.content);
+    for (const auto& [k, v] : task.args) {
+      out += "|" + escape(k) + "=" + escape(v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Ajo> Ajo::parse(std::string_view text) {
+  const auto lines = common::split(text, '\n');
+  if (lines.empty()) {
+    return Status{StatusCode::kProtocolError, "empty AJO"};
+  }
+  const auto head = common::split(lines[0], '|');
+  if (head.size() != 3 || head[0] != "AJO1") {
+    return Status{StatusCode::kProtocolError, "bad AJO header"};
+  }
+  Ajo ajo;
+  auto name = unescape(head[1]);
+  auto vsite = unescape(head[2]);
+  if (!name.is_ok()) return name.status();
+  if (!vsite.is_ok()) return vsite.status();
+  ajo.job_name = std::move(name).value();
+  ajo.vsite = std::move(vsite).value();
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const auto cols = common::split(lines[i], '|');
+    if (cols.size() < 3) {
+      return Status{StatusCode::kProtocolError, "bad task line"};
+    }
+    auto kind = parse_kind(cols[0]);
+    if (!kind.is_ok()) return kind.status();
+    AjoTask task;
+    task.kind = kind.value();
+    auto tname = unescape(cols[1]);
+    auto tcontent = unescape(cols[2]);
+    if (!tname.is_ok()) return tname.status();
+    if (!tcontent.is_ok()) return tcontent.status();
+    task.name = std::move(tname).value();
+    task.content = std::move(tcontent).value();
+    for (std::size_t a = 3; a < cols.size(); ++a) {
+      const auto eq = cols[a].find('=');
+      if (eq == std::string::npos) {
+        return Status{StatusCode::kProtocolError, "bad task argument"};
+      }
+      auto k = unescape(std::string_view{cols[a]}.substr(0, eq));
+      auto v = unescape(std::string_view{cols[a]}.substr(eq + 1));
+      if (!k.is_ok()) return k.status();
+      if (!v.is_ok()) return v.status();
+      task.args[std::move(k).value()] = std::move(v).value();
+    }
+    ajo.tasks.push_back(std::move(task));
+  }
+  return ajo;
+}
+
+std::string_view to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kConsigned: return "CONSIGNED";
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kSuccessful: return "SUCCESSFUL";
+    case JobState::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+}  // namespace cs::unicore

@@ -1,0 +1,111 @@
+// Abstract Job Objects.
+//
+// "The workflows being instantiated are known in UNICORE as Abstract Job
+// Objects (AJOs) and are sent via ssl as serialised Java objects. ... the
+// AJOs are translated into Perl scripts for a target machine. This process
+// is known as incarnation; it allows the details of the scripts used to run
+// the workflow to be hidden from the application." (paper section 2.2)
+//
+// An Ajo is an abstract, target-independent task list; the NJS incarnates
+// it into concrete TargetCommands (unicore/tsi.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cs::unicore {
+
+/// One abstract task inside an AJO.
+struct AjoTask {
+  enum class Kind {
+    kImportFile,   ///< stage `name` (with `content`) into the job directory
+    kExecute,      ///< run application `name` with `args`
+    kExportFile,   ///< stage `name` out into the job outcome
+    kStartSteering ///< start a VISIT proxy-server for this job; `name` holds
+                   ///< the connection password
+  };
+  Kind kind = Kind::kExecute;
+  std::string name;
+  std::string content;
+  std::map<std::string, std::string> args;
+
+  friend bool operator==(const AjoTask&, const AjoTask&) = default;
+};
+
+/// The abstract job: an ordered task list targeted at one virtual site.
+struct Ajo {
+  std::string job_name;
+  std::string vsite;  ///< target virtual site, e.g. "juelich"
+  std::vector<AjoTask> tasks;
+
+  /// Serialized text form (stands in for the serialized-Java wire format).
+  std::string serialize() const;
+  static common::Result<Ajo> parse(std::string_view text);
+
+  friend bool operator==(const Ajo&, const Ajo&) = default;
+};
+
+/// Convenience builder mirroring the UNICORE client's job preparation GUI.
+class AjoBuilder {
+ public:
+  AjoBuilder(std::string job_name, std::string vsite) {
+    ajo_.job_name = std::move(job_name);
+    ajo_.vsite = std::move(vsite);
+  }
+
+  AjoBuilder& import_file(std::string name, std::string content) {
+    ajo_.tasks.push_back({AjoTask::Kind::kImportFile, std::move(name),
+                          std::move(content), {}});
+    return *this;
+  }
+
+  AjoBuilder& execute(std::string application,
+                      std::map<std::string, std::string> args = {}) {
+    ajo_.tasks.push_back({AjoTask::Kind::kExecute, std::move(application),
+                          {}, std::move(args)});
+    return *this;
+  }
+
+  AjoBuilder& export_file(std::string name) {
+    ajo_.tasks.push_back(
+        {AjoTask::Kind::kExportFile, std::move(name), {}, {}});
+    return *this;
+  }
+
+  /// Enables computational steering for this job (the VISIT extension).
+  AjoBuilder& start_steering(std::string password) {
+    ajo_.tasks.push_back(
+        {AjoTask::Kind::kStartSteering, std::move(password), {}, {}});
+    return *this;
+  }
+
+  Ajo build() const { return ajo_; }
+
+ private:
+  Ajo ajo_;
+};
+
+/// Lifecycle of a consigned job.
+enum class JobState {
+  kConsigned,   ///< accepted by the NJS, not yet incarnated
+  kQueued,      ///< waiting in the target system's batch queue
+  kRunning,
+  kSuccessful,
+  kFailed,
+};
+
+std::string_view to_string(JobState state) noexcept;
+
+/// What the client fetches when the job is done.
+struct JobOutcome {
+  JobState state = JobState::kConsigned;
+  std::string stdout_text;
+  std::string error_text;
+  std::map<std::string, std::string> exported_files;
+};
+
+}  // namespace cs::unicore

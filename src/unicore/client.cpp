@@ -1,0 +1,144 @@
+#include "unicore/client.hpp"
+
+#include <thread>
+
+namespace cs::unicore {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Result<UplResponse> UnicoreClient::transact(UplRequest request) {
+  request.identity = options_.identity;
+  const Deadline deadline = Deadline::after(options_.transaction_timeout);
+  std::scoped_lock lock(mutex_);
+  // (Re)establish the single connection to the gateway on demand; a broken
+  // connection only fails the current transaction, the next one reconnects
+  // — UNICORE's stateless-client property.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!conn_ || !conn_->is_open()) {
+      auto conn = net_.connect(options_.gateway_address, deadline);
+      if (!conn.is_ok()) return conn.status();
+      conn_ = std::move(conn).value();
+    }
+    if (!conn_->send(encode_upl_request(request), deadline).is_ok()) {
+      conn_.reset();
+      continue;
+    }
+    auto raw = conn_->recv(deadline);
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kTimeout) return raw.status();
+      conn_.reset();
+      continue;
+    }
+    return decode_upl_response(raw.value());
+  }
+  return Status{StatusCode::kUnavailable, "gateway unreachable"};
+}
+
+Result<std::string> UnicoreClient::submit(const Ajo& ajo) {
+  UplRequest request;
+  request.op = UplOp::kConsign;
+  request.vsite = ajo.vsite;
+  request.text = ajo.serialize();
+  auto response = transact(std::move(request));
+  if (!response.is_ok()) return response.status();
+  if (!response.value().status.is_ok()) return response.value().status;
+  return response.value().text;
+}
+
+Result<JobState> UnicoreClient::status(const std::string& vsite,
+                                       const std::string& job_id) {
+  UplRequest request;
+  request.op = UplOp::kStatus;
+  request.vsite = vsite;
+  request.job_id = job_id;
+  auto response = transact(std::move(request));
+  if (!response.is_ok()) return response.status();
+  if (!response.value().status.is_ok()) return response.value().status;
+  const std::string& name = response.value().text;
+  for (int s = 0; s <= static_cast<int>(JobState::kFailed); ++s) {
+    if (name == to_string(static_cast<JobState>(s))) {
+      return static_cast<JobState>(s);
+    }
+  }
+  return Status{StatusCode::kProtocolError, "bad state name: " + name};
+}
+
+Result<JobOutcome> UnicoreClient::outcome(const std::string& vsite,
+                                          const std::string& job_id) {
+  UplRequest request;
+  request.op = UplOp::kOutcome;
+  request.vsite = vsite;
+  request.job_id = job_id;
+  auto response = transact(std::move(request));
+  if (!response.is_ok()) return response.status();
+  if (!response.value().status.is_ok()) return response.value().status;
+  if (!response.value().has_outcome) {
+    return Status{StatusCode::kProtocolError, "response lacks outcome"};
+  }
+  return response.value().outcome;
+}
+
+Status UnicoreClient::abort(const std::string& vsite,
+                            const std::string& job_id) {
+  UplRequest request;
+  request.op = UplOp::kAbort;
+  request.vsite = vsite;
+  request.job_id = job_id;
+  auto response = transact(std::move(request));
+  if (!response.is_ok()) return response.status();
+  return response.value().status;
+}
+
+Status UnicoreClient::invite(const std::string& vsite,
+                             const std::string& job_id,
+                             const Certificate& guest) {
+  UplRequest request;
+  request.op = UplOp::kInvite;
+  request.vsite = vsite;
+  request.job_id = job_id;
+  request.text = guest.subject + '\x1f' + guest.fingerprint;
+  auto response = transact(std::move(request));
+  if (!response.is_ok()) return response.status();
+  return response.value().status;
+}
+
+Result<JobOutcome> UnicoreClient::wait(const std::string& vsite,
+                                       const std::string& job_id,
+                                       Deadline deadline,
+                                       common::Duration poll_period) {
+  for (;;) {
+    auto state = status(vsite, job_id);
+    if (!state.is_ok()) return state.status();
+    if (state.value() == JobState::kSuccessful ||
+        state.value() == JobState::kFailed) {
+      return outcome(vsite, job_id);
+    }
+    if (deadline.has_expired()) {
+      return Status{StatusCode::kTimeout, "job still " +
+                                              std::string(to_string(
+                                                  state.value()))};
+    }
+    std::this_thread::sleep_for(poll_period);
+  }
+}
+
+visit::ProxyTransact UnicoreClient::visit_transactor(
+    const std::string& vsite, const std::string& job_id) {
+  return [this, vsite, job_id](
+             common::ByteSpan request) -> Result<common::Bytes> {
+    UplRequest upl;
+    upl.op = UplOp::kVisit;
+    upl.vsite = vsite;
+    upl.job_id = job_id;
+    upl.binary.assign(request.begin(), request.end());
+    auto response = transact(std::move(upl));
+    if (!response.is_ok()) return response.status();
+    if (!response.value().status.is_ok()) return response.value().status;
+    return response.value().binary;
+  };
+}
+
+}  // namespace cs::unicore

@@ -1,0 +1,74 @@
+// UNICORE client.
+//
+// "UNICORE client interacting with the user and providing functions to
+// construct, submit and control the execution of computational jobs" (paper
+// section 3.1). Each call is one UPL transaction through the gateway; the
+// client keeps no session state on the server side, so it "can appear or
+// vanish at any time" (section 3.3).
+//
+// visit_transactor() is the client-plugin hook of section 3.3: it returns
+// the transaction function a visit::ProxyClient polls through, turning this
+// client into the user end of a steering connection.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "unicore/ajo.hpp"
+#include "unicore/identity.hpp"
+#include "unicore/upl.hpp"
+#include "visit/proxy.hpp"
+
+namespace cs::unicore {
+
+class UnicoreClient {
+ public:
+  struct Options {
+    std::string gateway_address;
+    Certificate identity;
+    common::Duration transaction_timeout = std::chrono::seconds(5);
+  };
+
+  UnicoreClient(net::Network& net, Options options)
+      : net_(net), options_(std::move(options)) {}
+
+  /// Submits a job; returns its id.
+  common::Result<std::string> submit(const Ajo& ajo);
+
+  common::Result<JobState> status(const std::string& vsite,
+                                  const std::string& job_id);
+  common::Result<JobOutcome> outcome(const std::string& vsite,
+                                     const std::string& job_id);
+  common::Status abort(const std::string& vsite, const std::string& job_id);
+
+  /// Grants another user access to the job (status/outcome/steering).
+  common::Status invite(const std::string& vsite, const std::string& job_id,
+                        const Certificate& guest);
+
+  /// Polls status until the job leaves the queue/running states.
+  common::Result<JobOutcome> wait(const std::string& vsite,
+                                  const std::string& job_id,
+                                  common::Deadline deadline,
+                                  common::Duration poll_period =
+                                      std::chrono::milliseconds(10));
+
+  /// Transaction function for a visit::ProxyClient bound to one job.
+  visit::ProxyTransact visit_transactor(const std::string& vsite,
+                                        const std::string& job_id);
+
+  const Certificate& identity() const noexcept { return options_.identity; }
+
+ private:
+  common::Result<UplResponse> transact(UplRequest request);
+
+  net::Network& net_;
+  Options options_;
+  std::mutex mutex_;  // serializes transactions on the shared connection
+  net::ConnectionPtr conn_;
+};
+
+}  // namespace cs::unicore

@@ -1,0 +1,182 @@
+#include "unicore/gateway.hpp"
+
+#include "common/log.hpp"
+
+namespace cs::unicore {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+}
+
+Result<std::unique_ptr<Gateway>> Gateway::start(net::Network& net,
+                                                const Options& options) {
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<Gateway> gw{new Gateway};
+  gw->options_ = options;
+  gw->listener_ = std::move(listener).value();
+  Gateway* self = gw.get();
+  gw->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  return gw;
+}
+
+Gateway::~Gateway() { stop(); }
+
+void Gateway::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  if (listener_) listener_->close();
+  std::vector<std::jthread> threads;
+  {
+    std::scoped_lock lock(mutex_);
+    threads = std::move(connection_threads_);
+    connection_threads_.clear();
+  }
+  for (auto& t : threads) {
+    t.request_stop();
+    if (t.joinable()) t.join();
+  }
+}
+
+void Gateway::register_vsite(Njs& njs) {
+  std::scoped_lock lock(mutex_);
+  vsites_[njs.vsite()] = &njs;
+}
+
+Gateway::Stats Gateway::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void Gateway::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    net::ConnectionPtr c = std::move(conn).value();
+    connection_threads_.emplace_back(
+        [this, c](std::stop_token cst) { serve_connection(cst, c); });
+  }
+}
+
+void Gateway::serve_connection(const std::stop_token& st,
+                               net::ConnectionPtr conn) {
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    UplResponse response;
+    auto request = decode_upl_request(raw.value());
+    if (!request.is_ok()) {
+      response.status = request.status();
+    } else {
+      response = handle(request.value());
+    }
+    if (!conn->send(encode_upl_response(response),
+                    Deadline::after(std::chrono::seconds(2)))
+             .is_ok()) {
+      conn->close();
+      return;
+    }
+  }
+}
+
+UplResponse Gateway::handle(const UplRequest& request) {
+  UplResponse response;
+  Njs* njs = nullptr;
+  {
+    std::scoped_lock lock(mutex_);
+    ++stats_.transactions;
+    if (!trust_.is_trusted(request.identity)) {
+      ++stats_.rejected_untrusted;
+      response.status =
+          Status{StatusCode::kPermissionDenied,
+                 "certificate not trusted: " + request.identity.subject};
+      return response;
+    }
+    auto it = vsites_.find(request.vsite);
+    if (it == vsites_.end()) {
+      response.status =
+          Status{StatusCode::kNotFound, "unknown vsite: " + request.vsite};
+      return response;
+    }
+    njs = it->second;
+  }
+
+  switch (request.op) {
+    case UplOp::kConsign: {
+      auto ajo = Ajo::parse(request.text);
+      if (!ajo.is_ok()) {
+        response.status = ajo.status();
+        return response;
+      }
+      auto job = njs->consign(ajo.value(), request.identity);
+      if (!job.is_ok()) {
+        response.status = job.status();
+        return response;
+      }
+      response.text = std::move(job).value();
+      return response;
+    }
+    case UplOp::kStatus: {
+      auto state = njs->job_state(request.job_id, request.identity);
+      if (!state.is_ok()) {
+        response.status = state.status();
+        return response;
+      }
+      response.text = std::string(to_string(state.value()));
+      return response;
+    }
+    case UplOp::kOutcome: {
+      auto outcome = njs->job_outcome(request.job_id, request.identity);
+      if (!outcome.is_ok()) {
+        response.status = outcome.status();
+        return response;
+      }
+      response.outcome = std::move(outcome).value();
+      response.has_outcome = true;
+      return response;
+    }
+    case UplOp::kAbort: {
+      response.status = njs->abort_job(request.job_id, request.identity);
+      return response;
+    }
+    case UplOp::kInvite: {
+      const auto sep = request.text.find('\x1f');
+      if (sep == std::string::npos) {
+        response.status =
+            Status{StatusCode::kInvalidArgument, "bad invite payload"};
+        return response;
+      }
+      Certificate guest{request.text.substr(0, sep),
+                        request.text.substr(sep + 1)};
+      response.status = njs->invite(request.job_id, request.identity, guest);
+      return response;
+    }
+    case UplOp::kVisit: {
+      auto reply =
+          njs->visit_transact(request.job_id, request.identity, request.binary);
+      if (!reply.is_ok()) {
+        response.status = reply.status();
+        return response;
+      }
+      response.binary = std::move(reply).value();
+      return response;
+    }
+  }
+  response.status = Status{StatusCode::kInvalidArgument, "bad op"};
+  return response;
+}
+
+}  // namespace cs::unicore

@@ -1,0 +1,75 @@
+// UNICORE Gateway.
+//
+// "Gateways acting as point-of-entry into the protected domains of the HPC
+// centres" (paper section 3.1). One listening address per centre — "handling
+// of all communication over a single fixed TCP server-port" — behind which
+// any number of vsites (NJSs) are reachable. The gateway authenticates the
+// certificate on *every* transaction against its trust store before any
+// NJS sees the request; untrusted users are turned away at the firewall
+// boundary, exactly the property that let the steering application
+// "traverse firewalls" in section 2.2.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "unicore/identity.hpp"
+#include "unicore/njs.hpp"
+#include "unicore/upl.hpp"
+
+namespace cs::unicore {
+
+class Gateway {
+ public:
+  struct Options {
+    std::string address;  ///< the single public address
+  };
+
+  struct Stats {
+    std::uint64_t transactions = 0;
+    std::uint64_t rejected_untrusted = 0;
+  };
+
+  static common::Result<std::unique_ptr<Gateway>> start(net::Network& net,
+                                                        const Options& options);
+  ~Gateway();
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+  void stop();
+
+  TrustStore& trust_store() { return trust_; }
+
+  /// Registers a vsite behind this gateway.
+  void register_vsite(Njs& njs);
+
+  /// Handles one already-decoded transaction (also used in-process by
+  /// tests and by co-located services).
+  UplResponse handle(const UplRequest& request);
+
+  Stats stats() const;
+  const std::string& address() const noexcept { return options_.address; }
+
+ private:
+  Gateway() = default;
+  void accept_loop(const std::stop_token& st);
+  void serve_connection(const std::stop_token& st, net::ConnectionPtr conn);
+
+  Options options_;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Njs*> vsites_;
+  TrustStore trust_;
+  std::vector<std::jthread> connection_threads_;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cs::unicore

@@ -1,0 +1,29 @@
+#include "unicore/identity.hpp"
+
+namespace cs::unicore {
+
+namespace {
+// FNV-1a, hex-encoded: stable, collision-unlikely at our scale, and clearly
+// not pretending to be real cryptography.
+std::string fnv_hex(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+}  // namespace
+
+Certificate issue_certificate(const std::string& subject,
+                              const std::string& secret) {
+  return Certificate{subject, fnv_hex(subject + "\x1f" + secret)};
+}
+
+}  // namespace cs::unicore

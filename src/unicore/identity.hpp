@@ -1,0 +1,63 @@
+// User identities and the trust machinery of the UNICORE tiers.
+//
+// UNICORE's "single sign-on with strong authentication" (paper section 3.1)
+// rests on X.509 certificates checked at the Gateway and mapped to a local
+// login (xlogin) by the NJS's user database (UUDB). We model a certificate
+// as a subject plus an unforgeable-within-the-simulation fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace cs::unicore {
+
+/// Stand-in for an X.509 user certificate.
+struct Certificate {
+  std::string subject;      ///< e.g. "CN=John Brooke, O=U Manchester"
+  std::string fingerprint;  ///< unique token standing in for the key pair
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+  friend auto operator<=>(const Certificate&, const Certificate&) = default;
+};
+
+/// Creates a certificate with a fingerprint derived from the subject and a
+/// secret; two calls with the same arguments yield the same certificate.
+Certificate issue_certificate(const std::string& subject,
+                              const std::string& secret);
+
+/// Gateway-side trust anchor: which certificates may enter the protected
+/// domain at all.
+class TrustStore {
+ public:
+  void trust(const Certificate& cert) { trusted_.insert(cert.fingerprint); }
+  void revoke(const Certificate& cert) { trusted_.erase(cert.fingerprint); }
+  bool is_trusted(const Certificate& cert) const {
+    return trusted_.contains(cert.fingerprint);
+  }
+  std::size_t size() const noexcept { return trusted_.size(); }
+
+ private:
+  std::set<std::string> trusted_;
+};
+
+/// NJS-side user database: maps a certificate to the local account
+/// (xlogin) the incarnated job runs under.
+class Uudb {
+ public:
+  void add_mapping(const Certificate& cert, std::string xlogin) {
+    mapping_[cert.fingerprint] = std::move(xlogin);
+  }
+  std::optional<std::string> xlogin_for(const Certificate& cert) const {
+    auto it = mapping_.find(cert.fingerprint);
+    if (it == mapping_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> mapping_;
+};
+
+}  // namespace cs::unicore

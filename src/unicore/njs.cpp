@@ -1,0 +1,136 @@
+#include "unicore/njs.hpp"
+
+#include <algorithm>
+
+namespace cs::unicore {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Result<std::vector<TargetCommand>> incarnate(const Ajo& ajo) {
+  std::vector<TargetCommand> script;
+  script.reserve(ajo.tasks.size());
+  for (const auto& task : ajo.tasks) {
+    TargetCommand cmd;
+    switch (task.kind) {
+      case AjoTask::Kind::kImportFile:
+        cmd.op = TargetCommand::Op::kPutFile;
+        cmd.name = task.name;
+        cmd.content = task.content;
+        break;
+      case AjoTask::Kind::kExecute:
+        cmd.op = TargetCommand::Op::kRunApplication;
+        cmd.name = task.name;
+        cmd.args = task.args;
+        break;
+      case AjoTask::Kind::kExportFile:
+        cmd.op = TargetCommand::Op::kExportFile;
+        cmd.name = task.name;
+        break;
+      case AjoTask::Kind::kStartSteering:
+        cmd.op = TargetCommand::Op::kStartVisitProxy;
+        cmd.name = task.name;  // the VISIT password
+        break;
+    }
+    script.push_back(std::move(cmd));
+  }
+  // The proxy must exist before any application starts: move steering
+  // start-up in front of the first kRunApplication (stable order otherwise).
+  std::stable_sort(script.begin(), script.end(),
+                   [](const TargetCommand& a, const TargetCommand& b) {
+                     const auto rank = [](const TargetCommand& c) {
+                       return c.op == TargetCommand::Op::kStartVisitProxy ? 0 : 1;
+                     };
+                     return rank(a) < rank(b);
+                   });
+  return script;
+}
+
+Result<std::string> Njs::consign(const Ajo& ajo, const Certificate& user) {
+  if (ajo.vsite != vsite_) {
+    return Status{StatusCode::kInvalidArgument,
+                  "AJO targets vsite " + ajo.vsite + ", this is " + vsite_};
+  }
+  const auto xlogin = uudb_.xlogin_for(user);
+  if (!xlogin) {
+    return Status{StatusCode::kPermissionDenied,
+                  "no xlogin mapping for " + user.subject};
+  }
+  auto script = incarnate(ajo);
+  if (!script.is_ok()) return script.status();
+  const std::string job_id =
+      vsite_ + "-job-" + std::to_string(next_job_.fetch_add(1));
+  if (Status s = tsi_.submit(job_id, *xlogin, std::move(script).value());
+      !s.is_ok()) {
+    return s;
+  }
+  std::scoped_lock lock(mutex_);
+  job_owner_[job_id] = user.fingerprint;
+  return job_id;
+}
+
+Status Njs::authorize(const std::string& job_id,
+                      const Certificate& user) const {
+  std::scoped_lock lock(mutex_);
+  auto it = job_owner_.find(job_id);
+  if (it == job_owner_.end()) {
+    return Status{StatusCode::kNotFound, "unknown job: " + job_id};
+  }
+  if (it->second == user.fingerprint) return Status::ok();
+  auto guests = job_guests_.find(job_id);
+  if (guests != job_guests_.end() &&
+      guests->second.contains(user.fingerprint)) {
+    return Status::ok();
+  }
+  return Status{StatusCode::kPermissionDenied,
+                user.subject + " is not authorized for " + job_id};
+}
+
+Result<JobState> Njs::job_state(const std::string& job_id,
+                                const Certificate& user) const {
+  if (Status s = authorize(job_id, user); !s.is_ok()) return s;
+  return tsi_.state(job_id);
+}
+
+Result<JobOutcome> Njs::job_outcome(const std::string& job_id,
+                                    const Certificate& user) const {
+  if (Status s = authorize(job_id, user); !s.is_ok()) return s;
+  return tsi_.outcome(job_id);
+}
+
+Status Njs::abort_job(const std::string& job_id, const Certificate& user) {
+  if (Status s = authorize(job_id, user); !s.is_ok()) return s;
+  return tsi_.abort(job_id);
+}
+
+Result<Bytes> Njs::visit_transact(const std::string& job_id,
+                                  const Certificate& user, ByteSpan request) {
+  if (Status s = authorize(job_id, user); !s.is_ok()) return s;
+  visit::ProxyServer* proxy = tsi_.visit_proxy(job_id);
+  if (proxy == nullptr) {
+    return Status{StatusCode::kUnavailable,
+                  "steering not (yet) available for " + job_id};
+  }
+  auto req = visit::decode_proxy_request(request);
+  if (!req.is_ok()) return req.status();
+  return visit::encode_proxy_response(proxy->transact(req.value()));
+}
+
+Status Njs::invite(const std::string& job_id, const Certificate& owner,
+                   const Certificate& guest) {
+  std::scoped_lock lock(mutex_);
+  auto it = job_owner_.find(job_id);
+  if (it == job_owner_.end()) {
+    return Status{StatusCode::kNotFound, "unknown job: " + job_id};
+  }
+  if (it->second != owner.fingerprint) {
+    return Status{StatusCode::kPermissionDenied, "only the owner may invite"};
+  }
+  job_guests_[job_id].insert(guest.fingerprint);
+  return Status::ok();
+}
+
+}  // namespace cs::unicore

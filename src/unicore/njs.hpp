@@ -1,0 +1,70 @@
+// Network Job Supervisor.
+//
+// "NJSs adapt the abstract UNICORE job for the specific HPC system" (paper
+// section 3.1): the NJS authenticates the consigner against its user
+// database, *incarnates* the AJO into target-level commands, submits them
+// to the TSI, and answers status/outcome/steering transactions for its
+// vsite.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.hpp"
+#include "unicore/ajo.hpp"
+#include "unicore/identity.hpp"
+#include "unicore/tsi.hpp"
+
+namespace cs::unicore {
+
+class Njs {
+ public:
+  Njs(std::string vsite, TargetSystem& tsi) : vsite_(std::move(vsite)), tsi_(tsi) {}
+
+  Uudb& uudb() { return uudb_; }
+  const std::string& vsite() const noexcept { return vsite_; }
+  TargetSystem& tsi() noexcept { return tsi_; }
+
+  /// Authenticates, incarnates, and submits an AJO. Returns the job id.
+  common::Result<std::string> consign(const Ajo& ajo, const Certificate& user);
+
+  common::Result<JobState> job_state(const std::string& job_id,
+                                     const Certificate& user) const;
+  common::Result<JobOutcome> job_outcome(const std::string& job_id,
+                                         const Certificate& user) const;
+  common::Status abort_job(const std::string& job_id, const Certificate& user);
+
+  /// Routes a VISIT proxy transaction to the job's ProxyServer. The user
+  /// must be the job owner or an explicitly invited collaborator — this is
+  /// how "all users participating in the collaboration have to authenticate
+  /// to the UNICORE system".
+  common::Result<common::Bytes> visit_transact(const std::string& job_id,
+                                               const Certificate& user,
+                                               common::ByteSpan request);
+
+  /// Allows another certified user to attach to a job's steering session.
+  common::Status invite(const std::string& job_id, const Certificate& owner,
+                        const Certificate& guest);
+
+ private:
+  common::Status authorize(const std::string& job_id,
+                           const Certificate& user) const;
+
+  std::string vsite_;
+  TargetSystem& tsi_;
+  Uudb uudb_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> job_owner_;  // job id -> fingerprint
+  std::map<std::string, std::set<std::string>> job_guests_;
+  std::atomic<std::uint64_t> next_job_{1};
+};
+
+/// Incarnation: AJO tasks -> target commands. Exposed for direct testing
+/// ("the details of the scripts are hidden from the application").
+common::Result<std::vector<TargetCommand>> incarnate(const Ajo& ajo);
+
+}  // namespace cs::unicore

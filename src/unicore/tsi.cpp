@@ -1,0 +1,245 @@
+#include "unicore/tsi.hpp"
+
+#include "common/log.hpp"
+
+namespace cs::unicore {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+std::string TargetCommand::to_script_line() const {
+  switch (op) {
+    case Op::kPutFile:
+      return "put " + name + " (" + std::to_string(content.size()) + " bytes)";
+    case Op::kRunApplication: {
+      std::string line = "run " + name;
+      for (const auto& [k, v] : args) line += " " + k + "=" + v;
+      return line;
+    }
+    case Op::kExportFile:
+      return "export " + name;
+    case Op::kStartVisitProxy:
+      return "start-visit-proxy";
+  }
+  return "?";
+}
+
+TargetSystem::TargetSystem(net::Network& net, Options options)
+    : net_(net), options_(std::move(options)) {
+  const std::size_t slots = std::max<std::size_t>(options_.slots, 1);
+  workers_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token st) { worker_loop(st); });
+  }
+}
+
+TargetSystem::~TargetSystem() { shutdown(); }
+
+void TargetSystem::shutdown() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+    for (auto& [id, record] : jobs_) record->cancelled.store(true);
+    cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    w.request_stop();
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void TargetSystem::register_application(const std::string& name,
+                                        Application app) {
+  std::scoped_lock lock(mutex_);
+  applications_[name] = std::move(app);
+}
+
+Status TargetSystem::submit(const std::string& job_id,
+                            const std::string& xlogin,
+                            std::vector<TargetCommand> script) {
+  std::scoped_lock lock(mutex_);
+  if (shutting_down_) {
+    return Status{StatusCode::kClosed, "target system shutting down"};
+  }
+  if (jobs_.contains(job_id)) {
+    return Status{StatusCode::kAlreadyExists, "job id in use: " + job_id};
+  }
+  auto record = std::make_unique<JobRecord>();
+  record->xlogin = xlogin;
+  record->script = std::move(script);
+  record->state = JobState::kQueued;
+  jobs_.emplace(job_id, std::move(record));
+  queue_.push_back(job_id);
+  cv_.notify_one();
+  return Status::ok();
+}
+
+JobState TargetSystem::state(const std::string& job_id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? JobState::kFailed : it->second->state;
+}
+
+Result<JobOutcome> TargetSystem::outcome(const std::string& job_id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status{StatusCode::kNotFound, "unknown job: " + job_id};
+  }
+  JobOutcome out = it->second->outcome;
+  out.state = it->second->state;
+  return out;
+}
+
+std::vector<std::string> TargetSystem::script_of(
+    const std::string& job_id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = jobs_.find(job_id);
+  std::vector<std::string> lines;
+  if (it == jobs_.end()) return lines;
+  lines.reserve(it->second->script.size());
+  for (const auto& cmd : it->second->script) {
+    lines.push_back(cmd.to_script_line());
+  }
+  return lines;
+}
+
+visit::ProxyServer* TargetSystem::visit_proxy(const std::string& job_id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : it->second->proxy.get();
+}
+
+Status TargetSystem::abort(const std::string& job_id) {
+  std::scoped_lock lock(mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status{StatusCode::kNotFound, "unknown job: " + job_id};
+  }
+  it->second->cancelled.store(true);
+  return Status::ok();
+}
+
+std::size_t TargetSystem::queued_jobs() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+void TargetSystem::worker_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    std::string job_id;
+    JobRecord* record = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+        return shutting_down_ || !queue_.empty();
+      });
+      if (shutting_down_) return;
+      if (queue_.empty()) continue;
+      job_id = std::move(queue_.front());
+      queue_.pop_front();
+      auto it = jobs_.find(job_id);
+      if (it == jobs_.end()) continue;
+      record = it->second.get();
+      record->state = JobState::kRunning;
+    }
+    if (options_.queue_delay > common::Duration::zero()) {
+      std::this_thread::sleep_for(options_.queue_delay);
+    }
+    run_job(job_id, *record);
+  }
+}
+
+void TargetSystem::run_job(const std::string& job_id, JobRecord& record) {
+  Status failure = Status::ok();
+  for (const auto& cmd : record.script) {
+    if (record.cancelled.load()) {
+      failure = Status{StatusCode::kClosed, "job aborted"};
+      break;
+    }
+    switch (cmd.op) {
+      case TargetCommand::Op::kPutFile: {
+        std::scoped_lock lock(mutex_);
+        record.uspace[cmd.name] = cmd.content;
+        break;
+      }
+      case TargetCommand::Op::kStartVisitProxy: {
+        visit::ProxyServer::Options po;
+        po.sim_address = options_.vsite + "/visit/" + job_id;
+        po.password = cmd.name;
+        auto proxy = visit::ProxyServer::start(net_, po);
+        if (!proxy.is_ok()) {
+          failure = proxy.status();
+          break;
+        }
+        std::scoped_lock lock(mutex_);
+        record.proxy = std::move(proxy).value();
+        break;
+      }
+      case TargetCommand::Op::kRunApplication: {
+        Application app;
+        {
+          std::scoped_lock lock(mutex_);
+          auto it = applications_.find(cmd.name);
+          if (it != applications_.end()) app = it->second;
+        }
+        if (!app) {
+          failure = Status{StatusCode::kNotFound,
+                           "no such application: " + cmd.name};
+          break;
+        }
+        ExecutionContext ctx;
+        ctx.net = &net_;
+        ctx.vsite = options_.vsite;
+        ctx.xlogin = record.xlogin;
+        {
+          std::scoped_lock lock(mutex_);
+          if (record.proxy) {
+            ctx.visit_address = record.proxy->sim_address();
+            for (const auto& c : record.script) {
+              if (c.op == TargetCommand::Op::kStartVisitProxy) {
+                ctx.visit_password = c.name;
+              }
+            }
+          }
+        }
+        ctx.uspace = &record.uspace;
+        ctx.args = &cmd.args;
+        // The app writes stdout into a thread-local buffer; it is merged
+        // into the outcome under the lock so concurrent outcome() polls
+        // from the client never race with a running application.
+        std::string app_stdout;
+        ctx.stdout_text = &app_stdout;
+        ctx.cancelled = &record.cancelled;
+        failure = app(ctx);
+        {
+          std::scoped_lock lock(mutex_);
+          record.outcome.stdout_text += app_stdout;
+        }
+        break;
+      }
+      case TargetCommand::Op::kExportFile: {
+        std::scoped_lock lock(mutex_);
+        auto it = record.uspace.find(cmd.name);
+        if (it == record.uspace.end()) {
+          failure = Status{StatusCode::kNotFound,
+                           "export of missing file: " + cmd.name};
+        } else {
+          record.outcome.exported_files[cmd.name] = it->second;
+        }
+        break;
+      }
+    }
+    if (!failure.is_ok()) break;
+  }
+  std::scoped_lock lock(mutex_);
+  if (record.proxy) record.proxy->stop();
+  record.state = failure.is_ok() ? JobState::kSuccessful : JobState::kFailed;
+  record.outcome.error_text = failure.is_ok() ? "" : failure.to_string();
+}
+
+}  // namespace cs::unicore

@@ -1,0 +1,139 @@
+// Target System Interface + simulated batch system.
+//
+// "UNICORE target systems ... schedule and run the jobs on the HPC
+// platforms. On these systems a Target System Interface (TSI) performs the
+// communication with the NJS." (paper section 3.1). "The only component of
+// the UNICORE system that needs to be modified for this extension is the
+// TSI" (section 3.1) — our TSI carries that modification: the
+// kStartVisitProxy command starts a visit::ProxyServer for the job.
+//
+// The HPC platform itself is simulated: a job directory ("uspace") is an
+// in-memory file map, applications are C++ callbacks registered per target
+// system (the PEPC and LBM codes register themselves this way), and a small
+// worker pool with a configurable dispatch delay stands in for the batch
+// scheduler.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "unicore/ajo.hpp"
+#include "visit/proxy.hpp"
+
+namespace cs::unicore {
+
+/// What an application sees while running under the TSI.
+struct ExecutionContext {
+  net::Network* net = nullptr;  ///< the vsite-local network
+  std::string vsite;
+  std::string xlogin;           ///< account the job runs under
+  /// Address of the job's VISIT proxy-server ("" when steering is off).
+  std::string visit_address;
+  /// VISIT password for this job's steering connection.
+  std::string visit_password;
+  /// Job directory: file name -> content.
+  std::map<std::string, std::string>* uspace = nullptr;
+  /// EXECUTE arguments from the AJO.
+  const std::map<std::string, std::string>* args = nullptr;
+  /// Application stdout, returned in the job outcome.
+  std::string* stdout_text = nullptr;
+  /// Set when the job is aborted; long-running applications must poll it.
+  const std::atomic<bool>* cancelled = nullptr;
+};
+
+/// A registered executable.
+using Application = std::function<common::Status(ExecutionContext&)>;
+
+/// One incarnated command — the stand-in for a line of the Perl script the
+/// real TSI would run.
+struct TargetCommand {
+  enum class Op { kPutFile, kRunApplication, kExportFile, kStartVisitProxy };
+  Op op = Op::kRunApplication;
+  std::string name;     ///< file name / application name / proxy password
+  std::string content;  ///< file content
+  std::map<std::string, std::string> args;
+
+  /// Human-readable script line (what the job record shows).
+  std::string to_script_line() const;
+};
+
+class TargetSystem {
+ public:
+  struct Options {
+    std::string vsite;
+    /// Concurrent job slots of the simulated batch system.
+    std::size_t slots = 2;
+    /// Simulated scheduler dispatch latency per job.
+    common::Duration queue_delay = common::Duration::zero();
+  };
+
+  TargetSystem(net::Network& net, Options options);
+  ~TargetSystem();
+  TargetSystem(const TargetSystem&) = delete;
+  TargetSystem& operator=(const TargetSystem&) = delete;
+
+  /// Registers an application binary by name (IDB entry, in UNICORE terms).
+  void register_application(const std::string& name, Application app);
+
+  /// Enqueues an incarnated job. Returns immediately (batch semantics).
+  common::Status submit(const std::string& job_id, const std::string& xlogin,
+                        std::vector<TargetCommand> script);
+
+  JobState state(const std::string& job_id) const;
+  common::Result<JobOutcome> outcome(const std::string& job_id) const;
+
+  /// Incarnated script of a job (empty when unknown) — lets tests verify
+  /// that incarnation hides abstract tasks behind target-level commands.
+  std::vector<std::string> script_of(const std::string& job_id) const;
+
+  /// The job's VISIT proxy-server, or nullptr when steering is not enabled
+  /// (or the job is unknown). Used by the NJS to route UPL VISIT
+  /// transactions.
+  visit::ProxyServer* visit_proxy(const std::string& job_id) const;
+
+  /// Requests cancellation; running applications observe ctx.cancelled.
+  common::Status abort(const std::string& job_id);
+
+  const std::string& vsite() const noexcept { return options_.vsite; }
+  std::size_t queued_jobs() const;
+
+  void shutdown();
+
+ private:
+  struct JobRecord {
+    std::string xlogin;
+    std::vector<TargetCommand> script;
+    JobState state = JobState::kQueued;
+    JobOutcome outcome;
+    std::map<std::string, std::string> uspace;
+    std::unique_ptr<visit::ProxyServer> proxy;
+    std::atomic<bool> cancelled{false};
+  };
+
+  void worker_loop(const std::stop_token& st);
+  void run_job(const std::string& job_id, JobRecord& record);
+
+  net::Network& net_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::unique_ptr<JobRecord>> jobs_;
+  std::deque<std::string> queue_;
+  std::map<std::string, Application> applications_;
+  std::vector<std::jthread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cs::unicore

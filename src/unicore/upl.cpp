@@ -1,0 +1,137 @@
+#include "unicore/upl.hpp"
+
+namespace cs::unicore {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+void put_string(Bytes& out, std::string_view s) {
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()),
+                                     ByteOrder::kBig);
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_bytes(Bytes& out, ByteSpan s) {
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()),
+                                     ByteOrder::kBig);
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+Status get_string(ByteSpan& in, std::string& out) {
+  if (in.size() < 4) return Status{StatusCode::kProtocolError, "truncated"};
+  const auto n = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+  in = in.subspan(4);
+  if (in.size() < n) return Status{StatusCode::kProtocolError, "truncated"};
+  out.assign(reinterpret_cast<const char*>(in.data()), n);
+  in = in.subspan(n);
+  return Status::ok();
+}
+
+Status get_bytes(ByteSpan& in, Bytes& out) {
+  if (in.size() < 4) return Status{StatusCode::kProtocolError, "truncated"};
+  const auto n = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+  in = in.subspan(4);
+  if (in.size() < n) return Status{StatusCode::kProtocolError, "truncated"};
+  out.assign(in.begin(), in.begin() + n);
+  in = in.subspan(n);
+  return Status::ok();
+}
+
+}  // namespace
+
+Bytes encode_upl_request(const UplRequest& request) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(request.op));
+  put_string(out, request.identity.subject);
+  put_string(out, request.identity.fingerprint);
+  put_string(out, request.vsite);
+  put_string(out, request.job_id);
+  put_string(out, request.text);
+  put_bytes(out, request.binary);
+  return out;
+}
+
+Result<UplRequest> decode_upl_request(ByteSpan raw) {
+  if (raw.empty()) return Status{StatusCode::kProtocolError, "empty request"};
+  UplRequest r;
+  if (raw[0] < 1 || raw[0] > 6) {
+    return Status{StatusCode::kProtocolError, "bad UPL op"};
+  }
+  r.op = static_cast<UplOp>(raw[0]);
+  ByteSpan in = raw.subspan(1);
+  if (auto s = get_string(in, r.identity.subject); !s.is_ok()) return s;
+  if (auto s = get_string(in, r.identity.fingerprint); !s.is_ok()) return s;
+  if (auto s = get_string(in, r.vsite); !s.is_ok()) return s;
+  if (auto s = get_string(in, r.job_id); !s.is_ok()) return s;
+  if (auto s = get_string(in, r.text); !s.is_ok()) return s;
+  if (auto s = get_bytes(in, r.binary); !s.is_ok()) return s;
+  return r;
+}
+
+Bytes encode_upl_response(const UplResponse& response) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(response.status.code()));
+  put_string(out, response.status.message());
+  put_string(out, response.text);
+  put_bytes(out, response.binary);
+  out.push_back(response.has_outcome ? 1 : 0);
+  if (response.has_outcome) {
+    out.push_back(static_cast<std::uint8_t>(response.outcome.state));
+    put_string(out, response.outcome.stdout_text);
+    put_string(out, response.outcome.error_text);
+    common::append_uint<std::uint32_t>(
+        out, static_cast<std::uint32_t>(response.outcome.exported_files.size()),
+        ByteOrder::kBig);
+    for (const auto& [name, content] : response.outcome.exported_files) {
+      put_string(out, name);
+      put_string(out, content);
+    }
+  }
+  return out;
+}
+
+Result<UplResponse> decode_upl_response(ByteSpan raw) {
+  if (raw.empty()) return Status{StatusCode::kProtocolError, "empty response"};
+  UplResponse r;
+  const auto code = raw[0];
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Status{StatusCode::kProtocolError, "bad status code"};
+  }
+  ByteSpan in = raw.subspan(1);
+  std::string message;
+  if (auto s = get_string(in, message); !s.is_ok()) return s;
+  r.status = Status{static_cast<StatusCode>(code), std::move(message)};
+  if (auto s = get_string(in, r.text); !s.is_ok()) return s;
+  if (auto s = get_bytes(in, r.binary); !s.is_ok()) return s;
+  if (in.empty()) return Status{StatusCode::kProtocolError, "truncated"};
+  r.has_outcome = (in[0] == 1);
+  in = in.subspan(1);
+  if (r.has_outcome) {
+    if (in.empty()) return Status{StatusCode::kProtocolError, "truncated"};
+    if (in[0] > static_cast<std::uint8_t>(JobState::kFailed)) {
+      return Status{StatusCode::kProtocolError, "bad job state"};
+    }
+    r.outcome.state = static_cast<JobState>(in[0]);
+    in = in.subspan(1);
+    if (auto s = get_string(in, r.outcome.stdout_text); !s.is_ok()) return s;
+    if (auto s = get_string(in, r.outcome.error_text); !s.is_ok()) return s;
+    if (in.size() < 4) return Status{StatusCode::kProtocolError, "truncated"};
+    const auto n = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+    in = in.subspan(4);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::string name, content;
+      if (auto s = get_string(in, name); !s.is_ok()) return s;
+      if (auto s = get_string(in, content); !s.is_ok()) return s;
+      r.outcome.exported_files.emplace(std::move(name), std::move(content));
+    }
+  }
+  return r;
+}
+
+}  // namespace cs::unicore

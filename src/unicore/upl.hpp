@@ -1,0 +1,52 @@
+// UNICORE Protocol Layer (UPL) — the transaction wire format between the
+// UNICORE client and the Gateway.
+//
+// Every request is one self-contained transaction carrying the user's
+// certificate (standing in for the SSL client certificate), so "a client
+// can appear or vanish at any time" (paper section 3.3). All traffic flows
+// through the gateway's single server address — the firewall-friendliness
+// property of section 3.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "unicore/ajo.hpp"
+#include "unicore/identity.hpp"
+
+namespace cs::unicore {
+
+enum class UplOp : std::uint8_t {
+  kConsign = 1,  ///< text = serialized AJO
+  kStatus = 2,   ///< job_id set
+  kOutcome = 3,  ///< job_id set
+  kAbort = 4,    ///< job_id set
+  kInvite = 5,   ///< text = "subject\x1ffingerprint" of the guest
+  kVisit = 6,    ///< binary = proxy transaction (visit/proxy.hpp)
+};
+
+struct UplRequest {
+  UplOp op = UplOp::kStatus;
+  Certificate identity;
+  std::string vsite;
+  std::string job_id;
+  std::string text;
+  common::Bytes binary;
+};
+
+struct UplResponse {
+  common::Status status;      ///< middleware-level result
+  std::string text;           ///< job id, state name, ...
+  common::Bytes binary;       ///< proxy transaction response
+  JobOutcome outcome;         ///< for kOutcome
+  bool has_outcome = false;
+};
+
+common::Bytes encode_upl_request(const UplRequest& request);
+common::Result<UplRequest> decode_upl_request(common::ByteSpan raw);
+common::Bytes encode_upl_response(const UplResponse& response);
+common::Result<UplResponse> decode_upl_response(common::ByteSpan raw);
+
+}  // namespace cs::unicore

@@ -1,0 +1,143 @@
+#include "visit/client.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "visit/tags.hpp"
+
+namespace cs::visit {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Result<SimClient> SimClient::connect(net::Network& net,
+                                     const SimClientOptions& options,
+                                     Deadline deadline) {
+  auto conn = net.connect(options.server_address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  return adopt(std::move(conn).value(), options, deadline);
+}
+
+Result<SimClient> SimClient::adopt(net::ConnectionPtr conn,
+                                   const SimClientOptions& options,
+                                   Deadline deadline) {
+  SimClient client;
+  client.conn_ = std::move(conn);
+  client.options_ = options;
+
+  // Handshake: HELLO <version> <password>  ->  OK ... | DENY <reason>.
+  const auto hello = wire::make_control_message(
+      kTagHello,
+      std::string("HELLO ") + kProtocolVersion + " " + options.password);
+  if (Status s = client.conn_->send(hello.encode(), deadline); !s.is_ok()) {
+    return s;
+  }
+  auto raw = client.conn_->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  auto ack = wire::Message::decode(raw.value());
+  if (!ack.is_ok()) return ack.status();
+  if (ack.value().header.tag != kTagHelloAck) {
+    return Status{StatusCode::kProtocolError, "expected HELLO_ACK"};
+  }
+  auto body = wire::extract_string(ack.value());
+  if (!body.is_ok()) return body.status();
+  if (!common::starts_with(body.value(), "OK")) {
+    client.conn_->close();
+    return Status{StatusCode::kPermissionDenied, body.value()};
+  }
+  return client;
+}
+
+Status SimClient::send_string(std::uint32_t tag, std::string_view text,
+                              std::optional<Deadline> deadline) {
+  if (!connected()) return closed_status();
+  return send_message(wire::make_string_message(tag, text), deadline);
+}
+
+Status SimClient::send_struct(std::uint32_t tag, const wire::StructDesc& desc,
+                              const void* records, std::size_t record_count,
+                              std::optional<Deadline> deadline) {
+  if (!connected()) return closed_status();
+  if (!announced_schemas_.contains(tag)) {
+    const auto schema = wire::make_control_message(
+        kTagSchema, std::to_string(tag) + " " + desc.serialize());
+    if (Status s = send_message(schema, deadline); !s.is_ok()) return s;
+    announced_schemas_.insert(tag);
+  }
+  return send_message(wire::make_struct_message(tag, desc, records,
+                                                record_count),
+                      deadline);
+}
+
+Result<std::string> SimClient::request_string(
+    std::uint32_t tag, std::optional<Deadline> deadline) {
+  auto reply = request_raw(tag, deadline);
+  if (!reply.is_ok()) return reply.status();
+  return wire::extract_string(reply.value());
+}
+
+void SimClient::disconnect() {
+  if (!conn_) return;
+  if (conn_->is_open()) {
+    (void)conn_->send(wire::make_control_message(kTagBye, "").encode(),
+                      Deadline::after(options_.default_timeout));
+    conn_->close();
+  }
+  conn_.reset();
+  announced_schemas_.clear();
+}
+
+net::ConnStats SimClient::stats() const {
+  return conn_ ? conn_->stats() : net::ConnStats{};
+}
+
+Status SimClient::send_message(const wire::Message& m,
+                               std::optional<Deadline> deadline) {
+  Status s = conn_->send(m.encode(), effective(deadline));
+  if (s.code() == StatusCode::kClosed) poison();
+  return s;
+}
+
+Result<wire::Message> SimClient::request_raw(
+    std::uint32_t tag, std::optional<Deadline> deadline) {
+  if (!connected()) return closed_status();
+  const Deadline d = effective(deadline);
+  if (Status s = conn_->send(wire::make_request_message(tag).encode(), d);
+      !s.is_ok()) {
+    if (s.code() == StatusCode::kClosed) poison();
+    return s;
+  }
+  // The reply is the next data message carrying our tag. Anything else
+  // arriving in between (stale replies after an earlier timeout) is skipped,
+  // so one lost round trip cannot poison the next.
+  for (;;) {
+    auto raw = conn_->recv(d);
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) poison();
+      return raw.status();
+    }
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) {
+      poison();
+      return m.status();
+    }
+    if (m.value().header.tag == tag &&
+        m.value().header.kind == wire::MessageKind::kData) {
+      return std::move(m).value();
+    }
+    if (m.value().header.tag == kTagBye) {
+      poison();
+      return Status{StatusCode::kClosed, "server said BYE"};
+    }
+    CS_LOG_DEBUG("visit.client")
+        << "skipping stale message tag=" << m.value().header.tag;
+  }
+}
+
+void SimClient::poison() {
+  if (conn_) conn_->close();
+  conn_.reset();
+}
+
+}  // namespace cs::visit

@@ -1,0 +1,128 @@
+// Simulation-side steering client.
+//
+// This is the paper's core design (section 3.2): *the simulation is the
+// client*. Every operation — opening the connection, shipping samples,
+// fetching new steering parameters — is initiated by the simulation and is
+// guaranteed to complete or fail within a caller-supplied timeout, so a
+// slow, stalled, or dead visualization can never stall the simulation. The
+// interface is deliberately lean (the paper: "a lean and easy-to-use
+// interface", no external dependencies on the simulation side).
+//
+// Payloads leave the simulation in its native representation; all
+// conversion work happens on the visualization server (wire/convert.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "wire/convert.hpp"
+#include "wire/message.hpp"
+#include "wire/structdesc.hpp"
+
+namespace cs::visit {
+
+/// Connection parameters for a steered simulation.
+struct SimClientOptions {
+  /// Address of the visualization server (or multiplexer, or proxy).
+  std::string server_address;
+  /// Clear-text connection password (the paper notes VISIT offered nothing
+  /// stronger; integration with the middleware adds real security).
+  std::string password;
+  /// Default timeout applied when a call passes no explicit deadline.
+  common::Duration default_timeout = std::chrono::milliseconds(100);
+};
+
+/// The steering endpoint linked into the simulation.
+///
+/// All methods are non-throwing; errors come back as Status. After a
+/// connection-level failure the client is `!connected()` and every further
+/// call fails fast with kClosed — the simulation keeps running.
+class SimClient {
+ public:
+  SimClient() = default;
+
+  /// Opens the connection and performs the password handshake. Returns a
+  /// disconnected-but-valid client wrapped in an error Status on failure.
+  static common::Result<SimClient> connect(net::Network& net,
+                                           const SimClientOptions& options,
+                                           common::Deadline deadline);
+
+  /// In-process variant used by proxies that already hold a connection.
+  static common::Result<SimClient> adopt(net::ConnectionPtr conn,
+                                         const SimClientOptions& options,
+                                         common::Deadline deadline);
+
+  bool connected() const noexcept { return conn_ != nullptr && conn_->is_open(); }
+
+  /// Ships an array of scalars under `tag` (fire-and-forget sample data).
+  template <typename T>
+  common::Status send(std::uint32_t tag, const T* values, std::size_t count,
+                      std::optional<common::Deadline> deadline = {}) {
+    if (!connected()) return closed_status();
+    const auto m = wire::make_data_message(tag, values, count);
+    return send_message(m, deadline);
+  }
+
+  template <typename T>
+  common::Status send(std::uint32_t tag, const std::vector<T>& values,
+                      std::optional<common::Deadline> deadline = {}) {
+    return send(tag, values.data(), values.size(), deadline);
+  }
+
+  /// Ships a string under `tag`.
+  common::Status send_string(std::uint32_t tag, std::string_view text,
+                             std::optional<common::Deadline> deadline = {});
+
+  /// Ships an array of user-defined records. The schema is announced to the
+  /// server once per (connection, tag).
+  common::Status send_struct(std::uint32_t tag, const wire::StructDesc& desc,
+                             const void* records, std::size_t record_count,
+                             std::optional<common::Deadline> deadline = {});
+
+  /// Fetches the current value of steering parameter `tag` from the server
+  /// (request/reply, both legs bounded by the deadline). This is how new
+  /// parameters reach the simulation: pulled, never pushed.
+  template <typename T>
+  common::Result<std::vector<T>> request(
+      std::uint32_t tag, std::optional<common::Deadline> deadline = {}) {
+    auto reply = request_raw(tag, deadline);
+    if (!reply.is_ok()) return reply.status();
+    return wire::extract_as<T>(reply.value());
+  }
+
+  /// String-valued variant of request().
+  common::Result<std::string> request_string(
+      std::uint32_t tag, std::optional<common::Deadline> deadline = {});
+
+  /// Sends BYE and closes. Safe to call repeatedly.
+  void disconnect();
+
+  /// Traffic counters of the underlying connection (zeros when detached).
+  net::ConnStats stats() const;
+
+ private:
+  common::Status send_message(const wire::Message& m,
+                              std::optional<common::Deadline> deadline);
+  common::Result<wire::Message> request_raw(
+      std::uint32_t tag, std::optional<common::Deadline> deadline);
+  common::Deadline effective(std::optional<common::Deadline> d) const {
+    return d ? *d : common::Deadline::after(options_.default_timeout);
+  }
+  common::Status closed_status() const {
+    return common::Status{common::StatusCode::kClosed, "not connected"};
+  }
+  /// Drops the connection after an unrecoverable transport/protocol error.
+  void poison();
+
+  net::ConnectionPtr conn_;
+  SimClientOptions options_;
+  std::set<std::uint32_t> announced_schemas_;
+};
+
+}  // namespace cs::visit

@@ -1,0 +1,226 @@
+#include "visit/control.hpp"
+
+#include "common/strings.hpp"
+#include "visit/server.hpp"
+#include "visit/tags.hpp"
+
+namespace cs::visit {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+}
+
+Result<std::unique_ptr<ControlServer>> ControlServer::start(
+    net::Network& net, const Options& options) {
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<ControlServer> server{new ControlServer};
+  server->options_ = options;
+  server->listener_ = std::move(listener).value();
+  ControlServer* self = server.get();
+  server->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  return server;
+}
+
+ControlServer::~ControlServer() { stop(); }
+
+void ControlServer::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  if (listener_) listener_->close();
+  std::vector<Participant> doomed;
+  std::vector<std::jthread> graves;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [id, p] : participants_) {
+      p.conn->close();
+      doomed.push_back(std::move(p));
+    }
+    participants_.clear();
+    graves = std::move(graveyard_);
+  }
+  for (auto& p : doomed) {
+    if (p.pump.joinable()) {
+      p.pump.request_stop();
+      p.pump.join();
+    }
+  }
+  for (auto& t : graves) {
+    if (t.joinable()) {
+      t.request_stop();
+      t.join();
+    }
+  }
+}
+
+std::size_t ControlServer::participant_count() const {
+  std::scoped_lock lock(mutex_);
+  return participants_.size();
+}
+
+ControlServer::Stats ControlServer::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void ControlServer::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    const auto deadline = Deadline::after(std::chrono::seconds(2));
+    if (!handshake_accept(*conn.value(), options_.password, deadline, "joined")
+             .is_ok()) {
+      continue;
+    }
+    // The participant's first message declares its role.
+    auto raw = conn.value()->recv(deadline);
+    if (!raw.is_ok()) continue;
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok() || m.value().header.tag != kTagRole) continue;
+    auto body = wire::extract_string(m.value());
+    if (!body.is_ok()) continue;
+    const bool actor = (body.value() == "actor");
+
+    std::scoped_lock lock(mutex_);
+    const std::uint64_t id = next_id_++;
+    Participant p;
+    p.conn = std::move(conn).value();
+    p.actor = actor;
+    participants_.emplace(id, std::move(p));
+    participants_[id].pump =
+        std::jthread([this, id](std::stop_token pst) { pump(pst, id); });
+  }
+}
+
+void ControlServer::pump(const std::stop_token& st, std::uint64_t id) {
+  net::ConnectionPtr conn;
+  bool actor = false;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = participants_.find(id);
+    if (it == participants_.end()) return;
+    conn = it->second.conn;
+    actor = it->second.actor;
+  }
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) {
+        remove(id);
+        return;
+      }
+      continue;
+    }
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) {
+      remove(id);
+      return;
+    }
+    if (m.value().header.tag == kTagBye) {
+      remove(id);
+      return;
+    }
+    if (m.value().header.tag != kTagControlData) continue;
+    if (!actor) {
+      std::scoped_lock lock(mutex_);
+      ++stats_.updates_rejected;
+      continue;
+    }
+    // Relay to everyone else, best effort within the forward timeout.
+    std::vector<net::ConnectionPtr> targets;
+    {
+      std::scoped_lock lock(mutex_);
+      ++stats_.updates_relayed;
+      for (const auto& [pid, p] : participants_) {
+        if (pid != id) targets.push_back(p.conn);
+      }
+    }
+    const common::Bytes frame = raw.value();
+    for (auto& t : targets) {
+      (void)t->send(frame, Deadline::after(options_.forward_timeout));
+    }
+  }
+}
+
+void ControlServer::remove(std::uint64_t id) {
+  std::scoped_lock lock(mutex_);
+  auto it = participants_.find(id);
+  if (it == participants_.end()) return;
+  it->second.conn->close();
+  it->second.pump.request_stop();
+  graveyard_.push_back(std::move(it->second.pump));
+  participants_.erase(it);
+}
+
+Result<ControlClient> ControlClient::connect(net::Network& net,
+                                             const std::string& address,
+                                             const std::string& password,
+                                             const std::string& role,
+                                             Deadline deadline) {
+  auto conn = net.connect(address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  ControlClient client;
+  client.conn_ = std::move(conn).value();
+  const auto hello = wire::make_control_message(
+      kTagHello, std::string("HELLO ") + kProtocolVersion + " " + password);
+  if (Status s = client.conn_->send(hello.encode(), deadline); !s.is_ok()) {
+    return s;
+  }
+  auto raw = client.conn_->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  auto ack = wire::Message::decode(raw.value());
+  if (!ack.is_ok()) return ack.status();
+  auto body = wire::extract_string(ack.value());
+  if (!body.is_ok()) return body.status();
+  if (!common::starts_with(body.value(), "OK")) {
+    client.conn_->close();
+    return Status{StatusCode::kPermissionDenied, body.value()};
+  }
+  if (Status s = client.conn_->send(
+          wire::make_control_message(kTagRole, role).encode(), deadline);
+      !s.is_ok()) {
+    return s;
+  }
+  return client;
+}
+
+Status ControlClient::publish(std::string_view control_data,
+                              Deadline deadline) {
+  if (!connected()) return Status{StatusCode::kClosed, "not connected"};
+  return conn_->send(
+      wire::make_control_message(kTagControlData, control_data).encode(),
+      deadline);
+}
+
+Result<std::string> ControlClient::receive(Deadline deadline) {
+  if (!connected()) return Status{StatusCode::kClosed, "not connected"};
+  for (;;) {
+    auto raw = conn_->recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) return m.status();
+    if (m.value().header.tag == kTagControlData) {
+      return wire::extract_string(m.value());
+    }
+  }
+}
+
+void ControlClient::disconnect() {
+  if (conn_ && conn_->is_open()) {
+    (void)conn_->send(wire::make_control_message(kTagBye, "").encode(),
+                      Deadline::after(std::chrono::milliseconds(100)));
+    conn_->close();
+  }
+  conn_.reset();
+}
+
+}  // namespace cs::visit

@@ -1,0 +1,103 @@
+// External control-data server for the "sense of presence" channel.
+//
+// "Like video and audio, the exchange of control information between the
+// visualizations is sensitive to latency... we have implemented an external
+// server that collects and redistributes the control data. This server
+// allows to assign different roles to the participants: one role allows to
+// change visualization parameters like the view angle and a second role is
+// just for passive viewers." (paper section 3.3)
+//
+// The server relays small control records (view point, tool parameters)
+// among participants with minimal processing. Participants join with a role:
+//   actor    — may publish control updates
+//   observer — receives updates only; its publishes are rejected and counted
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "wire/message.hpp"
+
+namespace cs::visit {
+
+class ControlServer {
+ public:
+  struct Options {
+    std::string address;
+    std::string password;
+    common::Duration forward_timeout = std::chrono::milliseconds(20);
+  };
+
+  struct Stats {
+    std::uint64_t updates_relayed = 0;   ///< actor updates fanned out
+    std::uint64_t updates_rejected = 0;  ///< observer publishes dropped
+  };
+
+  static common::Result<std::unique_ptr<ControlServer>> start(
+      net::Network& net, const Options& options);
+
+  ~ControlServer();
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  void stop();
+  std::size_t participant_count() const;
+  Stats stats() const;
+
+ private:
+  ControlServer() = default;
+  void accept_loop(const std::stop_token& st);
+  void pump(const std::stop_token& st, std::uint64_t id);
+  void remove(std::uint64_t id);
+
+  struct Participant {
+    net::ConnectionPtr conn;
+    bool actor = false;
+    std::jthread pump;
+  };
+
+  Options options_;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Participant> participants_;
+  std::vector<std::jthread> graveyard_;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+};
+
+/// Participant endpoint for the control channel.
+class ControlClient {
+ public:
+  /// `role` is "actor" or "observer".
+  static common::Result<ControlClient> connect(net::Network& net,
+                                               const std::string& address,
+                                               const std::string& password,
+                                               const std::string& role,
+                                               common::Deadline deadline);
+
+  /// Publishes a control record (e.g. a serialized view matrix).
+  common::Status publish(std::string_view control_data,
+                         common::Deadline deadline);
+
+  /// Receives the next control record relayed from another participant.
+  common::Result<std::string> receive(common::Deadline deadline);
+
+  void disconnect();
+  bool connected() const noexcept { return conn_ && conn_->is_open(); }
+
+ private:
+  net::ConnectionPtr conn_;
+};
+
+}  // namespace cs::visit

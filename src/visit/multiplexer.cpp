@@ -1,0 +1,355 @@
+#include "visit/multiplexer.hpp"
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "visit/server.hpp"
+#include "visit/tags.hpp"
+
+namespace cs::visit {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+// Pump threads poll with a short deadline so stop() is honored promptly.
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+}  // namespace
+
+Result<std::unique_ptr<Multiplexer>> Multiplexer::start(
+    net::Network& net, const Options& options) {
+  auto sim_listener = net.listen(options.sim_address);
+  if (!sim_listener.is_ok()) return sim_listener.status();
+  auto viewer_listener = net.listen(options.viewer_address);
+  if (!viewer_listener.is_ok()) return viewer_listener.status();
+
+  std::unique_ptr<Multiplexer> mux{new Multiplexer};
+  mux->options_ = options;
+  mux->sim_listener_ = std::move(sim_listener).value();
+  mux->viewer_listener_ = std::move(viewer_listener).value();
+  Multiplexer* self = mux.get();
+  mux->sim_accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->sim_accept_loop(st); });
+  mux->viewer_accept_thread_ = std::jthread(
+      [self](std::stop_token st) { self->viewer_accept_loop(st); });
+  return mux;
+}
+
+Multiplexer::~Multiplexer() { stop(); }
+
+void Multiplexer::stop() {
+  if (stopped_.exchange(true)) return;
+  sim_accept_thread_.request_stop();
+  viewer_accept_thread_.request_stop();
+  sim_pump_thread_.request_stop();
+  if (sim_listener_) sim_listener_->close();
+  if (viewer_listener_) viewer_listener_->close();
+  std::vector<Viewer> doomed;
+  std::vector<std::jthread> graves;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [id, viewer] : viewers_) {
+      viewer.conn->close();
+      doomed.push_back(std::move(viewer));
+    }
+    viewers_.clear();
+    master_id_ = 0;
+    graves = std::move(graveyard_);
+    graveyard_.clear();
+  }
+  for (auto& viewer : doomed) {
+    if (viewer.pump.joinable()) {
+      viewer.pump.request_stop();
+      viewer.pump.join();
+    }
+  }
+  for (auto& t : graves) {
+    if (t.joinable()) {
+      t.request_stop();
+      t.join();
+    }
+  }
+}
+
+std::size_t Multiplexer::viewer_count() const {
+  std::scoped_lock lock(mutex_);
+  return viewers_.size();
+}
+
+std::uint64_t Multiplexer::master_id() const {
+  std::scoped_lock lock(mutex_);
+  return master_id_;
+}
+
+Multiplexer::Stats Multiplexer::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void Multiplexer::sim_accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = sim_listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    if (!handshake_accept(*conn.value(), options_.password,
+                          Deadline::after(std::chrono::seconds(2)))
+             .is_ok()) {
+      continue;
+    }
+    // One simulation at a time: a fresh pump replaces the previous one.
+    if (sim_pump_thread_.joinable()) {
+      sim_pump_thread_.request_stop();
+      sim_pump_thread_.join();
+    }
+    net::ConnectionPtr sim = std::move(conn).value();
+    sim_pump_thread_ = std::jthread(
+        [this, sim](std::stop_token pump_st) { sim_pump(pump_st, sim); });
+  }
+}
+
+void Multiplexer::viewer_accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = viewer_listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    if (!handshake_accept(*conn.value(), options_.password,
+                          Deadline::after(std::chrono::seconds(2)), "pending")
+             .is_ok()) {
+      continue;
+    }
+    add_viewer(std::move(conn).value());
+  }
+}
+
+void Multiplexer::add_viewer(net::ConnectionPtr conn) {
+  std::uint64_t id = 0;
+  const Deadline d = Deadline::after(options_.forward_timeout);
+  {
+    std::scoped_lock lock(mutex_);
+    id = next_viewer_id_++;
+    // Late joiners get the schema announcements and the last sample of each
+    // tag so that "everyone has the same view of the data".
+    for (const auto& [tag, m] : schema_cache_) {
+      (void)conn->send(m.encode(), d);
+    }
+    for (const auto& [tag, m] : last_sample_) {
+      (void)conn->send(m.encode(), d);
+    }
+    Viewer viewer;
+    viewer.conn = conn;
+    viewers_.emplace(id, std::move(viewer));
+    auto& slot = viewers_[id];
+    slot.pump = std::jthread(
+        [this, id](std::stop_token st) { viewer_pump(st, id); });
+  }
+  // First viewer in becomes master.
+  bool needs_master = false;
+  {
+    std::scoped_lock lock(mutex_);
+    needs_master = (master_id_ == 0);
+  }
+  if (needs_master) {
+    promote(id);
+  } else {
+    (void)conn->send(wire::make_control_message(kTagRole, "viewer").encode(),
+                     d);
+  }
+}
+
+void Multiplexer::remove_viewer(std::uint64_t id) {
+  bool was_master = false;
+  std::uint64_t successor = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = viewers_.find(id);
+    if (it == viewers_.end()) return;
+    it->second.conn->close();
+    it->second.pump.request_stop();
+    // This may run on the viewer's own pump thread, so the jthread cannot
+    // be joined here; it is parked and joined at stop() time.
+    graveyard_.push_back(std::move(it->second.pump));
+    viewers_.erase(it);
+    was_master = (master_id_ == id);
+    if (was_master) {
+      master_id_ = 0;
+      if (!viewers_.empty()) successor = viewers_.begin()->first;
+    }
+  }
+  if (was_master && successor != 0) promote(successor);
+}
+
+void Multiplexer::promote(std::uint64_t id) {
+  net::ConnectionPtr old_master, new_master;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = viewers_.find(id);
+    if (it == viewers_.end()) return;
+    if (master_id_ != 0) {
+      auto old_it = viewers_.find(master_id_);
+      if (old_it != viewers_.end()) old_master = old_it->second.conn;
+    }
+    master_id_ = id;
+    new_master = it->second.conn;
+  }
+  const Deadline d = Deadline::after(options_.forward_timeout);
+  if (old_master) {
+    (void)old_master->send(
+        wire::make_control_message(kTagRole, "viewer").encode(), d);
+  }
+  if (new_master) {
+    (void)new_master->send(
+        wire::make_control_message(kTagRole, "master").encode(), d);
+  }
+}
+
+void Multiplexer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) return;
+      continue;  // timeout slice
+    }
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) {
+      CS_LOG_WARN("visit.mux") << "bad frame from sim: "
+                               << m.status().to_string();
+      conn->close();
+      return;
+    }
+    handle_sim_message(std::move(m).value(), *conn);
+  }
+}
+
+void Multiplexer::handle_sim_message(wire::Message m,
+                                     net::Connection& sim_conn) {
+  switch (m.header.kind) {
+    case wire::MessageKind::kData: {
+      {
+        std::scoped_lock lock(mutex_);
+        ++stats_.samples_in;
+        last_sample_.insert_or_assign(m.header.tag, m);
+      }
+      broadcast(m);
+      return;
+    }
+    case wire::MessageKind::kControl: {
+      if (m.header.tag == kTagSchema) {
+        std::scoped_lock lock(mutex_);
+        // Schema cache keyed by the data tag named in the body.
+        auto body = wire::extract_string(m);
+        if (body.is_ok()) {
+          const auto tag = static_cast<std::uint32_t>(
+              std::strtoul(body.value().c_str(), nullptr, 10));
+          schema_cache_.insert_or_assign(tag, m);
+        }
+      }
+      if (m.header.tag == kTagBye) {
+        broadcast(m);
+        return;
+      }
+      broadcast(m);
+      return;
+    }
+    case wire::MessageKind::kRequest: {
+      // Answer immediately from the master's parameter table.
+      wire::Message reply;
+      {
+        std::scoped_lock lock(mutex_);
+        auto it = parameters_.find(m.header.tag);
+        reply = (it != parameters_.end())
+                    ? it->second
+                    : wire::make_data_message<std::uint8_t>(m.header.tag,
+                                                            nullptr, 0);
+        ++stats_.requests_served;
+      }
+      (void)sim_conn.send(reply.encode(),
+                          Deadline::after(options_.forward_timeout));
+      return;
+    }
+  }
+}
+
+void Multiplexer::broadcast(const wire::Message& m) {
+  const common::Bytes frame = m.encode();
+  std::vector<std::pair<std::uint64_t, net::ConnectionPtr>> targets;
+  {
+    std::scoped_lock lock(mutex_);
+    targets.reserve(viewers_.size());
+    for (const auto& [id, viewer] : viewers_) {
+      targets.emplace_back(id, viewer.conn);
+    }
+  }
+  std::vector<std::uint64_t> dead;
+  for (auto& [id, conn] : targets) {
+    const Status s =
+        conn->send(frame, Deadline::after(options_.forward_timeout));
+    std::scoped_lock lock(mutex_);
+    if (s.is_ok()) {
+      ++stats_.samples_out;
+    } else if (s.code() == StatusCode::kClosed) {
+      dead.push_back(id);
+    } else {
+      ++stats_.samples_missed;  // slow viewer: skipped, not fatal
+    }
+  }
+  for (auto id : dead) remove_viewer(id);
+}
+
+void Multiplexer::viewer_pump(const std::stop_token& st, std::uint64_t id) {
+  net::ConnectionPtr conn;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = viewers_.find(id);
+    if (it == viewers_.end()) return;
+    conn = it->second.conn;
+  }
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) {
+        remove_viewer(id);
+        return;
+      }
+      continue;
+    }
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) {
+      remove_viewer(id);
+      return;
+    }
+    handle_viewer_message(id, std::move(m).value());
+  }
+}
+
+void Multiplexer::handle_viewer_message(std::uint64_t id, wire::Message m) {
+  if (m.header.kind == wire::MessageKind::kControl) {
+    if (m.header.tag == kTagTakeMaster) {
+      // Cooperative policy: any authenticated participant may take the
+      // master role; the previous master is demoted and notified.
+      promote(id);
+      return;
+    }
+    if (m.header.tag == kTagBye) {
+      remove_viewer(id);
+      return;
+    }
+    return;
+  }
+  if (m.header.kind == wire::MessageKind::kData) {
+    std::scoped_lock lock(mutex_);
+    if (id == master_id_) {
+      parameters_.insert_or_assign(m.header.tag, std::move(m));
+      ++stats_.steers_accepted;
+    } else {
+      ++stats_.steers_rejected;  // only the master steers
+    }
+  }
+}
+
+}  // namespace cs::visit

@@ -1,0 +1,116 @@
+// Collaborative steering multiplexer — the paper's `vbroker` (section 3.3),
+// as moved into the VISIT proxy-server for the UNICORE extension.
+//
+// "A 'multiplexer' simply sends all VISIT send-requests to all participating
+// visualizations, ensuring that everyone views the same data.
+// Receive-requests are only sent to a 'master' visualization, so that only
+// that master is able to actively steer the application. The master-role can
+// be moved, allowing for a coordinated cooperative steering."
+//
+// Implementation note: the master's steering updates are cached in a
+// parameter table inside the multiplexer and the simulation's requests are
+// answered from that table immediately. This is observationally equivalent
+// to forwarding each request to the master (the sim receives exactly the
+// values the master last published) but keeps the VISIT guarantee intact:
+// the simulation's round trip is bounded by the link to the multiplexer,
+// never by a viewer application's event loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "wire/message.hpp"
+
+namespace cs::visit {
+
+class Multiplexer {
+ public:
+  struct Options {
+    /// Address the (single) simulation connects to.
+    std::string sim_address;
+    /// Address participating visualizations connect to.
+    std::string viewer_address;
+    /// Everyone authenticates with this password; the UNICORE variant adds
+    /// real authentication in front (see visit/proxy.hpp).
+    std::string password;
+    /// Per-viewer forwarding deadline; a viewer slower than this misses the
+    /// sample rather than stalling the fan-out.
+    common::Duration forward_timeout = std::chrono::milliseconds(50);
+  };
+
+  struct Stats {
+    std::uint64_t samples_in = 0;       ///< data messages from the sim
+    std::uint64_t samples_out = 0;      ///< per-viewer deliveries
+    std::uint64_t samples_missed = 0;   ///< deliveries dropped (slow viewer)
+    std::uint64_t steers_accepted = 0;  ///< master parameter updates
+    std::uint64_t steers_rejected = 0;  ///< non-master updates dropped
+    std::uint64_t requests_served = 0;  ///< sim parameter requests answered
+  };
+
+  /// Starts listeners and pump threads.
+  static common::Result<std::unique_ptr<Multiplexer>> start(
+      net::Network& net, const Options& options);
+
+  ~Multiplexer();
+  Multiplexer(const Multiplexer&) = delete;
+  Multiplexer& operator=(const Multiplexer&) = delete;
+
+  void stop();
+
+  std::size_t viewer_count() const;
+  /// Id of the current master viewer, or 0 when none.
+  std::uint64_t master_id() const;
+  Stats stats() const;
+
+ private:
+  Multiplexer() = default;
+
+  void sim_accept_loop(const std::stop_token& st);
+  void viewer_accept_loop(const std::stop_token& st);
+  void sim_pump(const std::stop_token& st, net::ConnectionPtr conn);
+  void viewer_pump(const std::stop_token& st, std::uint64_t id);
+
+  void handle_sim_message(wire::Message m, net::Connection& sim_conn);
+  void handle_viewer_message(std::uint64_t id, wire::Message m);
+  void add_viewer(net::ConnectionPtr conn);
+  void remove_viewer(std::uint64_t id);
+  void broadcast(const wire::Message& m);
+  /// Sets viewer `id` as master and notifies affected viewers.
+  void promote(std::uint64_t id);
+
+  struct Viewer {
+    net::ConnectionPtr conn;
+    std::jthread pump;
+  };
+
+  Options options_;
+  net::ListenerPtr sim_listener_;
+  net::ListenerPtr viewer_listener_;
+  std::jthread sim_accept_thread_;
+  std::jthread viewer_accept_thread_;
+  std::jthread sim_pump_thread_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Viewer> viewers_;
+  std::uint64_t master_id_ = 0;
+  std::uint64_t next_viewer_id_ = 1;
+  std::map<std::uint32_t, wire::Message> parameters_;  // master's updates
+  std::map<std::uint32_t, wire::Message> schema_cache_;
+  std::map<std::uint32_t, wire::Message> last_sample_;  // replayed on join
+  /// Pump threads of departed viewers; joined at stop() (a pump may remove
+  /// its own viewer and must not join itself).
+  std::vector<std::jthread> graveyard_;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cs::visit

@@ -1,0 +1,461 @@
+#include "visit/proxy.hpp"
+
+#include "common/log.hpp"
+#include "visit/server.hpp"
+#include "visit/tags.hpp"
+
+namespace cs::visit {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+
+void append_frames(Bytes& out, const std::vector<Bytes>& frames) {
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(frames.size()),
+                                     ByteOrder::kBig);
+  for (const auto& f : frames) {
+    common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(f.size()),
+                                       ByteOrder::kBig);
+    common::append_bytes(out, f);
+  }
+}
+
+Result<std::vector<Bytes>> read_frames(ByteSpan& in) {
+  if (in.size() < 4) {
+    return Status{StatusCode::kProtocolError, "frame list truncated"};
+  }
+  const auto n = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+  in = in.subspan(4);
+  // Each frame needs at least its 4-byte length prefix; a count beyond
+  // that is corrupt (and must not drive an allocation).
+  if (n > in.size() / 4) {
+    return Status{StatusCode::kProtocolError, "frame count exceeds payload"};
+  }
+  std::vector<Bytes> frames;
+  frames.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (in.size() < 4) {
+      return Status{StatusCode::kProtocolError, "frame length truncated"};
+    }
+    const auto len = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+    in = in.subspan(4);
+    if (in.size() < len) {
+      return Status{StatusCode::kProtocolError, "frame body truncated"};
+    }
+    frames.emplace_back(in.begin(), in.begin() + len);
+    in = in.subspan(len);
+  }
+  return frames;
+}
+}  // namespace
+
+Bytes encode_proxy_request(const ProxyRequest& request) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(request.op));
+  common::append_uint<std::uint64_t>(out, request.attachment, ByteOrder::kBig);
+  common::append_uint<std::uint32_t>(out, request.max_frames, ByteOrder::kBig);
+  append_frames(out, request.frames);
+  return out;
+}
+
+Result<ProxyRequest> decode_proxy_request(ByteSpan raw) {
+  if (raw.size() < 1 + 8 + 4) {
+    return Status{StatusCode::kProtocolError, "proxy request truncated"};
+  }
+  ProxyRequest r;
+  if (raw[0] < 1 || raw[0] > 4) {
+    return Status{StatusCode::kProtocolError, "bad proxy op"};
+  }
+  r.op = static_cast<ProxyOp>(raw[0]);
+  r.attachment = common::read_uint<std::uint64_t>(raw.subspan(1), ByteOrder::kBig);
+  r.max_frames = common::read_uint<std::uint32_t>(raw.subspan(9), ByteOrder::kBig);
+  ByteSpan rest = raw.subspan(13);
+  auto frames = read_frames(rest);
+  if (!frames.is_ok()) return frames.status();
+  r.frames = std::move(frames).value();
+  return r;
+}
+
+Bytes encode_proxy_response(const ProxyResponse& response) {
+  Bytes out;
+  out.push_back(response.status.is_ok() ? 0 : 1);
+  common::append_uint<std::uint64_t>(out, response.attachment, ByteOrder::kBig);
+  append_frames(out, response.frames);
+  return out;
+}
+
+Result<ProxyResponse> decode_proxy_response(ByteSpan raw) {
+  if (raw.size() < 1 + 8) {
+    return Status{StatusCode::kProtocolError, "proxy response truncated"};
+  }
+  ProxyResponse r;
+  if (raw[0] != 0) {
+    r.status = Status{StatusCode::kUnavailable, "proxy reported failure"};
+  }
+  r.attachment = common::read_uint<std::uint64_t>(raw.subspan(1), ByteOrder::kBig);
+  ByteSpan rest = raw.subspan(9);
+  auto frames = read_frames(rest);
+  if (!frames.is_ok()) return frames.status();
+  r.frames = std::move(frames).value();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ProxyServer
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ProxyServer>> ProxyServer::start(
+    net::Network& net, const Options& options) {
+  auto listener = net.listen(options.sim_address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<ProxyServer> server{new ProxyServer};
+  server->options_ = options;
+  server->listener_ = std::move(listener).value();
+  ProxyServer* self = server.get();
+  server->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  return server;
+}
+
+ProxyServer::~ProxyServer() { stop(); }
+
+void ProxyServer::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  sim_pump_thread_.request_stop();
+  if (listener_) listener_->close();
+}
+
+void ProxyServer::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    if (!handshake_accept(*conn.value(), options_.password,
+                          Deadline::after(std::chrono::seconds(2)))
+             .is_ok()) {
+      continue;
+    }
+    if (sim_pump_thread_.joinable()) {
+      sim_pump_thread_.request_stop();
+      sim_pump_thread_.join();
+    }
+    net::ConnectionPtr sim = std::move(conn).value();
+    sim_pump_thread_ = std::jthread(
+        [this, sim](std::stop_token pst) { sim_pump(pst, sim); });
+  }
+}
+
+void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    auto decoded = wire::Message::decode(raw.value());
+    if (!decoded.is_ok()) {
+      conn->close();
+      return;
+    }
+    wire::Message m = std::move(decoded).value();
+    switch (m.header.kind) {
+      case wire::MessageKind::kData: {
+        {
+          std::scoped_lock lock(mutex_);
+          ++stats_.samples_in;
+          last_sample_.insert_or_assign(m.header.tag, m);
+        }
+        enqueue_to_all(m);
+        break;
+      }
+      case wire::MessageKind::kControl: {
+        if (m.header.tag == kTagSchema) {
+          auto body = wire::extract_string(m);
+          if (body.is_ok()) {
+            const auto tag = static_cast<std::uint32_t>(
+                std::strtoul(body.value().c_str(), nullptr, 10));
+            std::scoped_lock lock(mutex_);
+            schema_cache_.insert_or_assign(tag, m);
+          }
+        }
+        enqueue_to_all(m);
+        break;
+      }
+      case wire::MessageKind::kRequest: {
+        wire::Message reply;
+        {
+          std::scoped_lock lock(mutex_);
+          auto it = parameters_.find(m.header.tag);
+          reply = (it != parameters_.end())
+                      ? it->second
+                      : wire::make_data_message<std::uint8_t>(m.header.tag,
+                                                              nullptr, 0);
+          ++stats_.requests_served;
+        }
+        (void)conn->send(reply.encode(), Deadline::after(kPumpSlice));
+        break;
+      }
+    }
+  }
+}
+
+void ProxyServer::enqueue_to_all(const wire::Message& m) {
+  const Bytes frame = m.encode();
+  std::scoped_lock lock(mutex_);
+  for (auto& [id, att] : attachments_) {
+    if (att.queue.size() >= options_.max_queued_frames) {
+      att.queue.pop_front();
+      ++stats_.frames_dropped;
+    }
+    att.queue.push_back(frame);
+    ++stats_.frames_queued;
+  }
+}
+
+void ProxyServer::enqueue_to(std::uint64_t id, const Bytes& frame) {
+  auto it = attachments_.find(id);
+  if (it == attachments_.end()) return;
+  if (it->second.queue.size() >= options_.max_queued_frames) {
+    it->second.queue.pop_front();
+    ++stats_.frames_dropped;
+  }
+  it->second.queue.push_back(frame);
+  ++stats_.frames_queued;
+}
+
+void ProxyServer::promote_locked(std::uint64_t id) {
+  if (!attachments_.contains(id)) return;
+  if (master_id_ != 0 && master_id_ != id) {
+    enqueue_to(master_id_,
+               wire::make_control_message(kTagRole, "viewer").encode());
+  }
+  master_id_ = id;
+  enqueue_to(id, wire::make_control_message(kTagRole, "master").encode());
+}
+
+ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
+  ProxyResponse response;
+  std::scoped_lock lock(mutex_);
+  switch (request.op) {
+    case ProxyOp::kAttach: {
+      const std::uint64_t id = next_attachment_id_++;
+      attachments_.emplace(id, Attachment{});
+      // Replay schemas and the latest sample of each tag so a late joiner
+      // shares the same view of the data.
+      for (const auto& [tag, m] : schema_cache_) enqueue_to(id, m.encode());
+      for (const auto& [tag, m] : last_sample_) enqueue_to(id, m.encode());
+      if (master_id_ == 0) {
+        promote_locked(id);
+      } else {
+        enqueue_to(id, wire::make_control_message(kTagRole, "viewer").encode());
+      }
+      response.attachment = id;
+      return response;
+    }
+    case ProxyOp::kDetach: {
+      attachments_.erase(request.attachment);
+      if (master_id_ == request.attachment) {
+        master_id_ = 0;
+        if (!attachments_.empty()) promote_locked(attachments_.begin()->first);
+      }
+      return response;
+    }
+    case ProxyOp::kPoll: {
+      auto it = attachments_.find(request.attachment);
+      if (it == attachments_.end()) {
+        response.status = Status{StatusCode::kNotFound, "unknown attachment"};
+        return response;
+      }
+      const std::size_t n =
+          std::min<std::size_t>(request.max_frames, it->second.queue.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        response.frames.push_back(std::move(it->second.queue.front()));
+        it->second.queue.pop_front();
+      }
+      return response;
+    }
+    case ProxyOp::kPush: {
+      if (!attachments_.contains(request.attachment)) {
+        response.status = Status{StatusCode::kNotFound, "unknown attachment"};
+        return response;
+      }
+      for (const auto& frame : request.frames) {
+        auto m = wire::Message::decode(frame);
+        if (!m.is_ok()) {
+          response.status = m.status();
+          return response;
+        }
+        if (m.value().header.kind == wire::MessageKind::kControl &&
+            m.value().header.tag == kTagTakeMaster) {
+          promote_locked(request.attachment);
+          continue;
+        }
+        if (m.value().header.kind == wire::MessageKind::kData) {
+          if (request.attachment == master_id_) {
+            parameters_.insert_or_assign(m.value().header.tag,
+                                         std::move(m).value());
+            ++stats_.steers_accepted;
+          } else {
+            ++stats_.steers_rejected;
+          }
+        }
+      }
+      return response;
+    }
+  }
+  response.status = Status{StatusCode::kInvalidArgument, "bad op"};
+  return response;
+}
+
+std::size_t ProxyServer::attachment_count() const {
+  std::scoped_lock lock(mutex_);
+  return attachments_.size();
+}
+
+std::uint64_t ProxyServer::master_id() const {
+  std::scoped_lock lock(mutex_);
+  return master_id_;
+}
+
+ProxyServer::Stats ProxyServer::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// ProxyClient
+// ---------------------------------------------------------------------------
+
+/// Local endpoint handed to ViewerClient: recv() pops frames fetched by the
+/// poll loop; send() performs a synchronous PUSH transaction.
+class ProxyClient::Pipe : public net::Connection {
+ public:
+  Pipe(ProxyTransact transact, std::uint64_t attachment)
+      : transact_(std::move(transact)), attachment_(attachment) {}
+
+  Status send(ByteSpan message, Deadline deadline) override {
+    (void)deadline;  // the transaction itself is the bound
+    if (closed_.load()) return Status{StatusCode::kClosed, "detached"};
+    ProxyRequest req;
+    req.op = ProxyOp::kPush;
+    req.attachment = attachment_;
+    req.frames.emplace_back(message.begin(), message.end());
+    auto raw = transact_(encode_proxy_request(req));
+    if (!raw.is_ok()) return raw.status();
+    auto resp = decode_proxy_response(raw.value());
+    if (!resp.is_ok()) return resp.status();
+    return resp.value().status;
+  }
+
+  Result<Bytes> recv(Deadline deadline) override {
+    std::unique_lock lock(mutex_);
+    const auto ready = [&] { return closed_.load() || !queue_.empty(); };
+    if (!ready()) {
+      if (deadline.is_infinite()) {
+        cv_.wait(lock, ready);
+      } else if (!cv_.wait_until(lock, deadline.time_point(), ready)) {
+        return Status{StatusCode::kTimeout, "no frame before deadline"};
+      }
+    }
+    if (!queue_.empty()) {
+      Bytes frame = std::move(queue_.front());
+      queue_.pop_front();
+      return frame;
+    }
+    return Status{StatusCode::kClosed, "detached"};
+  }
+
+  void close() override {
+    closed_.store(true);
+    cv_.notify_all();
+  }
+
+  bool is_open() const override { return !closed_.load(); }
+  std::string peer_address() const override { return "visit-proxy"; }
+  net::ConnStats stats() const override { return {}; }
+
+  void deliver(std::vector<Bytes> frames) {
+    std::scoped_lock lock(mutex_);
+    for (auto& f : frames) queue_.push_back(std::move(f));
+    cv_.notify_all();
+  }
+
+ private:
+  ProxyTransact transact_;
+  std::uint64_t attachment_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Bytes> queue_;
+  std::atomic<bool> closed_{false};
+};
+
+Result<std::unique_ptr<ProxyClient>> ProxyClient::attach(
+    ProxyTransact transact, const Options& options) {
+  ProxyRequest req;
+  req.op = ProxyOp::kAttach;
+  auto raw = transact(encode_proxy_request(req));
+  if (!raw.is_ok()) return raw.status();
+  auto resp = decode_proxy_response(raw.value());
+  if (!resp.is_ok()) return resp.status();
+  if (!resp.value().status.is_ok()) return resp.value().status;
+
+  std::unique_ptr<ProxyClient> client{new ProxyClient};
+  client->transact_ = std::move(transact);
+  client->options_ = options;
+  client->attachment_ = resp.value().attachment;
+  client->pipe_ = std::make_shared<Pipe>(client->transact_, client->attachment_);
+  ProxyClient* self = client.get();
+  client->poll_thread_ =
+      std::jthread([self](std::stop_token st) { self->poll_loop(st); });
+  return client;
+}
+
+ProxyClient::~ProxyClient() { detach(); }
+
+net::ConnectionPtr ProxyClient::connection() { return pipe_; }
+
+void ProxyClient::detach() {
+  if (detached_.exchange(true)) return;
+  poll_thread_.request_stop();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  if (pipe_) pipe_->close();
+  ProxyRequest req;
+  req.op = ProxyOp::kDetach;
+  req.attachment = attachment_;
+  (void)transact_(encode_proxy_request(req));
+}
+
+void ProxyClient::poll_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    ProxyRequest req;
+    req.op = ProxyOp::kPoll;
+    req.attachment = attachment_;
+    req.max_frames = options_.max_frames_per_poll;
+    auto raw = transact_(encode_proxy_request(req));
+    if (raw.is_ok()) {
+      auto resp = decode_proxy_response(raw.value());
+      if (resp.is_ok() && resp.value().status.is_ok() &&
+          !resp.value().frames.empty()) {
+        pipe_->deliver(std::move(resp.value().frames));
+        continue;  // drain eagerly while frames are flowing
+      }
+      if (resp.is_ok() && !resp.value().status.is_ok()) {
+        pipe_->close();  // attachment gone (job ended)
+        return;
+      }
+    }
+    std::this_thread::sleep_for(options_.poll_period);
+  }
+}
+
+}  // namespace cs::visit

@@ -1,0 +1,191 @@
+// VISIT-over-UNICORE proxies (paper section 3.3).
+//
+// UNICORE is transactional: the client submits, polls, fetches — no stateful
+// connection to the target system. VISIT is connection-oriented, with the
+// steered application as the client. The bridge is a pair of proxies:
+//
+//   * ProxyServer — "separate processes running on each target system".
+//     To the simulation it *is* the VISIT server (same address/password
+//     handshake, answers parameter requests from its table). It queues the
+//     simulation's output frames per attached user. The vbroker
+//     (multiplexer) functionality is folded in here, exactly as the paper
+//     describes: every attachment receives all samples, only the master
+//     attachment's steering pushes are accepted, and the master role moves
+//     on request. "All users participating in the collaboration have to
+//     authenticate to the UNICORE system" — hence attach() trusts its
+//     caller (the NJS), which has already authenticated the user.
+//
+//   * ProxyClient — the UNICORE client plugin. "By polling the target
+//     system for new data, that plugin is able to emulate the server
+//     capabilities required for the VISIT connection." It turns a
+//     transaction function (one UPL round trip through Gateway and NJS)
+//     into a net::Connection that a ViewerClient can use unmodified.
+//
+// The poll period is the knob benchmark E9 sweeps: proxied steering works,
+// at the cost of up to one poll period of extra latency per leg.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "wire/message.hpp"
+
+namespace cs::visit {
+
+// ---------------------------------------------------------------------------
+// Proxy transaction wire format (carried opaquely inside UPL transactions).
+// ---------------------------------------------------------------------------
+
+enum class ProxyOp : std::uint8_t {
+  kAttach = 1,
+  kDetach = 2,
+  kPoll = 3,
+  kPush = 4,
+};
+
+struct ProxyRequest {
+  ProxyOp op = ProxyOp::kPoll;
+  std::uint64_t attachment = 0;
+  std::uint32_t max_frames = 64;        ///< for kPoll
+  std::vector<common::Bytes> frames;    ///< for kPush
+};
+
+struct ProxyResponse {
+  common::Status status;
+  std::uint64_t attachment = 0;         ///< for kAttach
+  std::vector<common::Bytes> frames;    ///< for kPoll
+};
+
+common::Bytes encode_proxy_request(const ProxyRequest& request);
+common::Result<ProxyRequest> decode_proxy_request(common::ByteSpan raw);
+common::Bytes encode_proxy_response(const ProxyResponse& response);
+common::Result<ProxyResponse> decode_proxy_response(common::ByteSpan raw);
+
+// ---------------------------------------------------------------------------
+// ProxyServer
+// ---------------------------------------------------------------------------
+
+class ProxyServer {
+ public:
+  struct Options {
+    /// Vsite-local address the simulation's SimClient connects to.
+    std::string sim_address;
+    /// VISIT password expected from the simulation.
+    std::string password;
+    /// Per-attachment frame queue bound; when full the oldest data frame is
+    /// dropped (a slow polling user misses samples, never stalls the sim).
+    std::size_t max_queued_frames = 1024;
+  };
+
+  struct Stats {
+    std::uint64_t samples_in = 0;
+    std::uint64_t frames_queued = 0;
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t steers_accepted = 0;
+    std::uint64_t steers_rejected = 0;
+    std::uint64_t requests_served = 0;
+  };
+
+  static common::Result<std::unique_ptr<ProxyServer>> start(
+      net::Network& net, const Options& options);
+  ~ProxyServer();
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+  void stop();
+
+  /// Executes one proxy transaction on behalf of an authenticated user.
+  ProxyResponse transact(const ProxyRequest& request);
+
+  std::size_t attachment_count() const;
+  std::uint64_t master_id() const;
+  Stats stats() const;
+  const std::string& sim_address() const noexcept {
+    return options_.sim_address;
+  }
+
+ private:
+  ProxyServer() = default;
+  void accept_loop(const std::stop_token& st);
+  void sim_pump(const std::stop_token& st, net::ConnectionPtr conn);
+  void enqueue_to_all(const wire::Message& m);
+  void enqueue_to(std::uint64_t id, const common::Bytes& frame);
+  void promote_locked(std::uint64_t id);
+
+  struct Attachment {
+    std::deque<common::Bytes> queue;
+  };
+
+  Options options_;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  std::jthread sim_pump_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Attachment> attachments_;
+  std::uint64_t master_id_ = 0;
+  std::uint64_t next_attachment_id_ = 1;
+  std::map<std::uint32_t, wire::Message> parameters_;
+  std::map<std::uint32_t, wire::Message> schema_cache_;
+  std::map<std::uint32_t, wire::Message> last_sample_;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+};
+
+// ---------------------------------------------------------------------------
+// ProxyClient
+// ---------------------------------------------------------------------------
+
+/// One UPL round trip to the job's ProxyServer, however it is transported
+/// (through Gateway + NJS in production, directly in unit tests).
+using ProxyTransact =
+    std::function<common::Result<common::Bytes>(common::ByteSpan request)>;
+
+class ProxyClient {
+ public:
+  struct Options {
+    /// How often the plugin polls the target system for new frames.
+    common::Duration poll_period = std::chrono::milliseconds(20);
+    std::uint32_t max_frames_per_poll = 64;
+  };
+
+  /// Attaches to the job's proxy-server and starts the polling thread.
+  static common::Result<std::unique_ptr<ProxyClient>> attach(
+      ProxyTransact transact, const Options& options);
+
+  ~ProxyClient();
+  ProxyClient(const ProxyClient&) = delete;
+  ProxyClient& operator=(const ProxyClient&) = delete;
+
+  /// Local connection endpoint emulating the VISIT server: recv() yields
+  /// frames fetched by the polling thread; send() pushes a frame through a
+  /// transaction immediately. Feed it to ViewerClient::adopt().
+  net::ConnectionPtr connection();
+
+  void detach();
+  std::uint64_t attachment_id() const noexcept { return attachment_; }
+
+ private:
+  ProxyClient() = default;
+  void poll_loop(const std::stop_token& st);
+
+  class Pipe;  // net::Connection adapter
+  ProxyTransact transact_;
+  Options options_;
+  std::uint64_t attachment_ = 0;
+  std::shared_ptr<Pipe> pipe_;
+  std::jthread poll_thread_;
+  std::atomic<bool> detached_{false};
+};
+
+}  // namespace cs::visit

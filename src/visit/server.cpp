@@ -1,0 +1,187 @@
+#include "visit/server.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "visit/tags.hpp"
+
+namespace cs::visit {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Status handshake_accept(net::Connection& conn, const std::string& password,
+                        Deadline deadline, const std::string& ok_role) {
+  auto raw = conn.recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  auto hello = wire::Message::decode(raw.value());
+  if (!hello.is_ok()) return hello.status();
+  if (hello.value().header.tag != kTagHello) {
+    return Status{StatusCode::kProtocolError, "expected HELLO"};
+  }
+  auto body = wire::extract_string(hello.value());
+  if (!body.is_ok()) return body.status();
+  const auto parts = common::split(body.value(), ' ');
+  const bool version_ok = parts.size() >= 2 && parts[0] == "HELLO" &&
+                          parts[1] == kProtocolVersion;
+  const std::string offered = parts.size() >= 3 ? parts[2] : "";
+  if (!version_ok || offered != password) {
+    const char* why = version_ok ? "DENY bad password" : "DENY bad version";
+    (void)conn.send(wire::make_control_message(kTagHelloAck, why).encode(),
+                    deadline);
+    conn.close();
+    return Status{StatusCode::kPermissionDenied, why};
+  }
+  return conn.send(
+      wire::make_control_message(kTagHelloAck, "OK " + ok_role).encode(),
+      deadline);
+}
+
+Result<SimSession::Event> SimSession::serve(Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "session closed"};
+  for (;;) {
+    auto raw = conn_->recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto decoded = wire::Message::decode(raw.value());
+    if (!decoded.is_ok()) return decoded.status();
+    wire::Message m = std::move(decoded).value();
+
+    switch (m.header.kind) {
+      case wire::MessageKind::kRequest: {
+        // Answer from the parameter table; an unset parameter yields an
+        // empty data message so the simulation's round trip still completes.
+        wire::Message reply;
+        {
+          std::scoped_lock lock(state_->mutex);
+          auto it = state_->parameters.find(m.header.tag);
+          reply = (it != state_->parameters.end())
+                      ? it->second
+                      : wire::make_data_message<std::uint8_t>(m.header.tag,
+                                                              nullptr, 0);
+          ++state_->served;
+        }
+        if (Status s = conn_->send(reply.encode(), deadline); !s.is_ok()) {
+          return s;
+        }
+        continue;
+      }
+      case wire::MessageKind::kControl: {
+        if (m.header.tag == kTagBye) {
+          Event e;
+          e.kind = Event::Kind::kBye;
+          e.tag = kTagBye;
+          close();
+          return e;
+        }
+        if (m.header.tag == kTagSchema) {
+          auto body = wire::extract_string(m);
+          if (!body.is_ok()) return body.status();
+          const auto space = body.value().find(' ');
+          if (space == std::string::npos) {
+            return Status{StatusCode::kProtocolError, "bad schema message"};
+          }
+          const auto tag = static_cast<std::uint32_t>(
+              std::strtoul(body.value().c_str(), nullptr, 10));
+          auto desc = wire::StructDesc::parse(
+              std::string_view{body.value()}.substr(space + 1));
+          if (!desc.is_ok()) return desc.status();
+          std::scoped_lock lock(state_->mutex);
+          state_->schemas.insert_or_assign(tag, std::move(desc).value());
+          continue;
+        }
+        if (m.header.tag == kTagPing) continue;
+        CS_LOG_WARN("visit.server")
+            << "unexpected control tag " << m.header.tag;
+        continue;
+      }
+      case wire::MessageKind::kData: {
+        Event e;
+        e.tag = m.header.tag;
+        {
+          std::scoped_lock lock(state_->mutex);
+          e.kind = state_->schemas.contains(m.header.tag) ? Event::Kind::kStructData
+                                                   : Event::Kind::kData;
+        }
+        e.message = std::move(m);
+        return e;
+      }
+    }
+  }
+}
+
+std::uint64_t SimSession::requests_served() const noexcept {
+  std::scoped_lock lock(state_->mutex);
+  return state_->served;
+}
+
+const wire::StructDesc* SimSession::schema(std::uint32_t tag) const {
+  std::scoped_lock lock(state_->mutex);
+  auto it = state_->schemas.find(tag);
+  return it == state_->schemas.end() ? nullptr : &it->second;
+}
+
+Result<std::size_t> SimSession::record_count(const Event& event) const {
+  std::scoped_lock lock(state_->mutex);
+  auto it = state_->schemas.find(event.tag);
+  if (it == state_->schemas.end()) {
+    return Status{StatusCode::kNotFound, "no schema for tag"};
+  }
+  const std::size_t rec = it->second.wire_record_size();
+  if (rec == 0 || event.message.payload.size() % rec != 0) {
+    return Status{StatusCode::kProtocolError, "payload not a record multiple"};
+  }
+  return event.message.payload.size() / rec;
+}
+
+Status SimSession::unpack(const Event& event, const wire::StructDesc& dst_desc,
+                          void* records, std::size_t record_count) const {
+  wire::StructDesc src;
+  {
+    std::scoped_lock lock(state_->mutex);
+    auto it = state_->schemas.find(event.tag);
+    if (it == state_->schemas.end()) {
+      return Status{StatusCode::kNotFound, "no schema for tag"};
+    }
+    src = it->second;
+  }
+  return wire::unpack_records(src, event.message.header.payload_order,
+                              event.message.payload, dst_desc, records,
+                              record_count);
+}
+
+void SimSession::close() {
+  if (conn_) conn_->close();
+}
+
+void SimSession::store_parameter(std::uint32_t tag, wire::Message m) {
+  std::scoped_lock lock(state_->mutex);
+  state_->parameters.insert_or_assign(tag, std::move(m));
+}
+
+Result<VizServer> VizServer::listen(net::Network& net,
+                                    const Options& options) {
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  VizServer server;
+  server.listener_ = std::move(listener).value();
+  server.options_ = options;
+  return server;
+}
+
+Result<SimSession> VizServer::accept(Deadline deadline) {
+  if (!listener_) return Status{StatusCode::kClosed, "server closed"};
+  auto conn = listener_->accept(deadline);
+  if (!conn.is_ok()) return conn.status();
+  if (Status s = handshake_accept(*conn.value(), options_.password, deadline);
+      !s.is_ok()) {
+    return s;
+  }
+  return SimSession{std::move(conn).value()};
+}
+
+void VizServer::close() {
+  if (listener_) listener_->close();
+}
+
+}  // namespace cs::visit

@@ -1,0 +1,134 @@
+// Visualization-side steering server.
+//
+// "The visualization acts as a server that dispatches the simulation's
+// requests — unlike many other steering toolkits that work the opposite
+// way." (paper section 3.2). The server owns a table of current steering
+// parameter values; when the simulation asks for a parameter the session
+// answers from that table immediately, so the simulation's request/reply
+// round trip is bounded by the link, never by the visualization's render
+// loop. Incoming sample data is handed to the application as events, with
+// all byte-order/precision conversion done here on the server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "wire/convert.hpp"
+#include "wire/message.hpp"
+#include "wire/structdesc.hpp"
+
+namespace cs::visit {
+
+/// One connected simulation, as seen by the visualization.
+class SimSession {
+ public:
+  struct Event {
+    enum class Kind {
+      kData,        ///< scalar/string sample data under `tag`
+      kStructData,  ///< record array; schema() gives the sender layout
+      kBye,         ///< simulation disconnected cleanly
+    };
+    Kind kind = Kind::kData;
+    std::uint32_t tag = 0;
+    wire::Message message;
+  };
+
+  explicit SimSession(net::ConnectionPtr conn) : conn_(std::move(conn)) {}
+
+  /// Pumps the connection until an application event arrives or the
+  /// deadline expires. Parameter requests from the simulation are answered
+  /// internally and never surface here.
+  common::Result<Event> serve(common::Deadline deadline);
+
+  /// Publishes the current value of steering parameter `tag`. The next
+  /// request for it gets this value. Thread-safe (a UI thread may steer
+  /// while serve() runs).
+  template <typename T>
+  void set_parameter(std::uint32_t tag, const std::vector<T>& values) {
+    store_parameter(tag,
+                    wire::make_data_message(tag, values.data(), values.size()));
+  }
+
+  void set_parameter_string(std::uint32_t tag, std::string_view text) {
+    store_parameter(tag, wire::make_string_message(tag, text));
+  }
+
+  /// Number of parameter requests served so far (steering traffic metric).
+  std::uint64_t requests_served() const noexcept;
+
+  /// Sender-side schema announced for `tag`, if any.
+  const wire::StructDesc* schema(std::uint32_t tag) const;
+
+  /// Record count of a kStructData event payload.
+  common::Result<std::size_t> record_count(const Event& event) const;
+
+  /// Unpacks a kStructData event into the receiver's own record layout.
+  common::Status unpack(const Event& event, const wire::StructDesc& dst_desc,
+                        void* records, std::size_t record_count) const;
+
+  /// Extracts scalar data of a kData event with conversion.
+  template <typename T>
+  common::Result<std::vector<T>> extract(const Event& event) const {
+    return wire::extract_as<T>(event.message);
+  }
+
+  void close();
+  bool is_open() const { return conn_ && conn_->is_open(); }
+  net::ConnStats stats() const {
+    return conn_ ? conn_->stats() : net::ConnStats{};
+  }
+
+ private:
+  void store_parameter(std::uint32_t tag, wire::Message m);
+
+  /// Mutex-guarded shared state lives behind a pointer so a SimSession can
+  /// be moved (e.g. returned through Result).
+  struct State {
+    mutable std::mutex mutex;  // guards everything below
+    std::map<std::uint32_t, wire::Message> parameters;
+    std::map<std::uint32_t, wire::StructDesc> schemas;
+    std::uint64_t served = 0;
+  };
+
+  net::ConnectionPtr conn_;
+  std::unique_ptr<State> state_ = std::make_unique<State>();
+};
+
+/// Accepts simulations and performs the password handshake.
+class VizServer {
+ public:
+  struct Options {
+    std::string address;
+    std::string password;
+  };
+
+  /// Binds the listener.
+  static common::Result<VizServer> listen(net::Network& net,
+                                          const Options& options);
+
+  /// Waits for the next simulation; rejects wrong passwords with DENY and
+  /// keeps listening (the caller sees kPermissionDenied for that attempt).
+  common::Result<SimSession> accept(common::Deadline deadline);
+
+  void close();
+  const std::string& address() const { return options_.address; }
+
+ private:
+  net::ListenerPtr listener_;
+  Options options_;
+};
+
+/// Validates "HELLO <version> <password>" on an accepted connection and
+/// replies OK/DENY. Exposed for reuse by the multiplexer and the proxies.
+common::Status handshake_accept(net::Connection& conn,
+                                const std::string& password,
+                                common::Deadline deadline,
+                                const std::string& ok_role = "master");
+
+}  // namespace cs::visit

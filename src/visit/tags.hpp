@@ -1,0 +1,36 @@
+// Reserved protocol tags and control-message grammar of the steering
+// protocol. Application tags must stay below kControlTagBase.
+#pragma once
+
+#include <cstdint>
+
+namespace cs::visit {
+
+/// Application data/request tags live in [0, kControlTagBase).
+constexpr std::uint32_t kControlTagBase = 0xffff0000u;
+
+/// Connection handshake: body "HELLO <protocol-version> <password>".
+constexpr std::uint32_t kTagHello = kControlTagBase + 1;
+/// Handshake reply: body "OK <role>" or "DENY <reason>".
+constexpr std::uint32_t kTagHelloAck = kControlTagBase + 2;
+/// Orderly shutdown notice (either direction), empty body.
+constexpr std::uint32_t kTagBye = kControlTagBase + 3;
+/// Struct schema announcement: body "<data-tag> <serialized StructDesc>".
+constexpr std::uint32_t kTagSchema = kControlTagBase + 4;
+/// Viewer asks the multiplexer for the master role, body empty.
+constexpr std::uint32_t kTagTakeMaster = kControlTagBase + 5;
+/// Multiplexer informs a viewer of its role: body "master" or "viewer".
+constexpr std::uint32_t kTagRole = kControlTagBase + 6;
+/// Collaboration control data (view point, tool parameters): body is
+/// application-defined text, relayed by the ControlServer.
+constexpr std::uint32_t kTagControlData = kControlTagBase + 7;
+/// Heartbeat used by proxies to flush polling cycles.
+constexpr std::uint32_t kTagPing = kControlTagBase + 8;
+
+constexpr const char* kProtocolVersion = "1";
+
+constexpr bool is_control_tag(std::uint32_t tag) noexcept {
+  return tag >= kControlTagBase;
+}
+
+}  // namespace cs::visit

@@ -1,0 +1,151 @@
+#include "visit/viewer.hpp"
+
+#include "common/strings.hpp"
+#include "visit/tags.hpp"
+
+namespace cs::visit {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Result<ViewerClient> ViewerClient::connect(net::Network& net,
+                                           const Options& options,
+                                           Deadline deadline) {
+  auto conn = net.connect(options.mux_address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  ViewerClient client;
+  client.conn_ = std::move(conn).value();
+  client.options_ = options;
+  const auto hello = wire::make_control_message(
+      kTagHello,
+      std::string("HELLO ") + kProtocolVersion + " " + options.password);
+  if (Status s = client.conn_->send(hello.encode(), deadline); !s.is_ok()) {
+    return s;
+  }
+  auto raw = client.conn_->recv(deadline);
+  if (!raw.is_ok()) return raw.status();
+  auto ack = wire::Message::decode(raw.value());
+  if (!ack.is_ok()) return ack.status();
+  auto body = wire::extract_string(ack.value());
+  if (!body.is_ok()) return body.status();
+  if (!common::starts_with(body.value(), "OK")) {
+    client.conn_->close();
+    return Status{StatusCode::kPermissionDenied, body.value()};
+  }
+  return client;
+}
+
+ViewerClient ViewerClient::adopt(net::ConnectionPtr conn,
+                                 const Options& options) {
+  ViewerClient client;
+  client.conn_ = std::move(conn);
+  client.options_ = options;
+  return client;
+}
+
+Result<ViewerClient::Event> ViewerClient::poll(Deadline deadline) {
+  if (!connected()) return closed();
+  for (;;) {
+    auto raw = conn_->recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto decoded = wire::Message::decode(raw.value());
+    if (!decoded.is_ok()) return decoded.status();
+    wire::Message m = std::move(decoded).value();
+
+    if (m.header.kind == wire::MessageKind::kControl) {
+      if (m.header.tag == kTagRole) {
+        auto body = wire::extract_string(m);
+        if (!body.is_ok()) return body.status();
+        master_ = (body.value() == "master");
+        Event e;
+        e.kind = Event::Kind::kRole;
+        e.tag = kTagRole;
+        e.role = body.value();
+        return e;
+      }
+      if (m.header.tag == kTagSchema) {
+        auto body = wire::extract_string(m);
+        if (!body.is_ok()) return body.status();
+        const auto space = body.value().find(' ');
+        if (space == std::string::npos) continue;
+        const auto tag = static_cast<std::uint32_t>(
+            std::strtoul(body.value().c_str(), nullptr, 10));
+        auto desc = wire::StructDesc::parse(
+            std::string_view{body.value()}.substr(space + 1));
+        if (desc.is_ok()) schemas_.insert_or_assign(tag, std::move(desc).value());
+        continue;
+      }
+      if (m.header.tag == kTagBye) {
+        Event e;
+        e.kind = Event::Kind::kBye;
+        e.tag = kTagBye;
+        return e;
+      }
+      continue;
+    }
+    if (m.header.kind == wire::MessageKind::kData) {
+      Event e;
+      e.tag = m.header.tag;
+      e.kind = schemas_.contains(m.header.tag) ? Event::Kind::kStructData
+                                               : Event::Kind::kData;
+      e.message = std::move(m);
+      return e;
+    }
+    // kRequest never flows towards viewers; skip defensively.
+  }
+}
+
+Status ViewerClient::steer_string(std::uint32_t tag, std::string_view text,
+                                  std::optional<Deadline> deadline) {
+  if (!connected()) return closed();
+  return conn_->send(wire::make_string_message(tag, text).encode(),
+                     effective(deadline));
+}
+
+Status ViewerClient::take_master(std::optional<Deadline> deadline) {
+  if (!connected()) return closed();
+  return conn_->send(wire::make_control_message(kTagTakeMaster, "").encode(),
+                     effective(deadline));
+}
+
+const wire::StructDesc* ViewerClient::schema(std::uint32_t tag) const {
+  auto it = schemas_.find(tag);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+Status ViewerClient::unpack(const Event& event,
+                            const wire::StructDesc& dst_desc, void* records,
+                            std::size_t record_count) const {
+  auto it = schemas_.find(event.tag);
+  if (it == schemas_.end()) {
+    return Status{StatusCode::kNotFound, "no schema for tag"};
+  }
+  return wire::unpack_records(it->second, event.message.header.payload_order,
+                              event.message.payload, dst_desc, records,
+                              record_count);
+}
+
+Result<std::size_t> ViewerClient::record_count(const Event& event) const {
+  auto it = schemas_.find(event.tag);
+  if (it == schemas_.end()) {
+    return Status{StatusCode::kNotFound, "no schema for tag"};
+  }
+  const std::size_t rec = it->second.wire_record_size();
+  if (rec == 0 || event.message.payload.size() % rec != 0) {
+    return Status{StatusCode::kProtocolError, "payload not a record multiple"};
+  }
+  return event.message.payload.size() / rec;
+}
+
+void ViewerClient::disconnect() {
+  if (conn_ && conn_->is_open()) {
+    (void)conn_->send(wire::make_control_message(kTagBye, "").encode(),
+                      Deadline::after(options_.default_timeout));
+    conn_->close();
+  }
+  conn_.reset();
+}
+
+}  // namespace cs::visit

@@ -1,0 +1,113 @@
+// Viewer-side client: what a steering/visualization application uses to
+// participate in a collaborative session behind the multiplexer.
+//
+// A viewer receives every sample the simulation emits (fan-out by the
+// multiplexer), may publish steering-parameter updates (honored only while
+// holding the master role), and may ask to take the master role — the
+// paper's "coordinated cooperative steering".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "wire/convert.hpp"
+#include "wire/message.hpp"
+#include "wire/structdesc.hpp"
+
+namespace cs::visit {
+
+class ViewerClient {
+ public:
+  struct Options {
+    std::string mux_address;  ///< the multiplexer's viewer address
+    std::string password;
+    common::Duration default_timeout = std::chrono::milliseconds(100);
+  };
+
+  struct Event {
+    enum class Kind {
+      kData,        ///< sample broadcast from the simulation
+      kStructData,  ///< record-array sample (schema known)
+      kRole,        ///< our role changed; `role` holds "master"/"viewer"
+      kBye,         ///< simulation or multiplexer ended the session
+    };
+    Kind kind = Kind::kData;
+    std::uint32_t tag = 0;
+    std::string role;
+    wire::Message message;
+  };
+
+  static common::Result<ViewerClient> connect(net::Network& net,
+                                              const Options& options,
+                                              common::Deadline deadline);
+
+  /// Wraps an already-authenticated connection (the VISIT-UNICORE proxy
+  /// path: UNICORE authenticated the user, so there is no VISIT handshake).
+  static ViewerClient adopt(net::ConnectionPtr conn, const Options& options);
+
+  /// Next session event (sample, role change, ...), deadline-bounded.
+  common::Result<Event> poll(common::Deadline deadline);
+
+  /// Publishes a steering parameter update. Accepted by the multiplexer
+  /// only while this viewer is master; silently dropped otherwise (the
+  /// multiplexer counts rejections).
+  template <typename T>
+  common::Status steer(std::uint32_t tag, const std::vector<T>& values,
+                       std::optional<common::Deadline> deadline = {}) {
+    if (!connected()) return closed();
+    return conn_->send(
+        wire::make_data_message(tag, values.data(), values.size()).encode(),
+        effective(deadline));
+  }
+
+  common::Status steer_string(std::uint32_t tag, std::string_view text,
+                              std::optional<common::Deadline> deadline = {});
+
+  /// Requests the master role (granted unconditionally to authenticated
+  /// participants; the grant arrives as a kRole event).
+  common::Status take_master(std::optional<common::Deadline> deadline = {});
+
+  /// True once a kRole event granted "master" (updated by poll()).
+  bool is_master() const noexcept { return master_; }
+
+  /// Schema the simulation announced for `tag`, if seen yet.
+  const wire::StructDesc* schema(std::uint32_t tag) const;
+
+  /// Unpacks a kStructData event into the viewer's record layout.
+  common::Status unpack(const Event& event, const wire::StructDesc& dst_desc,
+                        void* records, std::size_t record_count) const;
+
+  /// Record count of a kStructData event.
+  common::Result<std::size_t> record_count(const Event& event) const;
+
+  template <typename T>
+  common::Result<std::vector<T>> extract(const Event& event) const {
+    return wire::extract_as<T>(event.message);
+  }
+
+  void disconnect();
+  bool connected() const noexcept { return conn_ && conn_->is_open(); }
+  net::ConnStats stats() const {
+    return conn_ ? conn_->stats() : net::ConnStats{};
+  }
+
+ private:
+  common::Deadline effective(std::optional<common::Deadline> d) const {
+    return d ? *d : common::Deadline::after(options_.default_timeout);
+  }
+  common::Status closed() const {
+    return common::Status{common::StatusCode::kClosed, "not connected"};
+  }
+
+  net::ConnectionPtr conn_;
+  Options options_;
+  bool master_ = false;
+  std::map<std::uint32_t, wire::StructDesc> schemas_;
+};
+
+}  // namespace cs::visit

@@ -1,0 +1,86 @@
+#include "viz/camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/strings.hpp"
+
+namespace cs::viz {
+
+using common::Vec3;
+
+void Camera::look_at(const Vec3& eye, const Vec3& target, const Vec3& up) {
+  eye_ = eye;
+  target_ = target;
+  up_ = up;
+  rebuild_basis();
+}
+
+void Camera::rebuild_basis() {
+  forward_ = normalized(target_ - eye_);
+  right_ = normalized(cross(forward_, up_));
+  if (norm2(right_) < 1e-20) {
+    right_ = normalized(cross(forward_, Vec3{1, 0, 0}));
+  }
+  true_up_ = cross(right_, forward_);
+}
+
+void Camera::orbit(double yaw, double pitch) {
+  Vec3 offset = eye_ - target_;
+  const double radius = norm(offset);
+  if (radius < 1e-12) return;
+  double theta = std::atan2(offset.x, offset.z);
+  double phi = std::asin(std::clamp(offset.y / radius, -1.0, 1.0));
+  theta += yaw;
+  phi = std::clamp(phi + pitch, -1.5, 1.5);
+  offset = Vec3{radius * std::cos(phi) * std::sin(theta),
+                radius * std::sin(phi),
+                radius * std::cos(phi) * std::cos(theta)};
+  eye_ = target_ + offset;
+  rebuild_basis();
+}
+
+Camera::Projected Camera::project(const Vec3& world, int width,
+                                  int height) const {
+  Projected out;
+  const Vec3 rel = world - eye_;
+  const double z = dot(rel, forward_);
+  if (z < 1e-6) return out;  // behind the camera
+  const double x = dot(rel, right_);
+  const double y = dot(rel, true_up_);
+  const double f =
+      (static_cast<double>(height) / 2.0) /
+      std::tan(fov_degrees_ * std::numbers::pi / 180.0 / 2.0);
+  out.x = static_cast<double>(width) / 2.0 + f * x / z;
+  out.y = static_cast<double>(height) / 2.0 - f * y / z;
+  out.depth = z;
+  out.visible = true;
+  return out;
+}
+
+std::string Camera::serialize() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%.9g %.9g %.9g %.9g %.9g %.9g %.9g %.9g %.9g %.9g",
+                eye_.x, eye_.y, eye_.z, target_.x, target_.y, target_.z,
+                up_.x, up_.y, up_.z, fov_degrees_);
+  return buf;
+}
+
+common::Result<Camera> Camera::parse(std::string_view text) {
+  double v[10];
+  const std::string s{text};
+  if (std::sscanf(s.c_str(), "%lf %lf %lf %lf %lf %lf %lf %lf %lf %lf", &v[0],
+                  &v[1], &v[2], &v[3], &v[4], &v[5], &v[6], &v[7], &v[8],
+                  &v[9]) != 10) {
+    return common::Status{common::StatusCode::kProtocolError,
+                          "bad camera string"};
+  }
+  Camera cam;
+  cam.fov_degrees_ = v[9];
+  cam.look_at({v[0], v[1], v[2]}, {v[3], v[4], v[5]}, {v[6], v[7], v[8]});
+  return cam;
+}
+
+}  // namespace cs::viz

@@ -1,0 +1,60 @@
+// Pinhole camera: world -> screen projection for the software renderer.
+//
+// The camera pose is also the unit of collaboration: COVISE-style sessions
+// synchronize *this* (a few floats) instead of pixels, which is why their
+// update rate is independent of scene size (paper section 4.6).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/vec3.hpp"
+
+namespace cs::viz {
+
+class Camera {
+ public:
+  Camera() { look_at({3, 2, 4}, {0, 0, 0}, {0, 1, 0}); }
+
+  /// Places the camera at `eye` looking at `target`.
+  void look_at(const common::Vec3& eye, const common::Vec3& target,
+               const common::Vec3& up);
+
+  /// Vertical field of view in degrees (default 50).
+  void set_fov_degrees(double fov) noexcept { fov_degrees_ = fov; }
+  double fov_degrees() const noexcept { return fov_degrees_; }
+
+  const common::Vec3& eye() const noexcept { return eye_; }
+  const common::Vec3& target() const noexcept { return target_; }
+
+  /// Orbits around the target by `yaw`/`pitch` radians (interactive spin).
+  void orbit(double yaw, double pitch);
+
+  struct Projected {
+    double x = 0, y = 0;   ///< pixel coordinates
+    double depth = 0;      ///< camera-space distance (z-buffer value)
+    bool visible = false;  ///< in front of the near plane
+  };
+
+  /// Projects a world point into a width x height viewport.
+  Projected project(const common::Vec3& world, int width, int height) const;
+
+  /// Serialization for control-channel sync ("VIEW ..." messages).
+  std::string serialize() const;
+  static common::Result<Camera> parse(std::string_view text);
+
+  friend bool operator==(const Camera& a, const Camera& b) {
+    return a.eye_ == b.eye_ && a.target_ == b.target_ && a.up_ == b.up_ &&
+           a.fov_degrees_ == b.fov_degrees_;
+  }
+
+ private:
+  void rebuild_basis();
+
+  common::Vec3 eye_, target_, up_{0, 1, 0};
+  common::Vec3 right_, true_up_, forward_;
+  double fov_degrees_ = 50.0;
+};
+
+}  // namespace cs::viz

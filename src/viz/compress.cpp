@@ -1,0 +1,153 @@
+#include "viz/compress.hpp"
+
+namespace cs::viz {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+constexpr std::uint8_t kKeyFrame = 'K';
+constexpr std::uint8_t kDeltaFrame = 'D';
+
+/// Pixel-level RLE: (count, r, g, b) quads with count in [1, 255]. Pixel
+/// granularity matters: a flat *colored* frame has no byte-level runs
+/// (r,g,b,r,g,b...) but maximal pixel-level runs.
+void rle_encode(ByteSpan raw, Bytes& out) {
+  const std::size_t pixels = raw.size() / 3;
+  std::size_t i = 0;
+  while (i < pixels) {
+    const std::uint8_t r = raw[i * 3];
+    const std::uint8_t g = raw[i * 3 + 1];
+    const std::uint8_t b = raw[i * 3 + 2];
+    std::size_t run = 1;
+    while (run < 255 && i + run < pixels &&
+           raw[(i + run) * 3] == r && raw[(i + run) * 3 + 1] == g &&
+           raw[(i + run) * 3 + 2] == b) {
+      ++run;
+    }
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(r);
+    out.push_back(g);
+    out.push_back(b);
+    i += run;
+  }
+}
+
+Status rle_decode(ByteSpan data, Bytes& out, std::size_t expected) {
+  out.clear();
+  out.reserve(expected);
+  if (data.size() % 4 != 0) {
+    return Status{StatusCode::kProtocolError, "ragged RLE stream"};
+  }
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    const std::uint8_t run = data[i];
+    if (run == 0) return Status{StatusCode::kProtocolError, "zero run"};
+    for (std::uint8_t k = 0; k < run; ++k) {
+      out.push_back(data[i + 1]);
+      out.push_back(data[i + 2]);
+      out.push_back(data[i + 3]);
+    }
+  }
+  if (out.size() != expected) {
+    return Status{StatusCode::kProtocolError, "RLE size mismatch"};
+  }
+  return Status::ok();
+}
+
+Bytes image_bytes(const Image& frame) {
+  Bytes raw;
+  raw.reserve(frame.byte_size());
+  for (const auto& p : frame.pixels()) {
+    raw.push_back(p.r);
+    raw.push_back(p.g);
+    raw.push_back(p.b);
+  }
+  return raw;
+}
+
+Image image_from_bytes(int width, int height, ByteSpan raw) {
+  Image img(width, height);
+  for (std::size_t i = 0; i < img.pixels().size(); ++i) {
+    img.pixels()[i] =
+        Color{raw[i * 3], raw[i * 3 + 1], raw[i * 3 + 2]};
+  }
+  return img;
+}
+
+void write_header(Bytes& out, std::uint8_t kind, const Image& frame) {
+  out.push_back(kind);
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(frame.width()),
+                                     ByteOrder::kBig);
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(frame.height()),
+                                     ByteOrder::kBig);
+}
+
+}  // namespace
+
+Bytes compress_frame(const Image& frame) {
+  Bytes out;
+  write_header(out, kKeyFrame, frame);
+  rle_encode(image_bytes(frame), out);
+  return out;
+}
+
+Result<Image> decompress_frame(ByteSpan data) {
+  return decompress_frame_delta(data, Image{});
+}
+
+Bytes compress_frame_delta(const Image& frame, const Image& previous) {
+  if (previous.width() != frame.width() ||
+      previous.height() != frame.height()) {
+    return compress_frame(frame);
+  }
+  Bytes out;
+  write_header(out, kDeltaFrame, frame);
+  Bytes raw = image_bytes(frame);
+  const Bytes base = image_bytes(previous);
+  for (std::size_t i = 0; i < raw.size(); ++i) raw[i] ^= base[i];
+  rle_encode(raw, out);
+  return out;
+}
+
+Result<Image> decompress_frame_delta(ByteSpan data, const Image& previous) {
+  if (data.size() < 9) {
+    return Status{StatusCode::kProtocolError, "frame header truncated"};
+  }
+  const std::uint8_t kind = data[0];
+  const auto width =
+      common::read_uint<std::uint32_t>(data.subspan(1), ByteOrder::kBig);
+  const auto height =
+      common::read_uint<std::uint32_t>(data.subspan(5), ByteOrder::kBig);
+  if (width > 16384 || height > 16384) {
+    return Status{StatusCode::kProtocolError, "absurd frame dimensions"};
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3;
+  Bytes raw;
+  if (Status s = rle_decode(data.subspan(9), raw, expected); !s.is_ok()) {
+    return s;
+  }
+  if (kind == kKeyFrame) {
+    return image_from_bytes(static_cast<int>(width), static_cast<int>(height),
+                            raw);
+  }
+  if (kind != kDeltaFrame) {
+    return Status{StatusCode::kProtocolError, "unknown frame kind"};
+  }
+  if (previous.width() != static_cast<int>(width) ||
+      previous.height() != static_cast<int>(height)) {
+    return Status{StatusCode::kProtocolError,
+                  "delta frame without matching base"};
+  }
+  const Bytes base = image_bytes(previous);
+  for (std::size_t i = 0; i < raw.size(); ++i) raw[i] ^= base[i];
+  return image_from_bytes(static_cast<int>(width), static_cast<int>(height),
+                          raw);
+}
+
+}  // namespace cs::viz

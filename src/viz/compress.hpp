@@ -1,0 +1,32 @@
+// Frame codecs for remote rendering.
+//
+// OpenGL VizServer's bandwidth argument (paper section 2.4: "this greatly
+// reduces network traffic since only compressed bitmaps need to be sent")
+// rests on two properties modelled here: run-length coding exploits the
+// large flat regions of scientific renderings, and inter-frame deltas
+// exploit the small camera/scene motion between consecutive frames.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "viz/image.hpp"
+
+namespace cs::viz {
+
+/// RLE-compresses a frame (key frame).
+common::Bytes compress_frame(const Image& frame);
+
+/// Decodes a compress_frame() buffer.
+common::Result<Image> decompress_frame(common::ByteSpan data);
+
+/// Compresses `frame` as a delta against `previous` (same dimensions):
+/// XOR then RLE — unchanged regions become long zero runs. Falls back to a
+/// key frame when dimensions differ.
+common::Bytes compress_frame_delta(const Image& frame, const Image& previous);
+
+/// Decodes either a key or a delta buffer (`previous` supplies the base
+/// for deltas).
+common::Result<Image> decompress_frame_delta(common::ByteSpan data,
+                                             const Image& previous);
+
+}  // namespace cs::viz

@@ -1,0 +1,22 @@
+#include "viz/image.hpp"
+
+#include <cstdio>
+
+namespace cs::viz {
+
+common::Status Image::write_ppm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return common::Status{common::StatusCode::kInternal,
+                          "cannot open " + path};
+  }
+  std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+  for (const auto& p : pixels_) {
+    const std::uint8_t rgb[3] = {p.r, p.g, p.b};
+    std::fwrite(rgb, 1, 3, f);
+  }
+  std::fclose(f);
+  return common::Status::ok();
+}
+
+}  // namespace cs::viz

@@ -1,0 +1,69 @@
+// RGB framebuffer and PPM output.
+//
+// Frames are what the VizServer-style remote-rendering pipeline compresses
+// and ships ("only compressed bitmaps need to be sent to the participating
+// sites", paper section 2.4), and what examples write to disk as proof of
+// the Fig. 3-style renderings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cs::viz {
+
+struct Color {
+  std::uint8_t r = 0, g = 0, b = 0;
+  friend bool operator==(const Color&, const Color&) = default;
+};
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Color fill = {0, 0, 0})
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) *
+                    static_cast<std::size_t>(height),
+                fill) {}
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  bool empty() const noexcept { return pixels_.empty(); }
+
+  Color& at(int x, int y) noexcept {
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  const Color& at(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+
+  bool contains(int x, int y) const noexcept {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+
+  void fill(Color c) { std::fill(pixels_.begin(), pixels_.end(), c); }
+
+  std::vector<Color>& pixels() noexcept { return pixels_; }
+  const std::vector<Color>& pixels() const noexcept { return pixels_; }
+
+  /// Raw byte size of the uncompressed frame.
+  std::size_t byte_size() const noexcept { return pixels_.size() * 3; }
+
+  /// Writes a binary PPM (P6).
+  common::Status write_ppm(const std::string& path) const;
+
+  friend bool operator==(const Image& a, const Image& b) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Color> pixels_;
+};
+
+}  // namespace cs::viz

@@ -1,0 +1,114 @@
+#include "viz/isosurface.hpp"
+
+#include <array>
+
+namespace cs::viz {
+
+using common::Vec3;
+
+namespace {
+
+/// The six tetrahedra of a cube, as corner indices 0..7 where corner bits
+/// are (x, y<<1, z<<2). This decomposition shares the 0-7 diagonal, which
+/// makes adjacent cubes agree on shared faces (no cracks).
+constexpr std::array<std::array<int, 4>, 6> kTets{{
+    {0, 5, 1, 7},
+    {0, 1, 3, 7},
+    {0, 3, 2, 7},
+    {0, 2, 6, 7},
+    {0, 6, 4, 7},
+    {0, 4, 5, 7},
+}};
+
+struct Corner {
+  Vec3 pos;
+  float value;
+};
+
+/// Linear interpolation of the isolevel crossing on an edge.
+Vec3 edge_point(const Corner& a, const Corner& b, float iso) {
+  const float da = iso - a.value;
+  const float db = b.value - a.value;
+  const double t = (db != 0.0f) ? static_cast<double>(da / db) : 0.5;
+  return a.pos + t * (b.pos - a.pos);
+}
+
+void emit_tet(const std::array<Corner, 4>& tet, float iso,
+              TriangleMesh& mesh) {
+  int mask = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (tet[static_cast<std::size_t>(i)].value >= iso) mask |= 1 << i;
+  }
+  if (mask == 0 || mask == 15) return;
+
+  const auto add_triangle = [&](const Vec3& a, const Vec3& b, const Vec3& c) {
+    const auto base = static_cast<std::uint32_t>(mesh.vertices.size());
+    mesh.vertices.push_back(a);
+    mesh.vertices.push_back(b);
+    mesh.vertices.push_back(c);
+    mesh.triangles.push_back(Triangle{base, base + 1, base + 2});
+  };
+  const auto ep = [&](int i, int j) {
+    return edge_point(tet[static_cast<std::size_t>(i)],
+                      tet[static_cast<std::size_t>(j)], iso);
+  };
+
+  // One corner inside (or outside): a single triangle cuts it off.
+  // Two corners inside: a quad, emitted as two triangles.
+  switch (mask) {
+    case 1: case 14: add_triangle(ep(0, 1), ep(0, 2), ep(0, 3)); break;
+    case 2: case 13: add_triangle(ep(1, 0), ep(1, 3), ep(1, 2)); break;
+    case 4: case 11: add_triangle(ep(2, 0), ep(2, 1), ep(2, 3)); break;
+    case 8: case 7:  add_triangle(ep(3, 0), ep(3, 2), ep(3, 1)); break;
+    case 3: case 12: {
+      const Vec3 a = ep(0, 2), b = ep(0, 3), c = ep(1, 3), d = ep(1, 2);
+      add_triangle(a, b, c);
+      add_triangle(a, c, d);
+      break;
+    }
+    case 5: case 10: {
+      const Vec3 a = ep(0, 1), b = ep(2, 1), c = ep(2, 3), d = ep(0, 3);
+      add_triangle(a, b, c);
+      add_triangle(a, c, d);
+      break;
+    }
+    case 6: case 9: {
+      const Vec3 a = ep(1, 0), b = ep(1, 3), c = ep(2, 3), d = ep(2, 0);
+      add_triangle(a, b, c);
+      add_triangle(a, c, d);
+      break;
+    }
+    default: break;
+  }
+}
+
+}  // namespace
+
+TriangleMesh extract_isosurface(const ScalarField& field, float isolevel) {
+  TriangleMesh mesh;
+  if (field.nx < 2 || field.ny < 2 || field.nz < 2) return mesh;
+  for (int z = 0; z + 1 < field.nz; ++z) {
+    for (int y = 0; y + 1 < field.ny; ++y) {
+      for (int x = 0; x + 1 < field.nx; ++x) {
+        std::array<Corner, 8> cube;
+        for (int c = 0; c < 8; ++c) {
+          const int cx = x + (c & 1);
+          const int cy = y + ((c >> 1) & 1);
+          const int cz = z + ((c >> 2) & 1);
+          cube[static_cast<std::size_t>(c)] =
+              Corner{field.world(cx, cy, cz), field.at(cx, cy, cz)};
+        }
+        for (const auto& tet : kTets) {
+          emit_tet({cube[static_cast<std::size_t>(tet[0])],
+                    cube[static_cast<std::size_t>(tet[1])],
+                    cube[static_cast<std::size_t>(tet[2])],
+                    cube[static_cast<std::size_t>(tet[3])]},
+                   isolevel, mesh);
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+}  // namespace cs::viz

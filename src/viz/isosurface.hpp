@@ -1,0 +1,18 @@
+// Isosurface extraction — the rendering step of the RealityGrid demo
+// ("the isosurfaces were rendered and the output of the graphics pipes
+// returned to the user's laptop", paper section 2.2).
+//
+// Implementation: marching *tetrahedra*. Each grid cell is split into six
+// tetrahedra; each tetrahedron contributes 0-2 triangles depending on which
+// of its four corners lie above the isolevel. Unlike full marching cubes
+// it needs no case tables and produces a crack-free surface.
+#pragma once
+
+#include "viz/mesh.hpp"
+
+namespace cs::viz {
+
+/// Extracts the isolevel surface of a scalar field.
+TriangleMesh extract_isosurface(const ScalarField& field, float isolevel);
+
+}  // namespace cs::viz

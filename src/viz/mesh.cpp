@@ -1,0 +1,14 @@
+#include "viz/mesh.hpp"
+
+namespace cs::viz {
+
+double TriangleMesh::area() const {
+  double total = 0.0;
+  for (const auto& t : triangles) {
+    total += 0.5 * norm(cross(vertices[t.b] - vertices[t.a],
+                              vertices[t.c] - vertices[t.a]));
+  }
+  return total;
+}
+
+}  // namespace cs::viz

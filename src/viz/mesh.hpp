@@ -1,0 +1,60 @@
+// Triangle meshes and scalar-field views for the visualization substrate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace cs::viz {
+
+struct Triangle {
+  std::uint32_t a = 0, b = 0, c = 0;
+};
+
+struct TriangleMesh {
+  std::vector<common::Vec3> vertices;
+  std::vector<Triangle> triangles;
+
+  std::size_t triangle_count() const noexcept { return triangles.size(); }
+
+  /// Geometric normal of triangle t (not normalized if degenerate).
+  common::Vec3 normal(std::size_t t) const {
+    const auto& tri = triangles[t];
+    return normalized(cross(vertices[tri.b] - vertices[tri.a],
+                            vertices[tri.c] - vertices[tri.a]));
+  }
+
+  /// Bytes needed to ship the raw geometry (the "content" cost the
+  /// VizServer comparison in experiment E6 weighs against frames).
+  std::size_t byte_size() const noexcept {
+    return vertices.size() * sizeof(common::Vec3) +
+           triangles.size() * sizeof(Triangle);
+  }
+
+  /// Total surface area.
+  double area() const;
+};
+
+/// Non-owning view of a 3D scalar field on a regular grid.
+struct ScalarField {
+  int nx = 0, ny = 0, nz = 0;
+  std::span<const float> values;  ///< x-fastest layout, size nx*ny*nz
+  /// World-space position of grid point (0,0,0) and grid spacing.
+  common::Vec3 origin{0, 0, 0};
+  double spacing = 1.0;
+
+  float at(int x, int y, int z) const noexcept {
+    return values[(static_cast<std::size_t>(z) * static_cast<std::size_t>(ny) +
+                   static_cast<std::size_t>(y)) *
+                      static_cast<std::size_t>(nx) +
+                  static_cast<std::size_t>(x)];
+  }
+
+  common::Vec3 world(int x, int y, int z) const noexcept {
+    return origin + common::Vec3{x * spacing, y * spacing, z * spacing};
+  }
+};
+
+}  // namespace cs::viz

@@ -1,0 +1,441 @@
+#include "viz/remote.hpp"
+
+#include "common/strings.hpp"
+#include "wire/message.hpp"
+
+namespace cs::viz {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+using common::Vec3;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+constexpr std::uint32_t kTagView = 0x7601;   // viewpoint event (control)
+constexpr std::uint32_t kTagFrame = 0x7602;  // compressed frame (data)
+constexpr std::uint32_t kTagScene = 0x7603;  // geometry snapshot (data)
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SceneStore
+// ---------------------------------------------------------------------------
+
+void SceneStore::set_mesh(TriangleMesh mesh, Color color) {
+  std::scoped_lock lock(mutex_);
+  mesh_ = std::move(mesh);
+  mesh_color_ = color;
+  version_.fetch_add(1);
+}
+
+void SceneStore::set_particles(std::vector<ParticleSprite> particles,
+                               GlyphStyle style) {
+  std::scoped_lock lock(mutex_);
+  particles_ = std::move(particles);
+  glyph_style_ = style;
+  version_.fetch_add(1);
+}
+
+void SceneStore::set_boxes(std::vector<std::pair<Vec3, Vec3>> boxes,
+                           Color color) {
+  std::scoped_lock lock(mutex_);
+  boxes_ = std::move(boxes);
+  box_color_ = color;
+  version_.fetch_add(1);
+}
+
+void SceneStore::render(Renderer& renderer, const Camera& camera) const {
+  std::scoped_lock lock(mutex_);
+  renderer.clear();
+  if (!mesh_.triangles.empty()) renderer.draw_mesh(mesh_, camera, mesh_color_);
+  if (!particles_.empty()) {
+    renderer.draw_particles(particles_, camera, glyph_style_);
+  }
+  for (const auto& [lo, hi] : boxes_) {
+    renderer.draw_box(lo, hi, camera, box_color_);
+  }
+}
+
+std::size_t SceneStore::geometry_bytes() const {
+  std::scoped_lock lock(mutex_);
+  return mesh_.byte_size() + particles_.size() * sizeof(ParticleSprite) +
+         boxes_.size() * sizeof(boxes_[0]);
+}
+
+Bytes SceneStore::encode() const {
+  std::scoped_lock lock(mutex_);
+  Bytes out;
+  const auto put_u32 = [&](std::uint32_t v) {
+    common::append_uint<std::uint32_t>(out, v, ByteOrder::kBig);
+  };
+  const auto put_vec = [&](const Vec3& v) {
+    common::append_bytes(out, common::as_bytes(v));
+  };
+  put_u32(static_cast<std::uint32_t>(mesh_.vertices.size()));
+  for (const auto& v : mesh_.vertices) put_vec(v);
+  put_u32(static_cast<std::uint32_t>(mesh_.triangles.size()));
+  for (const auto& t : mesh_.triangles) {
+    put_u32(t.a); put_u32(t.b); put_u32(t.c);
+  }
+  out.push_back(mesh_color_.r); out.push_back(mesh_color_.g); out.push_back(mesh_color_.b);
+  put_u32(static_cast<std::uint32_t>(particles_.size()));
+  for (const auto& p : particles_) {
+    put_vec(p.position);
+    put_vec(p.velocity);
+    out.push_back(p.color.r); out.push_back(p.color.g); out.push_back(p.color.b);
+  }
+  out.push_back(static_cast<std::uint8_t>(glyph_style_));
+  put_u32(static_cast<std::uint32_t>(boxes_.size()));
+  for (const auto& [lo, hi] : boxes_) {
+    put_vec(lo);
+    put_vec(hi);
+  }
+  out.push_back(box_color_.r); out.push_back(box_color_.g); out.push_back(box_color_.b);
+  return out;
+}
+
+Status SceneStore::decode(ByteSpan data) {
+  std::size_t offset = 0;
+  const auto need = [&](std::size_t n) { return offset + n <= data.size(); };
+  const auto get_u32 = [&]() {
+    const auto v =
+        common::read_uint<std::uint32_t>(data.subspan(offset), ByteOrder::kBig);
+    offset += 4;
+    return v;
+  };
+  const auto get_vec = [&]() {
+    Vec3 v;
+    std::memcpy(&v, data.data() + offset, sizeof(Vec3));
+    offset += sizeof(Vec3);
+    return v;
+  };
+  const auto get_color = [&]() {
+    Color c{data[offset], data[offset + 1], data[offset + 2]};
+    offset += 3;
+    return c;
+  };
+
+  TriangleMesh mesh;
+  std::vector<ParticleSprite> particles;
+  std::vector<std::pair<Vec3, Vec3>> boxes;
+  if (!need(4)) return Status{StatusCode::kProtocolError, "scene truncated"};
+  const auto nv = get_u32();
+  if (!need(nv * sizeof(Vec3) + 4)) {
+    return Status{StatusCode::kProtocolError, "scene truncated"};
+  }
+  mesh.vertices.reserve(nv);
+  for (std::uint32_t i = 0; i < nv; ++i) mesh.vertices.push_back(get_vec());
+  const auto nt = get_u32();
+  if (!need(nt * 12 + 3 + 4)) {
+    return Status{StatusCode::kProtocolError, "scene truncated"};
+  }
+  mesh.triangles.reserve(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    Triangle t;
+    t.a = get_u32(); t.b = get_u32(); t.c = get_u32();
+    if (t.a >= nv || t.b >= nv || t.c >= nv) {
+      return Status{StatusCode::kProtocolError, "triangle index out of range"};
+    }
+    mesh.triangles.push_back(t);
+  }
+  const Color mesh_color = get_color();
+  const auto np = get_u32();
+  if (!need(np * (2 * sizeof(Vec3) + 3) + 1 + 4)) {
+    return Status{StatusCode::kProtocolError, "scene truncated"};
+  }
+  particles.reserve(np);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    ParticleSprite p;
+    p.position = get_vec();
+    p.velocity = get_vec();
+    p.color = get_color();
+    particles.push_back(p);
+  }
+  const auto style = static_cast<GlyphStyle>(data[offset]);
+  ++offset;
+  const auto nb = get_u32();
+  if (!need(nb * 2 * sizeof(Vec3) + 3)) {
+    return Status{StatusCode::kProtocolError, "scene truncated"};
+  }
+  boxes.reserve(nb);
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    const Vec3 lo = get_vec();
+    const Vec3 hi = get_vec();
+    boxes.emplace_back(lo, hi);
+  }
+  const Color box_color = get_color();
+
+  std::scoped_lock lock(mutex_);
+  mesh_ = std::move(mesh);
+  mesh_color_ = mesh_color;
+  particles_ = std::move(particles);
+  glyph_style_ = style;
+  boxes_ = std::move(boxes);
+  box_color_ = box_color;
+  version_.fetch_add(1);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// RemoteRenderServer
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<RemoteRenderServer>> RemoteRenderServer::start(
+    net::Network& net, std::shared_ptr<SceneStore> scene,
+    const Options& options) {
+  if (!scene) return Status{StatusCode::kInvalidArgument, "null scene"};
+  auto listener = net.listen(options.address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<RemoteRenderServer> server{new RemoteRenderServer};
+  server->options_ = options;
+  server->scene_ = std::move(scene);
+  server->listener_ = std::move(listener).value();
+  RemoteRenderServer* self = server.get();
+  server->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  server->render_thread_ =
+      std::jthread([self](std::stop_token st) { self->render_loop(st); });
+  return server;
+}
+
+RemoteRenderServer::~RemoteRenderServer() { stop(); }
+
+void RemoteRenderServer::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  render_thread_.request_stop();
+  if (listener_) listener_->close();
+  std::vector<Client> doomed;
+  std::vector<std::jthread> graves;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [id, c] : clients_) {
+      c.conn->close();
+      doomed.push_back(std::move(c));
+    }
+    clients_.clear();
+    graves = std::move(graveyard_);
+  }
+  for (auto& c : doomed) {
+    if (c.pump.joinable()) {
+      c.pump.request_stop();
+      c.pump.join();
+    }
+  }
+  for (auto& t : graves) {
+    if (t.joinable()) {
+      t.request_stop();
+      t.join();
+    }
+  }
+}
+
+std::size_t RemoteRenderServer::client_count() const {
+  std::scoped_lock lock(mutex_);
+  return clients_.size();
+}
+
+RemoteRenderServer::Stats RemoteRenderServer::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void RemoteRenderServer::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    const std::uint64_t id = next_client_id_++;
+    Client client;
+    client.conn = std::move(conn).value();
+    clients_.emplace(id, std::move(client));
+    clients_[id].pump = std::jthread(
+        [this, id](std::stop_token pst) { client_pump(pst, id); });
+    // Force a fresh frame for everyone (the newcomer needs a key frame).
+    camera_version_++;
+  }
+}
+
+void RemoteRenderServer::client_pump(const std::stop_token& st,
+                                     std::uint64_t id) {
+  net::ConnectionPtr conn;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    conn = it->second.conn;
+  }
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) {
+        std::scoped_lock lock(mutex_);
+        auto it = clients_.find(id);
+        if (it != clients_.end()) {
+          it->second.conn->close();
+          it->second.pump.request_stop();
+          graveyard_.push_back(std::move(it->second.pump));
+          clients_.erase(it);
+        }
+        return;
+      }
+      continue;
+    }
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) continue;
+    if (m.value().header.tag == kTagView) {
+      auto body = wire::extract_string(m.value());
+      if (!body.is_ok()) continue;
+      auto camera = Camera::parse(body.value());
+      if (!camera.is_ok()) continue;
+      std::scoped_lock lock(mutex_);
+      camera_ = camera.value();  // shared camera: VizServer collaboration
+      ++camera_version_;
+    }
+  }
+}
+
+void RemoteRenderServer::render_loop(const std::stop_token& st) {
+  Renderer renderer(options_.width, options_.height);
+  std::uint64_t seen_scene = ~0ull;
+  std::uint64_t seen_camera = 0;
+  while (!st.stop_requested()) {
+    Camera camera;
+    bool dirty = false;
+    {
+      std::scoped_lock lock(mutex_);
+      if (camera_version_ != seen_camera || scene_->version() != seen_scene) {
+        seen_camera = camera_version_;
+        seen_scene = scene_->version();
+        camera = camera_;
+        dirty = !clients_.empty();
+      }
+    }
+    if (!dirty) {
+      std::this_thread::sleep_for(options_.frame_period);
+      continue;
+    }
+    scene_->render(renderer, camera);
+    {
+      std::scoped_lock lock(mutex_);
+      ++stats_.frames_rendered;
+    }
+    // Compress per client (delta against what that client last saw).
+    std::vector<std::pair<std::uint64_t, net::ConnectionPtr>> targets;
+    {
+      std::scoped_lock lock(mutex_);
+      for (auto& [id, c] : clients_) targets.emplace_back(id, c.conn);
+    }
+    for (auto& [id, conn] : targets) {
+      Bytes payload;
+      {
+        std::scoped_lock lock(mutex_);
+        auto it = clients_.find(id);
+        if (it == clients_.end()) continue;
+        payload = compress_frame_delta(renderer.frame(), it->second.last_frame);
+        it->second.last_frame = renderer.frame();
+      }
+      const auto frame_msg =
+          wire::make_data_message(kTagFrame, payload.data(), payload.size());
+      if (conn->send(frame_msg.encode(), Deadline::after(std::chrono::seconds(1)))
+              .is_ok()) {
+        std::scoped_lock lock(mutex_);
+        ++stats_.frames_sent;
+        stats_.bytes_sent += payload.size();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteRenderClient
+// ---------------------------------------------------------------------------
+
+Result<RemoteRenderClient> RemoteRenderClient::connect(net::Network& net,
+                                                       const std::string& address,
+                                                       Deadline deadline) {
+  auto conn = net.connect(address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  return adopt(std::move(conn).value());
+}
+
+RemoteRenderClient RemoteRenderClient::adopt(net::ConnectionPtr conn) {
+  RemoteRenderClient client;
+  client.conn_ = std::move(conn);
+  return client;
+}
+
+Status RemoteRenderClient::set_view(const Camera& camera, Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "not connected"};
+  return conn_->send(
+      wire::make_control_message(kTagView, camera.serialize()).encode(),
+      deadline);
+}
+
+Result<Image> RemoteRenderClient::await_frame(Deadline deadline) {
+  if (!conn_) return Status{StatusCode::kClosed, "not connected"};
+  for (;;) {
+    auto raw = conn_->recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) return m.status();
+    if (m.value().header.tag != kTagFrame) continue;
+    auto image = decompress_frame_delta(m.value().payload, frame_);
+    if (!image.is_ok()) return image.status();
+    frame_ = std::move(image).value();
+    return frame_;
+  }
+}
+
+void RemoteRenderClient::disconnect() {
+  if (conn_) conn_->close();
+  conn_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// GeometryChannel
+// ---------------------------------------------------------------------------
+
+std::jthread GeometryChannel::start_sender(net::ConnectionPtr conn,
+                                           std::shared_ptr<SceneStore> scene,
+                                           common::Duration period) {
+  return std::jthread([conn, scene, period](std::stop_token st) {
+    std::uint64_t seen = ~0ull;
+    while (!st.stop_requested()) {
+      const std::uint64_t v = scene->version();
+      if (v != seen) {
+        seen = v;
+        const Bytes payload = scene->encode();
+        if (conn->send(wire::make_data_message(kTagScene, payload.data(),
+                                               payload.size())
+                           .encode(),
+                       Deadline::after(std::chrono::seconds(2)))
+                .code() == StatusCode::kClosed) {
+          return;
+        }
+      }
+      std::this_thread::sleep_for(period);
+    }
+  });
+}
+
+Status GeometryChannel::receive_into(net::Connection& conn, SceneStore& scene,
+                                     Deadline deadline) {
+  for (;;) {
+    auto raw = conn.recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto m = wire::Message::decode(raw.value());
+    if (!m.is_ok()) return m.status();
+    if (m.value().header.tag != kTagScene) continue;
+    return scene.decode(m.value().payload);
+  }
+}
+
+}  // namespace cs::viz

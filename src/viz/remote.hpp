@@ -1,0 +1,165 @@
+// Remote rendering — the OpenGL VizServer model (paper sections 2.2/2.4).
+//
+// The scene lives on the "visual supercomputer" (RemoteRenderServer). A
+// laptop-class participant sends viewpoint events upstream and receives
+// delta-compressed bitmaps downstream; it never holds the geometry — "the
+// datasets which are being rendered as isosurfaces are too large to be
+// visualized on a laptop client". The session is collaborative exactly as
+// VizServer's was: all participants share one camera, a view change by any
+// of them re-renders for everyone.
+//
+// The comparison pipeline for experiments E1/E7 is GeometryChannel: ship
+// the triangles once and render locally (the COVISE/scene-graph approach).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "viz/camera.hpp"
+#include "viz/compress.hpp"
+#include "viz/render.hpp"
+
+namespace cs::viz {
+
+/// Thread-safe scene container shared between a simulation feeding data in
+/// and a render loop drawing it.
+class SceneStore {
+ public:
+  void set_mesh(TriangleMesh mesh, Color color);
+  void set_particles(std::vector<ParticleSprite> particles, GlyphStyle style);
+  void set_boxes(std::vector<std::pair<common::Vec3, common::Vec3>> boxes,
+                 Color color);
+
+  /// Renders the current scene contents.
+  void render(Renderer& renderer, const Camera& camera) const;
+
+  /// Monotonic counter bumped by every mutation.
+  std::uint64_t version() const noexcept { return version_.load(); }
+
+  /// Raw geometry size (what a local pipeline must ship on each change).
+  std::size_t geometry_bytes() const;
+
+  /// Serializes the scene for a GeometryChannel; decode restores it.
+  common::Bytes encode() const;
+  common::Status decode(common::ByteSpan data);
+
+ private:
+  mutable std::mutex mutex_;
+  TriangleMesh mesh_;
+  Color mesh_color_{80, 170, 255};
+  std::vector<ParticleSprite> particles_;
+  GlyphStyle glyph_style_ = GlyphStyle::kPoint;
+  std::vector<std::pair<common::Vec3, common::Vec3>> boxes_;
+  Color box_color_{90, 90, 90};
+  std::atomic<std::uint64_t> version_{0};
+};
+
+// ---------------------------------------------------------------------------
+// VizServer-style pipeline
+// ---------------------------------------------------------------------------
+
+class RemoteRenderServer {
+ public:
+  struct Options {
+    std::string address;
+    int width = 320;
+    int height = 240;
+    /// Render-loop poll period for scene/camera changes.
+    common::Duration frame_period = std::chrono::milliseconds(5);
+  };
+
+  struct Stats {
+    std::uint64_t frames_rendered = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  static common::Result<std::unique_ptr<RemoteRenderServer>> start(
+      net::Network& net, std::shared_ptr<SceneStore> scene,
+      const Options& options);
+  ~RemoteRenderServer();
+  RemoteRenderServer(const RemoteRenderServer&) = delete;
+  RemoteRenderServer& operator=(const RemoteRenderServer&) = delete;
+  void stop();
+
+  std::size_t client_count() const;
+  Stats stats() const;
+
+ private:
+  RemoteRenderServer() = default;
+  void accept_loop(const std::stop_token& st);
+  void client_pump(const std::stop_token& st, std::uint64_t id);
+  void render_loop(const std::stop_token& st);
+
+  struct Client {
+    net::ConnectionPtr conn;
+    Image last_frame;
+    std::jthread pump;
+  };
+
+  Options options_;
+  std::shared_ptr<SceneStore> scene_;
+  net::ListenerPtr listener_;
+  std::jthread accept_thread_;
+  std::jthread render_thread_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Client> clients_;
+  std::vector<std::jthread> graveyard_;
+  std::uint64_t next_client_id_ = 1;
+  Camera camera_;
+  std::uint64_t camera_version_ = 1;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+};
+
+class RemoteRenderClient {
+ public:
+  static common::Result<RemoteRenderClient> connect(net::Network& net,
+                                                    const std::string& address,
+                                                    common::Deadline deadline);
+  /// Wraps an existing connection (lets benchmarks attach a link model).
+  static RemoteRenderClient adopt(net::ConnectionPtr conn);
+
+  /// Sends a viewpoint event (shared camera: affects all participants).
+  common::Status set_view(const Camera& camera, common::Deadline deadline);
+
+  /// Receives and decodes the next frame.
+  common::Result<Image> await_frame(common::Deadline deadline);
+
+  const Image& current_frame() const noexcept { return frame_; }
+  void disconnect();
+
+ private:
+  net::ConnectionPtr conn_;
+  Image frame_;
+};
+
+// ---------------------------------------------------------------------------
+// Geometry-shipping pipeline (local rendering comparator)
+// ---------------------------------------------------------------------------
+
+/// Sends the scene geometry whenever it changes; the receiving side renders
+/// locally. One sender, one receiver per channel.
+class GeometryChannel {
+ public:
+  /// Server side: pushes scene snapshots over `conn` whenever `scene`
+  /// changes (polled every `period`).
+  static std::jthread start_sender(net::ConnectionPtr conn,
+                                   std::shared_ptr<SceneStore> scene,
+                                   common::Duration period);
+
+  /// Client side: applies a received snapshot to a local SceneStore.
+  /// Returns kTimeout when nothing arrived before the deadline.
+  static common::Status receive_into(net::Connection& conn, SceneStore& scene,
+                                     common::Deadline deadline);
+};
+
+}  // namespace cs::viz

@@ -1,0 +1,141 @@
+#include "viz/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cs::viz {
+
+using common::Vec3;
+
+void Renderer::clear(Color background) {
+  frame_.fill(background);
+  std::fill(depth_.begin(), depth_.end(), 1e30);
+}
+
+void Renderer::put(int x, int y, double depth, Color color) {
+  if (!frame_.contains(x, y)) return;
+  const std::size_t i = static_cast<std::size_t>(y) *
+                            static_cast<std::size_t>(frame_.width()) +
+                        static_cast<std::size_t>(x);
+  if (depth >= depth_[i]) return;
+  depth_[i] = depth;
+  frame_.at(x, y) = color;
+}
+
+void Renderer::draw_mesh(const TriangleMesh& mesh, const Camera& camera,
+                         Color base) {
+  const Vec3 light = normalized(Vec3{0.4, 0.8, 0.45});
+  const int w = frame_.width();
+  const int h = frame_.height();
+  for (std::size_t t = 0; t < mesh.triangles.size(); ++t) {
+    const auto& tri = mesh.triangles[t];
+    const auto pa = camera.project(mesh.vertices[tri.a], w, h);
+    const auto pb = camera.project(mesh.vertices[tri.b], w, h);
+    const auto pc = camera.project(mesh.vertices[tri.c], w, h);
+    if (!pa.visible || !pb.visible || !pc.visible) continue;
+
+    // Lambert shading from the geometric normal (double-sided).
+    const Vec3 n = mesh.normal(t);
+    const double lambert = 0.25 + 0.75 * std::abs(dot(n, light));
+    const Color shade{static_cast<std::uint8_t>(base.r * lambert),
+                      static_cast<std::uint8_t>(base.g * lambert),
+                      static_cast<std::uint8_t>(base.b * lambert)};
+
+    const int min_x = std::max(0, static_cast<int>(
+                                      std::floor(std::min({pa.x, pb.x, pc.x}))));
+    const int max_x = std::min(w - 1, static_cast<int>(std::ceil(
+                                          std::max({pa.x, pb.x, pc.x}))));
+    const int min_y = std::max(0, static_cast<int>(
+                                      std::floor(std::min({pa.y, pb.y, pc.y}))));
+    const int max_y = std::min(h - 1, static_cast<int>(std::ceil(
+                                          std::max({pa.y, pb.y, pc.y}))));
+    const double denom =
+        (pb.y - pc.y) * (pa.x - pc.x) + (pc.x - pb.x) * (pa.y - pc.y);
+    if (std::abs(denom) < 1e-12) continue;
+    for (int y = min_y; y <= max_y; ++y) {
+      for (int x = min_x; x <= max_x; ++x) {
+        const double l0 = ((pb.y - pc.y) * (x - pc.x) +
+                           (pc.x - pb.x) * (y - pc.y)) / denom;
+        const double l1 = ((pc.y - pa.y) * (x - pc.x) +
+                           (pa.x - pc.x) * (y - pc.y)) / denom;
+        const double l2 = 1.0 - l0 - l1;
+        if (l0 < 0 || l1 < 0 || l2 < 0) continue;
+        const double depth = l0 * pa.depth + l1 * pb.depth + l2 * pc.depth;
+        put(x, y, depth, shade);
+      }
+    }
+  }
+}
+
+void Renderer::draw_particles(std::span<const ParticleSprite> particles,
+                              const Camera& camera, GlyphStyle style,
+                              int size_pixels) {
+  const int w = frame_.width();
+  const int h = frame_.height();
+  for (const auto& p : particles) {
+    const auto proj = camera.project(p.position, w, h);
+    if (!proj.visible) continue;
+    const int cx = static_cast<int>(proj.x);
+    const int cy = static_cast<int>(proj.y);
+    switch (style) {
+      case GlyphStyle::kPoint: {
+        for (int dy = -size_pixels / 2; dy <= size_pixels / 2; ++dy) {
+          for (int dx = -size_pixels / 2; dx <= size_pixels / 2; ++dx) {
+            put(cx + dx, cy + dy, proj.depth, p.color);
+          }
+        }
+        break;
+      }
+      case GlyphStyle::kDiamond: {
+        for (int dy = -size_pixels; dy <= size_pixels; ++dy) {
+          const int span = size_pixels - std::abs(dy);
+          for (int dx = -span; dx <= span; ++dx) {
+            put(cx + dx, cy + dy, proj.depth, p.color);
+          }
+        }
+        break;
+      }
+      case GlyphStyle::kVector: {
+        put(cx, cy, proj.depth, p.color);
+        draw_line(p.position, p.position + 0.15 * p.velocity, camera,
+                  p.color);
+        break;
+      }
+    }
+  }
+}
+
+void Renderer::draw_line(const Vec3& a, const Vec3& b, const Camera& camera,
+                         Color color) {
+  const int w = frame_.width();
+  const int h = frame_.height();
+  const auto pa = camera.project(a, w, h);
+  const auto pb = camera.project(b, w, h);
+  if (!pa.visible || !pb.visible) return;
+  const double dx = pb.x - pa.x;
+  const double dy = pb.y - pa.y;
+  const int steps =
+      std::max(1, static_cast<int>(std::max(std::abs(dx), std::abs(dy))));
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const double depth = pa.depth + t * (pb.depth - pa.depth);
+    put(static_cast<int>(pa.x + t * dx), static_cast<int>(pa.y + t * dy),
+        depth - 1e-6, color);
+  }
+}
+
+void Renderer::draw_box(const Vec3& lo, const Vec3& hi, const Camera& camera,
+                        Color color) {
+  const Vec3 corners[8] = {
+      {lo.x, lo.y, lo.z}, {hi.x, lo.y, lo.z}, {lo.x, hi.y, lo.z},
+      {hi.x, hi.y, lo.z}, {lo.x, lo.y, hi.z}, {hi.x, lo.y, hi.z},
+      {lo.x, hi.y, hi.z}, {hi.x, hi.y, hi.z}};
+  constexpr int kEdges[12][2] = {{0, 1}, {0, 2}, {1, 3}, {2, 3},
+                                 {4, 5}, {4, 6}, {5, 7}, {6, 7},
+                                 {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+  for (const auto& e : kEdges) {
+    draw_line(corners[e[0]], corners[e[1]], camera, color);
+  }
+}
+
+}  // namespace cs::viz

@@ -1,0 +1,61 @@
+// Software renderer: z-buffered triangles, lines, and particle glyphs.
+//
+// Stands in for the SGI Onyx graphics pipes: fast enough to measure the
+// feedback loops of paper section 4, honest enough to produce real images
+// (the PEPC example renders "particles displayed as points, diamond glyphs
+// and vectors ... tree domains as transparent or solid boxes").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "viz/camera.hpp"
+#include "viz/image.hpp"
+#include "viz/mesh.hpp"
+
+namespace cs::viz {
+
+/// Glyph styles of the particle display (paper section 3.4).
+enum class GlyphStyle { kPoint, kDiamond, kVector };
+
+struct ParticleSprite {
+  common::Vec3 position;
+  common::Vec3 velocity;  ///< used by kVector
+  Color color;
+};
+
+class Renderer {
+ public:
+  Renderer(int width, int height) : frame_(width, height), depth_() {
+    depth_.assign(static_cast<std::size_t>(width) *
+                      static_cast<std::size_t>(height),
+                  1e30);
+  }
+
+  void clear(Color background = {12, 12, 24});
+
+  void draw_mesh(const TriangleMesh& mesh, const Camera& camera, Color base);
+
+  void draw_particles(std::span<const ParticleSprite> particles,
+                      const Camera& camera, GlyphStyle style,
+                      int size_pixels = 2);
+
+  /// Wireframe axis-aligned box (domain boxes of the tree code).
+  void draw_box(const common::Vec3& lo, const common::Vec3& hi,
+                const Camera& camera, Color color);
+
+  void draw_line(const common::Vec3& a, const common::Vec3& b,
+                 const Camera& camera, Color color);
+
+  const Image& frame() const noexcept { return frame_; }
+  Image& frame() noexcept { return frame_; }
+
+ private:
+  void put(int x, int y, double depth, Color color);
+
+  Image frame_;
+  std::vector<double> depth_;
+};
+
+}  // namespace cs::viz

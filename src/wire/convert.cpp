@@ -1,0 +1,88 @@
+#include "wire/convert.hpp"
+
+#include <cstring>
+
+namespace cs::wire {
+
+using common::ByteOrder;
+using common::ByteSpan;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+/// Reads element i of type S (byte order `order`) from `src`.
+template <typename S>
+S read_element(ByteSpan src, std::size_t i, ByteOrder order) noexcept {
+  using U = std::make_unsigned_t<
+      std::conditional_t<std::is_floating_point_v<S>,
+                         std::conditional_t<sizeof(S) == 4, std::uint32_t,
+                                            std::uint64_t>,
+                         S>>;
+  U raw;
+  std::memcpy(&raw, src.data() + i * sizeof(S), sizeof(S));
+  if (order != common::native_order()) raw = common::byteswap(raw);
+  S value;
+  std::memcpy(&value, &raw, sizeof(S));
+  return value;
+}
+
+/// Copies `count` elements of S from `src` to D at `dst` with conversion.
+template <typename S, typename D>
+void convert_typed(ByteSpan src, std::uint64_t count, ByteOrder order,
+                   void* dst) noexcept {
+  auto* out = static_cast<D*>(dst);
+  if constexpr (std::is_same_v<S, D>) {
+    if (order == common::native_order()) {
+      std::memcpy(out, src.data(), count * sizeof(S));
+      return;
+    }
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out[i] = static_cast<D>(read_element<S>(src, i, order));
+  }
+}
+
+template <typename S>
+void convert_from(ByteSpan src, std::uint64_t count, ByteOrder order,
+                  ScalarType dst_type, void* dst) noexcept {
+  switch (dst_type) {
+    case ScalarType::kInt8: convert_typed<S, std::int8_t>(src, count, order, dst); return;
+    case ScalarType::kUInt8: convert_typed<S, std::uint8_t>(src, count, order, dst); return;
+    case ScalarType::kInt16: convert_typed<S, std::int16_t>(src, count, order, dst); return;
+    case ScalarType::kUInt16: convert_typed<S, std::uint16_t>(src, count, order, dst); return;
+    case ScalarType::kInt32: convert_typed<S, std::int32_t>(src, count, order, dst); return;
+    case ScalarType::kUInt32: convert_typed<S, std::uint32_t>(src, count, order, dst); return;
+    case ScalarType::kInt64: convert_typed<S, std::int64_t>(src, count, order, dst); return;
+    case ScalarType::kUInt64: convert_typed<S, std::uint64_t>(src, count, order, dst); return;
+    case ScalarType::kFloat32: convert_typed<S, float>(src, count, order, dst); return;
+    case ScalarType::kFloat64: convert_typed<S, double>(src, count, order, dst); return;
+    case ScalarType::kChar: convert_typed<S, char>(src, count, order, dst); return;
+  }
+}
+
+}  // namespace
+
+Status convert_elements(ScalarType src_type, ByteOrder src_order,
+                        ByteSpan src_bytes, std::uint64_t count,
+                        ScalarType dst_type, void* dst) noexcept {
+  if (src_bytes.size() < count * size_of(src_type)) {
+    return Status{StatusCode::kProtocolError, "payload shorter than declared"};
+  }
+  switch (src_type) {
+    case ScalarType::kInt8: convert_from<std::int8_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kUInt8: convert_from<std::uint8_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kInt16: convert_from<std::int16_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kUInt16: convert_from<std::uint16_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kInt32: convert_from<std::int32_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kUInt32: convert_from<std::uint32_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kInt64: convert_from<std::int64_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kUInt64: convert_from<std::uint64_t>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kFloat32: convert_from<float>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kFloat64: convert_from<double>(src_bytes, count, src_order, dst_type, dst); break;
+    case ScalarType::kChar: convert_from<char>(src_bytes, count, src_order, dst_type, dst); break;
+  }
+  return Status::ok();
+}
+
+}  // namespace cs::wire

@@ -1,0 +1,44 @@
+// Receiver-side transparent data conversion.
+//
+// "Any data conversions (byte order, precision, integer-float) are performed
+// transparently by the server, again so that the simulation is disturbed as
+// little as possible." — paper section 3.2. The benchmark bench_conversion
+// (experiment E10) measures exactly this asymmetry.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "wire/message.hpp"
+#include "wire/typedesc.hpp"
+
+namespace cs::wire {
+
+/// Converts a raw payload (elements of `src_type` in `src_order`) into
+/// native `dst_type` elements written to `dst` (which must hold
+/// `count * size_of(dst_type)` bytes). Handles byte order, precision
+/// widening/narrowing, and integer<->float. Narrowing follows static_cast
+/// semantics.
+common::Status convert_elements(ScalarType src_type,
+                                common::ByteOrder src_order,
+                                common::ByteSpan src_bytes, std::uint64_t count,
+                                ScalarType dst_type, void* dst) noexcept;
+
+/// Extracts a message's payload as a vector of T, converting as needed.
+/// kInvalidArgument when the message is not a data message.
+template <typename T>
+common::Result<std::vector<T>> extract_as(const Message& m) {
+  if (m.header.kind != MessageKind::kData) {
+    return common::Status{common::StatusCode::kInvalidArgument,
+                          "not a data message"};
+  }
+  std::vector<T> out(m.header.count);
+  auto s = convert_elements(m.header.elem_type, m.header.payload_order,
+                            m.payload, m.header.count, scalar_type_of<T>(),
+                            out.data());
+  if (!s.is_ok()) return s;
+  return out;
+}
+
+}  // namespace cs::wire

@@ -1,0 +1,115 @@
+#include "wire/message.hpp"
+
+namespace cs::wire {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+void encode_header(const MessageHeader& header, Bytes& out) {
+  out.reserve(out.size() + MessageHeader::kWireSize);
+  common::append_uint<std::uint32_t>(out, MessageHeader::kMagic,
+                                     ByteOrder::kBig);
+  out.push_back(MessageHeader::kVersion);
+  out.push_back(static_cast<std::uint8_t>(header.kind));
+  out.push_back(static_cast<std::uint8_t>(header.elem_type));
+  out.push_back(static_cast<std::uint8_t>(header.payload_order));
+  common::append_uint<std::uint32_t>(out, header.tag, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, header.count, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, header.payload_bytes,
+                                     ByteOrder::kBig);
+}
+
+Result<MessageHeader> decode_header(ByteSpan in) {
+  if (in.size() < MessageHeader::kWireSize) {
+    return Status{StatusCode::kProtocolError, "header truncated"};
+  }
+  const auto magic = common::read_uint<std::uint32_t>(in, ByteOrder::kBig);
+  if (magic != MessageHeader::kMagic) {
+    return Status{StatusCode::kProtocolError, "bad magic"};
+  }
+  if (in[4] != MessageHeader::kVersion) {
+    return Status{StatusCode::kProtocolError,
+                  "unsupported version " + std::to_string(in[4])};
+  }
+  if (!is_valid_message_kind(in[5])) {
+    return Status{StatusCode::kProtocolError, "bad message kind"};
+  }
+  if (!is_valid_scalar_type(in[6])) {
+    return Status{StatusCode::kProtocolError, "bad element type"};
+  }
+  if (in[7] > 1) {
+    return Status{StatusCode::kProtocolError, "bad byte order flag"};
+  }
+  MessageHeader h;
+  h.kind = static_cast<MessageKind>(in[5]);
+  h.elem_type = static_cast<ScalarType>(in[6]);
+  h.payload_order = static_cast<ByteOrder>(in[7]);
+  h.tag = common::read_uint<std::uint32_t>(in.subspan(8), ByteOrder::kBig);
+  h.count = common::read_uint<std::uint64_t>(in.subspan(12), ByteOrder::kBig);
+  h.payload_bytes =
+      common::read_uint<std::uint64_t>(in.subspan(20), ByteOrder::kBig);
+  if (h.payload_bytes != h.count * size_of(h.elem_type)) {
+    return Status{StatusCode::kProtocolError,
+                  "payload size inconsistent with element count"};
+  }
+  return h;
+}
+
+Bytes Message::encode() const {
+  Bytes out;
+  out.reserve(MessageHeader::kWireSize + payload.size());
+  encode_header(header, out);
+  common::append_bytes(out, payload);
+  return out;
+}
+
+Result<Message> Message::decode(ByteSpan frame) {
+  auto header = decode_header(frame);
+  if (!header.is_ok()) return header.status();
+  Message m;
+  m.header = header.value();
+  const ByteSpan rest = frame.subspan(MessageHeader::kWireSize);
+  if (rest.size() != m.header.payload_bytes) {
+    return Status{StatusCode::kProtocolError,
+                  "frame size does not match declared payload"};
+  }
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
+}
+
+Message make_string_message(std::uint32_t tag, std::string_view text) {
+  return make_data_message(tag, text.data(), text.size());
+}
+
+Message make_request_message(std::uint32_t tag) {
+  Message m;
+  m.header.kind = MessageKind::kRequest;
+  m.header.tag = tag;
+  m.header.elem_type = ScalarType::kUInt8;
+  m.header.count = 0;
+  m.header.payload_bytes = 0;
+  return m;
+}
+
+Message make_control_message(std::uint32_t tag, std::string_view body) {
+  Message m = make_string_message(tag, body);
+  m.header.kind = MessageKind::kControl;
+  return m;
+}
+
+Result<std::string> extract_string(const Message& m) {
+  const auto t = m.header.elem_type;
+  if (t != ScalarType::kChar && t != ScalarType::kInt8 &&
+      t != ScalarType::kUInt8) {
+    return Status{StatusCode::kInvalidArgument,
+                  "payload is not a character array"};
+  }
+  return std::string{reinterpret_cast<const char*>(m.payload.data()),
+                     m.payload.size()};
+}
+
+}  // namespace cs::wire

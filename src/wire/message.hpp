@@ -1,0 +1,94 @@
+// Tagged message framing — the "MPI-like data transport mechanism based on
+// messages that are distinguished via tags" of VISIT (paper section 3.2).
+//
+// Header fields are always serialized big-endian. The *payload* stays in the
+// sender's native byte order, declared in the header, so the cheap side
+// (the steered simulation) never converts; the receiver does (wire/convert).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "wire/typedesc.hpp"
+
+namespace cs::wire {
+
+/// What a message means to the steering protocol.
+enum class MessageKind : std::uint8_t {
+  kData = 0,     ///< payload carries `count` elements of `elem_type`
+  kRequest = 1,  ///< asks the peer to send data for `tag` (empty payload)
+  kControl = 2,  ///< protocol control (handshake, role change, shutdown)
+};
+
+constexpr bool is_valid_message_kind(std::uint8_t raw) noexcept {
+  return raw <= 2;
+}
+
+struct MessageHeader {
+  static constexpr std::uint32_t kMagic = 0x56495354;  // "VIST"
+  static constexpr std::uint8_t kVersion = 1;
+  /// Serialized header size in bytes.
+  static constexpr std::size_t kWireSize = 4 + 1 + 1 + 1 + 1 + 4 + 8 + 8;
+
+  MessageKind kind = MessageKind::kData;
+  /// Application-level tag distinguishing message streams.
+  std::uint32_t tag = 0;
+  ScalarType elem_type = ScalarType::kUInt8;
+  /// Byte order of the *payload* (headers are always big-endian).
+  common::ByteOrder payload_order = common::native_order();
+  /// Number of elements of elem_type in the payload.
+  std::uint64_t count = 0;
+  /// Payload size in bytes; always count * size_of(elem_type).
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Serializes a header (big-endian, fixed layout).
+void encode_header(const MessageHeader& header, common::Bytes& out);
+
+/// Parses and validates a header. kProtocolError on any malformed field.
+common::Result<MessageHeader> decode_header(common::ByteSpan in);
+
+/// A complete wire message.
+struct Message {
+  MessageHeader header;
+  common::Bytes payload;
+
+  /// Frames header + payload into one buffer ready for Connection::send.
+  common::Bytes encode() const;
+
+  /// Parses one framed message. Checks header/payload consistency.
+  static common::Result<Message> decode(common::ByteSpan frame);
+};
+
+/// Builds a data message from a typed array without converting it: the
+/// payload is the caller's native representation (sender-side zero cost).
+template <typename T>
+Message make_data_message(std::uint32_t tag, const T* values,
+                          std::size_t count) {
+  Message m;
+  m.header.kind = MessageKind::kData;
+  m.header.tag = tag;
+  m.header.elem_type = scalar_type_of<T>();
+  m.header.payload_order = common::native_order();
+  m.header.count = count;
+  m.header.payload_bytes = count * sizeof(T);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(values);
+  m.payload.assign(p, p + count * sizeof(T));
+  return m;
+}
+
+/// Data message carrying a string (array of kChar).
+Message make_string_message(std::uint32_t tag, std::string_view text);
+
+/// Request message: "send me data for `tag`".
+Message make_request_message(std::uint32_t tag);
+
+/// Control message with a small string body (e.g. "HELLO <password>").
+Message make_control_message(std::uint32_t tag, std::string_view body);
+
+/// Extracts a string payload (kChar / kInt8 / kUInt8 accepted).
+common::Result<std::string> extract_string(const Message& m);
+
+}  // namespace cs::wire

@@ -1,0 +1,141 @@
+#include "wire/structdesc.hpp"
+
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "wire/convert.hpp"
+
+namespace cs::wire {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+StructDesc& StructDesc::add_field(std::string field_name, ScalarType type,
+                                  std::size_t count, std::size_t offset) {
+  fields_.push_back(FieldDesc{std::move(field_name), type, count, offset});
+  return *this;
+}
+
+std::size_t StructDesc::wire_record_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& f : fields_) total += f.count * size_of(f.type);
+  return total;
+}
+
+std::size_t StructDesc::find_field(std::string_view field_name) const noexcept {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == field_name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::string StructDesc::serialize() const {
+  std::string out = name_ + "|" + std::to_string(host_size_);
+  for (const auto& f : fields_) {
+    out += "|" + f.name + ":" +
+           std::to_string(static_cast<int>(f.type)) + ":" +
+           std::to_string(f.count) + ":" + std::to_string(f.offset);
+  }
+  return out;
+}
+
+Result<StructDesc> StructDesc::parse(std::string_view text) {
+  const auto parts = common::split(text, '|');
+  if (parts.size() < 2) {
+    return Status{StatusCode::kProtocolError, "struct schema too short"};
+  }
+  StructDesc desc{parts[0],
+                  static_cast<std::size_t>(std::strtoull(parts[1].c_str(),
+                                                         nullptr, 10))};
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const auto cols = common::split(parts[i], ':');
+    if (cols.size() != 4) {
+      return Status{StatusCode::kProtocolError,
+                    "bad field spec: " + parts[i]};
+    }
+    const auto raw_type = std::strtoul(cols[1].c_str(), nullptr, 10);
+    if (!is_valid_scalar_type(static_cast<std::uint8_t>(raw_type))) {
+      return Status{StatusCode::kProtocolError,
+                    "bad field type: " + cols[1]};
+    }
+    desc.add_field(cols[0], static_cast<ScalarType>(raw_type),
+                   std::strtoull(cols[2].c_str(), nullptr, 10),
+                   std::strtoull(cols[3].c_str(), nullptr, 10));
+  }
+  return desc;
+}
+
+Bytes pack_records(const StructDesc& desc, const void* records,
+                   std::size_t record_count) {
+  Bytes out;
+  out.reserve(desc.wire_record_size() * record_count);
+  const auto* base = static_cast<const std::uint8_t*>(records);
+  for (std::size_t r = 0; r < record_count; ++r) {
+    const std::uint8_t* rec = base + r * desc.host_size();
+    for (const auto& f : desc.fields()) {
+      const std::size_t n = f.count * size_of(f.type);
+      out.insert(out.end(), rec + f.offset, rec + f.offset + n);
+    }
+  }
+  return out;
+}
+
+Status unpack_records(const StructDesc& src_desc, common::ByteOrder src_order,
+                      ByteSpan payload, const StructDesc& dst_desc,
+                      void* records, std::size_t record_count) {
+  const std::size_t src_record = src_desc.wire_record_size();
+  if (payload.size() < src_record * record_count) {
+    return Status{StatusCode::kProtocolError,
+                  "payload smaller than record_count records"};
+  }
+  // Precompute per-source-field offsets within one wire record.
+  std::vector<std::size_t> src_offsets(src_desc.fields().size());
+  {
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < src_desc.fields().size(); ++i) {
+      src_offsets[i] = off;
+      off += src_desc.fields()[i].count * size_of(src_desc.fields()[i].type);
+    }
+  }
+  auto* base = static_cast<std::uint8_t*>(records);
+  std::memset(base, 0, dst_desc.host_size() * record_count);
+  for (const auto& dst_field : dst_desc.fields()) {
+    const std::size_t si = src_desc.find_field(dst_field.name);
+    if (si == static_cast<std::size_t>(-1)) continue;  // zero-filled
+    const auto& src_field = src_desc.fields()[si];
+    if (src_field.count != dst_field.count) {
+      return Status{StatusCode::kProtocolError,
+                    "field '" + dst_field.name + "' length mismatch"};
+    }
+    for (std::size_t r = 0; r < record_count; ++r) {
+      const ByteSpan src = payload.subspan(r * src_record + src_offsets[si]);
+      std::uint8_t* dst =
+          base + r * dst_desc.host_size() + dst_field.offset;
+      if (Status s = convert_elements(src_field.type, src_order, src,
+                                      src_field.count, dst_field.type, dst);
+          !s.is_ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Message make_struct_message(std::uint32_t tag, const StructDesc& desc,
+                            const void* records, std::size_t record_count) {
+  Bytes packed = pack_records(desc, records, record_count);
+  Message m;
+  m.header.kind = MessageKind::kData;
+  m.header.tag = tag;
+  m.header.elem_type = ScalarType::kUInt8;
+  m.header.payload_order = common::native_order();
+  m.header.count = packed.size();
+  m.header.payload_bytes = packed.size();
+  m.payload = std::move(packed);
+  return m;
+}
+
+}  // namespace cs::wire

@@ -1,0 +1,87 @@
+// User-defined structure descriptions.
+//
+// VISIT transfers "user defined structures, and arrays of these" (paper
+// section 3.2). A StructDesc declares the fields of a host struct (name,
+// scalar type, array length, byte offset); pack_records serializes an array
+// of such structs field-by-field in the sender's native representation, and
+// unpack_records rebuilds them on the receiver with full conversion —
+// including receivers whose struct layout or field precision differs, as
+// long as field names match.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "wire/message.hpp"
+#include "wire/typedesc.hpp"
+
+namespace cs::wire {
+
+struct FieldDesc {
+  std::string name;
+  ScalarType type = ScalarType::kUInt8;
+  /// Number of scalars in the field (e.g. 3 for a position triple).
+  std::size_t count = 1;
+  /// Byte offset of the field inside the host struct.
+  std::size_t offset = 0;
+
+  friend bool operator==(const FieldDesc&, const FieldDesc&) = default;
+};
+
+/// Description of one record type.
+class StructDesc {
+ public:
+  StructDesc() = default;
+  StructDesc(std::string name, std::size_t host_size)
+      : name_(std::move(name)), host_size_(host_size) {}
+
+  /// Declares a field. Returns *this for chaining.
+  StructDesc& add_field(std::string field_name, ScalarType type,
+                        std::size_t count, std::size_t offset);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t host_size() const noexcept { return host_size_; }
+  const std::vector<FieldDesc>& fields() const noexcept { return fields_; }
+
+  /// Sum of field wire sizes for one record.
+  std::size_t wire_record_size() const noexcept;
+
+  /// Index of the field named `field_name`, or npos.
+  std::size_t find_field(std::string_view field_name) const noexcept;
+
+  /// Schema text: "name|host_size|field:type:count:offset|...".
+  std::string serialize() const;
+  static common::Result<StructDesc> parse(std::string_view text);
+
+  friend bool operator==(const StructDesc&, const StructDesc&) = default;
+
+ private:
+  std::string name_;
+  std::size_t host_size_ = 0;
+  std::vector<FieldDesc> fields_;
+};
+
+/// Serializes `record_count` records living at `records` (laid out per
+/// `desc`) into a payload of native-order field data.
+common::Bytes pack_records(const StructDesc& desc, const void* records,
+                           std::size_t record_count);
+
+/// Rebuilds records described by `dst_desc` (host layout of the receiver)
+/// from a payload packed with `src_desc` on a machine with byte order
+/// `src_order`. Fields are matched by name; fields of dst absent from src
+/// are zero-filled; per-field scalar conversion applies. The array-length
+/// of matched fields must agree.
+common::Status unpack_records(const StructDesc& src_desc,
+                              common::ByteOrder src_order,
+                              common::ByteSpan payload,
+                              const StructDesc& dst_desc, void* records,
+                              std::size_t record_count);
+
+/// Wraps packed records in a data message (elem_type kUInt8).
+Message make_struct_message(std::uint32_t tag, const StructDesc& desc,
+                            const void* records, std::size_t record_count);
+
+}  // namespace cs::wire

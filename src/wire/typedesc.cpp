@@ -1,0 +1,43 @@
+#include "wire/typedesc.hpp"
+
+namespace cs::wire {
+
+std::size_t size_of(ScalarType t) noexcept {
+  switch (t) {
+    case ScalarType::kInt8:
+    case ScalarType::kUInt8:
+    case ScalarType::kChar:
+      return 1;
+    case ScalarType::kInt16:
+    case ScalarType::kUInt16:
+      return 2;
+    case ScalarType::kInt32:
+    case ScalarType::kUInt32:
+    case ScalarType::kFloat32:
+      return 4;
+    case ScalarType::kInt64:
+    case ScalarType::kUInt64:
+    case ScalarType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+std::string_view to_string(ScalarType t) noexcept {
+  switch (t) {
+    case ScalarType::kInt8: return "int8";
+    case ScalarType::kUInt8: return "uint8";
+    case ScalarType::kInt16: return "int16";
+    case ScalarType::kUInt16: return "uint16";
+    case ScalarType::kInt32: return "int32";
+    case ScalarType::kUInt32: return "uint32";
+    case ScalarType::kInt64: return "int64";
+    case ScalarType::kUInt64: return "uint64";
+    case ScalarType::kFloat32: return "float32";
+    case ScalarType::kFloat64: return "float64";
+    case ScalarType::kChar: return "char";
+  }
+  return "unknown";
+}
+
+}  // namespace cs::wire

@@ -1,0 +1,69 @@
+// Scalar type vocabulary of the wire format.
+//
+// VISIT ships "strings, integers, floats, user defined structures, and
+// arrays of these" and converts byte order / precision / integer-float on
+// the server so the steered simulation is never burdened (paper section
+// 3.2). These tags describe what a payload contains so the receiving side
+// can do that conversion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace cs::wire {
+
+enum class ScalarType : std::uint8_t {
+  kInt8 = 0,
+  kUInt8 = 1,
+  kInt16 = 2,
+  kUInt16 = 3,
+  kInt32 = 4,
+  kUInt32 = 5,
+  kInt64 = 6,
+  kUInt64 = 7,
+  kFloat32 = 8,
+  kFloat64 = 9,
+  kChar = 10,  ///< string payloads: array of kChar
+};
+
+constexpr std::size_t kScalarTypeCount = 11;
+
+/// Size in bytes of one element.
+std::size_t size_of(ScalarType t) noexcept;
+
+/// Stable printable name ("float32", ...).
+std::string_view to_string(ScalarType t) noexcept;
+
+constexpr bool is_float(ScalarType t) noexcept {
+  return t == ScalarType::kFloat32 || t == ScalarType::kFloat64;
+}
+
+constexpr bool is_integer(ScalarType t) noexcept {
+  return !is_float(t);
+}
+
+/// True when the byte value names a valid ScalarType.
+constexpr bool is_valid_scalar_type(std::uint8_t raw) noexcept {
+  return raw < kScalarTypeCount;
+}
+
+/// Maps a C++ arithmetic type to its ScalarType tag.
+template <typename T>
+constexpr ScalarType scalar_type_of() noexcept {
+  if constexpr (std::is_same_v<T, std::int8_t>) return ScalarType::kInt8;
+  else if constexpr (std::is_same_v<T, std::uint8_t>) return ScalarType::kUInt8;
+  else if constexpr (std::is_same_v<T, std::int16_t>) return ScalarType::kInt16;
+  else if constexpr (std::is_same_v<T, std::uint16_t>) return ScalarType::kUInt16;
+  else if constexpr (std::is_same_v<T, std::int32_t>) return ScalarType::kInt32;
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return ScalarType::kUInt32;
+  else if constexpr (std::is_same_v<T, std::int64_t>) return ScalarType::kInt64;
+  else if constexpr (std::is_same_v<T, std::uint64_t>) return ScalarType::kUInt64;
+  else if constexpr (std::is_same_v<T, float>) return ScalarType::kFloat32;
+  else if constexpr (std::is_same_v<T, double>) return ScalarType::kFloat64;
+  else if constexpr (std::is_same_v<T, char>) return ScalarType::kChar;
+  else static_assert(sizeof(T) == 0, "unsupported wire scalar type");
+}
+
+}  // namespace cs::wire

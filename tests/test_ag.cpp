@@ -1,0 +1,311 @@
+// Tests for the Access Grid substrate: venue server (rooms, participants,
+// shared-app registry), vic-style media streams over multicast with
+// unicast bridging, and vnc-style desktop sharing.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ag/desktop.hpp"
+#include "ag/media.hpp"
+#include "ag/venue.hpp"
+#include "net/inproc.hpp"
+
+namespace cs::ag {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::StatusCode;
+
+// ----------------------------------------------------------------- venue --
+
+struct VenueFixture {
+  net::InProcNetwork net;
+  std::unique_ptr<VenueServer> server;
+
+  VenueFixture() {
+    auto s = VenueServer::start(net, {"ag:venue"});
+    EXPECT_TRUE(s.is_ok());
+    server = std::move(s).value();
+    EXPECT_TRUE(server
+                    ->create_venue("sc03-showcase",
+                                   {"mcast/sc03/video", "mcast/sc03/audio"})
+                    .is_ok());
+  }
+
+  VenueClient join(const std::string& name, bool mc = true) {
+    auto c = VenueClient::connect(net, "ag:venue", Deadline::after(2s));
+    EXPECT_TRUE(c.is_ok());
+    EXPECT_TRUE(c.value()
+                    .enter("sc03-showcase", name, mc, Deadline::after(2s))
+                    .is_ok());
+    return std::move(c).value();
+  }
+};
+
+TEST(Venue, EnterListLeave) {
+  VenueFixture f;
+  auto manchester = f.join("manchester");
+  auto juelich = f.join("juelich");
+  auto phoenix = f.join("phoenix-floor", /*mc=*/false);
+
+  auto listing = manchester.list_participants(Deadline::after(2s));
+  ASSERT_TRUE(listing.is_ok());
+  EXPECT_EQ(listing.value().size(), 3u);
+  int unicast_only = 0;
+  for (const auto& p : listing.value()) {
+    if (!p.multicast_capable) ++unicast_only;
+  }
+  EXPECT_EQ(unicast_only, 1);
+
+  ASSERT_TRUE(juelich.leave(Deadline::after(2s)).is_ok());
+  listing = manchester.list_participants(Deadline::after(2s));
+  ASSERT_TRUE(listing.is_ok());
+  EXPECT_EQ(listing.value().size(), 2u);
+}
+
+TEST(Venue, EnterUnknownVenueFails) {
+  VenueFixture f;
+  auto c = VenueClient::connect(f.net, "ag:venue", Deadline::after(2s));
+  ASSERT_TRUE(c.is_ok());
+  auto s = c.value().enter("atlantis", "nobody", true, Deadline::after(2s));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(Venue, StreamsPublished) {
+  VenueFixture f;
+  auto c = f.join("site");
+  auto streams = c.streams(Deadline::after(2s));
+  ASSERT_TRUE(streams.is_ok());
+  EXPECT_EQ(streams.value().video_group, "mcast/sc03/video");
+  EXPECT_EQ(streams.value().audio_group, "mcast/sc03/audio");
+}
+
+TEST(Venue, SharedAppRegistryPerRoom) {
+  VenueFixture f;
+  ASSERT_TRUE(
+      f.server->create_venue("hlrs-room", {"mcast/hlrs/v", "mcast/hlrs/a"})
+          .is_ok());
+  auto hlrs = f.join("hlrs");
+  ASSERT_TRUE(hlrs.register_app({"covise", "sync=covise:hub pw=s3cret"},
+                                Deadline::after(2s))
+                  .is_ok());
+  // Another participant of the same venue finds it...
+  auto guest = f.join("guest");
+  auto app = guest.find_app("covise", Deadline::after(2s));
+  ASSERT_TRUE(app.is_ok());
+  EXPECT_EQ(app.value().connect_info, "sync=covise:hub pw=s3cret");
+  // ...but a participant of a different room does not.
+  auto c = VenueClient::connect(f.net, "ag:venue", Deadline::after(2s));
+  ASSERT_TRUE(c.is_ok());
+  ASSERT_TRUE(
+      c.value().enter("hlrs-room", "elsewhere", true, Deadline::after(2s)).is_ok());
+  auto miss = c.value().find_app("covise", Deadline::after(2s));
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Venue, DisconnectImpliesLeave) {
+  VenueFixture f;
+  {
+    auto temp = f.join("fleeting");
+    EXPECT_EQ(f.server->participants("sc03-showcase").size(), 1u);
+    temp.disconnect();
+  }
+  const auto deadline = Deadline::after(2s);
+  while (!f.server->participants("sc03-showcase").empty() &&
+         !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(f.server->participants("sc03-showcase").empty());
+}
+
+// ----------------------------------------------------------------- media --
+
+viz::Image test_frame(int w, int h, std::uint8_t tone) {
+  viz::Image img(w, h, {tone, static_cast<std::uint8_t>(tone / 2), 30});
+  img.at(w / 2, h / 2) = {255, 255, 255};
+  return img;
+}
+
+TEST(Media, MulticastFrameReachesAllReceivers) {
+  net::InProcNetwork net;
+  auto sender = MediaStream::join(net, "mcast/video");
+  auto rx1 = MediaStream::join(net, "mcast/video");
+  auto rx2 = MediaStream::join(net, "mcast/video");
+  ASSERT_TRUE(sender.is_ok() && rx1.is_ok() && rx2.is_ok());
+  const viz::Image frame = test_frame(64, 48, 100);
+  ASSERT_TRUE(sender.value().send_frame(frame).is_ok());
+  auto got1 = rx1.value().receive_frame(Deadline::after(2s));
+  auto got2 = rx2.value().receive_frame(Deadline::after(2s));
+  ASSERT_TRUE(got1.is_ok() && got2.is_ok());
+  EXPECT_EQ(got1.value(), frame);
+  EXPECT_EQ(got2.value(), frame);
+  EXPECT_EQ(sender.value().frames_sent(), 1u);
+  EXPECT_LT(sender.value().bytes_sent(), frame.byte_size());
+}
+
+TEST(Media, FramesAreIndependentlyDecodable) {
+  // vic-style loss tolerance: a receiver that joins late (missing earlier
+  // frames) can still decode the next one.
+  net::InProcNetwork net;
+  auto sender = MediaStream::join(net, "mcast/v2");
+  ASSERT_TRUE(sender.is_ok());
+  ASSERT_TRUE(sender.value().send_frame(test_frame(32, 32, 10)).is_ok());
+  auto late = MediaStream::join(net, "mcast/v2");
+  ASSERT_TRUE(late.is_ok());
+  const viz::Image second = test_frame(32, 32, 200);
+  ASSERT_TRUE(sender.value().send_frame(second).is_ok());
+  auto got = late.value().receive_frame(Deadline::after(2s));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), second);
+}
+
+TEST(Media, BridgeRelaysToUnicastClients) {
+  net::InProcNetwork net;
+  auto bridge = UnicastBridge::start(net, {"mcast/v3", "bridge:1"});
+  ASSERT_TRUE(bridge.is_ok());
+  auto sender = MediaStream::join(net, "mcast/v3");
+  ASSERT_TRUE(sender.is_ok());
+  // A firewalled site connects to the bridge instead of the group.
+  auto conn = net.connect("bridge:1", Deadline::after(2s));
+  ASSERT_TRUE(conn.is_ok());
+  const viz::Image frame = test_frame(24, 24, 80);
+  ASSERT_TRUE(sender.value().send_frame(frame).is_ok());
+  auto raw = conn.value()->recv(Deadline::after(2s));
+  ASSERT_TRUE(raw.is_ok());
+  auto decoded = viz::decompress_frame(raw.value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), frame);
+}
+
+TEST(Media, BridgeRelaysUnicastIntoGroup) {
+  net::InProcNetwork net;
+  auto bridge = UnicastBridge::start(net, {"mcast/v4", "bridge:2"});
+  ASSERT_TRUE(bridge.is_ok());
+  auto receiver = MediaStream::join(net, "mcast/v4");
+  ASSERT_TRUE(receiver.is_ok());
+  auto conn = net.connect("bridge:2", Deadline::after(2s));
+  ASSERT_TRUE(conn.is_ok());
+  const viz::Image frame = test_frame(16, 16, 50);
+  const auto payload = viz::compress_frame(frame);
+  ASSERT_TRUE(conn.value()->send(payload, Deadline::after(2s)).is_ok());
+  auto got = receiver.value().receive_frame(Deadline::after(2s));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), frame);
+}
+
+// --------------------------------------------------------------- desktop --
+
+TEST(Desktop, ViewersTrackTheSharedDesktop) {
+  net::InProcNetwork net;
+  auto server = DesktopShareServer::start(net, {"vnc:1"});
+  ASSERT_TRUE(server.is_ok());
+  ASSERT_TRUE(server.value()->update(test_frame(40, 30, 60)).is_ok());
+
+  auto viewer = DesktopShareViewer::connect(net, "vnc:1", Deadline::after(2s));
+  ASSERT_TRUE(viewer.is_ok());
+  // The join snapshot arrives as a key frame.
+  auto first = viewer.value().await_update(Deadline::after(2s));
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value(), test_frame(40, 30, 60));
+
+  // A subsequent update arrives as a delta and decodes to the new desktop.
+  const viz::Image next = test_frame(40, 30, 180);
+  const auto deadline = Deadline::after(2s);
+  while (server.value()->viewer_count() < 1 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(server.value()->update(next).is_ok());
+  auto second = viewer.value().await_update(Deadline::after(2s));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value(), next);
+}
+
+TEST(Desktop, InputEventsReachTheApplication) {
+  net::InProcNetwork net;
+  std::mutex mu;
+  std::vector<std::string> events;
+  auto server = DesktopShareServer::start(
+      net, {"vnc:2"}, [&](const std::string& e) {
+        std::scoped_lock lock(mu);
+        events.push_back(e);
+      });
+  ASSERT_TRUE(server.is_ok());
+  auto viewer = DesktopShareViewer::connect(net, "vnc:2", Deadline::after(2s));
+  ASSERT_TRUE(viewer.is_ok());
+  ASSERT_TRUE(viewer.value()
+                  .send_event("SET miscibility 0.3", Deadline::after(2s))
+                  .is_ok());
+  const auto deadline = Deadline::after(2s);
+  for (;;) {
+    {
+      std::scoped_lock lock(mu);
+      if (!events.empty()) break;
+    }
+    if (deadline.has_expired()) break;
+    std::this_thread::sleep_for(5ms);
+  }
+  std::scoped_lock lock(mu);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], "SET miscibility 0.3");
+  EXPECT_EQ(server.value()->stats().events_received, 1u);
+}
+
+TEST(Desktop, TrafficScalesWithChangedPixels) {
+  // Identical desktops produce near-zero deltas; busy ones do not — the
+  // mechanism behind E7's vnc-vs-param-sync contrast.
+  net::InProcNetwork net;
+  auto server = DesktopShareServer::start(net, {"vnc:3"});
+  ASSERT_TRUE(server.is_ok());
+  auto viewer = DesktopShareViewer::connect(net, "vnc:3", Deadline::after(2s));
+  ASSERT_TRUE(viewer.is_ok());
+  const auto deadline = Deadline::after(2s);
+  while (server.value()->viewer_count() < 1 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  const viz::Image desk = test_frame(100, 100, 90);
+  ASSERT_TRUE(server.value()->update(desk).is_ok());
+  ASSERT_TRUE(viewer.value().await_update(Deadline::after(2s)).is_ok());
+  const auto after_first = server.value()->stats().bytes_pushed;
+
+  ASSERT_TRUE(server.value()->update(desk).is_ok());  // no change
+  ASSERT_TRUE(viewer.value().await_update(Deadline::after(2s)).is_ok());
+  const auto unchanged_delta = server.value()->stats().bytes_pushed - after_first;
+  EXPECT_LT(unchanged_delta, desk.byte_size() / 50);
+
+  viz::Image busy = desk;
+  common::Rng rng{5};
+  for (auto& p : busy.pixels()) {
+    p.r = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  ASSERT_TRUE(server.value()->update(busy).is_ok());
+  ASSERT_TRUE(viewer.value().await_update(Deadline::after(2s)).is_ok());
+  const auto busy_delta =
+      server.value()->stats().bytes_pushed - after_first - unchanged_delta;
+  EXPECT_GT(busy_delta, 50 * unchanged_delta);
+}
+
+TEST(Desktop, ViewerDisconnectCleansUp) {
+  net::InProcNetwork net;
+  auto server = DesktopShareServer::start(net, {"vnc:4"});
+  ASSERT_TRUE(server.is_ok());
+  {
+    auto viewer = DesktopShareViewer::connect(net, "vnc:4", Deadline::after(2s));
+    ASSERT_TRUE(viewer.is_ok());
+    const auto deadline = Deadline::after(2s);
+    while (server.value()->viewer_count() < 1 && !deadline.has_expired()) {
+      std::this_thread::sleep_for(2ms);
+    }
+    viewer.value().disconnect();
+  }
+  const auto deadline = Deadline::after(2s);
+  while (server.value()->viewer_count() > 0 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.value()->viewer_count(), 0u);
+  // Updates keep working with zero viewers.
+  EXPECT_TRUE(server.value()->update(test_frame(20, 20, 1)).is_ok());
+}
+
+}  // namespace
+}  // namespace cs::ag

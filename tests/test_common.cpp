@@ -1,0 +1,258 @@
+// Unit tests for cs::common: status propagation, byte helpers, RNG
+// determinism, deadlines, string utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/vec3.hpp"
+
+namespace cs::common {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s{StatusCode::kTimeout, "deadline passed"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(s.to_string(), "TIMEOUT: deadline passed");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r{Status{StatusCode::kNotFound, "x"}};
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, OkStatusIsRejected) {
+  // Constructing a Result from an OK status would create a value-less OK;
+  // the class demotes it to an internal error instead of lying.
+  Result<int> r{Status::ok()};
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MovesValueOut) {
+  Result<std::string> r{std::string(1000, 'a')};
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+// ----------------------------------------------------------------- Bytes --
+
+TEST(Bytes, ByteswapReversesBytes) {
+  EXPECT_EQ(byteswap<std::uint16_t>(0x1234), 0x3412);
+  EXPECT_EQ(byteswap<std::uint32_t>(0x12345678u), 0x78563412u);
+  EXPECT_EQ(byteswap<std::uint64_t>(0x0102030405060708ull),
+            0x0807060504030201ull);
+  EXPECT_EQ(byteswap<std::uint8_t>(0xab), 0xab);
+}
+
+TEST(Bytes, ByteswapIsInvolution) {
+  const std::uint64_t v = 0xdeadbeefcafebabeull;
+  EXPECT_EQ(byteswap(byteswap(v)), v);
+}
+
+TEST(Bytes, AppendAndReadRoundTripBothOrders) {
+  for (ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    Bytes buf;
+    append_uint<std::uint32_t>(buf, 0xa1b2c3d4u, order);
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(read_uint<std::uint32_t>(buf, order), 0xa1b2c3d4u);
+  }
+}
+
+TEST(Bytes, BigEndianLayoutIsMostSignificantFirst) {
+  Bytes buf;
+  append_uint<std::uint32_t>(buf, 0x01020304u, ByteOrder::kBig);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+// ------------------------------------------------------------------- RNG --
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r{9};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalHasApproximatelyUnitVariance) {
+  Rng r{13};
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{21};
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+// -------------------------------------------------------------- Deadline --
+
+TEST(Deadline, InfiniteNeverExpires) {
+  const auto d = Deadline::infinite();
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.has_expired());
+  EXPECT_EQ(d.remaining(), Duration::max());
+}
+
+TEST(Deadline, ExpiredIsExpired) {
+  const auto d = Deadline::expired();
+  EXPECT_TRUE(d.has_expired());
+  EXPECT_EQ(d.remaining(), Duration::zero());
+}
+
+TEST(Deadline, AfterExpiresInOrder) {
+  const auto d = Deadline::after(std::chrono::milliseconds(30));
+  EXPECT_FALSE(d.has_expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(d.has_expired());
+}
+
+TEST(Deadline, HugeDurationBecomesInfinite) {
+  const auto d = Deadline::after(Duration::max());
+  EXPECT_TRUE(d.is_infinite());
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "::"), "x::y::z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("steering", "steer"));
+  EXPECT_FALSE(starts_with("steer", "steering"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, GlobMatchBasics) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("steer/*", "steer/lbm"));
+  EXPECT_FALSE(glob_match("steer/*", "viz/lbm"));
+  EXPECT_TRUE(glob_match("s??er*", "steering-service"));
+  EXPECT_FALSE(glob_match("s??er", "steering"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Strings, GlobMatchBacktracks) {
+  EXPECT_TRUE(glob_match("*visit*proxy*", "unicore-visit-tsi-proxy-server"));
+  EXPECT_FALSE(glob_match("*visit*proxy", "proxy-visit"));
+}
+
+// ------------------------------------------------------------------ Vec3 --
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  const Vec3 a{1, 0.5, -2}, b{3, -1, 0.25};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormalizedHasUnitLength) {
+  EXPECT_NEAR(norm(normalized(Vec3{3, 4, 12})), 1.0, 1e-12);
+  EXPECT_EQ(normalized(Vec3{}), (Vec3{}));
+}
+
+}  // namespace
+}  // namespace cs::common

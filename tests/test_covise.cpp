@@ -1,0 +1,493 @@
+// Tests for the COVISE substrate: data objects, shared data space
+// (zero-copy locally), request brokers (cross-host transfer + caching),
+// controller execution semantics (topological order, dirty propagation),
+// standard modules, and parameter-sync collaborative sessions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "covise/collab.hpp"
+#include "covise/controller.hpp"
+#include "covise/modules.hpp"
+#include "net/inproc.hpp"
+#include "visit/control.hpp"
+
+namespace cs::covise {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::StatusCode;
+using common::Vec3;
+
+/// Sphere-ish analytic field used by most pipelines here.
+UniformGridData make_test_field(int n, double time = 0.0) {
+  UniformGridData g;
+  g.nx = g.ny = g.nz = n;
+  g.spacing = 2.0 / (n - 1);
+  g.origin = Vec3{-1, -1, -1};
+  g.values.resize(static_cast<std::size_t>(n) * n * n);
+  const double radius = 0.6 + 0.2 * std::sin(time);
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const Vec3 p = g.origin + Vec3{x * g.spacing, y * g.spacing,
+                                       z * g.spacing};
+        g.values[(static_cast<std::size_t>(z) * n + y) * n + x] =
+            static_cast<float>(radius - norm(p));
+      }
+    }
+  }
+  return g;
+}
+
+// ------------------------------------------------------------ DataObject --
+
+TEST(DataObject, GridEncodeDecodeRoundTrip) {
+  DataObject obj{"hostA/src/field/0", make_test_field(8)};
+  auto decoded = DataObject::decode(obj.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().name(), obj.name());
+  const auto* grid = decoded.value().as<UniformGridData>();
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->nx, 8);
+  EXPECT_EQ(grid->values, obj.as<UniformGridData>()->values);
+}
+
+TEST(DataObject, GeometryRoundTripWithAttributes) {
+  GeometryData geom;
+  geom.mesh.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  geom.mesh.triangles = {{0, 1, 2}};
+  geom.color = {9, 8, 7};
+  DataObject obj{"h/m/geometry/1", std::move(geom)};
+  obj.set_attribute("COLOR", "red");
+  obj.set_attribute("PART", "wing");
+  auto decoded = DataObject::decode(obj.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().attributes().at("COLOR"), "red");
+  const auto* g = decoded.value().as<GeometryData>();
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->mesh.triangles.size(), 1u);
+  EXPECT_EQ(g->color, (viz::Color{9, 8, 7}));
+}
+
+TEST(DataObject, ImageAndTextRoundTrip) {
+  viz::Image img(4, 3, {1, 2, 3});
+  DataObject obj{"h/r/image/0", ImageData{img}};
+  auto decoded = DataObject::decode(obj.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().as<ImageData>()->image, img);
+
+  DataObject text{"h/m/log/0", std::string("hello")};
+  auto decoded2 = DataObject::decode(text.encode());
+  ASSERT_TRUE(decoded2.is_ok());
+  EXPECT_EQ(*decoded2.value().as<std::string>(), "hello");
+}
+
+TEST(DataObject, DecodeRejectsCorruptInput) {
+  DataObject obj{"h/m/field/0", make_test_field(4)};
+  auto encoded = obj.encode();
+  encoded.resize(encoded.size() / 2);  // truncate
+  EXPECT_FALSE(DataObject::decode(encoded).is_ok());
+  EXPECT_FALSE(DataObject::decode(common::Bytes{1, 2, 3}).is_ok());
+}
+
+TEST(DataObject, DecodeRejectsBadTriangleIndices) {
+  GeometryData geom;
+  geom.mesh.vertices = {{0, 0, 0}};
+  geom.mesh.triangles = {{0, 5, 0}};  // index 5 out of range
+  DataObject obj{"h/m/g/0", std::move(geom)};
+  EXPECT_FALSE(DataObject::decode(obj.encode()).is_ok());
+}
+
+// ------------------------------------------------------------------- SDS --
+
+TEST(Sds, PutGetRemove) {
+  SharedDataSpace sds{"hostA"};
+  auto obj = std::make_shared<DataObject>("hostA/m/out/0", std::string("x"));
+  ASSERT_TRUE(sds.put(obj).is_ok());
+  EXPECT_EQ(sds.size(), 1u);
+  auto got = sds.get("hostA/m/out/0");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().get(), obj.get());  // same object, zero copy
+  ASSERT_TRUE(sds.remove("hostA/m/out/0").is_ok());
+  EXPECT_EQ(sds.get("hostA/m/out/0").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Sds, DuplicateNameRejected) {
+  SharedDataSpace sds{"hostA"};
+  ASSERT_TRUE(
+      sds.put(std::make_shared<DataObject>("n", std::string("a"))).is_ok());
+  EXPECT_EQ(sds.put(std::make_shared<DataObject>("n", std::string("b"))).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Sds, UniqueNamesAreUnique) {
+  SharedDataSpace sds{"hostA"};
+  const auto a = sds.unique_name("Iso", "geometry");
+  const auto b = sds.unique_name("Iso", "geometry");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.starts_with("hostA/Iso/geometry/"));
+}
+
+TEST(Sds, RemovePrefixCleansGenerations) {
+  SharedDataSpace sds{"h"};
+  (void)sds.put(std::make_shared<DataObject>("h/Iso/g/0", std::string("a")));
+  (void)sds.put(std::make_shared<DataObject>("h/Iso/g/1", std::string("b")));
+  (void)sds.put(std::make_shared<DataObject>("h/Cut/g/0", std::string("c")));
+  EXPECT_EQ(sds.remove_prefix("h/Iso/"), 2u);
+  EXPECT_EQ(sds.size(), 1u);
+}
+
+// ------------------------------------------------------------------- CRB --
+
+TEST(Crb, CrossHostFetchAndCache) {
+  net::InProcNetwork net;
+  auto sds_a = std::make_shared<SharedDataSpace>("hostA");
+  auto sds_b = std::make_shared<SharedDataSpace>("hostB");
+  auto crb_a = RequestBroker::start(net, sds_a, "s1");
+  auto crb_b = RequestBroker::start(net, sds_b, "s1");
+  ASSERT_TRUE(crb_a.is_ok() && crb_b.is_ok());
+
+  auto obj = std::make_shared<DataObject>("hostA/src/field/0",
+                                          make_test_field(8));
+  ASSERT_TRUE(sds_a->put(obj).is_ok());
+
+  // B resolves A's object: one network fetch...
+  auto fetched = crb_b.value()->resolve("hostA/src/field/0",
+                                        Deadline::after(5s));
+  ASSERT_TRUE(fetched.is_ok());
+  EXPECT_EQ(fetched.value()->as<UniformGridData>()->values,
+            obj->as<UniformGridData>()->values);
+  EXPECT_EQ(crb_b.value()->stats().objects_fetched, 1u);
+  EXPECT_GT(crb_b.value()->stats().bytes_received,
+            8u * 8 * 8 * sizeof(float));
+
+  // ...the second resolve is a local cache hit, no new transfer.
+  auto again = crb_b.value()->resolve("hostA/src/field/0",
+                                      Deadline::after(5s));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(crb_b.value()->stats().objects_fetched, 1u);
+  EXPECT_EQ(crb_b.value()->stats().local_hits, 1u);
+}
+
+TEST(Crb, MissingObjectReported) {
+  net::InProcNetwork net;
+  auto sds_a = std::make_shared<SharedDataSpace>("hostA");
+  auto sds_b = std::make_shared<SharedDataSpace>("hostB");
+  auto crb_a = RequestBroker::start(net, sds_a, "s2");
+  auto crb_b = RequestBroker::start(net, sds_b, "s2");
+  auto r = crb_b.value()->resolve("hostA/ghost/x/0", Deadline::after(2s));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Crb, UnknownHostReported) {
+  net::InProcNetwork net;
+  auto sds = std::make_shared<SharedDataSpace>("hostA");
+  auto crb = RequestBroker::start(net, sds, "s3");
+  auto r = crb.value()->resolve("atlantis/x/y/0", Deadline::after(100ms));
+  EXPECT_FALSE(r.is_ok());
+}
+
+// ------------------------------------------------------------ controller --
+
+struct PipelineFixture {
+  net::InProcNetwork net;
+  Controller controller{net, "sess"};
+  std::string src, iso, renderer;
+
+  explicit PipelineFixture(const std::string& iso_host = "hostA") {
+    EXPECT_TRUE(controller.add_host("hostA").is_ok());
+    EXPECT_TRUE(controller.add_host("hostB").is_ok());
+    src = controller
+              .add_module("hostA", std::make_unique<FieldSourceModule>(
+                                       [](double t) {
+                                         return make_test_field(12, t);
+                                       }))
+              .value();
+    iso = controller.add_module(iso_host, std::make_unique<IsoSurfaceModule>())
+              .value();
+    renderer =
+        controller.add_module("hostB", std::make_unique<RendererModule>())
+            .value();
+    EXPECT_TRUE(
+        controller.connect_ports(src, "field", iso, "field").is_ok());
+    EXPECT_TRUE(
+        controller.connect_ports(iso, "geometry", renderer, "geometry0")
+            .is_ok());
+    viz::Camera cam;
+    cam.look_at({0, 0, 3}, {0, 0, 0}, {0, 1, 0});
+    EXPECT_TRUE(
+        controller.set_param(renderer, "camera", cam.serialize()).is_ok());
+    EXPECT_TRUE(controller.set_param(renderer, "width", "64").is_ok());
+    EXPECT_TRUE(controller.set_param(renderer, "height", "64").is_ok());
+  }
+};
+
+TEST(Controller, PipelineProducesImage) {
+  PipelineFixture f;
+  auto executed = f.controller.execute();
+  ASSERT_TRUE(executed.is_ok()) << executed.status().to_string();
+  EXPECT_EQ(executed.value(), 3u);
+  auto image = f.controller.output_of(f.renderer, "image");
+  ASSERT_TRUE(image.is_ok());
+  const auto* img = image.value()->as<ImageData>();
+  ASSERT_NE(img, nullptr);
+  int lit = 0;
+  for (const auto& p : img->image.pixels()) {
+    if (p.b > 60) ++lit;  // the blue-ish isosurface sphere
+  }
+  EXPECT_GT(lit, 100);
+}
+
+TEST(Controller, NothingDirtyNothingRuns) {
+  PipelineFixture f;
+  ASSERT_TRUE(f.controller.execute().is_ok());
+  auto second = f.controller.execute();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value(), 0u);
+}
+
+TEST(Controller, ParamChangeRunsOnlyDownstream) {
+  PipelineFixture f;
+  ASSERT_TRUE(f.controller.execute().is_ok());
+  ASSERT_TRUE(f.controller.set_param(f.iso, "isovalue", "0.1").is_ok());
+  auto executed = f.controller.execute();
+  ASSERT_TRUE(executed.is_ok());
+  EXPECT_EQ(executed.value(), 2u);  // iso + renderer, not the source
+}
+
+TEST(Controller, SourceChangeRunsWholePipeline) {
+  PipelineFixture f;
+  ASSERT_TRUE(f.controller.execute().is_ok());
+  ASSERT_TRUE(f.controller.set_param(f.src, "time", "1.5").is_ok());
+  auto executed = f.controller.execute();
+  ASSERT_TRUE(executed.is_ok());
+  EXPECT_EQ(executed.value(), 3u);
+}
+
+TEST(Controller, LocalHandoffIsZeroTransfer) {
+  // Source and iso on the same host: the field object must move through
+  // the SDS only (shared memory), with zero CRB bytes.
+  PipelineFixture f{"hostA"};
+  ASSERT_TRUE(f.controller.execute().is_ok());
+  const auto stats = f.controller.transfer_stats();
+  // Only the iso->renderer hop (hostA -> hostB) crosses the network.
+  EXPECT_EQ(stats.objects_fetched, 1u);
+  EXPECT_GE(stats.local_hits, 1u);
+}
+
+TEST(Controller, CrossHostPlacementTransfersField) {
+  // Iso moved to hostB: the (large) raw field crosses the network instead
+  // of the (smaller) extracted geometry, and the iso->renderer handoff
+  // becomes local.
+  PipelineFixture f{"hostB"};
+  ASSERT_TRUE(f.controller.execute().is_ok());
+  const auto stats = f.controller.transfer_stats();
+  EXPECT_EQ(stats.objects_fetched, 1u);
+  EXPECT_GT(stats.bytes_received, 12u * 12 * 12 * sizeof(float));
+  EXPECT_GE(stats.local_hits, 1u);
+}
+
+TEST(Controller, CycleDetected) {
+  net::InProcNetwork net;
+  Controller c{net, "cyc"};
+  ASSERT_TRUE(c.add_host("h").is_ok());
+  // Two modules that feed each other through compatible ports.
+  struct Echo : Module {
+    Echo() : Module("Echo") {
+      add_input("in");
+      add_output("out");
+    }
+    common::Status compute(ModuleContext& ctx) override {
+      ctx.set_output("out", std::string("x"));
+      return common::Status::ok();
+    }
+  };
+  auto a = c.add_module("h", std::make_unique<Echo>()).value();
+  auto b = c.add_module("h", std::make_unique<Echo>()).value();
+  ASSERT_TRUE(c.connect_ports(a, "out", b, "in").is_ok());
+  ASSERT_TRUE(c.connect_ports(b, "out", a, "in").is_ok());
+  auto executed = c.execute();
+  ASSERT_FALSE(executed.is_ok());
+  EXPECT_EQ(executed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Controller, BadConnectionsRejected) {
+  PipelineFixture f;
+  EXPECT_EQ(f.controller.connect_ports("nope", "x", f.iso, "field").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      f.controller.connect_ports(f.src, "bogus", f.iso, "field").code(),
+      StatusCode::kNotFound);
+  // field input already connected in the fixture.
+  EXPECT_EQ(
+      f.controller.connect_ports(f.src, "field", f.iso, "field").code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(Controller, ModuleFailureSurfacesWithName) {
+  net::InProcNetwork net;
+  Controller c{net, "fail"};
+  ASSERT_TRUE(c.add_host("h").is_ok());
+  struct Bomb : Module {
+    Bomb() : Module("Bomb") { add_output("out"); }
+    common::Status compute(ModuleContext&) override {
+      return common::Status{StatusCode::kInternal, "boom"};
+    }
+  };
+  auto id = c.add_module("h", std::make_unique<Bomb>()).value();
+  auto executed = c.execute();
+  ASSERT_FALSE(executed.is_ok());
+  EXPECT_NE(executed.status().message().find(id), std::string::npos);
+}
+
+TEST(Controller, CuttingPlaneGeometryScalesWithResolution) {
+  net::InProcNetwork net;
+  Controller c{net, "scale"};
+  ASSERT_TRUE(c.add_host("h").is_ok());
+  std::size_t previous = 0;
+  for (int n : {8, 16, 32}) {
+    auto src = c.add_module("h", std::make_unique<FieldSourceModule>(
+                                     [n](double) { return make_test_field(n); }))
+                   .value();
+    auto cut = c.add_module("h", std::make_unique<CuttingPlaneModule>()).value();
+    ASSERT_TRUE(c.connect_ports(src, "field", cut, "field").is_ok());
+    ASSERT_TRUE(c.execute().is_ok());
+    auto geometry = c.output_of(cut, "geometry");
+    ASSERT_TRUE(geometry.is_ok());
+    const std::size_t tris =
+        geometry.value()->as<GeometryData>()->mesh.triangles.size();
+    EXPECT_GT(tris, previous);
+    previous = tris;
+  }
+}
+
+// ----------------------------------------------------------------- collab --
+
+struct CollabFixture {
+  net::InProcNetwork net;
+  std::unique_ptr<visit::ControlServer> hub;
+
+  CollabFixture() {
+    auto h = visit::ControlServer::start(net, {"covise:sync", "pw", 100ms});
+    EXPECT_TRUE(h.is_ok());
+    hub = std::move(h).value();
+  }
+
+  PipelineBuilder builder(int field_n = 10) {
+    return [field_n](Controller& c) -> common::Result<std::string> {
+      if (auto s = c.add_host("local"); !s.is_ok()) return s;
+      auto src = c.add_module("local", std::make_unique<FieldSourceModule>(
+                                           [field_n](double t) {
+                                             return make_test_field(field_n, t);
+                                           }));
+      if (!src.is_ok()) return src.status();
+      auto iso = c.add_module("local", std::make_unique<IsoSurfaceModule>());
+      if (!iso.is_ok()) return iso.status();
+      auto ren = c.add_module("local", std::make_unique<RendererModule>());
+      if (!ren.is_ok()) return ren.status();
+      if (auto s = c.connect_ports(src.value(), "field", iso.value(), "field");
+          !s.is_ok()) {
+        return s;
+      }
+      if (auto s = c.connect_ports(iso.value(), "geometry", ren.value(),
+                                   "geometry0");
+          !s.is_ok()) {
+        return s;
+      }
+      viz::Camera cam;
+      cam.look_at({0, 0, 3}, {0, 0, 0}, {0, 1, 0});
+      (void)c.set_param(ren.value(), "camera", cam.serialize());
+      (void)c.set_param(ren.value(), "width", "48");
+      (void)c.set_param(ren.value(), "height", "48");
+      return ren.value();
+    };
+  }
+};
+
+TEST(Collab, MasterSteersAllReplicasConverge) {
+  CollabFixture f;
+  auto master = CollabParticipant::join(
+      f.net, {"covise:sync", "pw", "actor", "master"}, f.builder());
+  auto observer1 = CollabParticipant::join(
+      f.net, {"covise:sync", "pw", "observer", "obs1"}, f.builder());
+  auto observer2 = CollabParticipant::join(
+      f.net, {"covise:sync", "pw", "observer", "obs2"}, f.builder());
+  ASSERT_TRUE(master.is_ok()) << master.status().to_string();
+  ASSERT_TRUE(observer1.is_ok());
+  ASSERT_TRUE(observer2.is_ok());
+  // Wait until the hub registered everyone.
+  const auto deadline = Deadline::after(2s);
+  while (f.hub->participant_count() < 3 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+
+  // All replicas start from the same image.
+  auto v0 = master.value()->current_view();
+  auto v1 = observer1.value()->current_view();
+  ASSERT_TRUE(v0.is_ok() && v1.is_ok());
+  EXPECT_EQ(v0.value(), v1.value());
+
+  // The master changes the isovalue; observers pump and converge.
+  const std::string iso = "IsoSurface_1";
+  ASSERT_TRUE(master.value()
+                  ->steer(iso, "isovalue", "0.15", Deadline::after(2s))
+                  .is_ok());
+  auto applied1 = observer1.value()->pump(Deadline::after(2s));
+  auto applied2 = observer2.value()->pump(Deadline::after(2s));
+  ASSERT_TRUE(applied1.is_ok());
+  ASSERT_TRUE(applied2.is_ok());
+  EXPECT_EQ(applied1.value(), 1u);
+  EXPECT_EQ(applied2.value(), 1u);
+
+  auto m = master.value()->current_view();
+  auto o1 = observer1.value()->current_view();
+  auto o2 = observer2.value()->current_view();
+  ASSERT_TRUE(m.is_ok() && o1.is_ok() && o2.is_ok());
+  EXPECT_EQ(m.value(), o1.value());
+  EXPECT_EQ(m.value(), o2.value());
+  EXPECT_NE(m.value(), v0.value());  // the steer actually changed the view
+}
+
+TEST(Collab, ObserverSteerIsNotPropagated) {
+  CollabFixture f;
+  auto master = CollabParticipant::join(
+      f.net, {"covise:sync", "pw", "actor", "m2"}, f.builder());
+  auto observer = CollabParticipant::join(
+      f.net, {"covise:sync", "pw", "observer", "o3"}, f.builder());
+  ASSERT_TRUE(master.is_ok() && observer.is_ok());
+  const auto deadline = Deadline::after(2s);
+  while (f.hub->participant_count() < 2 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  // The observer tries to steer: applies locally but the hub rejects the
+  // broadcast, so the master never sees it.
+  ASSERT_TRUE(observer.value()
+                  ->steer("IsoSurface_1", "isovalue", "0.3",
+                          Deadline::after(1s))
+                  .is_ok());
+  auto applied = master.value()->pump(Deadline::after(300ms));
+  ASSERT_TRUE(applied.is_ok());
+  EXPECT_EQ(applied.value(), 0u);
+}
+
+TEST(Collab, SyncRecordIsTinyRegardlessOfSceneSize) {
+  // The E7 mechanism: the steering record is O(bytes), not O(triangles).
+  CollabFixture f;
+  auto master = CollabParticipant::join(
+      f.net, {"covise:sync", "pw", "actor", "m3"}, f.builder(24));
+  ASSERT_TRUE(master.is_ok());
+  const std::string record =
+      "PARAM\x1f" "IsoSurface_1\x1f" "isovalue\x1f" "0.21";
+  EXPECT_LT(record.size(), 64u);
+  auto geometry =
+      master.value()->controller().output_of("IsoSurface_1", "geometry");
+  ASSERT_TRUE(geometry.is_ok());
+  EXPECT_GT(geometry.value()->byte_size(), 100u * record.size());
+}
+
+}  // namespace
+}  // namespace cs::covise

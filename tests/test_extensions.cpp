@@ -1,0 +1,213 @@
+// Tests for the paper's announced extensions: LBM checkpoint/restore (the
+// substrate of session migration, section 2.4) and PEPC mesh diagnostics
+// (charge density, current, electric fields on a user-defined mesh,
+// section 3.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/lbm/checkpoint.hpp"
+#include "sim/lbm/lbm.hpp"
+#include "sim/pepc/diagnostics.hpp"
+#include "sim/pepc/pepc.hpp"
+
+namespace cs {
+namespace {
+
+using common::Vec3;
+
+// ------------------------------------------------------- LBM checkpoint --
+
+lbm::LbmConfig small_config() {
+  lbm::LbmConfig c;
+  c.nx = c.ny = c.nz = 10;
+  c.coupling = 1.6;
+  c.seed = 11;
+  return c;
+}
+
+TEST(LbmCheckpoint, RestoreIsBitExact) {
+  lbm::TwoFluidLbm sim(small_config());
+  for (int s = 0; s < 30; ++s) sim.step();
+  const auto snapshot = lbm::checkpoint(sim);
+  auto restored = lbm::restore(snapshot);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value().steps_done(), sim.steps_done());
+  EXPECT_EQ(restored.value().distributions_a(), sim.distributions_a());
+  EXPECT_EQ(restored.value().order_parameter(), sim.order_parameter());
+}
+
+TEST(LbmCheckpoint, MigratedRunContinuesIdentically) {
+  // The migration property: checkpoint mid-run, continue both the original
+  // and the restored copy — their futures must match bit for bit.
+  lbm::TwoFluidLbm original(small_config());
+  for (int s = 0; s < 20; ++s) original.step();
+  auto migrated = lbm::restore(lbm::checkpoint(original));
+  ASSERT_TRUE(migrated.is_ok());
+  for (int s = 0; s < 25; ++s) {
+    original.step();
+    migrated.value().step();
+  }
+  EXPECT_EQ(original.order_parameter(), migrated.value().order_parameter());
+  EXPECT_EQ(original.steps_done(), migrated.value().steps_done());
+}
+
+TEST(LbmCheckpoint, SteeringStateSurvivesMigration) {
+  lbm::TwoFluidLbm sim(small_config());
+  sim.set_coupling(0.77);  // steered mid-run
+  auto restored = lbm::restore(lbm::checkpoint(sim));
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_DOUBLE_EQ(restored.value().coupling(), 0.77);
+}
+
+TEST(LbmCheckpoint, CorruptCheckpointsRejected) {
+  lbm::TwoFluidLbm sim(small_config());
+  auto good = lbm::checkpoint(sim);
+  EXPECT_FALSE(lbm::restore(common::Bytes{1, 2, 3}).is_ok());
+  auto truncated = good;
+  truncated.resize(truncated.size() / 3);
+  EXPECT_FALSE(lbm::restore(truncated).is_ok());
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(lbm::restore(bad_magic).is_ok());
+}
+
+TEST(LbmCheckpoint, MassPreservedAcrossMigration) {
+  lbm::TwoFluidLbm sim(small_config());
+  for (int s = 0; s < 10; ++s) sim.step();
+  const double mass = sim.mass_a() + sim.mass_b();
+  auto restored = lbm::restore(lbm::checkpoint(sim));
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_DOUBLE_EQ(restored.value().mass_a() + restored.value().mass_b(),
+                   mass);
+}
+
+// --------------------------------------------------- PEPC diagnostics ----
+
+TEST(Diagnostics, ChargeDepositionConservesTotalCharge) {
+  pepc::DiagnosticMesh mesh;
+  mesh.nx = mesh.ny = mesh.nz = 12;
+  mesh.lo = {-2, -2, -2};
+  mesh.hi = {2, 2, 2};
+  common::Rng rng{3};
+  std::vector<pepc::Particle> particles(200);
+  double total = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    auto& p = particles[i];
+    // Keep well inside the mesh so no weight leaks off the boundary.
+    p.pos[0] = rng.uniform(-1.2, 1.2);
+    p.pos[1] = rng.uniform(-1.2, 1.2);
+    p.pos[2] = rng.uniform(-1.2, 1.2);
+    p.charge = (i % 3 == 0) ? 2.0 : -1.0;
+    total += p.charge;
+  }
+  const auto rho = pepc::charge_density(mesh, particles);
+  const auto d = mesh.spacing();
+  double deposited = 0.0;
+  for (float v : rho) deposited += v * d.x * d.y * d.z;
+  // The field stores float32, so conservation holds to single precision.
+  EXPECT_NEAR(deposited, total, 1e-4 * particles.size());
+}
+
+TEST(Diagnostics, PointChargeLandsInItsCell) {
+  pepc::DiagnosticMesh mesh;
+  mesh.nx = mesh.ny = mesh.nz = 8;
+  mesh.lo = {0, 0, 0};
+  mesh.hi = {8, 8, 8};
+  std::vector<pepc::Particle> particles(1);
+  particles[0].pos[0] = 3.5;  // exactly at cell (3,3,3)'s center
+  particles[0].pos[1] = 3.5;
+  particles[0].pos[2] = 3.5;
+  particles[0].charge = 5.0;
+  const auto rho = pepc::charge_density(mesh, particles);
+  const std::size_t idx = (3u * 8 + 3) * 8 + 3;
+  EXPECT_NEAR(rho[idx], 5.0, 1e-6);  // unit cell volume
+  double elsewhere = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    if (i != idx) elsewhere += std::abs(rho[i]);
+  }
+  EXPECT_NEAR(elsewhere, 0.0, 1e-6);
+}
+
+TEST(Diagnostics, ParticlesOutsideMeshAreDropped) {
+  pepc::DiagnosticMesh mesh;
+  mesh.nx = mesh.ny = mesh.nz = 4;
+  mesh.lo = {0, 0, 0};
+  mesh.hi = {4, 4, 4};
+  std::vector<pepc::Particle> particles(1);
+  particles[0].pos[0] = 100.0;
+  particles[0].charge = 7.0;
+  const auto rho = pepc::charge_density(mesh, particles);
+  for (float v : rho) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Diagnostics, CurrentPointsAlongBeam) {
+  pepc::DiagnosticMesh mesh;
+  mesh.nx = mesh.ny = mesh.nz = 8;
+  mesh.lo = {-2, -2, -2};
+  mesh.hi = {2, 2, 2};
+  std::vector<pepc::Particle> beam(50);
+  common::Rng rng{9};
+  for (auto& p : beam) {
+    p.pos[0] = rng.uniform(-1, 1);
+    p.pos[1] = rng.uniform(-0.2, 0.2);
+    p.pos[2] = rng.uniform(-0.2, 0.2);
+    p.charge = -1.0;
+    p.vel[0] = 2.0;  // beam along +x
+  }
+  const auto j = pepc::current_density(mesh, beam);
+  double jx_sum = 0, jy_sum = 0, jz_sum = 0;
+  for (std::size_t i = 0; i < j.jx.size(); ++i) {
+    jx_sum += j.jx[i];
+    jy_sum += std::abs(j.jy[i]);
+    jz_sum += std::abs(j.jz[i]);
+  }
+  EXPECT_LT(jx_sum, 0.0);  // negative charge moving +x => negative jx
+  EXPECT_NEAR(jy_sum, 0.0, 1e-6);
+  EXPECT_NEAR(jz_sum, 0.0, 1e-6);
+}
+
+TEST(Diagnostics, FieldMagnitudeDecaysFromPointCharge) {
+  std::vector<pepc::Particle> particles(1);
+  particles[0].charge = 1.0;  // at the origin
+  pepc::Octree tree;
+  tree.build(particles);
+  pepc::DiagnosticMesh mesh;
+  mesh.nx = mesh.ny = mesh.nz = 9;
+  mesh.lo = {-3, -3, -3};
+  mesh.hi = {3, 3, 3};
+  const auto field = pepc::electric_field_magnitude(mesh, tree);
+  // |E| at a cell near the charge must exceed |E| at a far corner.
+  const auto at = [&](int x, int y, int z) {
+    return field[(static_cast<std::size_t>(z) * 9 + y) * 9 + x];
+  };
+  EXPECT_GT(at(4, 4, 3), at(0, 0, 0));
+  EXPECT_GT(at(4, 4, 3), at(8, 8, 8));
+  for (float v : field) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Diagnostics, BeamScenarioShowsChargeSeparation) {
+  // Integration with the simulation: after a beam strikes the target, the
+  // diagnostic mesh shows net negative charge along the beam axis.
+  pepc::PepcConfig config;
+  config.target_pairs = 200;
+  config.processors = 1;
+  pepc::PepcSimulation sim(config);
+  sim.beam().direction = {1, 0, 0};
+  sim.beam().charge = -1.0;
+  sim.beam().pulse_size = 100;
+  sim.emit_beam();
+  pepc::DiagnosticMesh mesh;
+  mesh.nx = mesh.ny = mesh.nz = 10;
+  mesh.lo = {-4, -2, -2};
+  mesh.hi = {2, 2, 2};
+  const auto rho = pepc::charge_density(mesh, sim.particles());
+  double net = 0.0;
+  const auto d = mesh.spacing();
+  for (float v : rho) net += v * d.x * d.y * d.z;
+  EXPECT_LT(net, -50.0);  // ~100 beam electrons inside the mesh
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,174 @@
+// Tests for the two-fluid lattice-Boltzmann substrate: conservation laws,
+// equilibrium stability, and the paper-relevant behaviour — the miscibility
+// (Shan-Chen coupling) parameter controls demixing (experiment E11's
+// invariant).
+#include <gtest/gtest.h>
+
+#include "sim/lbm/lattice.hpp"
+#include "sim/lbm/lbm.hpp"
+
+namespace cs::lbm {
+namespace {
+
+// ----------------------------------------------------------- lattice ------
+
+TEST(Lattice, WeightsSumToOne) {
+  double sum = 0;
+  for (double w : kWeights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST(Lattice, VelocitiesSumToZero) {
+  int sx = 0, sy = 0, sz = 0;
+  for (const auto& e : kVelocities) {
+    sx += e[0];
+    sy += e[1];
+    sz += e[2];
+  }
+  EXPECT_EQ(sx, 0);
+  EXPECT_EQ(sy, 0);
+  EXPECT_EQ(sz, 0);
+}
+
+TEST(Lattice, OppositePairsAreOpposite) {
+  for (int q = 0; q < kQ; ++q) {
+    const auto& e = kVelocities[static_cast<std::size_t>(q)];
+    const auto& o =
+        kVelocities[static_cast<std::size_t>(kOpposite[static_cast<std::size_t>(q)])];
+    EXPECT_EQ(e[0], -o[0]);
+    EXPECT_EQ(e[1], -o[1]);
+    EXPECT_EQ(e[2], -o[2]);
+  }
+}
+
+TEST(Lattice, SecondMomentIsIsotropic) {
+  // sum_i w_i e_ia e_ib = cs^2 * delta_ab.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double m = 0;
+      for (int q = 0; q < kQ; ++q) {
+        m += kWeights[static_cast<std::size_t>(q)] *
+             kVelocities[static_cast<std::size_t>(q)][static_cast<std::size_t>(a)] *
+             kVelocities[static_cast<std::size_t>(q)][static_cast<std::size_t>(b)];
+      }
+      EXPECT_NEAR(m, a == b ? kCs2 : 0.0, 1e-14) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Lattice, PeriodicWrap) {
+  EXPECT_EQ(Grid::wrap(-1, 8), 7);
+  EXPECT_EQ(Grid::wrap(8, 8), 0);
+  EXPECT_EQ(Grid::wrap(5, 8), 5);
+  Grid g{4, 4, 4};
+  // Neighbor in -x from x=0 wraps to x=3.
+  EXPECT_EQ(g.neighbor(0, 0, 0, 2), g.index(3, 0, 0));
+}
+
+// --------------------------------------------------------------- physics --
+
+LbmConfig small_config(double coupling, std::uint64_t seed = 7) {
+  LbmConfig c;
+  c.nx = c.ny = c.nz = 12;
+  c.coupling = coupling;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Lbm, MassExactlyConserved) {
+  TwoFluidLbm sim(small_config(1.5));
+  const double ma0 = sim.mass_a();
+  const double mb0 = sim.mass_b();
+  for (int s = 0; s < 50; ++s) sim.step();
+  EXPECT_NEAR(sim.mass_a(), ma0, 1e-9 * ma0);
+  EXPECT_NEAR(sim.mass_b(), mb0, 1e-9 * mb0);
+}
+
+TEST(Lbm, UniformMixtureIsStationaryWithoutCoupling) {
+  LbmConfig c = small_config(0.0);
+  c.noise = 0.0;  // perfectly uniform start
+  TwoFluidLbm sim(c);
+  for (int s = 0; s < 20; ++s) sim.step();
+  // Densities stay exactly at rho0 everywhere.
+  for (double r : sim.rho_a()) EXPECT_NEAR(r, c.rho0, 1e-12);
+  EXPECT_NEAR(sim.segregation(), 0.0, 1e-12);
+}
+
+TEST(Lbm, ZeroCouplingStaysMixed) {
+  TwoFluidLbm sim(small_config(0.0));
+  for (int s = 0; s < 200; ++s) sim.step();
+  EXPECT_LT(sim.segregation(), 0.05);  // diffusive mixing keeps phi ~ 0
+}
+
+TEST(Lbm, StrongCouplingDemixes) {
+  TwoFluidLbm sim(small_config(1.8));
+  for (int s = 0; s < 200; ++s) sim.step();
+  EXPECT_GT(sim.segregation(), 0.4);  // clear phase separation
+}
+
+TEST(Lbm, SegregationIncreasesMonotonicallyWithCoupling) {
+  // The core E11 relationship: stronger coupling (lower miscibility) gives
+  // stronger demixing at fixed time.
+  double previous = -1.0;
+  for (double g : {0.0, 1.2, 1.5, 1.8}) {
+    TwoFluidLbm sim(small_config(g));
+    for (int s = 0; s < 150; ++s) sim.step();
+    EXPECT_GT(sim.segregation(), previous - 0.02)
+        << "coupling " << g << " should not demix less than the weaker one";
+    previous = sim.segregation();
+  }
+  EXPECT_GT(previous, 0.3);
+}
+
+TEST(Lbm, SteeringMiscibilityMidRunChangesStructure) {
+  // The actual RealityGrid demo: run mixed, then steer the coupling up and
+  // watch the structures form.
+  TwoFluidLbm sim(small_config(0.0));
+  for (int s = 0; s < 50; ++s) sim.step();
+  const double mixed = sim.segregation();
+  EXPECT_LT(mixed, 0.05);  // thoroughly mixed by now
+  sim.set_coupling(1.8);  // the steering action
+  // Spinodal decomposition regrows from the tiny residual fluctuations, so
+  // it takes a few hundred steps to produce clear structure.
+  for (int s = 0; s < 600; ++s) sim.step();
+  EXPECT_GT(sim.segregation(), mixed + 0.3);
+}
+
+TEST(Lbm, InterfaceShrinksAsDomainsCoarsen) {
+  TwoFluidLbm sim(small_config(1.8));
+  for (int s = 0; s < 60; ++s) sim.step();
+  const auto early = sim.interface_links();
+  for (int s = 0; s < 300; ++s) sim.step();
+  const auto late = sim.interface_links();
+  EXPECT_LT(late, early);  // coarsening reduces interface area
+}
+
+TEST(Lbm, OrderParameterBounded) {
+  TwoFluidLbm sim(small_config(1.8));
+  for (int s = 0; s < 100; ++s) sim.step();
+  for (float phi : sim.order_parameter()) {
+    EXPECT_GE(phi, -1.0f);
+    EXPECT_LE(phi, 1.0f);
+  }
+}
+
+TEST(Lbm, DeterministicForEqualSeeds) {
+  TwoFluidLbm a(small_config(1.5, 3)), b(small_config(1.5, 3));
+  for (int s = 0; s < 30; ++s) {
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.order_parameter(), b.order_parameter());
+}
+
+TEST(Lbm, DifferentSeedsDiffer) {
+  TwoFluidLbm a(small_config(1.5, 3)), b(small_config(1.5, 4));
+  for (int s = 0; s < 30; ++s) {
+    a.step();
+    b.step();
+  }
+  EXPECT_NE(a.order_parameter(), b.order_parameter());
+}
+
+}  // namespace
+}  // namespace cs::lbm

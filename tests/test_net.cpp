@@ -1,0 +1,400 @@
+// Unit tests for cs::net: in-process transport semantics (deadlines,
+// backpressure, close), the link model, multicast groups, and the real TCP
+// implementation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+
+namespace cs::net {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Bytes;
+using common::Deadline;
+using common::StatusCode;
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes{s.begin(), s.end()};
+}
+
+std::string text_of(const Bytes& b) {
+  return std::string{b.begin(), b.end()};
+}
+
+// ---------------------------------------------------------------- InProc --
+
+TEST(InProc, ConnectSendRecvRoundTrip) {
+  InProcNetwork net;
+  auto listener = net.listen("host:1");
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net.connect("host:1", Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(server.is_ok());
+
+  ASSERT_TRUE(client.value()->send(bytes_of("ping"), Deadline::after(1s)).is_ok());
+  auto got = server.value()->recv(Deadline::after(1s));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(text_of(got.value()), "ping");
+
+  ASSERT_TRUE(server.value()->send(bytes_of("pong"), Deadline::after(1s)).is_ok());
+  auto back = client.value()->recv(Deadline::after(1s));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(text_of(back.value()), "pong");
+}
+
+TEST(InProc, ConnectToUnknownAddressFails) {
+  InProcNetwork net;
+  auto r = net.connect("nowhere:9", Deadline::after(10ms));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InProc, ListenTwiceOnSameAddressFails) {
+  InProcNetwork net;
+  auto a = net.listen("dup:1");
+  ASSERT_TRUE(a.is_ok());
+  auto b = net.listen("dup:1");
+  ASSERT_FALSE(b.is_ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InProc, AddressReusableAfterListenerClosed) {
+  InProcNetwork net;
+  {
+    auto a = net.listen("reuse:1");
+    ASSERT_TRUE(a.is_ok());
+  }  // destructor closes and unregisters
+  auto b = net.listen("reuse:1");
+  EXPECT_TRUE(b.is_ok());
+}
+
+TEST(InProc, RecvTimesOutWhenNoMessage) {
+  InProcNetwork net;
+  auto listener = net.listen("t:1");
+  auto client = net.connect("t:1", Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  const auto t0 = common::Clock::now();
+  auto r = client.value()->recv(Deadline::after(50ms));
+  const auto elapsed = common::Clock::now() - t0;
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(elapsed, 45ms);
+  EXPECT_LT(elapsed, 500ms);
+}
+
+TEST(InProc, AcceptTimesOutWhenNobodyConnects) {
+  InProcNetwork net;
+  auto listener = net.listen("t:2");
+  auto r = listener.value()->accept(Deadline::after(30ms));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST(InProc, CloseWakesBlockedRecv) {
+  InProcNetwork net;
+  auto listener = net.listen("t:3");
+  auto client = net.connect("t:3", Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  auto conn = client.value();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(30ms);
+    conn->close();
+  });
+  auto r = conn->recv(Deadline::after(5s));
+  closer.join();
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kClosed);
+}
+
+TEST(InProc, PeerCloseDrainsQueuedMessagesFirst) {
+  InProcNetwork net;
+  auto listener = net.listen("t:4");
+  auto client = net.connect("t:4", Deadline::after(1s));
+  auto server = listener.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(server.is_ok());
+  ASSERT_TRUE(client.value()->send(bytes_of("last words"), Deadline::after(1s)).is_ok());
+  client.value()->close();
+  auto got = server.value()->recv(Deadline::after(1s));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(text_of(got.value()), "last words");
+  auto eof = server.value()->recv(Deadline::after(1s));
+  ASSERT_FALSE(eof.is_ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kClosed);
+}
+
+TEST(InProc, SendAfterCloseFails) {
+  InProcNetwork net;
+  auto listener = net.listen("t:5");
+  auto client = net.connect("t:5", Deadline::after(1s));
+  client.value()->close();
+  auto s = client.value()->send(bytes_of("x"), Deadline::after(10ms));
+  EXPECT_EQ(s.code(), StatusCode::kClosed);
+}
+
+TEST(InProc, BackpressureBlocksAndTimesOut) {
+  InProcNetwork net;
+  auto listener = net.listen("bp:1");
+  ConnectOptions opts;
+  opts.recv_capacity_bytes = 1024;  // tiny receive window
+  auto client = net.connect("bp:1", Deadline::after(1s), opts);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(server.is_ok());
+  const Bytes big(800, 0x55);
+  ASSERT_TRUE(client.value()->send(big, Deadline::after(1s)).is_ok());
+  // Second send exceeds the window; nobody drains -> must time out.
+  auto s = client.value()->send(big, Deadline::after(50ms));
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  // Draining the first message frees the window.
+  ASSERT_TRUE(server.value()->recv(Deadline::after(1s)).is_ok());
+  EXPECT_TRUE(client.value()->send(big, Deadline::after(1s)).is_ok());
+}
+
+TEST(InProc, MessagesArriveInOrder) {
+  InProcNetwork net;
+  auto listener = net.listen("ord:1");
+  auto client = net.connect("ord:1", Deadline::after(1s));
+  auto server = listener.value()->accept(Deadline::after(1s));
+  for (int i = 0; i < 100; ++i) {
+    Bytes b(4);
+    std::memcpy(b.data(), &i, 4);
+    ASSERT_TRUE(client.value()->send(b, Deadline::after(1s)).is_ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto r = server.value()->recv(Deadline::after(1s));
+    ASSERT_TRUE(r.is_ok());
+    int got;
+    std::memcpy(&got, r.value().data(), 4);
+    EXPECT_EQ(got, i);
+  }
+}
+
+TEST(InProc, StatsCountTraffic) {
+  InProcNetwork net;
+  auto listener = net.listen("st:1");
+  auto client = net.connect("st:1", Deadline::after(1s));
+  auto server = listener.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(client.value()->send(Bytes(100, 1), Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(client.value()->send(Bytes(50, 2), Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(server.value()->recv(Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(server.value()->recv(Deadline::after(1s)).is_ok());
+  const auto cs = client.value()->stats();
+  const auto ss = server.value()->stats();
+  EXPECT_EQ(cs.messages_sent, 2u);
+  EXPECT_EQ(cs.bytes_sent, 150u);
+  EXPECT_EQ(ss.messages_received, 2u);
+  EXPECT_EQ(ss.bytes_received, 150u);
+}
+
+// ------------------------------------------------------------ Link model --
+
+TEST(Link, LatencyDelaysDelivery) {
+  InProcNetwork net;
+  auto listener = net.listen("lat:1");
+  ConnectOptions opts;
+  opts.link.latency = 50ms;
+  auto client = net.connect("lat:1", Deadline::after(1s), opts);
+  auto server = listener.value()->accept(Deadline::after(1s));
+  const auto t0 = common::Clock::now();
+  ASSERT_TRUE(client.value()->send(bytes_of("delayed"), Deadline::after(1s)).is_ok());
+  auto r = server.value()->recv(Deadline::after(1s));
+  const auto elapsed = common::Clock::now() - t0;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GE(elapsed, 45ms);
+}
+
+TEST(Link, InFlightMessageNotReceivableBeforeArrival) {
+  InProcNetwork net;
+  auto listener = net.listen("lat:2");
+  ConnectOptions opts;
+  opts.link.latency = 200ms;
+  auto client = net.connect("lat:2", Deadline::after(1s), opts);
+  auto server = listener.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(client.value()->send(bytes_of("slow"), Deadline::after(1s)).is_ok());
+  // A short-deadline recv must time out even though the message is queued.
+  auto r = server.value()->recv(Deadline::after(20ms));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  // But it is delivered eventually.
+  auto r2 = server.value()->recv(Deadline::after(1s));
+  EXPECT_TRUE(r2.is_ok());
+}
+
+TEST(Link, BandwidthAddsTransmissionDelay) {
+  InProcNetwork net;
+  auto listener = net.listen("bw:1");
+  ConnectOptions opts;
+  opts.link.bandwidth_bytes_per_sec = 1'000'000;  // 1 MB/s
+  auto client = net.connect("bw:1", Deadline::after(1s), opts);
+  auto server = listener.value()->accept(Deadline::after(1s));
+  const Bytes payload(100'000, 7);  // 100 KB -> 100 ms at 1 MB/s
+  const auto t0 = common::Clock::now();
+  ASSERT_TRUE(client.value()->send(payload, Deadline::after(1s)).is_ok());
+  auto r = server.value()->recv(Deadline::after(1s));
+  const auto elapsed = common::Clock::now() - t0;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GE(elapsed, 90ms);
+  EXPECT_LT(elapsed, 600ms);
+}
+
+TEST(Link, DropProbabilityOneLosesEverything) {
+  InProcNetwork net;
+  auto listener = net.listen("dr:1");
+  ConnectOptions opts;
+  opts.link.drop_probability = 1.0;
+  auto client = net.connect("dr:1", Deadline::after(1s), opts);
+  auto server = listener.value()->accept(Deadline::after(1s));
+  // Sends "succeed" (fire-and-forget semantics) but nothing arrives.
+  ASSERT_TRUE(client.value()->send(bytes_of("gone"), Deadline::after(1s)).is_ok());
+  auto r = server.value()->recv(Deadline::after(60ms));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST(Link, SchedulerSerializesBandwidth) {
+  LinkModel m;
+  m.bandwidth_bytes_per_sec = 1'000'000;
+  LinkScheduler sched{m};
+  common::TimePoint first, second;
+  ASSERT_TRUE(sched.schedule(100'000, first));
+  ASSERT_TRUE(sched.schedule(100'000, second));
+  // The second message queues behind the first: ~100 ms later.
+  EXPECT_GE(second - first, 90ms);
+}
+
+TEST(Link, PresetModelsAreSane) {
+  EXPECT_GT(LinkModel::wan_transatlantic().latency,
+            LinkModel::wan_europe().latency);
+  EXPECT_GT(LinkModel::wan_europe().latency, LinkModel::lan().latency);
+  EXPECT_GT(LinkModel::lan().bandwidth_bytes_per_sec,
+            LinkModel::wan_transatlantic().bandwidth_bytes_per_sec);
+}
+
+// --------------------------------------------------------------- Multicast --
+
+TEST(Multicast, FanOutReachesAllOtherMembers) {
+  InProcNetwork net;
+  auto a = net.join_group("venue/video");
+  auto b = net.join_group("venue/video");
+  auto c = net.join_group("venue/video");
+  ASSERT_TRUE(a.is_ok() && b.is_ok() && c.is_ok());
+  EXPECT_EQ(net.group_size("venue/video"), 3u);
+
+  ASSERT_TRUE(a.value()->send(bytes_of("frame1"), Deadline::after(1s)).is_ok());
+  auto rb = b.value()->recv(Deadline::after(1s));
+  auto rc = c.value()->recv(Deadline::after(1s));
+  ASSERT_TRUE(rb.is_ok());
+  ASSERT_TRUE(rc.is_ok());
+  EXPECT_EQ(text_of(rb.value()), "frame1");
+  EXPECT_EQ(text_of(rc.value()), "frame1");
+  // The sender does not hear its own message.
+  auto ra = a.value()->recv(Deadline::after(30ms));
+  EXPECT_FALSE(ra.is_ok());
+}
+
+TEST(Multicast, LeaveRemovesMember) {
+  InProcNetwork net;
+  auto a = net.join_group("g");
+  auto b = net.join_group("g");
+  b.value()->leave();
+  EXPECT_EQ(net.group_size("g"), 1u);
+  EXPECT_FALSE(b.value()->is_member());
+  auto r = b.value()->recv(Deadline::after(10ms));
+  EXPECT_EQ(r.status().code(), StatusCode::kClosed);
+}
+
+TEST(Multicast, SocketDestructorLeaves) {
+  InProcNetwork net;
+  auto a = net.join_group("g2");
+  { auto b = net.join_group("g2"); EXPECT_EQ(net.group_size("g2"), 2u); }
+  EXPECT_EQ(net.group_size("g2"), 1u);
+}
+
+TEST(Multicast, SlowMemberDoesNotBlockSender) {
+  // Best-effort semantics: a member that never drains just misses frames.
+  InProcNetwork net;
+  auto sender = net.join_group("g3");
+  auto sleepy = net.join_group("g3");
+  const Bytes frame(1 << 20, 9);  // 1 MiB
+  for (int i = 0; i < 200; ++i) {  // far beyond the 64 MiB default window
+    const auto t0 = common::Clock::now();
+    ASSERT_TRUE(sender.value()->send(frame, Deadline::after(1s)).is_ok());
+    EXPECT_LT(common::Clock::now() - t0, 1s);
+  }
+  // sleepy can still read the earliest frames.
+  auto r = sleepy.value()->recv(Deadline::after(1s));
+  EXPECT_TRUE(r.is_ok());
+}
+
+// ------------------------------------------------------------------- TCP --
+
+TEST(Tcp, LoopbackRoundTrip) {
+  TcpNetwork net;
+  auto listener = net.listen("0");  // kernel-assigned port
+  ASSERT_TRUE(listener.is_ok());
+  const std::string port = listener.value()->address();
+  auto client = net.connect(port, Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(server.is_ok());
+
+  ASSERT_TRUE(client.value()->send(bytes_of("over tcp"), Deadline::after(1s)).is_ok());
+  auto r = server.value()->recv(Deadline::after(1s));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(text_of(r.value()), "over tcp");
+}
+
+TEST(Tcp, LargeMessageSurvivesFraming) {
+  TcpNetwork net;
+  auto listener = net.listen("0");
+  const std::string port = listener.value()->address();
+  auto client = net.connect(port, Deadline::after(1s));
+  auto server = listener.value()->accept(Deadline::after(1s));
+  Bytes big(3 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  std::thread sender([&] {
+    ASSERT_TRUE(client.value()->send(big, Deadline::after(5s)).is_ok());
+  });
+  auto r = server.value()->recv(Deadline::after(5s));
+  sender.join();
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), big);
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  TcpNetwork net;
+  auto r = net.connect("1", Deadline::after(100ms));  // port 1: refused
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Tcp, RecvDeadlineExpires) {
+  TcpNetwork net;
+  auto listener = net.listen("0");
+  const std::string port = listener.value()->address();
+  auto client = net.connect(port, Deadline::after(1s));
+  auto server = listener.value()->accept(Deadline::after(1s));
+  auto r = server.value()->recv(Deadline::after(50ms));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST(Tcp, PeerCloseYieldsClosed) {
+  TcpNetwork net;
+  auto listener = net.listen("0");
+  const std::string port = listener.value()->address();
+  auto client = net.connect(port, Deadline::after(1s));
+  auto server = listener.value()->accept(Deadline::after(1s));
+  client.value()->close();
+  auto r = server.value()->recv(Deadline::after(1s));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kClosed);
+}
+
+}  // namespace
+}  // namespace cs::net

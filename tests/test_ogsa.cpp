@@ -1,0 +1,373 @@
+// Tests for the OGSA layer (service data, lifetime, registry, text RPC
+// hosting) and the steer instrumentation API, including the combined
+// Fig. 2 wiring: app -> SteeringControl -> SteeringService -> Registry ->
+// remote SteeringClient.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "ogsa/host.hpp"
+#include "ogsa/registry.hpp"
+#include "ogsa/steering_service.hpp"
+#include "steer/control.hpp"
+
+namespace cs::ogsa {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::StatusCode;
+
+// ----------------------------------------------------------- GridService --
+
+TEST(GridService, ServiceDataRoundTrip) {
+  GridService s{"ogsi://x"};
+  s.set_service_data("component", "application");
+  auto v = s.find_service_data("component");
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value(), "application");
+  EXPECT_FALSE(s.find_service_data("nope").is_ok());
+}
+
+TEST(GridService, QueryByGlob) {
+  GridService s{"ogsi://x"};
+  s.set_service_data("param/miscibility", "steerable");
+  s.set_service_data("param/temperature", "monitored");
+  s.set_service_data("component", "application");
+  EXPECT_EQ(s.query_service_data("param/*").size(), 2u);
+  EXPECT_EQ(s.query_service_data("*").size(), 3u);
+}
+
+TEST(GridService, LifetimeSoftState) {
+  GridService s{"ogsi://x"};
+  EXPECT_TRUE(s.is_alive());  // default: immortal until destroyed
+  s.request_termination_after(30ms);
+  EXPECT_TRUE(s.is_alive());
+  std::this_thread::sleep_for(40ms);
+  EXPECT_FALSE(s.is_alive());
+  s.keep_alive(1s);  // a keep-alive resurrects within the model
+  EXPECT_TRUE(s.is_alive());
+  s.destroy();
+  EXPECT_FALSE(s.is_alive());
+}
+
+TEST(GridService, InvokeFindServiceData) {
+  GridService s{"ogsi://x"};
+  s.set_service_data("k", "v");
+  auto r = s.invoke("find-service-data", {"k"});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), "v");
+  EXPECT_FALSE(s.invoke("bogus-op", {}).is_ok());
+}
+
+// -------------------------------------------------------------- Registry --
+
+TEST(Registry, PublishFindResolve) {
+  Registry reg;
+  auto a = std::make_shared<GridService>("ogsi://site/steering/app");
+  auto b = std::make_shared<GridService>("ogsi://site/steering/viz");
+  auto c = std::make_shared<GridService>("ogsi://site/other");
+  ASSERT_TRUE(reg.publish(a).is_ok());
+  ASSERT_TRUE(reg.publish(b).is_ok());
+  ASSERT_TRUE(reg.publish(c).is_ok());
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.find("ogsi://site/steering/*").size(), 2u);
+  auto r = reg.resolve("ogsi://site/steering/app");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().get(), a.get());
+}
+
+TEST(Registry, DuplicateHandleRejected) {
+  Registry reg;
+  ASSERT_TRUE(reg.publish(std::make_shared<GridService>("ogsi://dup")).is_ok());
+  auto s = reg.publish(std::make_shared<GridService>("ogsi://dup"));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Registry, DeadServicesAreSwept) {
+  Registry reg;
+  auto s = std::make_shared<GridService>("ogsi://shortlived");
+  ASSERT_TRUE(reg.publish(s).is_ok());
+  s->request_termination_after(20ms);
+  std::this_thread::sleep_for(30ms);
+  EXPECT_TRUE(reg.find("ogsi://shortlived").empty());
+  EXPECT_EQ(reg.size(), 0u);
+  // The handle is free again.
+  auto s2 = std::make_shared<GridService>("ogsi://shortlived");
+  EXPECT_TRUE(reg.publish(s2).is_ok());
+}
+
+TEST(Registry, FindByServiceData) {
+  Registry reg;
+  auto app = std::make_shared<GridService>("ogsi://a");
+  app->set_service_data("component", "application");
+  auto viz = std::make_shared<GridService>("ogsi://b");
+  viz->set_service_data("component", "visualization");
+  ASSERT_TRUE(reg.publish(app).is_ok());
+  ASSERT_TRUE(reg.publish(viz).is_ok());
+  auto hits = reg.find_by_service_data("component", "visual*");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].handle, "ogsi://b");
+}
+
+TEST(Registry, UnpublishRemoves) {
+  Registry reg;
+  auto s = std::make_shared<GridService>("ogsi://x");
+  ASSERT_TRUE(reg.publish(s).is_ok());
+  ASSERT_TRUE(reg.unpublish("ogsi://x").is_ok());
+  EXPECT_FALSE(reg.resolve("ogsi://x").is_ok());
+  EXPECT_EQ(reg.unpublish("ogsi://x").code(), StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------- SteeringControl ----
+
+TEST(SteeringControl, ParameterUpdateAppliedBetweenIterations) {
+  steer::SteeringControl ctl;
+  double miscibility = 0.05;
+  ctl.register_steerable("miscibility", &miscibility, 0.0, 1.0);
+  ASSERT_TRUE(ctl.set_param("miscibility", "0.25").is_ok());
+  // Not yet applied: the app hasn't reached the iteration boundary.
+  EXPECT_DOUBLE_EQ(miscibility, 0.05);
+  const auto changed = ctl.apply_pending();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], "miscibility");
+  EXPECT_DOUBLE_EQ(miscibility, 0.25);
+}
+
+TEST(SteeringControl, RangeEnforced) {
+  steer::SteeringControl ctl;
+  double v = 0.5;
+  ctl.register_steerable("v", &v, 0.0, 1.0);
+  EXPECT_EQ(ctl.set_param("v", "1.5").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ctl.set_param("v", "junk").code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ctl.set_param("v", "1.0").is_ok());
+}
+
+TEST(SteeringControl, IntParameter) {
+  steer::SteeringControl ctl;
+  std::int64_t n = 100;
+  ctl.register_steerable_int("particles", &n, 10, 100000);
+  ASSERT_TRUE(ctl.set_param("particles", "5000").is_ok());
+  EXPECT_EQ(ctl.set_param("particles", "5").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ctl.set_param("particles", "1e3").code(),
+            StatusCode::kInvalidArgument);
+  ctl.apply_pending();
+  EXPECT_EQ(n, 5000);
+}
+
+TEST(SteeringControl, MonitoredIsReadOnlyAndCached) {
+  steer::SteeringControl ctl;
+  double energy = 1.0;
+  ctl.register_monitored("energy", [&] { return energy; });
+  auto v = ctl.get_param("energy");
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(std::stod(v.value()), 1.0);
+  energy = 2.0;  // app-side change, not yet published
+  EXPECT_EQ(std::stod(ctl.get_param("energy").value()), 1.0);
+  ctl.apply_pending();
+  EXPECT_EQ(std::stod(ctl.get_param("energy").value()), 2.0);
+  EXPECT_EQ(ctl.set_param("energy", "9").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(SteeringControl, ListParamsMarksKinds) {
+  steer::SteeringControl ctl;
+  double a = 0;
+  ctl.register_steerable("a", &a, -1, 1);
+  ctl.register_monitored("m", [] { return 3.0; });
+  const auto params = ctl.list_params();
+  ASSERT_EQ(params.size(), 2u);
+  for (const auto& p : params) {
+    if (p.name == "a") {
+      EXPECT_TRUE(p.steerable);
+    }
+    if (p.name == "m") {
+      EXPECT_FALSE(p.steerable);
+    }
+  }
+}
+
+TEST(SteeringControl, StopCommandReachesLoop) {
+  steer::SteeringControl ctl;
+  ASSERT_TRUE(ctl.command("stop").is_ok());
+  EXPECT_EQ(ctl.sync(), steer::Command::kStop);
+  EXPECT_TRUE(ctl.stop_requested());
+}
+
+TEST(SteeringControl, PauseBlocksUntilResume) {
+  steer::SteeringControl ctl;
+  ASSERT_TRUE(ctl.command("pause").is_ok());
+  std::atomic<bool> resumed{false};
+  std::jthread app([&] {
+    const auto c = ctl.sync();  // blocks while paused
+    EXPECT_NE(c, steer::Command::kStop);
+    resumed.store(true);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(resumed.load());
+  EXPECT_EQ(ctl.status(), "paused");
+  ASSERT_TRUE(ctl.command("resume").is_ok());
+  app.join();
+  EXPECT_TRUE(resumed.load());
+}
+
+TEST(SteeringControl, StopUnblocksPausedLoop) {
+  steer::SteeringControl ctl;
+  ASSERT_TRUE(ctl.command("pause").is_ok());
+  std::jthread app([&] { EXPECT_EQ(ctl.sync(), steer::Command::kStop); });
+  std::this_thread::sleep_for(30ms);
+  ASSERT_TRUE(ctl.command("stop").is_ok());
+}
+
+TEST(SteeringControl, ParamSetWhilePausedAppliesOnResume) {
+  steer::SteeringControl ctl;
+  double v = 1.0;
+  ctl.register_steerable("v", &v, 0, 10);
+  ASSERT_TRUE(ctl.command("pause").is_ok());
+  std::jthread app([&] { (void)ctl.sync(); });
+  std::this_thread::sleep_for(30ms);
+  ASSERT_TRUE(ctl.set_param("v", "7").is_ok());
+  ASSERT_TRUE(ctl.command("resume").is_ok());
+  app.join();
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(SteeringControl, UnknownCommandRejected) {
+  steer::SteeringControl ctl;
+  EXPECT_EQ(ctl.command("explode").code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------- Fig. 2: remote steering RPC --
+
+struct Fig2Fixture {
+  net::InProcNetwork net;
+  std::shared_ptr<Registry> registry = std::make_shared<Registry>();
+  std::shared_ptr<steer::SteeringControl> ctl =
+      std::make_shared<steer::SteeringControl>();
+  std::shared_ptr<SteeringService> service;
+  std::unique_ptr<ServiceHost> host;
+  double coupling = 0.1;
+
+  Fig2Fixture() {
+    ctl->register_steerable("coupling", &coupling, 0.0, 1.0);
+    ctl->register_monitored("step", [] { return 42.0; });
+    ctl->apply_pending();
+    service = std::make_shared<SteeringService>(
+        "ogsi://realitygrid/steering/lbm", "application", ctl);
+    EXPECT_TRUE(registry->publish(service).is_ok());
+    auto h = ServiceHost::start(net, registry, {"ogsihost:1"});
+    EXPECT_TRUE(h.is_ok());
+    host = std::move(h).value();
+  }
+};
+
+TEST(Fig2, DiscoverBindInvokeRemotely) {
+  Fig2Fixture f;
+  auto client = ServiceClient::connect(f.net, "ogsihost:1", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+
+  auto handles = client.value().find("ogsi://realitygrid/steering/*",
+                                     Deadline::after(2s));
+  ASSERT_TRUE(handles.is_ok());
+  ASSERT_EQ(handles.value().size(), 1u);
+  const auto handle = handles.value()[0];
+
+  // Query SDEs before binding (the registry pattern of Fig. 2).
+  auto component = client.value().invoke(handle, "find-service-data",
+                                         {"component"}, Deadline::after(2s));
+  ASSERT_TRUE(component.is_ok());
+  EXPECT_EQ(component.value(), "application");
+
+  // Steer the parameter through the service.
+  auto set = client.value().invoke(handle, "set-param", {"coupling", "0.33"},
+                                   Deadline::after(2s));
+  ASSERT_TRUE(set.is_ok());
+  f.ctl->apply_pending();  // the app's next iteration
+  EXPECT_DOUBLE_EQ(f.coupling, 0.33);
+
+  auto get = client.value().invoke(handle, "get-param", {"coupling"},
+                                   Deadline::after(2s));
+  ASSERT_TRUE(get.is_ok());
+  EXPECT_NEAR(std::stod(get.value()), 0.33, 1e-12);
+}
+
+TEST(Fig2, OutOfRangeSteerReportedToClient) {
+  Fig2Fixture f;
+  auto client = ServiceClient::connect(f.net, "ogsihost:1", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto set = client.value().invoke("ogsi://realitygrid/steering/lbm",
+                                   "set-param", {"coupling", "42"},
+                                   Deadline::after(2s));
+  ASSERT_FALSE(set.is_ok());
+  EXPECT_EQ(set.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Fig2, UnknownHandleReported) {
+  Fig2Fixture f;
+  auto client = ServiceClient::connect(f.net, "ogsihost:1", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto r = client.value().invoke("ogsi://nothing", "status", {},
+                                 Deadline::after(2s));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Fig2, TwoServicesAppAndViz) {
+  Fig2Fixture f;
+  // Add a second service steering the "visualization" (Fig. 2 shows both).
+  auto viz_ctl = std::make_shared<steer::SteeringControl>();
+  double isolevel = 0.5;
+  viz_ctl->register_steerable("isolevel", &isolevel, 0.0, 1.0);
+  viz_ctl->apply_pending();
+  auto viz_service = std::make_shared<SteeringService>(
+      "ogsi://realitygrid/steering/viz", "visualization", viz_ctl);
+  ASSERT_TRUE(f.registry->publish(viz_service).is_ok());
+
+  auto client = ServiceClient::connect(f.net, "ogsihost:1", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto handles = client.value().find("ogsi://realitygrid/steering/*",
+                                     Deadline::after(2s));
+  ASSERT_TRUE(handles.is_ok());
+  EXPECT_EQ(handles.value().size(), 2u);
+
+  // The client binds both and steers each independently.
+  ASSERT_TRUE(client.value()
+                  .invoke("ogsi://realitygrid/steering/viz", "set-param",
+                          {"isolevel", "0.8"}, Deadline::after(2s))
+                  .is_ok());
+  viz_ctl->apply_pending();
+  EXPECT_DOUBLE_EQ(isolevel, 0.8);
+  EXPECT_DOUBLE_EQ(f.coupling, 0.1);  // untouched
+}
+
+TEST(Fig2, ServiceExpiryDisappearsFromDiscovery) {
+  Fig2Fixture f;
+  f.service->request_termination_after(20ms);
+  std::this_thread::sleep_for(30ms);
+  auto client = ServiceClient::connect(f.net, "ogsihost:1", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto handles = client.value().find("*", Deadline::after(2s));
+  ASSERT_TRUE(handles.is_ok());
+  EXPECT_TRUE(handles.value().empty());
+}
+
+TEST(Fig2, StatusAndCommandsFlowThroughService) {
+  Fig2Fixture f;
+  f.ctl->set_status("step 7 of 100");
+  auto client = ServiceClient::connect(f.net, "ogsihost:1", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto status = client.value().invoke("ogsi://realitygrid/steering/lbm",
+                                      "status", {}, Deadline::after(2s));
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_EQ(status.value(), "step 7 of 100");
+  ASSERT_TRUE(client.value()
+                  .invoke("ogsi://realitygrid/steering/lbm", "command",
+                          {"stop"}, Deadline::after(2s))
+                  .is_ok());
+  EXPECT_TRUE(f.ctl->stop_requested());
+}
+
+}  // namespace
+}  // namespace cs::ogsa

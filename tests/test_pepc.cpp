@@ -1,0 +1,333 @@
+// Tests for the PEPC substrate: tree correctness against direct summation,
+// O(N log N) interaction scaling, Morton decomposition, and the physical
+// behaviours the paper steers (beam injection, plasma cooling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/pepc/direct.hpp"
+#include "sim/pepc/domain.hpp"
+#include "sim/pepc/pepc.hpp"
+#include "sim/pepc/tree.hpp"
+
+namespace cs::pepc {
+namespace {
+
+using common::Vec3;
+
+std::vector<Particle> random_plasma(int n, std::uint64_t seed = 1) {
+  common::Rng rng{seed};
+  std::vector<Particle> particles(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = particles[static_cast<std::size_t>(i)];
+    p.pos[0] = rng.uniform(-1, 1);
+    p.pos[1] = rng.uniform(-1, 1);
+    p.pos[2] = rng.uniform(-1, 1);
+    p.charge = (i % 2 == 0) ? 1.0 : -1.0;
+    p.label = i;
+  }
+  return particles;
+}
+
+// ------------------------------------------------------------------ tree --
+
+TEST(Tree, TwoParticleFieldMatchesCoulomb) {
+  std::vector<Particle> particles(2);
+  particles[0].pos[0] = 0.0;
+  particles[0].charge = 2.0;
+  particles[1].pos[0] = 1.0;
+  particles[1].charge = -1.0;
+  TreeConfig cfg;
+  cfg.softening = 0.0;
+  Octree tree(cfg);
+  tree.build(particles);
+  // Field at particle 1 from particle 0: q0 / r^2 pointing +x.
+  const Vec3 field = tree.field_at(particles[1].position(), 1);
+  EXPECT_NEAR(field.x, 2.0, 1e-9);
+  EXPECT_NEAR(field.y, 0.0, 1e-12);
+}
+
+TEST(Tree, MatchesDirectSummationWithinTolerance) {
+  const auto particles = random_plasma(500);
+  TreeConfig cfg;
+  cfg.theta = 0.5;
+  Octree tree(cfg);
+  tree.build(particles);
+  DirectSolver direct(cfg.softening);
+
+  std::vector<Vec3> tree_forces(particles.size());
+  tree.accumulate_forces(particles, tree_forces);
+
+  double err2 = 0.0, norm2_sum = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const Vec3 exact =
+        particles[i].charge * direct.field_at(particles, particles[i].position(), i);
+    err2 += norm2(tree_forces[i] - exact);
+    norm2_sum += norm2(exact);
+  }
+  const double rel = std::sqrt(err2 / norm2_sum);
+  EXPECT_LT(rel, 0.02) << "rms relative force error";
+}
+
+TEST(Tree, SmallerThetaIsMoreAccurate) {
+  const auto particles = random_plasma(300, 5);
+  DirectSolver direct(0.05);
+  double previous_error = 1e9;
+  for (double theta : {1.0, 0.6, 0.3}) {
+    TreeConfig cfg;
+    cfg.theta = theta;
+    Octree tree(cfg);
+    tree.build(particles);
+    double err2 = 0.0, ref2 = 0.0;
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      const Vec3 approx =
+          particles[i].charge * tree.field_at(particles[i].position(), i);
+      const Vec3 exact = particles[i].charge *
+                         direct.field_at(particles, particles[i].position(), i);
+      err2 += norm2(approx - exact);
+      ref2 += norm2(exact);
+    }
+    const double rel = std::sqrt(err2 / ref2);
+    EXPECT_LT(rel, previous_error + 1e-12);
+    previous_error = rel;
+  }
+  EXPECT_LT(previous_error, 0.01);
+}
+
+TEST(Tree, PotentialEnergyMatchesDirect) {
+  const auto particles = random_plasma(300, 9);
+  TreeConfig cfg;
+  cfg.theta = 0.4;
+  Octree tree(cfg);
+  tree.build(particles);
+  DirectSolver direct(cfg.softening);
+  const double tree_pe = tree.potential_energy(particles);
+  const double exact_pe = direct.potential_energy(particles);
+  EXPECT_NEAR(tree_pe, exact_pe, std::abs(exact_pe) * 0.05);
+}
+
+TEST(Tree, InteractionCountScalesSubQuadratically) {
+  // The O(N log N) claim: interactions per particle should grow like
+  // log N, not N. Compare per-particle interaction counts at 1k and 8k.
+  TreeConfig cfg;
+  cfg.theta = 0.6;
+  const auto count_per_particle = [&](int n) {
+    const auto particles = random_plasma(n, 11);
+    Octree tree(cfg);
+    tree.build(particles);
+    std::vector<Vec3> forces(particles.size());
+    tree.accumulate_forces(particles, forces);
+    return static_cast<double>(tree.interaction_count()) / n;
+  };
+  const double small = count_per_particle(1000);
+  const double large = count_per_particle(8000);
+  // 8x more particles -> direct would be 8x more per particle; the tree
+  // should stay well below 3x (log 8 = 3 doublings, so ~ +constant each).
+  EXPECT_LT(large / small, 3.0);
+  EXPECT_GT(large, small);  // but it does grow (log factor)
+}
+
+TEST(Tree, EmptyAndSingleParticle) {
+  Octree tree;
+  std::vector<Particle> none;
+  tree.build(none);
+  EXPECT_EQ(norm(tree.field_at({0, 0, 0})), 0.0);
+  std::vector<Particle> one(1);
+  one[0].charge = 1.0;
+  tree.build(one);
+  // Excluding the only particle leaves no sources.
+  EXPECT_EQ(norm(tree.field_at(one[0].position(), 0)), 0.0);
+  EXPECT_GT(norm(tree.field_at({1, 1, 1})), 0.0);
+}
+
+TEST(Tree, CoincidentParticlesDoNotRecurseForever) {
+  std::vector<Particle> particles(20);
+  for (auto& p : particles) {
+    p.pos[0] = p.pos[1] = p.pos[2] = 0.5;
+    p.charge = 1.0;
+  }
+  Octree tree;
+  tree.build(particles);  // must terminate via depth cap
+  EXPECT_GT(tree.node_count(), 0u);
+  const Vec3 f = tree.field_at({2, 0, 0});
+  EXPECT_GT(f.x, 0.0);
+}
+
+// ---------------------------------------------------------------- domain --
+
+TEST(Domain, InterleaveOrdersOctants) {
+  // Low bits of each coordinate interleave: (1,0,0)=1, (0,1,0)=2, (0,0,1)=4.
+  EXPECT_EQ(interleave3(1, 0, 0), 1u);
+  EXPECT_EQ(interleave3(0, 1, 0), 2u);
+  EXPECT_EQ(interleave3(0, 0, 1), 4u);
+  EXPECT_EQ(interleave3(1, 1, 1), 7u);
+}
+
+TEST(Domain, BalancedCounts) {
+  auto particles = random_plasma(1000, 13);
+  const auto boxes = decompose(particles, 8);
+  ASSERT_EQ(boxes.size(), 8u);
+  int total = 0;
+  for (const auto& b : boxes) {
+    EXPECT_GE(b.count, 100);  // perfectly balanced would be 125
+    EXPECT_LE(b.count, 150);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(Domain, BoxesContainTheirParticles) {
+  auto particles = random_plasma(500, 17);
+  const auto boxes = decompose(particles, 4);
+  for (const auto& p : particles) {
+    const auto& b = boxes[static_cast<std::size_t>(p.proc)];
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(p.pos[a], b.lo[a] - 1e-12);
+      EXPECT_LE(p.pos[a], b.hi[a] + 1e-12);
+    }
+  }
+}
+
+TEST(Domain, MorePprocsThanParticles) {
+  auto particles = random_plasma(3, 19);
+  const auto boxes = decompose(particles, 8);
+  ASSERT_EQ(boxes.size(), 8u);
+  int total = 0;
+  for (const auto& b : boxes) total += b.count;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Domain, SpatialLocality) {
+  // Morton chunks are spatially compact: a domain's box volume should be
+  // much smaller than the full domain for a balanced decomposition.
+  auto particles = random_plasma(4000, 23);
+  const auto boxes = decompose(particles, 16);
+  double total_volume = 0.0;
+  for (const auto& b : boxes) {
+    total_volume += (b.hi[0] - b.lo[0]) * (b.hi[1] - b.lo[1]) *
+                    (b.hi[2] - b.lo[2]);
+  }
+  // Full cube is 2^3 = 8; overlapping compact chunks should sum to well
+  // under 3x the full volume (random split would approach 16 * 8).
+  EXPECT_LT(total_volume, 24.0);
+}
+
+// ------------------------------------------------------------------ pepc --
+
+PepcConfig small_pepc(int pairs = 128) {
+  PepcConfig c;
+  c.target_pairs = pairs;
+  c.processors = 2;
+  c.seed = 31;
+  return c;
+}
+
+TEST(Pepc, QuasiNeutralSetup) {
+  PepcSimulation sim(small_pepc());
+  double q = 0.0;
+  for (const auto& p : sim.particles()) q += p.charge;
+  EXPECT_NEAR(q, 0.0, 1e-12);
+  EXPECT_EQ(sim.particles().size(), 256u);
+}
+
+TEST(Pepc, EnergyApproximatelyConservedWithoutDamping) {
+  PepcConfig c = small_pepc();
+  c.dt = 0.002;
+  c.tree.theta = 0.4;
+  PepcSimulation sim(c);
+  const double e0 = sim.total_energy();
+  for (int s = 0; s < 50; ++s) sim.step();
+  const double e1 = sim.total_energy();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 0.05)
+      << "leapfrog + tree should conserve energy to a few percent";
+}
+
+TEST(Pepc, BeamInjectionAddsMovingCharges) {
+  PepcSimulation sim(small_pepc());
+  const auto before = sim.particles().size();
+  sim.beam().pulse_size = 32;
+  sim.beam().speed = 3.0;
+  sim.emit_beam();
+  EXPECT_EQ(sim.particles().size(), before + 32);
+  // The beam dominates mean electron speed right after injection.
+  EXPECT_GT(sim.mean_electron_speed(), 0.5);
+}
+
+TEST(Pepc, SteeredBeamDirectionTakesEffect) {
+  PepcSimulation sim(small_pepc());
+  sim.beam().direction = Vec3{0, 0, 1};
+  sim.beam().origin = Vec3{0, 0, -3};
+  sim.beam().pulse_size = 16;
+  sim.emit_beam();
+  // All new particles move in +z.
+  const auto& ps = sim.particles();
+  for (std::size_t i = ps.size() - 16; i < ps.size(); ++i) {
+    EXPECT_GT(ps[i].vel[2], 0.0);
+    EXPECT_NEAR(ps[i].vel[0], 0.0, 1e-12);
+  }
+}
+
+TEST(Pepc, DampingCoolsThePlasma) {
+  // The paper's "assist an initially random plasma towards a cold, ordered
+  // state": switch damping on and the mean electron speed must fall.
+  PepcConfig c = small_pepc();
+  c.electron_temperature = 0.3;
+  PepcSimulation sim(c);
+  for (int s = 0; s < 10; ++s) sim.step();
+  const double hot = sim.mean_electron_speed();
+  sim.set_damping(0.1);  // the steering action
+  for (int s = 0; s < 40; ++s) sim.step();
+  EXPECT_LT(sim.mean_electron_speed(), hot * 0.3);
+}
+
+TEST(Pepc, DomainsTrackParticles) {
+  PepcSimulation sim(small_pepc());
+  EXPECT_EQ(sim.domains().size(), 2u);
+  int count = 0;
+  for (const auto& b : sim.domains()) count += b.count;
+  EXPECT_EQ(count, static_cast<int>(sim.particles().size()));
+  sim.emit_beam();
+  count = 0;
+  for (const auto& b : sim.domains()) count += b.count;
+  EXPECT_EQ(count, static_cast<int>(sim.particles().size()));
+}
+
+TEST(Pepc, DeterministicForEqualSeeds) {
+  PepcSimulation a(small_pepc()), b(small_pepc());
+  for (int s = 0; s < 5; ++s) {
+    a.step();
+    b.step();
+  }
+  ASSERT_EQ(a.particles().size(), b.particles().size());
+  for (std::size_t i = 0; i < a.particles().size(); ++i) {
+    EXPECT_EQ(a.particles()[i].pos[0], b.particles()[i].pos[0]);
+    EXPECT_EQ(a.particles()[i].vel[2], b.particles()[i].vel[2]);
+  }
+}
+
+TEST(Pepc, ThreadedForcesMatchSerial) {
+  PepcConfig serial = small_pepc(300);
+  serial.processors = 1;
+  PepcConfig parallel = small_pepc(300);
+  parallel.processors = 4;
+  PepcSimulation a(serial), b(parallel);
+  for (int s = 0; s < 3; ++s) {
+    a.step();
+    b.step();
+  }
+  for (std::size_t i = 0; i < a.particles().size(); ++i) {
+    EXPECT_NEAR(a.particles()[i].pos[0], b.particles()[i].pos[0], 1e-12);
+    EXPECT_NEAR(a.particles()[i].vel[1], b.particles()[i].vel[1], 1e-12);
+  }
+}
+
+TEST(Pepc, StructDescsMatchLayout) {
+  EXPECT_EQ(particle_struct_desc().host_size(), sizeof(Particle));
+  EXPECT_EQ(domain_box_struct_desc().host_size(), sizeof(DomainBox));
+  EXPECT_EQ(particle_struct_desc().wire_record_size(),
+            3 * 8 + 3 * 8 + 8 + 8 + 4 + 8u);
+}
+
+}  // namespace
+}  // namespace cs::pepc

@@ -1,0 +1,389 @@
+// Property-based sweeps over the library's core invariants, using
+// parameterized gtest suites:
+//   * wire robustness: no mutated frame may crash the decoder or be
+//     accepted with inconsistent structure,
+//   * LBM conservation laws across the physical parameter grid,
+//   * tree-code accuracy across (theta, N),
+//   * frame-codec round trips across shapes and content,
+//   * Morton-order locality,
+//   * steering-control invariants across command orderings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "covise/dataobject.hpp"
+#include "unicore/ajo.hpp"
+#include "unicore/upl.hpp"
+#include "visit/proxy.hpp"
+#include "sim/lbm/checkpoint.hpp"
+#include "sim/lbm/lbm.hpp"
+#include "sim/pepc/direct.hpp"
+#include "sim/pepc/domain.hpp"
+#include "sim/pepc/tree.hpp"
+#include "steer/control.hpp"
+#include "viz/compress.hpp"
+#include "wire/convert.hpp"
+#include "wire/message.hpp"
+
+namespace cs {
+namespace {
+
+// ------------------------------------------------- wire decode robustness --
+
+class WireFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFuzzTest, MutatedFramesNeverCrashAndNeverLie) {
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 13};
+  // Start from a valid frame of random type/size...
+  const std::size_t count = rng.next_below(64) + 1;
+  std::vector<double> values(count);
+  for (auto& v : values) v = rng.uniform(-1e6, 1e6);
+  auto frame = wire::make_data_message(
+                   static_cast<std::uint32_t>(rng.next_below(1000)),
+                   values.data(), values.size())
+                   .encode();
+  // ...then flip a handful of random bytes.
+  const int flips = 1 + static_cast<int>(rng.next_below(8));
+  for (int f = 0; f < flips; ++f) {
+    frame[rng.next_below(frame.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+  auto decoded = wire::Message::decode(frame);
+  if (decoded.is_ok()) {
+    // If the decoder accepts it, the structure must be self-consistent.
+    const auto& m = decoded.value();
+    EXPECT_EQ(m.payload.size(), m.header.payload_bytes);
+    EXPECT_EQ(m.header.payload_bytes,
+              m.header.count * wire::size_of(m.header.elem_type));
+    // And extraction must not read out of bounds (sanitizers would bark).
+    auto extracted = wire::extract_as<double>(m);
+    (void)extracted;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Range(0, 50));
+
+class ProxyFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProxyFuzzTest, MutatedProxyRequestsNeverCrash) {
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) * 104729 + 7};
+  common::Bytes raw(rng.next_below(64) + 1);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.next_below(256));
+  auto decoded = visit::decode_proxy_request(raw);
+  (void)decoded;  // must not crash; either outcome is acceptable
+  auto response = visit::decode_proxy_response(raw);
+  (void)response;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProxyFuzzTest, ::testing::Range(0, 50));
+
+class UplFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UplFuzzTest, MutatedTransactionsNeverCrashTheGatewayCodec) {
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) * 613 + 29};
+  // Mutate a valid request and a valid response.
+  unicore::UplRequest request;
+  request.op = unicore::UplOp::kConsign;
+  request.identity = unicore::issue_certificate("CN=Fuzz", "k");
+  request.vsite = "site";
+  request.text = unicore::AjoBuilder("j", "site").execute("x").build().serialize();
+  auto raw = unicore::encode_upl_request(request);
+  for (int f = 0; f < 6; ++f) {
+    raw[rng.next_below(raw.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+  (void)unicore::decode_upl_request(raw);  // must not crash or over-allocate
+
+  unicore::UplResponse response;
+  response.has_outcome = true;
+  response.outcome.state = unicore::JobState::kSuccessful;
+  response.outcome.exported_files["a"] = "b";
+  auto raw2 = unicore::encode_upl_response(response);
+  for (int f = 0; f < 6; ++f) {
+    raw2[rng.next_below(raw2.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+  (void)unicore::decode_upl_response(raw2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UplFuzzTest, ::testing::Range(0, 50));
+
+class AjoFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AjoFuzzTest, RandomTextNeverCrashesTheAjoParser) {
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) * 997 + 3};
+  std::string text;
+  const char alphabet[] = "AJO1|EXECUTE\nIMPORT%0aSTEERING=abc|";
+  const std::size_t len = rng.next_below(200);
+  for (std::size_t i = 0; i < len; ++i) {
+    text += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+  }
+  auto parsed = unicore::Ajo::parse(text);
+  if (parsed.is_ok()) {
+    // Anything accepted must re-serialize and re-parse to the same job.
+    auto again = unicore::Ajo::parse(parsed.value().serialize());
+    ASSERT_TRUE(again.is_ok());
+    EXPECT_EQ(again.value(), parsed.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AjoFuzzTest, ::testing::Range(0, 50));
+
+class DataObjectFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataObjectFuzzTest, MutatedObjectsNeverCrashTheCrbCodec) {
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) * 389 + 17};
+  covise::UniformGridData grid;
+  grid.nx = grid.ny = grid.nz = 6;
+  grid.values.assign(216, 1.5f);
+  covise::DataObject object{"host/m/p/0", std::move(grid)};
+  object.set_attribute("COLOR", "red");
+  auto raw = object.encode();
+  for (int f = 0; f < 6; ++f) {
+    raw[rng.next_below(raw.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+  auto decoded = covise::DataObject::decode(raw);
+  if (decoded.is_ok()) {
+    // Accepted objects must be internally consistent enough to size.
+    (void)decoded.value().byte_size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataObjectFuzzTest, ::testing::Range(0, 50));
+
+class CheckpointFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointFuzzTest, MutatedCheckpointsNeverCrashRestore) {
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) * 271 + 41};
+  lbm::LbmConfig config;
+  config.nx = config.ny = config.nz = 6;
+  lbm::TwoFluidLbm sim(config);
+  auto raw = lbm::checkpoint(sim);
+  for (int f = 0; f < 4; ++f) {
+    raw[rng.next_below(raw.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+  auto restored = lbm::restore(raw);
+  if (restored.is_ok()) {
+    restored.value().step();  // usable if accepted
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzzTest, ::testing::Range(0, 30));
+
+// ----------------------------------------------------- LBM conservation ----
+
+struct LbmParams {
+  double coupling;
+  double tau;
+  int size;
+};
+
+class LbmConservationTest : public ::testing::TestWithParam<LbmParams> {};
+
+TEST_P(LbmConservationTest, MassConservedAndFieldsFinite) {
+  const auto p = GetParam();
+  lbm::LbmConfig config;
+  config.nx = config.ny = config.nz = p.size;
+  config.coupling = p.coupling;
+  config.tau_a = config.tau_b = p.tau;
+  config.seed = 23;
+  lbm::TwoFluidLbm sim(config);
+  const double ma0 = sim.mass_a();
+  const double mb0 = sim.mass_b();
+  for (int s = 0; s < 40; ++s) sim.step();
+  EXPECT_NEAR(sim.mass_a(), ma0, 1e-8 * ma0);
+  EXPECT_NEAR(sim.mass_b(), mb0, 1e-8 * mb0);
+  for (float phi : sim.order_parameter()) {
+    EXPECT_TRUE(std::isfinite(phi));
+    EXPECT_GE(phi, -1.0f);
+    EXPECT_LE(phi, 1.0f);
+  }
+  // Checkpoint round trip holds across the whole parameter grid.
+  auto restored = lbm::restore(lbm::checkpoint(sim));
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value().distributions_a(), sim.distributions_a());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, LbmConservationTest,
+    ::testing::Values(LbmParams{0.0, 1.0, 8}, LbmParams{1.2, 1.0, 8},
+                      LbmParams{1.8, 1.0, 8}, LbmParams{1.5, 0.8, 8},
+                      LbmParams{1.5, 1.4, 8}, LbmParams{1.8, 1.0, 12},
+                      LbmParams{2.1, 1.2, 10}));
+
+// ------------------------------------------------------- tree accuracy -----
+
+struct TreeParams {
+  double theta;
+  int n;
+  double max_rms_error;
+};
+
+class TreeAccuracyTest : public ::testing::TestWithParam<TreeParams> {};
+
+TEST_P(TreeAccuracyTest, ForceErrorWithinBudget) {
+  const auto p = GetParam();
+  common::Rng rng{31};
+  std::vector<pepc::Particle> particles(static_cast<std::size_t>(p.n));
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles[i].pos[0] = rng.uniform(-1, 1);
+    particles[i].pos[1] = rng.uniform(-1, 1);
+    particles[i].pos[2] = rng.uniform(-1, 1);
+    particles[i].charge = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  pepc::TreeConfig config;
+  config.theta = p.theta;
+  pepc::Octree tree(config);
+  tree.build(particles);
+  pepc::DirectSolver direct(config.softening);
+  double err2 = 0, ref2 = 0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const auto approx =
+        particles[i].charge * tree.field_at(particles[i].position(), i);
+    const auto exact = particles[i].charge *
+                       direct.field_at(particles, particles[i].position(), i);
+    err2 += norm2(approx - exact);
+    ref2 += norm2(exact);
+  }
+  EXPECT_LT(std::sqrt(err2 / ref2), p.max_rms_error)
+      << "theta=" << p.theta << " n=" << p.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaNSweep, TreeAccuracyTest,
+    ::testing::Values(TreeParams{0.3, 200, 0.005}, TreeParams{0.3, 800, 0.005},
+                      TreeParams{0.6, 200, 0.03}, TreeParams{0.6, 800, 0.03},
+                      TreeParams{0.9, 200, 0.10}, TreeParams{0.9, 800, 0.10}));
+
+// -------------------------------------------------------- frame codec ------
+
+struct FrameParams {
+  int width, height;
+  int content;  // 0 flat, 1 noise, 2 gradient
+};
+
+class FrameCodecTest : public ::testing::TestWithParam<FrameParams> {};
+
+viz::Image make_content(const FrameParams& p, std::uint64_t seed) {
+  viz::Image img(p.width, p.height);
+  common::Rng rng{seed};
+  for (int y = 0; y < p.height; ++y) {
+    for (int x = 0; x < p.width; ++x) {
+      switch (p.content) {
+        case 0: img.at(x, y) = {40, 80, 120}; break;
+        case 1:
+          img.at(x, y) = {static_cast<std::uint8_t>(rng.next_below(256)),
+                          static_cast<std::uint8_t>(rng.next_below(256)),
+                          static_cast<std::uint8_t>(rng.next_below(256))};
+          break;
+        default:
+          img.at(x, y) = {static_cast<std::uint8_t>(x * 255 / p.width),
+                          static_cast<std::uint8_t>(y * 255 / p.height), 60};
+      }
+    }
+  }
+  return img;
+}
+
+TEST_P(FrameCodecTest, KeyAndDeltaRoundTripLosslessly) {
+  const auto p = GetParam();
+  const viz::Image a = make_content(p, 1);
+  viz::Image b = a;
+  if (p.width > 2 && p.height > 2) {
+    b.at(p.width / 2, p.height / 2) = {255, 0, 255};
+    b.at(1, 1) = {0, 255, 0};
+  }
+  auto key = viz::decompress_frame(viz::compress_frame(a));
+  ASSERT_TRUE(key.is_ok());
+  EXPECT_EQ(key.value(), a);
+  auto delta = viz::decompress_frame_delta(viz::compress_frame_delta(b, a), a);
+  ASSERT_TRUE(delta.is_ok());
+  EXPECT_EQ(delta.value(), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FrameCodecTest,
+    ::testing::Values(FrameParams{1, 1, 0}, FrameParams{7, 3, 1},
+                      FrameParams{64, 64, 0}, FrameParams{64, 64, 1},
+                      FrameParams{64, 64, 2}, FrameParams{320, 240, 2},
+                      FrameParams{255, 1, 1}, FrameParams{1, 255, 2}));
+
+// ------------------------------------------------------ Morton locality ----
+
+class MortonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MortonTest, ConsecutiveKeysAreSpatialNeighbors) {
+  // Walking the Morton order, consecutive particles should be close in
+  // space on average — the property that makes chunked decomposition
+  // spatially compact.
+  const int n = 512;
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) + 100};
+  std::vector<pepc::Particle> particles(n);
+  for (auto& p : particles) {
+    p.pos[0] = rng.uniform(0, 1);
+    p.pos[1] = rng.uniform(0, 1);
+    p.pos[2] = rng.uniform(0, 1);
+  }
+  std::vector<std::pair<std::uint64_t, int>> keyed(n);
+  for (int i = 0; i < n; ++i) {
+    keyed[static_cast<std::size_t>(i)] = {
+        pepc::morton_key(particles[static_cast<std::size_t>(i)].position(),
+                         {0, 0, 0}, 1.0),
+        i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  double morton_dist = 0, random_dist = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    morton_dist += norm(
+        particles[static_cast<std::size_t>(keyed[static_cast<std::size_t>(i)].second)].position() -
+        particles[static_cast<std::size_t>(keyed[static_cast<std::size_t>(i) + 1].second)].position());
+    random_dist += norm(particles[static_cast<std::size_t>(i)].position() -
+                        particles[static_cast<std::size_t>(i) + 1].position());
+  }
+  EXPECT_LT(morton_dist, random_dist * 0.5)
+      << "Morton walk should be much shorter than a random walk";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MortonTest, ::testing::Range(0, 5));
+
+// ----------------------------------------------- steering-control orders ---
+
+class SteeringOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteeringOrderTest, RandomCommandSequencesNeverWedgeTheLoop) {
+  common::Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 5};
+  steer::SteeringControl ctl;
+  double v = 0.5;
+  ctl.register_steerable("v", &v, 0.0, 1.0);
+  std::atomic<bool> done{false};
+  std::jthread app([&] {
+    // The app loop: runs until stop, never deadlocks.
+    while (ctl.sync() != steer::Command::kStop) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    done.store(true);
+  });
+  const char* commands[] = {"pause", "resume", "checkpoint", "emit-sample"};
+  for (int i = 0; i < 30; ++i) {
+    (void)ctl.command(commands[rng.next_below(4)]);
+    if (i % 3 == 0) {
+      (void)ctl.set_param("v", std::to_string(rng.next_double()));
+    }
+  }
+  (void)ctl.command("stop");
+  app.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteeringOrderTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,436 @@
+// Tests for the UNICORE substrate: AJO serialization, incarnation, TSI
+// execution, NJS authentication/authorization, gateway trust and routing,
+// client transactions, and the VISIT-over-UNICORE proxy path end to end.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "unicore/ajo.hpp"
+#include "unicore/client.hpp"
+#include "unicore/gateway.hpp"
+#include "unicore/identity.hpp"
+#include "unicore/njs.hpp"
+#include "unicore/tsi.hpp"
+#include "visit/client.hpp"
+#include "visit/proxy.hpp"
+#include "visit/viewer.hpp"
+
+namespace cs::unicore {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::Status;
+using common::StatusCode;
+
+// ------------------------------------------------------------------- AJO --
+
+TEST(Ajo, SerializeParseRoundTrip) {
+  Ajo ajo = AjoBuilder("pepc-run", "juelich")
+                .import_file("input.dat", "density=1\nbeam|velocity=0.3")
+                .execute("pepc", {{"particles", "1000"}, {"steps", "10"}})
+                .export_file("energies.dat")
+                .start_steering("s3cret")
+                .build();
+  auto parsed = Ajo::parse(ajo.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), ajo);
+}
+
+TEST(Ajo, EscapingSurvivesHostileContent) {
+  Ajo ajo = AjoBuilder("evil|job\nname", "site%20x")
+                .import_file("f|le\n%", "100% evil\ncontent|with|pipes")
+                .build();
+  auto parsed = Ajo::parse(ajo.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), ajo);
+}
+
+TEST(Ajo, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ajo::parse("").is_ok());
+  EXPECT_FALSE(Ajo::parse("NOTAJO|x|y").is_ok());
+  EXPECT_FALSE(Ajo::parse("AJO1|name|site\nBOGUS|a|b").is_ok());
+  EXPECT_FALSE(Ajo::parse("AJO1|name|site\nEXECUTE|app|x|noequals").is_ok());
+}
+
+TEST(Incarnation, TasksBecomeTargetCommands) {
+  Ajo ajo = AjoBuilder("job", "site")
+                .import_file("a.txt", "hello")
+                .execute("solver", {{"n", "5"}})
+                .export_file("out.txt")
+                .build();
+  auto script = incarnate(ajo);
+  ASSERT_TRUE(script.is_ok());
+  ASSERT_EQ(script.value().size(), 3u);
+  EXPECT_EQ(script.value()[0].op, TargetCommand::Op::kPutFile);
+  EXPECT_EQ(script.value()[1].op, TargetCommand::Op::kRunApplication);
+  EXPECT_EQ(script.value()[2].op, TargetCommand::Op::kExportFile);
+}
+
+TEST(Incarnation, SteeringProxyStartsBeforeApplications) {
+  Ajo ajo = AjoBuilder("job", "site")
+                .execute("solver")
+                .start_steering("pw")
+                .build();
+  auto script = incarnate(ajo);
+  ASSERT_TRUE(script.is_ok());
+  EXPECT_EQ(script.value()[0].op, TargetCommand::Op::kStartVisitProxy);
+  EXPECT_EQ(script.value()[1].op, TargetCommand::Op::kRunApplication);
+}
+
+// ----------------------------------------------------------------- TSI ----
+
+struct TsiFixture {
+  net::InProcNetwork net;
+  TargetSystem tsi{net, {"juelich", 2, common::Duration::zero()}};
+
+  TsiFixture() {
+    tsi.register_application("copy", [](ExecutionContext& ctx) {
+      // Copies input.txt to output.txt and logs.
+      auto it = ctx.uspace->find("input.txt");
+      if (it == ctx.uspace->end()) {
+        return Status{StatusCode::kNotFound, "input.txt missing"};
+      }
+      (*ctx.uspace)["output.txt"] = it->second;
+      *ctx.stdout_text += "copied " + std::to_string(it->second.size()) +
+                          " bytes as " + ctx.xlogin + "\n";
+      return Status::ok();
+    });
+    tsi.register_application("spin", [](ExecutionContext& ctx) {
+      while (!ctx.cancelled->load()) {
+        std::this_thread::sleep_for(1ms);
+      }
+      return Status{StatusCode::kClosed, "cancelled"};
+    });
+  }
+
+  JobOutcome run(std::vector<TargetCommand> script,
+                 const std::string& id = "j1") {
+    EXPECT_TRUE(tsi.submit(id, "user1", std::move(script)).is_ok());
+    const auto deadline = Deadline::after(5s);
+    while (!deadline.has_expired()) {
+      const auto s = tsi.state(id);
+      if (s == JobState::kSuccessful || s == JobState::kFailed) break;
+      std::this_thread::sleep_for(2ms);
+    }
+    auto outcome = tsi.outcome(id);
+    EXPECT_TRUE(outcome.is_ok());
+    return outcome.value();
+  }
+};
+
+TEST(Tsi, ExecutesFullScript) {
+  TsiFixture f;
+  std::vector<TargetCommand> script;
+  script.push_back({TargetCommand::Op::kPutFile, "input.txt", "payload", {}});
+  script.push_back({TargetCommand::Op::kRunApplication, "copy", "", {}});
+  script.push_back({TargetCommand::Op::kExportFile, "output.txt", "", {}});
+  auto outcome = f.run(std::move(script));
+  EXPECT_EQ(outcome.state, JobState::kSuccessful);
+  EXPECT_EQ(outcome.exported_files.at("output.txt"), "payload");
+  EXPECT_NE(outcome.stdout_text.find("copied 7 bytes as user1"),
+            std::string::npos);
+}
+
+TEST(Tsi, MissingApplicationFailsJob) {
+  TsiFixture f;
+  std::vector<TargetCommand> script;
+  script.push_back({TargetCommand::Op::kRunApplication, "no-such-app", "", {}});
+  auto outcome = f.run(std::move(script));
+  EXPECT_EQ(outcome.state, JobState::kFailed);
+  EXPECT_NE(outcome.error_text.find("no such application"), std::string::npos);
+}
+
+TEST(Tsi, MissingExportFailsJob) {
+  TsiFixture f;
+  std::vector<TargetCommand> script;
+  script.push_back({TargetCommand::Op::kExportFile, "ghost.txt", "", {}});
+  auto outcome = f.run(std::move(script));
+  EXPECT_EQ(outcome.state, JobState::kFailed);
+}
+
+TEST(Tsi, DuplicateJobIdRejected) {
+  TsiFixture f;
+  ASSERT_TRUE(f.tsi.submit("dup", "u", {}).is_ok());
+  auto s = f.tsi.submit("dup", "u", {});
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Tsi, AbortCancelsRunningApplication) {
+  TsiFixture f;
+  std::vector<TargetCommand> script;
+  script.push_back({TargetCommand::Op::kRunApplication, "spin", "", {}});
+  ASSERT_TRUE(f.tsi.submit("spinner", "u", std::move(script)).is_ok());
+  // Wait for it to start running, then abort.
+  auto deadline = Deadline::after(5s);
+  while (f.tsi.state("spinner") != JobState::kRunning &&
+         !deadline.has_expired()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(f.tsi.abort("spinner").is_ok());
+  deadline = Deadline::after(5s);
+  while (f.tsi.state("spinner") == JobState::kRunning &&
+         !deadline.has_expired()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(f.tsi.state("spinner"), JobState::kFailed);
+}
+
+TEST(Tsi, QueueDelayHoldsJobs) {
+  net::InProcNetwork net;
+  TargetSystem tsi{net, {"slow-site", 1, 50ms}};
+  tsi.register_application("noop",
+                           [](ExecutionContext&) { return Status::ok(); });
+  std::vector<TargetCommand> script;
+  script.push_back({TargetCommand::Op::kRunApplication, "noop", "", {}});
+  const auto t0 = common::Clock::now();
+  ASSERT_TRUE(tsi.submit("q1", "u", script).is_ok());
+  while (tsi.state("q1") != JobState::kSuccessful &&
+         common::Clock::now() - t0 < 5s) {
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_GE(common::Clock::now() - t0, 45ms);
+}
+
+TEST(Tsi, ScriptIntrospectionShowsIncarnation) {
+  TsiFixture f;
+  std::vector<TargetCommand> script;
+  script.push_back({TargetCommand::Op::kPutFile, "input.txt", "x", {}});
+  script.push_back(
+      {TargetCommand::Op::kRunApplication, "copy", "", {{"k", "v"}}});
+  (void)f.run(std::move(script), "intro");
+  const auto lines = f.tsi.script_of("intro");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "put input.txt (1 bytes)");
+  EXPECT_EQ(lines[1], "run copy k=v");
+}
+
+// --------------------------------------------------- gateway + njs + client --
+
+struct GridFixture {
+  net::InProcNetwork net;
+  TargetSystem tsi{net, {"juelich", 2, common::Duration::zero()}};
+  Njs njs{"juelich", tsi};
+  std::unique_ptr<Gateway> gateway;
+  Certificate alice = issue_certificate("CN=Alice", "alice-key");
+  Certificate bob = issue_certificate("CN=Bob", "bob-key");
+  Certificate mallory = issue_certificate("CN=Mallory", "mallory-key");
+
+  GridFixture() {
+    auto gw = Gateway::start(net, {"gw:juelich"});
+    EXPECT_TRUE(gw.is_ok());
+    gateway = std::move(gw).value();
+    gateway->trust_store().trust(alice);
+    gateway->trust_store().trust(bob);
+    // Mallory is deliberately not trusted.
+    njs.uudb().add_mapping(alice, "jb0001");
+    njs.uudb().add_mapping(bob, "jb0002");
+    gateway->register_vsite(njs);
+    tsi.register_application("hello", [](ExecutionContext& ctx) {
+      *ctx.stdout_text += "hello from " + ctx.vsite + "\n";
+      (*ctx.uspace)["result.txt"] = "42";
+      return Status::ok();
+    });
+  }
+
+  UnicoreClient client_for(const Certificate& cert) {
+    return UnicoreClient{net, {"gw:juelich", cert, 5s}};
+  }
+};
+
+TEST(Grid, SubmitWaitFetchOutcome) {
+  GridFixture f;
+  auto client = f.client_for(f.alice);
+  Ajo ajo = AjoBuilder("hello-job", "juelich")
+                .execute("hello")
+                .export_file("result.txt")
+                .build();
+  auto job = client.submit(ajo);
+  ASSERT_TRUE(job.is_ok()) << job.status().to_string();
+  auto outcome = client.wait("juelich", job.value(), Deadline::after(5s));
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  EXPECT_EQ(outcome.value().state, JobState::kSuccessful);
+  EXPECT_EQ(outcome.value().exported_files.at("result.txt"), "42");
+  EXPECT_NE(outcome.value().stdout_text.find("hello from juelich"),
+            std::string::npos);
+}
+
+TEST(Grid, UntrustedCertificateRejectedAtGateway) {
+  GridFixture f;
+  auto client = f.client_for(f.mallory);
+  Ajo ajo = AjoBuilder("evil", "juelich").execute("hello").build();
+  auto job = client.submit(ajo);
+  ASSERT_FALSE(job.is_ok());
+  EXPECT_EQ(job.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(f.gateway->stats().rejected_untrusted, 1u);
+}
+
+TEST(Grid, TrustedButUnmappedUserRejectedAtNjs) {
+  GridFixture f;
+  Certificate carol = issue_certificate("CN=Carol", "carol-key");
+  f.gateway->trust_store().trust(carol);  // gateway lets her in...
+  auto client = f.client_for(carol);
+  Ajo ajo = AjoBuilder("job", "juelich").execute("hello").build();
+  auto job = client.submit(ajo);
+  ASSERT_FALSE(job.is_ok());  // ...but the NJS has no xlogin for her
+  EXPECT_EQ(job.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(Grid, UnknownVsiteRejected) {
+  GridFixture f;
+  auto client = f.client_for(f.alice);
+  Ajo ajo = AjoBuilder("job", "atlantis").execute("hello").build();
+  auto job = client.submit(ajo);
+  ASSERT_FALSE(job.is_ok());
+  EXPECT_EQ(job.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Grid, ForeignJobInvisibleWithoutInvite) {
+  GridFixture f;
+  auto alice = f.client_for(f.alice);
+  auto bob = f.client_for(f.bob);
+  Ajo ajo = AjoBuilder("private", "juelich").execute("hello").build();
+  auto job = alice.submit(ajo);
+  ASSERT_TRUE(job.is_ok());
+  auto peek = bob.status("juelich", job.value());
+  ASSERT_FALSE(peek.is_ok());
+  EXPECT_EQ(peek.status().code(), StatusCode::kPermissionDenied);
+  // After an invite, Bob can see it.
+  ASSERT_TRUE(alice.invite("juelich", job.value(), f.bob).is_ok());
+  auto peek2 = bob.status("juelich", job.value());
+  EXPECT_TRUE(peek2.is_ok());
+}
+
+TEST(Grid, StatusOfUnknownJob) {
+  GridFixture f;
+  auto client = f.client_for(f.alice);
+  auto s = client.status("juelich", "juelich-job-999");
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------ VISIT-over-UNICORE path --
+
+/// A steerable mock simulation registered at the TSI: it connects to the
+/// job's VISIT proxy, emits samples, and polls a "gain" parameter until
+/// the steerer sets it above 10 (or it gives up).
+Status steerable_sim(ExecutionContext& ctx) {
+  visit::SimClientOptions opts;
+  opts.server_address = ctx.visit_address;
+  opts.password = ctx.visit_password;
+  opts.default_timeout = 200ms;
+  auto client =
+      visit::SimClient::connect(*ctx.net, opts, Deadline::after(2s));
+  if (!client.is_ok()) return client.status();
+  double gain = 1.0;
+  for (int step = 0; step < 500 && !ctx.cancelled->load(); ++step) {
+    const std::vector<double> sample{static_cast<double>(step), gain};
+    (void)client.value().send(1, sample);
+    auto param = client.value().request<double>(2);
+    if (param.is_ok() && !param.value().empty()) gain = param.value()[0];
+    if (gain > 10.0) {
+      *ctx.stdout_text += "steered to gain=" + std::to_string(gain) + "\n";
+      client.value().disconnect();
+      return Status::ok();
+    }
+    std::this_thread::sleep_for(2ms);
+  }
+  client.value().disconnect();
+  return Status{StatusCode::kTimeout, "never steered above 10"};
+}
+
+TEST(Grid, VisitSteeringThroughProxies) {
+  GridFixture f;
+  f.tsi.register_application("steerable-sim", steerable_sim);
+  auto client = f.client_for(f.alice);
+  Ajo ajo = AjoBuilder("steered", "juelich")
+                .start_steering("visit-pw")
+                .execute("steerable-sim")
+                .build();
+  auto job = client.submit(ajo);
+  ASSERT_TRUE(job.is_ok());
+
+  // Attach the client plugin (polling proxy) and steer through it.
+  visit::ProxyClient::Options popts;
+  popts.poll_period = 5ms;
+  auto plugin = visit::ProxyClient::attach(
+      client.visit_transactor("juelich", job.value()), popts);
+  // The proxy may not exist yet (job still queued): retry briefly.
+  const auto deadline = Deadline::after(5s);
+  while (!plugin.is_ok() && !deadline.has_expired()) {
+    std::this_thread::sleep_for(10ms);
+    plugin = visit::ProxyClient::attach(
+        client.visit_transactor("juelich", job.value()), popts);
+  }
+  ASSERT_TRUE(plugin.is_ok()) << plugin.status().to_string();
+
+  auto viewer = visit::ViewerClient::adopt(plugin.value()->connection(),
+                                           {"", "", 500ms});
+  // Receive at least one sample broadcast by the simulation.
+  bool got_sample = false;
+  for (int i = 0; i < 100 && !got_sample; ++i) {
+    auto e = viewer.poll(Deadline::after(500ms));
+    if (e.is_ok() && e.value().kind == visit::ViewerClient::Event::Kind::kData &&
+        e.value().tag == 1) {
+      got_sample = true;
+    }
+  }
+  EXPECT_TRUE(got_sample);
+
+  // Steer: set gain above the threshold; the sim should finish SUCCESSFUL.
+  ASSERT_TRUE(viewer.steer<double>(2, {25.0}).is_ok());
+  auto outcome = client.wait("juelich", job.value(), Deadline::after(10s));
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().state, JobState::kSuccessful)
+      << outcome.value().error_text;
+  EXPECT_NE(outcome.value().stdout_text.find("steered to gain=25"),
+            std::string::npos);
+}
+
+TEST(Grid, SecondUserNeedsInviteToSteer) {
+  GridFixture f;
+  f.tsi.register_application("steerable-sim", steerable_sim);
+  auto alice = f.client_for(f.alice);
+  auto bob = f.client_for(f.bob);
+  Ajo ajo = AjoBuilder("collab", "juelich")
+                .start_steering("visit-pw")
+                .execute("steerable-sim")
+                .build();
+  auto job = alice.submit(ajo);
+  ASSERT_TRUE(job.is_ok());
+
+  // Bob cannot attach before being invited.
+  auto deadline = Deadline::after(5s);
+  visit::ProxyClient::Options popts;
+  popts.poll_period = 5ms;
+  // Wait until the proxy exists (owner can attach) to make Bob's failure
+  // unambiguous (authorization, not "not started yet").
+  auto alice_plugin = visit::ProxyClient::attach(
+      alice.visit_transactor("juelich", job.value()), popts);
+  while (!alice_plugin.is_ok() && !deadline.has_expired()) {
+    std::this_thread::sleep_for(10ms);
+    alice_plugin = visit::ProxyClient::attach(
+        alice.visit_transactor("juelich", job.value()), popts);
+  }
+  ASSERT_TRUE(alice_plugin.is_ok());
+
+  auto bob_attempt = visit::ProxyClient::attach(
+      bob.visit_transactor("juelich", job.value()), popts);
+  ASSERT_FALSE(bob_attempt.is_ok());
+  EXPECT_EQ(bob_attempt.status().code(), StatusCode::kPermissionDenied);
+
+  ASSERT_TRUE(alice.invite("juelich", job.value(), f.bob).is_ok());
+  auto bob_plugin = visit::ProxyClient::attach(
+      bob.visit_transactor("juelich", job.value()), popts);
+  EXPECT_TRUE(bob_plugin.is_ok());
+
+  // Unblock the sim so the fixture tears down fast.
+  auto viewer = visit::ViewerClient::adopt(alice_plugin.value()->connection(),
+                                           {"", "", 500ms});
+  (void)viewer.steer<double>(2, {25.0});
+  (void)alice.wait("juelich", job.value(), Deadline::after(10s));
+}
+
+}  // namespace
+}  // namespace cs::unicore

@@ -1,0 +1,557 @@
+// Tests for the VISIT-style steering toolkit: client/server handshake and
+// data flow, timeout isolation guarantees (the paper's core design rule),
+// the collaborative multiplexer, and the control-data server.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "visit/client.hpp"
+#include "visit/control.hpp"
+#include "visit/multiplexer.hpp"
+#include "visit/server.hpp"
+#include "visit/tags.hpp"
+#include "visit/viewer.hpp"
+
+namespace cs::visit {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::StatusCode;
+
+constexpr std::uint32_t kTagField = 1;
+constexpr std::uint32_t kTagMiscibility = 2;
+constexpr std::uint32_t kTagParticles = 3;
+
+struct Fixture {
+  net::InProcNetwork net;
+};
+
+// ------------------------------------------------------ client <-> server --
+
+TEST(Visit, HandshakeAndScalarData) {
+  Fixture f;
+  auto server = VizServer::listen(f.net, {"viz:1", "secret"});
+  ASSERT_TRUE(server.is_ok());
+
+  std::jthread viz([&] {
+    auto session = server.value().accept(Deadline::after(2s));
+    ASSERT_TRUE(session.is_ok());
+    auto event = session.value().serve(Deadline::after(2s));
+    ASSERT_TRUE(event.is_ok());
+    EXPECT_EQ(event.value().kind, SimSession::Event::Kind::kData);
+    EXPECT_EQ(event.value().tag, kTagField);
+    auto values = session.value().extract<double>(event.value());
+    ASSERT_TRUE(values.is_ok());
+    EXPECT_EQ(values.value(), (std::vector<double>{1.0, 2.5, -3.0}));
+  });
+
+  auto client =
+      SimClient::connect(f.net, {"viz:1", "secret", 100ms}, Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  const std::vector<double> field{1.0, 2.5, -3.0};
+  EXPECT_TRUE(client.value().send(kTagField, field).is_ok());
+}
+
+TEST(Visit, WrongPasswordIsDenied) {
+  Fixture f;
+  auto server = VizServer::listen(f.net, {"viz:2", "secret"});
+  ASSERT_TRUE(server.is_ok());
+  std::jthread viz([&] {
+    auto session = server.value().accept(Deadline::after(2s));
+    EXPECT_FALSE(session.is_ok());
+    EXPECT_EQ(session.status().code(), StatusCode::kPermissionDenied);
+  });
+  auto client = SimClient::connect(f.net, {"viz:2", "wrong", 100ms},
+                                   Deadline::after(2s));
+  ASSERT_FALSE(client.is_ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(Visit, ConnectToAbsentServerFailsFast) {
+  Fixture f;
+  auto client = SimClient::connect(f.net, {"viz:none", "x", 100ms},
+                                   Deadline::after(50ms));
+  ASSERT_FALSE(client.is_ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Visit, ParameterRequestReplyFromTable) {
+  Fixture f;
+  auto server = VizServer::listen(f.net, {"viz:3", "pw"});
+  ASSERT_TRUE(server.is_ok());
+
+  std::jthread viz([&] {
+    auto session = server.value().accept(Deadline::after(2s));
+    ASSERT_TRUE(session.is_ok());
+    session.value().set_parameter<double>(kTagMiscibility, {0.07});
+    // Keep serving so requests are answered until the sim says BYE.
+    for (;;) {
+      auto event = session.value().serve(Deadline::after(2s));
+      if (!event.is_ok() ||
+          event.value().kind == SimSession::Event::Kind::kBye) {
+        break;
+      }
+    }
+    EXPECT_GE(session.value().requests_served(), 1u);
+  });
+
+  auto client =
+      SimClient::connect(f.net, {"viz:3", "pw", 200ms}, Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto param = client.value().request<double>(kTagMiscibility);
+  ASSERT_TRUE(param.is_ok());
+  ASSERT_EQ(param.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(param.value()[0], 0.07);
+  client.value().disconnect();
+}
+
+TEST(Visit, UnsetParameterYieldsEmptyVector) {
+  Fixture f;
+  auto server = VizServer::listen(f.net, {"viz:4", "pw"});
+  std::jthread viz([&] {
+    auto session = server.value().accept(Deadline::after(2s));
+    ASSERT_TRUE(session.is_ok());
+    (void)session.value().serve(Deadline::after(2s));
+  });
+  auto client =
+      SimClient::connect(f.net, {"viz:4", "pw", 200ms}, Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto param = client.value().request<float>(99);
+  ASSERT_TRUE(param.is_ok());
+  EXPECT_TRUE(param.value().empty());
+}
+
+TEST(Visit, StructRoundTripWithSchema) {
+  struct P {
+    double pos[3];
+    std::int32_t label;
+  };
+  wire::StructDesc desc{"p", sizeof(P)};
+  desc.add_field("pos", wire::ScalarType::kFloat64, 3, offsetof(P, pos))
+      .add_field("label", wire::ScalarType::kInt32, 1, offsetof(P, label));
+
+  Fixture f;
+  auto server = VizServer::listen(f.net, {"viz:5", "pw"});
+  std::jthread viz([&] {
+    auto session = server.value().accept(Deadline::after(2s));
+    ASSERT_TRUE(session.is_ok());
+    auto event = session.value().serve(Deadline::after(2s));
+    ASSERT_TRUE(event.is_ok());
+    ASSERT_EQ(event.value().kind, SimSession::Event::Kind::kStructData);
+    auto n = session.value().record_count(event.value());
+    ASSERT_TRUE(n.is_ok());
+    ASSERT_EQ(n.value(), 2u);
+    std::vector<P> out(2);
+    ASSERT_TRUE(session.value()
+                    .unpack(event.value(), desc, out.data(), 2)
+                    .is_ok());
+    EXPECT_EQ(out[0].label, 10);
+    EXPECT_DOUBLE_EQ(out[1].pos[2], 6.0);
+  });
+
+  auto client =
+      SimClient::connect(f.net, {"viz:5", "pw", 200ms}, Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  std::vector<P> particles(2);
+  particles[0] = {{1, 2, 3}, 10};
+  particles[1] = {{4, 5, 6}, 11};
+  EXPECT_TRUE(client.value()
+                  .send_struct(kTagParticles, desc, particles.data(), 2)
+                  .is_ok());
+}
+
+// --------------------------------------------- the VISIT timeout guarantee --
+
+TEST(VisitGuarantee, DeadVisualizationNeverHangsSimulation) {
+  // Server accepts, then dies (never drains). With a small receive window
+  // the sim's sends start timing out but always return within the timeout.
+  Fixture f;
+  auto listener = f.net.listen("viz:dead");
+  ASSERT_TRUE(listener.is_ok());
+  net::ConnectionPtr server_conn;
+  std::jthread viz([&] {
+    auto conn = listener.value()->accept(Deadline::after(2s));
+    ASSERT_TRUE(conn.is_ok());
+    ASSERT_TRUE(
+        handshake_accept(*conn.value(), "pw", Deadline::after(2s)).is_ok());
+    server_conn = conn.value();  // keep alive but never recv again
+  });
+
+  net::ConnectOptions opts;
+  opts.recv_capacity_bytes = 4096;
+  auto conn = f.net.connect("viz:dead", Deadline::after(2s), opts);
+  ASSERT_TRUE(conn.is_ok());
+  auto client = SimClient::adopt(conn.value(), {"viz:dead", "pw", 30ms},
+                                 Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+
+  const std::vector<double> sample(1024, 1.0);  // 8 KiB > window
+  int timeouts = 0;
+  for (int step = 0; step < 5; ++step) {
+    const auto t0 = common::Clock::now();
+    auto s = client.value().send(kTagField, sample);
+    const auto elapsed = common::Clock::now() - t0;
+    EXPECT_LT(elapsed, 200ms) << "send must return within the timeout";
+    if (s.code() == StatusCode::kTimeout) ++timeouts;
+  }
+  EXPECT_GE(timeouts, 3);  // the window (4 KiB) fills after the first sends
+}
+
+TEST(VisitGuarantee, RequestTimesOutWhenServerStalls) {
+  Fixture f;
+  auto listener = f.net.listen("viz:stall");
+  net::ConnectionPtr keep;
+  std::jthread viz([&] {
+    auto conn = listener.value()->accept(Deadline::after(2s));
+    ASSERT_TRUE(conn.is_ok());
+    ASSERT_TRUE(
+        handshake_accept(*conn.value(), "pw", Deadline::after(2s)).is_ok());
+    keep = conn.value();  // never serves the request
+  });
+  auto client = SimClient::connect(f.net, {"viz:stall", "pw", 50ms},
+                                   Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  const auto t0 = common::Clock::now();
+  auto param = client.value().request<double>(kTagMiscibility);
+  const auto elapsed = common::Clock::now() - t0;
+  ASSERT_FALSE(param.is_ok());
+  EXPECT_EQ(param.status().code(), StatusCode::kTimeout);
+  EXPECT_LT(elapsed, 500ms);
+}
+
+TEST(VisitGuarantee, StaleReplyIsSkippedByNextRequest) {
+  // A reply that arrives after its request timed out must not be mistaken
+  // for the answer to the *next* request of a different tag.
+  Fixture f;
+  auto server = VizServer::listen(f.net, {"viz:stale", "pw"});
+  std::jthread viz([&] {
+    auto session = server.value().accept(Deadline::after(2s));
+    ASSERT_TRUE(session.is_ok());
+    // Delay answering so the first request times out client-side.
+    std::this_thread::sleep_for(120ms);
+    session.value().set_parameter<double>(1, {1.0});
+    session.value().set_parameter<double>(2, {2.0});
+    for (;;) {
+      auto event = session.value().serve(Deadline::after(1s));
+      if (!event.is_ok() ||
+          event.value().kind == SimSession::Event::Kind::kBye)
+        break;
+    }
+  });
+  auto client = SimClient::connect(f.net, {"viz:stale", "pw", 60ms},
+                                   Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  auto first = client.value().request<double>(1);  // times out
+  EXPECT_FALSE(first.is_ok());
+  std::this_thread::sleep_for(150ms);  // stale reply for tag 1 arrives
+  auto second = client.value().request<double>(2, Deadline::after(500ms));
+  ASSERT_TRUE(second.is_ok());
+  ASSERT_EQ(second.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(second.value()[0], 2.0);  // not the stale 1.0
+  client.value().disconnect();
+}
+
+TEST(VisitGuarantee, SimSurvivesServerVanishing) {
+  Fixture f;
+  auto server = VizServer::listen(f.net, {"viz:gone", "pw"});
+  auto session_holder = std::make_shared<common::Result<SimSession>>(
+      common::Status{StatusCode::kUnavailable, "pending"});
+  std::jthread viz([&] {
+    *session_holder = server.value().accept(Deadline::after(2s));
+    ASSERT_TRUE(session_holder->is_ok());
+  });
+  auto client =
+      SimClient::connect(f.net, {"viz:gone", "pw", 50ms}, Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  viz.join();
+  session_holder->value().close();  // visualization crashes
+  // The sim keeps calling send; after the close propagates, calls fail fast
+  // with kClosed and never block.
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = common::Clock::now();
+    (void)client.value().send(kTagField, std::vector<float>(100, 1.f));
+    EXPECT_LT(common::Clock::now() - t0, 200ms);
+  }
+  EXPECT_FALSE(client.value().connected());
+}
+
+// ------------------------------------------------------------ multiplexer --
+
+struct MuxFixture {
+  net::InProcNetwork net;
+  std::unique_ptr<Multiplexer> mux;
+
+  MuxFixture() {
+    Multiplexer::Options o;
+    o.sim_address = "mux:sim";
+    o.viewer_address = "mux:viewer";
+    o.password = "pw";
+    auto r = Multiplexer::start(net, o);
+    EXPECT_TRUE(r.is_ok());
+    mux = std::move(r).value();
+  }
+
+  SimClient connect_sim() {
+    auto c = SimClient::connect(net, {"mux:sim", "pw", 200ms},
+                                Deadline::after(2s));
+    EXPECT_TRUE(c.is_ok());
+    return std::move(c).value();
+  }
+
+  ViewerClient connect_viewer() {
+    auto v = ViewerClient::connect(net, {"mux:viewer", "pw", 200ms},
+                                   Deadline::after(2s));
+    EXPECT_TRUE(v.is_ok());
+    return std::move(v).value();
+  }
+};
+
+/// Drains viewer events until one of `kind` arrives.
+template <typename Pred>
+common::Result<ViewerClient::Event> poll_until(ViewerClient& viewer,
+                                               Pred pred,
+                                               common::Duration budget = 2s) {
+  const auto deadline = Deadline::after(budget);
+  for (;;) {
+    auto e = viewer.poll(deadline);
+    if (!e.is_ok()) return e;
+    if (pred(e.value())) return e;
+  }
+}
+
+TEST(Multiplexer, FirstViewerBecomesMaster) {
+  MuxFixture f;
+  auto v1 = f.connect_viewer();
+  auto role = poll_until(v1, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  ASSERT_TRUE(role.is_ok());
+  EXPECT_EQ(role.value().role, "master");
+  EXPECT_TRUE(v1.is_master());
+  auto v2 = f.connect_viewer();
+  auto role2 = poll_until(v2, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  ASSERT_TRUE(role2.is_ok());
+  EXPECT_EQ(role2.value().role, "viewer");
+  EXPECT_EQ(f.mux->viewer_count(), 2u);
+}
+
+TEST(Multiplexer, SamplesFanOutToAllViewers) {
+  MuxFixture f;
+  auto v1 = f.connect_viewer();
+  auto v2 = f.connect_viewer();
+  auto v3 = f.connect_viewer();
+  auto sim = f.connect_sim();
+  // The handshake completes slightly before the multiplexer registers the
+  // viewer; wait for registration so the broadcast counts all three.
+  const auto reg_deadline = Deadline::after(2s);
+  while (f.mux->viewer_count() < 3 && !reg_deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(f.mux->viewer_count(), 3u);
+
+  const std::vector<float> sample{1.f, 2.f, 3.f};
+  ASSERT_TRUE(sim.send(kTagField, sample).is_ok());
+
+  for (ViewerClient* v : {&v1, &v2, &v3}) {
+    auto e = poll_until(*v, [](const ViewerClient::Event& e) {
+      return e.kind == ViewerClient::Event::Kind::kData && e.tag == kTagField;
+    });
+    ASSERT_TRUE(e.is_ok());
+    auto values = v->extract<float>(e.value());
+    ASSERT_TRUE(values.is_ok());
+    EXPECT_EQ(values.value(), sample);
+  }
+  // The counter increments after the delivery a viewer just observed, so
+  // give it a moment to settle.
+  const auto stats_deadline = Deadline::after(2s);
+  while (f.mux->stats().samples_out < 3 && !stats_deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_EQ(f.mux->stats().samples_in, 1u);
+  EXPECT_EQ(f.mux->stats().samples_out, 3u);
+}
+
+TEST(Multiplexer, OnlyMasterSteers) {
+  MuxFixture f;
+  auto master = f.connect_viewer();
+  (void)poll_until(master, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  auto bystander = f.connect_viewer();
+  (void)poll_until(bystander, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  auto sim = f.connect_sim();
+
+  ASSERT_TRUE(master.steer<double>(kTagMiscibility, {0.5}).is_ok());
+  ASSERT_TRUE(bystander.steer<double>(kTagMiscibility, {99.0}).is_ok());
+
+  // Wait until the master's update is registered.
+  const auto deadline = Deadline::after(2s);
+  while (f.mux->stats().steers_accepted == 0 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  while (f.mux->stats().steers_rejected == 0 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  auto param = sim.request<double>(kTagMiscibility, Deadline::after(1s));
+  ASSERT_TRUE(param.is_ok());
+  ASSERT_EQ(param.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(param.value()[0], 0.5);  // the bystander's 99 was dropped
+  EXPECT_EQ(f.mux->stats().steers_rejected, 1u);
+}
+
+TEST(Multiplexer, MasterHandover) {
+  MuxFixture f;
+  auto v1 = f.connect_viewer();
+  (void)poll_until(v1, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  auto v2 = f.connect_viewer();
+  (void)poll_until(v2, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  EXPECT_TRUE(v1.is_master());
+  EXPECT_FALSE(v2.is_master());
+
+  ASSERT_TRUE(v2.take_master().is_ok());
+  auto promoted = poll_until(v2, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole && e.role == "master";
+  });
+  ASSERT_TRUE(promoted.is_ok());
+  auto demoted = poll_until(v1, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole && e.role == "viewer";
+  });
+  ASSERT_TRUE(demoted.is_ok());
+  EXPECT_TRUE(v2.is_master());
+  EXPECT_FALSE(v1.is_master());
+}
+
+TEST(Multiplexer, MasterDisconnectPromotesSurvivor) {
+  MuxFixture f;
+  auto v1 = f.connect_viewer();
+  (void)poll_until(v1, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  auto v2 = f.connect_viewer();
+  (void)poll_until(v2, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole;
+  });
+  v1.disconnect();
+  auto promoted = poll_until(v2, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole && e.role == "master";
+  });
+  ASSERT_TRUE(promoted.is_ok());
+  EXPECT_EQ(f.mux->viewer_count(), 1u);
+}
+
+TEST(Multiplexer, LateJoinerReceivesLastSample) {
+  MuxFixture f;
+  auto sim = f.connect_sim();
+  const std::vector<double> sample{42.0, 43.0};
+  ASSERT_TRUE(sim.send(kTagField, sample).is_ok());
+  // Ensure the mux has processed the sample before the viewer joins.
+  const auto deadline = Deadline::after(2s);
+  while (f.mux->stats().samples_in == 0 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  auto late = f.connect_viewer();
+  auto e = poll_until(late, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kData && e.tag == kTagField;
+  });
+  ASSERT_TRUE(e.is_ok());
+  auto values = late.extract<double>(e.value());
+  ASSERT_TRUE(values.is_ok());
+  EXPECT_EQ(values.value(), sample);
+}
+
+TEST(Multiplexer, SimRequestAnsweredWithNoViewers) {
+  // The sim's round trip must complete even with zero viewers attached.
+  MuxFixture f;
+  auto sim = f.connect_sim();
+  auto param = sim.request<double>(kTagMiscibility, Deadline::after(1s));
+  ASSERT_TRUE(param.is_ok());
+  EXPECT_TRUE(param.value().empty());
+}
+
+// ---------------------------------------------------------- control server --
+
+TEST(ControlServer, ActorUpdatesReachAllOthers) {
+  net::InProcNetwork net;
+  auto server = ControlServer::start(net, {"ctl:1", "pw", 50ms});
+  ASSERT_TRUE(server.is_ok());
+  auto actor = ControlClient::connect(net, "ctl:1", "pw", "actor",
+                                      Deadline::after(2s));
+  auto obs1 = ControlClient::connect(net, "ctl:1", "pw", "observer",
+                                     Deadline::after(2s));
+  auto obs2 = ControlClient::connect(net, "ctl:1", "pw", "observer",
+                                     Deadline::after(2s));
+  ASSERT_TRUE(actor.is_ok() && obs1.is_ok() && obs2.is_ok());
+
+  // Wait for all three registrations.
+  const auto deadline = Deadline::after(2s);
+  while (server.value()->participant_count() < 3 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE(actor.value().publish("VIEW 1 0 0 0", Deadline::after(1s)).is_ok());
+  auto r1 = obs1.value().receive(Deadline::after(1s));
+  auto r2 = obs2.value().receive(Deadline::after(1s));
+  ASSERT_TRUE(r1.is_ok());
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(r1.value(), "VIEW 1 0 0 0");
+  EXPECT_EQ(r2.value(), "VIEW 1 0 0 0");
+}
+
+TEST(ControlServer, ObserverPublishIsRejected) {
+  net::InProcNetwork net;
+  auto server = ControlServer::start(net, {"ctl:2", "pw", 50ms});
+  ASSERT_TRUE(server.is_ok());
+  auto actor = ControlClient::connect(net, "ctl:2", "pw", "actor",
+                                      Deadline::after(2s));
+  auto obs = ControlClient::connect(net, "ctl:2", "pw", "observer",
+                                    Deadline::after(2s));
+  ASSERT_TRUE(actor.is_ok() && obs.is_ok());
+  const auto deadline = Deadline::after(2s);
+  while (server.value()->participant_count() < 2 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE(obs.value().publish("VIEW hacked", Deadline::after(1s)).is_ok());
+  auto r = actor.value().receive(Deadline::after(200ms));
+  EXPECT_FALSE(r.is_ok());  // nothing relayed
+  while (server.value()->stats().updates_rejected == 0 &&
+         !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.value()->stats().updates_rejected, 1u);
+  EXPECT_EQ(server.value()->stats().updates_relayed, 0u);
+}
+
+TEST(ControlServer, ParticipantDepartureIsHandled) {
+  net::InProcNetwork net;
+  auto server = ControlServer::start(net, {"ctl:3", "pw", 50ms});
+  ASSERT_TRUE(server.is_ok());
+  auto a = ControlClient::connect(net, "ctl:3", "pw", "actor",
+                                  Deadline::after(2s));
+  auto b = ControlClient::connect(net, "ctl:3", "pw", "observer",
+                                  Deadline::after(2s));
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  auto deadline = Deadline::after(2s);
+  while (server.value()->participant_count() < 2 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  b.value().disconnect();
+  deadline = Deadline::after(2s);
+  while (server.value()->participant_count() > 1 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.value()->participant_count(), 1u);
+  // Actor can still publish without error.
+  EXPECT_TRUE(a.value().publish("VIEW x", Deadline::after(1s)).is_ok());
+}
+
+}  // namespace
+}  // namespace cs::visit

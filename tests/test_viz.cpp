@@ -1,0 +1,390 @@
+// Tests for the visualization substrate: camera projection, marching-
+// tetrahedra isosurfaces, the software renderer, frame compression, and
+// the remote-rendering (VizServer-model) pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "net/inproc.hpp"
+#include "viz/camera.hpp"
+#include "viz/compress.hpp"
+#include "viz/isosurface.hpp"
+#include "viz/remote.hpp"
+#include "viz/render.hpp"
+
+namespace cs::viz {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::StatusCode;
+using common::Vec3;
+
+// ---------------------------------------------------------------- camera --
+
+TEST(Camera, CenterOfViewProjectsToImageCenter) {
+  Camera cam;
+  cam.look_at({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+  const auto p = cam.project({0, 0, 0}, 200, 100);
+  ASSERT_TRUE(p.visible);
+  EXPECT_NEAR(p.x, 100.0, 1e-9);
+  EXPECT_NEAR(p.y, 50.0, 1e-9);
+  EXPECT_NEAR(p.depth, 5.0, 1e-9);
+}
+
+TEST(Camera, PointBehindCameraInvisible) {
+  Camera cam;
+  cam.look_at({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+  EXPECT_FALSE(cam.project({0, 0, 10}, 100, 100).visible);
+}
+
+TEST(Camera, UpIsUp) {
+  Camera cam;
+  cam.look_at({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+  const auto above = cam.project({0, 1, 0}, 100, 100);
+  const auto below = cam.project({0, -1, 0}, 100, 100);
+  EXPECT_LT(above.y, below.y);  // screen y grows downward
+}
+
+TEST(Camera, SerializeParseRoundTrip) {
+  Camera cam;
+  cam.look_at({1.5, -2, 3}, {0.25, 0, -1}, {0, 1, 0});
+  cam.set_fov_degrees(40);
+  auto parsed = Camera::parse(cam.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), cam);
+  EXPECT_FALSE(Camera::parse("not a camera").is_ok());
+}
+
+TEST(Camera, OrbitKeepsDistance) {
+  Camera cam;
+  cam.look_at({3, 0, 0}, {0, 0, 0}, {0, 1, 0});
+  cam.orbit(0.7, 0.3);
+  EXPECT_NEAR(norm(cam.eye() - cam.target()), 3.0, 1e-9);
+}
+
+// ------------------------------------------------------------ isosurface --
+
+/// Samples a sphere SDF-ish field: value = R - |x - c| (positive inside).
+std::vector<float> sphere_field(int n, double radius, Vec3 center) {
+  std::vector<float> values(static_cast<std::size_t>(n) * n * n);
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const Vec3 p{static_cast<double>(x), static_cast<double>(y),
+                     static_cast<double>(z)};
+        values[(static_cast<std::size_t>(z) * n + y) * n + x] =
+            static_cast<float>(radius - norm(p - center));
+      }
+    }
+  }
+  return values;
+}
+
+TEST(Isosurface, SphereAreaApproximatelyCorrect) {
+  const int n = 24;
+  const double radius = 8.0;
+  const Vec3 center{11.5, 11.5, 11.5};
+  const auto values = sphere_field(n, radius, center);
+  ScalarField field{n, n, n, values, {0, 0, 0}, 1.0};
+  const TriangleMesh mesh = extract_isosurface(field, 0.0f);
+  ASSERT_GT(mesh.triangle_count(), 100u);
+  const double expected = 4.0 * std::numbers::pi * radius * radius;
+  EXPECT_NEAR(mesh.area(), expected, expected * 0.05);
+}
+
+TEST(Isosurface, VerticesLieOnTheIsosurface) {
+  const int n = 16;
+  const double radius = 5.0;
+  const Vec3 center{7.5, 7.5, 7.5};
+  const auto values = sphere_field(n, radius, center);
+  ScalarField field{n, n, n, values, {0, 0, 0}, 1.0};
+  const TriangleMesh mesh = extract_isosurface(field, 0.0f);
+  for (const auto& v : mesh.vertices) {
+    // Linear interpolation on a radial field: within a cell diagonal.
+    EXPECT_NEAR(norm(v - center), radius, 0.2);
+  }
+}
+
+TEST(Isosurface, EmptyWhenLevelOutsideRange) {
+  const int n = 8;
+  const auto values = sphere_field(n, 3.0, {3.5, 3.5, 3.5});
+  ScalarField field{n, n, n, values, {0, 0, 0}, 1.0};
+  EXPECT_EQ(extract_isosurface(field, 1000.0f).triangle_count(), 0u);
+  EXPECT_EQ(extract_isosurface(field, -1000.0f).triangle_count(), 0u);
+}
+
+TEST(Isosurface, DegenerateFieldProducesNothing) {
+  std::vector<float> values(8, 1.0f);
+  ScalarField field{2, 2, 2, values, {0, 0, 0}, 1.0};
+  EXPECT_EQ(extract_isosurface(field, 0.5f).triangle_count(), 0u);
+  ScalarField flat{1, 1, 1, std::span<const float>{values.data(), 1}, {0, 0, 0}, 1.0};
+  EXPECT_EQ(extract_isosurface(flat, 0.5f).triangle_count(), 0u);
+}
+
+TEST(Isosurface, RespectsOriginAndSpacing) {
+  const int n = 12;
+  const auto values = sphere_field(n, 4.0, {5.5, 5.5, 5.5});
+  ScalarField field{n, n, n, values, {10, 20, 30}, 0.5};
+  const TriangleMesh mesh = extract_isosurface(field, 0.0f);
+  ASSERT_GT(mesh.vertices.size(), 0u);
+  for (const auto& v : mesh.vertices) {
+    EXPECT_GE(v.x, 10.0);
+    EXPECT_LE(v.x, 10.0 + n * 0.5);
+    EXPECT_GE(v.y, 20.0);
+  }
+}
+
+// ---------------------------------------------------------------- render --
+
+TEST(Render, MeshLeavesPixels) {
+  Renderer r(120, 90);
+  r.clear();
+  TriangleMesh mesh;
+  mesh.vertices = {{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}};
+  mesh.triangles = {{0, 1, 2}};
+  Camera cam;
+  cam.look_at({0, 0, 4}, {0, 0, 0}, {0, 1, 0});
+  r.draw_mesh(mesh, cam, {255, 0, 0});
+  int red_pixels = 0;
+  for (const auto& p : r.frame().pixels()) {
+    if (p.r > 40 && p.g == 0) ++red_pixels;
+  }
+  EXPECT_GT(red_pixels, 200);
+}
+
+TEST(Render, DepthBufferOccludes) {
+  Renderer r(60, 60);
+  r.clear();
+  Camera cam;
+  cam.look_at({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+  TriangleMesh far_mesh, near_mesh;
+  far_mesh.vertices = {{-2, -2, -1}, {2, -2, -1}, {0, 2, -1}};
+  far_mesh.triangles = {{0, 1, 2}};
+  near_mesh.vertices = {{-2, -2, 1}, {2, -2, 1}, {0, 2, 1}};
+  near_mesh.triangles = {{0, 1, 2}};
+  r.draw_mesh(far_mesh, cam, {0, 255, 0});
+  r.draw_mesh(near_mesh, cam, {255, 0, 0});  // nearer: must win
+  const Color center = r.frame().at(30, 30);
+  EXPECT_GT(center.r, 0);
+  EXPECT_EQ(center.g, 0);
+}
+
+TEST(Render, GlyphStylesDiffer) {
+  Camera cam;
+  cam.look_at({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+  std::vector<ParticleSprite> sprites{
+      {{0, 0, 0}, {5, 0, 0}, {255, 255, 0}}};
+  int counts[3] = {0, 0, 0};
+  int i = 0;
+  for (GlyphStyle style :
+       {GlyphStyle::kPoint, GlyphStyle::kDiamond, GlyphStyle::kVector}) {
+    Renderer r(80, 80);
+    r.clear({0, 0, 0});
+    r.draw_particles(sprites, cam, style, 4);
+    for (const auto& p : r.frame().pixels()) {
+      if (p.r > 0) ++counts[i];
+    }
+    ++i;
+  }
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], counts[0]);  // diamond bigger than point
+  EXPECT_GT(counts[2], 1);          // vector adds a trail
+}
+
+TEST(Render, BoxWireframeVisible) {
+  Renderer r(100, 100);
+  r.clear({0, 0, 0});
+  Camera cam;
+  cam.look_at({4, 3, 5}, {0, 0, 0}, {0, 1, 0});
+  r.draw_box({-1, -1, -1}, {1, 1, 1}, cam, {0, 255, 255});
+  int lit = 0;
+  for (const auto& p : r.frame().pixels()) {
+    if (p.g > 0) ++lit;
+  }
+  EXPECT_GT(lit, 50);
+}
+
+// -------------------------------------------------------------- compress --
+
+Image noise_image(int w, int h, std::uint64_t seed) {
+  Image img(w, h);
+  common::Rng rng{seed};
+  for (auto& p : img.pixels()) {
+    p = Color{static_cast<std::uint8_t>(rng.next_below(256)),
+              static_cast<std::uint8_t>(rng.next_below(256)),
+              static_cast<std::uint8_t>(rng.next_below(256))};
+  }
+  return img;
+}
+
+TEST(Compress, KeyFrameRoundTrip) {
+  const Image img = noise_image(37, 23, 1);
+  auto decoded = decompress_frame(compress_frame(img));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), img);
+}
+
+TEST(Compress, FlatFrameCompressesWell) {
+  const Image img(320, 240, {10, 20, 30});
+  const auto compressed = compress_frame(img);
+  EXPECT_LT(compressed.size(), img.byte_size() / 20);
+}
+
+TEST(Compress, DeltaOfIdenticalFramesIsTiny) {
+  const Image img = noise_image(100, 80, 2);
+  const auto delta = compress_frame_delta(img, img);
+  EXPECT_LT(delta.size(), img.byte_size() / 50);
+  auto decoded = decompress_frame_delta(delta, img);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), img);
+}
+
+TEST(Compress, DeltaRoundTripWithSmallChange) {
+  Image base = noise_image(64, 64, 3);
+  Image next = base;
+  next.at(10, 10) = Color{1, 2, 3};
+  next.at(40, 50) = Color{4, 5, 6};
+  const auto delta = compress_frame_delta(next, base);
+  auto decoded = decompress_frame_delta(delta, base);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), next);
+  EXPECT_LT(delta.size(), compress_frame(next).size());
+}
+
+TEST(Compress, MismatchedBaseFallsBackToKeyFrame) {
+  const Image img = noise_image(32, 32, 4);
+  const Image wrong_size(16, 16);
+  const auto encoded = compress_frame_delta(img, wrong_size);
+  // Encoder produced a key frame, so decoding needs no base.
+  auto decoded = decompress_frame(encoded);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), img);
+}
+
+TEST(Compress, RejectsGarbage) {
+  EXPECT_FALSE(decompress_frame(common::Bytes{1, 2, 3}).is_ok());
+  common::Bytes header{'K', 0, 0, 0, 8, 0, 0, 0, 8, 3};  // odd RLE payload
+  EXPECT_FALSE(decompress_frame(header).is_ok());
+}
+
+// ------------------------------------------------------- remote rendering --
+
+TEST(Remote, ViewEventProducesFrame) {
+  net::InProcNetwork net;
+  auto scene = std::make_shared<SceneStore>();
+  TriangleMesh mesh;
+  mesh.vertices = {{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}};
+  mesh.triangles = {{0, 1, 2}};
+  scene->set_mesh(mesh, {200, 100, 50});
+
+  auto server = RemoteRenderServer::start(net, scene, {"vizserver:1", 160, 120, 2ms});
+  ASSERT_TRUE(server.is_ok());
+  auto client = RemoteRenderClient::connect(net, "vizserver:1", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+
+  Camera cam;
+  cam.look_at({0, 0, 4}, {0, 0, 0}, {0, 1, 0});
+  ASSERT_TRUE(client.value().set_view(cam, Deadline::after(1s)).is_ok());
+  auto frame = client.value().await_frame(Deadline::after(2s));
+  ASSERT_TRUE(frame.is_ok());
+  EXPECT_EQ(frame.value().width(), 160);
+  int lit = 0;
+  for (const auto& p : frame.value().pixels()) {
+    if (p.r > 40) ++lit;
+  }
+  EXPECT_GT(lit, 100) << "the triangle should be visible in the shipped frame";
+}
+
+TEST(Remote, SharedCameraIsCollaborative) {
+  // Participant A changes the view; participant B receives an updated
+  // frame without doing anything — VizServer's collaborative session.
+  net::InProcNetwork net;
+  auto scene = std::make_shared<SceneStore>();
+  TriangleMesh mesh;
+  mesh.vertices = {{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}};
+  mesh.triangles = {{0, 1, 2}};
+  scene->set_mesh(mesh, {200, 100, 50});
+  auto server = RemoteRenderServer::start(net, scene, {"vizserver:2", 80, 60, 2ms});
+  ASSERT_TRUE(server.is_ok());
+
+  auto a = RemoteRenderClient::connect(net, "vizserver:2", Deadline::after(2s));
+  auto b = RemoteRenderClient::connect(net, "vizserver:2", Deadline::after(2s));
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+
+  Camera cam;
+  cam.look_at({0, 0, 4}, {0, 0, 0}, {0, 1, 0});
+  ASSERT_TRUE(a.value().set_view(cam, Deadline::after(1s)).is_ok());
+  auto frame_a = a.value().await_frame(Deadline::after(2s));
+  auto frame_b = b.value().await_frame(Deadline::after(2s));
+  ASSERT_TRUE(frame_a.is_ok());
+  ASSERT_TRUE(frame_b.is_ok());
+  EXPECT_EQ(frame_a.value(), frame_b.value());  // same shared view
+}
+
+TEST(Remote, SceneUpdatePushesNewFrames) {
+  net::InProcNetwork net;
+  auto scene = std::make_shared<SceneStore>();
+  auto server = RemoteRenderServer::start(net, scene, {"vizserver:3", 80, 60, 2ms});
+  ASSERT_TRUE(server.is_ok());
+  auto client = RemoteRenderClient::connect(net, "vizserver:3", Deadline::after(2s));
+  ASSERT_TRUE(client.is_ok());
+  Camera cam;
+  cam.look_at({0, 0, 4}, {0, 0, 0}, {0, 1, 0});
+  ASSERT_TRUE(client.value().set_view(cam, Deadline::after(1s)).is_ok());
+  auto first = client.value().await_frame(Deadline::after(2s));
+  ASSERT_TRUE(first.is_ok());
+  // Simulation-side update: new sample arrives in the scene.
+  TriangleMesh mesh;
+  mesh.vertices = {{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}};
+  mesh.triangles = {{0, 1, 2}};
+  scene->set_mesh(mesh, {250, 250, 250});
+  auto second = client.value().await_frame(Deadline::after(2s));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_NE(second.value(), first.value());
+}
+
+TEST(Remote, GeometryChannelShipsScene) {
+  net::InProcNetwork net;
+  auto listener = net.listen("geo:1");
+  auto client_conn = net.connect("geo:1", Deadline::after(2s));
+  auto server_conn = listener.value()->accept(Deadline::after(2s));
+  ASSERT_TRUE(client_conn.is_ok() && server_conn.is_ok());
+
+  auto scene = std::make_shared<SceneStore>();
+  TriangleMesh mesh;
+  mesh.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  mesh.triangles = {{0, 1, 2}};
+  scene->set_mesh(mesh, {1, 2, 3});
+  scene->set_particles({{{1, 2, 3}, {0, 0, 1}, {9, 9, 9}}}, GlyphStyle::kDiamond);
+  scene->set_boxes({{{0, 0, 0}, {1, 1, 1}}}, {7, 7, 7});
+
+  auto sender = GeometryChannel::start_sender(server_conn.value(), scene, 1ms);
+  SceneStore local;
+  ASSERT_TRUE(GeometryChannel::receive_into(*client_conn.value(), local,
+                                            Deadline::after(2s))
+                  .is_ok());
+  EXPECT_EQ(local.geometry_bytes(), scene->geometry_bytes());
+  // Rendering both scenes yields identical images.
+  Camera cam;
+  cam.look_at({0.5, 0.5, 4}, {0.5, 0.5, 0}, {0, 1, 0});
+  Renderer ra(64, 64), rb(64, 64);
+  scene->render(ra, cam);
+  local.render(rb, cam);
+  EXPECT_EQ(ra.frame(), rb.frame());
+  sender.request_stop();
+  client_conn.value()->close();
+  server_conn.value()->close();
+}
+
+TEST(Remote, SceneDecodeRejectsGarbage) {
+  SceneStore scene;
+  EXPECT_FALSE(scene.decode(common::Bytes{1, 2}).is_ok());
+  common::Bytes huge{0xff, 0xff, 0xff, 0xff};  // 4 billion vertices
+  EXPECT_FALSE(scene.decode(huge).is_ok());
+}
+
+}  // namespace
+}  // namespace cs::viz

@@ -1,0 +1,421 @@
+// Unit + property tests for cs::wire: header codec, payload conversion
+// (byte order / precision / integer-float), and struct pack/unpack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "wire/convert.hpp"
+#include "wire/message.hpp"
+#include "wire/structdesc.hpp"
+#include "wire/typedesc.hpp"
+
+namespace cs::wire {
+namespace {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::StatusCode;
+
+// ----------------------------------------------------------- ScalarType --
+
+TEST(ScalarType, SizesMatchCpp) {
+  EXPECT_EQ(size_of(ScalarType::kInt8), sizeof(std::int8_t));
+  EXPECT_EQ(size_of(ScalarType::kUInt16), sizeof(std::uint16_t));
+  EXPECT_EQ(size_of(ScalarType::kInt32), sizeof(std::int32_t));
+  EXPECT_EQ(size_of(ScalarType::kUInt64), sizeof(std::uint64_t));
+  EXPECT_EQ(size_of(ScalarType::kFloat32), sizeof(float));
+  EXPECT_EQ(size_of(ScalarType::kFloat64), sizeof(double));
+  EXPECT_EQ(size_of(ScalarType::kChar), 1u);
+}
+
+TEST(ScalarType, MappingFromCppTypes) {
+  EXPECT_EQ(scalar_type_of<float>(), ScalarType::kFloat32);
+  EXPECT_EQ(scalar_type_of<double>(), ScalarType::kFloat64);
+  EXPECT_EQ(scalar_type_of<std::int32_t>(), ScalarType::kInt32);
+  EXPECT_EQ(scalar_type_of<char>(), ScalarType::kChar);
+}
+
+TEST(ScalarType, ValidityCheck) {
+  EXPECT_TRUE(is_valid_scalar_type(0));
+  EXPECT_TRUE(is_valid_scalar_type(10));
+  EXPECT_FALSE(is_valid_scalar_type(11));
+  EXPECT_FALSE(is_valid_scalar_type(255));
+}
+
+// --------------------------------------------------------------- Header --
+
+TEST(Header, EncodeDecodeRoundTrip) {
+  MessageHeader h;
+  h.kind = MessageKind::kData;
+  h.tag = 0xfeedbeef;
+  h.elem_type = ScalarType::kFloat64;
+  h.payload_order = ByteOrder::kBig;
+  h.count = 12345;
+  h.payload_bytes = 12345 * 8;
+  Bytes buf;
+  encode_header(h, buf);
+  ASSERT_EQ(buf.size(), MessageHeader::kWireSize);
+  auto d = decode_header(buf);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().tag, h.tag);
+  EXPECT_EQ(d.value().elem_type, h.elem_type);
+  EXPECT_EQ(d.value().payload_order, h.payload_order);
+  EXPECT_EQ(d.value().count, h.count);
+  EXPECT_EQ(d.value().kind, h.kind);
+}
+
+TEST(Header, RejectsTruncated) {
+  Bytes buf(MessageHeader::kWireSize - 1, 0);
+  EXPECT_EQ(decode_header(buf).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(Header, RejectsBadMagic) {
+  MessageHeader h;
+  Bytes buf;
+  encode_header(h, buf);
+  buf[0] ^= 0xff;
+  EXPECT_EQ(decode_header(buf).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(Header, RejectsBadVersion) {
+  MessageHeader h;
+  Bytes buf;
+  encode_header(h, buf);
+  buf[4] = 99;
+  EXPECT_EQ(decode_header(buf).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(Header, RejectsBadEnumValues) {
+  MessageHeader h;
+  h.count = 0;
+  h.payload_bytes = 0;
+  Bytes buf;
+  encode_header(h, buf);
+  Bytes bad_kind = buf;
+  bad_kind[5] = 7;
+  EXPECT_FALSE(decode_header(bad_kind).is_ok());
+  Bytes bad_type = buf;
+  bad_type[6] = 42;
+  EXPECT_FALSE(decode_header(bad_type).is_ok());
+  Bytes bad_order = buf;
+  bad_order[7] = 2;
+  EXPECT_FALSE(decode_header(bad_order).is_ok());
+}
+
+TEST(Header, RejectsInconsistentPayloadSize) {
+  MessageHeader h;
+  h.elem_type = ScalarType::kFloat32;
+  h.count = 10;
+  h.payload_bytes = 39;  // should be 40
+  Bytes buf;
+  encode_header(h, buf);
+  EXPECT_EQ(decode_header(buf).status().code(), StatusCode::kProtocolError);
+}
+
+// -------------------------------------------------------------- Message --
+
+TEST(Message, DataRoundTrip) {
+  const std::vector<double> values{1.5, -2.25, 3.75, 1e300};
+  Message m = make_data_message(7, values.data(), values.size());
+  Bytes frame = m.encode();
+  auto d = Message::decode(frame);
+  ASSERT_TRUE(d.is_ok());
+  auto out = extract_as<double>(d.value());
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), values);
+}
+
+TEST(Message, StringRoundTrip) {
+  Message m = make_string_message(3, "miscibility=0.07");
+  auto d = Message::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  auto s = extract_string(d.value());
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(s.value(), "miscibility=0.07");
+}
+
+TEST(Message, RequestHasEmptyPayload) {
+  Message m = make_request_message(42);
+  EXPECT_EQ(m.header.kind, MessageKind::kRequest);
+  EXPECT_EQ(m.header.count, 0u);
+  auto d = Message::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().header.tag, 42u);
+}
+
+TEST(Message, DecodeRejectsLengthMismatch) {
+  Message m = make_string_message(1, "hello");
+  Bytes frame = m.encode();
+  frame.push_back(0);  // extra trailing byte
+  EXPECT_EQ(Message::decode(frame).status().code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(Message, ExtractAsRejectsRequestMessages) {
+  Message m = make_request_message(1);
+  EXPECT_FALSE(extract_as<float>(m).is_ok());
+}
+
+// ------------------------------------------------------------ Conversion --
+
+TEST(Convert, ByteSwappedPayloadDecodes) {
+  // Simulate a big-endian sender on this little-endian host.
+  const std::vector<std::uint32_t> values{1, 0x01020304, 0xffffffff};
+  Bytes payload;
+  for (auto v : values) {
+    common::append_uint<std::uint32_t>(payload, v, ByteOrder::kBig);
+  }
+  std::vector<std::uint32_t> out(values.size());
+  ASSERT_TRUE(convert_elements(ScalarType::kUInt32, ByteOrder::kBig, payload,
+                               values.size(), ScalarType::kUInt32, out.data())
+                  .is_ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(Convert, Float64ToFloat32Narrows) {
+  const std::vector<double> src{1.0, -0.5, 3.14159265358979};
+  Bytes payload;
+  common::append_bytes(
+      payload, common::ByteSpan{
+                   reinterpret_cast<const std::uint8_t*>(src.data()),
+                   src.size() * sizeof(double)});
+  std::vector<float> out(src.size());
+  ASSERT_TRUE(convert_elements(ScalarType::kFloat64, common::native_order(),
+                               payload, src.size(), ScalarType::kFloat32,
+                               out.data())
+                  .is_ok());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], static_cast<float>(src[i]));
+  }
+}
+
+TEST(Convert, IntToFloatAndBack) {
+  const std::vector<std::int32_t> src{-7, 0, 123456};
+  Bytes payload;
+  common::append_bytes(
+      payload,
+      common::ByteSpan{reinterpret_cast<const std::uint8_t*>(src.data()),
+                       src.size() * sizeof(std::int32_t)});
+  std::vector<double> as_double(src.size());
+  ASSERT_TRUE(convert_elements(ScalarType::kInt32, common::native_order(),
+                               payload, src.size(), ScalarType::kFloat64,
+                               as_double.data())
+                  .is_ok());
+  EXPECT_DOUBLE_EQ(as_double[0], -7.0);
+  EXPECT_DOUBLE_EQ(as_double[2], 123456.0);
+}
+
+TEST(Convert, RejectsShortPayload) {
+  Bytes payload(7, 0);  // one double needs 8
+  double out;
+  EXPECT_EQ(convert_elements(ScalarType::kFloat64, common::native_order(),
+                             payload, 1, ScalarType::kFloat64, &out)
+                .code(),
+            StatusCode::kProtocolError);
+}
+
+/// Property sweep: every (src,dst) scalar pair round-trips small integer
+/// values exactly, in both byte orders. Small integers are representable in
+/// every scalar type, so conversion must preserve them precisely.
+class ConvertPairTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvertPairTest, SmallIntegersSurviveAnyPath) {
+  const auto src_type = static_cast<ScalarType>(std::get<0>(GetParam()));
+  const auto dst_type = static_cast<ScalarType>(std::get<1>(GetParam()));
+  const auto order = static_cast<ByteOrder>(std::get<2>(GetParam()));
+  const std::vector<std::int64_t> probe{0, 1, 17, 63, 100};
+
+  // Build a payload of `probe` values in src_type representation with the
+  // requested order, by converting from int64 first (native), then applying
+  // the byte order manually via a second conversion step.
+  Bytes native(probe.size() * size_of(src_type));
+  ASSERT_TRUE(convert_elements(
+                  ScalarType::kInt64, common::native_order(),
+                  common::ByteSpan{
+                      reinterpret_cast<const std::uint8_t*>(probe.data()),
+                      probe.size() * 8},
+                  probe.size(), src_type, native.data())
+                  .is_ok());
+  Bytes wire = native;
+  if (order != common::native_order()) {
+    // Byte-swap each element in place.
+    const std::size_t esz = size_of(src_type);
+    for (std::size_t e = 0; e < probe.size(); ++e) {
+      for (std::size_t b = 0; b < esz / 2; ++b) {
+        std::swap(wire[e * esz + b], wire[e * esz + esz - 1 - b]);
+      }
+    }
+  }
+
+  Bytes out(probe.size() * size_of(dst_type));
+  ASSERT_TRUE(convert_elements(src_type, order, wire, probe.size(), dst_type,
+                               out.data())
+                  .is_ok());
+  // Convert the result back to int64 for comparison.
+  std::vector<std::int64_t> got(probe.size());
+  ASSERT_TRUE(convert_elements(dst_type, common::native_order(), out,
+                               probe.size(), ScalarType::kInt64, got.data())
+                  .is_ok());
+  EXPECT_EQ(got, probe) << "src=" << to_string(src_type)
+                        << " dst=" << to_string(dst_type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairsBothOrders, ConvertPairTest,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(kScalarTypeCount)),
+                       ::testing::Range(0, static_cast<int>(kScalarTypeCount)),
+                       ::testing::Values(0, 1)));
+
+// ------------------------------------------------------------ StructDesc --
+
+struct Particle {
+  double pos[3];
+  double vel[3];
+  float charge;
+  std::int32_t proc;
+  std::int64_t label;
+};
+
+StructDesc particle_desc() {
+  StructDesc d{"particle", sizeof(Particle)};
+  d.add_field("pos", ScalarType::kFloat64, 3, offsetof(Particle, pos))
+      .add_field("vel", ScalarType::kFloat64, 3, offsetof(Particle, vel))
+      .add_field("charge", ScalarType::kFloat32, 1, offsetof(Particle, charge))
+      .add_field("proc", ScalarType::kInt32, 1, offsetof(Particle, proc))
+      .add_field("label", ScalarType::kInt64, 1, offsetof(Particle, label));
+  return d;
+}
+
+TEST(StructDesc, WireRecordSizeSumsFields) {
+  EXPECT_EQ(particle_desc().wire_record_size(), 3 * 8 + 3 * 8 + 4 + 4 + 8u);
+}
+
+TEST(StructDesc, SchemaSerializeParseRoundTrip) {
+  const StructDesc d = particle_desc();
+  auto parsed = StructDesc::parse(d.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), d);
+}
+
+TEST(StructDesc, ParseRejectsGarbage) {
+  EXPECT_FALSE(StructDesc::parse("justonename").is_ok());
+  EXPECT_FALSE(StructDesc::parse("n|8|badfield").is_ok());
+  EXPECT_FALSE(StructDesc::parse("n|8|f:99:1:0").is_ok());
+}
+
+TEST(StructDesc, PackUnpackRoundTrip) {
+  const StructDesc d = particle_desc();
+  std::vector<Particle> in(5);
+  common::Rng rng{99};
+  for (auto& p : in) {
+    for (auto& x : p.pos) x = rng.uniform(-10, 10);
+    for (auto& v : p.vel) v = rng.uniform(-1, 1);
+    p.charge = static_cast<float>(rng.uniform(-1, 1));
+    p.proc = static_cast<std::int32_t>(rng.next_below(64));
+    p.label = static_cast<std::int64_t>(rng.next_u64() >> 1);
+  }
+  const Bytes packed = pack_records(d, in.data(), in.size());
+  EXPECT_EQ(packed.size(), d.wire_record_size() * in.size());
+  std::vector<Particle> out(in.size());
+  ASSERT_TRUE(unpack_records(d, common::native_order(), packed, d, out.data(),
+                             out.size())
+                  .is_ok());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].pos[0], in[i].pos[0]);
+    EXPECT_EQ(out[i].vel[2], in[i].vel[2]);
+    EXPECT_EQ(out[i].charge, in[i].charge);
+    EXPECT_EQ(out[i].proc, in[i].proc);
+    EXPECT_EQ(out[i].label, in[i].label);
+  }
+}
+
+TEST(StructDesc, UnpackIntoDifferentLayoutAndPrecision) {
+  // Receiver keeps only positions, as float32, in a differently-ordered
+  // struct. Field matching is by name.
+  struct ViewParticle {
+    std::int64_t label;
+    float pos[3];
+  };
+  const StructDesc src = particle_desc();
+  StructDesc dst{"view", sizeof(ViewParticle)};
+  dst.add_field("label", ScalarType::kInt64, 1, offsetof(ViewParticle, label))
+      .add_field("pos", ScalarType::kFloat32, 3, offsetof(ViewParticle, pos));
+
+  std::vector<Particle> in(3);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i].pos[0] = 1.5 * static_cast<double>(i);
+    in[i].pos[1] = -2.0;
+    in[i].pos[2] = 0.25;
+    in[i].label = static_cast<std::int64_t>(1000 + i);
+  }
+  const Bytes packed = pack_records(src, in.data(), in.size());
+  std::vector<ViewParticle> out(in.size());
+  ASSERT_TRUE(unpack_records(src, common::native_order(), packed, dst,
+                             out.data(), out.size())
+                  .is_ok());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].label, in[i].label);
+    EXPECT_FLOAT_EQ(out[i].pos[0], static_cast<float>(in[i].pos[0]));
+    EXPECT_FLOAT_EQ(out[i].pos[1], -2.0f);
+  }
+}
+
+TEST(StructDesc, MissingSourceFieldIsZeroFilled) {
+  StructDesc src{"src", sizeof(double)};
+  src.add_field("a", ScalarType::kFloat64, 1, 0);
+  struct Dst { double a; double b; };
+  StructDesc dst{"dst", sizeof(Dst)};
+  dst.add_field("a", ScalarType::kFloat64, 1, offsetof(Dst, a))
+      .add_field("b", ScalarType::kFloat64, 1, offsetof(Dst, b));
+  const double value = 6.5;
+  const Bytes packed = pack_records(src, &value, 1);
+  Dst out{1, 1};
+  ASSERT_TRUE(
+      unpack_records(src, common::native_order(), packed, dst, &out, 1).is_ok());
+  EXPECT_EQ(out.a, 6.5);
+  EXPECT_EQ(out.b, 0.0);
+}
+
+TEST(StructDesc, LengthMismatchRejected) {
+  StructDesc src{"s", 8};
+  src.add_field("v", ScalarType::kFloat32, 2, 0);
+  StructDesc dst{"d", 12};
+  dst.add_field("v", ScalarType::kFloat32, 3, 0);
+  const float values[2] = {1, 2};
+  const Bytes packed = pack_records(src, values, 1);
+  float out[3];
+  EXPECT_EQ(unpack_records(src, common::native_order(), packed, dst, out, 1)
+                .code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(StructDesc, ShortPayloadRejected) {
+  const StructDesc d = particle_desc();
+  Bytes packed(10, 0);
+  Particle out;
+  EXPECT_EQ(
+      unpack_records(d, common::native_order(), packed, d, &out, 1).code(),
+      StatusCode::kProtocolError);
+}
+
+TEST(StructDesc, MessageWrapRoundTrip) {
+  const StructDesc d = particle_desc();
+  std::vector<Particle> in(2);
+  in[0].label = 7;
+  in[1].label = 8;
+  Message m = make_struct_message(5, d, in.data(), in.size());
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  std::vector<Particle> out(2);
+  ASSERT_TRUE(unpack_records(d, decoded.value().header.payload_order,
+                             decoded.value().payload, d, out.data(), 2)
+                  .is_ok());
+  EXPECT_EQ(out[0].label, 7);
+  EXPECT_EQ(out[1].label, 8);
+}
+
+}  // namespace
+}  // namespace cs::wire
