@@ -86,8 +86,10 @@ void BM_CoviseCollabUpdate(benchmark::State& state) {
   }
   std::vector<std::unique_ptr<cs::covise::CollabParticipant>> observers;
   for (int i = 1; i < kParticipants; ++i) {
+    std::string obs_name = "o";
+    obs_name += std::to_string(i);
     auto obs = cs::covise::CollabParticipant::join(
-        net, {"hub", "pw", "observer", "o" + std::to_string(i)}, pipeline(n));
+        net, {"hub", "pw", "observer", obs_name}, pipeline(n));
     if (!obs.is_ok()) {
       state.SkipWithError("observer failed");
       return;
@@ -121,7 +123,9 @@ void BM_CoviseCollabUpdate(benchmark::State& state) {
           : 0.0;
   state.counters["wire_bytes_per_update"] =
       static_cast<double>((kParticipants - 1) * 40);  // the sync record
-  state.SetLabel("param-sync/grid=" + std::to_string(n));
+  std::string label = "param-sync/grid=";
+  label += std::to_string(n);
+  state.SetLabel(label);
 }
 
 /// (b) vnc-style sharing of the same view: bytes per interaction are the

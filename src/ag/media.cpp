@@ -58,8 +58,6 @@ Result<std::unique_ptr<UnicastBridge>> UnicastBridge::start(
   bridge->socket_ = std::move(socket).value();
   bridge->listener_ = std::move(listener).value();
   UnicastBridge* self = bridge.get();
-  bridge->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
   bridge->group_thread_ =
       std::jthread([self](std::stop_token st) { self->group_pump(st); });
   return bridge;
@@ -69,20 +67,22 @@ UnicastBridge::~UnicastBridge() { stop(); }
 
 void UnicastBridge::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   group_thread_.request_stop();
   if (listener_) listener_->close();
   if (socket_) socket_->leave();
-  std::vector<std::jthread> threads;
+  // Join the pump before tearing down clients_: it must not be running when
+  // the mutex and maps die (member destruction order would otherwise race).
+  if (group_thread_.joinable()) group_thread_.join();
+  std::vector<ClientThread> threads;
   {
     std::scoped_lock lock(mutex_);
     for (auto& [id, conn] : clients_) conn->close();
     clients_.clear();
     threads = std::move(client_threads_);
   }
-  for (auto& t : threads) {
-    t.request_stop();
-    if (t.joinable()) t.join();
+  for (auto& ct : threads) {
+    ct.thread.request_stop();
+    if (ct.thread.joinable()) ct.thread.join();
   }
 }
 
@@ -91,25 +91,40 @@ std::size_t UnicastBridge::client_count() const {
   return clients_.size();
 }
 
-void UnicastBridge::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    std::scoped_lock lock(mutex_);
-    const std::uint64_t id = next_id_++;
-    clients_[id] = std::move(conn).value();
-    client_threads_.emplace_back(
-        [this, id](std::stop_token cst) { client_pump(cst, id); });
+void UnicastBridge::register_client(net::ConnectionPtr conn) {
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {  // raced with stop(): don't leak a live client
+    conn->close();
+    return;
   }
+  // Reap finished pumps so churn doesn't grow the vector without bound. A
+  // set `done` flag means the thread is past its last mutex_ use, so joining
+  // it (in ~jthread) while holding the lock cannot deadlock.
+  std::erase_if(client_threads_,
+                [](const ClientThread& ct) { return ct.done->load(); });
+  const std::uint64_t id = next_id_++;
+  clients_[id] = std::move(conn);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  client_threads_.push_back(
+      {done, std::jthread([this, id, done](std::stop_token cst) {
+         client_pump(cst, id);
+         done->store(true);
+       })});
 }
 
 void UnicastBridge::group_pump(const std::stop_token& st) {
-  // Multicast -> every unicast client.
+  // Multicast -> every unicast client. This thread is also the only place
+  // new clients are accepted: draining the backlog here — after every recv,
+  // before any relay — guarantees a client whose connect() completed before
+  // a frame was sent cannot miss that frame (a second accept thread would
+  // reopen that window by holding popped-but-unregistered connections).
   while (!st.stop_requested()) {
     auto message = socket_->recv(Deadline::after(kPumpSlice));
+    for (;;) {
+      auto pending = listener_->accept(Deadline::expired());
+      if (!pending.is_ok()) break;
+      register_client(std::move(pending).value());
+    }
     if (!message.is_ok()) {
       if (message.status().code() == StatusCode::kClosed) return;
       continue;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,17 +67,24 @@ class UnicastBridge {
 
  private:
   UnicastBridge() = default;
-  void accept_loop(const std::stop_token& st);
+  void register_client(net::ConnectionPtr conn);
   void group_pump(const std::stop_token& st);
   void client_pump(const std::stop_token& st, std::uint64_t id);
 
+  /// A client pump plus its completion flag; `done` is set only after the
+  /// pump body has returned, so reaping joins only threads past their last
+  /// use of mutex_/clients_.
+  struct ClientThread {
+    std::shared_ptr<std::atomic<bool>> done;
+    std::jthread thread;
+  };
+
   net::MulticastSocketPtr socket_;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
   std::jthread group_thread_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, net::ConnectionPtr> clients_;
-  std::vector<std::jthread> client_threads_;
+  std::vector<ClientThread> client_threads_;
   std::uint64_t next_id_ = 1;
   std::atomic<bool> stopped_{false};
 };

@@ -50,8 +50,9 @@ template <typename T>
 void append_uint(Bytes& out, T value, ByteOrder order) {
   static_assert(std::is_unsigned_v<T>);
   if (order != native_order()) value = byteswap(value);
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
-  out.insert(out.end(), p, p + sizeof(T));
+  const std::size_t old_size = out.size();
+  out.resize(old_size + sizeof(T));
+  std::memcpy(out.data() + old_size, &value, sizeof(T));
 }
 
 /// Reads an unsigned integer in the given byte order.

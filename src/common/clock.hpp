@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace cs::common {
 

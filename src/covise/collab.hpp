@@ -15,6 +15,7 @@
 // control server's role system.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>

@@ -10,6 +10,7 @@
 // transfer statistics reflect the real placement of the pipeline.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>

@@ -6,6 +6,7 @@
 // Messages are framed with a 4-byte big-endian length prefix.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "net/transport.hpp"

@@ -8,6 +8,7 @@
 // without explicit cleanup.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>

@@ -9,6 +9,7 @@
 // substrate (isosurfaces, cutting planes) and the COVISE grid object.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 

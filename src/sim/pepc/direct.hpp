@@ -3,6 +3,7 @@
 // approximation.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "common/vec3.hpp"

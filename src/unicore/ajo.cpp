@@ -77,14 +77,24 @@ Result<AjoTask::Kind> parse_kind(std::string_view name) {
 }  // namespace
 
 std::string Ajo::serialize() const {
-  std::string out = "AJO1|" + escape(job_name) + "|" + escape(vsite) + "\n";
+  std::string out = "AJO1|";
+  out += escape(job_name);
+  out += '|';
+  out += escape(vsite);
+  out += '\n';
   for (const auto& task : tasks) {
-    out += std::string(kind_name(task.kind)) + "|" + escape(task.name) + "|" +
-           escape(task.content);
+    out += kind_name(task.kind);
+    out += '|';
+    out += escape(task.name);
+    out += '|';
+    out += escape(task.content);
     for (const auto& [k, v] : task.args) {
-      out += "|" + escape(k) + "=" + escape(v);
+      out += '|';
+      out += escape(k);
+      out += '=';
+      out += escape(v);
     }
-    out += "\n";
+    out += '\n';
   }
   return out;
 }

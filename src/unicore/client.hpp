@@ -11,6 +11,7 @@
 // client into the user end of a steering connection.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>

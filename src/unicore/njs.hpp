@@ -8,11 +8,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 #include "unicore/ajo.hpp"

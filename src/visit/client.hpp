@@ -12,10 +12,12 @@
 // conversion work happens on the visualization server (wire/convert.hpp).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.hpp"

@@ -7,10 +7,13 @@
 // paper's "coordinated cooperative steering".
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/status.hpp"

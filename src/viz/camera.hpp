@@ -7,6 +7,7 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 
 #include "common/status.hpp"
 #include "common/vec3.hpp"

@@ -6,6 +6,7 @@
 // (experiment E10) measures exactly this asymmetry.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/bytes.hpp"

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
