@@ -39,6 +39,12 @@ class MediaStream {
 
   std::uint64_t frames_sent() const noexcept { return frames_sent_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+  /// Counters of the underlying multicast socket (zeros after leave()).
+  net::ConnStats stats() const {
+    return socket_ ? socket_->stats() : net::ConnStats{};
+  }
+
   void leave();
 
  private:

@@ -53,4 +53,20 @@ inline std::chrono::milliseconds ms(std::int64_t n) noexcept {
   return std::chrono::milliseconds{n};
 }
 
+/// Steady-clock now as nanoseconds since the clock epoch — the timestamp
+/// format loadgen frames and media streams embed for latency accounting.
+inline std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Nanoseconds elapsed since a steady_now_ns() stamp; clamps to zero if the
+/// stamp is in the future (corrupt or cross-clock).
+inline std::uint64_t ns_since(std::uint64_t sent_ns) noexcept {
+  const std::uint64_t now = steady_now_ns();
+  return now > sent_ns ? now - sent_ns : 0;
+}
+
 }  // namespace cs::common

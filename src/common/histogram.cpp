@@ -1,0 +1,72 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace cs::common {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  // Values below kSubBuckets map 1:1 into range 0; above that, the top
+  // kSubBucketBits+1 significant bits select (range, sub-bucket).
+  if (value < kSubBuckets) return value;
+  const auto high_bit =
+      static_cast<std::uint32_t>(63 - std::countl_zero(value));
+  std::uint32_t range = high_bit - kSubBucketBits + 1;
+  if (range >= kRanges) return kBucketCount - 1;  // saturate
+  const auto sub = static_cast<std::uint32_t>(
+      (value >> (high_bit - kSubBucketBits)) & (kSubBuckets - 1));
+  return static_cast<std::size_t>(range) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_upper_edge(std::size_t index) noexcept {
+  const auto range = static_cast<std::uint32_t>(index / kSubBuckets);
+  const auto sub = static_cast<std::uint64_t>(index % kSubBuckets);
+  if (range == 0) return sub;
+  const std::uint32_t shift = range - 1;
+  // Lower edge of the bucket plus its width, minus one (inclusive edge).
+  const std::uint64_t base = (kSubBuckets + sub) << shift;
+  return base + (std::uint64_t{1} << shift) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::value_at_quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the sample we want; q=1 selects the last sample.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // The top bucket is open-ended ("anything past the covered span");
+      // its edge would underestimate, so report the observed max instead.
+      if (i == kBucketCount - 1) return max_;
+      return std::min(bucket_upper_edge(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept { *this = Histogram{}; }
+
+}  // namespace cs::common

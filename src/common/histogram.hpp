@@ -1,0 +1,72 @@
+// Mergeable latency histogram for traffic accounting.
+//
+// Loadgen workers, benchmark loops, and service pumps each record round-trip
+// times into their own Histogram (no shared state on the hot path) and the
+// reporter merges them afterwards — the ctsTraffic accounting model. Buckets
+// are logarithmic with linear sub-buckets (HDR style): relative quantile
+// error is bounded by 1/kSubBuckets (~1.6%) across the full range, which is
+// plenty for p50/p95/p99/p99.9 reporting while keeping the footprint at a
+// few KiB per worker.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace cs::common {
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per power-of-two range; the resolution knob.
+  static constexpr std::uint32_t kSubBucketBits = 6;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Power-of-two ranges covered before values saturate into the top bucket.
+  /// 40 ranges x 64 sub-buckets spans [0, 2^45) — half a day in nanoseconds.
+  static constexpr std::uint32_t kRanges = 40;
+  static constexpr std::size_t kBucketCount = kRanges * kSubBuckets;
+
+  /// Records one non-negative sample (nanoseconds by convention).
+  void record(std::uint64_t value) noexcept;
+
+  /// Convenience overload for duration samples; negative clamps to zero.
+  void record(std::chrono::nanoseconds d) noexcept {
+    record(d.count() < 0 ? 0u : static_cast<std::uint64_t>(d.count()));
+  }
+
+  /// Folds `other` into this histogram (worker -> aggregate).
+  void merge(const Histogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  /// Sum of all recorded samples (for mean computation).
+  std::uint64_t sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1] (upper edge of the matching bucket,
+  /// clamped to the observed max). Returns 0 on an empty histogram.
+  std::uint64_t value_at_quantile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return value_at_quantile(0.50); }
+  std::uint64_t p95() const noexcept { return value_at_quantile(0.95); }
+  std::uint64_t p99() const noexcept { return value_at_quantile(0.99); }
+  std::uint64_t p999() const noexcept { return value_at_quantile(0.999); }
+
+  void reset() noexcept;
+
+ private:
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Inclusive upper edge of a bucket (the value reported for it).
+  static std::uint64_t bucket_upper_edge(std::size_t index) noexcept;
+
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace cs::common

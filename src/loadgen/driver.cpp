@@ -1,0 +1,329 @@
+#include "loadgen/driver.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace cs::loadgen {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Deadline;
+using common::Histogram;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LoadFrame
+// ---------------------------------------------------------------------------
+
+Bytes LoadFrame::encode(std::size_t payload_bytes) const {
+  Bytes out;
+  out.reserve(kHeaderBytes + payload_bytes);
+  common::append_uint<std::uint32_t>(out, kMagic, ByteOrder::kBig);
+  out.push_back(static_cast<std::uint8_t>(op));
+  common::append_uint<std::uint64_t>(out, seq, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, t_send_ns, ByteOrder::kBig);
+  common::append_uint<std::uint32_t>(out, reply_bytes, ByteOrder::kBig);
+  // Seq-derived filler, so an echoed frame is verifiable end to end.
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    out.push_back(static_cast<std::uint8_t>(seq + i));
+  }
+  return out;
+}
+
+Result<LoadFrame> LoadFrame::decode(ByteSpan message) {
+  if (message.size() < kHeaderBytes) {
+    return Status{StatusCode::kProtocolError, "loadgen frame too short"};
+  }
+  if (common::read_uint<std::uint32_t>(message, ByteOrder::kBig) != kMagic) {
+    return Status{StatusCode::kProtocolError, "bad loadgen magic"};
+  }
+  const std::uint8_t raw_op = message[4];
+  if (raw_op > static_cast<std::uint8_t>(FrameOp::kStream)) {
+    return Status{StatusCode::kProtocolError, "bad loadgen op"};
+  }
+  LoadFrame frame;
+  frame.op = static_cast<FrameOp>(raw_op);
+  frame.seq =
+      common::read_uint<std::uint64_t>(message.subspan(5), ByteOrder::kBig);
+  frame.t_send_ns =
+      common::read_uint<std::uint64_t>(message.subspan(13), ByteOrder::kBig);
+  frame.reply_bytes =
+      common::read_uint<std::uint32_t>(message.subspan(21), ByteOrder::kBig);
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// LoadPeer
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<LoadPeer>> LoadPeer::start(net::Network& net,
+                                                  const std::string& address) {
+  auto listener = net.listen(address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<LoadPeer> peer{new LoadPeer};
+  peer->listener_ = std::move(listener).value();
+  peer->address_ = peer->listener_->address();
+  LoadPeer* self = peer.get();
+  peer->accept_thread_ =
+      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  return peer;
+}
+
+LoadPeer::~LoadPeer() { stop(); }
+
+void LoadPeer::stop() {
+  if (stopped_.exchange(true)) return;
+  accept_thread_.request_stop();
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<ServeSlot> slots;
+  {
+    std::scoped_lock lock(mutex_);
+    slots = std::move(slots_);
+  }
+  for (auto& slot : slots) slot.conn->close();
+  for (auto& slot : slots) {
+    slot.thread.request_stop();
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+}
+
+Histogram LoadPeer::stream_latency() const {
+  std::scoped_lock lock(mutex_);
+  return stream_latency_;
+}
+
+std::uint64_t LoadPeer::stream_frames() const {
+  std::scoped_lock lock(mutex_);
+  return stream_frames_;
+}
+
+void LoadPeer::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(Deadline::after(kPumpSlice));
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kClosed) return;
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    if (stopped_.load()) {
+      conn.value()->close();
+      return;
+    }
+    // Reap finished pumps so connection churn over a long soak doesn't grow
+    // the vector (and, for TCP, pin dead fds) without bound. A set `done`
+    // flag means the thread is past its last mutex_ use, so joining it in
+    // ~jthread while holding the lock cannot deadlock.
+    std::erase_if(slots_, [](const ServeSlot& s) { return s.done->load(); });
+    net::ConnectionPtr shared = std::move(conn).value();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    slots_.push_back(
+        {shared, done, std::jthread([this, shared, done](std::stop_token sst) {
+           serve(sst, shared);
+           done->store(true);
+         })});
+  }
+}
+
+void LoadPeer::serve(const std::stop_token& st,
+                     const net::ConnectionPtr& conn) {
+  while (!st.stop_requested()) {
+    auto raw = conn->recv(Deadline::after(kPumpSlice));
+    if (!raw.is_ok()) {
+      if (raw.status().code() == StatusCode::kClosed) break;
+      continue;
+    }
+    auto frame = LoadFrame::decode(raw.value());
+    if (!frame.is_ok()) {
+      conn->close();
+      break;
+    }
+    switch (frame.value().op) {
+      case FrameOp::kStream: {
+        // Folded into the shared state per frame (not at thread exit) so a
+        // reader polling stream_frames() sees progress as it happens; burst
+        // rates are modest, so the lock is effectively uncontended.
+        std::scoped_lock lock(mutex_);
+        stream_latency_.record(common::ns_since(frame.value().t_send_ns));
+        ++stream_frames_;
+        break;
+      }
+      case FrameOp::kEcho: {
+        // A kClosed here surfaces on the next recv, which ends the loop.
+        (void)conn->send(raw.value(), Deadline::after(kPumpSlice));
+        break;
+      }
+      case FrameOp::kAck:
+      case FrameOp::kRequest: {
+        LoadFrame reply = frame.value();
+        const std::size_t payload =
+            frame.value().op == FrameOp::kRequest ? reply.reply_bytes : 0;
+        reply.reply_bytes = 0;
+        (void)conn->send(reply.encode(payload), Deadline::after(kPumpSlice));
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// run_workload
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct WorkerOutcome {
+  ConnectionReport report;
+  Histogram latency;
+};
+
+FrameOp op_for(Pattern pattern) noexcept {
+  switch (pattern) {
+    case Pattern::kPush: return FrameOp::kAck;
+    case Pattern::kPull: return FrameOp::kRequest;
+    case Pattern::kDuplex: return FrameOp::kEcho;
+    case Pattern::kBurst: return FrameOp::kStream;
+  }
+  return FrameOp::kEcho;
+}
+
+/// Receives until the reply matching `seq` arrives (stale replies from
+/// previously timed-out ops are skipped) and records its round trip.
+Status await_reply(net::Connection& conn, std::uint64_t seq, Deadline deadline,
+                   Histogram& latency) {
+  for (;;) {
+    auto raw = conn.recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto reply = LoadFrame::decode(raw.value());
+    if (!reply.is_ok()) return reply.status();
+    if (reply.value().seq != seq) continue;
+    latency.record(common::ns_since(reply.value().t_send_ns));
+    return Status::ok();
+  }
+}
+
+void run_worker(net::Network& net, const std::string& address,
+                const Workload& workload, std::size_t index,
+                common::TimePoint t0, common::TimePoint end,
+                WorkerOutcome& out) {
+  // Stagger connects across the ramp so a soak does not open with a
+  // thundering herd; every worker still stops at the shared end time.
+  const auto delay =
+      workload.connections > 1
+          ? workload.ramp_up * static_cast<std::int64_t>(index) /
+                static_cast<std::int64_t>(workload.connections)
+          : common::Duration::zero();
+  std::this_thread::sleep_until(t0 + delay);
+  auto conn = net.connect(address, Deadline::after(workload.op_timeout));
+  if (!conn.is_ok()) {
+    ++out.report.errors;
+    return;
+  }
+  common::Rng rng(
+      workload.seed ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1)));
+  const FrameOp op = op_for(workload.pattern);
+  const std::size_t size_span = workload.max_payload - workload.min_payload + 1;
+  const bool rate_limited = workload.messages_per_sec > 0.0;
+  const auto interval =
+      rate_limited ? std::chrono::duration_cast<common::Duration>(
+                         std::chrono::duration<double>(
+                             1.0 / workload.messages_per_sec))
+                   : common::Duration::zero();
+  auto next_send = common::Clock::now();
+  std::uint64_t seq = 0;
+  while (common::Clock::now() < end) {
+    if (rate_limited) {
+      std::this_thread::sleep_until(std::min(next_send, end));
+      if (common::Clock::now() >= end) break;
+      next_send += interval;
+    }
+    const std::size_t drawn =
+        workload.min_payload +
+        static_cast<std::size_t>(rng.next_below(size_span));
+    LoadFrame frame;
+    frame.op = op;
+    frame.seq = ++seq;
+    const std::size_t payload_bytes =
+        workload.pattern == Pattern::kPull ? 0 : drawn;
+    if (workload.pattern == Pattern::kPull) {
+      frame.reply_bytes = static_cast<std::uint32_t>(drawn);
+    }
+    const Deadline deadline = Deadline::after(workload.op_timeout);
+    frame.t_send_ns = common::steady_now_ns();
+    const Status sent =
+        conn.value()->send(frame.encode(payload_bytes), deadline);
+    if (!sent.is_ok()) {
+      // A timeout is connection-fatal, not retriable: over TCP it may have
+      // cut a length-prefixed frame short (send_all/recv_all keep no cross-
+      // call progress), and the next frame would be parsed from mid-stream.
+      if (sent.code() == StatusCode::kTimeout) ++out.report.timeouts;
+      else if (sent.code() != StatusCode::kClosed) ++out.report.errors;
+      break;
+    }
+    if (op == FrameOp::kStream) {
+      ++out.report.ops;  // one-way: the peer's histogram holds the latency
+      continue;
+    }
+    const Status replied =
+        await_reply(*conn.value(), seq, deadline, out.latency);
+    if (!replied.is_ok()) {
+      if (replied.code() == StatusCode::kTimeout) ++out.report.timeouts;
+      else if (replied.code() != StatusCode::kClosed) ++out.report.errors;
+      break;
+    }
+    ++out.report.ops;
+  }
+  out.report.transport = conn.value()->stats();
+  conn.value()->close();
+}
+
+}  // namespace
+
+Result<Report> run_workload(net::Network& net, const std::string& address,
+                            const Workload& workload, LoadPeer* peer) {
+  if (Status s = workload.validate(); !s.is_ok()) return s;
+  const auto t0 = common::Clock::now();
+  const auto end = t0 + workload.ramp_up + workload.duration;
+  std::vector<WorkerOutcome> outcomes(workload.connections);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(workload.connections);
+    for (std::size_t i = 0; i < workload.connections; ++i) {
+      workers.emplace_back([&, i] {
+        run_worker(net, address, workload, i, t0, end, outcomes[i]);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  Report report;
+  report.name = std::string("raw/") + std::string(to_string(workload.pattern));
+  report.connections = workload.connections;
+  report.elapsed = common::Clock::now() - t0;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.report, outcome.latency);
+  }
+  if (workload.pattern == Pattern::kBurst && peer != nullptr) {
+    // Wait for the in-flight tail: the peer accounts frames as they land,
+    // so poll until it has seen everything we sent (bounded, in case the
+    // substrate dropped frames).
+    const auto drain_deadline = common::Clock::now() + std::chrono::seconds(2);
+    while (peer->stream_frames() < report.ops &&
+           common::Clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    report.latency.merge(peer->stream_latency());
+  }
+  return report;
+}
+
+}  // namespace cs::loadgen

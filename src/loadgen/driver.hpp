@@ -1,0 +1,108 @@
+// The load driver: turns one Workload into N concurrent connections.
+//
+// Shape follows ctsTraffic: a client fleet opens connections against a
+// server, every message carries a sequence number and a send timestamp, and
+// each worker keeps its own latency histogram so the hot path never shares
+// state; the driver merges the histograms into one Report at the end.
+// Both sides speak a tiny framed protocol (LoadFrame) over any
+// cs::net::Network, so the same workload runs over inproc and TCP.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/status.hpp"
+#include "loadgen/report.hpp"
+#include "loadgen/workload.hpp"
+#include "net/transport.hpp"
+
+namespace cs::loadgen {
+
+/// What the peer must do with a frame.
+enum class FrameOp : std::uint8_t {
+  kAck = 0,     ///< push: reply with the bare header
+  kRequest = 1, ///< pull: reply with the header plus `reply_bytes` payload
+  kEcho = 2,    ///< duplex: reply with the entire frame
+  kStream = 3,  ///< burst: no reply; the peer records one-way latency
+};
+
+/// Header of every loadgen message; payload bytes follow it verbatim.
+struct LoadFrame {
+  static constexpr std::uint32_t kMagic = 0x43534c47;  // "CSLG"
+  static constexpr std::size_t kHeaderBytes = 4 + 1 + 8 + 8 + 4;
+
+  FrameOp op = FrameOp::kEcho;
+  std::uint64_t seq = 0;
+  /// Sender's steady-clock timestamp in nanoseconds since clock epoch.
+  std::uint64_t t_send_ns = 0;
+  /// kRequest only: payload size the peer must attach to its reply.
+  std::uint32_t reply_bytes = 0;
+
+  /// Serializes header + `payload_bytes` filler bytes (value derived from
+  /// seq, so echoes are verifiable).
+  common::Bytes encode(std::size_t payload_bytes) const;
+  static common::Result<LoadFrame> decode(common::ByteSpan message);
+};
+
+/// The server half: accepts connections on one address and serves LoadFrame
+/// requests until stopped. kStream frames are accounted into a histogram of
+/// one-way latencies, retrievable after the run (sender and peer share the
+/// process clock, which is what makes one-way numbers meaningful here).
+class LoadPeer {
+ public:
+  static common::Result<std::unique_ptr<LoadPeer>> start(
+      net::Network& net, const std::string& address);
+  ~LoadPeer();
+  LoadPeer(const LoadPeer&) = delete;
+  LoadPeer& operator=(const LoadPeer&) = delete;
+  void stop();
+
+  /// The bound address (kernel-assigned TCP ports differ from the request).
+  const std::string& address() const noexcept { return address_; }
+
+  /// One-way latency of kStream frames, merged across all peer connections.
+  common::Histogram stream_latency() const;
+  /// kStream frames accepted (burst workloads compare this to frames sent).
+  std::uint64_t stream_frames() const;
+
+ private:
+  LoadPeer() = default;
+  void accept_loop(const std::stop_token& st);
+  void serve(const std::stop_token& st, const net::ConnectionPtr& conn);
+
+  /// One serve thread plus its completion flag; a set `done` means the
+  /// thread is past its last shared-state use, so reaping may join it.
+  struct ServeSlot {
+    net::ConnectionPtr conn;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::jthread thread;
+  };
+
+  net::ListenerPtr listener_;
+  std::string address_;
+  std::jthread accept_thread_;
+  mutable std::mutex mutex_;
+  std::vector<ServeSlot> slots_;
+  common::Histogram stream_latency_;
+  std::uint64_t stream_frames_ = 0;
+  std::atomic<bool> stopped_{false};
+};
+
+/// Runs `workload` against a LoadPeer-compatible server at `address`.
+///
+/// Blocks for ramp_up + duration. Each worker connects (its start staggered
+/// across ramp_up), runs its pattern loop until the shared end time, and
+/// contributes one ConnectionReport; `peer`, when given, lets burst runs
+/// fold the receiver-side one-way histogram into the report.
+common::Result<Report> run_workload(net::Network& net,
+                                    const std::string& address,
+                                    const Workload& workload,
+                                    LoadPeer* peer = nullptr);
+
+}  // namespace cs::loadgen

@@ -1,0 +1,115 @@
+#include "loadgen/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cs::loadgen {
+
+namespace {
+
+double ns_to_us(std::uint64_t ns) noexcept {
+  return static_cast<double>(ns) / 1000.0;
+}
+
+void append_field(std::string& out, const char* key, double value,
+                  bool trailing_comma = true) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "      \"%s\": %.6g%s\n", key, value,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value,
+                  bool trailing_comma = true) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "      \"%s\": %" PRIu64 "%s\n", key, value,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+double Report::seconds() const noexcept {
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+double Report::ops_per_second() const noexcept {
+  const double s = seconds();
+  return s > 0.0 ? static_cast<double>(ops) / s : 0.0;
+}
+
+double Report::recv_bytes_per_second() const noexcept {
+  const double s = seconds();
+  return s > 0.0 ? static_cast<double>(transport.bytes_received) / s : 0.0;
+}
+
+void Report::add_connection(const ConnectionReport& conn,
+                            const common::Histogram& worker_latency) {
+  ops += conn.ops;
+  timeouts += conn.timeouts;
+  errors += conn.errors;
+  transport.messages_sent += conn.transport.messages_sent;
+  transport.bytes_sent += conn.transport.bytes_sent;
+  transport.messages_received += conn.transport.messages_received;
+  transport.bytes_received += conn.transport.bytes_received;
+  latency.merge(worker_latency);
+  per_connection.push_back(conn);
+}
+
+std::string to_json(const Report& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"context\": {\n";
+  out += "    \"executable\": \"loadgen\",\n";
+  out += "    \"scenario\": \"" + report.name + "\",\n";
+  out += "    \"connections\": " + std::to_string(report.connections) + "\n";
+  out += "  },\n";
+  out += "  \"benchmarks\": [\n";
+  out += "    {\n";
+  out += "      \"name\": \"loadgen/" + report.name + "\",\n";
+  out += "      \"run_type\": \"iteration\",\n";
+  out += "      \"time_unit\": \"ns\",\n";
+  append_field(out, "iterations", report.ops);
+  append_field(out, "real_time",
+               static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       report.elapsed)
+                       .count()));
+  append_field(out, "items_per_second", report.ops_per_second());
+  append_field(out, "bytes_per_second", report.recv_bytes_per_second());
+  append_field(out, "timeouts", report.timeouts);
+  append_field(out, "errors", report.errors);
+  append_field(out, "messages_sent", report.transport.messages_sent);
+  append_field(out, "bytes_sent", report.transport.bytes_sent);
+  append_field(out, "messages_received", report.transport.messages_received);
+  append_field(out, "bytes_received", report.transport.bytes_received);
+  append_field(out, "latency_samples", report.latency.count());
+  append_field(out, "latency_min_us", ns_to_us(report.latency.min()));
+  append_field(out, "latency_mean_us", report.latency.mean() / 1000.0);
+  append_field(out, "latency_p50_us", ns_to_us(report.latency.p50()));
+  append_field(out, "latency_p95_us", ns_to_us(report.latency.p95()));
+  append_field(out, "latency_p99_us", ns_to_us(report.latency.p99()));
+  append_field(out, "latency_p999_us", ns_to_us(report.latency.p999()));
+  append_field(out, "latency_max_us", ns_to_us(report.latency.max()),
+               /*trailing_comma=*/false);
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string summary_line(const Report& report) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: %zu conns, %.2fs, %" PRIu64 " ops (%.0f/s), %" PRIu64
+      " timeouts, %" PRIu64
+      " errors, latency us p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+      report.name.c_str(), report.connections, report.seconds(), report.ops,
+      report.ops_per_second(), report.timeouts, report.errors,
+      ns_to_us(report.latency.p50()), ns_to_us(report.latency.p95()),
+      ns_to_us(report.latency.p99()), ns_to_us(report.latency.max()));
+  return std::string(buf);
+}
+
+}  // namespace cs::loadgen

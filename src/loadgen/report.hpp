@@ -1,0 +1,57 @@
+// Aggregated results of one loadgen run and their JSON serialization.
+//
+// The JSON document follows the Google Benchmark output schema (a "context"
+// object plus a "benchmarks" array) so loadgen reports drop into the same
+// BENCH_*.json tooling the `run_benches` target feeds: the run appears as
+// one benchmark entry with items_per_second / bytes_per_second, and the
+// latency distribution rides along as extra numeric fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+#include "net/transport.hpp"
+
+namespace cs::loadgen {
+
+/// Outcome of one connection (or one scenario participant).
+struct ConnectionReport {
+  std::uint64_t ops = 0;       ///< completed operations (round trips/frames)
+  std::uint64_t timeouts = 0;  ///< ops abandoned at their deadline
+  std::uint64_t errors = 0;    ///< non-timeout failures
+  net::ConnStats transport;    ///< counters of the underlying connection
+};
+
+struct Report {
+  std::string name;         ///< e.g. "mux_soak", "raw/duplex"
+  std::size_t connections = 0;
+  common::Duration elapsed = common::Duration::zero();
+  std::uint64_t ops = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  /// Sum of per-connection transport counters.
+  net::ConnStats transport;
+  /// Per-operation latency in nanoseconds, merged across all workers.
+  common::Histogram latency;
+  std::vector<ConnectionReport> per_connection;
+
+  double seconds() const noexcept;
+  double ops_per_second() const noexcept;
+  /// Payload throughput: bytes received across all connections per second.
+  double recv_bytes_per_second() const noexcept;
+
+  /// Folds one worker's outcome into the aggregate counters.
+  void add_connection(const ConnectionReport& conn,
+                      const common::Histogram& worker_latency);
+};
+
+/// Serializes the report as a Google-Benchmark-schema JSON document.
+std::string to_json(const Report& report);
+
+/// One-line human summary for terminals and CI logs.
+std::string summary_line(const Report& report);
+
+}  // namespace cs::loadgen

@@ -1,0 +1,420 @@
+#include "loadgen/scenarios.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "ag/media.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/inproc.hpp"
+#include "visit/client.hpp"
+#include "visit/multiplexer.hpp"
+#include "visit/viewer.hpp"
+#include "viz/remote.hpp"
+
+namespace cs::loadgen {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::Deadline;
+using common::Histogram;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+constexpr auto kPollSlice = std::chrono::milliseconds(20);
+constexpr std::uint32_t kSampleTag = 1;
+constexpr std::uint32_t kSteerTag = 2;
+
+/// One scenario participant's outcome; merged into the Report afterwards.
+struct Participant {
+  ConnectionReport report;
+  Histogram latency;
+};
+
+Status invalid(const char* what) {
+  return Status{StatusCode::kInvalidArgument, what};
+}
+
+Status check(const ScenarioOptions& options) {
+  if (options.connections == 0) return invalid("connections must be >= 1");
+  if (options.duration <= common::Duration::zero()) {
+    return invalid("duration must be positive");
+  }
+  if (options.rate_per_sec <= 0.0) return invalid("rate must be positive");
+  return Status::ok();
+}
+
+common::Duration rate_interval(double per_sec) {
+  return std::chrono::duration_cast<common::Duration>(
+      std::chrono::duration<double>(1.0 / per_sec));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Steering fan-out soak (visit::Multiplexer)
+// ---------------------------------------------------------------------------
+
+Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  net::InProcNetwork net;
+  visit::Multiplexer::Options mux_options;
+  mux_options.sim_address = "mux:sim";
+  mux_options.viewer_address = "mux:viewer";
+  mux_options.password = "soak";
+  auto mux = visit::Multiplexer::start(net, mux_options);
+  if (!mux.is_ok()) return mux.status();
+
+  // Connect every viewer before the first sample so the whole fleet sees
+  // the full fan-out; the first one in holds the master role.
+  visit::ViewerClient::Options viewer_options;
+  viewer_options.mux_address = mux_options.viewer_address;
+  viewer_options.password = mux_options.password;
+  std::vector<visit::ViewerClient> viewers;
+  viewers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    auto viewer = visit::ViewerClient::connect(
+        net, viewer_options, Deadline::after(std::chrono::seconds(5)));
+    if (!viewer.is_ok()) return viewer.status();
+    viewers.push_back(std::move(viewer).value());
+  }
+
+  visit::SimClientOptions sim_options;
+  sim_options.server_address = mux_options.sim_address;
+  sim_options.password = mux_options.password;
+  auto sim = visit::SimClient::connect(
+      net, sim_options, Deadline::after(std::chrono::seconds(5)));
+  if (!sim.is_ok()) return sim.status();
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  std::vector<Participant> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&, i] {
+      auto& viewer = viewers[i];
+      auto& out = outcomes[i];
+      std::uint64_t polls = 0;
+      while (common::Clock::now() < end) {
+        auto event = viewer.poll(Deadline::after(kPollSlice));
+        if (!event.is_ok()) {
+          if (event.status().code() == StatusCode::kClosed) break;
+          continue;  // poll slice elapsed without a sample
+        }
+        if (event.value().kind == visit::ViewerClient::Event::Kind::kBye) break;
+        if (event.value().kind == visit::ViewerClient::Event::Kind::kData &&
+            event.value().tag == kSampleTag &&
+            event.value().message.payload.size() >= 8) {
+          out.latency.record(
+              common::ns_since(common::read_uint<std::uint64_t>(
+                  event.value().message.payload, ByteOrder::kBig)));
+          ++out.report.ops;
+        }
+        // The master periodically publishes a steering update — the
+        // "1 master + many passive viewers" collaboration shape.
+        if (viewer.is_master() && ++polls % 32 == 0) {
+          if (!viewer.steer_string(kSteerTag, "step=" + std::to_string(polls))
+                   .is_ok()) {
+            ++out.report.errors;
+          }
+        }
+      }
+      out.report.transport = viewer.stats();
+      viewer.disconnect();
+    });
+  }
+
+  // The simulation: timestamped samples at a fixed rate, plus a parameter
+  // pull every 32 samples to exercise the request/reply path.
+  const auto interval = rate_interval(options.rate_per_sec);
+  auto next_send = t_start;
+  std::uint64_t sent = 0;
+  std::uint64_t sim_timeouts = 0;
+  Bytes payload(std::max<std::size_t>(options.payload_bytes, 8));
+  common::Rng rng(options.seed);
+  while (common::Clock::now() < end) {
+    std::this_thread::sleep_until(std::min(next_send, end));
+    if (common::Clock::now() >= end) break;
+    next_send += interval;
+    payload.assign(payload.size(), static_cast<std::uint8_t>(rng.next_u64()));
+    Bytes stamped;
+    common::append_uint<std::uint64_t>(stamped, common::steady_now_ns(),
+                                       ByteOrder::kBig);
+    std::copy(stamped.begin(), stamped.end(), payload.begin());
+    const Status s = sim.value().send(kSampleTag, payload.data(),
+                                      payload.size(),
+                                      Deadline::after(std::chrono::seconds(1)));
+    if (!s.is_ok()) {
+      if (s.code() == StatusCode::kClosed) break;
+      ++sim_timeouts;
+      continue;
+    }
+    ++sent;
+    if (sent % 32 == 0) {
+      (void)sim.value().request_string(
+          kSteerTag, Deadline::after(std::chrono::seconds(1)));
+    }
+  }
+  sim.value().disconnect();
+  for (auto& w : workers) w.join();
+  mux.value()->stop();
+
+  Report report;
+  report.name = "mux_soak";
+  report.connections = options.connections;
+  report.elapsed = common::Clock::now() - t_start;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.report, outcome.latency);
+  }
+  report.timeouts += sim_timeouts;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Remote-rendering viewpoint/frame loop (viz::RemoteRenderServer)
+// ---------------------------------------------------------------------------
+
+Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  net::InProcNetwork net;
+  auto scene = std::make_shared<viz::SceneStore>();
+  scene->set_boxes({{{-1, -1, -1}, {1, 1, 1}}}, {90, 90, 90});
+  viz::RemoteRenderServer::Options server_options;
+  server_options.address = "viz:render";
+  server_options.width = 160;
+  server_options.height = 120;
+  server_options.frame_period = std::chrono::milliseconds(1);
+  auto server = viz::RemoteRenderServer::start(net, scene, server_options);
+  if (!server.is_ok()) return server.status();
+
+  std::vector<viz::RemoteRenderClient> clients;
+  clients.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    auto client = viz::RemoteRenderClient::connect(
+        net, server_options.address, Deadline::after(std::chrono::seconds(5)));
+    if (!client.is_ok()) return client.status();
+    clients.push_back(std::move(client).value());
+  }
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  // The camera is shared (VizServer collaboration), so the view-update rate
+  // is split across participants; every update re-renders for everyone.
+  const auto view_interval = rate_interval(
+      options.rate_per_sec / static_cast<double>(options.connections));
+  std::vector<Participant> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&, i] {
+      auto& client = clients[i];
+      auto& out = outcomes[i];
+      common::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+      viz::Camera camera;
+      auto next_view = t_start + view_interval * i / options.connections;
+      common::TimePoint view_sent{};
+      bool awaiting_view = false;
+      while (common::Clock::now() < end) {
+        if (common::Clock::now() >= next_view) {
+          next_view += view_interval;
+          camera.orbit(rng.uniform(-0.2, 0.2), rng.uniform(-0.1, 0.1));
+          if (client
+                  .set_view(camera, Deadline::after(std::chrono::seconds(1)))
+                  .code() == StatusCode::kClosed) {
+            break;
+          }
+          view_sent = common::Clock::now();
+          awaiting_view = true;
+        }
+        // Drain frames continuously — the shared camera means frames arrive
+        // for everyone's view changes, not just our own.
+        auto frame = client.await_frame(Deadline::after(kPollSlice));
+        if (!frame.is_ok()) {
+          if (frame.status().code() == StatusCode::kClosed) break;
+          continue;
+        }
+        ++out.report.ops;
+        if (awaiting_view) {
+          out.latency.record(common::Clock::now() - view_sent);
+          awaiting_view = false;
+        }
+      }
+      out.report.transport = client.stats();
+      client.disconnect();
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto elapsed = common::Clock::now() - t_start;
+  server.value()->stop();
+
+  Report report;
+  report.name = "viz_loop";
+  report.connections = options.connections;
+  report.elapsed = elapsed;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.report, outcome.latency);
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Media-bridge stream (ag::MediaStream + ag::UnicastBridge)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Frame dimensions approximating `payload_bytes` of raw RGB.
+std::pair<int, int> frame_dims(std::size_t payload_bytes) {
+  const int width = 32;
+  const auto rows = payload_bytes / (3u * width);
+  const int height = std::clamp<int>(static_cast<int>(rows), 4, 256);
+  return {width, height};
+}
+
+/// Encodes `ns` into the first three pixels; the RLE codec is lossless, so
+/// the stamp survives compress -> bridge -> decompress.
+void stamp_frame(viz::Image& frame, std::uint64_t ns) {
+  std::uint8_t bytes[9] = {};
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(ns >> (8 * (7 - i)));
+  }
+  auto& px = frame.pixels();
+  for (int p = 0; p < 3; ++p) {
+    px[p] = viz::Color{bytes[3 * p], bytes[3 * p + 1], bytes[3 * p + 2]};
+  }
+}
+
+std::uint64_t read_stamp(const viz::Image& frame) {
+  if (frame.pixels().size() < 3) return 0;
+  std::uint8_t bytes[9];
+  for (int p = 0; p < 3; ++p) {
+    bytes[3 * p] = frame.pixels()[p].r;
+    bytes[3 * p + 1] = frame.pixels()[p].g;
+    bytes[3 * p + 2] = frame.pixels()[p].b;
+  }
+  std::uint64_t ns = 0;
+  for (int i = 0; i < 8; ++i) ns = (ns << 8) | bytes[i];
+  return ns;
+}
+
+}  // namespace
+
+Result<Report> run_media_bridge(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  net::InProcNetwork net;
+  const std::string group = "venue/video";
+  ag::UnicastBridge::Options bridge_options;
+  bridge_options.group = group;
+  bridge_options.address = "bridge:media";
+  auto bridge = ag::UnicastBridge::start(net, bridge_options);
+  if (!bridge.is_ok()) return bridge.status();
+
+  auto sender = ag::MediaStream::join(net, group);
+  if (!sender.is_ok()) return sender.status();
+
+  // Half the receivers sit on the multicast group, half behind the bridge —
+  // the paper's mixed multicast/firewalled-venue audience.
+  const std::size_t direct_count = (options.connections + 1) / 2;
+  std::vector<ag::MediaStream> direct;
+  direct.reserve(direct_count);
+  for (std::size_t i = 0; i < direct_count; ++i) {
+    auto stream = ag::MediaStream::join(net, group);
+    if (!stream.is_ok()) return stream.status();
+    direct.push_back(std::move(stream).value());
+  }
+  std::vector<net::ConnectionPtr> bridged;
+  bridged.reserve(options.connections - direct_count);
+  for (std::size_t i = direct_count; i < options.connections; ++i) {
+    auto conn = net.connect(bridge_options.address,
+                            Deadline::after(std::chrono::seconds(5)));
+    if (!conn.is_ok()) return conn.status();
+    bridged.push_back(std::move(conn).value());
+  }
+  // The bridge registers unicast clients on its pump cycle; give it one
+  // cycle so the first frames are not missed by the whole bridged half.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  std::vector<Participant> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&, i] {
+      auto& out = outcomes[i];
+      if (i < direct_count) {
+        auto& stream = direct[i];
+        while (common::Clock::now() < end) {
+          auto frame = stream.receive_frame(Deadline::after(kPollSlice));
+          if (!frame.is_ok()) {
+            if (frame.status().code() == StatusCode::kClosed) break;
+            continue;
+          }
+          out.latency.record(common::ns_since(read_stamp(frame.value())));
+          ++out.report.ops;
+        }
+        out.report.transport = stream.stats();
+        stream.leave();
+      } else {
+        auto& conn = bridged[i - direct_count];
+        while (common::Clock::now() < end) {
+          auto raw = conn->recv(Deadline::after(kPollSlice));
+          if (!raw.is_ok()) {
+            if (raw.status().code() == StatusCode::kClosed) break;
+            continue;
+          }
+          auto frame = viz::decompress_frame(raw.value());
+          if (!frame.is_ok()) {
+            ++out.report.errors;
+            continue;
+          }
+          out.latency.record(common::ns_since(read_stamp(frame.value())));
+          ++out.report.ops;
+        }
+        out.report.transport = conn->stats();
+        conn->close();
+      }
+    });
+  }
+
+  // Fixed-rate framed stream, ctsTraffic media style: every frame carries
+  // its send timestamp; receivers account one-way delay.
+  const auto [width, height] = frame_dims(options.payload_bytes);
+  const auto interval = rate_interval(options.rate_per_sec);
+  auto next_send = t_start;
+  std::uint64_t seq = 0;
+  std::uint64_t send_errors = 0;
+  while (common::Clock::now() < end) {
+    std::this_thread::sleep_until(std::min(next_send, end));
+    if (common::Clock::now() >= end) break;
+    next_send += interval;
+    ++seq;
+    viz::Image frame(width, height,
+                     viz::Color{static_cast<std::uint8_t>(seq * 29),
+                                static_cast<std::uint8_t>(seq * 53),
+                                static_cast<std::uint8_t>(seq * 97)});
+    stamp_frame(frame, common::steady_now_ns());
+    if (!sender.value().send_frame(frame).is_ok()) ++send_errors;
+  }
+  for (auto& w : workers) w.join();
+  const auto elapsed = common::Clock::now() - t_start;
+  sender.value().leave();
+  bridge.value()->stop();
+
+  Report report;
+  report.name = "media_bridge";
+  report.connections = options.connections;
+  report.elapsed = elapsed;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.report, outcome.latency);
+  }
+  report.errors += send_errors;
+  return report;
+}
+
+}  // namespace cs::loadgen

@@ -1,0 +1,51 @@
+// End-to-end soak scenarios against the real services.
+//
+// Each scenario stands up one actual service (collaborative-steering
+// multiplexer, remote render server, AG media bridge) on an in-process
+// network, drives it with many concurrent participants, and reports the
+// user-visible latency distribution: fan-out delay for steering samples,
+// viewpoint-to-frame round trip for remote rendering, and one-way frame
+// delay for media streams. Every future perf PR measures against these.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "loadgen/report.hpp"
+
+namespace cs::loadgen {
+
+struct ScenarioOptions {
+  /// Concurrent participants (viewers / render clients / media receivers).
+  std::size_t connections = 64;
+  /// Measurement window once all participants are connected.
+  common::Duration duration = std::chrono::seconds(2);
+  /// Producer rate: steering samples, viewpoint updates, or media frames
+  /// per second.
+  double rate_per_sec = 200.0;
+  /// Bulk payload size (steering sample bytes; media frames derive their
+  /// dimensions from it).
+  std::size_t payload_bytes = 1024;
+  std::uint64_t seed = 1;
+};
+
+/// Steering fan-out soak: one simulation pushes timestamped samples through
+/// a visit::Multiplexer to `connections` viewers; the first viewer holds the
+/// master role and steers periodically. Latency = sample publish -> viewer
+/// delivery, across all viewers.
+common::Result<Report> run_multiplexer_soak(const ScenarioOptions& options);
+
+/// Remote-rendering loop: `connections` viz::RemoteRenderClient participants
+/// share one viz::RemoteRenderServer camera; each loops viewpoint-update ->
+/// frame receipt. Latency = view change -> delivered frame.
+common::Result<Report> run_vizserver_loop(const ScenarioOptions& options);
+
+/// Media-bridge stream: one ag::MediaStream sender emits fixed-rate frames
+/// onto a multicast group; half the receivers sit on the group, half behind
+/// an ag::UnicastBridge. Latency = one-way frame delay (timestamp encoded
+/// in the frame pixels, surviving the lossless codec).
+common::Result<Report> run_media_bridge(const ScenarioOptions& options);
+
+}  // namespace cs::loadgen

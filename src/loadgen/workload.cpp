@@ -1,0 +1,51 @@
+#include "loadgen/workload.hpp"
+
+namespace cs::loadgen {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+std::string_view to_string(Pattern pattern) noexcept {
+  switch (pattern) {
+    case Pattern::kPush: return "push";
+    case Pattern::kPull: return "pull";
+    case Pattern::kDuplex: return "duplex";
+    case Pattern::kBurst: return "burst";
+  }
+  return "unknown";
+}
+
+Result<Pattern> parse_pattern(std::string_view text) {
+  if (text == "push") return Pattern::kPush;
+  if (text == "pull") return Pattern::kPull;
+  if (text == "duplex") return Pattern::kDuplex;
+  if (text == "burst") return Pattern::kBurst;
+  return Status{StatusCode::kInvalidArgument,
+                "unknown pattern: " + std::string(text)};
+}
+
+Status Workload::validate() const {
+  if (connections == 0) {
+    return Status{StatusCode::kInvalidArgument, "connections must be >= 1"};
+  }
+  if (duration <= common::Duration::zero()) {
+    return Status{StatusCode::kInvalidArgument, "duration must be positive"};
+  }
+  if (min_payload > max_payload) {
+    return Status{StatusCode::kInvalidArgument, "min_payload > max_payload"};
+  }
+  if (pattern == Pattern::kBurst && messages_per_sec <= 0.0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "burst requires messages_per_sec > 0"};
+  }
+  if (messages_per_sec < 0.0) {
+    return Status{StatusCode::kInvalidArgument, "negative messages_per_sec"};
+  }
+  if (op_timeout <= common::Duration::zero()) {
+    return Status{StatusCode::kInvalidArgument, "op_timeout must be positive"};
+  }
+  return Status::ok();
+}
+
+}  // namespace cs::loadgen

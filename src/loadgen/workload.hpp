@@ -1,0 +1,56 @@
+// Declarative traffic patterns for the load generator.
+//
+// A Workload describes *what* to put on the wire — ctsTraffic-style: the
+// direction of the bulk bytes (push / pull / duplex), or a fixed-rate framed
+// datagram stream (burst, the media-stream shape) — and *how much* of it:
+// connection count, ramp-up, duration, seeded payload sizing. The driver
+// (loadgen/driver.hpp) turns one Workload into N concurrent connections
+// against any cs::net::Network.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace cs::loadgen {
+
+enum class Pattern : std::uint8_t {
+  kPush,    ///< client sends the bulk payload; peer returns a small ack
+  kPull,    ///< client sends a small request; peer returns the bulk payload
+  kDuplex,  ///< client sends the payload; peer echoes it in full
+  kBurst,   ///< fixed-rate one-way framed datagrams; latency read at the peer
+};
+
+std::string_view to_string(Pattern pattern) noexcept;
+common::Result<Pattern> parse_pattern(std::string_view text);
+
+struct Workload {
+  Pattern pattern = Pattern::kDuplex;
+  /// Concurrent connections the driver opens against the target address.
+  std::size_t connections = 1;
+  /// Steady-state measurement window (after ramp-up completes).
+  common::Duration duration = std::chrono::seconds(1);
+  /// Connection start times are spread uniformly across this interval so a
+  /// soak does not begin with a thundering herd of connect() calls.
+  common::Duration ramp_up = common::Duration::zero();
+  /// Payload size drawn per message from [min_payload, max_payload] with a
+  /// seeded RNG — reproducible, but not a single fixed packet size.
+  std::size_t min_payload = 64;
+  std::size_t max_payload = 64;
+  /// Per-connection send rate. Zero means closed-loop (next op starts when
+  /// the previous completes); kBurst requires a positive rate.
+  double messages_per_sec = 0.0;
+  /// Root RNG seed; worker i derives its stream from (seed, i).
+  std::uint64_t seed = 1;
+  /// Deadline applied to each individual transport operation.
+  common::Duration op_timeout = std::chrono::seconds(1);
+
+  /// kInvalidArgument with a reason when the combination is unusable.
+  common::Status validate() const;
+};
+
+}  // namespace cs::loadgen

@@ -281,6 +281,8 @@ Status MulticastSocket::send(ByteSpan message, Deadline deadline) {
     (void)inbox->push(message, Deadline::expired());
     (void)deadline;
   }
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(message.size(), std::memory_order_relaxed);
   return Status::ok();
 }
 
@@ -294,7 +296,12 @@ Result<Bytes> MulticastSocket::recv(Deadline deadline) {
     }
   }
   if (!inbox) return Status{StatusCode::kClosed, "socket left the group"};
-  return inbox->pop(deadline);
+  Result<Bytes> r = inbox->pop(deadline);
+  if (r.is_ok()) {
+    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(r.value().size(), std::memory_order_relaxed);
+  }
+  return r;
 }
 
 void MulticastSocket::leave() {
@@ -307,7 +314,10 @@ void MulticastSocket::leave() {
 
 bool MulticastSocket::is_member() const noexcept { return state_ != nullptr; }
 
-ConnStats MulticastSocket::stats() const { return {}; }
+ConnStats MulticastSocket::stats() const {
+  return ConnStats{messages_sent_.load(), bytes_sent_.load(),
+                   messages_received_.load(), bytes_received_.load()};
+}
 
 // ---------------------------------------------------------------------------
 // InProcNetwork

@@ -52,6 +52,9 @@ class MulticastSocket {
   common::Result<common::Bytes> recv(common::Deadline deadline);
   void leave();
   bool is_member() const noexcept;
+  /// Traffic counters. One accepted send() counts one message regardless of
+  /// group size (the datagram, not its fan-out copies); members whose
+  /// windows were full at send time do not subtract from it.
   ConnStats stats() const;
   const std::string& group() const noexcept { return group_; }
 
@@ -64,6 +67,10 @@ class MulticastSocket {
   std::string group_;
   std::shared_ptr<detail::MulticastGroupState> state_;
   std::uint64_t member_id_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
 };
 
 using MulticastSocketPtr = std::shared_ptr<MulticastSocket>;

@@ -60,7 +60,14 @@ class TcpConnection : public Connection {
     ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   }
 
-  ~TcpConnection() override { close(); }
+  ~TcpConnection() override {
+    close();
+    // Only here, never in close(): a blocked send/recv may still be inside
+    // a syscall on this fd, and closing it under that thread would race
+    // (and could hand the fd number to an unrelated open). By destructor
+    // time the shared_ptr count is zero, so no such thread exists.
+    ::close(fd_);
+  }
 
   Status send(ByteSpan message, Deadline deadline) override {
     if (message.size() > TcpNetwork::kMaxMessageBytes) {
@@ -106,15 +113,15 @@ class TcpConnection : public Connection {
   }
 
   void close() override {
-    int fd = fd_.exchange(-1, std::memory_order_acq_rel);
-    if (fd >= 0) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
+    if (open_.exchange(false, std::memory_order_acq_rel)) {
+      // Wakes every blocked poll/send/recv on the connection; the fd itself
+      // stays open until the destructor.
+      ::shutdown(fd_, SHUT_RDWR);
     }
   }
 
   bool is_open() const override {
-    return fd_.load(std::memory_order_acquire) >= 0;
+    return open_.load(std::memory_order_acquire);
   }
 
   std::string peer_address() const override { return peer_; }
@@ -129,8 +136,10 @@ class TcpConnection : public Connection {
     const auto* p = static_cast<const std::uint8_t*>(data);
     std::size_t done = 0;
     while (done < size) {
-      const int fd = fd_.load(std::memory_order_acquire);
-      if (fd < 0) return Status{StatusCode::kClosed, "connection closed"};
+      if (!open_.load(std::memory_order_acquire)) {
+        return Status{StatusCode::kClosed, "connection closed"};
+      }
+      const int fd = fd_;
       const ssize_t rc = ::send(fd, p + done, size - done, MSG_NOSIGNAL);
       if (rc > 0) {
         done += static_cast<std::size_t>(rc);
@@ -153,8 +162,10 @@ class TcpConnection : public Connection {
     auto* p = static_cast<std::uint8_t*>(data);
     std::size_t done = 0;
     while (done < size) {
-      const int fd = fd_.load(std::memory_order_acquire);
-      if (fd < 0) return Status{StatusCode::kClosed, "connection closed"};
+      if (!open_.load(std::memory_order_acquire)) {
+        return Status{StatusCode::kClosed, "connection closed"};
+      }
+      const int fd = fd_;
       const ssize_t rc = ::recv(fd, p + done, size - done, 0);
       if (rc > 0) {
         done += static_cast<std::size_t>(rc);
@@ -171,7 +182,8 @@ class TcpConnection : public Connection {
     return Status::ok();
   }
 
-  std::atomic<int> fd_;
+  const int fd_;
+  std::atomic<bool> open_{true};
   std::string peer_;
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
@@ -186,16 +198,20 @@ class TcpListener : public Listener {
   TcpListener(int fd, std::string address)
       : fd_(fd), address_(std::move(address)) {}
 
-  ~TcpListener() override { close(); }
+  ~TcpListener() override {
+    close();
+    ::close(fd_);  // see ~TcpConnection: never close a possibly-in-use fd
+  }
 
   Result<ConnectionPtr> accept(Deadline deadline) override {
     for (;;) {
-      const int fd = fd_.load(std::memory_order_acquire);
-      if (fd < 0) return Status{StatusCode::kClosed, "listener closed"};
+      if (!open_.load(std::memory_order_acquire)) {
+        return Status{StatusCode::kClosed, "listener closed"};
+      }
       sockaddr_in addr{};
       socklen_t len = sizeof(addr);
       const int conn =
-          ::accept4(fd, reinterpret_cast<sockaddr*>(&addr), &len, 0);
+          ::accept4(fd_, reinterpret_cast<sockaddr*>(&addr), &len, 0);
       if (conn >= 0) {
         char buf[64];
         ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
@@ -204,23 +220,30 @@ class TcpListener : public Listener {
             std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port)))};
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        if (Status s = wait_fd(fd, POLLIN, deadline); !s.is_ok()) return s;
+        if (Status s = wait_fd(fd_, POLLIN, deadline); !s.is_ok()) return s;
         continue;
       }
       if (errno == EINTR) continue;
+      // A post-shutdown accept4 fails with EINVAL; report it as the close
+      // it is rather than an internal error.
+      if (!open_.load(std::memory_order_acquire)) {
+        return Status{StatusCode::kClosed, "listener closed"};
+      }
       return errno_status("accept");
     }
   }
 
   void close() override {
-    int fd = fd_.exchange(-1, std::memory_order_acq_rel);
-    if (fd >= 0) ::close(fd);
+    if (open_.exchange(false, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);  // wakes blocked accept() calls
+    }
   }
 
   std::string address() const override { return address_; }
 
  private:
-  std::atomic<int> fd_;
+  const int fd_;
+  std::atomic<bool> open_{true};
   std::string address_;
 };
 

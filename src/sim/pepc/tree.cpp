@@ -18,7 +18,7 @@ void Octree::build(std::span<const Particle> particles) {
   nodes_.clear();
   order_.resize(particles.size());
   std::iota(order_.begin(), order_.end(), 0u);
-  interactions_ = 0;
+  interactions_.store(0, std::memory_order_relaxed);
   if (particles.empty()) {
     nodes_.push_back(TreeNode{});
     return;
@@ -164,6 +164,10 @@ Vec3 Octree::field_at(const Vec3& where, std::size_t skip) const {
   Vec3 field{};
   double potential = 0.0;
   const double eps2 = config_.softening * config_.softening;
+  // Interaction counting stays local to the traversal and is published once
+  // at the end: a shared fetch_add in this inner loop would have every force
+  // worker ping-ponging one cache line.
+  std::size_t interactions = 0;
   std::vector<std::uint32_t> stack{0};
   while (!stack.empty()) {
     const TreeNode& node = nodes_[stack.back()];
@@ -179,11 +183,11 @@ Vec3 Octree::field_at(const Vec3& where, std::size_t skip) const {
           if (pi == skip) continue;
           const auto& p = particles_[pi];
           point_field(where - p.position(), p.charge, eps2, field, potential);
-          ++interactions_;
+          ++interactions;
         }
       } else {
         cell_field(r, node.monopole, node.dipole, eps2, field, potential);
-        ++interactions_;
+        ++interactions;
       }
       continue;
     }
@@ -191,6 +195,7 @@ Vec3 Octree::field_at(const Vec3& where, std::size_t skip) const {
       stack.push_back(node.first_child + static_cast<std::uint32_t>(o));
     }
   }
+  interactions_.fetch_add(interactions, std::memory_order_relaxed);
   return field;
 }
 

@@ -11,6 +11,7 @@
 // The multipole acceptance criterion is the classic s/d < theta.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -79,7 +80,8 @@ class Octree {
   std::span<const Particle> particles_;
   std::vector<std::uint32_t> order_;  ///< particle indices, tree-sorted
   std::vector<TreeNode> nodes_;
-  mutable std::size_t interactions_ = 0;
+  /// Atomic: field_at() runs concurrently from the force worker pool.
+  mutable std::atomic<std::size_t> interactions_{0};
 };
 
 }  // namespace cs::pepc

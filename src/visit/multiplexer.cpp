@@ -43,9 +43,19 @@ void Multiplexer::stop() {
   if (stopped_.exchange(true)) return;
   sim_accept_thread_.request_stop();
   viewer_accept_thread_.request_stop();
-  sim_pump_thread_.request_stop();
   if (sim_listener_) sim_listener_->close();
   if (viewer_listener_) viewer_listener_->close();
+  // Join the accept loops first so no new sim pump can be spawned, then
+  // take down the current pump under its handoff lock.
+  if (sim_accept_thread_.joinable()) sim_accept_thread_.join();
+  if (viewer_accept_thread_.joinable()) viewer_accept_thread_.join();
+  {
+    std::scoped_lock lock(sim_pump_mutex_);
+    if (sim_pump_thread_.joinable()) {
+      sim_pump_thread_.request_stop();
+      sim_pump_thread_.join();
+    }
+  }
   std::vector<Viewer> doomed;
   std::vector<std::jthread> graves;
   {
@@ -101,6 +111,8 @@ void Multiplexer::sim_accept_loop(const std::stop_token& st) {
       continue;
     }
     // One simulation at a time: a fresh pump replaces the previous one.
+    std::scoped_lock lock(sim_pump_mutex_);
+    if (st.stop_requested()) return;  // raced with stop(): don't respawn
     if (sim_pump_thread_.joinable()) {
       sim_pump_thread_.request_stop();
       sim_pump_thread_.join();

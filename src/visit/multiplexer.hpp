@@ -98,6 +98,9 @@ class Multiplexer {
   net::ListenerPtr viewer_listener_;
   std::jthread sim_accept_thread_;
   std::jthread viewer_accept_thread_;
+  /// Guards sim_pump_thread_: the accept loop replaces it when a new
+  /// simulation connects while stop() requests its termination.
+  std::mutex sim_pump_mutex_;
   std::jthread sim_pump_thread_;
 
   mutable std::mutex mutex_;

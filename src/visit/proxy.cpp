@@ -129,8 +129,15 @@ ProxyServer::~ProxyServer() { stop(); }
 void ProxyServer::stop() {
   if (stopped_.exchange(true)) return;
   accept_thread_.request_stop();
-  sim_pump_thread_.request_stop();
   if (listener_) listener_->close();
+  // Join the accept loop first so no new sim pump can be spawned, then take
+  // down the current pump under its handoff lock.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::scoped_lock lock(sim_pump_mutex_);
+  if (sim_pump_thread_.joinable()) {
+    sim_pump_thread_.request_stop();
+    sim_pump_thread_.join();
+  }
 }
 
 void ProxyServer::accept_loop(const std::stop_token& st) {
@@ -145,6 +152,8 @@ void ProxyServer::accept_loop(const std::stop_token& st) {
              .is_ok()) {
       continue;
     }
+    std::scoped_lock lock(sim_pump_mutex_);
+    if (st.stop_requested()) return;  // raced with stop(): don't respawn
     if (sim_pump_thread_.joinable()) {
       sim_pump_thread_.request_stop();
       sim_pump_thread_.join();

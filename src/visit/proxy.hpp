@@ -131,6 +131,9 @@ class ProxyServer {
   Options options_;
   net::ListenerPtr listener_;
   std::jthread accept_thread_;
+  /// Guards sim_pump_thread_: the accept loop replaces it when a new
+  /// simulation connects while stop() requests its termination.
+  std::mutex sim_pump_mutex_;
   std::jthread sim_pump_thread_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Attachment> attachments_;

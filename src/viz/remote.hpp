@@ -136,6 +136,12 @@ class RemoteRenderClient {
   common::Result<Image> await_frame(common::Deadline deadline);
 
   const Image& current_frame() const noexcept { return frame_; }
+
+  /// Traffic counters of the underlying connection (zeros when detached).
+  net::ConnStats stats() const {
+    return conn_ ? conn_->stats() : net::ConnStats{};
+  }
+
   void disconnect();
 
  private:

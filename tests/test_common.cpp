@@ -2,11 +2,15 @@
 // determinism, deadlines, string utilities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
+#include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/strings.hpp"
@@ -252,6 +256,97 @@ TEST(Vec3, CrossIsOrthogonal) {
 TEST(Vec3, NormalizedHasUnitLength) {
   EXPECT_NEAR(norm(normalized(Vec3{3, 4, 12})), 1.0, 1e-12);
   EXPECT_EQ(normalized(Vec3{}), (Vec3{}));
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Range 0 has one bucket per value: quantiles are exact below kSubBuckets.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_EQ(h.p50(), 5u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 10u);
+  EXPECT_EQ(h.value_at_quantile(0.0), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+}
+
+TEST(Histogram, QuantileErrorIsBounded) {
+  // Log-bucketed storage guarantees ~1/kSubBuckets relative error.
+  Histogram h;
+  Rng rng(42);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(1000 + rng.next_below(100'000'000));
+    h.record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.50, 0.95, 0.99, 0.999}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.value_at_quantile(q);
+    const double rel =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LT(rel, 0.05) << "q=" << q << " exact=" << exact
+                         << " approx=" << approx;
+  }
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram separate_a, separate_b, combined;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(1'000'000);
+    (i % 2 == 0 ? separate_a : separate_b).record(v);
+    combined.record(v);
+  }
+  separate_a.merge(separate_b);
+  EXPECT_EQ(separate_a.count(), combined.count());
+  EXPECT_EQ(separate_a.min(), combined.min());
+  EXPECT_EQ(separate_a.max(), combined.max());
+  EXPECT_EQ(separate_a.sum(), combined.sum());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(separate_a.value_at_quantile(q), combined.value_at_quantile(q));
+  }
+}
+
+TEST(Histogram, HugeValuesSaturateWithoutOverflow) {
+  Histogram h;
+  h.record(~0ull);
+  h.record(std::uint64_t{1} << 50);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+  // Quantiles clamp to the observed max, never overflow past it.
+  EXPECT_LE(h.p999(), ~0ull);
+  EXPECT_GE(h.p999(), std::uint64_t{1} << 50);
+}
+
+TEST(Histogram, NegativeDurationClampsToZero) {
+  Histogram h;
+  h.record(std::chrono::nanoseconds(-5));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,292 @@
+// Unit and end-to-end tests for cs::loadgen: frame codec, workload
+// validation, the driver against its LoadPeer over both transports, report
+// consistency (aggregate counters must equal the per-connection sums), and
+// smoke runs of the three service scenarios.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "loadgen/driver.hpp"
+#include "loadgen/report.hpp"
+#include "loadgen/scenarios.hpp"
+#include "loadgen/workload.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+
+namespace cs::loadgen {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::StatusCode;
+
+// -------------------------------------------------------------- Workload --
+
+TEST(Workload, PatternNamesRoundTrip) {
+  for (Pattern p : {Pattern::kPush, Pattern::kPull, Pattern::kDuplex,
+                    Pattern::kBurst}) {
+    auto parsed = parse_pattern(to_string(p));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed.value(), p);
+  }
+  EXPECT_EQ(parse_pattern("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Workload, ValidateRejectsBadCombinations) {
+  Workload w;
+  EXPECT_TRUE(w.validate().is_ok());
+  w.connections = 0;
+  EXPECT_EQ(w.validate().code(), StatusCode::kInvalidArgument);
+  w = Workload{};
+  w.min_payload = 10;
+  w.max_payload = 5;
+  EXPECT_EQ(w.validate().code(), StatusCode::kInvalidArgument);
+  w = Workload{};
+  w.pattern = Pattern::kBurst;  // burst without a rate is meaningless
+  w.messages_per_sec = 0.0;
+  EXPECT_EQ(w.validate().code(), StatusCode::kInvalidArgument);
+  w.messages_per_sec = 100.0;
+  EXPECT_TRUE(w.validate().is_ok());
+}
+
+// ------------------------------------------------------------- LoadFrame --
+
+TEST(LoadFrame, EncodeDecodeRoundTrip) {
+  LoadFrame frame;
+  frame.op = FrameOp::kRequest;
+  frame.seq = 0x1122334455667788ULL;
+  frame.t_send_ns = 42;
+  frame.reply_bytes = 512;
+  const auto wire = frame.encode(16);
+  EXPECT_EQ(wire.size(), LoadFrame::kHeaderBytes + 16);
+  auto decoded = LoadFrame::decode(wire);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().op, FrameOp::kRequest);
+  EXPECT_EQ(decoded.value().seq, frame.seq);
+  EXPECT_EQ(decoded.value().t_send_ns, frame.t_send_ns);
+  EXPECT_EQ(decoded.value().reply_bytes, 512u);
+}
+
+TEST(LoadFrame, DecodeRejectsGarbage) {
+  EXPECT_EQ(LoadFrame::decode(common::Bytes(4, 0)).status().code(),
+            StatusCode::kProtocolError);  // too short
+  common::Bytes bad(LoadFrame::kHeaderBytes, 0);
+  EXPECT_EQ(LoadFrame::decode(bad).status().code(),
+            StatusCode::kProtocolError);  // wrong magic
+  LoadFrame frame;
+  auto wire = frame.encode(0);
+  wire[4] = 99;  // invalid op
+  EXPECT_EQ(LoadFrame::decode(wire).status().code(),
+            StatusCode::kProtocolError);
+}
+
+// ---------------------------------------------------------------- Driver --
+
+/// Aggregate counters must be exactly the sum of the per-connection ones —
+/// the property the ISSUE's acceptance criterion pins down.
+void expect_consistent(const Report& report) {
+  ASSERT_EQ(report.per_connection.size(), report.connections);
+  std::uint64_t ops = 0, sent = 0, sent_bytes = 0, received = 0,
+                received_bytes = 0;
+  for (const auto& conn : report.per_connection) {
+    ops += conn.ops;
+    sent += conn.transport.messages_sent;
+    sent_bytes += conn.transport.bytes_sent;
+    received += conn.transport.messages_received;
+    received_bytes += conn.transport.bytes_received;
+  }
+  EXPECT_EQ(report.ops, ops);
+  EXPECT_EQ(report.transport.messages_sent, sent);
+  EXPECT_EQ(report.transport.bytes_sent, sent_bytes);
+  EXPECT_EQ(report.transport.messages_received, received);
+  EXPECT_EQ(report.transport.bytes_received, received_bytes);
+}
+
+TEST(Driver, DuplexClosedLoopOverInProc) {
+  net::InProcNetwork net;
+  auto peer = LoadPeer::start(net, "peer:1");
+  ASSERT_TRUE(peer.is_ok());
+  Workload w;
+  w.pattern = Pattern::kDuplex;
+  w.connections = 4;
+  w.duration = 300ms;
+  w.min_payload = 32;
+  w.max_payload = 256;
+  auto report = run_workload(net, "peer:1", w);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().ops, 0u);
+  EXPECT_EQ(report.value().errors, 0u);
+  // Closed-loop duplex: one message out and one back per completed op.
+  EXPECT_EQ(report.value().latency.count(), report.value().ops);
+  EXPECT_GE(report.value().transport.messages_sent, report.value().ops);
+  expect_consistent(report.value());
+  peer.value()->stop();
+}
+
+TEST(Driver, PullPayloadsFlowDownstream) {
+  net::InProcNetwork net;
+  auto peer = LoadPeer::start(net, "peer:2");
+  ASSERT_TRUE(peer.is_ok());
+  Workload w;
+  w.pattern = Pattern::kPull;
+  w.connections = 2;
+  w.duration = 200ms;
+  w.min_payload = 1024;
+  w.max_payload = 1024;
+  auto report = run_workload(net, "peer:2", w);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_GT(report.value().ops, 0u);
+  // Pull: requests are header-only, replies carry the kilobyte payload.
+  EXPECT_GT(report.value().transport.bytes_received,
+            report.value().transport.bytes_sent);
+  peer.value()->stop();
+}
+
+TEST(Driver, BurstRateIsHonoredAndPeerAccounts) {
+  net::InProcNetwork net;
+  auto peer = LoadPeer::start(net, "peer:3");
+  ASSERT_TRUE(peer.is_ok());
+  Workload w;
+  w.pattern = Pattern::kBurst;
+  w.connections = 2;
+  w.duration = 500ms;
+  w.messages_per_sec = 100.0;
+  auto report = run_workload(net, "peer:3", w, peer.value().get());
+  ASSERT_TRUE(report.is_ok());
+  // ~100 msg/s * 0.5 s * 2 conns = ~100 frames; rate-limited, not unbounded.
+  EXPECT_GT(report.value().ops, 50u);
+  EXPECT_LT(report.value().ops, 200u);
+  // One-way latency is recorded by the peer and folded into the report.
+  EXPECT_GT(report.value().latency.count(), 0u);
+  EXPECT_EQ(peer.value()->stream_frames(), report.value().ops);
+  peer.value()->stop();
+}
+
+TEST(Driver, RampUpStaggersButCompletes) {
+  net::InProcNetwork net;
+  auto peer = LoadPeer::start(net, "peer:4");
+  ASSERT_TRUE(peer.is_ok());
+  Workload w;
+  w.pattern = Pattern::kPush;
+  w.connections = 4;
+  w.duration = 200ms;
+  w.ramp_up = 200ms;
+  auto report = run_workload(net, "peer:4", w);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().per_connection.size(), 4u);
+  for (const auto& conn : report.value().per_connection) {
+    EXPECT_GT(conn.ops, 0u);  // even the last worker got its share
+  }
+  EXPECT_GE(report.value().elapsed, 380ms);
+  peer.value()->stop();
+}
+
+TEST(Driver, SameWorkloadRunsOverTcp) {
+  net::TcpNetwork net;
+  auto peer = LoadPeer::start(net, "0");
+  ASSERT_TRUE(peer.is_ok());
+  Workload w;
+  w.pattern = Pattern::kDuplex;
+  w.connections = 2;
+  w.duration = 200ms;
+  auto report = run_workload(net, peer.value()->address(), w);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().ops, 0u);
+  EXPECT_EQ(report.value().errors, 0u);
+  expect_consistent(report.value());
+  peer.value()->stop();
+}
+
+TEST(Driver, RejectsInvalidWorkload) {
+  net::InProcNetwork net;
+  Workload w;
+  w.connections = 0;
+  EXPECT_EQ(run_workload(net, "nowhere", w).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Report --
+
+TEST(Report, JsonFollowsBenchmarkSchema) {
+  Report report;
+  report.name = "unit";
+  report.connections = 3;
+  report.elapsed = 1s;
+  ConnectionReport conn;
+  conn.ops = 10;
+  conn.transport = {10, 1000, 10, 1000};
+  common::Histogram latency;
+  for (int i = 1; i <= 10; ++i) latency.record(i * 1000u);
+  report.add_connection(conn, latency);
+  const std::string json = to_json(report);
+  for (const char* key :
+       {"\"context\"", "\"benchmarks\"", "\"name\": \"loadgen/unit\"",
+        "\"iterations\": 10", "\"items_per_second\"", "\"bytes_per_second\"",
+        "\"latency_p50_us\"", "\"latency_p99_us\"", "\"messages_sent\": 10"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_FALSE(summary_line(report).empty());
+}
+
+// ------------------------------------------------------------- Scenarios --
+
+TEST(Scenarios, MultiplexerSoakIsConsistent) {
+  ScenarioOptions options;
+  options.connections = 8;
+  options.duration = 500ms;
+  options.rate_per_sec = 200.0;
+  options.payload_bytes = 256;
+  auto report = run_multiplexer_soak(options);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().ops, 0u);
+  // Every delivered sample was latency-accounted.
+  EXPECT_EQ(report.value().latency.count(), report.value().ops);
+  // Samples arrive as received messages (plus a few control frames).
+  EXPECT_GE(report.value().transport.messages_received, report.value().ops);
+  expect_consistent(report.value());
+}
+
+TEST(Scenarios, VizServerLoopDeliversFrames) {
+  ScenarioOptions options;
+  options.connections = 4;
+  options.duration = 500ms;
+  options.rate_per_sec = 40.0;
+  auto report = run_vizserver_loop(options);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().ops, 0u);
+  EXPECT_GT(report.value().latency.count(), 0u);
+  expect_consistent(report.value());
+}
+
+TEST(Scenarios, MediaBridgeReachesBothHalves) {
+  ScenarioOptions options;
+  options.connections = 6;  // 3 multicast members + 3 bridged clients
+  options.duration = 500ms;
+  options.rate_per_sec = 100.0;
+  options.payload_bytes = 2048;
+  auto report = run_media_bridge(options);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().ops, 0u);
+  expect_consistent(report.value());
+  // Both the direct-multicast half and the bridged half saw traffic — and
+  // the multicast stats fix makes the direct half's counters non-zero.
+  for (const auto& conn : report.value().per_connection) {
+    EXPECT_GT(conn.transport.messages_received, 0u);
+    EXPECT_GT(conn.transport.bytes_received, 0u);
+  }
+}
+
+TEST(Scenarios, RejectsZeroConnections) {
+  ScenarioOptions options;
+  options.connections = 0;
+  EXPECT_EQ(run_multiplexer_soak(options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(run_vizserver_loop(options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(run_media_bridge(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cs::loadgen

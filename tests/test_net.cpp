@@ -3,6 +3,8 @@
 // implementation.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "net/inproc.hpp"
@@ -314,6 +316,29 @@ TEST(Multicast, SocketDestructorLeaves) {
   EXPECT_EQ(net.group_size("g2"), 1u);
 }
 
+TEST(Multicast, StatsCountTraffic) {
+  InProcNetwork net;
+  auto a = net.join_group("stats/g");
+  auto b = net.join_group("stats/g");
+  auto c = net.join_group("stats/g");
+  ASSERT_TRUE(a.is_ok() && b.is_ok() && c.is_ok());
+  ASSERT_TRUE(a.value()->send(Bytes(100, 1), Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(a.value()->send(Bytes(50, 2), Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(b.value()->recv(Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(b.value()->recv(Deadline::after(1s)).is_ok());
+  const auto sender = a.value()->stats();
+  // One datagram per send, not one per fan-out copy.
+  EXPECT_EQ(sender.messages_sent, 2u);
+  EXPECT_EQ(sender.bytes_sent, 150u);
+  EXPECT_EQ(sender.messages_received, 0u);
+  const auto receiver = b.value()->stats();
+  EXPECT_EQ(receiver.messages_received, 2u);
+  EXPECT_EQ(receiver.bytes_received, 150u);
+  EXPECT_EQ(receiver.messages_sent, 0u);
+  // c never drained; its receive counters stay zero.
+  EXPECT_EQ(c.value()->stats().messages_received, 0u);
+}
+
 TEST(Multicast, SlowMemberDoesNotBlockSender) {
   // Best-effort semantics: a member that never drains just misses frames.
   InProcNetwork net;
@@ -395,6 +420,117 @@ TEST(Tcp, PeerCloseYieldsClosed) {
   ASSERT_FALSE(r.is_ok());
   EXPECT_EQ(r.status().code(), StatusCode::kClosed);
 }
+
+// -------------------------------------------------- Transport parity --
+//
+// The deadline/close contract must hold identically for both transports:
+// a send blocked on a full receive window returns kTimeout by its deadline,
+// and close() wakes a blocked send with kClosed. Loadgen soaks lean on
+// exactly these semantics when slow consumers push senders into the window.
+
+struct TransportPair {
+  std::shared_ptr<Network> net;  // keeps an inproc universe alive
+  ListenerPtr listener;
+  ConnectionPtr client;
+  ConnectionPtr server;
+};
+
+struct ParityCase {
+  const char* name;
+  TransportPair (*make)();
+  /// Per-send chunk: must fit the transport's window (an inproc message
+  /// larger than recv_capacity_bytes can never be accepted) yet fill it in
+  /// few sends (TCP loopback buffers autotune to megabytes).
+  std::size_t chunk_bytes;
+};
+
+TransportPair make_inproc_pair() {
+  TransportPair pair;
+  auto net = std::make_shared<InProcNetwork>();
+  pair.listener = net->listen("parity:1").value();
+  ConnectOptions opts;
+  opts.recv_capacity_bytes = 64 << 10;  // small window: sends block quickly
+  pair.client = net->connect("parity:1", Deadline::after(1s), opts).value();
+  pair.server = pair.listener->accept(Deadline::after(1s)).value();
+  pair.net = std::move(net);
+  return pair;
+}
+
+TransportPair make_tcp_pair() {
+  TransportPair pair;
+  auto net = std::make_shared<TcpNetwork>();
+  pair.listener = net->listen("0").value();
+  pair.client =
+      net->connect(pair.listener->address(), Deadline::after(1s)).value();
+  pair.server = pair.listener->accept(Deadline::after(1s)).value();
+  pair.net = std::move(net);
+  return pair;
+}
+
+class TransportParity : public ::testing::TestWithParam<ParityCase> {
+ protected:
+  /// Sends chunks nobody drains until one hits the window and times out.
+  /// Returns false if the transport absorbed everything (test setup bug).
+  static bool fill_until_blocked(Connection& conn, std::size_t chunk_bytes) {
+    const Bytes chunk(chunk_bytes, 0x5a);
+    for (int i = 0; i < 64; ++i) {
+      const auto s = conn.send(chunk, Deadline::after(50ms));
+      if (s.code() == StatusCode::kTimeout) return true;
+      if (!s.is_ok()) return false;
+    }
+    return false;
+  }
+};
+
+TEST_P(TransportParity, BlockedSendTimesOutByDeadline) {
+  TransportPair pair = GetParam().make();
+  const Bytes chunk(GetParam().chunk_bytes, 0xa5);
+  ASSERT_TRUE(fill_until_blocked(*pair.client, chunk.size()));
+  // The window is full: a fresh send must block and then return kTimeout
+  // close to its deadline — not early, not unboundedly late.
+  const auto t0 = common::Clock::now();
+  const auto s = pair.client->send(chunk, Deadline::after(200ms));
+  const auto elapsed = common::Clock::now() - t0;
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_GE(elapsed, 180ms);
+  EXPECT_LT(elapsed, 2s);
+}
+
+TEST_P(TransportParity, CloseWakesBlockedSend) {
+  TransportPair pair = GetParam().make();
+  const Bytes chunk(GetParam().chunk_bytes, 0xa5);
+  ASSERT_TRUE(fill_until_blocked(*pair.client, chunk.size()));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(100ms);
+    pair.client->close();
+  });
+  const auto t0 = common::Clock::now();
+  const auto s = pair.client->send(chunk, Deadline::after(30s));
+  const auto elapsed = common::Clock::now() - t0;
+  closer.join();
+  EXPECT_EQ(s.code(), StatusCode::kClosed);
+  EXPECT_LT(elapsed, 5s);  // woken by close(), not by the deadline
+}
+
+TEST_P(TransportParity, DrainingReopensTheWindow) {
+  TransportPair pair = GetParam().make();
+  const Bytes chunk(GetParam().chunk_bytes, 0xa5);
+  ASSERT_TRUE(fill_until_blocked(*pair.client, chunk.size()));
+  // A reader draining the peer unblocks the sender before its deadline.
+  std::thread drainer([&] {
+    while (pair.server->recv(Deadline::after(1s)).is_ok()) {
+    }
+  });
+  EXPECT_TRUE(pair.client->send(chunk, Deadline::after(10s)).is_ok());
+  pair.client->close();
+  drainer.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, TransportParity,
+    ::testing::Values(ParityCase{"InProc", &make_inproc_pair, 16u << 10},
+                      ParityCase{"Tcp", &make_tcp_pair, 1u << 20}),
+    [](const auto& info) { return std::string(info.param.name); });
 
 }  // namespace
 }  // namespace cs::net
