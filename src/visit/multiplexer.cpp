@@ -146,12 +146,13 @@ void Multiplexer::add_viewer(net::ConnectionPtr conn) {
     std::scoped_lock lock(mutex_);
     id = next_viewer_id_++;
     // Late joiners get the schema announcements and the last sample of each
-    // tag so that "everyone has the same view of the data".
-    for (const auto& [tag, m] : schema_cache_) {
-      (void)conn->send(m.encode(), d);
+    // tag so that "everyone has the same view of the data". The caches hold
+    // pre-encoded frames, so replay costs no serialization.
+    for (const auto& [tag, frame] : schema_cache_) {
+      (void)conn->send(frame, d);
     }
-    for (const auto& [tag, m] : last_sample_) {
-      (void)conn->send(m.encode(), d);
+    for (const auto& [tag, frame] : last_sample_) {
+      (void)conn->send(frame, d);
     }
     Viewer viewer;
     viewer.conn = conn;
@@ -242,15 +243,19 @@ void Multiplexer::handle_sim_message(wire::Message m,
                                      net::Connection& sim_conn) {
   switch (m.header.kind) {
     case wire::MessageKind::kData: {
+      // One encode per broadcast: the same frame feeds the fan-out and the
+      // late-joiner replay cache.
+      common::Bytes frame = m.encode();
       {
         std::scoped_lock lock(mutex_);
         ++stats_.samples_in;
-        last_sample_.insert_or_assign(m.header.tag, m);
+        last_sample_.insert_or_assign(m.header.tag, frame);
       }
-      broadcast(m);
+      broadcast(frame);
       return;
     }
     case wire::MessageKind::kControl: {
+      common::Bytes frame = m.encode();
       if (m.header.tag == kTagSchema) {
         std::scoped_lock lock(mutex_);
         // Schema cache keyed by the data tag named in the body.
@@ -258,14 +263,10 @@ void Multiplexer::handle_sim_message(wire::Message m,
         if (body.is_ok()) {
           const auto tag = static_cast<std::uint32_t>(
               std::strtoul(body.value().c_str(), nullptr, 10));
-          schema_cache_.insert_or_assign(tag, m);
+          schema_cache_.insert_or_assign(tag, frame);
         }
       }
-      if (m.header.tag == kTagBye) {
-        broadcast(m);
-        return;
-      }
-      broadcast(m);
+      broadcast(frame);
       return;
     }
     case wire::MessageKind::kRequest: {
@@ -287,8 +288,7 @@ void Multiplexer::handle_sim_message(wire::Message m,
   }
 }
 
-void Multiplexer::broadcast(const wire::Message& m) {
-  const common::Bytes frame = m.encode();
+void Multiplexer::broadcast(const common::Bytes& frame) {
   std::vector<std::pair<std::uint64_t, net::ConnectionPtr>> targets;
   {
     std::scoped_lock lock(mutex_);

@@ -84,7 +84,7 @@ class Multiplexer {
   void handle_viewer_message(std::uint64_t id, wire::Message m);
   void add_viewer(net::ConnectionPtr conn);
   void remove_viewer(std::uint64_t id);
-  void broadcast(const wire::Message& m);
+  void broadcast(const common::Bytes& frame);
   /// Sets viewer `id` as master and notifies affected viewers.
   void promote(std::uint64_t id);
 
@@ -108,8 +108,10 @@ class Multiplexer {
   std::uint64_t master_id_ = 0;
   std::uint64_t next_viewer_id_ = 1;
   std::map<std::uint32_t, wire::Message> parameters_;  // master's updates
-  std::map<std::uint32_t, wire::Message> schema_cache_;
-  std::map<std::uint32_t, wire::Message> last_sample_;  // replayed on join
+  /// Replay caches hold pre-encoded frames: each broadcast is serialized
+  /// exactly once and the bytes are reused verbatim for late joiners.
+  std::map<std::uint32_t, common::Bytes> schema_cache_;
+  std::map<std::uint32_t, common::Bytes> last_sample_;  // replayed on join
   /// Pump threads of departed viewers; joined at stop() (a pump may remove
   /// its own viewer and must not join itself).
   std::vector<std::jthread> graveyard_;

@@ -179,25 +179,29 @@ void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
     wire::Message m = std::move(decoded).value();
     switch (m.header.kind) {
       case wire::MessageKind::kData: {
+        // One encode per sample: the cached frame is reused verbatim both
+        // for the per-attachment queues and for late-attach replay.
+        Bytes frame = m.encode();
         {
           std::scoped_lock lock(mutex_);
           ++stats_.samples_in;
-          last_sample_.insert_or_assign(m.header.tag, m);
+          last_sample_.insert_or_assign(m.header.tag, frame);
         }
-        enqueue_to_all(m);
+        enqueue_to_all(frame);
         break;
       }
       case wire::MessageKind::kControl: {
+        Bytes frame = m.encode();
         if (m.header.tag == kTagSchema) {
           auto body = wire::extract_string(m);
           if (body.is_ok()) {
             const auto tag = static_cast<std::uint32_t>(
                 std::strtoul(body.value().c_str(), nullptr, 10));
             std::scoped_lock lock(mutex_);
-            schema_cache_.insert_or_assign(tag, m);
+            schema_cache_.insert_or_assign(tag, frame);
           }
         }
-        enqueue_to_all(m);
+        enqueue_to_all(frame);
         break;
       }
       case wire::MessageKind::kRequest: {
@@ -218,8 +222,7 @@ void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
   }
 }
 
-void ProxyServer::enqueue_to_all(const wire::Message& m) {
-  const Bytes frame = m.encode();
+void ProxyServer::enqueue_to_all(const Bytes& frame) {
   std::scoped_lock lock(mutex_);
   for (auto& [id, att] : attachments_) {
     if (att.queue.size() >= options_.max_queued_frames) {
@@ -261,8 +264,8 @@ ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
       attachments_.emplace(id, Attachment{});
       // Replay schemas and the latest sample of each tag so a late joiner
       // shares the same view of the data.
-      for (const auto& [tag, m] : schema_cache_) enqueue_to(id, m.encode());
-      for (const auto& [tag, m] : last_sample_) enqueue_to(id, m.encode());
+      for (const auto& [tag, frame] : schema_cache_) enqueue_to(id, frame);
+      for (const auto& [tag, frame] : last_sample_) enqueue_to(id, frame);
       if (master_id_ == 0) {
         promote_locked(id);
       } else {

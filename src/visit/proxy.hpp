@@ -120,7 +120,7 @@ class ProxyServer {
   ProxyServer() = default;
   void accept_loop(const std::stop_token& st);
   void sim_pump(const std::stop_token& st, net::ConnectionPtr conn);
-  void enqueue_to_all(const wire::Message& m);
+  void enqueue_to_all(const common::Bytes& frame);
   void enqueue_to(std::uint64_t id, const common::Bytes& frame);
   void promote_locked(std::uint64_t id);
 
@@ -140,8 +140,10 @@ class ProxyServer {
   std::uint64_t master_id_ = 0;
   std::uint64_t next_attachment_id_ = 1;
   std::map<std::uint32_t, wire::Message> parameters_;
-  std::map<std::uint32_t, wire::Message> schema_cache_;
-  std::map<std::uint32_t, wire::Message> last_sample_;
+  /// Replay caches hold pre-encoded frames — one encode per sample, reused
+  /// verbatim for every attachment and for late-attach replay.
+  std::map<std::uint32_t, common::Bytes> schema_cache_;
+  std::map<std::uint32_t, common::Bytes> last_sample_;
   Stats stats_;
   std::atomic<bool> stopped_{false};
 };
