@@ -46,6 +46,8 @@ void usage(const char* argv0) {
       "(default 200)\n"
       "  --payload=N                    payload bytes (default 1024)\n"
       "  --seed=N                       RNG seed (default 1)\n"
+      "  --shards=N                     mux fan-out worker shards "
+      "(default auto)\n"
       "  --out=FILE                     write the JSON report here "
       "(default stdout)\n"
       "raw-scenario options:\n"
@@ -104,6 +106,8 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
     } else if (key == "--seed" && parse_u64(value.c_str(), n)) {
       s.seed = n;
       w.seed = n;
+    } else if (key == "--shards" && parse_u64(value.c_str(), n)) {
+      s.fanout_shards = n;
     } else {
       std::fprintf(stderr, "unknown or malformed option: %s\n", arg.c_str());
       return false;

@@ -1,0 +1,313 @@
+#include "common/fanout.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cs::common {
+
+// ---------------------------------------------------------------------------
+// OutboundQueue
+// ---------------------------------------------------------------------------
+
+OutboundQueue::Push OutboundQueue::push(FramePtr frame, OverflowPolicy policy) {
+  if (items_.size() >= capacity_) {
+    // Full: shed the oldest *data* frame to make room, whatever the
+    // incoming frame is — queued control frames are lossless and never
+    // evicted. Only an all-control backlog is unresolvable: then a control
+    // push rejects (the consumer has truly diverged and is disconnected)
+    // and a data push sheds the incoming sample itself.
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->policy == OverflowPolicy::kDropOldest) {
+        items_.erase(it);
+        ++dropped_;
+        items_.push_back(Item{std::move(frame), policy});
+        return Push::kQueuedDropOldest;
+      }
+    }
+    if (policy == OverflowPolicy::kDisconnect) {
+      return Push::kRejectedOverflow;
+    }
+    ++dropped_;
+    return Push::kDroppedNewest;
+  }
+  items_.push_back(Item{std::move(frame), policy});
+  high_water_ = std::max(high_water_, items_.size());
+  return Push::kQueued;
+}
+
+void OutboundQueue::seed(Item item) {
+  items_.push_back(std::move(item));
+  high_water_ = std::max(high_water_, items_.size());
+}
+
+OutboundQueue::Item OutboundQueue::pop() {
+  if (items_.empty()) return {};
+  Item item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedFanout
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t default_shards() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw / 2, 1, 8);
+}
+
+}  // namespace
+
+ShardedFanout::ShardedFanout(const Options& options, DeadCallback on_dead)
+    : on_dead_(std::move(on_dead)) {
+  const std::size_t n = options.shards == 0 ? default_shards() : options.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  queue_capacity_ = options.queue_capacity == 0 ? 1 : options.queue_capacity;
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    shard->worker =
+        std::jthread([this, s](std::stop_token st) { worker_loop(st, *s); });
+  }
+}
+
+ShardedFanout::~ShardedFanout() { stop(); }
+
+void ShardedFanout::stop() {
+  if (stopped_.exchange(true)) return;
+  for (auto& shard : shards_) {
+    shard->worker.request_stop();
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedFanout::add(std::uint64_t id, Sink sink,
+                        std::vector<OutboundQueue::Item> replay) {
+  if (stopped_.load(std::memory_order_acquire)) return;
+  Shard& shard = shard_for(id);
+  const bool notify = !replay.empty();
+  {
+    std::scoped_lock lock(shard.mutex);
+    auto sub = std::make_shared<Subscriber>(id, std::move(sink),
+                                            queue_capacity_);
+    // Replay is required state and is seeded past the queue bound if need
+    // be; only frames published afterwards compete for the capacity.
+    for (auto& item : replay) {
+      if (item.policy == OverflowPolicy::kDisconnect) {
+        ++shard.stats.control_enqueued;
+      } else {
+        ++shard.stats.data_enqueued;
+      }
+      sub->queue.seed(std::move(item));
+      ++shard.pending;
+    }
+    shard.stats.queue_high_water =
+        std::max(shard.stats.queue_high_water, sub->queue.high_water());
+    shard.subs.insert_or_assign(id, std::move(sub));
+  }
+  if (notify) shard.cv.notify_all();
+}
+
+void ShardedFanout::remove(std::uint64_t id) {
+  Shard& shard = shard_for(id);
+  std::scoped_lock lock(shard.mutex);
+  auto it = shard.subs.find(id);
+  if (it == shard.subs.end()) return;
+  shard.pending -= it->second->queue.size();
+  it->second->doomed = true;
+  shard.subs.erase(it);
+}
+
+void ShardedFanout::account_push(Shard& shard, Subscriber& sub,
+                                 OutboundQueue::Push result,
+                                 OverflowPolicy policy,
+                                 std::vector<std::uint64_t>& doomed) {
+  switch (result) {
+    case OutboundQueue::Push::kQueued:
+      ++shard.pending;
+      break;
+    case OutboundQueue::Push::kQueuedDropOldest:
+      // Net queue depth unchanged: one frame evicted, one accepted.
+      ++shard.stats.data_dropped;
+      break;
+    case OutboundQueue::Push::kDroppedNewest:
+      ++shard.stats.data_dropped;
+      return;  // nothing entered the queue
+    case OutboundQueue::Push::kRejectedOverflow:
+      sub.doomed = true;
+      doomed.push_back(sub.id);
+      return;
+  }
+  if (policy == OverflowPolicy::kDisconnect) {
+    ++shard.stats.control_enqueued;
+  } else {
+    ++shard.stats.data_enqueued;
+  }
+  shard.stats.queue_high_water =
+      std::max(shard.stats.queue_high_water, sub.queue.high_water());
+}
+
+void ShardedFanout::publish(const FramePtr& frame, OverflowPolicy policy) {
+  if (stopped_.load(std::memory_order_acquire)) return;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::vector<std::uint64_t> doomed;
+    bool notify = false;
+    {
+      std::scoped_lock lock(shard.mutex);
+      for (auto& [id, sub] : shard.subs) {
+        if (sub->doomed) continue;
+        const auto result = sub->queue.push(frame, policy);
+        account_push(shard, *sub, result, policy, doomed);
+        notify |= (result != OutboundQueue::Push::kRejectedOverflow);
+      }
+    }
+    if (notify) shard.cv.notify_all();
+    if (!doomed.empty()) disconnect(shard, doomed);
+  }
+}
+
+bool ShardedFanout::send_to(std::uint64_t id, FramePtr frame,
+                            OverflowPolicy policy) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  Shard& shard = shard_for(id);
+  std::vector<std::uint64_t> doomed;
+  bool found = false;
+  bool notify = false;
+  {
+    std::scoped_lock lock(shard.mutex);
+    auto it = shard.subs.find(id);
+    if (it != shard.subs.end() && !it->second->doomed) {
+      found = true;
+      const auto result = it->second->queue.push(std::move(frame), policy);
+      account_push(shard, *it->second, result, policy, doomed);
+      notify = (result != OutboundQueue::Push::kRejectedOverflow);
+    }
+  }
+  if (notify) shard.cv.notify_all();
+  if (!doomed.empty()) disconnect(shard, doomed);
+  return found;
+}
+
+std::size_t ShardedFanout::subscriber_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    n += shard->subs.size();
+  }
+  return n;
+}
+
+FanoutStats ShardedFanout::stats() const {
+  FanoutStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    FanoutShardStats s;
+    {
+      std::scoped_lock lock(shard->mutex);
+      s = shard->stats;
+      s.subscribers = shard->subs.size();
+      s.queued_frames = shard->pending;
+    }
+    out.data_enqueued += s.data_enqueued;
+    out.data_delivered += s.data_delivered;
+    out.data_dropped += s.data_dropped;
+    out.control_enqueued += s.control_enqueued;
+    out.control_delivered += s.control_delivered;
+    out.disconnects += s.disconnects;
+    out.subscribers += s.subscribers;
+    out.queued_frames += s.queued_frames;
+    out.shards.push_back(s);
+  }
+  return out;
+}
+
+void ShardedFanout::disconnect(Shard& shard,
+                               const std::vector<std::uint64_t>& ids) {
+  std::vector<std::uint64_t> removed;
+  removed.reserve(ids.size());
+  {
+    std::scoped_lock lock(shard.mutex);
+    for (std::uint64_t id : ids) {
+      auto it = shard.subs.find(id);
+      if (it == shard.subs.end()) continue;  // raced with remove(): done
+      shard.pending -= it->second->queue.size();
+      it->second->doomed = true;
+      shard.subs.erase(it);
+      ++shard.stats.disconnects;
+      removed.push_back(id);
+    }
+  }
+  if (on_dead_) {
+    for (std::uint64_t id : removed) on_dead_(id);
+  }
+}
+
+void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
+  struct Delivery {
+    std::shared_ptr<Subscriber> sub;
+    OutboundQueue::Item item;
+  };
+  std::vector<Delivery> batch;
+  std::vector<std::uint64_t> dead;
+  // Delivery counters are accumulated per pass and folded into the shard
+  // stats under one lock acquisition, not one per frame.
+  std::uint64_t data_delivered = 0;
+  std::uint64_t control_delivered = 0;
+  std::uint64_t data_dropped = 0;
+  while (true) {
+    batch.clear();
+    dead.clear();
+    {
+      std::unique_lock lock(shard.mutex);
+      shard.stats.data_delivered += data_delivered;
+      shard.stats.control_delivered += control_delivered;
+      shard.stats.data_dropped += data_dropped;
+      data_delivered = control_delivered = data_dropped = 0;
+      shard.cv.wait(lock, st, [&] { return shard.pending > 0; });
+      if (st.stop_requested()) return;
+      // Round-robin with a small bounded burst per subscriber per pass:
+      // bursts amortize the pass overhead when queues run deep, while the
+      // bound keeps one backlogged subscriber from starving its
+      // shard-mates for more than kBurst sends.
+      constexpr std::size_t kBurst = 8;
+      batch.reserve(shard.subs.size());
+      for (auto& [id, sub] : shard.subs) {
+        if (sub->doomed) continue;
+        for (std::size_t i = 0; i < kBurst && !sub->queue.empty(); ++i) {
+          --shard.pending;
+          batch.push_back(Delivery{sub, sub->queue.pop()});
+        }
+      }
+    }
+    // Sinks run outside the shard lock: a blocked send delays this shard's
+    // current pass, never publish() or the other shards.
+    for (auto& d : batch) {
+      const Status s = d.sub->sink(*d.item.frame);
+      const bool control = d.item.policy == OverflowPolicy::kDisconnect;
+      if (s.is_ok()) {
+        if (control) {
+          ++control_delivered;
+        } else {
+          ++data_delivered;
+        }
+      } else if (s.code() == StatusCode::kClosed || control) {
+        // Control traffic is lossless-or-dead: a control frame that cannot
+        // be delivered within its deadline tears the subscriber down.
+        dead.push_back(d.sub->id);
+      } else {
+        ++data_dropped;  // slow consumer missed one sample
+      }
+    }
+    if (!dead.empty()) disconnect(shard, dead);
+  }
+}
+
+}  // namespace cs::common

@@ -66,6 +66,7 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
   mux_options.sim_address = "mux:sim";
   mux_options.viewer_address = "mux:viewer";
   mux_options.password = "soak";
+  mux_options.fanout_shards = options.fanout_shards;
   auto mux = visit::Multiplexer::start(net, mux_options);
   if (!mux.is_ok()) return mux.status();
 

@@ -29,6 +29,9 @@ struct ScenarioOptions {
   /// dimensions from it).
   std::size_t payload_bytes = 1024;
   std::uint64_t seed = 1;
+  /// Multiplexer fan-out worker shards (mux scenario only); 0 lets the
+  /// service pick a default from hardware_concurrency.
+  std::size_t fanout_shards = 0;
 };
 
 /// Steering fan-out soak: one simulation pushes timestamped samples through

@@ -1,5 +1,6 @@
 #include "visit/multiplexer.hpp"
 
+#include <utility>
 #include <vector>
 
 #include "common/log.hpp"
@@ -9,6 +10,9 @@
 namespace cs::visit {
 
 using common::Deadline;
+using common::FramePtr;
+using common::OutboundQueue;
+using common::OverflowPolicy;
 using common::Result;
 using common::Status;
 using common::StatusCode;
@@ -16,6 +20,13 @@ using common::StatusCode;
 namespace {
 // Pump threads poll with a short deadline so stop() is honored promptly.
 constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+
+/// Overflow policy by wire tag: control frames are lossless-or-disconnect,
+/// data frames shed the stalest sample.
+OverflowPolicy policy_for_tag(std::uint32_t tag) noexcept {
+  return is_control_tag(tag) ? OverflowPolicy::kDisconnect
+                             : OverflowPolicy::kDropOldest;
+}
 }  // namespace
 
 Result<std::unique_ptr<Multiplexer>> Multiplexer::start(
@@ -30,6 +41,11 @@ Result<std::unique_ptr<Multiplexer>> Multiplexer::start(
   mux->sim_listener_ = std::move(sim_listener).value();
   mux->viewer_listener_ = std::move(viewer_listener).value();
   Multiplexer* self = mux.get();
+  common::ShardedFanout::Options fanout_options;
+  fanout_options.shards = options.fanout_shards;
+  fanout_options.queue_capacity = options.viewer_queue_capacity;
+  mux->fanout_ = std::make_unique<common::ShardedFanout>(
+      fanout_options, [self](std::uint64_t id) { self->remove_viewer(id); });
   mux->sim_accept_thread_ =
       std::jthread([self](std::stop_token st) { self->sim_accept_loop(st); });
   mux->viewer_accept_thread_ = std::jthread(
@@ -56,10 +72,20 @@ void Multiplexer::stop() {
       sim_pump_thread_.join();
     }
   }
+  // The sim pump is gone, so nothing publishes anymore. Close every viewer
+  // connection first — that wakes any shard worker blocked inside a send
+  // with kClosed immediately — then join the fan-out workers. The join must
+  // happen before mutex_ is taken exclusively: a worker may be blocked in
+  // its on-dead callback (remove_viewer) waiting for that lock.
+  {
+    std::shared_lock lock(mutex_);
+    for (auto& [id, viewer] : viewers_) viewer.conn->close();
+  }
+  if (fanout_) fanout_->stop();
   std::vector<Viewer> doomed;
   std::vector<std::jthread> graves;
   {
-    std::scoped_lock lock(mutex_);
+    std::unique_lock lock(mutex_);
     for (auto& [id, viewer] : viewers_) {
       viewer.conn->close();
       doomed.push_back(std::move(viewer));
@@ -84,18 +110,27 @@ void Multiplexer::stop() {
 }
 
 std::size_t Multiplexer::viewer_count() const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   return viewers_.size();
 }
 
 std::uint64_t Multiplexer::master_id() const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   return master_id_;
 }
 
 Multiplexer::Stats Multiplexer::stats() const {
-  std::scoped_lock lock(mutex_);
-  return stats_;
+  Stats out;
+  {
+    std::shared_lock lock(mutex_);
+    out = stats_;
+  }
+  out.fanout = fanout_->stats();
+  // The fan-out owns delivery accounting; surface it under the historical
+  // sample counters (missed = shed by overflow or a per-send deadline).
+  out.samples_out = out.fanout.data_delivered;
+  out.samples_missed = out.fanout.data_dropped;
+  return out;
 }
 
 void Multiplexer::sim_accept_loop(const std::stop_token& st) {
@@ -140,52 +175,64 @@ void Multiplexer::viewer_accept_loop(const std::stop_token& st) {
 }
 
 void Multiplexer::add_viewer(net::ConnectionPtr conn) {
-  std::uint64_t id = 0;
-  const Deadline d = Deadline::after(options_.forward_timeout);
-  {
-    std::scoped_lock lock(mutex_);
-    id = next_viewer_id_++;
-    // Late joiners get the schema announcements and the last sample of each
-    // tag so that "everyone has the same view of the data". The caches hold
-    // pre-encoded frames, so replay costs no serialization.
-    for (const auto& [tag, frame] : schema_cache_) {
-      (void)conn->send(frame, d);
-    }
-    for (const auto& [tag, frame] : last_sample_) {
-      (void)conn->send(frame, d);
-    }
-    Viewer viewer;
-    viewer.conn = conn;
-    viewers_.emplace(id, std::move(viewer));
-    auto& slot = viewers_[id];
-    slot.pump = std::jthread(
-        [this, id](std::stop_token st) { viewer_pump(st, id); });
+  std::unique_lock lock(mutex_);
+  const std::uint64_t id = next_viewer_id_++;
+  // Late joiners get the schema announcements, the last sample of each tag
+  // ("everyone has the same view of the data"), and their role notice. The
+  // frames are seeded into the viewer's queue atomically with its
+  // subscription — replay is required state, never droppable, and ordered
+  // strictly before any subsequently published frame.
+  std::vector<OutboundQueue::Item> replay;
+  replay.reserve(schema_cache_.size() + last_sample_.size() + 1);
+  for (const auto& [tag, frame] : schema_cache_) {
+    replay.push_back({frame, OverflowPolicy::kDisconnect});
   }
-  // First viewer in becomes master.
-  bool needs_master = false;
-  {
-    std::scoped_lock lock(mutex_);
-    needs_master = (master_id_ == 0);
+  for (const auto& [tag, frame] : last_sample_) {
+    replay.push_back({frame, OverflowPolicy::kDropOldest});
   }
-  if (needs_master) {
-    promote(id);
-  } else {
-    (void)conn->send(wire::make_control_message(kTagRole, "viewer").encode(),
-                     d);
-  }
+  // First viewer in becomes master; later handovers go through promote().
+  const bool becomes_master = (master_id_ == 0);
+  if (becomes_master) master_id_ = id;
+  replay.push_back(
+      {common::make_frame(
+           wire::make_control_message(kTagRole,
+                                      becomes_master ? "master" : "viewer")
+               .encode()),
+       OverflowPolicy::kDisconnect});
+  Viewer viewer;
+  viewer.conn = conn;
+  viewers_.emplace(id, std::move(viewer));
+  auto& slot = viewers_[id];
+  slot.pump =
+      std::jthread([this, id](std::stop_token st) { viewer_pump(st, id); });
+  // All outbound traffic to a viewer — replay, roles, broadcasts — goes
+  // through its fan-out queue, so one shard worker is the only thread ever
+  // calling send() on the connection.
+  const auto timeout = options_.forward_timeout;
+  fanout_->add(
+      id,
+      [conn, timeout](const common::Bytes& frame) {
+        return conn->send(frame, Deadline::after(timeout));
+      },
+      std::move(replay));
 }
 
 void Multiplexer::remove_viewer(std::uint64_t id) {
+  // Deregister from the fan-out first so no further frames are queued; a
+  // frame already claimed by a shard worker may still complete against the
+  // closing connection, which reports kClosed harmlessly.
+  fanout_->remove(id);
   bool was_master = false;
   std::uint64_t successor = 0;
   {
-    std::scoped_lock lock(mutex_);
+    std::unique_lock lock(mutex_);
     auto it = viewers_.find(id);
     if (it == viewers_.end()) return;
     it->second.conn->close();
     it->second.pump.request_stop();
-    // This may run on the viewer's own pump thread, so the jthread cannot
-    // be joined here; it is parked and joined at stop() time.
+    // This may run on the viewer's own pump thread (or a fan-out worker),
+    // so the jthread cannot be joined here; it is parked and joined at
+    // stop() time.
     graveyard_.push_back(std::move(it->second.pump));
     viewers_.erase(it);
     was_master = (master_id_ == id);
@@ -198,27 +245,25 @@ void Multiplexer::remove_viewer(std::uint64_t id) {
 }
 
 void Multiplexer::promote(std::uint64_t id) {
-  net::ConnectionPtr old_master, new_master;
+  std::uint64_t old_master = 0;
   {
-    std::scoped_lock lock(mutex_);
-    auto it = viewers_.find(id);
-    if (it == viewers_.end()) return;
-    if (master_id_ != 0) {
-      auto old_it = viewers_.find(master_id_);
-      if (old_it != viewers_.end()) old_master = old_it->second.conn;
-    }
+    std::unique_lock lock(mutex_);
+    if (!viewers_.contains(id)) return;
+    if (master_id_ != id) old_master = master_id_;
     master_id_ = id;
-    new_master = it->second.conn;
   }
-  const Deadline d = Deadline::after(options_.forward_timeout);
-  if (old_master) {
-    (void)old_master->send(
-        wire::make_control_message(kTagRole, "viewer").encode(), d);
+  if (old_master != 0) {
+    (void)fanout_->send_to(
+        old_master,
+        common::make_frame(
+            wire::make_control_message(kTagRole, "viewer").encode()),
+        OverflowPolicy::kDisconnect);
   }
-  if (new_master) {
-    (void)new_master->send(
-        wire::make_control_message(kTagRole, "master").encode(), d);
-  }
+  (void)fanout_->send_to(
+      id,
+      common::make_frame(
+          wire::make_control_message(kTagRole, "master").encode()),
+      OverflowPolicy::kDisconnect);
 }
 
 void Multiplexer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
@@ -243,21 +288,23 @@ void Multiplexer::handle_sim_message(wire::Message m,
                                      net::Connection& sim_conn) {
   switch (m.header.kind) {
     case wire::MessageKind::kData: {
-      // One encode per broadcast: the same frame feeds the fan-out and the
-      // late-joiner replay cache.
-      common::Bytes frame = m.encode();
+      // One encode per broadcast: the same immutable frame feeds every
+      // viewer queue and the late-joiner replay cache.
+      const FramePtr frame = common::make_frame(m.encode());
       {
-        std::scoped_lock lock(mutex_);
+        std::unique_lock lock(mutex_);
         ++stats_.samples_in;
         last_sample_.insert_or_assign(m.header.tag, frame);
       }
-      broadcast(frame);
+      // Publish outside the lock: it only enqueues, and an overflow
+      // disconnect re-enters remove_viewer, which takes the lock itself.
+      fanout_->publish(frame, OverflowPolicy::kDropOldest);
       return;
     }
     case wire::MessageKind::kControl: {
-      common::Bytes frame = m.encode();
+      const FramePtr frame = common::make_frame(m.encode());
       if (m.header.tag == kTagSchema) {
-        std::scoped_lock lock(mutex_);
+        std::unique_lock lock(mutex_);
         // Schema cache keyed by the data tag named in the body.
         auto body = wire::extract_string(m);
         if (body.is_ok()) {
@@ -266,14 +313,14 @@ void Multiplexer::handle_sim_message(wire::Message m,
           schema_cache_.insert_or_assign(tag, frame);
         }
       }
-      broadcast(frame);
+      fanout_->publish(frame, policy_for_tag(m.header.tag));
       return;
     }
     case wire::MessageKind::kRequest: {
       // Answer immediately from the master's parameter table.
       wire::Message reply;
       {
-        std::scoped_lock lock(mutex_);
+        std::unique_lock lock(mutex_);
         auto it = parameters_.find(m.header.tag);
         reply = (it != parameters_.end())
                     ? it->second
@@ -288,35 +335,10 @@ void Multiplexer::handle_sim_message(wire::Message m,
   }
 }
 
-void Multiplexer::broadcast(const common::Bytes& frame) {
-  std::vector<std::pair<std::uint64_t, net::ConnectionPtr>> targets;
-  {
-    std::scoped_lock lock(mutex_);
-    targets.reserve(viewers_.size());
-    for (const auto& [id, viewer] : viewers_) {
-      targets.emplace_back(id, viewer.conn);
-    }
-  }
-  std::vector<std::uint64_t> dead;
-  for (auto& [id, conn] : targets) {
-    const Status s =
-        conn->send(frame, Deadline::after(options_.forward_timeout));
-    std::scoped_lock lock(mutex_);
-    if (s.is_ok()) {
-      ++stats_.samples_out;
-    } else if (s.code() == StatusCode::kClosed) {
-      dead.push_back(id);
-    } else {
-      ++stats_.samples_missed;  // slow viewer: skipped, not fatal
-    }
-  }
-  for (auto id : dead) remove_viewer(id);
-}
-
 void Multiplexer::viewer_pump(const std::stop_token& st, std::uint64_t id) {
   net::ConnectionPtr conn;
   {
-    std::scoped_lock lock(mutex_);
+    std::shared_lock lock(mutex_);
     auto it = viewers_.find(id);
     if (it == viewers_.end()) return;
     conn = it->second.conn;
@@ -354,7 +376,7 @@ void Multiplexer::handle_viewer_message(std::uint64_t id, wire::Message m) {
     return;
   }
   if (m.header.kind == wire::MessageKind::kData) {
-    std::scoped_lock lock(mutex_);
+    std::unique_lock lock(mutex_);
     if (id == master_id_) {
       parameters_.insert_or_assign(m.header.tag, std::move(m));
       ++stats_.steers_accepted;

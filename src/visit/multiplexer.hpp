@@ -7,13 +7,23 @@
 // that master is able to actively steer the application. The master-role can
 // be moved, allowing for a coordinated cooperative steering."
 //
-// Implementation note: the master's steering updates are cached in a
-// parameter table inside the multiplexer and the simulation's requests are
-// answered from that table immediately. This is observationally equivalent
-// to forwarding each request to the master (the sim receives exactly the
-// values the master last published) but keeps the VISIT guarantee intact:
-// the simulation's round trip is bounded by the link to the multiplexer,
-// never by a viewer application's event loop.
+// Implementation notes:
+//
+//   * The master's steering updates are cached in a parameter table inside
+//     the multiplexer and the simulation's requests are answered from that
+//     table immediately. This is observationally equivalent to forwarding
+//     each request to the master (the sim receives exactly the values the
+//     master last published) but keeps the VISIT guarantee intact: the
+//     simulation's round trip is bounded by the link to the multiplexer,
+//     never by a viewer application's event loop.
+//
+//   * The broadcast fan-out is sharded (common::ShardedFanout): every viewer
+//     owns a bounded outbound queue drained by a small worker pool, so one
+//     slow or blocked viewer can no longer stall the broadcast, and the
+//     registry lock is never held across a send. Sample frames shed load by
+//     dropping the oldest queued sample; control frames (roles, schemas,
+//     shutdown) are lossless — a viewer that cannot absorb them is
+//     disconnected. See docs/ARCHITECTURE.md for the full threading model.
 #pragma once
 
 #include <atomic>
@@ -22,17 +32,22 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/fanout.hpp"
 #include "common/status.hpp"
 #include "net/transport.hpp"
 #include "wire/message.hpp"
 
 namespace cs::visit {
 
+/// Fans one simulation's VISIT stream out to many collaborating viewers and
+/// funnels the single master viewer's steering back. See the file comment
+/// for the collaboration contract and the threading model.
 class Multiplexer {
  public:
   struct Options {
@@ -44,20 +59,31 @@ class Multiplexer {
     /// real authentication in front (see visit/proxy.hpp).
     std::string password;
     /// Per-viewer forwarding deadline; a viewer slower than this misses the
-    /// sample rather than stalling the fan-out.
+    /// sample rather than stalling its fan-out shard.
     common::Duration forward_timeout = std::chrono::milliseconds(50);
+    /// Fan-out worker shards; 0 picks a default from hardware_concurrency.
+    std::size_t fanout_shards = 0;
+    /// Per-viewer outbound queue bound, in frames. When full, sample frames
+    /// drop-oldest and control frames disconnect the viewer (see
+    /// common::OverflowPolicy). Kept shallow on purpose: a full queue means
+    /// the delivered sample is up to `capacity / sample-rate` stale, so
+    /// depth buys burst absorption at the price of tail latency.
+    std::size_t viewer_queue_capacity = 32;
   };
 
   struct Stats {
     std::uint64_t samples_in = 0;       ///< data messages from the sim
-    std::uint64_t samples_out = 0;      ///< per-viewer deliveries
-    std::uint64_t samples_missed = 0;   ///< deliveries dropped (slow viewer)
+    std::uint64_t samples_out = 0;      ///< per-viewer sample deliveries
+    std::uint64_t samples_missed = 0;   ///< deliveries shed (slow viewer)
     std::uint64_t steers_accepted = 0;  ///< master parameter updates
     std::uint64_t steers_rejected = 0;  ///< non-master updates dropped
     std::uint64_t requests_served = 0;  ///< sim parameter requests answered
+    /// Fan-out internals: per-shard queue/delivery counters, including
+    /// control-frame traffic and overflow disconnects.
+    common::FanoutStats fanout;
   };
 
-  /// Starts listeners and pump threads.
+  /// Starts listeners, the fan-out worker pool, and the pump threads.
   static common::Result<std::unique_ptr<Multiplexer>> start(
       net::Network& net, const Options& options);
 
@@ -65,11 +91,15 @@ class Multiplexer {
   Multiplexer(const Multiplexer&) = delete;
   Multiplexer& operator=(const Multiplexer&) = delete;
 
+  /// Stops accepting, joins all workers and pumps, and closes every viewer.
+  /// Idempotent; also invoked by the destructor.
   void stop();
 
+  /// Number of currently registered viewers.
   std::size_t viewer_count() const;
   /// Id of the current master viewer, or 0 when none.
   std::uint64_t master_id() const;
+  /// Snapshot of the service counters, including per-shard fan-out stats.
   Stats stats() const;
 
  private:
@@ -84,7 +114,6 @@ class Multiplexer {
   void handle_viewer_message(std::uint64_t id, wire::Message m);
   void add_viewer(net::ConnectionPtr conn);
   void remove_viewer(std::uint64_t id);
-  void broadcast(const common::Bytes& frame);
   /// Sets viewer `id` as master and notifies affected viewers.
   void promote(std::uint64_t id);
 
@@ -103,19 +132,25 @@ class Multiplexer {
   std::mutex sim_pump_mutex_;
   std::jthread sim_pump_thread_;
 
-  mutable std::mutex mutex_;
+  /// Guards the viewer registry, master bookkeeping, parameter table, and
+  /// replay caches. Never held across a viewer send: the fan-out path only
+  /// enqueues (the shard workers do the blocking I/O and never take this
+  /// lock), so readers — viewer_count(), stats() — take it shared.
+  mutable std::shared_mutex mutex_;
   std::map<std::uint64_t, Viewer> viewers_;
   std::uint64_t master_id_ = 0;
   std::uint64_t next_viewer_id_ = 1;
   std::map<std::uint32_t, wire::Message> parameters_;  // master's updates
-  /// Replay caches hold pre-encoded frames: each broadcast is serialized
-  /// exactly once and the bytes are reused verbatim for late joiners.
-  std::map<std::uint32_t, common::Bytes> schema_cache_;
-  std::map<std::uint32_t, common::Bytes> last_sample_;  // replayed on join
+  /// Replay caches hold pre-encoded shared frames: each broadcast is
+  /// serialized exactly once, and late joiners reuse the same bytes.
+  std::map<std::uint32_t, common::FramePtr> schema_cache_;
+  std::map<std::uint32_t, common::FramePtr> last_sample_;
   /// Pump threads of departed viewers; joined at stop() (a pump may remove
   /// its own viewer and must not join itself).
   std::vector<std::jthread> graveyard_;
   Stats stats_;
+  /// Sharded outbound path; owns the per-viewer queues and worker threads.
+  std::unique_ptr<common::ShardedFanout> fanout_;
   std::atomic<bool> stopped_{false};
 };
 

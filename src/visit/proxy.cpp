@@ -179,19 +179,19 @@ void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
     wire::Message m = std::move(decoded).value();
     switch (m.header.kind) {
       case wire::MessageKind::kData: {
-        // One encode per sample: the cached frame is reused verbatim both
-        // for the per-attachment queues and for late-attach replay.
-        Bytes frame = m.encode();
+        // One encode per sample: the same immutable frame is shared by
+        // every attachment queue and the late-attach replay cache.
+        const common::FramePtr frame = common::make_frame(m.encode());
         {
           std::scoped_lock lock(mutex_);
           ++stats_.samples_in;
           last_sample_.insert_or_assign(m.header.tag, frame);
         }
-        enqueue_to_all(frame);
+        enqueue_to_all(frame, common::OverflowPolicy::kDropOldest);
         break;
       }
       case wire::MessageKind::kControl: {
-        Bytes frame = m.encode();
+        const common::FramePtr frame = common::make_frame(m.encode());
         if (m.header.tag == kTagSchema) {
           auto body = wire::extract_string(m);
           if (body.is_ok()) {
@@ -201,7 +201,7 @@ void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
             schema_cache_.insert_or_assign(tag, frame);
           }
         }
-        enqueue_to_all(frame);
+        enqueue_to_all(frame, common::OverflowPolicy::kDisconnect);
         break;
       }
       case wire::MessageKind::kRequest: {
@@ -222,37 +222,83 @@ void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
   }
 }
 
-void ProxyServer::enqueue_to_all(const Bytes& frame) {
+void ProxyServer::enqueue_to_all(const common::FramePtr& frame,
+                                 common::OverflowPolicy policy) {
   std::scoped_lock lock(mutex_);
+  // Collect overflow victims first: detaching mutates the map being walked.
+  std::vector<std::uint64_t> doomed;
   for (auto& [id, att] : attachments_) {
-    if (att.queue.size() >= options_.max_queued_frames) {
-      att.queue.pop_front();
-      ++stats_.frames_dropped;
+    switch (att.queue.push(frame, policy)) {
+      case common::OutboundQueue::Push::kQueued:
+        ++stats_.frames_queued;
+        break;
+      case common::OutboundQueue::Push::kQueuedDropOldest:
+        ++stats_.frames_queued;
+        ++stats_.frames_dropped;
+        break;
+      case common::OutboundQueue::Push::kDroppedNewest:
+        ++stats_.frames_dropped;
+        break;
+      case common::OutboundQueue::Push::kRejectedOverflow:
+        doomed.push_back(id);
+        break;
     }
-    att.queue.push_back(frame);
-    ++stats_.frames_queued;
+  }
+  for (std::uint64_t id : doomed) {
+    ++stats_.overflow_disconnects;
+    detach_locked(id);
   }
 }
 
-void ProxyServer::enqueue_to(std::uint64_t id, const Bytes& frame) {
+bool ProxyServer::enqueue_to(std::uint64_t id, common::FramePtr frame,
+                             common::OverflowPolicy policy) {
   auto it = attachments_.find(id);
-  if (it == attachments_.end()) return;
-  if (it->second.queue.size() >= options_.max_queued_frames) {
-    it->second.queue.pop_front();
-    ++stats_.frames_dropped;
+  if (it == attachments_.end()) return false;
+  switch (it->second.queue.push(std::move(frame), policy)) {
+    case common::OutboundQueue::Push::kQueued:
+      ++stats_.frames_queued;
+      return true;
+    case common::OutboundQueue::Push::kQueuedDropOldest:
+      ++stats_.frames_queued;
+      ++stats_.frames_dropped;
+      return true;
+    case common::OutboundQueue::Push::kDroppedNewest:
+      ++stats_.frames_dropped;
+      return true;
+    case common::OutboundQueue::Push::kRejectedOverflow:
+      ++stats_.overflow_disconnects;
+      detach_locked(id);
+      return false;
   }
-  it->second.queue.push_back(frame);
-  ++stats_.frames_queued;
+  return false;
+}
+
+void ProxyServer::detach_locked(std::uint64_t id) {
+  attachments_.erase(id);
+  if (master_id_ == id) {
+    master_id_ = 0;
+    if (!attachments_.empty()) promote_locked(attachments_.begin()->first);
+  }
 }
 
 void ProxyServer::promote_locked(std::uint64_t id) {
   if (!attachments_.contains(id)) return;
-  if (master_id_ != 0 && master_id_ != id) {
-    enqueue_to(master_id_,
-               wire::make_control_message(kTagRole, "viewer").encode());
-  }
+  // Record the new master *before* the demote enqueue: if that enqueue
+  // overflows and detaches the old master, detach_locked must not see it as
+  // the current master and auto-promote someone else reentrantly.
+  const std::uint64_t old_master = (master_id_ != id) ? master_id_ : 0;
   master_id_ = id;
-  enqueue_to(id, wire::make_control_message(kTagRole, "master").encode());
+  if (old_master != 0) {
+    (void)enqueue_to(
+        old_master,
+        common::make_frame(
+            wire::make_control_message(kTagRole, "viewer").encode()),
+        common::OverflowPolicy::kDisconnect);
+  }
+  (void)enqueue_to(id,
+                   common::make_frame(
+                       wire::make_control_message(kTagRole, "master").encode()),
+                   common::OverflowPolicy::kDisconnect);
 }
 
 ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
@@ -261,25 +307,37 @@ ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
   switch (request.op) {
     case ProxyOp::kAttach: {
       const std::uint64_t id = next_attachment_id_++;
-      attachments_.emplace(id, Attachment{});
-      // Replay schemas and the latest sample of each tag so a late joiner
-      // shares the same view of the data.
-      for (const auto& [tag, frame] : schema_cache_) enqueue_to(id, frame);
-      for (const auto& [tag, frame] : last_sample_) enqueue_to(id, frame);
-      if (master_id_ == 0) {
-        promote_locked(id);
-      } else {
-        enqueue_to(id, wire::make_control_message(kTagRole, "viewer").encode());
+      const auto it =
+          attachments_.emplace(id, Attachment{options_.max_queued_frames})
+              .first;
+      // Replay schemas, the latest sample of each tag ("same view of the
+      // data"), and the role notice. Replay is required state: it is seeded
+      // past the queue bound if need be (the cached frames are shared, not
+      // re-encoded or copied per attachment) — only later traffic competes
+      // for the capacity. A fresh attachment can therefore never be torn
+      // down by its own replay.
+      auto& queue = it->second.queue;
+      for (const auto& [tag, frame] : schema_cache_) {
+        queue.seed({frame, common::OverflowPolicy::kDisconnect});
+        ++stats_.frames_queued;
       }
+      for (const auto& [tag, frame] : last_sample_) {
+        queue.seed({frame, common::OverflowPolicy::kDropOldest});
+        ++stats_.frames_queued;
+      }
+      const bool becomes_master = (master_id_ == 0);
+      if (becomes_master) master_id_ = id;
+      queue.seed({common::make_frame(
+                      wire::make_control_message(
+                          kTagRole, becomes_master ? "master" : "viewer")
+                          .encode()),
+                  common::OverflowPolicy::kDisconnect});
+      ++stats_.frames_queued;
       response.attachment = id;
       return response;
     }
     case ProxyOp::kDetach: {
-      attachments_.erase(request.attachment);
-      if (master_id_ == request.attachment) {
-        master_id_ = 0;
-        if (!attachments_.empty()) promote_locked(attachments_.begin()->first);
-      }
+      detach_locked(request.attachment);
       return response;
     }
     case ProxyOp::kPoll: {
@@ -290,9 +348,9 @@ ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
       }
       const std::size_t n =
           std::min<std::size_t>(request.max_frames, it->second.queue.size());
+      response.frames.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        response.frames.push_back(std::move(it->second.queue.front()));
-        it->second.queue.pop_front();
+        response.frames.push_back(*it->second.queue.pop().frame);
       }
       return response;
     }

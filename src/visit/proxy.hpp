@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/fanout.hpp"
 #include "common/status.hpp"
 #include "net/transport.hpp"
 #include "wire/message.hpp"
@@ -85,8 +86,10 @@ class ProxyServer {
     std::string sim_address;
     /// VISIT password expected from the simulation.
     std::string password;
-    /// Per-attachment frame queue bound; when full the oldest data frame is
-    /// dropped (a slow polling user misses samples, never stalls the sim).
+    /// Per-attachment frame queue bound. When full, data frames drop-oldest
+    /// (a slow polling user misses samples, never stalls the sim) while
+    /// control frames detach the attachment — the same
+    /// common::OverflowPolicy split as the multiplexer fan-out.
     std::size_t max_queued_frames = 1024;
   };
 
@@ -94,6 +97,9 @@ class ProxyServer {
     std::uint64_t samples_in = 0;
     std::uint64_t frames_queued = 0;
     std::uint64_t frames_dropped = 0;
+    /// Attachments forcibly detached because a control frame overflowed
+    /// their queue (control traffic is lossless-or-dead).
+    std::uint64_t overflow_disconnects = 0;
     std::uint64_t steers_accepted = 0;
     std::uint64_t steers_rejected = 0;
     std::uint64_t requests_served = 0;
@@ -120,12 +126,20 @@ class ProxyServer {
   ProxyServer() = default;
   void accept_loop(const std::stop_token& st);
   void sim_pump(const std::stop_token& st, net::ConnectionPtr conn);
-  void enqueue_to_all(const common::Bytes& frame);
-  void enqueue_to(std::uint64_t id, const common::Bytes& frame);
+  void enqueue_to_all(const common::FramePtr& frame,
+                      common::OverflowPolicy policy);
+  /// Returns false when the push detached the attachment (control-frame
+  /// overflow). Caller holds mutex_.
+  bool enqueue_to(std::uint64_t id, common::FramePtr frame,
+                  common::OverflowPolicy policy);
+  /// Removes the attachment and moves the master role if needed. Caller
+  /// holds mutex_.
+  void detach_locked(std::uint64_t id);
   void promote_locked(std::uint64_t id);
 
   struct Attachment {
-    std::deque<common::Bytes> queue;
+    common::OutboundQueue queue;
+    explicit Attachment(std::size_t capacity) : queue(capacity) {}
   };
 
   Options options_;
@@ -140,10 +154,11 @@ class ProxyServer {
   std::uint64_t master_id_ = 0;
   std::uint64_t next_attachment_id_ = 1;
   std::map<std::uint32_t, wire::Message> parameters_;
-  /// Replay caches hold pre-encoded frames — one encode per sample, reused
-  /// verbatim for every attachment and for late-attach replay.
-  std::map<std::uint32_t, common::Bytes> schema_cache_;
-  std::map<std::uint32_t, common::Bytes> last_sample_;
+  /// Replay caches hold pre-encoded shared frames — one encode per sample,
+  /// shared (not copied) across every attachment queue and late-attach
+  /// replay.
+  std::map<std::uint32_t, common::FramePtr> schema_cache_;
+  std::map<std::uint32_t, common::FramePtr> last_sample_;
   Stats stats_;
   std::atomic<bool> stopped_{false};
 };

@@ -247,6 +247,25 @@ TEST(Scenarios, MultiplexerSoakIsConsistent) {
   expect_consistent(report.value());
 }
 
+// Exercises the sharded fan-out at a fleet size where the old sequential
+// broadcast collapsed. Runs under every sanitizer CI job (including TSan,
+// where it doubles as the race check for the shard workers).
+TEST(Scenarios, MultiplexerSoakScalesTo256Viewers) {
+  ScenarioOptions options;
+  options.connections = 256;
+  // Generous window: under TSan on a loaded runner the 256-thread fleet
+  // needs a while before the first samples flow end to end.
+  options.duration = 2500ms;
+  options.rate_per_sec = 50.0;
+  options.payload_bytes = 128;
+  options.fanout_shards = 2;
+  auto report = run_multiplexer_soak(options);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().ops, 0u);
+  EXPECT_EQ(report.value().latency.count(), report.value().ops);
+  expect_consistent(report.value());
+}
+
 TEST(Scenarios, VizServerLoopDeliversFrames) {
   ScenarioOptions options;
   options.connections = 4;

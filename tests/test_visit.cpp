@@ -449,6 +449,135 @@ TEST(Multiplexer, MasterDisconnectPromotesSurvivor) {
   EXPECT_EQ(f.mux->viewer_count(), 1u);
 }
 
+TEST(Multiplexer, StatsSurfacePerShardFanoutCounters) {
+  net::InProcNetwork net;
+  Multiplexer::Options o;
+  o.sim_address = "mux2:sim";
+  o.viewer_address = "mux2:viewer";
+  o.password = "pw";
+  o.fanout_shards = 2;
+  auto r = Multiplexer::start(net, o);
+  ASSERT_TRUE(r.is_ok());
+  auto& mux = *r.value();
+
+  auto v1 = ViewerClient::connect(net, {"mux2:viewer", "pw", 200ms},
+                                  Deadline::after(2s));
+  auto v2 = ViewerClient::connect(net, {"mux2:viewer", "pw", 200ms},
+                                  Deadline::after(2s));
+  ASSERT_TRUE(v1.is_ok() && v2.is_ok());
+  auto sim = SimClient::connect(net, {"mux2:sim", "pw", 200ms},
+                                Deadline::after(2s));
+  ASSERT_TRUE(sim.is_ok());
+  const auto reg_deadline = Deadline::after(2s);
+  while (mux.viewer_count() < 2 && !reg_deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(mux.viewer_count(), 2u);
+
+  ASSERT_TRUE(sim.value().send<float>(kTagField, {1.f}).is_ok());
+  const auto deadline = Deadline::after(2s);
+  while (mux.stats().samples_out < 2 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+
+  const auto stats = mux.stats();
+  ASSERT_EQ(stats.fanout.shards.size(), 2u);  // one entry per worker shard
+  EXPECT_EQ(stats.fanout.subscribers, 2u);
+  // Sequential viewer ids land on distinct shards.
+  EXPECT_EQ(stats.fanout.shards[0].subscribers, 1u);
+  EXPECT_EQ(stats.fanout.shards[1].subscribers, 1u);
+  // The aggregate is the sum of the per-shard rows, and the historical
+  // sample counters are fed from the fan-out accounting.
+  std::uint64_t delivered = 0;
+  for (const auto& s : stats.fanout.shards) delivered += s.data_delivered;
+  EXPECT_EQ(delivered, stats.fanout.data_delivered);
+  EXPECT_EQ(stats.samples_out, stats.fanout.data_delivered);
+  EXPECT_EQ(stats.samples_out, 2u);
+  // Role notices travel as control frames through the same queues.
+  EXPECT_GE(stats.fanout.control_delivered, 2u);
+
+  v1.value().disconnect();
+  v2.value().disconnect();
+  sim.value().disconnect();
+  mux.stop();
+}
+
+TEST(Multiplexer, SlowViewerDoesNotStallOtherShard) {
+  net::InProcNetwork net;
+  Multiplexer::Options o;
+  o.sim_address = "mux3:sim";
+  o.viewer_address = "mux3:viewer";
+  o.password = "pw";
+  o.fanout_shards = 2;
+  // Large enough that the fast viewer never drops a frame of the burst
+  // below; the slow viewer still overflows (it also eats replay + role).
+  o.viewer_queue_capacity = 16;
+  // Generous per-send timeout so the latency bound asserted below has wide
+  // margins on both sides even under TSan: the slow viewer's shard needs
+  // >= 10 x 100ms to grind through the burst, the fast shard only CPU time.
+  o.forward_timeout = std::chrono::milliseconds(100);
+  auto r = Multiplexer::start(net, o);
+  ASSERT_TRUE(r.is_ok());
+  auto& mux = *r.value();
+
+  // The "slow" viewer connects with a tiny receive window and never polls:
+  // once the handshake fills it, sends to it block until the forward
+  // timeout, wedging only its shard. (The window must still fit the
+  // handshake ack, which is read exactly once.)
+  net::ConnectOptions slow_options;
+  slow_options.recv_capacity_bytes = 256;
+  auto slow_conn =
+      net.connect("mux3:viewer", Deadline::after(2s), slow_options);
+  ASSERT_TRUE(slow_conn.is_ok());
+  const auto hello = wire::make_control_message(
+      kTagHello, std::string("HELLO ") + kProtocolVersion + " pw");
+  ASSERT_TRUE(
+      slow_conn.value()->send(hello.encode(), Deadline::after(2s)).is_ok());
+  ASSERT_TRUE(slow_conn.value()->recv(Deadline::after(2s)).is_ok());
+  // From here on the slow viewer never reads: its window fills and every
+  // further send to it burns the full forward timeout.
+  auto fast = ViewerClient::connect(net, {"mux3:viewer", "pw", 200ms},
+                                    Deadline::after(2s));
+  ASSERT_TRUE(fast.is_ok());
+  auto sim = SimClient::connect(net, {"mux3:sim", "pw", 200ms},
+                                Deadline::after(2s));
+  ASSERT_TRUE(sim.is_ok());
+  const auto reg_deadline = Deadline::after(2s);
+  while (mux.viewer_count() < 2 && !reg_deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(mux.viewer_count(), 2u);
+  // Viewer ids 1 and 2 hash to different shards of the two-shard pool.
+  ASSERT_NE(common::ShardedFanout::shard_of(1, 2),
+            common::ShardedFanout::shard_of(2, 2));
+
+  // Publish a burst; the fast viewer must see every sample promptly even
+  // though the slow one blocks its own shard on every send.
+  constexpr int kSamples = 10;
+  const auto t0 = common::Clock::now();
+  for (int i = 0; i < kSamples; ++i) {
+    ASSERT_TRUE(
+        sim.value().send<float>(kTagField, {static_cast<float>(i)}).is_ok());
+  }
+  int received = 0;
+  while (received < kSamples) {
+    auto e = poll_until(fast.value(), [](const ViewerClient::Event& e) {
+      return e.kind == ViewerClient::Event::Kind::kData && e.tag == kTagField;
+    });
+    ASSERT_TRUE(e.is_ok());
+    ++received;
+  }
+  const auto fast_latency = common::Clock::now() - t0;
+  // Far below the >= 1s of send timeouts the slow viewer's shard burns for
+  // the same burst, with headroom for sanitizer/scheduler noise.
+  EXPECT_LT(fast_latency, std::chrono::milliseconds(500));
+
+  slow_conn.value()->close();
+  fast.value().disconnect();
+  sim.value().disconnect();
+  mux.stop();
+}
+
 TEST(Multiplexer, LateJoinerReceivesLastSample) {
   MuxFixture f;
   auto sim = f.connect_sim();
