@@ -31,11 +31,15 @@
 
 namespace cs::visit {
 
+/// Relay hub for the latency-sensitive control channel (view points, tool
+/// parameters): actors publish, everyone else observes.
 class ControlServer {
  public:
   struct Options {
-    std::string address;
-    std::string password;
+    std::string address;   ///< address participants connect to
+    std::string password;  ///< shared session password
+    /// Per-participant relay deadline; a slow participant misses the update
+    /// rather than delaying the rest of the fan-out.
     common::Duration forward_timeout = std::chrono::milliseconds(20);
   };
 
@@ -44,6 +48,7 @@ class ControlServer {
     std::uint64_t updates_rejected = 0;  ///< observer publishes dropped
   };
 
+  /// Binds the listener and starts the accept loop.
   static common::Result<std::unique_ptr<ControlServer>> start(
       net::Network& net, const Options& options);
 
@@ -51,8 +56,11 @@ class ControlServer {
   ControlServer(const ControlServer&) = delete;
   ControlServer& operator=(const ControlServer&) = delete;
 
+  /// Disconnects every participant and joins all pumps. Idempotent.
   void stop();
+  /// Number of currently connected participants.
   std::size_t participant_count() const;
+  /// Snapshot of the relay counters.
   Stats stats() const;
 
  private:

@@ -57,6 +57,7 @@ class SimSession {
                     wire::make_data_message(tag, values.data(), values.size()));
   }
 
+  /// String-valued variant of set_parameter().
   void set_parameter_string(std::uint32_t tag, std::string_view text) {
     store_parameter(tag, wire::make_string_message(tag, text));
   }
@@ -80,8 +81,10 @@ class SimSession {
     return wire::extract_as<T>(event.message);
   }
 
+  /// Closes the connection; pending serve() calls wake with kClosed.
   void close();
   bool is_open() const { return conn_ && conn_->is_open(); }
+  /// Traffic counters of the underlying connection (zeros when detached).
   net::ConnStats stats() const {
     return conn_ ? conn_->stats() : net::ConnStats{};
   }
@@ -106,8 +109,8 @@ class SimSession {
 class VizServer {
  public:
   struct Options {
-    std::string address;
-    std::string password;
+    std::string address;   ///< address the simulation connects to
+    std::string password;  ///< expected VISIT handshake password
   };
 
   /// Binds the listener.

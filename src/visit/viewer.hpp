@@ -24,11 +24,14 @@
 
 namespace cs::visit {
 
+/// Collaborative-session participant: receives every broadcast sample,
+/// steers while holding the master role, and observes role handovers.
 class ViewerClient {
  public:
   struct Options {
     std::string mux_address;  ///< the multiplexer's viewer address
-    std::string password;
+    std::string password;     ///< session password (see SimClientOptions)
+    /// Timeout applied when a call passes no explicit deadline.
     common::Duration default_timeout = std::chrono::milliseconds(100);
   };
 
@@ -45,6 +48,8 @@ class ViewerClient {
     wire::Message message;
   };
 
+  /// Connects to the multiplexer's viewer port and performs the password
+  /// handshake. The role (master or viewer) arrives later as a kRole event.
   static common::Result<ViewerClient> connect(net::Network& net,
                                               const Options& options,
                                               common::Deadline deadline);
@@ -68,6 +73,7 @@ class ViewerClient {
         effective(deadline));
   }
 
+  /// String-valued variant of steer().
   common::Status steer_string(std::uint32_t tag, std::string_view text,
                               std::optional<common::Deadline> deadline = {});
 
@@ -88,13 +94,16 @@ class ViewerClient {
   /// Record count of a kStructData event.
   common::Result<std::size_t> record_count(const Event& event) const;
 
+  /// Extracts scalar data of a kData event with conversion.
   template <typename T>
   common::Result<std::vector<T>> extract(const Event& event) const {
     return wire::extract_as<T>(event.message);
   }
 
+  /// Sends BYE and closes. Safe to call repeatedly.
   void disconnect();
   bool connected() const noexcept { return conn_ && conn_->is_open(); }
+  /// Traffic counters of the underlying connection (zeros when detached).
   net::ConnStats stats() const {
     return conn_ ? conn_->stats() : net::ConnStats{};
   }
