@@ -46,8 +46,12 @@ void usage(const char* argv0) {
       "(default 200)\n"
       "  --payload=N                    payload bytes (default 1024)\n"
       "  --seed=N                       RNG seed (default 1)\n"
-      "  --shards=N                     mux fan-out worker shards "
+      "  --shards=N                     mux/viz fan-out worker shards "
       "(default auto)\n"
+      "  --stalled=N                    viz: wedge N participants (tiny "
+      "recv window,\n"
+      "                                 never drained) to probe slow-client "
+      "isolation\n"
       "  --out=FILE                     write the JSON report here "
       "(default stdout)\n"
       "raw-scenario options:\n"
@@ -108,6 +112,8 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       w.seed = n;
     } else if (key == "--shards" && parse_u64(value.c_str(), n)) {
       s.fanout_shards = n;
+    } else if (key == "--stalled" && parse_u64(value.c_str(), n)) {
+      s.stalled_connections = n;
     } else {
       std::fprintf(stderr, "unknown or malformed option: %s\n", arg.c_str());
       return false;

@@ -9,7 +9,17 @@ namespace cs::common {
 // OutboundQueue
 // ---------------------------------------------------------------------------
 
-OutboundQueue::Push OutboundQueue::push(FramePtr frame, OverflowPolicy policy) {
+OutboundQueue::Push OutboundQueue::push(Item item) {
+  if (item.coalesce_key != 0) {
+    for (auto& queued : items_) {
+      if (queued.coalesce_key == item.coalesce_key) {
+        // Supersede in place: the predecessor's position and accounting
+        // slot carry over, so a burst of these can never grow the queue.
+        queued = std::move(item);
+        return Push::kCoalesced;
+      }
+    }
+  }
   if (items_.size() >= capacity_) {
     // Full: shed the oldest *data* frame to make room, whatever the
     // incoming frame is — queued control frames are lossless and never
@@ -20,17 +30,17 @@ OutboundQueue::Push OutboundQueue::push(FramePtr frame, OverflowPolicy policy) {
       if (it->policy == OverflowPolicy::kDropOldest) {
         items_.erase(it);
         ++dropped_;
-        items_.push_back(Item{std::move(frame), policy});
+        items_.push_back(std::move(item));
         return Push::kQueuedDropOldest;
       }
     }
-    if (policy == OverflowPolicy::kDisconnect) {
+    if (item.policy == OverflowPolicy::kDisconnect) {
       return Push::kRejectedOverflow;
     }
     ++dropped_;
     return Push::kDroppedNewest;
   }
-  items_.push_back(Item{std::move(frame), policy});
+  items_.push_back(std::move(item));
   high_water_ = std::max(high_water_, items_.size());
   return Push::kQueued;
 }
@@ -115,6 +125,21 @@ void ShardedFanout::add(std::uint64_t id, Sink sink,
   if (notify) shard.cv.notify_all();
 }
 
+void ShardedFanout::add(std::uint64_t id, BytesSink sink,
+                        std::vector<OutboundQueue::Item> replay) {
+  add(id,
+      Sink{[sink = std::move(sink)](const OutboundQueue::Item& item) {
+        if (item.frame == nullptr) {
+          // A per-consumer source payload reached a sink that only encodes
+          // shared frames; data is shed, control is lossless-or-dead.
+          return Status{StatusCode::kInvalidArgument,
+                        "source payload sent to a bytes sink"};
+        }
+        return sink(*item.frame);
+      }},
+      std::move(replay));
+}
+
 void ShardedFanout::remove(std::uint64_t id) {
   Shard& shard = shard_for(id);
   std::scoped_lock lock(shard.mutex);
@@ -144,6 +169,10 @@ void ShardedFanout::account_push(Shard& shard, Subscriber& sub,
       sub.doomed = true;
       doomed.push_back(sub.id);
       return;
+    case OutboundQueue::Push::kCoalesced:
+      // The replaced item keeps its accounting slot: it was counted when
+      // enqueued and the replacement will be the one delivered.
+      return;
   }
   if (policy == OverflowPolicy::kDisconnect) {
     ++shard.stats.control_enqueued;
@@ -154,7 +183,7 @@ void ShardedFanout::account_push(Shard& shard, Subscriber& sub,
       std::max(shard.stats.queue_high_water, sub.queue.high_water());
 }
 
-void ShardedFanout::publish(const FramePtr& frame, OverflowPolicy policy) {
+void ShardedFanout::publish(const OutboundQueue::Item& item) {
   if (stopped_.load(std::memory_order_acquire)) return;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -164,8 +193,8 @@ void ShardedFanout::publish(const FramePtr& frame, OverflowPolicy policy) {
       std::scoped_lock lock(shard.mutex);
       for (auto& [id, sub] : shard.subs) {
         if (sub->doomed) continue;
-        const auto result = sub->queue.push(frame, policy);
-        account_push(shard, *sub, result, policy, doomed);
+        const auto result = sub->queue.push(item);
+        account_push(shard, *sub, result, item.policy, doomed);
         notify |= (result != OutboundQueue::Push::kRejectedOverflow);
       }
     }
@@ -174,10 +203,10 @@ void ShardedFanout::publish(const FramePtr& frame, OverflowPolicy policy) {
   }
 }
 
-bool ShardedFanout::send_to(std::uint64_t id, FramePtr frame,
-                            OverflowPolicy policy) {
+bool ShardedFanout::send_to(std::uint64_t id, OutboundQueue::Item item) {
   if (stopped_.load(std::memory_order_acquire)) return false;
   Shard& shard = shard_for(id);
+  const OverflowPolicy policy = item.policy;
   std::vector<std::uint64_t> doomed;
   bool found = false;
   bool notify = false;
@@ -186,7 +215,7 @@ bool ShardedFanout::send_to(std::uint64_t id, FramePtr frame,
     auto it = shard.subs.find(id);
     if (it != shard.subs.end() && !it->second->doomed) {
       found = true;
-      const auto result = it->second->queue.push(std::move(frame), policy);
+      const auto result = it->second->queue.push(std::move(item));
       account_push(shard, *it->second, result, policy, doomed);
       notify = (result != OutboundQueue::Push::kRejectedOverflow);
     }
@@ -288,10 +317,20 @@ void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
       }
     }
     // Sinks run outside the shard lock: a blocked send delays this shard's
-    // current pass, never publish() or the other shards.
+    // current pass, never publish() or the other shards. A consumer whose
+    // send just failed gets the rest of its burst shed without another
+    // blocking attempt — retrying a wedged consumer back to back would
+    // cost a full send deadline per frame, stalling its shard-mates for
+    // the whole burst; one deadline per pass is the bound. Control frames
+    // are still always attempted (lossless-or-dead decides teardown).
+    const Subscriber* failed = nullptr;
     for (auto& d : batch) {
-      const Status s = d.sub->sink(*d.item.frame);
       const bool control = d.item.policy == OverflowPolicy::kDisconnect;
+      if (d.sub.get() == failed && !control) {
+        ++data_dropped;
+        continue;
+      }
+      const Status s = d.sub->sink(d.item);
       if (s.is_ok()) {
         if (control) {
           ++control_delivered;
@@ -302,8 +341,10 @@ void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
         // Control traffic is lossless-or-dead: a control frame that cannot
         // be delivered within its deadline tears the subscriber down.
         dead.push_back(d.sub->id);
+        failed = d.sub.get();
       } else {
         ++data_dropped;  // slow consumer missed one sample
+        failed = d.sub.get();
       }
     }
     if (!dead.empty()) disconnect(shard, dead);

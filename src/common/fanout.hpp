@@ -71,21 +71,45 @@ class OutboundQueue {
                         ///< frame itself was shed (control is never evicted)
     kRejectedOverflow,  ///< full of control frames and the incoming frame is
                         ///< control too: refused, consumer dead
+    kCoalesced,         ///< replaced the queued item with the same
+                        ///< coalesce_key in place (position retained)
   };
 
   /// One queued frame together with the policy it was published under (the
   /// policy doubles as the traffic-class tag for delivery accounting).
+  ///
+  /// The payload is either pre-encoded wire bytes shared by every consumer
+  /// (`frame`) or an opaque source object (`source`) that each consumer's
+  /// sink encodes for itself at delivery time. The second form is how
+  /// per-consumer payloads — e.g. delta compression against each
+  /// consumer's own delivery history — ride the same queues, overflow
+  /// policies, and workers as shared broadcasts: the expensive per-consumer
+  /// encode happens on the consumer's worker, after any overflow shedding,
+  /// never on the publisher.
   struct Item {
-    FramePtr frame;
+    FramePtr frame = nullptr;
     OverflowPolicy policy = OverflowPolicy::kDropOldest;
+    std::shared_ptr<const void> source = nullptr;
+    /// Non-zero: at most one item with this key sits in a queue — a newer
+    /// push *replaces* the queued one in place (same position, one
+    /// accounting slot) instead of enqueueing behind it. For traffic whose
+    /// frames supersede each other (progress acks): a burst can never
+    /// overflow the queue, and lossless-or-dead still holds for the
+    /// latest value.
+    std::uint64_t coalesce_key = 0;
   };
 
   /// @param capacity maximum queued frames; at least 1 is enforced.
   explicit OutboundQueue(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  /// Enqueues `frame` under `policy`; applies the policy when full.
-  Push push(FramePtr frame, OverflowPolicy policy);
+  /// Enqueues `item`; applies its policy when full.
+  Push push(Item item);
+
+  /// Enqueues pre-encoded bytes under `policy` (shared-frame convenience).
+  Push push(FramePtr frame, OverflowPolicy policy) {
+    return push(Item{std::move(frame), policy, nullptr});
+  }
 
   /// Enqueues unconditionally, even beyond capacity. For seeding a fresh
   /// queue with replay state that must not be droppable; subsequent push()
@@ -154,14 +178,22 @@ struct FanoutStats {
 /// internal locks, so they may call back into add()/remove()/publish().
 class ShardedFanout {
  public:
-  /// Delivers one frame to one subscriber (typically a Connection::send with
-  /// a deadline). Runs on a shard worker thread. Return semantics:
+  /// Delivers one queued item to one subscriber (typically an encode step
+  /// followed by a Connection::send with a deadline). Runs on the
+  /// subscriber's shard worker thread only, so per-subscriber state owned
+  /// by the sink (compression baselines, sequence counters) needs no lock.
+  /// Return semantics:
   ///   * ok            — delivered
   ///   * kClosed       — subscriber gone; it is removed and on_dead fires
   ///   * other errors  — data frame: counted dropped (slow consumer missed a
   ///     sample); control frame: treated like kClosed, because control
   ///     traffic is lossless-or-dead.
-  using Sink = std::function<Status(const Bytes& frame)>;
+  using Sink = std::function<Status(const OutboundQueue::Item& item)>;
+
+  /// Sink form for subscribers that only handle pre-encoded shared frames
+  /// (most broadcast sites). A source-payload item is not routable to a
+  /// bytes sink: it fails delivery as an undeliverable frame.
+  using BytesSink = std::function<Status(const Bytes& frame)>;
 
   /// Invoked (outside all fanout locks, possibly from a shard worker or a
   /// publishing thread) after a subscriber has been removed for cause.
@@ -193,19 +225,40 @@ class ShardedFanout {
   void add(std::uint64_t id, Sink sink,
            std::vector<OutboundQueue::Item> replay = {});
 
+  /// add() for BytesSink subscribers (see BytesSink).
+  void add(std::uint64_t id, BytesSink sink,
+           std::vector<OutboundQueue::Item> replay = {});
+
   /// Deregisters `id`, discarding its pending frames. Idempotent; does not
   /// invoke on_dead. A frame already claimed by the worker may still be
   /// delivered concurrently with (or just after) removal.
   void remove(std::uint64_t id);
 
-  /// Enqueues `frame` to every subscriber under `policy`. Never blocks on
-  /// consumer I/O.
-  void publish(const FramePtr& frame, OverflowPolicy policy);
+  /// Enqueues a copy of `item` to every subscriber under its policy. Never
+  /// blocks on consumer I/O.
+  void publish(const OutboundQueue::Item& item);
 
-  /// Enqueues `frame` to subscriber `id` only (unicast — role notices,
+  /// publish() for a pre-encoded shared frame.
+  void publish(const FramePtr& frame, OverflowPolicy policy) {
+    publish(OutboundQueue::Item{frame, policy, nullptr});
+  }
+
+  /// Broadcasts an opaque source payload that each subscriber's sink
+  /// encodes for itself at delivery time (per-consumer payloads).
+  void publish_source(std::shared_ptr<const void> source,
+                      OverflowPolicy policy) {
+    publish(OutboundQueue::Item{nullptr, policy, std::move(source)});
+  }
+
+  /// Enqueues `item` to subscriber `id` only (unicast — role notices,
   /// replies). Shares ordering with publish(): both go through the same
   /// queue. Returns false when `id` is not subscribed.
-  bool send_to(std::uint64_t id, FramePtr frame, OverflowPolicy policy);
+  bool send_to(std::uint64_t id, OutboundQueue::Item item);
+
+  /// send_to() for a pre-encoded shared frame.
+  bool send_to(std::uint64_t id, FramePtr frame, OverflowPolicy policy) {
+    return send_to(id, OutboundQueue::Item{std::move(frame), policy, nullptr});
+  }
 
   std::size_t subscriber_count() const;
   std::size_t shard_count() const noexcept { return shards_.size(); }

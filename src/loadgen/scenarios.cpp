@@ -45,6 +45,9 @@ Status check(const ScenarioOptions& options) {
     return invalid("duration must be positive");
   }
   if (options.rate_per_sec <= 0.0) return invalid("rate must be positive");
+  if (options.stalled_connections >= options.connections) {
+    return invalid("stalled connections must leave at least one healthy");
+  }
   return Status::ok();
 }
 
@@ -190,12 +193,27 @@ Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
   server_options.width = 160;
   server_options.height = 120;
   server_options.frame_period = std::chrono::milliseconds(1);
+  server_options.pipeline_shards = options.fanout_shards;
   auto server = viz::RemoteRenderServer::start(net, scene, server_options);
   if (!server.is_ok()) return server.status();
 
+  // The first `stalled_connections` participants are deliberately wedged:
+  // a tiny receive window that fills after a frame or two, never drained.
+  // They exist to measure how well the service isolates its healthy
+  // participants from a blocked one.
+  const std::size_t stalled = options.stalled_connections;
   std::vector<viz::RemoteRenderClient> clients;
   clients.reserve(options.connections);
   for (std::size_t i = 0; i < options.connections; ++i) {
+    if (i < stalled) {
+      net::ConnectOptions wedge;
+      wedge.recv_capacity_bytes = 4096;
+      auto conn = net.connect(server_options.address,
+                              Deadline::after(std::chrono::seconds(5)), wedge);
+      if (!conn.is_ok()) return conn.status();
+      clients.push_back(viz::RemoteRenderClient::adopt(std::move(conn).value()));
+      continue;
+    }
     auto client = viz::RemoteRenderClient::connect(
         net, server_options.address, Deadline::after(std::chrono::seconds(5)));
     if (!client.is_ok()) return client.status();
@@ -205,9 +223,11 @@ Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
   const auto t_start = common::Clock::now();
   const auto end = t_start + options.duration;
   // The camera is shared (VizServer collaboration), so the view-update rate
-  // is split across participants; every update re-renders for everyone.
+  // is split across the healthy participants; every update re-renders for
+  // everyone.
   const auto view_interval = rate_interval(
-      options.rate_per_sec / static_cast<double>(options.connections));
+      options.rate_per_sec /
+      static_cast<double>(options.connections - stalled));
   std::vector<Participant> outcomes(options.connections);
   std::vector<std::thread> workers;
   workers.reserve(options.connections);
@@ -215,6 +235,13 @@ Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
     workers.emplace_back([&, i] {
       auto& client = clients[i];
       auto& out = outcomes[i];
+      if (i < stalled) {
+        // Wedged consumer: hold the connection open, drain nothing.
+        std::this_thread::sleep_until(end);
+        out.report.transport = client.stats();
+        client.disconnect();
+        return;
+      }
       common::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
       viz::Camera camera;
       auto next_view = t_start + view_interval * i / options.connections;

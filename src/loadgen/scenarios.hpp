@@ -29,9 +29,15 @@ struct ScenarioOptions {
   /// dimensions from it).
   std::size_t payload_bytes = 1024;
   std::uint64_t seed = 1;
-  /// Multiplexer fan-out worker shards (mux scenario only); 0 lets the
+  /// Fan-out / pipeline worker shards (mux and viz scenarios); 0 lets the
   /// service pick a default from hardware_concurrency.
   std::size_t fanout_shards = 0;
+  /// Of `connections`, how many are deliberately wedged consumers (viz
+  /// scenario): they connect with a tiny receive window and never drain a
+  /// frame, so the service's slow-client isolation is what the healthy
+  /// participants' latency distribution measures. Stalled participants
+  /// record no latency samples.
+  std::size_t stalled_connections = 0;
 };
 
 /// Steering fan-out soak: one simulation pushes timestamped samples through

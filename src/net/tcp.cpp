@@ -74,17 +74,43 @@ class TcpConnection : public Connection {
       return Status{StatusCode::kInvalidArgument, "message too large"};
     }
     std::scoped_lock lock(send_mutex_);
+    // A previous send may have timed out mid-message; its unsent tail must
+    // reach the peer before anything else or the length-prefixed stream
+    // desynchronizes permanently. Until the tail is flushed, no byte of a
+    // new message enters the stream, so a timeout here is still retryable.
+    if (!send_tail_.empty()) {
+      std::size_t done = 0;
+      const Status s =
+          send_all(send_tail_.data(), send_tail_.size(), deadline, done);
+      send_tail_.erase(send_tail_.begin(),
+                       send_tail_.begin() + static_cast<std::ptrdiff_t>(done));
+      if (!s.is_ok()) return s;
+    }
     std::uint8_t header[4];
     const auto n = static_cast<std::uint32_t>(message.size());
     header[0] = static_cast<std::uint8_t>(n >> 24);
     header[1] = static_cast<std::uint8_t>(n >> 16);
     header[2] = static_cast<std::uint8_t>(n >> 8);
     header[3] = static_cast<std::uint8_t>(n);
-    if (Status s = send_all(header, sizeof(header), deadline); !s.is_ok())
+    std::size_t header_done = 0;
+    std::size_t payload_done = 0;
+    Status s = send_all(header, sizeof(header), deadline, header_done);
+    if (s.is_ok()) {
+      s = send_all(message.data(), message.size(), deadline, payload_done);
+    }
+    if (!s.is_ok()) {
+      // With zero progress nothing entered the stream — the timeout is
+      // cleanly retryable. Otherwise preserve framing across the abort:
+      // everything unsent becomes the tail the next send() must flush
+      // first. The caller may treat the message as missed (supersedable
+      // data), but the peer still observes a well-formed stream.
+      if (header_done + payload_done > 0) {
+        send_tail_.assign(header + header_done, header + sizeof(header));
+        send_tail_.insert(send_tail_.end(), message.begin() + payload_done,
+                          message.end());
+      }
       return s;
-    if (Status s = send_all(message.data(), message.size(), deadline);
-        !s.is_ok())
-      return s;
+    }
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
     bytes_sent_.fetch_add(message.size(), std::memory_order_relaxed);
     return Status::ok();
@@ -132,9 +158,12 @@ class TcpConnection : public Connection {
   }
 
  private:
-  Status send_all(const void* data, std::size_t size, Deadline deadline) {
+  /// Writes `size` bytes, reporting progress through `done` so a caller
+  /// aborted by a deadline knows exactly where the stream stands.
+  Status send_all(const void* data, std::size_t size, Deadline deadline,
+                  std::size_t& done) {
     const auto* p = static_cast<const std::uint8_t*>(data);
-    std::size_t done = 0;
+    done = 0;
     while (done < size) {
       if (!open_.load(std::memory_order_acquire)) {
         return Status{StatusCode::kClosed, "connection closed"};
@@ -187,6 +216,9 @@ class TcpConnection : public Connection {
   std::string peer_;
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
+  /// Unsent remainder of a message aborted mid-write by a deadline;
+  /// flushed ahead of the next message (guarded by send_mutex_).
+  Bytes send_tail_;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_received_{0};

@@ -242,6 +242,8 @@ void ProxyServer::enqueue_to_all(const common::FramePtr& frame,
       case common::OutboundQueue::Push::kRejectedOverflow:
         doomed.push_back(id);
         break;
+      case common::OutboundQueue::Push::kCoalesced:
+        break;  // replaced a queued frame in place; accounting unchanged
     }
   }
   for (std::uint64_t id : doomed) {
@@ -269,6 +271,8 @@ bool ProxyServer::enqueue_to(std::uint64_t id, common::FramePtr frame,
       ++stats_.overflow_disconnects;
       detach_locked(id);
       return false;
+    case common::OutboundQueue::Push::kCoalesced:
+      return true;  // replaced a queued frame in place
   }
   return false;
 }

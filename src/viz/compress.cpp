@@ -150,4 +150,21 @@ Result<Image> decompress_frame_delta(ByteSpan data, const Image& previous) {
                           raw);
 }
 
+Bytes DeltaEncoder::encode(std::shared_ptr<const Image> frame) {
+  Bytes out = baseline_ ? compress_frame_delta(*frame, *baseline_)
+                        : compress_frame(*frame);
+  pending_ = std::move(frame);
+  return out;
+}
+
+void DeltaEncoder::commit() {
+  if (!pending_) return;
+  baseline_ = std::move(pending_);
+}
+
+void DeltaEncoder::reset() {
+  baseline_.reset();
+  pending_.reset();
+}
+
 }  // namespace cs::viz

@@ -7,6 +7,8 @@
 // exploit the small camera/scene motion between consecutive frames.
 #pragma once
 
+#include <memory>
+
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "viz/image.hpp"
@@ -28,5 +30,56 @@ common::Bytes compress_frame_delta(const Image& frame, const Image& previous);
 /// for deltas).
 common::Result<Image> decompress_frame_delta(common::ByteSpan data,
                                              const Image& previous);
+
+/// Stateful per-consumer delta encoder — the reentrant, state-explicit form
+/// of compress_frame_delta(). Each remote participant owns one instance,
+/// and the baseline advances only on commit(), i.e. only once the encoded
+/// frame was actually delivered to that participant. A frame whose send
+/// failed (or that was shed from a queue before ever being encoded) can
+/// therefore never become a delta baseline: the decoder applies deltas
+/// against the last frame it *received*, and the chain stays coherent
+/// through drops, timeouts, and reconnects.
+///
+/// Baselines are held as shared pointers, never copied, so N consumers of
+/// one broadcast share the published frame rather than owning N images.
+///
+/// Not internally synchronized: an instance belongs to the single pipeline
+/// worker that encodes for its consumer.
+class DeltaEncoder {
+ public:
+  /// Encodes `frame` as a delta against the committed baseline, or as a
+  /// self-contained key frame when there is none (or dimensions changed).
+  /// Stages `frame` as the pending baseline: call commit() once the bytes
+  /// were delivered, reset() if they were not.
+  common::Bytes encode(std::shared_ptr<const Image> frame);
+
+  /// Stages `frame` as the pending baseline without encoding — for callers
+  /// that obtained the wire bytes elsewhere (e.g. a broadcast-wide delta
+  /// encoded once for every consumer whose baseline is the previous
+  /// frame). Same contract as encode(): commit() on delivery, reset() on
+  /// failure.
+  void stage(std::shared_ptr<const Image> frame) {
+    pending_ = std::move(frame);
+  }
+
+  /// The frame from the last encode()/stage() reached the consumer: it
+  /// becomes the baseline for the next delta.
+  void commit();
+
+  /// Delivery failed or the consumer's state is unknown: drops all
+  /// baseline state so the next encode() emits a key frame.
+  void reset();
+
+  /// True when the next encode() would emit a delta rather than a key
+  /// frame (dimensions permitting).
+  bool has_baseline() const noexcept { return baseline_ != nullptr; }
+
+  /// The committed baseline (null when the next frame is a key frame).
+  const Image* baseline() const noexcept { return baseline_.get(); }
+
+ private:
+  std::shared_ptr<const Image> baseline_;
+  std::shared_ptr<const Image> pending_;
+};
 
 }  // namespace cs::viz

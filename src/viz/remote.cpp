@@ -1,5 +1,8 @@
 #include "viz/remote.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/strings.hpp"
 #include "wire/message.hpp"
 
@@ -16,9 +19,10 @@ using common::Vec3;
 
 namespace {
 constexpr auto kPumpSlice = std::chrono::milliseconds(50);
-constexpr std::uint32_t kTagView = 0x7601;   // viewpoint event (control)
-constexpr std::uint32_t kTagFrame = 0x7602;  // compressed frame (data)
-constexpr std::uint32_t kTagScene = 0x7603;  // geometry snapshot (data)
+constexpr std::uint32_t kTagView = 0x7601;     // viewpoint event (control)
+constexpr std::uint32_t kTagFrame = 0x7602;    // compressed frame (data)
+constexpr std::uint32_t kTagScene = 0x7603;    // geometry snapshot (data)
+constexpr std::uint32_t kTagViewAck = 0x7604;  // applied-view ack (control)
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -195,8 +199,14 @@ Result<std::unique_ptr<RemoteRenderServer>> RemoteRenderServer::start(
   server->scene_ = std::move(scene);
   server->listener_ = std::move(listener).value();
   RemoteRenderServer* self = server.get();
-  server->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  common::ShardedFanout::Options pipeline_options;
+  pipeline_options.shards =
+      options.pipeline_shards != 0
+          ? options.pipeline_shards
+          : std::clamp<std::size_t>(std::thread::hardware_concurrency(), 2, 8);
+  pipeline_options.queue_capacity = options.queue_capacity;
+  server->pipeline_ = std::make_unique<common::ShardedFanout>(
+      pipeline_options, [self](std::uint64_t id) { self->drop_client(id); });
   server->render_thread_ =
       std::jthread([self](std::stop_token st) { self->render_loop(st); });
   return server;
@@ -206,17 +216,23 @@ RemoteRenderServer::~RemoteRenderServer() { stop(); }
 
 void RemoteRenderServer::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   render_thread_.request_stop();
   if (listener_) listener_->close();
+  if (render_thread_.joinable()) render_thread_.join();
+  // Close every client connection first — that wakes any pipeline worker
+  // blocked inside a send with kClosed immediately — then join the
+  // workers. The lock is not held across pipeline_->stop(): a worker may
+  // be blocked in its on-dead callback (drop_client) waiting for it.
+  {
+    std::scoped_lock lock(clients_mutex_);
+    for (auto& [id, client] : clients_) client.conn->close();
+  }
+  if (pipeline_) pipeline_->stop();
   std::vector<Client> doomed;
   std::vector<std::jthread> graves;
   {
-    std::scoped_lock lock(mutex_);
-    for (auto& [id, c] : clients_) {
-      c.conn->close();
-      doomed.push_back(std::move(c));
-    }
+    std::scoped_lock lock(clients_mutex_);
+    for (auto& [id, client] : clients_) doomed.push_back(std::move(client));
     clients_.clear();
     graves = std::move(graveyard_);
   }
@@ -235,39 +251,184 @@ void RemoteRenderServer::stop() {
 }
 
 std::size_t RemoteRenderServer::client_count() const {
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(clients_mutex_);
   return clients_.size();
 }
 
 RemoteRenderServer::Stats RemoteRenderServer::stats() const {
-  std::scoped_lock lock(mutex_);
-  return stats_;
+  Stats out;
+  out.frames_rendered = frames_rendered_.load(std::memory_order_relaxed);
+  out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  out.view_events = view_events_.load(std::memory_order_relaxed);
+  out.fanout = pipeline_->stats();
+  return out;
 }
 
-void RemoteRenderServer::accept_loop(const std::stop_token& st) {
+void RemoteRenderServer::render_loop(const std::stop_token& st) {
+  Renderer renderer(options_.width, options_.height);
+  std::uint64_t seen_scene = ~0ull;
+  std::uint64_t seen_camera = 0;
+  // The latest published frame, kept for seeding newcomers: a client
+  // joining an in-progress session is keyed with exactly the image every
+  // sibling already has, so a join never forces a re-render for everyone
+  // (the old camera_version_ bump) and all participants observe the same
+  // image sequence.
+  std::shared_ptr<const RenderedFrame> last_published;
   while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
+    // Ordering is what makes the shared-camera handshake deterministic:
+    // observe the version counters first, then admit pending connections.
+    // A connection whose connect() completed before a camera change was
+    // applied is in the listener backlog by the time the change is visible
+    // here, so it is admitted — seeded with the previous frame — strictly
+    // before the frame for that change is published. Every participant
+    // sees the same sequence of images regardless of how accepts, view
+    // events, and renders interleave.
+    Camera camera;
+    std::uint64_t observed_camera = 0;
+    std::uint64_t observed_scene = 0;
+    bool dirty = false;
+    {
+      std::scoped_lock lock(camera_mutex_);
+      observed_camera = camera_version_;
+      observed_scene = scene_->version();
+      camera = camera_;
+      dirty = (observed_camera != seen_camera || observed_scene != seen_scene);
+    }
+    admit_clients(last_published);
+    // A client joining a session that has never rendered needs no special
+    // case: seen_* only advance alongside a publish, so until the first
+    // publish the initial camera version is still unconsumed and dirty
+    // holds — the newcomer's first frame renders this same iteration.
+    if (!dirty) {
+      std::this_thread::sleep_for(options_.frame_period);
       continue;
     }
-    std::scoped_lock lock(mutex_);
-    const std::uint64_t id = next_client_id_++;
-    Client client;
-    client.conn = std::move(conn).value();
-    clients_.emplace(id, std::move(client));
-    clients_[id].pump = std::jthread(
-        [this, id](std::stop_token pst) { client_pump(pst, id); });
-    // Force a fresh frame for everyone (the newcomer needs a key frame).
-    camera_version_++;
+    if (pipeline_->subscriber_count() == 0) {
+      // Nobody to draw for — but leave the change unconsumed (seen_* not
+      // advanced): a client joining later must still get a frame of the
+      // current state, not a stale seed of the pre-change image.
+      std::this_thread::sleep_for(options_.frame_period);
+      continue;
+    }
+    seen_camera = observed_camera;
+    seen_scene = observed_scene;
+    scene_->render(renderer, camera);
+    frames_rendered_.fetch_add(1, std::memory_order_relaxed);
+    // Publish once. The common delta (vs. the previous frame) and its wire
+    // message are encoded here exactly once per broadcast; a client's
+    // pipeline worker reuses them when that client's delivered baseline is
+    // the previous frame, and delta-compresses against the client's own
+    // history otherwise. The render loop never touches a connection.
+    RenderedFrame frame;
+    frame.image = std::make_shared<const Image>(renderer.frame());
+    frame.seq = last_published ? last_published->seq + 1 : 1;
+    if (last_published) {
+      const Bytes payload =
+          compress_frame_delta(*frame.image, *last_published->image);
+      frame.delta_payload_bytes = payload.size();
+      frame.wire_from_prev =
+          wire::make_data_message(kTagFrame, payload.data(), payload.size())
+              .encode();
+    }
+    last_published = std::make_shared<const RenderedFrame>(std::move(frame));
+    pipeline_->publish_source(last_published,
+                              common::OverflowPolicy::kDropOldest);
   }
+}
+
+void RemoteRenderServer::admit_clients(
+    const std::shared_ptr<const RenderedFrame>& last_published) {
+  for (;;) {
+    auto conn = listener_->accept(Deadline::expired());
+    if (!conn.is_ok()) break;  // kTimeout: backlog empty; kClosed: stopping
+    admit(std::move(conn).value(), last_published);
+  }
+}
+
+void RemoteRenderServer::admit(
+    net::ConnectionPtr conn,
+    const std::shared_ptr<const RenderedFrame>& last_published) {
+  std::uint64_t id = 0;
+  {
+    std::scoped_lock lock(clients_mutex_);
+    id = next_client_id_++;
+    clients_[id].conn = conn;
+  }
+  // The newcomer's key frame is the seeded replay: its fresh DeltaEncoder
+  // has no baseline, so the seed encodes self-contained, and every delta
+  // published afterwards chains from it.
+  std::vector<common::OutboundQueue::Item> replay;
+  if (last_published) {
+    replay.push_back({nullptr, common::OverflowPolicy::kDropOldest,
+                      last_published});
+  }
+  auto lane = std::make_shared<Lane>();
+  lane->conn = conn;
+  pipeline_->add(
+      id,
+      common::ShardedFanout::Sink{
+          [this, lane](const common::OutboundQueue::Item& item) {
+            return deliver(*lane, item);
+          }},
+      std::move(replay));
+  // Start the pump only once the subscription exists, so a view ack can
+  // never race its own client's registration.
+  std::scoped_lock lock(clients_mutex_);
+  auto it = clients_.find(id);
+  if (it != clients_.end()) {
+    it->second.pump = std::jthread(
+        [this, id](std::stop_token pst) { client_pump(pst, id); });
+  }
+}
+
+Status RemoteRenderServer::deliver(Lane& lane,
+                                   const common::OutboundQueue::Item& item) {
+  const Deadline deadline = Deadline::after(options_.send_deadline);
+  if (item.frame) {  // pre-encoded control traffic (view acks)
+    return lane.conn->send(*item.frame, deadline);
+  }
+  const auto& rendered = *static_cast<const RenderedFrame*>(item.source.get());
+  // Fast path: this client's delivered baseline is the previous frame, so
+  // the broadcast-wide delta message (encoded once, in the render loop) is
+  // exactly this client's frame. Divergent history — fresh join, dropped
+  // frame, failed send — falls back to a per-client encode keyed off what
+  // this client actually received.
+  Bytes encoded;
+  const Bytes* wire = nullptr;
+  std::size_t payload_bytes = 0;
+  if (!rendered.wire_from_prev.empty() &&
+      lane.delivered_seq + 1 == rendered.seq && lane.encoder.has_baseline()) {
+    wire = &rendered.wire_from_prev;
+    payload_bytes = rendered.delta_payload_bytes;
+    lane.encoder.stage(rendered.image);
+  } else {
+    const Bytes payload = lane.encoder.encode(rendered.image);
+    payload_bytes = payload.size();
+    encoded = wire::make_data_message(kTagFrame, payload.data(), payload.size())
+                  .encode();
+    wire = &encoded;
+  }
+  const Status s = lane.conn->send(*wire, deadline);
+  if (s.is_ok()) {
+    lane.encoder.commit();
+    lane.delivered_seq = rendered.seq;
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  } else {
+    // The client never received this frame: the next delta must not be
+    // keyed off it. Drop the baseline so the next frame is a key frame.
+    lane.encoder.reset();
+    lane.delivered_seq = 0;
+  }
+  return s;
 }
 
 void RemoteRenderServer::client_pump(const std::stop_token& st,
                                      std::uint64_t id) {
   net::ConnectionPtr conn;
   {
-    std::scoped_lock lock(mutex_);
+    std::scoped_lock lock(clients_mutex_);
     auto it = clients_.find(id);
     if (it == clients_.end()) return;
     conn = it->second.conn;
@@ -276,82 +437,56 @@ void RemoteRenderServer::client_pump(const std::stop_token& st,
     auto raw = conn->recv(Deadline::after(kPumpSlice));
     if (!raw.is_ok()) {
       if (raw.status().code() == StatusCode::kClosed) {
-        std::scoped_lock lock(mutex_);
-        auto it = clients_.find(id);
-        if (it != clients_.end()) {
-          it->second.conn->close();
-          it->second.pump.request_stop();
-          graveyard_.push_back(std::move(it->second.pump));
-          clients_.erase(it);
-        }
+        drop_client(id);
         return;
       }
       continue;
     }
     auto m = wire::Message::decode(raw.value());
     if (!m.is_ok()) continue;
-    if (m.value().header.tag == kTagView) {
-      auto body = wire::extract_string(m.value());
-      if (!body.is_ok()) continue;
-      auto camera = Camera::parse(body.value());
-      if (!camera.is_ok()) continue;
-      std::scoped_lock lock(mutex_);
+    if (m.value().header.tag != kTagView) continue;
+    auto body = wire::extract_string(m.value());
+    if (!body.is_ok()) continue;
+    auto camera = Camera::parse(body.value());
+    if (!camera.is_ok()) continue;
+    {
+      std::scoped_lock lock(camera_mutex_);
       camera_ = camera.value();  // shared camera: VizServer collaboration
-      ++camera_version_;
+      const std::uint64_t version = ++camera_version_;
+      // Ack the applied view to its sender. Control class: lossless-or-dead
+      // (an ack is never shed; a client that cannot take one is torn down),
+      // coalescing on the tag so a burst of view events supersedes the
+      // queued ack in place instead of overflowing the shallow queue.
+      // Enqueued while the camera lock is held so the render loop cannot
+      // observe the new version — and publish its frame — first: in the
+      // sender's queue the ack always precedes the frame it provoked.
+      common::OutboundQueue::Item ack;
+      ack.frame = common::make_frame(
+          wire::make_control_message(kTagViewAck, std::to_string(version))
+              .encode());
+      ack.policy = common::OverflowPolicy::kDisconnect;
+      ack.coalesce_key = kTagViewAck;
+      (void)pipeline_->send_to(id, std::move(ack));
     }
+    view_events_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void RemoteRenderServer::render_loop(const std::stop_token& st) {
-  Renderer renderer(options_.width, options_.height);
-  std::uint64_t seen_scene = ~0ull;
-  std::uint64_t seen_camera = 0;
-  while (!st.stop_requested()) {
-    Camera camera;
-    bool dirty = false;
-    {
-      std::scoped_lock lock(mutex_);
-      if (camera_version_ != seen_camera || scene_->version() != seen_scene) {
-        seen_camera = camera_version_;
-        seen_scene = scene_->version();
-        camera = camera_;
-        dirty = !clients_.empty();
-      }
-    }
-    if (!dirty) {
-      std::this_thread::sleep_for(options_.frame_period);
-      continue;
-    }
-    scene_->render(renderer, camera);
-    {
-      std::scoped_lock lock(mutex_);
-      ++stats_.frames_rendered;
-    }
-    // Compress per client (delta against what that client last saw).
-    std::vector<std::pair<std::uint64_t, net::ConnectionPtr>> targets;
-    {
-      std::scoped_lock lock(mutex_);
-      for (auto& [id, c] : clients_) targets.emplace_back(id, c.conn);
-    }
-    for (auto& [id, conn] : targets) {
-      Bytes payload;
-      {
-        std::scoped_lock lock(mutex_);
-        auto it = clients_.find(id);
-        if (it == clients_.end()) continue;
-        payload = compress_frame_delta(renderer.frame(), it->second.last_frame);
-        it->second.last_frame = renderer.frame();
-      }
-      const auto frame_msg =
-          wire::make_data_message(kTagFrame, payload.data(), payload.size());
-      if (conn->send(frame_msg.encode(), Deadline::after(std::chrono::seconds(1)))
-              .is_ok()) {
-        std::scoped_lock lock(mutex_);
-        ++stats_.frames_sent;
-        stats_.bytes_sent += payload.size();
-      }
-    }
-  }
+void RemoteRenderServer::drop_client(std::uint64_t id) {
+  // Deregister from the pipeline first so no further frames are queued; an
+  // item already claimed by a worker may still complete against the
+  // closing connection, which reports kClosed harmlessly.
+  pipeline_->remove(id);
+  std::scoped_lock lock(clients_mutex_);
+  auto it = clients_.find(id);
+  if (it == clients_.end()) return;
+  it->second.conn->close();
+  it->second.pump.request_stop();
+  // This may run on the client's own pump thread (or a pipeline worker),
+  // so the jthread cannot be joined here; it is parked and joined at
+  // stop() time.
+  graveyard_.push_back(std::move(it->second.pump));
+  clients_.erase(it);
 }
 
 // ---------------------------------------------------------------------------
@@ -386,6 +521,13 @@ Result<Image> RemoteRenderClient::await_frame(Deadline deadline) {
     if (!raw.is_ok()) return raw.status();
     auto m = wire::Message::decode(raw.value());
     if (!m.is_ok()) return m.status();
+    if (m.value().header.tag == kTagViewAck) {
+      auto body = wire::extract_string(m.value());
+      if (body.is_ok()) {
+        last_view_ack_ = std::strtoull(body.value().c_str(), nullptr, 10);
+      }
+      continue;
+    }
     if (m.value().header.tag != kTagFrame) continue;
     auto image = decompress_frame_delta(m.value().payload, frame_);
     if (!image.is_ok()) return image.status();

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fanout.hpp"
 #include "common/status.hpp"
 #include "net/transport.hpp"
 #include "viz/camera.hpp"
@@ -67,20 +68,48 @@ class SceneStore {
 // VizServer-style pipeline
 // ---------------------------------------------------------------------------
 
+/// The render server's frame pipeline is built on the shared fan-out
+/// primitives (common/fanout.hpp): the render loop only renders and
+/// publishes; per-client delta compression and delivery run on the
+/// pipeline's shard workers, each client keyed off the frames it actually
+/// received. One stalled participant can never stall the render loop or
+/// its siblings' frames.
 class RemoteRenderServer {
  public:
   struct Options {
     std::string address;
     int width = 320;
     int height = 240;
-    /// Render-loop poll period for scene/camera changes.
+    /// Render-loop poll period for scene/camera changes (also the admission
+    /// latency bound for a new connection).
     common::Duration frame_period = std::chrono::milliseconds(5);
+    /// Per-send deadline on a pipeline worker. Bounds how long one wedged
+    /// participant can occupy its shard per pass; the render loop itself
+    /// never blocks on a send. A client that cannot take a frame within
+    /// this bound misses that frame (supersedable data) — correct for
+    /// frames, so keep it tight.
+    common::Duration send_deadline = std::chrono::milliseconds(100);
+    /// Pipeline worker shards; 0 picks a default from
+    /// hardware_concurrency, at least 2 so a wedged client never has every
+    /// sibling behind it (the workers block on sends, not the CPU, so
+    /// shards beyond the core count still isolate).
+    std::size_t pipeline_shards = 0;
+    /// Per-client outbound queue bound, in frames. Frames are supersedable
+    /// (kDropOldest): a shallow queue keeps delivered frames fresh — a
+    /// slow client is at most this many frames stale, and under overload
+    /// everyone degrades to freshest-wins rather than a growing backlog.
+    /// (View acks are control class and are never evicted.)
+    std::size_t queue_capacity = 2;
   };
 
   struct Stats {
     std::uint64_t frames_rendered = 0;
     std::uint64_t frames_sent = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t view_events = 0;
+    /// Per-shard pipeline counters: queue depths/high-water, per-class
+    /// delivery and drop counts, disconnects.
+    common::FanoutStats fanout;
   };
 
   static common::Result<std::unique_ptr<RemoteRenderServer>> start(
@@ -91,33 +120,82 @@ class RemoteRenderServer {
   RemoteRenderServer& operator=(const RemoteRenderServer&) = delete;
   void stop();
 
+  /// Bound address (resolves kernel-assigned ports for TCP listeners).
+  std::string address() const { return listener_->address(); }
+
   std::size_t client_count() const;
   Stats stats() const;
 
  private:
-  RemoteRenderServer() = default;
-  void accept_loop(const std::stop_token& st);
-  void client_pump(const std::stop_token& st, std::uint64_t id);
-  void render_loop(const std::stop_token& st);
+  /// One rendered frame, published once and shared by every client's
+  /// pipeline queue. The render loop also encodes the common case once: a
+  /// delta against the immediately preceding frame, valid for every client
+  /// whose delivered baseline is that frame (in steady state, all of
+  /// them). Clients whose history diverged — fresh joins, drops, failed
+  /// sends — get a per-client encode on their pipeline worker instead.
+  struct RenderedFrame {
+    std::shared_ptr<const Image> image;
+    std::uint64_t seq = 0;
+    /// Fully encoded kTagFrame wire message carrying the delta of `image`
+    /// vs. frame seq-1; empty when seq is the first frame.
+    common::Bytes wire_from_prev;
+    /// Compressed payload size inside wire_from_prev (bytes accounting).
+    std::size_t delta_payload_bytes = 0;
+  };
+
+  /// Per-client delivery lane, owned by the sink closure. Touched only by
+  /// the one pipeline worker that serves this client, so the delta
+  /// baseline needs no lock.
+  struct Lane {
+    net::ConnectionPtr conn;
+    DeltaEncoder encoder;
+    /// Sequence of the last RenderedFrame delivered (0 = none): gates the
+    /// shared delta_from_prev fast path.
+    std::uint64_t delivered_seq = 0;
+  };
 
   struct Client {
     net::ConnectionPtr conn;
-    Image last_frame;
     std::jthread pump;
   };
+
+  RemoteRenderServer() = default;
+  void render_loop(const std::stop_token& st);
+  /// Drains the listener backlog, registering each connection with the
+  /// pipeline (seeded with `last_published` so a newcomer immediately
+  /// receives the current shared view as a key frame; before the first
+  /// publish there is nothing to seed, but then the initial camera version
+  /// is still unconsumed and the render loop draws the first frame in the
+  /// same iteration).
+  void admit_clients(
+      const std::shared_ptr<const RenderedFrame>& last_published);
+  void admit(net::ConnectionPtr conn,
+             const std::shared_ptr<const RenderedFrame>& last_published);
+  void client_pump(const std::stop_token& st, std::uint64_t id);
+  /// Compresses (data frames) and sends one queued item for `lane`'s
+  /// client; runs on a pipeline worker.
+  common::Status deliver(Lane& lane, const common::OutboundQueue::Item& item);
+  /// Deregisters a client and parks its pump for joining at stop(). Safe
+  /// from any thread, including the client's own pump and the pipeline
+  /// workers (on_dead).
+  void drop_client(std::uint64_t id);
 
   Options options_;
   std::shared_ptr<SceneStore> scene_;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
+  std::unique_ptr<common::ShardedFanout> pipeline_;
   std::jthread render_thread_;
-  mutable std::mutex mutex_;
+  mutable std::mutex clients_mutex_;  // guards clients_, graveyard_, ids
   std::map<std::uint64_t, Client> clients_;
   std::vector<std::jthread> graveyard_;
   std::uint64_t next_client_id_ = 1;
+  mutable std::mutex camera_mutex_;  // guards the shared camera + version
   Camera camera_;
   std::uint64_t camera_version_ = 1;
-  Stats stats_;
+  std::atomic<std::uint64_t> frames_rendered_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> view_events_{0};
   std::atomic<bool> stopped_{false};
 };
 
@@ -137,6 +215,11 @@ class RemoteRenderClient {
 
   const Image& current_frame() const noexcept { return frame_; }
 
+  /// Camera version from the most recent view ack observed while awaiting
+  /// frames (the server acks each applied viewpoint event on a lossless
+  /// control frame); 0 before the first ack.
+  std::uint64_t last_view_ack() const noexcept { return last_view_ack_; }
+
   /// Traffic counters of the underlying connection (zeros when detached).
   net::ConnStats stats() const {
     return conn_ ? conn_->stats() : net::ConnStats{};
@@ -147,6 +230,7 @@ class RemoteRenderClient {
  private:
   net::ConnectionPtr conn_;
   Image frame_;
+  std::uint64_t last_view_ack_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -125,6 +125,30 @@ TEST(OutboundQueue, EvictionSkipsControlToReachData) {
   EXPECT_EQ(q.pop().frame->front(), 4u);
 }
 
+TEST(OutboundQueue, CoalesceKeyReplacesInPlace) {
+  // Items carrying the same non-zero coalesce_key supersede each other: a
+  // burst occupies one slot, keeps its queue position, and can never push
+  // an all-control queue into overflow.
+  OutboundQueue q(2);
+  const auto keyed = [](std::uint8_t tag) {
+    OutboundQueue::Item item;
+    item.frame = frame_of(tag);
+    item.policy = OverflowPolicy::kDisconnect;
+    item.coalesce_key = 42;
+    return item;
+  };
+  EXPECT_EQ(q.push(keyed(1)), OutboundQueue::Push::kQueued);
+  EXPECT_EQ(q.push(frame_of(2), OverflowPolicy::kDisconnect),
+            OutboundQueue::Push::kQueued);
+  // Queue is full of control frames, but the keyed push replaces its
+  // predecessor instead of rejecting.
+  EXPECT_EQ(q.push(keyed(3)), OutboundQueue::Push::kCoalesced);
+  EXPECT_EQ(q.push(keyed(4)), OutboundQueue::Push::kCoalesced);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().frame->front(), 4u);  // kept its (first) position
+  EXPECT_EQ(q.pop().frame->front(), 2u);
+}
+
 TEST(OutboundQueue, TracksHighWater) {
   OutboundQueue q(8);
   for (std::uint8_t i = 0; i < 5; ++i) {
@@ -383,6 +407,61 @@ TEST(ShardedFanout, StatsReconcileUnderConcurrentPublish) {
   }
   EXPECT_EQ(shard_delivered, stats.data_delivered);
   EXPECT_EQ(shard_subs, static_cast<std::size_t>(kSubs));
+}
+
+TEST(ShardedFanout, SourcePayloadsEncodePerConsumer) {
+  // publish_source() hands every subscriber's sink the same shared source
+  // object; each sink produces its own bytes at delivery time. This is the
+  // per-consumer payload path (viz delta compression): the expensive
+  // per-consumer encode runs on the consumer's worker, not the publisher.
+  ShardedFanout::Options options;
+  options.shards = 2;
+  ShardedFanout fanout(options, nullptr);
+  struct Seen {
+    std::atomic<const void*> source{nullptr};
+    std::atomic<int> count{0};
+  };
+  Seen a, b;
+  const auto sink_for = [](Seen& seen) {
+    return [&seen](const OutboundQueue::Item& item) {
+      EXPECT_EQ(item.frame, nullptr);
+      seen.source.store(item.source.get());
+      seen.count.fetch_add(1);
+      return Status::ok();
+    };
+  };
+  fanout.add(1, ShardedFanout::Sink{sink_for(a)});
+  fanout.add(2, ShardedFanout::Sink{sink_for(b)});
+  auto payload = std::make_shared<const int>(7);
+  fanout.publish_source(payload, OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(
+      wait_for([&] { return a.count.load() == 1 && b.count.load() == 1; }));
+  EXPECT_EQ(a.source.load(), payload.get());  // shared, not copied
+  EXPECT_EQ(b.source.load(), payload.get());
+  const auto stats = fanout.stats();
+  EXPECT_EQ(stats.data_enqueued, 2u);
+  EXPECT_EQ(stats.data_delivered, 2u);
+  fanout.stop();
+}
+
+TEST(ShardedFanout, SourcePayloadToBytesSinkIsUndeliverable) {
+  // A bytes sink cannot encode a source payload: the item fails delivery —
+  // shed for data, lossless-or-dead for control.
+  ShardedFanout::Options options;
+  options.shards = 1;
+  std::atomic<std::uint64_t> dead_id{0};
+  ShardedFanout fanout(options,
+                       [&](std::uint64_t id) { dead_id.store(id); });
+  GatedSink sink;
+  fanout.add(5, std::ref(sink));
+  auto payload = std::make_shared<const int>(1);
+  fanout.publish_source(payload, OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(wait_for([&] { return fanout.stats().data_dropped == 1; }));
+  EXPECT_EQ(fanout.subscriber_count(), 1u);  // data drop is not a teardown
+  fanout.publish_source(payload, OverflowPolicy::kDisconnect);
+  ASSERT_TRUE(wait_for([&] { return fanout.subscriber_count() == 0; }));
+  EXPECT_EQ(dead_id.load(), 5u);
+  fanout.stop();
 }
 
 TEST(ShardedFanout, StopIsIdempotentAndSafeAfterwards) {

@@ -3,6 +3,7 @@
 // implementation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
@@ -510,6 +511,45 @@ TEST_P(TransportParity, CloseWakesBlockedSend) {
   closer.join();
   EXPECT_EQ(s.code(), StatusCode::kClosed);
   EXPECT_LT(elapsed, 5s);  // woken by close(), not by the deadline
+}
+
+TEST_P(TransportParity, TimedOutSendsDoNotCorruptFraming) {
+  // A send abandoned at its deadline mid-message must not desynchronize
+  // the stream: every message the receiver does get has to arrive intact
+  // (TCP stashes the unsent tail and flushes it before the next message;
+  // inproc messages are all-or-nothing).
+  TransportPair pair = GetParam().make();
+  const Bytes chunk(GetParam().chunk_bytes, 0xa5);
+  ASSERT_TRUE(fill_until_blocked(*pair.client, chunk.size()));
+  // Several more sends time out against the full window; with a partially
+  // written message on the wire this is where framing would break.
+  for (int i = 0; i < 3; ++i) {
+    (void)pair.client->send(chunk, Deadline::after(30ms));
+  }
+  // Drain everything, then ship a distinct marker message after the chaos.
+  const Bytes marker{1, 2, 3};
+  std::thread drainer([&] {
+    for (;;) {
+      auto raw = pair.server->recv(Deadline::after(2s));
+      if (!raw.is_ok()) break;  // timeout: stream drained (or closed)
+      // Every delivered message is bit-exact: either one of the uniform
+      // fill chunks (fill_until_blocked uses 0x5a, ours 0xa5) or the
+      // marker. A garbled length prefix or sheared payload fails here.
+      const Bytes& m = raw.value();
+      const bool uniform_chunk =
+          m.size() == chunk.size() &&
+          std::all_of(m.begin(), m.end(),
+                      [&](std::uint8_t b) { return b == m.front(); });
+      ASSERT_TRUE(m == marker || uniform_chunk)
+          << "framing corrupted: got " << m.size() << " bytes";
+      if (m == marker) return;  // marker arrived intact
+    }
+    FAIL() << "marker message never arrived";
+  });
+  EXPECT_TRUE(pair.client->send(marker, Deadline::after(10s)).is_ok());
+  drainer.join();
+  pair.client->close();
+  pair.server->close();
 }
 
 TEST_P(TransportParity, DrainingReopensTheWindow) {
