@@ -46,8 +46,11 @@ void usage(const char* argv0) {
       "(default 200)\n"
       "  --payload=N                    payload bytes (default 1024)\n"
       "  --seed=N                       RNG seed (default 1)\n"
-      "  --shards=N                     mux/viz fan-out worker shards "
+      "  --shards=N                     mux/viz/media fan-out worker shards "
       "(default auto)\n"
+      "  --bridged=N                    media: receivers placed behind the "
+      "unicast\n"
+      "                                 bridge (default: half)\n"
       "  --stalled=N                    viz: wedge N participants (tiny "
       "recv window,\n"
       "                                 never drained) to probe slow-client "
@@ -58,7 +61,11 @@ void usage(const char* argv0) {
       "  --pattern=push|pull|duplex|burst  traffic shape (default duplex)\n"
       "  --transport=inproc|tcp            substrate (default inproc)\n"
       "  --min-payload=N --max-payload=N   seeded payload sizing range\n"
-      "  --ramp-ms=N                       connect ramp-up (default 0)\n",
+      "  --ramp-ms=N                       connect ramp-up (default 0)\n"
+      "  --batch=N                         wire batch depth: frames per "
+      "send_many\n"
+      "                                    (request/reply: pipelining depth; "
+      "default 1)\n",
       argv0);
 }
 
@@ -112,6 +119,10 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       w.seed = n;
     } else if (key == "--shards" && parse_u64(value.c_str(), n)) {
       s.fanout_shards = n;
+    } else if (key == "--bridged" && parse_u64(value.c_str(), n)) {
+      s.bridged_connections = n;
+    } else if (key == "--batch" && parse_u64(value.c_str(), n)) {
+      w.batch = n;
     } else if (key == "--stalled" && parse_u64(value.c_str(), n)) {
       s.stalled_connections = n;
     } else {

@@ -1,5 +1,7 @@
 #include "ag/media.hpp"
 
+#include "net/fanout_sink.hpp"
+
 namespace cs::ag {
 
 using common::Deadline;
@@ -26,8 +28,8 @@ Status MediaStream::send_frame(const viz::Image& frame) {
   const common::Bytes payload = viz::compress_frame(frame);
   Status s = socket_->send(payload, Deadline::expired());
   if (s.is_ok()) {
-    ++frames_sent_;
-    bytes_sent_ += payload.size();
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
   }
   return s;
 }
@@ -55,9 +57,16 @@ Result<std::unique_ptr<UnicastBridge>> UnicastBridge::start(
   auto listener = net.listen(options.address);
   if (!listener.is_ok()) return listener.status();
   std::unique_ptr<UnicastBridge> bridge{new UnicastBridge};
+  bridge->options_ = options;
   bridge->socket_ = std::move(socket).value();
   bridge->listener_ = std::move(listener).value();
   UnicastBridge* self = bridge.get();
+  common::ShardedFanout::Options relay_options;
+  relay_options.shards = options.relay_shards;
+  relay_options.queue_capacity =
+      options.client_queue_frames == 0 ? 1 : options.client_queue_frames;
+  bridge->relay_ = std::make_unique<common::ShardedFanout>(
+      relay_options, [self](std::uint64_t id) { self->drop_client(id); });
   bridge->group_thread_ =
       std::jthread([self](std::stop_token st) { self->group_pump(st); });
   return bridge;
@@ -73,13 +82,18 @@ void UnicastBridge::stop() {
   // Join the pump before tearing down clients_: it must not be running when
   // the mutex and maps die (member destruction order would otherwise race).
   if (group_thread_.joinable()) group_thread_.join();
+  // Stop the relay workers next: afterwards no sink runs and no on_dead
+  // callback can re-enter drop_client().
+  if (relay_) relay_->stop();
+  std::map<std::uint64_t, net::ConnectionPtr> clients;
   std::vector<ClientThread> threads;
   {
     std::scoped_lock lock(mutex_);
-    for (auto& [id, conn] : clients_) conn->close();
+    clients = std::move(clients_);
     clients_.clear();
     threads = std::move(client_threads_);
   }
+  for (auto& [id, conn] : clients) conn->close();
   for (auto& ct : threads) {
     ct.thread.request_stop();
     if (ct.thread.joinable()) ct.thread.join();
@@ -91,19 +105,32 @@ std::size_t UnicastBridge::client_count() const {
   return clients_.size();
 }
 
+common::FanoutStats UnicastBridge::relay_stats() const {
+  return relay_ ? relay_->stats() : common::FanoutStats{};
+}
+
 void UnicastBridge::register_client(net::ConnectionPtr conn) {
   std::scoped_lock lock(mutex_);
   if (stopped_.load()) {  // raced with stop(): don't leak a live client
     conn->close();
     return;
   }
-  // Reap finished pumps so churn doesn't grow the vector without bound. A
-  // set `done` flag means the thread is past its last mutex_ use, so joining
-  // it (in ~jthread) while holding the lock cannot deadlock.
+  // Reap finished pumps so churn doesn't grow the vector without bound.
+  // A set `done` flag means the thread is past its last mutex_ use, so
+  // joining it (in ~jthread) while holding the lock cannot deadlock.
   std::erase_if(client_threads_,
                 [](const ClientThread& ct) { return ct.done->load(); });
   const std::uint64_t id = next_id_++;
-  clients_[id] = std::move(conn);
+  clients_[id] = conn;
+  // Registry insert and relay subscription are atomic under mutex_, and
+  // the pump starts only after both: a drop_client racing in from any side
+  // (pump recv, shard-worker on_dead) always observes either neither or
+  // both registrations, never a half-registered client. Holding mutex_
+  // across add() is safe — add() never invokes sinks or on_dead. The shard
+  // worker owns all sends on the connection; its drained burst goes out as
+  // one vectored send_many.
+  relay_->add(id, net::batched_connection_sink(std::move(conn),
+                                               options_.send_deadline));
   auto done = std::make_shared<std::atomic<bool>>(false);
   client_threads_.push_back(
       {done, std::jthread([this, id, done](std::stop_token cst) {
@@ -112,12 +139,27 @@ void UnicastBridge::register_client(net::ConnectionPtr conn) {
        })});
 }
 
+void UnicastBridge::drop_client(std::uint64_t id) {
+  relay_->remove(id);  // idempotent; no further frames are queued
+  net::ConnectionPtr conn;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;  // raced with another dropper: done
+    conn = std::move(it->second);
+    clients_.erase(it);
+  }
+  conn->close();  // wakes the client pump, which exits on kClosed
+}
+
 void UnicastBridge::group_pump(const std::stop_token& st) {
   // Multicast -> every unicast client. This thread is also the only place
   // new clients are accepted: draining the backlog here — after every recv,
   // before any relay — guarantees a client whose connect() completed before
   // a frame was sent cannot miss that frame (a second accept thread would
   // reopen that window by holding popped-but-unregistered connections).
+  // The pump never touches a client connection: it wraps the frame into one
+  // shared FramePtr and enqueues, and the relay workers deliver.
   while (!st.stop_requested()) {
     auto message = socket_->recv(Deadline::after(kPumpSlice));
     for (;;) {
@@ -129,21 +171,17 @@ void UnicastBridge::group_pump(const std::stop_token& st) {
       if (message.status().code() == StatusCode::kClosed) return;
       continue;
     }
-    std::vector<net::ConnectionPtr> targets;
-    {
-      std::scoped_lock lock(mutex_);
-      for (const auto& [id, conn] : clients_) targets.push_back(conn);
-    }
-    for (auto& conn : targets) {
-      (void)conn->send(message.value(), Deadline::expired());  // best effort
-    }
+    relay_->publish(common::make_frame(std::move(message).value()),
+                    common::OverflowPolicy::kDropOldest);
   }
 }
 
 void UnicastBridge::client_pump(const std::stop_token& st, std::uint64_t id) {
-  // Unicast client -> multicast group (and implicitly to other clients on
-  // the next group_pump round? no: multicast loopback excludes the sender
-  // socket, so relay to the other unicast clients explicitly).
+  // Unicast client -> multicast group (and explicitly to the *other*
+  // unicast clients: multicast loopback excludes the sender socket, and the
+  // relay excludes the frame's own origin). Like the group pump, this
+  // thread only enqueues — delivery to siblings happens on their shard
+  // workers.
   net::ConnectionPtr conn;
   {
     std::scoped_lock lock(mutex_);
@@ -155,23 +193,16 @@ void UnicastBridge::client_pump(const std::stop_token& st, std::uint64_t id) {
     auto message = conn->recv(Deadline::after(kPumpSlice));
     if (!message.is_ok()) {
       if (message.status().code() == StatusCode::kClosed) {
-        std::scoped_lock lock(mutex_);
-        clients_.erase(id);
+        drop_client(id);
         return;
       }
       continue;
     }
     (void)socket_->send(message.value(), Deadline::expired());
-    std::vector<net::ConnectionPtr> others;
-    {
-      std::scoped_lock lock(mutex_);
-      for (const auto& [cid, c] : clients_) {
-        if (cid != id) others.push_back(c);
-      }
-    }
-    for (auto& c : others) {
-      (void)c->send(message.value(), Deadline::expired());
-    }
+    relay_->publish_except(
+        id, common::OutboundQueue::Item{
+                common::make_frame(std::move(message).value()),
+                common::OverflowPolicy::kDropOldest, nullptr});
   }
 }
 

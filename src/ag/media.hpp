@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fanout.hpp"
 #include "common/status.hpp"
 #include "net/inproc.hpp"
 #include "viz/compress.hpp"
@@ -31,14 +33,34 @@ class MediaStream {
                                           const std::string& group,
                                           const net::LinkModel& link = {});
 
+  MediaStream() = default;
+  MediaStream(MediaStream&& other) noexcept
+      : socket_(std::move(other.socket_)),
+        frames_sent_(other.frames_sent_.load(std::memory_order_relaxed)),
+        bytes_sent_(other.bytes_sent_.load(std::memory_order_relaxed)) {}
+  MediaStream& operator=(MediaStream&& other) noexcept {
+    socket_ = std::move(other.socket_);
+    frames_sent_.store(other.frames_sent_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    bytes_sent_.store(other.bytes_sent_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Sends one frame to the whole group (best effort).
   common::Status send_frame(const viz::Image& frame);
 
   /// Receives and decodes the next frame.
   common::Result<viz::Image> receive_frame(common::Deadline deadline);
 
-  std::uint64_t frames_sent() const noexcept { return frames_sent_; }
-  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  /// Frame/byte counters; readable concurrently with a running sender
+  /// (loadgen polls them from its stats threads while the pump sends).
+  std::uint64_t frames_sent() const noexcept {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
   /// Counters of the underlying multicast socket (zeros after leave()).
   net::ConnStats stats() const {
@@ -49,17 +71,34 @@ class MediaStream {
 
  private:
   net::MulticastSocketPtr socket_;
-  std::uint64_t frames_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  // Atomics: stats readers poll these while the sending thread runs.
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
 };
 
 /// Relays a multicast group to unicast clients and back — for venues whose
 /// participants sit behind NAT/firewalls without multicast.
+///
+/// The relay rides common::ShardedFanout: the group pump and the per-client
+/// pumps only *enqueue* (one immutable FramePtr shared across every client
+/// queue, kDropOldest — a stale media frame is superseded by the next one),
+/// and the fan-out shard workers perform the actual sends, a whole drained
+/// burst per client in one Connection::send_many. A slow client therefore
+/// backs up only its own bounded queue and costs its shard at most one send
+/// deadline per pass; it never stalls the pumps or its sibling clients.
 class UnicastBridge {
  public:
   struct Options {
     std::string group;    ///< multicast group to bridge
     std::string address;  ///< unicast address clients connect to
+    /// Relay worker shards; 0 picks the ShardedFanout default.
+    std::size_t relay_shards = 0;
+    /// Per-client queue bound, in frames (staleness bound for a slow
+    /// client: capacity / frame rate).
+    std::size_t client_queue_frames = 32;
+    /// Deadline for one batched send to one client; a client that cannot
+    /// accept a burst within it just misses those frames.
+    common::Duration send_deadline = std::chrono::milliseconds(100);
   };
 
   static common::Result<std::unique_ptr<UnicastBridge>> start(
@@ -71,9 +110,15 @@ class UnicastBridge {
 
   std::size_t client_count() const;
 
+  /// Relay delivery/drop counters (per-shard breakdown included).
+  common::FanoutStats relay_stats() const;
+
  private:
   UnicastBridge() = default;
   void register_client(net::ConnectionPtr conn);
+  /// Closes and deregisters one client everywhere (map, fan-out); safe from
+  /// pump threads, shard workers (on_dead), and stop().
+  void drop_client(std::uint64_t id);
   void group_pump(const std::stop_token& st);
   void client_pump(const std::stop_token& st, std::uint64_t id);
 
@@ -85,8 +130,10 @@ class UnicastBridge {
     std::jthread thread;
   };
 
+  Options options_;
   net::MulticastSocketPtr socket_;
   net::ListenerPtr listener_;
+  std::unique_ptr<common::ShardedFanout> relay_;
   std::jthread group_thread_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, net::ConnectionPtr> clients_;

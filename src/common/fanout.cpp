@@ -100,6 +100,24 @@ void ShardedFanout::stop() {
 
 void ShardedFanout::add(std::uint64_t id, Sink sink,
                         std::vector<OutboundQueue::Item> replay) {
+  // Per-item sinks ride the batch drain through a loop adapter, so the
+  // worker has exactly one delivery shape.
+  add(id,
+      BatchSink{[sink = std::move(sink)](
+                    std::span<const OutboundQueue::Item> items,
+                    std::size_t& delivered) {
+        delivered = 0;
+        for (const OutboundQueue::Item& item : items) {
+          if (Status s = sink(item); !s.is_ok()) return s;
+          ++delivered;
+        }
+        return Status::ok();
+      }},
+      std::move(replay));
+}
+
+void ShardedFanout::add(std::uint64_t id, BatchSink sink,
+                        std::vector<OutboundQueue::Item> replay) {
   if (stopped_.load(std::memory_order_acquire)) return;
   Shard& shard = shard_for(id);
   const bool notify = !replay.empty();
@@ -184,6 +202,16 @@ void ShardedFanout::account_push(Shard& shard, Subscriber& sub,
 }
 
 void ShardedFanout::publish(const OutboundQueue::Item& item) {
+  publish_impl(item, nullptr);
+}
+
+void ShardedFanout::publish_except(std::uint64_t excluded_id,
+                                   const OutboundQueue::Item& item) {
+  publish_impl(item, &excluded_id);
+}
+
+void ShardedFanout::publish_impl(const OutboundQueue::Item& item,
+                                 const std::uint64_t* excluded) {
   if (stopped_.load(std::memory_order_acquire)) return;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -193,6 +221,7 @@ void ShardedFanout::publish(const OutboundQueue::Item& item) {
       std::scoped_lock lock(shard.mutex);
       for (auto& [id, sub] : shard.subs) {
         if (sub->doomed) continue;
+        if (excluded != nullptr && id == *excluded) continue;
         const auto result = sub->queue.push(item);
         account_push(shard, *sub, result, item.policy, doomed);
         notify |= (result != OutboundQueue::Push::kRejectedOverflow);
@@ -280,11 +309,11 @@ void ShardedFanout::disconnect(Shard& shard,
 }
 
 void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
-  struct Delivery {
+  struct Burst {
     std::shared_ptr<Subscriber> sub;
-    OutboundQueue::Item item;
+    std::vector<OutboundQueue::Item> items;
   };
-  std::vector<Delivery> batch;
+  std::vector<Burst> bursts;
   std::vector<std::uint64_t> dead;
   // Delivery counters are accumulated per pass and folded into the shard
   // stats under one lock acquisition, not one per frame.
@@ -292,7 +321,7 @@ void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
   std::uint64_t control_delivered = 0;
   std::uint64_t data_dropped = 0;
   while (true) {
-    batch.clear();
+    bursts.clear();
     dead.clear();
     {
       std::unique_lock lock(shard.mutex);
@@ -305,47 +334,79 @@ void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
       // Round-robin with a small bounded burst per subscriber per pass:
       // bursts amortize the pass overhead when queues run deep, while the
       // bound keeps one backlogged subscriber from starving its
-      // shard-mates for more than kBurst sends.
+      // shard-mates for more than one burst delivery. Each subscriber's
+      // burst stays contiguous, so the sink sees it as one batch (one
+      // vectored send on TCP).
       constexpr std::size_t kBurst = 8;
-      batch.reserve(shard.subs.size());
+      bursts.reserve(shard.subs.size());
       for (auto& [id, sub] : shard.subs) {
-        if (sub->doomed) continue;
+        if (sub->doomed || sub->queue.empty()) continue;
+        Burst burst;
+        burst.sub = sub;
         for (std::size_t i = 0; i < kBurst && !sub->queue.empty(); ++i) {
           --shard.pending;
-          batch.push_back(Delivery{sub, sub->queue.pop()});
+          burst.items.push_back(sub->queue.pop());
         }
+        bursts.push_back(std::move(burst));
       }
     }
     // Sinks run outside the shard lock: a blocked send delays this shard's
     // current pass, never publish() or the other shards. A consumer whose
-    // send just failed gets the rest of its burst shed without another
+    // burst failed mid-batch gets the rest of it shed without another
     // blocking attempt — retrying a wedged consumer back to back would
     // cost a full send deadline per frame, stalling its shard-mates for
     // the whole burst; one deadline per pass is the bound. Control frames
     // are still always attempted (lossless-or-dead decides teardown).
-    const Subscriber* failed = nullptr;
-    for (auto& d : batch) {
-      const bool control = d.item.policy == OverflowPolicy::kDisconnect;
-      if (d.sub.get() == failed && !control) {
-        ++data_dropped;
-        continue;
-      }
-      const Status s = d.sub->sink(d.item);
-      if (s.is_ok()) {
-        if (control) {
+    for (Burst& burst : bursts) {
+      const auto& items = burst.items;
+      std::size_t delivered = 0;
+      Status s = burst.sub->sink(
+          std::span<const OutboundQueue::Item>(items.data(), items.size()),
+          delivered);
+      delivered = std::min(delivered, items.size());
+      for (std::size_t k = 0; k < delivered; ++k) {
+        if (items[k].policy == OverflowPolicy::kDisconnect) {
           ++control_delivered;
         } else {
           ++data_delivered;
         }
-      } else if (s.code() == StatusCode::kClosed || control) {
-        // Control traffic is lossless-or-dead: a control frame that cannot
-        // be delivered within its deadline tears the subscriber down.
-        dead.push_back(d.sub->id);
-        failed = d.sub.get();
-      } else {
-        ++data_dropped;  // slow consumer missed one sample
-        failed = d.sub.get();
       }
+      if (s.is_ok() && delivered == items.size()) continue;
+      if (s.is_ok()) {
+        // The sink reported success but left items undelivered: treat the
+        // first leftover as failed rather than silently losing it.
+        s = Status{StatusCode::kInternal, "batch sink under-delivered"};
+      }
+      bool is_dead = false;
+      for (std::size_t k = delivered; k < items.size(); ++k) {
+        const bool control =
+            items[k].policy == OverflowPolicy::kDisconnect;
+        if (k == delivered) {
+          // The item the sink actually failed on.
+          if (s.code() == StatusCode::kClosed || control) {
+            // Control traffic is lossless-or-dead: a control frame that
+            // cannot be delivered within its deadline tears the
+            // subscriber down.
+            is_dead = true;
+          } else {
+            ++data_dropped;  // slow consumer missed one sample
+          }
+          continue;
+        }
+        if (!control) {
+          ++data_dropped;  // shed the rest of the burst, no blocking retry
+          continue;
+        }
+        std::size_t one = 0;
+        const Status cs = burst.sub->sink(
+            std::span<const OutboundQueue::Item>(&items[k], 1), one);
+        if (cs.is_ok() && one == 1) {
+          ++control_delivered;
+        } else {
+          is_dead = true;
+        }
+      }
+      if (is_dead) dead.push_back(burst.sub->id);
     }
     if (!dead.empty()) disconnect(shard, dead);
   }

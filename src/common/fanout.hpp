@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -195,6 +196,21 @@ class ShardedFanout {
   /// bytes sink: it fails delivery as an undeliverable frame.
   using BytesSink = std::function<Status(const Bytes& frame)>;
 
+  /// Batch-aware sink: a consumer's whole drained burst arrives as one
+  /// call, so a transport that can coalesce (net::Connection::send_many —
+  /// one writev for the burst over TCP) pays one syscall per pass instead
+  /// of one per frame. Contract:
+  ///   * `delivered` reports how many *leading* items reached the consumer
+  ///     when the call returns: all of them on ok; on error, items
+  ///     `[0, delivered)` were delivered and item `delivered` is the one
+  ///     that failed (per-item failure semantics — drop vs teardown — are
+  ///     then applied by the shard worker exactly as for Sink).
+  ///   * Items past the failed one are not retried by the sink; the worker
+  ///     sheds their data frames and re-attempts their control frames
+  ///     individually (control stays lossless-or-dead).
+  using BatchSink = std::function<Status(
+      std::span<const OutboundQueue::Item> items, std::size_t& delivered)>;
+
   /// Invoked (outside all fanout locks, possibly from a shard worker or a
   /// publishing thread) after a subscriber has been removed for cause.
   using DeadCallback = std::function<void(std::uint64_t id)>;
@@ -229,6 +245,10 @@ class ShardedFanout {
   void add(std::uint64_t id, BytesSink sink,
            std::vector<OutboundQueue::Item> replay = {});
 
+  /// add() for batch-aware subscribers (see BatchSink).
+  void add(std::uint64_t id, BatchSink sink,
+           std::vector<OutboundQueue::Item> replay = {});
+
   /// Deregisters `id`, discarding its pending frames. Idempotent; does not
   /// invoke on_dead. A frame already claimed by the worker may still be
   /// delivered concurrently with (or just after) removal.
@@ -242,6 +262,13 @@ class ShardedFanout {
   void publish(const FramePtr& frame, OverflowPolicy policy) {
     publish(OutboundQueue::Item{frame, policy, nullptr});
   }
+
+  /// publish() to every subscriber except `excluded_id` — for relays where
+  /// the frame's origin is itself a subscriber (a media-bridge client's
+  /// upstream frame goes to the group and its *sibling* clients, never
+  /// back to the sender).
+  void publish_except(std::uint64_t excluded_id,
+                      const OutboundQueue::Item& item);
 
   /// Broadcasts an opaque source payload that each subscriber's sink
   /// encodes for itself at delivery time (per-consumer payloads).
@@ -274,11 +301,14 @@ class ShardedFanout {
  private:
   struct Subscriber {
     std::uint64_t id = 0;
-    Sink sink;  // immutable after add(); called by the shard worker only
+    /// All sink forms are stored batch-shaped (per-item sinks are wrapped
+    /// in a loop adapter); immutable after add(), called by the shard
+    /// worker only.
+    BatchSink sink;
     OutboundQueue queue;
     bool doomed = false;  // scheduled for teardown; skip further traffic
 
-    Subscriber(std::uint64_t id_, Sink sink_, std::size_t capacity)
+    Subscriber(std::uint64_t id_, BatchSink sink_, std::size_t capacity)
         : id(id_), sink(std::move(sink_)), queue(capacity) {}
   };
 
@@ -292,6 +322,10 @@ class ShardedFanout {
   };
 
   void worker_loop(const std::stop_token& st, Shard& shard);
+  /// Shared body of publish()/publish_except(); `excluded` is null when
+  /// every subscriber receives the item.
+  void publish_impl(const OutboundQueue::Item& item,
+                    const std::uint64_t* excluded);
   /// Erases `ids` from `shard` and fires on_dead for each; both steps
   /// respect the lock discipline (erase under the shard lock, callback out).
   void disconnect(Shard& shard, const std::vector<std::uint64_t>& ids);

@@ -136,41 +136,76 @@ void LoadPeer::accept_loop(const std::stop_token& st) {
 
 void LoadPeer::serve(const std::stop_token& st,
                      const net::ConnectionPtr& conn) {
+  // Requests already queued behind the first recv are drained eagerly and
+  // answered with one vectored send_many — a pipelined client batch costs
+  // one reply syscall, not one per request (and stream accounting folds
+  // into the shared histogram once per drained batch, not once per frame).
+  constexpr std::size_t kServeBatch = 16;
+  std::vector<Bytes> replies;
+  std::vector<ByteSpan> spans;
+  // Hoisted: a Histogram is a ~20 KB bucket array, too heavy to construct
+  // per drained batch; it is re-zeroed only after a batch that used it.
+  Histogram batch_latency;
   while (!st.stop_requested()) {
     auto raw = conn->recv(Deadline::after(kPumpSlice));
     if (!raw.is_ok()) {
       if (raw.status().code() == StatusCode::kClosed) break;
       continue;
     }
-    auto frame = LoadFrame::decode(raw.value());
-    if (!frame.is_ok()) {
+    replies.clear();
+    std::uint64_t batch_frames = 0;
+    bool bad_frame = false;
+    for (;;) {
+      auto frame = LoadFrame::decode(raw.value());
+      if (!frame.is_ok()) {
+        bad_frame = true;
+        break;
+      }
+      switch (frame.value().op) {
+        case FrameOp::kStream: {
+          batch_latency.record(common::ns_since(frame.value().t_send_ns));
+          ++batch_frames;
+          break;
+        }
+        case FrameOp::kEcho: {
+          replies.push_back(std::move(raw).value());
+          break;
+        }
+        case FrameOp::kAck:
+        case FrameOp::kRequest: {
+          LoadFrame reply = frame.value();
+          const std::size_t payload =
+              frame.value().op == FrameOp::kRequest ? reply.reply_bytes : 0;
+          reply.reply_bytes = 0;
+          replies.push_back(reply.encode(payload));
+          break;
+        }
+      }
+      if (replies.size() >= kServeBatch) break;
+      auto more = conn->recv(Deadline::expired());
+      if (!more.is_ok()) break;
+      raw = std::move(more);
+    }
+    if (batch_frames > 0) {
+      {
+        // Folded into the shared state per batch (not at thread exit) so a
+        // reader polling stream_frames() sees progress as it happens.
+        std::scoped_lock lock(mutex_);
+        stream_latency_.merge(batch_latency);
+        stream_frames_ += batch_frames;
+      }
+      batch_latency.reset();
+    }
+    if (!replies.empty()) {
+      spans.assign(replies.begin(), replies.end());
+      std::size_t sent = 0;
+      // A kClosed here surfaces on the next recv, which ends the loop.
+      (void)conn->send_many(std::span<const ByteSpan>(spans),
+                            Deadline::after(kPumpSlice), sent);
+    }
+    if (bad_frame) {
       conn->close();
       break;
-    }
-    switch (frame.value().op) {
-      case FrameOp::kStream: {
-        // Folded into the shared state per frame (not at thread exit) so a
-        // reader polling stream_frames() sees progress as it happens; burst
-        // rates are modest, so the lock is effectively uncontended.
-        std::scoped_lock lock(mutex_);
-        stream_latency_.record(common::ns_since(frame.value().t_send_ns));
-        ++stream_frames_;
-        break;
-      }
-      case FrameOp::kEcho: {
-        // A kClosed here surfaces on the next recv, which ends the loop.
-        (void)conn->send(raw.value(), Deadline::after(kPumpSlice));
-        break;
-      }
-      case FrameOp::kAck:
-      case FrameOp::kRequest: {
-        LoadFrame reply = frame.value();
-        const std::size_t payload =
-            frame.value().op == FrameOp::kRequest ? reply.reply_bytes : 0;
-        reply.reply_bytes = 0;
-        (void)conn->send(reply.encode(payload), Deadline::after(kPumpSlice));
-        break;
-      }
     }
   }
 }
@@ -241,47 +276,70 @@ void run_worker(net::Network& net, const std::string& address,
                    : common::Duration::zero();
   auto next_send = common::Clock::now();
   std::uint64_t seq = 0;
-  while (common::Clock::now() < end) {
+  // Wire batch depth: `batch` frames are encoded, handed to the transport
+  // in one send_many (one writev over TCP), and — for request/reply
+  // patterns — their replies awaited together (pipelining). batch == 1 is
+  // the classic one-send-per-op loop.
+  const std::size_t batch = workload.batch;
+  std::vector<Bytes> encoded(batch);
+  std::vector<ByteSpan> spans(batch);
+  bool done = false;
+  while (!done && common::Clock::now() < end) {
     if (rate_limited) {
       std::this_thread::sleep_until(std::min(next_send, end));
       if (common::Clock::now() >= end) break;
-      next_send += interval;
+      // The batch covers `batch` ticks of the per-message rate, so the
+      // offered load is unchanged by the batch depth.
+      next_send += interval * static_cast<std::int64_t>(batch);
     }
-    const std::size_t drawn =
-        workload.min_payload +
-        static_cast<std::size_t>(rng.next_below(size_span));
-    LoadFrame frame;
-    frame.op = op;
-    frame.seq = ++seq;
-    const std::size_t payload_bytes =
-        workload.pattern == Pattern::kPull ? 0 : drawn;
-    if (workload.pattern == Pattern::kPull) {
-      frame.reply_bytes = static_cast<std::uint32_t>(drawn);
+    const std::uint64_t first_seq = seq + 1;
+    const std::uint64_t now_ns = common::steady_now_ns();
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t drawn =
+          workload.min_payload +
+          static_cast<std::size_t>(rng.next_below(size_span));
+      LoadFrame frame;
+      frame.op = op;
+      frame.seq = ++seq;
+      frame.t_send_ns = now_ns;
+      const std::size_t payload_bytes =
+          workload.pattern == Pattern::kPull ? 0 : drawn;
+      if (workload.pattern == Pattern::kPull) {
+        frame.reply_bytes = static_cast<std::uint32_t>(drawn);
+      }
+      encoded[b] = frame.encode(payload_bytes);
+      spans[b] = encoded[b];
     }
     const Deadline deadline = Deadline::after(workload.op_timeout);
-    frame.t_send_ns = common::steady_now_ns();
-    const Status sent =
-        conn.value()->send(frame.encode(payload_bytes), deadline);
+    std::size_t sent_count = 0;
+    const Status sent = conn.value()->send_many(
+        std::span<const ByteSpan>(spans), deadline, sent_count);
+    if (op == FrameOp::kStream) {
+      // One-way: the peer's histogram holds the latency; every frame fully
+      // handed to the transport counts, even from an aborted batch.
+      out.report.ops += sent_count;
+    }
     if (!sent.is_ok()) {
-      // A timeout is connection-fatal, not retriable: over TCP it may have
-      // cut a length-prefixed frame short (send_all/recv_all keep no cross-
-      // call progress), and the next frame would be parsed from mid-stream.
+      // A timeout is treated as connection-fatal for the workload: the
+      // transport keeps the stream well-formed across the abort, but the
+      // unsent remainder of the batch was never delivered and request/reply
+      // accounting would drift.
       if (sent.code() == StatusCode::kTimeout) ++out.report.timeouts;
       else if (sent.code() != StatusCode::kClosed) ++out.report.errors;
       break;
     }
-    if (op == FrameOp::kStream) {
-      ++out.report.ops;  // one-way: the peer's histogram holds the latency
-      continue;
+    if (op == FrameOp::kStream) continue;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Status replied =
+          await_reply(*conn.value(), first_seq + b, deadline, out.latency);
+      if (!replied.is_ok()) {
+        if (replied.code() == StatusCode::kTimeout) ++out.report.timeouts;
+        else if (replied.code() != StatusCode::kClosed) ++out.report.errors;
+        done = true;
+        break;
+      }
+      ++out.report.ops;
     }
-    const Status replied =
-        await_reply(*conn.value(), seq, deadline, out.latency);
-    if (!replied.is_ok()) {
-      if (replied.code() == StatusCode::kTimeout) ++out.report.timeouts;
-      else if (replied.code() != StatusCode::kClosed) ++out.report.errors;
-      break;
-    }
-    ++out.report.ops;
   }
   out.report.transport = conn.value()->stats();
   conn.value()->close();

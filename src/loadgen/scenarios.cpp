@@ -334,20 +334,29 @@ std::uint64_t read_stamp(const viz::Image& frame) {
 
 Result<Report> run_media_bridge(const ScenarioOptions& options) {
   if (Status s = check(options); !s.is_ok()) return s;
+  const std::size_t bridged_count =
+      options.bridged_connections == ScenarioOptions::kBridgedHalf
+          ? options.connections / 2
+          : options.bridged_connections;
+  if (bridged_count > options.connections) {
+    return invalid("bridged connections exceed connections");
+  }
   net::InProcNetwork net;
   const std::string group = "venue/video";
   ag::UnicastBridge::Options bridge_options;
   bridge_options.group = group;
   bridge_options.address = "bridge:media";
+  bridge_options.relay_shards = options.fanout_shards;
   auto bridge = ag::UnicastBridge::start(net, bridge_options);
   if (!bridge.is_ok()) return bridge.status();
 
   auto sender = ag::MediaStream::join(net, group);
   if (!sender.is_ok()) return sender.status();
 
-  // Half the receivers sit on the multicast group, half behind the bridge —
-  // the paper's mixed multicast/firewalled-venue audience.
-  const std::size_t direct_count = (options.connections + 1) / 2;
+  // By default half the receivers sit on the multicast group and half
+  // behind the bridge — the paper's mixed multicast/firewalled-venue
+  // audience; --bridged sweeps the split.
+  const std::size_t direct_count = options.connections - bridged_count;
   std::vector<ag::MediaStream> direct;
   direct.reserve(direct_count);
   for (std::size_t i = 0; i < direct_count; ++i) {

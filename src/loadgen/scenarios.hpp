@@ -29,9 +29,17 @@ struct ScenarioOptions {
   /// dimensions from it).
   std::size_t payload_bytes = 1024;
   std::uint64_t seed = 1;
-  /// Fan-out / pipeline worker shards (mux and viz scenarios); 0 lets the
-  /// service pick a default from hardware_concurrency.
+  /// Fan-out / pipeline / relay worker shards (mux, viz, and media
+  /// scenarios); 0 lets the service pick a default from
+  /// hardware_concurrency.
   std::size_t fanout_shards = 0;
+  /// Media scenario: receivers placed behind the unicast bridge; the rest
+  /// sit directly on the multicast group. kBridgedHalf (the default)
+  /// bridges half of them — the paper's mixed multicast/firewalled-venue
+  /// audience. Sweeping this against `rate_per_sec` maps the bridge's
+  /// receivers × rate capacity.
+  static constexpr std::size_t kBridgedHalf = static_cast<std::size_t>(-1);
+  std::size_t bridged_connections = kBridgedHalf;
   /// Of `connections`, how many are deliberately wedged consumers (viz
   /// scenario): they connect with a tiny receive window and never drain a
   /// frame, so the service's slow-client isolation is what the healthy

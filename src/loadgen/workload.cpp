@@ -45,6 +45,9 @@ Status Workload::validate() const {
   if (op_timeout <= common::Duration::zero()) {
     return Status{StatusCode::kInvalidArgument, "op_timeout must be positive"};
   }
+  if (batch == 0) {
+    return Status{StatusCode::kInvalidArgument, "batch must be >= 1"};
+  }
   return Status::ok();
 }
 

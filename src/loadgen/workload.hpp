@@ -48,6 +48,13 @@ struct Workload {
   std::uint64_t seed = 1;
   /// Deadline applied to each individual transport operation.
   common::Duration op_timeout = std::chrono::seconds(1);
+  /// Messages handed to the transport per send_many call (wire batch
+  /// depth). 1 = the classic one-send-per-message loop. For request/reply
+  /// patterns this is also the pipelining depth: a worker sends `batch`
+  /// requests in one vectored call, then awaits all the replies. For
+  /// kBurst, `batch` consecutive frames of the fixed-rate stream are
+  /// coalesced into one call (the offered rate is unchanged).
+  std::size_t batch = 1;
 
   /// kInvalidArgument with a reason when the combination is unusable.
   common::Status validate() const;

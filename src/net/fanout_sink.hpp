@@ -1,0 +1,49 @@
+// Glue between the shared fan-out primitive and the message transport:
+// a BatchSink that delivers a drained burst of pre-encoded frames through
+// one Connection::send_many call (a single vectored syscall over TCP)
+// instead of one send() per frame.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/fanout.hpp"
+#include "net/transport.hpp"
+
+namespace cs::net {
+
+/// Returns a batch sink that sends every pre-encoded frame of a burst via
+/// `conn->send_many` under one fresh `timeout` deadline per burst. The
+/// send_many contract maps directly onto the BatchSink one: `sent` becomes
+/// `delivered`, and a mid-batch deadline abort leaves the wire stream
+/// well-formed (the transport completes any partially-written frame ahead
+/// of later traffic).
+///
+/// Only shared-frame items are routable here; like
+/// ShardedFanout::BytesSink, a source-payload item fails delivery as an
+/// undeliverable frame (kInvalidArgument).
+inline common::ShardedFanout::BatchSink batched_connection_sink(
+    ConnectionPtr conn, common::Duration timeout) {
+  return [conn = std::move(conn), timeout](
+             std::span<const common::OutboundQueue::Item> items,
+             std::size_t& delivered) -> common::Status {
+    delivered = 0;
+    std::vector<common::ByteSpan> spans;
+    spans.reserve(items.size());
+    for (const common::OutboundQueue::Item& item : items) {
+      if (item.frame == nullptr) break;  // source payload: not routable
+      spans.push_back(*item.frame);
+    }
+    common::Status s =
+        conn->send_many(std::span<const common::ByteSpan>(spans),
+                        common::Deadline::after(timeout), delivered);
+    if (s.is_ok() && delivered < items.size()) {
+      return common::Status{common::StatusCode::kInvalidArgument,
+                            "source payload sent to a bytes sink"};
+    }
+    return s;
+  };
+}
+
+}  // namespace cs::net

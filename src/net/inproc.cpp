@@ -24,7 +24,16 @@ struct Mailbox {
 
   struct Item {
     common::TimePoint deliver_at;
-    Bytes payload;
+    /// Unicast payload, owned exclusively (no extra indirection on the
+    /// connection hot path).
+    Bytes owned;
+    /// Multicast payload: one immutable buffer shared by every member's
+    /// inbox instead of a deep copy per member. Null for unicast items.
+    std::shared_ptr<Bytes> shared;
+
+    std::size_t size() const noexcept {
+      return shared ? shared->size() : owned.size();
+    }
   };
 
   std::mutex mutex;
@@ -35,11 +44,45 @@ struct Mailbox {
   bool closed = false;
   LinkScheduler scheduler;
 
-  /// Sender side: applies backpressure, the link model, then enqueues.
+  /// Sender side: applies backpressure, the link model, then enqueues one
+  /// exclusively-owned copy (the unicast connection path).
   Status push(ByteSpan message, Deadline deadline) {
     std::unique_lock lock(mutex);
+    if (Status s = admit(lock, message.size(), deadline); !s.is_ok()) return s;
+    common::TimePoint deliver_at;
+    if (!scheduler.schedule(message.size(), deliver_at)) {
+      return Status::ok();  // dropped by the link model: fire-and-forget
+    }
+    queued_bytes += message.size();
+    queue.push_back(
+        Item{deliver_at, Bytes{message.begin(), message.end()}, nullptr});
+    cv.notify_all();
+    return Status::ok();
+  }
+
+  /// push() for a buffer already shared across receivers (multicast fan-out
+  /// — copy once, enqueue everywhere). Receivers never mutate a payload
+  /// they do not own exclusively.
+  Status push_shared(std::shared_ptr<Bytes> message, Deadline deadline) {
+    std::unique_lock lock(mutex);
+    if (Status s = admit(lock, message->size(), deadline); !s.is_ok()) {
+      return s;
+    }
+    common::TimePoint deliver_at;
+    if (!scheduler.schedule(message->size(), deliver_at)) {
+      return Status::ok();  // dropped by the link model: fire-and-forget
+    }
+    queued_bytes += message->size();
+    queue.push_back(Item{deliver_at, Bytes{}, std::move(message)});
+    cv.notify_all();
+    return Status::ok();
+  }
+
+  /// Backpressure half of a push: waits for window room under `lock`.
+  Status admit(std::unique_lock<std::mutex>& lock, std::size_t size,
+               Deadline deadline) {
     const auto fits = [&] {
-      return closed || queued_bytes + message.size() <= capacity_bytes;
+      return closed || queued_bytes + size <= capacity_bytes;
     };
     if (!fits()) {
       if (deadline.is_infinite()) {
@@ -49,13 +92,6 @@ struct Mailbox {
       }
     }
     if (closed) return Status{StatusCode::kClosed, "mailbox closed"};
-    common::TimePoint deliver_at;
-    if (!scheduler.schedule(message.size(), deliver_at)) {
-      return Status::ok();  // dropped by the link model: fire-and-forget
-    }
-    queued_bytes += message.size();
-    queue.push_back(Item{deliver_at, Bytes{message.begin(), message.end()}});
-    cv.notify_all();
     return Status::ok();
   }
 
@@ -68,11 +104,17 @@ struct Mailbox {
         const auto ready_at = queue.front().deliver_at;
         const auto now = common::Clock::now();
         if (now >= ready_at) {
-          Bytes payload = std::move(queue.front().payload);
-          queued_bytes -= payload.size();
+          Item item = std::move(queue.front());
+          queued_bytes -= item.size();
           queue.pop_front();
           cv.notify_all();
-          return payload;
+          if (!item.shared) return std::move(item.owned);
+          // Fan-out members each copy out of the one shared buffer.
+          // (Stealing it when this is the last reference would need a
+          // synchronized refcount observation — use_count() is a relaxed
+          // load, so a sibling's concurrent release does not order its
+          // reads before our move.)
+          return Bytes{*item.shared};
         }
         // Head-of-line message still "in flight": wait for its arrival or
         // the caller's deadline, whichever is first.
@@ -277,8 +319,11 @@ Status MulticastSocket::send(ByteSpan message, Deadline deadline) {
   // Best-effort fan-out, UDP-multicast style: a full/slow member does not
   // block the others (the paper's passive viewers must never stall the
   // steerer). A member whose window is full simply misses the message.
+  // The datagram is copied once and shared by every inbox, not copied per
+  // member (the encode-once idea from common::FramePtr).
+  auto shared = std::make_shared<Bytes>(message.begin(), message.end());
   for (auto& inbox : targets) {
-    (void)inbox->push(message, Deadline::expired());
+    (void)inbox->push_shared(shared, Deadline::expired());
     (void)deadline;
   }
   messages_sent_.fetch_add(1, std::memory_order_relaxed);

@@ -6,8 +6,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -70,49 +72,112 @@ class TcpConnection : public Connection {
   }
 
   Status send(ByteSpan message, Deadline deadline) override {
-    if (message.size() > TcpNetwork::kMaxMessageBytes) {
-      return Status{StatusCode::kInvalidArgument, "message too large"};
+    const ByteSpan one[1] = {message};
+    std::size_t sent = 0;
+    return send_many(std::span<const ByteSpan>(one, 1), deadline, sent);
+  }
+
+  /// Vectored batch send: any pending tail plus up to kWritevMessages framed
+  /// messages (4-byte header + payload each) go to the kernel in a single
+  /// sendmsg per batch instead of two send syscalls per message.
+  ///
+  /// Framing across a deadline abort generalizes the single-message tail
+  /// rule: the byte counter from the partial write tells exactly which
+  /// message the stream stopped inside, that message's unsent remainder
+  /// becomes send_tail_ (flushed ahead of all later traffic), fully-written
+  /// messages count into `sent`, and messages past the abort never entered
+  /// the stream at all.
+  Status send_many(std::span<const ByteSpan> messages, Deadline deadline,
+                   std::size_t& sent) override {
+    sent = 0;
+    for (const ByteSpan& m : messages) {
+      if (m.size() > TcpNetwork::kMaxMessageBytes) {
+        return Status{StatusCode::kInvalidArgument, "message too large"};
+      }
     }
     std::scoped_lock lock(send_mutex_);
-    // A previous send may have timed out mid-message; its unsent tail must
-    // reach the peer before anything else or the length-prefixed stream
-    // desynchronizes permanently. Until the tail is flushed, no byte of a
-    // new message enters the stream, so a timeout here is still retryable.
-    if (!send_tail_.empty()) {
+    std::size_t index = 0;
+    while (index < messages.size() || !send_tail_.empty()) {
+      const std::size_t count =
+          std::min(kWritevMessages, messages.size() - index);
+      std::uint8_t headers[kWritevMessages][4];
+      iovec iov[1 + 2 * kWritevMessages];
+      int iovcnt = 0;
+      // A previous send may have timed out mid-message; its unsent tail
+      // must reach the peer before anything else or the length-prefixed
+      // stream desynchronizes permanently. It rides the same writev as the
+      // batch's own frames.
+      const std::size_t tail_len = send_tail_.size();
+      if (tail_len > 0) {
+        iov[iovcnt++] = {send_tail_.data(), tail_len};
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const ByteSpan m = messages[index + i];
+        const auto n = static_cast<std::uint32_t>(m.size());
+        headers[i][0] = static_cast<std::uint8_t>(n >> 24);
+        headers[i][1] = static_cast<std::uint8_t>(n >> 16);
+        headers[i][2] = static_cast<std::uint8_t>(n >> 8);
+        headers[i][3] = static_cast<std::uint8_t>(n);
+        iov[iovcnt++] = {headers[i], sizeof(headers[i])};
+        if (!m.empty()) {
+          iov[iovcnt++] = {const_cast<std::uint8_t*>(m.data()), m.size()};
+        }
+      }
       std::size_t done = 0;
-      const Status s =
-          send_all(send_tail_.data(), send_tail_.size(), deadline, done);
-      send_tail_.erase(send_tail_.begin(),
-                       send_tail_.begin() + static_cast<std::ptrdiff_t>(done));
-      if (!s.is_ok()) return s;
-    }
-    std::uint8_t header[4];
-    const auto n = static_cast<std::uint32_t>(message.size());
-    header[0] = static_cast<std::uint8_t>(n >> 24);
-    header[1] = static_cast<std::uint8_t>(n >> 16);
-    header[2] = static_cast<std::uint8_t>(n >> 8);
-    header[3] = static_cast<std::uint8_t>(n);
-    std::size_t header_done = 0;
-    std::size_t payload_done = 0;
-    Status s = send_all(header, sizeof(header), deadline, header_done);
-    if (s.is_ok()) {
-      s = send_all(message.data(), message.size(), deadline, payload_done);
-    }
-    if (!s.is_ok()) {
-      // With zero progress nothing entered the stream — the timeout is
-      // cleanly retryable. Otherwise preserve framing across the abort:
-      // everything unsent becomes the tail the next send() must flush
-      // first. The caller may treat the message as missed (supersedable
-      // data), but the peer still observes a well-formed stream.
-      if (header_done + payload_done > 0) {
-        send_tail_.assign(header + header_done, header + sizeof(header));
-        send_tail_.insert(send_tail_.end(), message.begin() + payload_done,
-                          message.end());
+      const Status s = writev_all(iov, iovcnt, deadline, done);
+      if (s.is_ok()) {
+        send_tail_.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+          bytes_sent_.fetch_add(messages[index + i].size(),
+                                std::memory_order_relaxed);
+        }
+        messages_sent_.fetch_add(count, std::memory_order_relaxed);
+        sent += count;
+        index += count;
+        continue;
+      }
+      // Aborted mid-batch. Bytes [0, done) of [tail][h0 p0][h1 p1]... are
+      // on the wire; everything after is not.
+      if (done <= tail_len) {
+        // The abort landed inside (or exactly at the end of) the old tail:
+        // no message of this batch entered the stream, so each is cleanly
+        // retryable. Keep whatever of the tail remains unsent.
+        send_tail_.erase(
+            send_tail_.begin(),
+            send_tail_.begin() + static_cast<std::ptrdiff_t>(done));
+        return s;
+      }
+      std::size_t off = done - tail_len;  // bytes into this batch's frames
+      send_tail_.clear();
+      for (std::size_t i = 0; i < count; ++i) {
+        const ByteSpan m = messages[index + i];
+        const std::size_t framed = sizeof(headers[i]) + m.size();
+        if (off >= framed) {
+          // Fully handed to the kernel before the abort.
+          off -= framed;
+          bytes_sent_.fetch_add(m.size(), std::memory_order_relaxed);
+          messages_sent_.fetch_add(1, std::memory_order_relaxed);
+          ++sent;
+          continue;
+        }
+        if (off == 0) break;  // never started: not sent, leaves no tail
+        // The stream stopped inside this message: its unsent remainder
+        // becomes the tail the next send must flush first. The caller may
+        // treat the message as missed (supersedable data), but the peer
+        // still observes a well-formed stream.
+        if (off < sizeof(headers[i])) {
+          send_tail_.assign(headers[i] + off, headers[i] + sizeof(headers[i]));
+          off = 0;
+        } else {
+          off -= sizeof(headers[i]);
+        }
+        send_tail_.insert(send_tail_.end(),
+                          m.begin() + static_cast<std::ptrdiff_t>(off),
+                          m.end());
+        break;
       }
       return s;
     }
-    messages_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(message.size(), std::memory_order_relaxed);
     return Status::ok();
   }
 
@@ -158,20 +223,44 @@ class TcpConnection : public Connection {
   }
 
  private:
-  /// Writes `size` bytes, reporting progress through `done` so a caller
-  /// aborted by a deadline knows exactly where the stream stands.
-  Status send_all(const void* data, std::size_t size, Deadline deadline,
-                  std::size_t& done) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
+  /// Messages coalesced into one sendmsg (2 iovecs each, plus the tail);
+  /// keeps the iovec array small and well under IOV_MAX.
+  static constexpr std::size_t kWritevMessages = 16;
+
+  /// Writes every byte of `iov[0..iovcnt)` via vectored sendmsg, reporting
+  /// cumulative progress through `done` so a caller aborted by a deadline
+  /// knows exactly where the stream stands. Mutates `iov` in place while
+  /// advancing past partially-written entries.
+  Status writev_all(iovec* iov, int iovcnt, Deadline deadline,
+                    std::size_t& done) {
     done = 0;
-    while (done < size) {
+    std::size_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) total += iov[i].iov_len;
+    int first = 0;
+    while (done < total) {
       if (!open_.load(std::memory_order_acquire)) {
         return Status{StatusCode::kClosed, "connection closed"};
       }
       const int fd = fd_;
-      const ssize_t rc = ::send(fd, p + done, size - done, MSG_NOSIGNAL);
+      msghdr msg{};
+      msg.msg_iov = iov + first;
+      msg.msg_iovlen = static_cast<std::size_t>(iovcnt - first);
+      const ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
       if (rc > 0) {
         done += static_cast<std::size_t>(rc);
+        auto n = static_cast<std::size_t>(rc);
+        while (n > 0 && first < iovcnt) {
+          if (n >= iov[first].iov_len) {
+            n -= iov[first].iov_len;
+            iov[first].iov_len = 0;
+            ++first;
+          } else {
+            iov[first].iov_base =
+                static_cast<std::uint8_t*>(iov[first].iov_base) + n;
+            iov[first].iov_len -= n;
+            n = 0;
+          }
+        }
         continue;
       }
       if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -182,7 +271,7 @@ class TcpConnection : public Connection {
       if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
         return Status{StatusCode::kClosed, "peer closed"};
       }
-      return errno_status("send");
+      return errno_status("sendmsg");
     }
     return Status::ok();
   }
@@ -314,20 +403,41 @@ Result<ConnectionPtr> TcpNetwork::connect(const std::string& address,
   if (port <= 0 || port > 65535) {
     return Status{StatusCode::kInvalidArgument, "bad port: " + address};
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return errno_status("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  // Non-blocking connect + poll honors the caller's deadline (a blocking
+  // ::connect would ignore it for however long the kernel retries SYNs);
+  // the handshake outcome is then read back from SO_ERROR.
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    int err = errno;
+    if (err == EINPROGRESS) {
+      if (Status s = wait_fd(fd, POLLOUT, deadline); !s.is_ok()) {
+        ::close(fd);
+        return s;  // kTimeout: the handshake did not finish in time
+      }
+      err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+        ::close(fd);
+        return errno_status("getsockopt(SO_ERROR)");
+      }
+      if (err == 0) break;
+    }
     ::close(fd);
-    if (errno == ECONNREFUSED) {
+    if (err == ECONNREFUSED) {
       return Status{StatusCode::kNotFound, "no listener at port " + address};
     }
-    return errno_status("connect");
+    return Status{StatusCode::kInternal,
+                  std::string("connect: ") + std::strerror(err)};
   }
-  (void)deadline;  // loopback connect completes immediately or refuses
   return ConnectionPtr{std::make_shared<TcpConnection>(fd, "127.0.0.1:" + address)};
 }
 

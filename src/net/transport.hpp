@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -42,6 +43,30 @@ class Connection {
   /// kClosed if either side has closed.
   virtual common::Status send(common::ByteSpan message,
                               common::Deadline deadline) = 0;
+
+  /// Queues a batch of messages, in order, under one shared deadline.
+  ///
+  /// `sent` reports how many *leading* messages were fully delivered when
+  /// the call returns — on success it equals `messages.size()`; on failure
+  /// messages `[0, sent)` are complete on the wire and message `sent` was
+  /// the one that failed. Whatever the outcome, the peer always observes a
+  /// well-formed message stream: a message either arrives intact or (for
+  /// stream transports) its already-committed bytes are completed ahead of
+  /// any later traffic, exactly like a deadline-aborted send().
+  ///
+  /// The default implementation loops over send(); transports override it
+  /// to coalesce the batch into fewer syscalls (TCP: one bounded writev for
+  /// many small framed messages).
+  virtual common::Status send_many(std::span<const common::ByteSpan> messages,
+                                   common::Deadline deadline,
+                                   std::size_t& sent) {
+    sent = 0;
+    for (const common::ByteSpan& message : messages) {
+      if (common::Status s = send(message, deadline); !s.is_ok()) return s;
+      ++sent;
+    }
+    return common::Status::ok();
+  }
 
   /// Receives the next message. Returns kTimeout if none arrives before the
   /// deadline, kClosed after the peer closed and the queue drained.

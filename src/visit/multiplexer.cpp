@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "net/fanout_sink.hpp"
 #include "visit/server.hpp"
 #include "visit/tags.hpp"
 
@@ -207,14 +208,11 @@ void Multiplexer::add_viewer(net::ConnectionPtr conn) {
       std::jthread([this, id](std::stop_token st) { viewer_pump(st, id); });
   // All outbound traffic to a viewer — replay, roles, broadcasts — goes
   // through its fan-out queue, so one shard worker is the only thread ever
-  // calling send() on the connection.
-  const auto timeout = options_.forward_timeout;
-  fanout_->add(
-      id,
-      [conn, timeout](const common::Bytes& frame) {
-        return conn->send(frame, Deadline::after(timeout));
-      },
-      std::move(replay));
+  // calling send() on the connection; the worker delivers a drained burst
+  // as one vectored send_many (one syscall over TCP).
+  fanout_->add(id,
+               net::batched_connection_sink(conn, options_.forward_timeout),
+               std::move(replay));
 }
 
 void Multiplexer::remove_viewer(std::uint64_t id) {

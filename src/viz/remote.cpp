@@ -367,9 +367,10 @@ void RemoteRenderServer::admit(
   lane->conn = conn;
   pipeline_->add(
       id,
-      common::ShardedFanout::Sink{
-          [this, lane](const common::OutboundQueue::Item& item) {
-            return deliver(*lane, item);
+      common::ShardedFanout::BatchSink{
+          [this, lane](std::span<const common::OutboundQueue::Item> items,
+                       std::size_t& delivered) {
+            return deliver_batch(*lane, items, delivered);
           }},
       std::move(replay));
   // Start the pump only once the subscription exists, so a view ack can
@@ -380,6 +381,41 @@ void RemoteRenderServer::admit(
     it->second.pump = std::jthread(
         [this, id](std::stop_token pst) { client_pump(pst, id); });
   }
+}
+
+Status RemoteRenderServer::deliver_batch(
+    Lane& lane, std::span<const common::OutboundQueue::Item> items,
+    std::size_t& delivered) {
+  delivered = 0;
+  std::size_t i = 0;
+  while (i < items.size()) {
+    if (items[i].frame != nullptr) {
+      // A run of pre-encoded frames (view acks, and any future shared
+      // broadcast bytes) goes out as one vectored send: an ack burst costs
+      // one syscall over TCP instead of one per ack.
+      std::vector<common::ByteSpan> spans;
+      std::size_t j = i;
+      while (j < items.size() && items[j].frame != nullptr) {
+        spans.push_back(*items[j].frame);
+        ++j;
+      }
+      std::size_t sent = 0;
+      const Status s = lane.conn->send_many(
+          std::span<const common::ByteSpan>(spans),
+          Deadline::after(options_.send_deadline), sent);
+      delivered += sent;
+      if (!s.is_ok()) return s;
+      i = j;
+      continue;
+    }
+    // Data frames stay per-item: each successful send commits this
+    // client's delta baseline, and the next frame's encoding depends on
+    // that commit, so they cannot be encoded ahead as one batch.
+    if (Status s = deliver(lane, items[i]); !s.is_ok()) return s;
+    ++i;
+    ++delivered;
+  }
+  return Status::ok();
 }
 
 Status RemoteRenderServer::deliver(Lane& lane,

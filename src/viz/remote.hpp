@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -175,6 +176,13 @@ class RemoteRenderServer {
   /// Compresses (data frames) and sends one queued item for `lane`'s
   /// client; runs on a pipeline worker.
   common::Status deliver(Lane& lane, const common::OutboundQueue::Item& item);
+  /// Batch form: delivers a drained burst, coalescing runs of pre-encoded
+  /// frames (view acks, replay seeds) into one vectored send_many; data
+  /// frames still pass through deliver() one at a time because each
+  /// commit() gates the next delta's baseline on actual delivery.
+  common::Status deliver_batch(
+      Lane& lane, std::span<const common::OutboundQueue::Item> items,
+      std::size_t& delivered);
   /// Deregisters a client and parks its pump for joining at stop(). Safe
   /// from any thread, including the client's own pump and the pipeline
   /// workers (on_dead).

@@ -3,6 +3,7 @@
 // unicast bridging, and vnc-style desktop sharing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "ag/desktop.hpp"
@@ -176,6 +177,120 @@ TEST(Media, BridgeRelaysToUnicastClients) {
   auto decoded = viz::decompress_frame(raw.value());
   ASSERT_TRUE(decoded.is_ok());
   EXPECT_EQ(decoded.value(), frame);
+}
+
+TEST(Media, BridgeIsolatesSlowClientAndKeepsFramesIntact) {
+  // One wedged unicast client (receive window smaller than a single frame,
+  // never drained) must not stall the relay for its healthy sibling: every
+  // frame still reaches the healthy client intact, the wedged client's
+  // frames are shed by its bounded queue (kDropOldest), and shedding is
+  // not a teardown.
+  net::InProcNetwork net;
+  UnicastBridge::Options options;
+  options.group = "mcast/v5";
+  options.address = "bridge:slow";
+  options.send_deadline = std::chrono::milliseconds(50);
+  auto bridge = UnicastBridge::start(net, options);
+  ASSERT_TRUE(bridge.is_ok());
+  auto sender = MediaStream::join(net, "mcast/v5");
+  ASSERT_TRUE(sender.is_ok());
+
+  auto healthy = net.connect("bridge:slow", Deadline::after(2s));
+  ASSERT_TRUE(healthy.is_ok());
+  net::ConnectOptions wedge;
+  wedge.recv_capacity_bytes = 16;  // smaller than any compressed frame
+  auto wedged = net.connect("bridge:slow", Deadline::after(2s), wedge);
+  ASSERT_TRUE(wedged.is_ok());
+
+  constexpr int kFrames = 10;
+  for (int i = 0; i < kFrames; ++i) {
+    const viz::Image frame = test_frame(24, 24, static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(sender.value().send_frame(frame).is_ok());
+    // The healthy client sees every frame, bit-exact and in order, with
+    // bounded delay — the wedged sibling costs its shard at most one send
+    // deadline per pass, never a stall.
+    auto raw = healthy.value()->recv(Deadline::after(2s));
+    ASSERT_TRUE(raw.is_ok()) << "frame " << i;
+    auto decoded = viz::decompress_frame(raw.value());
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value(), frame) << "frame " << i;
+  }
+
+  // Delivery counters fold into the shard stats once per worker pass; give
+  // the final pass (which may still be blocked on the wedged client's send
+  // deadline) a moment to settle.
+  const auto stats_deadline = Deadline::after(2s);
+  while (bridge.value()->relay_stats().data_delivered <
+             static_cast<std::uint64_t>(kFrames) &&
+         !stats_deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  const auto stats = bridge.value()->relay_stats();
+  EXPECT_EQ(stats.subscribers, 2u);       // shedding is not a teardown
+  EXPECT_GE(stats.data_delivered, static_cast<std::uint64_t>(kFrames));
+  EXPECT_GT(stats.data_dropped, 0u);      // the wedged client missed frames
+  EXPECT_EQ(stats.disconnects, 0u);
+  EXPECT_EQ(bridge.value()->client_count(), 2u);
+  bridge.value()->stop();
+}
+
+TEST(Media, BridgeSurvivesClientChurnUnderRelayLoad) {
+  // Clients joining and leaving mid-stream must never wedge the relay or
+  // leak registrations: a persistent client keeps receiving throughout,
+  // and the registry returns to exactly one client once the churn ends.
+  net::InProcNetwork net;
+  auto bridge = UnicastBridge::start(net, {"mcast/v6", "bridge:churn"});
+  ASSERT_TRUE(bridge.is_ok());
+  auto sender = MediaStream::join(net, "mcast/v6");
+  ASSERT_TRUE(sender.is_ok());
+
+  auto persistent = net.connect("bridge:churn", Deadline::after(2s));
+  ASSERT_TRUE(persistent.is_ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> received{0};
+  std::thread drainer([&] {
+    while (!stop.load()) {
+      auto raw = persistent.value()->recv(Deadline::after(50ms));
+      if (raw.is_ok()) received.fetch_add(1);
+      else if (raw.status().code() == StatusCode::kClosed) return;
+    }
+  });
+  std::thread pump([&] {
+    std::uint8_t tone = 0;
+    while (!stop.load()) {
+      (void)sender.value().send_frame(test_frame(16, 16, ++tone));
+      std::this_thread::sleep_for(2ms);
+    }
+  });
+
+  for (int k = 0; k < 25; ++k) {
+    auto conn = net.connect("bridge:churn", Deadline::after(2s));
+    ASSERT_TRUE(conn.is_ok());
+    if (k % 2 == 0) {
+      // Half the churners consume one frame before leaving, so teardown
+      // races both pump-side (recv kClosed) and worker-side (send kClosed).
+      (void)conn.value()->recv(Deadline::after(200ms));
+    }
+    conn.value()->close();
+  }
+
+  // The persistent client kept receiving through the churn.
+  const auto deadline = Deadline::after(5s);
+  while (received.load() < 20 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GE(received.load(), 20);
+  // Closed churners are reaped from the registry (either their pump or a
+  // relay worker observed the close).
+  while (bridge.value()->client_count() > 1 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(bridge.value()->client_count(), 1u);
+  stop.store(true);
+  pump.join();
+  drainer.join();
+  bridge.value()->stop();
 }
 
 TEST(Media, BridgeRelaysUnicastIntoGroup) {

@@ -464,6 +464,136 @@ TEST(ShardedFanout, SourcePayloadToBytesSinkIsUndeliverable) {
   fanout.stop();
 }
 
+TEST(ShardedFanout, BatchSinkReceivesWholeBurstInOneCall) {
+  // A backlog drained for one subscriber arrives at a batch sink as one
+  // span (one vectored send on a real transport), not item by item.
+  ShardedFanout::Options options;
+  options.shards = 1;
+  ShardedFanout fanout(options, nullptr);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::vector<std::size_t> call_sizes;
+  std::vector<std::uint8_t> delivered;
+  fanout.add(
+      1, ShardedFanout::BatchSink{[&](std::span<const OutboundQueue::Item>
+                                          items,
+                                      std::size_t& count) {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return open; });
+        call_sizes.push_back(items.size());
+        for (const auto& item : items) delivered.push_back(item.frame->front());
+        count = items.size();
+        return Status::ok();
+      }});
+  // The gate starts closed: the first claimed burst wedges inside the sink
+  // while the rest of the frames pile up behind it.
+  for (std::uint8_t i = 1; i <= 5; ++i) {
+    fanout.publish(frame_of(i), OverflowPolicy::kDropOldest);
+  }
+  {
+    std::scoped_lock lock(mutex);
+    open = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(wait_for([&] {
+    std::scoped_lock lock(mutex);
+    return delivered.size() == 5;
+  }));
+  std::scoped_lock lock(mutex);
+  EXPECT_EQ(delivered, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  // The backlog that accumulated behind the wedged first call came out in
+  // one batch (frames 2..5 — or fewer calls if the worker claimed frame 1
+  // together with part of the backlog).
+  EXPECT_LE(call_sizes.size(), 3u);
+  std::size_t max_batch = 0;
+  for (std::size_t n : call_sizes) max_batch = std::max(max_batch, n);
+  EXPECT_GE(max_batch, 2u);
+  fanout.stop();
+}
+
+TEST(ShardedFanout, BatchSinkMidBatchDataFailureShedsRestAttemptsControl) {
+  // The batch sink contract: on failure at item `delivered`, the worker
+  // sheds the remaining data frames without another blocking attempt but
+  // still tries every remaining control frame individually
+  // (lossless-or-dead).
+  ShardedFanout::Options options;
+  options.shards = 1;
+  ShardedFanout fanout(options, nullptr);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::vector<std::vector<std::uint8_t>> calls;
+  fanout.add(
+      1, ShardedFanout::BatchSink{[&](std::span<const OutboundQueue::Item>
+                                          items,
+                                      std::size_t& count) -> Status {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return open; });
+        std::vector<std::uint8_t> tags;
+        for (const auto& item : items) tags.push_back(item.frame->front());
+        calls.push_back(tags);
+        if (tags.front() == 2) {
+          count = 0;  // the batch headed by frame 2 times out at its head
+          return Status{StatusCode::kTimeout, "wedged"};
+        }
+        count = items.size();
+        return Status::ok();
+      }});
+  // Wedge the worker on frame 1, then queue: data 2, data 3, control 4,
+  // data 5. The batch headed by frame 2 fails.
+  fanout.publish(frame_of(1), OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(wait_for([&] { return fanout.stats().queued_frames == 0; }));
+  fanout.publish(frame_of(2), OverflowPolicy::kDropOldest);
+  fanout.publish(frame_of(3), OverflowPolicy::kDropOldest);
+  fanout.publish(frame_of(4), OverflowPolicy::kDisconnect);
+  fanout.publish(frame_of(5), OverflowPolicy::kDropOldest);
+  {
+    std::scoped_lock lock(mutex);
+    open = true;
+  }
+  cv.notify_all();
+  // Data 2 fails (timeout), data 3 and 5 are shed without another blocking
+  // attempt, control 4 is re-attempted solo and delivered — the subscriber
+  // survives (a slow consumer missing samples is not a teardown).
+  ASSERT_TRUE(wait_for([&] {
+    const auto stats = fanout.stats();
+    return stats.control_delivered == 1 && stats.data_dropped == 3;
+  }));
+  const auto stats = fanout.stats();
+  EXPECT_EQ(stats.data_dropped, 3u);  // frames 2, 3, 5
+  EXPECT_EQ(stats.control_delivered, 1u);
+  EXPECT_EQ(stats.disconnects, 0u);
+  EXPECT_EQ(fanout.subscriber_count(), 1u);
+  EXPECT_EQ(stats.data_delivered, 1u);  // frame 1 only
+  std::scoped_lock lock(mutex);
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0], (std::vector<std::uint8_t>{1}));
+  // The failing batch carried 2..5 together; the control retry came alone.
+  EXPECT_EQ(calls[1], (std::vector<std::uint8_t>{2, 3, 4, 5}));
+  EXPECT_EQ(calls[2], (std::vector<std::uint8_t>{4}));
+  fanout.stop();
+}
+
+TEST(ShardedFanout, PublishExceptSkipsTheOrigin) {
+  ShardedFanout::Options options;
+  options.shards = 2;
+  ShardedFanout fanout(options, nullptr);
+  GatedSink a, b, c;
+  fanout.add(1, std::ref(a));
+  fanout.add(2, std::ref(b));
+  fanout.add(3, std::ref(c));
+  fanout.publish_except(
+      2, OutboundQueue::Item{frame_of(7), OverflowPolicy::kDropOldest,
+                             nullptr});
+  fanout.publish(frame_of(8), OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(wait_for([&] { return a.count() == 2 && c.count() == 2; }));
+  ASSERT_TRUE(wait_for([&] { return b.count() == 1; }));
+  EXPECT_EQ(a.snapshot(), (std::vector<std::uint8_t>{7, 8}));
+  EXPECT_EQ(b.snapshot(), (std::vector<std::uint8_t>{8}));  // excluded from 7
+  EXPECT_EQ(c.snapshot(), (std::vector<std::uint8_t>{7, 8}));
+}
+
 TEST(ShardedFanout, StopIsIdempotentAndSafeAfterwards) {
   ShardedFanout::Options options;
   options.shards = 2;
