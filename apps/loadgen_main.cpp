@@ -55,11 +55,22 @@ void usage(const char* argv0) {
       "recv window,\n"
       "                                 never drained) to probe slow-client "
       "isolation\n"
+      "  --use-event-host=0|1           mux: host TCP viewers on the shared "
+      "epoll\n"
+      "                                 loop (default 1; 0 is the "
+      "thread-per-viewer\n"
+      "                                 baseline)\n"
+      "  --max-service-threads=N        mux: fail if the service owns more "
+      "than N\n"
+      "                                 threads with all viewers connected "
+      "(default\n"
+      "                                 0 = no bound)\n"
       "  --out=FILE                     write the JSON report here "
       "(default stdout)\n"
       "raw-scenario options:\n"
       "  --pattern=push|pull|duplex|burst  traffic shape (default duplex)\n"
-      "  --transport=inproc|tcp            substrate (default inproc)\n"
+      "  --transport=inproc|tcp            substrate for raw and mux "
+      "(default inproc)\n"
       "  --min-payload=N --max-payload=N   seeded payload sizing range\n"
       "  --ramp-ms=N                       connect ramp-up (default 0)\n"
       "  --batch=N                         wire batch depth: frames per "
@@ -88,6 +99,13 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       cli.scenario = value;
     } else if (key == "--transport") {
       cli.transport = value;
+      if (value == "tcp") {
+        s.transport = loadgen::ScenarioOptions::Transport::kTcp;
+      } else if (value == "inproc") {
+        s.transport = loadgen::ScenarioOptions::Transport::kInProc;
+      } else {
+        return false;
+      }
     } else if (key == "--out") {
       cli.out_path = value;
     } else if (key == "--pattern") {
@@ -125,6 +143,10 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       w.batch = n;
     } else if (key == "--stalled" && parse_u64(value.c_str(), n)) {
       s.stalled_connections = n;
+    } else if (key == "--use-event-host" && parse_u64(value.c_str(), n)) {
+      s.use_event_host = (n != 0);
+    } else if (key == "--max-service-threads" && parse_u64(value.c_str(), n)) {
+      s.max_service_threads = n;
     } else {
       std::fprintf(stderr, "unknown or malformed option: %s\n", arg.c_str());
       return false;

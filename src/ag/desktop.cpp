@@ -25,8 +25,9 @@ Result<std::unique_ptr<DesktopShareServer>> DesktopShareServer::start(
   server->listener_ = std::move(listener).value();
   server->on_event_ = std::move(on_event);
   DesktopShareServer* self = server.get();
-  server->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  server->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *server->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return server;
 }
 
@@ -34,8 +35,8 @@ DesktopShareServer::~DesktopShareServer() { stop(); }
 
 void DesktopShareServer::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
+  if (accept_pump_) accept_pump_->stop();
   std::vector<Viewer> doomed;
   std::vector<std::jthread> graves;
   {
@@ -99,36 +100,33 @@ DesktopShareServer::Stats DesktopShareServer::stats() const {
   return stats_;
 }
 
-void DesktopShareServer::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    net::ConnectionPtr c = std::move(conn).value();
-    // Send the current desktop as a key frame so the viewer has a base.
-    viz::Image snapshot;
-    {
-      std::scoped_lock lock(mutex_);
-      snapshot = desktop_;
-    }
-    if (!snapshot.empty()) {
-      const Bytes payload = viz::compress_frame(snapshot);
-      (void)c->send(
-          wire::make_data_message(kTagUpdate, payload.data(), payload.size())
-              .encode(),
-          Deadline::after(std::chrono::seconds(1)));
-    }
+void DesktopShareServer::handle_conn(net::ConnectionPtr conn) {
+  net::ConnectionPtr c = std::move(conn);
+  // Send the current desktop as a key frame so the viewer has a base.
+  viz::Image snapshot;
+  {
     std::scoped_lock lock(mutex_);
-    const std::uint64_t id = next_id_++;
-    Viewer viewer;
-    viewer.conn = c;
-    viewer.last_frame = snapshot;
-    viewers_.emplace(id, std::move(viewer));
-    viewers_[id].pump = std::jthread(
-        [this, id](std::stop_token pst) { viewer_pump(pst, id); });
+    snapshot = desktop_;
   }
+  if (!snapshot.empty()) {
+    const Bytes payload = viz::compress_frame(snapshot);
+    (void)c->send(
+        wire::make_data_message(kTagUpdate, payload.data(), payload.size())
+            .encode(),
+        Deadline::after(std::chrono::seconds(1)));
+  }
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+    c->close();
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  Viewer viewer;
+  viewer.conn = c;
+  viewer.last_frame = snapshot;
+  viewers_.emplace(id, std::move(viewer));
+  viewers_[id].pump =
+      std::jthread([this, id](std::stop_token pst) { viewer_pump(pst, id); });
 }
 
 void DesktopShareServer::viewer_pump(const std::stop_token& st,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
 #include "net/inproc.hpp"
 #include "viz/compress.hpp"
 #include "viz/image.hpp"
@@ -59,7 +60,7 @@ class DesktopShareServer {
 
  private:
   DesktopShareServer() = default;
-  void accept_loop(const std::stop_token& st);
+  void handle_conn(net::ConnectionPtr conn);
   void viewer_pump(const std::stop_token& st, std::uint64_t id);
 
   struct Viewer {
@@ -69,7 +70,7 @@ class DesktopShareServer {
   };
 
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
+  std::unique_ptr<net::AcceptPump> accept_pump_;
   std::function<void(const std::string&)> on_event_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Viewer> viewers_;

@@ -1,5 +1,6 @@
 #include "ag/media.hpp"
 
+#include "common/log.hpp"
 #include "net/fanout_sink.hpp"
 
 namespace cs::ag {
@@ -52,9 +53,15 @@ void MediaStream::leave() {
 
 Result<std::unique_ptr<UnicastBridge>> UnicastBridge::start(
     net::InProcNetwork& net, const Options& options) {
-  auto socket = net.join_group(options.group);
+  return start(net, net, options);
+}
+
+Result<std::unique_ptr<UnicastBridge>> UnicastBridge::start(
+    net::InProcNetwork& group_net, net::Network& client_net,
+    const Options& options) {
+  auto socket = group_net.join_group(options.group);
   if (!socket.is_ok()) return socket.status();
-  auto listener = net.listen(options.address);
+  auto listener = client_net.listen(options.address);
   if (!listener.is_ok()) return listener.status();
   std::unique_ptr<UnicastBridge> bridge{new UnicastBridge};
   bridge->options_ = options;
@@ -67,6 +74,19 @@ Result<std::unique_ptr<UnicastBridge>> UnicastBridge::start(
       options.client_queue_frames == 0 ? 1 : options.client_queue_frames;
   bridge->relay_ = std::make_unique<common::ShardedFanout>(
       relay_options, [self](std::uint64_t id) { self->drop_client(id); });
+  if (options.use_event_host) {
+    net::EventHost::Options host_options;
+    host_options.pollers = options.event_host_pollers;
+    host_options.queue_capacity = relay_options.queue_capacity;
+    auto host = net::EventHost::start(host_options);
+    if (host.is_ok()) {
+      bridge->event_host_ = std::move(host).value();
+    } else {
+      CS_LOG_WARN("ag.bridge") << "event host unavailable, using pump "
+                                  "threads: "
+                               << host.status().to_string();
+    }
+  }
   bridge->group_thread_ =
       std::jthread([self](std::stop_token st) { self->group_pump(st); });
   return bridge;
@@ -83,8 +103,11 @@ void UnicastBridge::stop() {
   // the mutex and maps die (member destruction order would otherwise race).
   if (group_thread_.joinable()) group_thread_.join();
   // Stop the relay workers next: afterwards no sink runs and no on_dead
-  // callback can re-enter drop_client().
+  // callback can re-enter drop_client(). Same for the event host: its
+  // pollers may be delivering ingress or running on_close (both re-enter
+  // drop_client, which only takes mutex_ — not held here).
   if (relay_) relay_->stop();
+  if (event_host_) event_host_->stop();
   std::map<std::uint64_t, net::ConnectionPtr> clients;
   std::vector<ClientThread> threads;
   {
@@ -105,11 +128,33 @@ std::size_t UnicastBridge::client_count() const {
   return clients_.size();
 }
 
+std::string UnicastBridge::address() const {
+  return listener_ ? listener_->address() : options_.address;
+}
+
 common::FanoutStats UnicastBridge::relay_stats() const {
   return relay_ ? relay_->stats() : common::FanoutStats{};
 }
 
+net::EventHostStats UnicastBridge::host_stats() const {
+  return event_host_ ? event_host_->stats() : net::EventHostStats{};
+}
+
+std::size_t UnicastBridge::service_threads() const {
+  std::size_t pumps = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    for (const auto& ct : client_threads_) {
+      if (!ct.done->load()) ++pumps;
+    }
+  }
+  return (group_thread_.joinable() ? 1 : 0) +
+         (relay_ ? relay_->shard_count() : 0) +
+         (event_host_ ? event_host_->poller_count() : 0) + pumps;
+}
+
 void UnicastBridge::register_client(net::ConnectionPtr conn) {
+  const bool hosted = event_host_ != nullptr && conn->native_handle() >= 0;
   std::scoped_lock lock(mutex_);
   if (stopped_.load()) {  // raced with stop(): don't leak a live client
     conn->close();
@@ -122,6 +167,25 @@ void UnicastBridge::register_client(net::ConnectionPtr conn) {
                 [](const ClientThread& ct) { return ct.done->load(); });
   const std::uint64_t id = next_id_++;
   clients_[id] = conn;
+  if (hosted) {
+    // The poller owns ingress and egress; no pump thread, no relay
+    // subscription. host() only registers with epoll — callbacks can't run
+    // under this lock, so registry insert and hosting are atomic here too.
+    const bool ok = event_host_->host(
+        id, std::move(conn),
+        [this](std::uint64_t cid, common::Bytes raw) {
+          relay_from_client(cid, std::move(raw));
+        },
+        [this](std::uint64_t cid, const common::Status&) {
+          drop_client(cid);
+        });
+    if (!ok) {
+      auto it = clients_.find(id);
+      it->second->close();
+      clients_.erase(it);
+    }
+    return;
+  }
   // Registry insert and relay subscription are atomic under mutex_, and
   // the pump starts only after both: a drop_client racing in from any side
   // (pump recv, shard-worker on_dead) always observes either neither or
@@ -141,6 +205,9 @@ void UnicastBridge::register_client(net::ConnectionPtr conn) {
 
 void UnicastBridge::drop_client(std::uint64_t id) {
   relay_->remove(id);  // idempotent; no further frames are queued
+  // Idempotent for legacy clients; for hosted ones this closes the socket
+  // and drops the poller registration (safe from inside a poller callback).
+  if (event_host_) event_host_->unhost(id);
   net::ConnectionPtr conn;
   {
     std::scoped_lock lock(mutex_);
@@ -171,8 +238,12 @@ void UnicastBridge::group_pump(const std::stop_token& st) {
       if (message.status().code() == StatusCode::kClosed) return;
       continue;
     }
-    relay_->publish(common::make_frame(std::move(message).value()),
-                    common::OverflowPolicy::kDropOldest);
+    auto frame = common::make_frame(std::move(message).value());
+    relay_->publish(frame, common::OverflowPolicy::kDropOldest);
+    if (event_host_) {
+      event_host_->publish(std::move(frame),
+                           common::OverflowPolicy::kDropOldest);
+    }
   }
 }
 
@@ -198,11 +269,25 @@ void UnicastBridge::client_pump(const std::stop_token& st, std::uint64_t id) {
       }
       continue;
     }
-    (void)socket_->send(message.value(), Deadline::expired());
-    relay_->publish_except(
+    relay_from_client(id, std::move(message).value());
+  }
+}
+
+void UnicastBridge::relay_from_client(std::uint64_t id,
+                                      common::Bytes message) {
+  // Runs on the client's pump thread or — for hosted clients — the event
+  // host poller. Either way it only enqueues: the multicast send is
+  // best-effort non-blocking and both publishes hand frames to queues.
+  (void)socket_->send(message, Deadline::expired());
+  auto frame = common::make_frame(std::move(message));
+  relay_->publish_except(
+      id, common::OutboundQueue::Item{
+              frame, common::OverflowPolicy::kDropOldest, nullptr});
+  if (event_host_) {
+    event_host_->publish_except(
         id, common::OutboundQueue::Item{
-                common::make_frame(std::move(message).value()),
-                common::OverflowPolicy::kDropOldest, nullptr});
+                std::move(frame), common::OverflowPolicy::kDropOldest,
+                nullptr});
   }
 }
 

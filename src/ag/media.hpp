@@ -19,6 +19,7 @@
 
 #include "common/fanout.hpp"
 #include "common/status.hpp"
+#include "net/event_host.hpp"
 #include "net/inproc.hpp"
 #include "viz/compress.hpp"
 #include "viz/image.hpp"
@@ -86,6 +87,15 @@ class MediaStream {
 /// burst per client in one Connection::send_many. A slow client therefore
 /// backs up only its own bounded queue and costs its shard at most one send
 /// deadline per pass; it never stalls the pumps or its sibling clients.
+///
+/// Clients whose transport exposes readiness (TCP) skip the pump thread and
+/// the fan-out entirely: they are hosted on a shared net::EventHost poller,
+/// which owns their ingress decode and outbound queue, so bridge thread
+/// count stays flat in the client count. Handle-less clients (in-process)
+/// keep the pump+relay path; both populations receive every relayed frame.
+/// Accepts stay on the group pump either way — draining the backlog between
+/// recv and publish is what guarantees a client that finished connecting
+/// before a frame was sent cannot miss it.
 class UnicastBridge {
  public:
   struct Options {
@@ -99,10 +109,20 @@ class UnicastBridge {
     /// Deadline for one batched send to one client; a client that cannot
     /// accept a burst within it just misses those frames.
     common::Duration send_deadline = std::chrono::milliseconds(100);
+    /// Host readiness-capable clients (TCP) on a shared epoll loop instead
+    /// of a pump thread each. Off keeps the legacy thread-per-client path.
+    bool use_event_host = true;
+    /// Poller threads for the event host.
+    std::size_t event_host_pollers = 1;
   };
 
   static common::Result<std::unique_ptr<UnicastBridge>> start(
       net::InProcNetwork& net, const Options& options);
+  /// As above, but clients connect over `client_net` (e.g. TCP across a
+  /// firewall) while the multicast group stays on the in-process fabric.
+  static common::Result<std::unique_ptr<UnicastBridge>> start(
+      net::InProcNetwork& group_net, net::Network& client_net,
+      const Options& options);
   ~UnicastBridge();
   UnicastBridge(const UnicastBridge&) = delete;
   UnicastBridge& operator=(const UnicastBridge&) = delete;
@@ -110,8 +130,17 @@ class UnicastBridge {
 
   std::size_t client_count() const;
 
+  /// Resolved client listener address (useful with TCP port 0).
+  std::string address() const;
+
   /// Relay delivery/drop counters (per-shard breakdown included).
   common::FanoutStats relay_stats() const;
+  /// Event-host counters for epoll-hosted clients (zeros when disabled).
+  net::EventHostStats host_stats() const;
+  /// Threads the bridge owns right now: the group pump, relay shard
+  /// workers, event-host pollers, and legacy per-client pumps. Constant in
+  /// the client count when every client is hosted.
+  std::size_t service_threads() const;
 
  private:
   UnicastBridge() = default;
@@ -121,6 +150,9 @@ class UnicastBridge {
   void drop_client(std::uint64_t id);
   void group_pump(const std::stop_token& st);
   void client_pump(const std::stop_token& st, std::uint64_t id);
+  /// Client -> group + sibling relay; shared by the pump loop and the
+  /// event-host ingress callback (runs on a poller thread, only enqueues).
+  void relay_from_client(std::uint64_t id, common::Bytes message);
 
   /// A client pump plus its completion flag; `done` is set only after the
   /// pump body has returned, so reaping joins only threads past their last
@@ -134,6 +166,9 @@ class UnicastBridge {
   net::MulticastSocketPtr socket_;
   net::ListenerPtr listener_;
   std::unique_ptr<common::ShardedFanout> relay_;
+  /// Epoll host for readiness-capable clients; owns their decode state and
+  /// outbound queues on a fixed poller pool.
+  std::unique_ptr<net::EventHost> event_host_;
   std::jthread group_thread_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, net::ConnectionPtr> clients_;

@@ -32,8 +32,9 @@ Result<std::unique_ptr<VenueServer>> VenueServer::start(
   server->net_ = &net;
   server->listener_ = std::move(listener).value();
   VenueServer* self = server.get();
-  server->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  server->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *server->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return server;
 }
 
@@ -41,8 +42,8 @@ VenueServer::~VenueServer() { stop(); }
 
 void VenueServer::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
+  if (accept_pump_) accept_pump_->stop();
   std::vector<std::jthread> threads;
   {
     std::scoped_lock lock(mutex_);
@@ -79,18 +80,15 @@ std::vector<Participant> VenueServer::participants(
   return out;
 }
 
-void VenueServer::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    std::scoped_lock lock(mutex_);
-    net::ConnectionPtr c = std::move(conn).value();
-    connection_threads_.emplace_back(
-        [this, c](std::stop_token cst) { serve(cst, c); });
+void VenueServer::handle_conn(net::ConnectionPtr conn) {
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+    conn->close();
+    return;
   }
+  net::ConnectionPtr c = std::move(conn);
+  connection_threads_.emplace_back(
+      [this, c](std::stop_token cst) { serve(cst, c); });
 }
 
 void VenueServer::serve(const std::stop_token& st, net::ConnectionPtr conn) {

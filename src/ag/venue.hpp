@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
 #include "net/inproc.hpp"
 
 namespace cs::ag {
@@ -62,7 +63,7 @@ class VenueServer {
 
  private:
   VenueServer() = default;
-  void accept_loop(const std::stop_token& st);
+  void handle_conn(net::ConnectionPtr conn);
   void serve(const std::stop_token& st, net::ConnectionPtr conn);
   std::string handle(const std::string& request, std::string& session_venue,
                      std::string& session_name);
@@ -75,7 +76,7 @@ class VenueServer {
 
   net::InProcNetwork* net_ = nullptr;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
+  std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::map<std::string, Venue> venues_;
   std::vector<std::jthread> connection_threads_;

@@ -1,6 +1,14 @@
 #include "common/status.hpp"
 
+#include "common/log.hpp"
+
 namespace cs::common {
+
+namespace detail {
+void log_status_warn(std::string_view tag, const Status& status) {
+  log_line(LogLevel::kWarn, std::string(tag), status.to_string());
+}
+}  // namespace detail
 
 std::string_view to_string(StatusCode code) noexcept {
   switch (code) {

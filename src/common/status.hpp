@@ -31,6 +31,14 @@ enum class StatusCode {
 /// Human-readable name of a status code (stable, for logs and tests).
 std::string_view to_string(StatusCode code) noexcept;
 
+class Status;
+
+namespace detail {
+/// Emits "<status>" under `tag` at warn level. Lives in status.cpp so this
+/// header stays independent of log.hpp.
+void log_status_warn(std::string_view tag, const Status& status);
+}  // namespace detail
+
 /// A status code plus optional context message.
 class [[nodiscard]] Status {
  public:
@@ -47,6 +55,16 @@ class [[nodiscard]] Status {
 
   /// "OK" or "<CODE>: <message>".
   std::string to_string() const;
+
+  /// True when OK; otherwise logs the status once under `tag` at warn
+  /// level. For call sites whose whole error handling is one log line:
+  /// `if (!s.or_log("visit.mux")) return;` replaces the is_ok-check +
+  /// hand-rolled narration pair.
+  bool or_log(std::string_view tag) const {
+    if (is_ok()) return true;
+    detail::log_status_warn(tag, *this);
+    return false;
+  }
 
   friend bool operator==(const Status& a, const Status& b) noexcept {
     return a.code_ == b.code_;
@@ -87,6 +105,14 @@ class [[nodiscard]] Result {
 
   T value_or(T fallback) const& {
     return is_ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  /// True when a value is present; otherwise logs the status once under
+  /// `tag` at warn level (see Status::or_log).
+  bool or_log(std::string_view tag) const {
+    if (is_ok()) return true;
+    detail::log_status_warn(tag, std::get<Status>(state_));
+    return false;
   }
 
  private:

@@ -31,8 +31,9 @@ Result<std::unique_ptr<RequestBroker>> RequestBroker::start(
   broker->sds_ = std::move(sds);
   broker->listener_ = std::move(listener).value();
   RequestBroker* self = broker.get();
-  broker->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->serve_loop(st); });
+  broker->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *broker->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return broker;
 }
 
@@ -40,8 +41,8 @@ RequestBroker::~RequestBroker() { stop(); }
 
 void RequestBroker::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
+  if (accept_pump_) accept_pump_->stop();
   std::vector<std::jthread> threads;
   {
     std::scoped_lock lock(mutex_);
@@ -55,18 +56,15 @@ void RequestBroker::stop() {
   }
 }
 
-void RequestBroker::serve_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    std::scoped_lock lock(mutex_);
-    net::ConnectionPtr c = std::move(conn).value();
-    connection_threads_.emplace_back(
-        [this, c](std::stop_token cst) { serve_connection(cst, c); });
+void RequestBroker::handle_conn(net::ConnectionPtr conn) {
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+    conn->close();
+    return;
   }
+  net::ConnectionPtr c = std::move(conn);
+  connection_threads_.emplace_back(
+      [this, c](std::stop_token cst) { serve_connection(cst, c); });
 }
 
 void RequestBroker::serve_connection(const std::stop_token& st,

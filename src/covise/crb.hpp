@@ -18,6 +18,7 @@
 
 #include "common/status.hpp"
 #include "covise/sds.hpp"
+#include "net/accept_pump.hpp"
 #include "net/inproc.hpp"
 
 namespace cs::covise {
@@ -53,7 +54,7 @@ class RequestBroker {
 
  private:
   RequestBroker() = default;
-  void serve_loop(const std::stop_token& st);
+  void handle_conn(net::ConnectionPtr conn);
   void serve_connection(const std::stop_token& st, net::ConnectionPtr conn);
   common::Result<net::ConnectionPtr> peer_connection(
       const std::string& host, common::Deadline deadline);
@@ -63,7 +64,7 @@ class RequestBroker {
   net::LinkModel link_;
   std::shared_ptr<SharedDataSpace> sds_;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
+  std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::map<std::string, net::ConnectionPtr> peers_;
   std::vector<std::jthread> connection_threads_;

@@ -73,8 +73,9 @@ Result<std::unique_ptr<LoadPeer>> LoadPeer::start(net::Network& net,
   peer->listener_ = std::move(listener).value();
   peer->address_ = peer->listener_->address();
   LoadPeer* self = peer.get();
-  peer->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  peer->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *peer->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return peer;
 }
 
@@ -82,9 +83,8 @@ LoadPeer::~LoadPeer() { stop(); }
 
 void LoadPeer::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (accept_pump_) accept_pump_->stop();
   std::vector<ServeSlot> slots;
   {
     std::scoped_lock lock(mutex_);
@@ -107,31 +107,24 @@ std::uint64_t LoadPeer::stream_frames() const {
   return stream_frames_;
 }
 
-void LoadPeer::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    std::scoped_lock lock(mutex_);
-    if (stopped_.load()) {
-      conn.value()->close();
-      return;
-    }
-    // Reap finished pumps so connection churn over a long soak doesn't grow
-    // the vector (and, for TCP, pin dead fds) without bound. A set `done`
-    // flag means the thread is past its last mutex_ use, so joining it in
-    // ~jthread while holding the lock cannot deadlock.
-    std::erase_if(slots_, [](const ServeSlot& s) { return s.done->load(); });
-    net::ConnectionPtr shared = std::move(conn).value();
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    slots_.push_back(
-        {shared, done, std::jthread([this, shared, done](std::stop_token sst) {
-           serve(sst, shared);
-           done->store(true);
-         })});
+void LoadPeer::handle_conn(net::ConnectionPtr conn) {
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {
+    conn->close();
+    return;
   }
+  // Reap finished pumps so connection churn over a long soak doesn't grow
+  // the vector (and, for TCP, pin dead fds) without bound. A set `done`
+  // flag means the thread is past its last mutex_ use, so joining it in
+  // ~jthread while holding the lock cannot deadlock.
+  std::erase_if(slots_, [](const ServeSlot& s) { return s.done->load(); });
+  net::ConnectionPtr shared = std::move(conn);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  slots_.push_back(
+      {shared, done, std::jthread([this, shared, done](std::stop_token sst) {
+         serve(sst, shared);
+         done->store(true);
+       })});
 }
 
 void LoadPeer::serve(const std::stop_token& st,

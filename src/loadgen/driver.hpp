@@ -20,6 +20,7 @@
 #include "common/status.hpp"
 #include "loadgen/report.hpp"
 #include "loadgen/workload.hpp"
+#include "net/accept_pump.hpp"
 #include "net/transport.hpp"
 
 namespace cs::loadgen {
@@ -73,7 +74,7 @@ class LoadPeer {
 
  private:
   LoadPeer() = default;
-  void accept_loop(const std::stop_token& st);
+  void handle_conn(net::ConnectionPtr conn);
   void serve(const std::stop_token& st, const net::ConnectionPtr& conn);
 
   /// One serve thread plus its completion flag; a set `done` means the
@@ -86,7 +87,7 @@ class LoadPeer {
 
   net::ListenerPtr listener_;
   std::string address_;
-  std::jthread accept_thread_;
+  std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::vector<ServeSlot> slots_;
   common::Histogram stream_latency_;

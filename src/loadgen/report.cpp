@@ -83,6 +83,9 @@ std::string to_json(const Report& report) {
   append_field(out, "bytes_sent", report.transport.bytes_sent);
   append_field(out, "messages_received", report.transport.messages_received);
   append_field(out, "bytes_received", report.transport.bytes_received);
+  for (const auto& [key, value] : report.service_metrics) {
+    append_field(out, key.c_str(), value);
+  }
   append_field(out, "latency_samples", report.latency.count());
   append_field(out, "latency_min_us", ns_to_us(report.latency.min()));
   append_field(out, "latency_mean_us", report.latency.mean() / 1000.0);

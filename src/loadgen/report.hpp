@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -37,6 +38,11 @@ struct Report {
   /// Per-operation latency in nanoseconds, merged across all workers.
   common::Histogram latency;
   std::vector<ConnectionReport> per_connection;
+  /// Service-side counters the scenario chooses to surface (thread counts,
+  /// hosted-connection counts, render-loop wakeups, ...). Each pair lands
+  /// in the JSON benchmark entry as an extra numeric field, so CI can
+  /// assert on them with the same tooling that reads the latency fields.
+  std::vector<std::pair<std::string, double>> service_metrics;
 
   double seconds() const noexcept;
   double ops_per_second() const noexcept;

@@ -8,6 +8,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "net/inproc.hpp"
+#include "net/tcp.hpp"
 #include "visit/client.hpp"
 #include "visit/multiplexer.hpp"
 #include "visit/viewer.hpp"
@@ -64,35 +65,56 @@ common::Duration rate_interval(double per_sec) {
 
 Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
   if (Status s = check(options); !s.is_ok()) return s;
-  net::InProcNetwork net;
+  const bool tcp = options.transport == ScenarioOptions::Transport::kTcp;
+  std::unique_ptr<net::Network> net;
+  if (tcp) {
+    net = std::make_unique<net::TcpNetwork>();
+  } else {
+    net = std::make_unique<net::InProcNetwork>();
+  }
   visit::Multiplexer::Options mux_options;
-  mux_options.sim_address = "mux:sim";
-  mux_options.viewer_address = "mux:viewer";
+  mux_options.sim_address = tcp ? "0" : "mux:sim";
+  mux_options.viewer_address = tcp ? "0" : "mux:viewer";
   mux_options.password = "soak";
   mux_options.fanout_shards = options.fanout_shards;
-  auto mux = visit::Multiplexer::start(net, mux_options);
+  mux_options.use_event_host = options.use_event_host;
+  auto mux = visit::Multiplexer::start(*net, mux_options);
   if (!mux.is_ok()) return mux.status();
 
   // Connect every viewer before the first sample so the whole fleet sees
   // the full fan-out; the first one in holds the master role.
   visit::ViewerClient::Options viewer_options;
-  viewer_options.mux_address = mux_options.viewer_address;
+  viewer_options.mux_address = mux.value()->viewer_address();
   viewer_options.password = mux_options.password;
   std::vector<visit::ViewerClient> viewers;
   viewers.reserve(options.connections);
   for (std::size_t i = 0; i < options.connections; ++i) {
     auto viewer = visit::ViewerClient::connect(
-        net, viewer_options, Deadline::after(std::chrono::seconds(5)));
+        *net, viewer_options, Deadline::after(std::chrono::seconds(5)));
     if (!viewer.is_ok()) return viewer.status();
     viewers.push_back(std::move(viewer).value());
   }
 
   visit::SimClientOptions sim_options;
-  sim_options.server_address = mux_options.sim_address;
+  sim_options.server_address = mux.value()->sim_address();
   sim_options.password = mux_options.password;
   auto sim = visit::SimClient::connect(
-      net, sim_options, Deadline::after(std::chrono::seconds(5)));
+      *net, sim_options, Deadline::after(std::chrono::seconds(5)));
   if (!sim.is_ok()) return sim.status();
+
+  // Thread-count assertion: with the full fleet connected, the service
+  // must stay within the bound. Measured here — before traffic — because
+  // this is the moment the viewer population peaks.
+  const auto connected_stats = mux.value()->stats();
+  if (options.max_service_threads != 0 &&
+      connected_stats.service_threads > options.max_service_threads) {
+    return Status{StatusCode::kInternal,
+                  "service owns " +
+                      std::to_string(connected_stats.service_threads) +
+                      " threads with " + std::to_string(options.connections) +
+                      " viewers connected; bound is " +
+                      std::to_string(options.max_service_threads)};
+  }
 
   const auto t_start = common::Clock::now();
   const auto end = t_start + options.duration;
@@ -176,6 +198,16 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
     report.add_connection(outcome.report, outcome.latency);
   }
   report.timeouts += sim_timeouts;
+  // Peak-population service shape, so the report itself documents whether
+  // the run exercised the epoll host or the pump-thread baseline.
+  report.service_metrics = {
+      {"service_threads",
+       static_cast<double>(connected_stats.service_threads)},
+      {"hosted_viewers",
+       static_cast<double>(connected_stats.event_host.hosted)},
+      {"event_host_pollers",
+       static_cast<double>(connected_stats.event_host.pollers)},
+  };
   return report;
 }
 
@@ -194,6 +226,7 @@ Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
   server_options.height = 120;
   server_options.frame_period = std::chrono::milliseconds(1);
   server_options.pipeline_shards = options.fanout_shards;
+  const auto t_server = common::Clock::now();
   auto server = viz::RemoteRenderServer::start(net, scene, server_options);
   if (!server.is_ok()) return server.status();
 
@@ -279,6 +312,30 @@ Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
   for (auto& w : workers) w.join();
   const auto elapsed = common::Clock::now() - t_start;
   server.value()->stop();
+  const auto server_stats = server.value()->stats();
+
+  // No-spin assertion. Every render-loop iteration either renders a frame
+  // or sleeps a full frame period, so the wakeup count is bounded by
+  // elapsed/frame_period + frames_rendered (plus startup/teardown slack).
+  // The historical bug this guards against — polling accept with an
+  // expired deadline each pass — blows through this bound by orders of
+  // magnitude the moment a stalled client keeps the loop awake.
+  const double total_run =
+      std::chrono::duration<double>(common::Clock::now() - t_server).count();
+  const double period =
+      std::chrono::duration<double>(server_options.frame_period).count();
+  const double wakeup_budget =
+      total_run / period + static_cast<double>(server_stats.frames_rendered) +
+      256.0;
+  if (static_cast<double>(server_stats.render_loop_iterations) >
+      wakeup_budget) {
+    return Status{StatusCode::kInternal,
+                  "render loop spun: " +
+                      std::to_string(server_stats.render_loop_iterations) +
+                      " wakeups against a budget of " +
+                      std::to_string(static_cast<std::uint64_t>(
+                          wakeup_budget))};
+  }
 
   Report report;
   report.name = "viz_loop";
@@ -287,6 +344,12 @@ Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
   for (const auto& outcome : outcomes) {
     report.add_connection(outcome.report, outcome.latency);
   }
+  report.service_metrics = {
+      {"render_loop_iterations",
+       static_cast<double>(server_stats.render_loop_iterations)},
+      {"render_loop_wakeup_budget", wakeup_budget},
+      {"frames_rendered", static_cast<double>(server_stats.frames_rendered)},
+  };
   return report;
 }
 

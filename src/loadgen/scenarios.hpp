@@ -46,6 +46,21 @@ struct ScenarioOptions {
   /// participants' latency distribution measures. Stalled participants
   /// record no latency samples.
   std::size_t stalled_connections = 0;
+  /// Substrate for the mux scenario. TCP exercises the readiness path:
+  /// viewers land on the service's shared epoll host instead of one pump
+  /// thread each. In-process connections have no native handle and always
+  /// use the pump path.
+  enum class Transport { kInProc, kTcp };
+  Transport transport = Transport::kInProc;
+  /// Mux scenario: host readiness-capable viewers on the shared epoll
+  /// loop. Off is the legacy thread-per-viewer baseline — the "before"
+  /// side of the flat-thread benchmark pair.
+  bool use_event_host = true;
+  /// When nonzero, the mux scenario fails (kInternal) if the service owns
+  /// more threads than this once every participant is connected. CI runs
+  /// the 1024-viewer TCP soak with a bound a thread-per-viewer design
+  /// cannot meet.
+  std::size_t max_service_threads = 0;
 };
 
 /// Steering fan-out soak: one simulation pushes timestamped samples through

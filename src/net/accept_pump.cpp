@@ -1,0 +1,75 @@
+#include "net/accept_pump.hpp"
+
+#include <utility>
+
+namespace cs::net {
+
+using common::Deadline;
+using common::Result;
+using common::StatusCode;
+
+AcceptPump::AcceptPump(Listener& listener, ConnHandler on_conn,
+                       ServeOptions options)
+    : listener_(listener), on_conn_(std::move(on_conn)), options_(options) {
+  thread_ = std::jthread([this](std::stop_token st) { run(st); });
+}
+
+AcceptPump::AcceptPump(EventHost& host, Listener& listener,
+                       ConnHandler on_conn, ServeOptions options)
+    : listener_(listener), on_conn_(std::move(on_conn)), options_(options) {
+  Result<std::uint64_t> token = host.watch_listener(
+      listener, [this](ConnectionPtr conn) { dispatch(std::move(conn)); });
+  if (token.is_ok()) {
+    host_ = &host;
+    watch_token_ = token.value();
+    event_driven_ = true;
+    return;
+  }
+  // No native handle (or the watch failed): same contract, one thread.
+  thread_ = std::jthread([this](std::stop_token st) { run(st); });
+}
+
+AcceptPump::~AcceptPump() { stop(); }
+
+void AcceptPump::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  if (event_driven_) {
+    host_->unwatch_listener(watch_token_);
+    return;
+  }
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void AcceptPump::run(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    Result<ConnectionPtr> r =
+        listener_.accept(Deadline::after(options_.accept_slice));
+    if (r.is_ok()) {
+      dispatch(std::move(r).value());
+      continue;
+    }
+    const StatusCode code = r.status().code();
+    if (code == StatusCode::kClosed) return;
+    // kTimeout is the poll slice elapsing; anything else is a transient
+    // accept failure — either way, keep serving.
+  }
+}
+
+void AcceptPump::dispatch(ConnectionPtr conn) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    conn->close();
+    return;
+  }
+  if (options_.max_conns != 0 &&
+      live_.load(std::memory_order_acquire) >= options_.max_conns) {
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    conn->close();
+    return;
+  }
+  live_.fetch_add(1, std::memory_order_acq_rel);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  on_conn_(std::move(conn));
+}
+
+}  // namespace cs::net

@@ -1,0 +1,94 @@
+// The one accept loop. Every server in the stack used to hand-roll the
+// same pump — poll listener->accept(Deadline::after(slice)), swallow
+// timeouts, exit on close, hand the connection to a handler — copy-pasted
+// across eight services. AcceptPump is that loop, written once, with the
+// readiness upgrade built in: given an EventHost and a listener with a
+// native handle, it registers for EPOLLIN on the listener instead of
+// burning a thread on the poll cycle.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "net/event_host.hpp"
+#include "net/transport.hpp"
+
+namespace cs::net {
+
+struct ServeOptions {
+  /// Accept poll slice in thread mode: the bound on how long stop() can
+  /// lag behind a request (the listener close also wakes the loop).
+  /// Irrelevant in event-driven mode.
+  common::Duration accept_slice = std::chrono::milliseconds(50);
+  /// Admission cap: with more than this many handed-out connections alive
+  /// (per connection_retired()), new arrivals are closed on accept and
+  /// counted refused. 0 means unlimited.
+  std::size_t max_conns = 0;
+};
+
+/// Pumps one listener into a callback until stopped; see the file comment.
+class AcceptPump {
+ public:
+  /// Receives each accepted connection. Thread mode runs it on the pump
+  /// thread (blocking work — handshakes — is fine there); event-driven
+  /// mode runs it on the EventHost poller, where it must not block.
+  using ConnHandler = std::function<void(ConnectionPtr conn)>;
+
+  /// Thread mode: owns a jthread polling accept(). The listener must
+  /// outlive the pump; closing it stops the pump from the listener side.
+  AcceptPump(Listener& listener, ConnHandler on_conn,
+             ServeOptions options = {});
+
+  /// Event-driven when possible: registers the listener with `host` and
+  /// accepts on its poller — no thread here at all. Falls back to thread
+  /// mode when the listener has no native handle (in-process transport) or
+  /// the watch fails.
+  AcceptPump(EventHost& host, Listener& listener, ConnHandler on_conn,
+             ServeOptions options = {});
+
+  ~AcceptPump();
+  AcceptPump(const AcceptPump&) = delete;
+  AcceptPump& operator=(const AcceptPump&) = delete;
+
+  /// Stops accepting (joins the pump thread / unwatches the listener).
+  /// Does not close the listener — the owner does. Idempotent.
+  void stop();
+
+  /// The owner reports a previously handed-out connection as finished so
+  /// the max_conns admission cap frees a slot. Only needed with a cap.
+  void connection_retired() {
+    live_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// True when accepts ride an EventHost poller instead of an owned thread.
+  bool event_driven() const noexcept { return event_driven_; }
+  std::uint64_t accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t refused() const noexcept {
+    return refused_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run(const std::stop_token& st);
+  /// Admission gate + handler dispatch, shared by both modes.
+  void dispatch(ConnectionPtr conn);
+
+  Listener& listener_;
+  ConnHandler on_conn_;
+  ServeOptions options_;
+  EventHost* host_ = nullptr;
+  std::uint64_t watch_token_ = 0;
+  bool event_driven_ = false;
+  std::jthread thread_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::size_t> live_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cs::net

@@ -1,0 +1,597 @@
+#include "net/event_host.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace cs::net {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Deadline;
+using common::OutboundQueue;
+using common::OverflowPolicy;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+/// epoll user-data layout: UINT64_MAX wakes the poller (eventfd), the top
+/// bit marks a watched listener token, anything else is a connection id.
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+constexpr std::uint64_t kListenerBit = std::uint64_t{1} << 63;
+
+constexpr int kMaxEvents = 256;
+/// Outbound frames per try_send_many call; matches the transport's own
+/// vectored batch (TcpConnection::kWritevMessages) so one claim is one
+/// sendmsg.
+constexpr std::size_t kSendBatch = 16;
+/// Messages decoded (and accepts taken) per connection per wakeup before
+/// yielding to the other ready connections; level-triggered epoll re-fires
+/// for whatever is left.
+constexpr int kBurst = 64;
+
+}  // namespace
+
+/// One hosted connection. The poller that owns the id is the only thread
+/// that touches `conn`'s receive side or pops the egress state; `queue`,
+/// `claimed`, `want_out`, and `tail_pending` are guarded by the poller
+/// mutex (publishers push under it).
+struct EventHost::Hosted {
+  std::uint64_t id;
+  ConnectionPtr conn;
+  int fd;
+  MessageHandler on_message;
+  CloseHandler on_close;
+  OutboundQueue queue;
+  /// Items already handed to try_send_many but not yet confirmed sent; a
+  /// would-block leaves them here so the next EPOLLOUT resumes in order.
+  std::deque<OutboundQueue::Item> claimed;
+  /// EPOLLOUT is armed.
+  bool want_out = false;
+  /// The transport still holds a partially-sent message tail that must be
+  /// flushed (by another try_send_many call) even if no frames are queued.
+  bool tail_pending = false;
+  /// Torn down; skip further callbacks and traffic. Atomic because the
+  /// ingress loop checks it between callbacks without taking the mutex.
+  std::atomic<bool> dead{false};
+
+  Hosted(std::uint64_t id_, ConnectionPtr conn_, MessageHandler on_message_,
+         CloseHandler on_close_, std::size_t capacity)
+      : id(id_),
+        conn(std::move(conn_)),
+        fd(conn->native_handle()),
+        on_message(std::move(on_message_)),
+        on_close(std::move(on_close_)),
+        queue(capacity) {}
+};
+
+struct EventHost::Watched {
+  std::uint64_t token;
+  Listener* listener;
+  int fd;
+  AcceptHandler on_accept;
+};
+
+struct EventHost::Poller {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::jthread thread;
+  /// Guards the maps, every Hosted's egress state, and the counters. Never
+  /// held across a syscall, a decode, or a user callback.
+  mutable std::mutex mutex;
+  std::map<std::uint64_t, std::shared_ptr<Hosted>> conns;
+  std::map<std::uint64_t, std::shared_ptr<Watched>> listeners;
+  EventHostStats stats;  // per-poller counters; aggregated by stats()
+
+  ~Poller() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+};
+
+Result<std::unique_ptr<EventHost>> EventHost::start(const Options& options) {
+  auto host = std::unique_ptr<EventHost>(new EventHost);
+  host->queue_capacity_ =
+      options.queue_capacity == 0 ? 1 : options.queue_capacity;
+  const std::size_t n = std::max<std::size_t>(1, options.pollers);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto poller = std::make_unique<Poller>();
+    poller->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (poller->epoll_fd < 0) {
+      return Status{StatusCode::kInternal,
+                    std::string("epoll_create1: ") + std::strerror(errno)};
+    }
+    poller->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (poller->wake_fd < 0) {
+      return Status{StatusCode::kInternal,
+                    std::string("eventfd: ") + std::strerror(errno)};
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(poller->epoll_fd, EPOLL_CTL_ADD, poller->wake_fd, &ev) <
+        0) {
+      return Status{StatusCode::kInternal,
+                    std::string("epoll_ctl(wake): ") + std::strerror(errno)};
+    }
+    host->pollers_.push_back(std::move(poller));
+  }
+  for (auto& poller : host->pollers_) {
+    Poller* p = poller.get();
+    poller->thread = std::jthread(
+        [h = host.get(), p](std::stop_token st) { h->poll_loop(st, *p); });
+  }
+  return host;
+}
+
+EventHost::~EventHost() { stop(); }
+
+void EventHost::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& poller : pollers_) {
+    poller->thread.request_stop();
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc =
+        ::write(poller->wake_fd, &one, sizeof(one));
+  }
+  for (auto& poller : pollers_) {
+    if (poller->thread.joinable()) poller->thread.join();
+  }
+  // Registrations are dropped and hosted connections closed so any owner
+  // blocked on them wakes; pending frames are discarded and no on_close
+  // fires (mirrors ShardedFanout::stop()).
+  for (auto& poller : pollers_) {
+    std::map<std::uint64_t, std::shared_ptr<Hosted>> conns;
+    {
+      std::scoped_lock lock(poller->mutex);
+      conns.swap(poller->conns);
+      poller->listeners.clear();
+    }
+    for (auto& [id, hosted] : conns) {
+      hosted->dead.store(true, std::memory_order_release);
+      hosted->conn->close();
+    }
+  }
+}
+
+EventHost::Poller& EventHost::poller_for(std::uint64_t key) const noexcept {
+  return *pollers_[(key & ~kListenerBit) % pollers_.size()];
+}
+
+bool EventHost::host(std::uint64_t id, ConnectionPtr conn,
+                     MessageHandler on_message, CloseHandler on_close,
+                     std::vector<OutboundQueue::Item> replay) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  if (conn == nullptr || conn->native_handle() < 0 ||
+      (id & kListenerBit) != 0) {
+    return false;
+  }
+  Poller& poller = poller_for(id);
+  auto hosted =
+      std::make_shared<Hosted>(id, std::move(conn), std::move(on_message),
+                               std::move(on_close), queue_capacity_);
+  {
+    std::scoped_lock lock(poller.mutex);
+    if (stopped_.load(std::memory_order_acquire)) return false;
+    if (poller.conns.count(id) != 0) return false;
+    for (auto& item : replay) {
+      if (item.policy == OverflowPolicy::kDisconnect) {
+        ++poller.stats.control_enqueued;
+      } else {
+        ++poller.stats.data_enqueued;
+      }
+      hosted->queue.seed(std::move(item));
+    }
+    poller.stats.queue_high_water = std::max(poller.stats.queue_high_water,
+                                             hosted->queue.high_water());
+    epoll_event ev{};
+    ev.events =
+        EPOLLIN |
+        (hosted->queue.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
+    ev.data.u64 = id;
+    if (::epoll_ctl(poller.epoll_fd, EPOLL_CTL_ADD, hosted->fd, &ev) < 0) {
+      return false;
+    }
+    hosted->want_out = !hosted->queue.empty();
+    poller.conns.emplace(id, std::move(hosted));
+  }
+  return true;
+}
+
+void EventHost::unhost(std::uint64_t id) {
+  teardown(poller_for(id), id, Status::ok(), /*notify=*/false);
+}
+
+void EventHost::teardown(Poller& poller, std::uint64_t id, const Status& cause,
+                         bool notify) {
+  std::shared_ptr<Hosted> hosted;
+  {
+    std::scoped_lock lock(poller.mutex);
+    auto it = poller.conns.find(id);
+    if (it == poller.conns.end()) return;  // raced with another teardown
+    hosted = it->second;
+    hosted->dead.store(true, std::memory_order_release);
+    poller.conns.erase(it);
+    ::epoll_ctl(poller.epoll_fd, EPOLL_CTL_DEL, hosted->fd, nullptr);
+    if (notify) ++poller.stats.disconnects;
+  }
+  hosted->conn->close();
+  if (notify && hosted->on_close) hosted->on_close(id, cause);
+}
+
+bool EventHost::account_push(Poller& poller, Hosted& hosted,
+                             OutboundQueue::Push result,
+                             OverflowPolicy policy) {
+  switch (result) {
+    case OutboundQueue::Push::kQueued:
+      break;
+    case OutboundQueue::Push::kQueuedDropOldest:
+      ++poller.stats.data_dropped;
+      break;
+    case OutboundQueue::Push::kDroppedNewest:
+      ++poller.stats.data_dropped;
+      return false;  // nothing entered the queue
+    case OutboundQueue::Push::kRejectedOverflow:
+      return true;  // control overflow: lossless-or-dead
+    case OutboundQueue::Push::kCoalesced:
+      // The replaced item keeps its accounting slot (see OutboundQueue).
+      return false;
+  }
+  if (policy == OverflowPolicy::kDisconnect) {
+    ++poller.stats.control_enqueued;
+  } else {
+    ++poller.stats.data_enqueued;
+  }
+  poller.stats.queue_high_water =
+      std::max(poller.stats.queue_high_water, hosted.queue.high_water());
+  return false;
+}
+
+void EventHost::arm_out_locked(Poller& poller, Hosted& hosted) {
+  if (hosted.want_out || hosted.dead.load(std::memory_order_acquire)) return;
+  if (hosted.queue.empty() && hosted.claimed.empty() && !hosted.tail_pending) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.u64 = hosted.id;
+  if (::epoll_ctl(poller.epoll_fd, EPOLL_CTL_MOD, hosted.fd, &ev) == 0) {
+    hosted.want_out = true;
+  }
+}
+
+bool EventHost::send_to(std::uint64_t id, OutboundQueue::Item item) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  Poller& poller = poller_for(id);
+  const OverflowPolicy policy = item.policy;
+  bool doomed = false;
+  {
+    std::scoped_lock lock(poller.mutex);
+    auto it = poller.conns.find(id);
+    if (it == poller.conns.end() ||
+        it->second->dead.load(std::memory_order_acquire)) {
+      return false;
+    }
+    Hosted& hosted = *it->second;
+    if (item.frame == nullptr) {
+      // No per-consumer encode step here: a source payload is undeliverable
+      // (data is shed, control is lossless-or-dead), like BytesSink.
+      if (policy == OverflowPolicy::kDisconnect) {
+        doomed = true;
+      } else {
+        ++poller.stats.data_dropped;
+      }
+    } else {
+      doomed = account_push(poller, hosted, hosted.queue.push(std::move(item)),
+                            policy);
+      if (!doomed) arm_out_locked(poller, hosted);
+    }
+  }
+  if (doomed) {
+    teardown(poller, id,
+             Status{StatusCode::kResourceExhausted, "control frame overflow"},
+             /*notify=*/true);
+  }
+  return true;
+}
+
+void EventHost::publish(const OutboundQueue::Item& item) {
+  publish_impl(item, nullptr);
+}
+
+void EventHost::publish_except(std::uint64_t excluded_id,
+                               const OutboundQueue::Item& item) {
+  publish_impl(item, &excluded_id);
+}
+
+void EventHost::publish_impl(const OutboundQueue::Item& item,
+                             const std::uint64_t* excluded) {
+  if (stopped_.load(std::memory_order_acquire)) return;
+  for (auto& poller_ptr : pollers_) {
+    Poller& poller = *poller_ptr;
+    std::vector<std::uint64_t> doomed;
+    {
+      std::scoped_lock lock(poller.mutex);
+      for (auto& [id, hosted] : poller.conns) {
+        if (hosted->dead.load(std::memory_order_acquire)) continue;
+        if (excluded != nullptr && id == *excluded) continue;
+        if (item.frame == nullptr) {
+          if (item.policy == OverflowPolicy::kDisconnect) {
+            doomed.push_back(id);
+          } else {
+            ++poller.stats.data_dropped;
+          }
+          continue;
+        }
+        if (account_push(poller, *hosted, hosted->queue.push(item),
+                         item.policy)) {
+          doomed.push_back(id);
+          continue;
+        }
+        arm_out_locked(poller, *hosted);
+      }
+    }
+    for (std::uint64_t id : doomed) {
+      teardown(poller, id,
+               Status{StatusCode::kResourceExhausted, "control frame overflow"},
+               /*notify=*/true);
+    }
+  }
+}
+
+Result<std::uint64_t> EventHost::watch_listener(Listener& listener,
+                                                AcceptHandler on_accept) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status{StatusCode::kClosed, "event host stopped"};
+  }
+  const int fd = listener.native_handle();
+  if (fd < 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "listener has no native handle"};
+  }
+  const std::uint64_t token =
+      kListenerBit |
+      next_listener_token_.fetch_add(1, std::memory_order_relaxed);
+  Poller& poller = poller_for(token);
+  auto watched = std::make_shared<Watched>(
+      Watched{token, &listener, fd, std::move(on_accept)});
+  {
+    std::scoped_lock lock(poller.mutex);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = token;
+    if (::epoll_ctl(poller.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Status{StatusCode::kInternal,
+                    std::string("epoll_ctl(listener): ") +
+                        std::strerror(errno)};
+    }
+    poller.listeners.emplace(token, std::move(watched));
+  }
+  return token;
+}
+
+void EventHost::unwatch_listener(std::uint64_t token) {
+  if ((token & kListenerBit) == 0) return;
+  Poller& poller = poller_for(token);
+  std::scoped_lock lock(poller.mutex);
+  auto it = poller.listeners.find(token);
+  if (it == poller.listeners.end()) return;
+  ::epoll_ctl(poller.epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  poller.listeners.erase(it);
+}
+
+std::size_t EventHost::hosted_count() const {
+  std::size_t n = 0;
+  for (const auto& poller : pollers_) {
+    std::scoped_lock lock(poller->mutex);
+    n += poller->conns.size();
+  }
+  return n;
+}
+
+EventHostStats EventHost::stats() const {
+  EventHostStats out;
+  out.pollers = pollers_.size();
+  for (const auto& poller : pollers_) {
+    std::scoped_lock lock(poller->mutex);
+    const EventHostStats& s = poller->stats;
+    out.messages_in += s.messages_in;
+    out.accepts += s.accepts;
+    out.wakeups += s.wakeups;
+    out.data_enqueued += s.data_enqueued;
+    out.data_delivered += s.data_delivered;
+    out.data_dropped += s.data_dropped;
+    out.control_enqueued += s.control_enqueued;
+    out.control_delivered += s.control_delivered;
+    out.disconnects += s.disconnects;
+    out.hosted += poller->conns.size();
+    out.queue_high_water = std::max(out.queue_high_water, s.queue_high_water);
+    for (const auto& [id, hosted] : poller->conns) {
+      out.queued_frames += hosted->queue.size() + hosted->claimed.size();
+    }
+  }
+  return out;
+}
+
+void EventHost::poll_loop(const std::stop_token& st, Poller& poller) {
+  epoll_event events[kMaxEvents];
+  while (!st.stop_requested()) {
+    const int n = ::epoll_wait(poller.epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone: host is being destroyed
+    }
+    {
+      std::scoped_lock lock(poller.mutex);
+      ++poller.stats.wakeups;
+    }
+    for (int i = 0; i < n && !st.stop_requested(); ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t rc =
+            ::read(poller.wake_fd, &drained, sizeof(drained));
+        continue;
+      }
+      if ((tag & kListenerBit) != 0) {
+        handle_accept(poller, tag);
+        continue;
+      }
+      // Writability first: frees queue space before the decode possibly
+      // publishes more. Error/hangup conditions surface through the
+      // non-blocking calls themselves (try_recv reports kClosed).
+      if ((events[i].events & EPOLLOUT) != 0) drain_egress(poller, tag);
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        drain_ingress(poller, tag, st);
+      }
+    }
+  }
+}
+
+void EventHost::drain_ingress(Poller& poller, std::uint64_t id,
+                              const std::stop_token& st) {
+  std::shared_ptr<Hosted> hosted;
+  {
+    std::scoped_lock lock(poller.mutex);
+    auto it = poller.conns.find(id);
+    if (it == poller.conns.end()) return;  // removed while the event was queued
+    hosted = it->second;
+  }
+  for (int i = 0; i < kBurst; ++i) {
+    if (hosted->dead.load(std::memory_order_acquire) || st.stop_requested()) {
+      return;
+    }
+    Result<Bytes> r = hosted->conn->try_recv();
+    if (r.is_ok()) {
+      {
+        std::scoped_lock lock(poller.mutex);
+        ++poller.stats.messages_in;
+      }
+      if (hosted->on_message) {
+        hosted->on_message(id, std::move(r).value());
+      }
+      continue;
+    }
+    if (r.status().code() == StatusCode::kUnavailable) return;  // drained
+    teardown(poller, id, r.status(), /*notify=*/true);
+    return;
+  }
+  // Burst cap hit with more buffered: level-triggered epoll re-fires.
+}
+
+void EventHost::drain_egress(Poller& poller, std::uint64_t id) {
+  std::shared_ptr<Hosted> hosted;
+  {
+    std::scoped_lock lock(poller.mutex);
+    auto it = poller.conns.find(id);
+    if (it == poller.conns.end()) return;
+    hosted = it->second;
+  }
+  for (;;) {
+    // Claim a batch under the lock; send it outside. Only this poller
+    // thread ever touches `claimed`, so the spans stay valid across the
+    // unlocked send (publishers can only append to `queue`).
+    ByteSpan spans[kSendBatch];
+    std::size_t count = 0;
+    {
+      std::scoped_lock lock(poller.mutex);
+      if (hosted->dead.load(std::memory_order_acquire)) return;
+      while (hosted->claimed.size() < kSendBatch && !hosted->queue.empty()) {
+        hosted->claimed.push_back(hosted->queue.pop());
+      }
+      for (const OutboundQueue::Item& item : hosted->claimed) {
+        if (count == kSendBatch) break;
+        spans[count++] = ByteSpan(*item.frame);
+      }
+      if (count == 0 && !hosted->tail_pending) {
+        // Nothing to write: stop asking for EPOLLOUT.
+        if (hosted->want_out) {
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.u64 = id;
+          if (::epoll_ctl(poller.epoll_fd, EPOLL_CTL_MOD, hosted->fd, &ev) ==
+              0) {
+            hosted->want_out = false;
+          }
+        }
+        return;
+      }
+    }
+    std::size_t sent = 0;
+    bool in_flight = false;
+    const Status s = hosted->conn->try_send_many(
+        std::span<const ByteSpan>(spans, count), sent, in_flight);
+    {
+      std::scoped_lock lock(poller.mutex);
+      // A message the stream stopped inside counts as sent: its remainder
+      // is the transport's tail, flushed ahead of all later traffic, so
+      // re-offering it would duplicate it.
+      const std::size_t confirmed = std::min(
+          hosted->claimed.size(), sent + (in_flight ? std::size_t{1} : 0));
+      for (std::size_t i = 0; i < confirmed; ++i) {
+        if (hosted->claimed.front().policy == OverflowPolicy::kDisconnect) {
+          ++poller.stats.control_delivered;
+        } else {
+          ++poller.stats.data_delivered;
+        }
+        hosted->claimed.pop_front();
+      }
+      if (s.is_ok()) {
+        hosted->tail_pending = false;
+      } else if (in_flight) {
+        hosted->tail_pending = true;
+      }
+      // kUnavailable with in_flight == false leaves tail_pending as it
+      // was: the abort may have landed inside a tail from an earlier call.
+    }
+    if (s.is_ok()) continue;  // batch fully out; more may be queued
+    if (s.code() == StatusCode::kUnavailable) {
+      std::scoped_lock lock(poller.mutex);
+      arm_out_locked(poller, *hosted);
+      return;
+    }
+    teardown(poller, id, s, /*notify=*/true);
+    return;
+  }
+}
+
+void EventHost::handle_accept(Poller& poller, std::uint64_t token) {
+  std::shared_ptr<Watched> watched;
+  {
+    std::scoped_lock lock(poller.mutex);
+    auto it = poller.listeners.find(token);
+    if (it == poller.listeners.end()) return;
+    watched = it->second;
+  }
+  for (int i = 0; i < kBurst; ++i) {
+    Result<ConnectionPtr> r = watched->listener->accept(Deadline::expired());
+    if (r.is_ok()) {
+      {
+        std::scoped_lock lock(poller.mutex);
+        ++poller.stats.accepts;
+      }
+      if (watched->on_accept) watched->on_accept(std::move(r).value());
+      continue;
+    }
+    const StatusCode code = r.status().code();
+    if (code == StatusCode::kClosed) {
+      unwatch_listener(token);
+      return;
+    }
+    // kTimeout/kUnavailable: backlog drained. Anything else is transient;
+    // level-triggered epoll re-fires if the listener is still readable.
+    return;
+  }
+}
+
+}  // namespace cs::net

@@ -1,0 +1,205 @@
+// Readiness-driven connection host: a small fixed pool of epoll loops owns
+// every hosted socket in non-blocking mode, so connection count stops
+// costing threads.
+//
+// Before this existed, every accepted connection owned a pump thread (and a
+// fan-out queue drained by yet another worker), so thread count grew
+// linearly with clients — the hard wall between the paper's demo scale and
+// the ROADMAP's collaboratory scale. EventHost inverts the model:
+//
+//   * Ingress: each poller parks in epoll_wait over its connections'
+//     native_handle()s and, on readability, advances the transport's
+//     incremental frame decoder (Connection::try_recv) until it would
+//     block, handing every complete message to the owner's callback.
+//   * Egress: each hosted connection owns a bounded common::OutboundQueue
+//     with the same overflow policies as the fan-out path (samples shed
+//     oldest-first, control frames are lossless-or-dead). Publishing only
+//     enqueues; the poller drains the queue through the vectored
+//     Connection::try_send_many batch path when the socket is writable,
+//     arming EPOLLOUT only while there is something to write.
+//
+// Threading and locking model (see docs/ARCHITECTURE.md for the prose
+// version):
+//
+//   * Connections are partitioned over the pollers by id; exactly one
+//     poller thread ever touches a given connection's ingress decoder or
+//     drains its egress queue, so transport-level receive state needs no
+//     extra synchronization here.
+//   * Each poller has one mutex guarding its registration maps and all
+//     egress queue state. It is never held across a syscall, a decode, or
+//     a user callback.
+//   * on_message / on_close / on_accept run on the poller thread. They may
+//     call back into the host (send_to, publish, host, unhost — including
+//     unhosting the connection that is currently in callback) but must not
+//     block: a stalled callback stalls every connection on that poller.
+//   * Handle-less transports (in-process) cannot be hosted: host() returns
+//     false and the caller keeps its blocking pump — the readiness surface
+//     is an optimization, the blocking API remains the portable contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fanout.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+
+namespace cs::net {
+
+/// Aggregate counters across all pollers. Egress rows mirror
+/// common::FanoutStats accounting: "data" counts frames queued under
+/// OverflowPolicy::kDropOldest, "control" frames under kDisconnect — the
+/// policy is the traffic-class tag.
+struct EventHostStats {
+  std::uint64_t messages_in = 0;       ///< complete inbound frames decoded
+  std::uint64_t accepts = 0;           ///< connections from watched listeners
+  std::uint64_t wakeups = 0;           ///< epoll_wait returns
+  std::uint64_t data_enqueued = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_dropped = 0;
+  std::uint64_t control_enqueued = 0;
+  std::uint64_t control_delivered = 0;
+  std::uint64_t disconnects = 0;       ///< hosted connections torn down for cause
+  std::size_t hosted = 0;              ///< currently hosted connections
+  std::size_t queued_frames = 0;       ///< outbound frames pending
+  std::size_t queue_high_water = 0;    ///< deepest single-connection backlog
+  std::size_t pollers = 0;             ///< poller thread count (constant)
+};
+
+/// Hosts many connections on a few epoll loops; see the file comment.
+class EventHost {
+ public:
+  struct Options {
+    /// Poller threads (epoll loops). One is right for a single core; scale
+    /// towards one per core for multi-core hosts. At least 1 is enforced.
+    std::size_t pollers = 1;
+    /// Per-connection outbound queue bound, in frames (see
+    /// visit::Multiplexer::Options::viewer_queue_capacity for the
+    /// depth-vs-staleness tradeoff).
+    std::size_t queue_capacity = 32;
+  };
+
+  /// One complete inbound message. Runs on the poller thread; must not
+  /// block (enqueue-only calls like publish()/send_to() are fine).
+  using MessageHandler =
+      std::function<void(std::uint64_t id, common::Bytes message)>;
+  /// The connection was torn down for cause (peer closed, socket error,
+  /// control-frame overflow). Not invoked for unhost()/stop(). Runs on the
+  /// poller thread or, for overflow dooms, on the publishing thread —
+  /// always outside host locks.
+  using CloseHandler =
+      std::function<void(std::uint64_t id, const common::Status& cause)>;
+  /// A watched listener produced a connection. Runs on the poller thread;
+  /// must not block (hand off anything slow — handshakes — elsewhere).
+  using AcceptHandler = std::function<void(ConnectionPtr conn)>;
+
+  /// Creates the epoll instances and starts the poller threads.
+  static common::Result<std::unique_ptr<EventHost>> start(
+      const Options& options);
+
+  ~EventHost();
+  EventHost(const EventHost&) = delete;
+  EventHost& operator=(const EventHost&) = delete;
+
+  /// Joins the pollers, drops every registration (pending outbound frames
+  /// are discarded, like ShardedFanout::stop()), and closes hosted
+  /// connections. No on_close callbacks fire. Idempotent.
+  void stop();
+
+  /// Registers `conn` under caller-chosen `id` (ids must be unique across
+  /// the host; the top bit is reserved). `replay` frames are seeded into
+  /// the outbound queue atomically with registration — unconditionally,
+  /// past the bound if need be — so the peer observes them strictly before
+  /// any frame published afterwards. Returns false (and takes no ownership)
+  /// when the transport has no native handle, the id is taken, or the host
+  /// is stopped.
+  bool host(std::uint64_t id, ConnectionPtr conn, MessageHandler on_message,
+            CloseHandler on_close,
+            std::vector<common::OutboundQueue::Item> replay = {});
+
+  /// Deregisters and closes `id`, discarding its pending frames. Idempotent;
+  /// does not invoke on_close. Safe from any thread, including from `id`'s
+  /// own callbacks.
+  void unhost(std::uint64_t id);
+
+  /// Enqueues one frame for `id` under the item's overflow policy; never
+  /// blocks on I/O. Items must carry pre-encoded bytes (`frame`): this host
+  /// has no per-consumer encode step, so a source-payload item is shed
+  /// (data) or dooms the connection (control, lossless-or-dead). Returns
+  /// false when `id` is not hosted.
+  bool send_to(std::uint64_t id, common::OutboundQueue::Item item);
+
+  bool send_to(std::uint64_t id, common::FramePtr frame,
+               common::OverflowPolicy policy) {
+    return send_to(
+        id, common::OutboundQueue::Item{std::move(frame), policy, nullptr});
+  }
+
+  /// Enqueues a copy of `item` to every hosted connection under its policy.
+  void publish(const common::OutboundQueue::Item& item);
+
+  void publish(const common::FramePtr& frame, common::OverflowPolicy policy) {
+    publish(common::OutboundQueue::Item{frame, policy, nullptr});
+  }
+
+  /// publish() to everyone except `excluded_id` (relay traffic whose origin
+  /// is itself hosted).
+  void publish_except(std::uint64_t excluded_id,
+                      const common::OutboundQueue::Item& item);
+
+  /// Registers `listener` for readiness-driven accepts: when it becomes
+  /// readable the poller accepts until drained and hands each connection to
+  /// `on_accept`. The listener must outlive the watch (unwatch_listener(),
+  /// or stop()). Fails with kInvalidArgument when the listener has no
+  /// native handle. Returns a token for unwatch_listener().
+  common::Result<std::uint64_t> watch_listener(Listener& listener,
+                                               AcceptHandler on_accept);
+
+  /// Stops watching; idempotent. After return the poller holds no reference
+  /// to the listener, but an on_accept call may still be completing.
+  void unwatch_listener(std::uint64_t token);
+
+  std::size_t hosted_count() const;
+  /// Poller thread count — the constant-threads half of the scaling story.
+  std::size_t poller_count() const noexcept { return pollers_.size(); }
+  EventHostStats stats() const;
+
+ private:
+  struct Hosted;
+  struct Watched;
+  struct Poller;
+
+  EventHost() = default;
+
+  Poller& poller_for(std::uint64_t key) const noexcept;
+  void poll_loop(const std::stop_token& st, Poller& poller);
+  void drain_ingress(Poller& poller, std::uint64_t id,
+                     const std::stop_token& st);
+  void drain_egress(Poller& poller, std::uint64_t id);
+  void handle_accept(Poller& poller, std::uint64_t token);
+  /// Removes `id`, unregisters its fd, closes the connection, and (when
+  /// `notify`) fires on_close with `cause` — callback outside all locks.
+  void teardown(Poller& poller, std::uint64_t id, const common::Status& cause,
+                bool notify);
+  /// Mirrors ShardedFanout::account_push; returns true when the push
+  /// rejected and the connection must be torn down. Caller holds the
+  /// poller mutex.
+  bool account_push(Poller& poller, Hosted& hosted,
+                    common::OutboundQueue::Push result,
+                    common::OverflowPolicy policy);
+  /// Arms EPOLLOUT when there is outbound work; caller holds the mutex.
+  void arm_out_locked(Poller& poller, Hosted& hosted);
+  void publish_impl(const common::OutboundQueue::Item& item,
+                    const std::uint64_t* excluded);
+
+  std::vector<std::unique_ptr<Poller>> pollers_;
+  std::size_t queue_capacity_ = 32;
+  std::atomic<std::uint64_t> next_listener_token_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cs::net

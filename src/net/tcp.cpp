@@ -89,7 +89,28 @@ class TcpConnection : public Connection {
   /// the stream at all.
   Status send_many(std::span<const ByteSpan> messages, Deadline deadline,
                    std::size_t& sent) override {
+    bool in_flight = false;
+    return send_many_impl(messages, deadline, sent, in_flight);
+  }
+
+  /// Same vectored path with an immediate deadline. `in_flight` is exact:
+  /// true iff the abort left message `sent` partially on the wire (its
+  /// unsent remainder became send_tail_, flushed ahead of later traffic),
+  /// which is precisely the case where a resend would duplicate it.
+  Status try_send_many(std::span<const ByteSpan> messages, std::size_t& sent,
+                       bool& in_flight) override {
+    Status s = send_many_impl(messages, Deadline::expired(), sent, in_flight);
+    if (s.code() == StatusCode::kTimeout) {
+      return Status{StatusCode::kUnavailable, "would block"};
+    }
+    return s;
+  }
+
+ private:
+  Status send_many_impl(std::span<const ByteSpan> messages, Deadline deadline,
+                        std::size_t& sent, bool& in_flight) {
     sent = 0;
+    in_flight = false;
     for (const ByteSpan& m : messages) {
       if (m.size() > TcpNetwork::kMaxMessageBytes) {
         return Status{StatusCode::kInvalidArgument, "message too large"};
@@ -165,6 +186,7 @@ class TcpConnection : public Connection {
         // becomes the tail the next send must flush first. The caller may
         // treat the message as missed (supersedable data), but the peer
         // still observes a well-formed stream.
+        in_flight = true;
         if (off < sizeof(headers[i])) {
           send_tail_.assign(headers[i] + off, headers[i] + sizeof(headers[i]));
           off = 0;
@@ -181,26 +203,23 @@ class TcpConnection : public Connection {
     return Status::ok();
   }
 
+ public:
+  /// Both receive paths share one incremental decoder (header, then payload,
+  /// with fill counts persisted across calls), so a deadline abort or a
+  /// would-block mid-message never loses bytes already consumed from the
+  /// socket — the next call resumes exactly where the stream stopped.
   Result<Bytes> recv(Deadline deadline) override {
     std::scoped_lock lock(recv_mutex_);
-    std::uint8_t header[4];
-    if (Status s = recv_all(header, sizeof(header), deadline); !s.is_ok())
-      return s;
-    const std::uint32_t n = (std::uint32_t{header[0]} << 24) |
-                            (std::uint32_t{header[1]} << 16) |
-                            (std::uint32_t{header[2]} << 8) |
-                            std::uint32_t{header[3]};
-    if (n > TcpNetwork::kMaxMessageBytes) {
-      return Status{StatusCode::kProtocolError, "length prefix too large"};
+    for (;;) {
+      Result<Bytes> r = advance_decode_locked();
+      if (r.is_ok() || r.status().code() != StatusCode::kUnavailable) return r;
+      if (Status s = wait_fd(fd_, POLLIN, deadline); !s.is_ok()) return s;
     }
-    Bytes payload(n);
-    if (n > 0) {
-      if (Status s = recv_all(payload.data(), n, deadline); !s.is_ok())
-        return s;
-    }
-    messages_received_.fetch_add(1, std::memory_order_relaxed);
-    bytes_received_.fetch_add(n, std::memory_order_relaxed);
-    return payload;
+  }
+
+  Result<Bytes> try_recv() override {
+    std::scoped_lock lock(recv_mutex_);
+    return advance_decode_locked();
   }
 
   void close() override {
@@ -221,6 +240,8 @@ class TcpConnection : public Connection {
     return ConnStats{messages_sent_.load(), bytes_sent_.load(),
                      messages_received_.load(), bytes_received_.load()};
   }
+
+  int native_handle() const override { return fd_; }
 
  private:
   /// Messages coalesced into one sendmsg (2 iovecs each, plus the tail);
@@ -276,28 +297,62 @@ class TcpConnection : public Connection {
     return Status::ok();
   }
 
-  Status recv_all(void* data, std::size_t size, Deadline deadline) {
-    auto* p = static_cast<std::uint8_t*>(data);
-    std::size_t done = 0;
-    while (done < size) {
+  /// Advances the incremental frame decoder as far as the socket allows
+  /// without waiting. Returns the next complete message, kUnavailable when
+  /// the socket has nothing more right now (partial header/payload progress
+  /// is kept in the members below for the next call), kClosed or an error
+  /// otherwise. Caller holds recv_mutex_.
+  Result<Bytes> advance_decode_locked() {
+    for (;;) {
       if (!open_.load(std::memory_order_acquire)) {
         return Status{StatusCode::kClosed, "connection closed"};
       }
-      const int fd = fd_;
-      const ssize_t rc = ::recv(fd, p + done, size - done, 0);
-      if (rc > 0) {
-        done += static_cast<std::size_t>(rc);
-        continue;
+      if (recv_header_fill_ < sizeof(recv_header_)) {
+        const ssize_t rc =
+            ::recv(fd_, recv_header_ + recv_header_fill_,
+                   sizeof(recv_header_) - recv_header_fill_, 0);
+        if (rc == 0) return Status{StatusCode::kClosed, "peer closed"};
+        if (rc < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return Status{StatusCode::kUnavailable, "would block"};
+          }
+          if (errno == EINTR) continue;
+          return errno_status("recv");
+        }
+        recv_header_fill_ += static_cast<std::size_t>(rc);
+        if (recv_header_fill_ < sizeof(recv_header_)) continue;
+        const std::uint32_t n = (std::uint32_t{recv_header_[0]} << 24) |
+                                (std::uint32_t{recv_header_[1]} << 16) |
+                                (std::uint32_t{recv_header_[2]} << 8) |
+                                std::uint32_t{recv_header_[3]};
+        if (n > TcpNetwork::kMaxMessageBytes) {
+          return Status{StatusCode::kProtocolError, "length prefix too large"};
+        }
+        recv_payload_ = Bytes(n);
+        recv_payload_fill_ = 0;
       }
-      if (rc == 0) return Status{StatusCode::kClosed, "peer closed"};
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        if (Status s = wait_fd(fd, POLLIN, deadline); !s.is_ok()) return s;
-        continue;
+      while (recv_payload_fill_ < recv_payload_.size()) {
+        const ssize_t rc =
+            ::recv(fd_, recv_payload_.data() + recv_payload_fill_,
+                   recv_payload_.size() - recv_payload_fill_, 0);
+        if (rc == 0) return Status{StatusCode::kClosed, "peer closed"};
+        if (rc < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return Status{StatusCode::kUnavailable, "would block"};
+          }
+          if (errno == EINTR) continue;
+          return errno_status("recv");
+        }
+        recv_payload_fill_ += static_cast<std::size_t>(rc);
       }
-      if (errno == EINTR) continue;
-      return errno_status("recv");
+      Bytes out = std::move(recv_payload_);
+      recv_payload_ = Bytes{};
+      recv_payload_fill_ = 0;
+      recv_header_fill_ = 0;
+      messages_received_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(out.size(), std::memory_order_relaxed);
+      return out;
     }
-    return Status::ok();
   }
 
   const int fd_;
@@ -308,6 +363,13 @@ class TcpConnection : public Connection {
   /// Unsent remainder of a message aborted mid-write by a deadline;
   /// flushed ahead of the next message (guarded by send_mutex_).
   Bytes send_tail_;
+  /// Incremental decode state (guarded by recv_mutex_): the length prefix,
+  /// then the payload, each with a fill count so partial progress survives
+  /// deadline aborts and would-block returns.
+  std::uint8_t recv_header_[4] = {};
+  std::size_t recv_header_fill_ = 0;
+  Bytes recv_payload_;
+  std::size_t recv_payload_fill_ = 0;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_received_{0};
@@ -361,6 +423,8 @@ class TcpListener : public Listener {
   }
 
   std::string address() const override { return address_; }
+
+  int native_handle() const override { return fd_; }
 
  private:
   const int fd_;

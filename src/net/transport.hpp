@@ -8,6 +8,12 @@
 //
 // All blocking calls take a Deadline and are guaranteed to return by it —
 // the transport-level half of the VISIT timeout contract (paper section 3.2).
+//
+// Readiness surface: transports backed by a kernel object additionally
+// expose native_handle() plus non-blocking try_recv()/try_send_many(), which
+// is what net::EventHost needs to host thousands of connections on one epoll
+// loop instead of a pump thread per connection. The blocking API remains the
+// contract for tests and for transports without a handle (in-process).
 #pragma once
 
 #include <cstdint>
@@ -72,6 +78,45 @@ class Connection {
   /// deadline, kClosed after the peer closed and the queue drained.
   virtual common::Result<common::Bytes> recv(common::Deadline deadline) = 0;
 
+  /// Non-blocking receive: the next *complete* message if one can be
+  /// produced without waiting, kUnavailable when the call would block
+  /// (including mid-message — stream transports keep partial decode state
+  /// across calls), kClosed once the peer is gone and everything buffered
+  /// has been consumed. Obeys the same one-receiver-at-a-time rule as
+  /// recv(), and shares its stream position: the two may be interleaved but
+  /// never called concurrently.
+  virtual common::Result<common::Bytes> try_recv() {
+    auto r = recv(common::Deadline::expired());
+    if (!r.is_ok() && r.status().code() == common::StatusCode::kTimeout) {
+      return common::Status{common::StatusCode::kUnavailable, "would block"};
+    }
+    return r;
+  }
+
+  /// Non-blocking batch send: puts as much of `messages` on the wire as the
+  /// transport will take without waiting. `sent` counts fully-committed
+  /// leading messages exactly as in send_many(). Returns ok when everything
+  /// (including any previously stashed partial tail) went out, kUnavailable
+  /// when the call stopped early because it would block.
+  ///
+  /// `in_flight` is true when the stream stopped *inside* message `sent`:
+  /// its already-committed bytes will be completed ahead of any later
+  /// traffic by the transport, so the caller must treat it as sent (a
+  /// resend would duplicate it). Message transports never set it — a
+  /// message either went out whole or not at all — which is why the default
+  /// below is only correct for them; stream transports must override with
+  /// an exact report.
+  virtual common::Status try_send_many(
+      std::span<const common::ByteSpan> messages, std::size_t& sent,
+      bool& in_flight) {
+    in_flight = false;
+    common::Status s = send_many(messages, common::Deadline::expired(), sent);
+    if (s.code() == common::StatusCode::kTimeout) {
+      return common::Status{common::StatusCode::kUnavailable, "would block"};
+    }
+    return s;
+  }
+
   /// Closes both directions; idempotent. Wakes all blocked calls.
   virtual void close() = 0;
 
@@ -81,6 +126,12 @@ class Connection {
   virtual std::string peer_address() const = 0;
 
   virtual ConnStats stats() const = 0;
+
+  /// Kernel handle for readiness registration (epoll/poll), or -1 when the
+  /// transport has none (in-process). A non-negative handle promises that
+  /// try_recv()/try_send_many() report kUnavailable exactly when the handle
+  /// is not readable/writable, so a poller can park on it.
+  virtual int native_handle() const { return -1; }
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;
@@ -97,6 +148,11 @@ class Listener {
   virtual void close() = 0;
 
   virtual std::string address() const = 0;
+
+  /// Kernel handle for readiness registration, or -1 when the transport has
+  /// none. Readable means accept(Deadline::expired()) will yield a
+  /// connection (or an error) without waiting.
+  virtual int native_handle() const { return -1; }
 };
 
 using ListenerPtr = std::unique_ptr<Listener>;

@@ -38,8 +38,9 @@ Result<std::unique_ptr<ServiceHost>> ServiceHost::start(
   host->registry_ = std::move(registry);
   host->listener_ = std::move(listener).value();
   ServiceHost* self = host.get();
-  host->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  host->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *host->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return host;
 }
 
@@ -47,8 +48,8 @@ ServiceHost::~ServiceHost() { stop(); }
 
 void ServiceHost::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
+  if (accept_pump_) accept_pump_->stop();
   std::vector<std::jthread> threads;
   {
     std::scoped_lock lock(mutex_);
@@ -60,18 +61,15 @@ void ServiceHost::stop() {
   }
 }
 
-void ServiceHost::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    std::scoped_lock lock(mutex_);
-    net::ConnectionPtr c = std::move(conn).value();
-    connection_threads_.emplace_back(
-        [this, c](std::stop_token cst) { serve(cst, c); });
+void ServiceHost::handle_conn(net::ConnectionPtr conn) {
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+    conn->close();
+    return;
   }
+  net::ConnectionPtr c = std::move(conn);
+  connection_threads_.emplace_back(
+      [this, c](std::stop_token cst) { serve(cst, c); });
 }
 
 void ServiceHost::serve(const std::stop_token& st, net::ConnectionPtr conn) {

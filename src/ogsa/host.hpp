@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
 #include "net/transport.hpp"
 #include "ogsa/registry.hpp"
 
@@ -40,12 +41,12 @@ class ServiceHost {
 
  private:
   ServiceHost() = default;
-  void accept_loop(const std::stop_token& st);
+  void handle_conn(net::ConnectionPtr conn);
   void serve(const std::stop_token& st, net::ConnectionPtr conn);
 
   std::shared_ptr<Registry> registry_;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
+  std::unique_ptr<net::AcceptPump> accept_pump_;
   std::mutex mutex_;
   std::vector<std::jthread> connection_threads_;
   std::atomic<bool> stopped_{false};

@@ -21,8 +21,9 @@ Result<std::unique_ptr<Gateway>> Gateway::start(net::Network& net,
   gw->options_ = options;
   gw->listener_ = std::move(listener).value();
   Gateway* self = gw.get();
-  gw->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  gw->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *gw->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return gw;
 }
 
@@ -30,8 +31,8 @@ Gateway::~Gateway() { stop(); }
 
 void Gateway::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
+  if (accept_pump_) accept_pump_->stop();
   std::vector<std::jthread> threads;
   {
     std::scoped_lock lock(mutex_);
@@ -54,18 +55,15 @@ Gateway::Stats Gateway::stats() const {
   return stats_;
 }
 
-void Gateway::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    std::scoped_lock lock(mutex_);
-    net::ConnectionPtr c = std::move(conn).value();
-    connection_threads_.emplace_back(
-        [this, c](std::stop_token cst) { serve_connection(cst, c); });
+void Gateway::handle_conn(net::ConnectionPtr conn) {
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+    conn->close();
+    return;
   }
+  net::ConnectionPtr c = std::move(conn);
+  connection_threads_.emplace_back(
+      [this, c](std::stop_token cst) { serve_connection(cst, c); });
 }
 
 void Gateway::serve_connection(const std::stop_token& st,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
 #include "net/transport.hpp"
 #include "unicore/identity.hpp"
 #include "unicore/njs.hpp"
@@ -59,12 +60,12 @@ class Gateway {
 
  private:
   Gateway() = default;
-  void accept_loop(const std::stop_token& st);
+  void handle_conn(net::ConnectionPtr conn);
   void serve_connection(const std::stop_token& st, net::ConnectionPtr conn);
 
   Options options_;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
+  std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::map<std::string, Njs*> vsites_;
   TrustStore trust_;

@@ -23,8 +23,9 @@ Result<std::unique_ptr<ControlServer>> ControlServer::start(
   server->options_ = options;
   server->listener_ = std::move(listener).value();
   ControlServer* self = server.get();
-  server->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  server->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *server->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return server;
 }
 
@@ -32,8 +33,10 @@ ControlServer::~ControlServer() { stop(); }
 
 void ControlServer::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
+  // Stop the pump before tearing down participants so no late arrival can
+  // register against a dying registry.
+  if (accept_pump_) accept_pump_->stop();
   std::vector<Participant> doomed;
   std::vector<std::jthread> graves;
   {
@@ -69,36 +72,33 @@ ControlServer::Stats ControlServer::stats() const {
   return stats_;
 }
 
-void ControlServer::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    const auto deadline = Deadline::after(std::chrono::seconds(2));
-    if (!handshake_accept(*conn.value(), options_.password, deadline, "joined")
-             .is_ok()) {
-      continue;
-    }
-    // The participant's first message declares its role.
-    auto raw = conn.value()->recv(deadline);
-    if (!raw.is_ok()) continue;
-    auto m = wire::Message::decode(raw.value());
-    if (!m.is_ok() || m.value().header.tag != kTagRole) continue;
-    auto body = wire::extract_string(m.value());
-    if (!body.is_ok()) continue;
-    const bool actor = (body.value() == "actor");
-
-    std::scoped_lock lock(mutex_);
-    const std::uint64_t id = next_id_++;
-    Participant p;
-    p.conn = std::move(conn).value();
-    p.actor = actor;
-    participants_.emplace(id, std::move(p));
-    participants_[id].pump =
-        std::jthread([this, id](std::stop_token pst) { pump(pst, id); });
+void ControlServer::handle_conn(net::ConnectionPtr conn) {
+  const auto deadline = Deadline::after(std::chrono::seconds(2));
+  if (!handshake_accept(*conn, options_.password, deadline, "joined")
+           .or_log("visit.control")) {
+    return;
   }
+  // The participant's first message declares its role.
+  auto raw = conn->recv(deadline);
+  if (!raw.is_ok()) return;
+  auto m = wire::Message::decode(raw.value());
+  if (!m.is_ok() || m.value().header.tag != kTagRole) return;
+  auto body = wire::extract_string(m.value());
+  if (!body.is_ok()) return;
+  const bool actor = (body.value() == "actor");
+
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+    conn->close();
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  Participant p;
+  p.conn = std::move(conn);
+  p.actor = actor;
+  participants_.emplace(id, std::move(p));
+  participants_[id].pump =
+      std::jthread([this, id](std::stop_token pst) { pump(pst, id); });
 }
 
 void ControlServer::pump(const std::stop_token& st, std::uint64_t id) {

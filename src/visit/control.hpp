@@ -26,6 +26,7 @@
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
 #include "net/transport.hpp"
 #include "wire/message.hpp"
 
@@ -65,7 +66,9 @@ class ControlServer {
 
  private:
   ControlServer() = default;
-  void accept_loop(const std::stop_token& st);
+  /// Accept-pump handler: handshake + role declaration (blocking, on the
+  /// pump thread), then participant registration.
+  void handle_conn(net::ConnectionPtr conn);
   void pump(const std::stop_token& st, std::uint64_t id);
   void remove(std::uint64_t id);
 
@@ -77,7 +80,7 @@ class ControlServer {
 
   Options options_;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
+  std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Participant> participants_;
   std::vector<std::jthread> graveyard_;

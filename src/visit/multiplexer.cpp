@@ -47,10 +47,30 @@ Result<std::unique_ptr<Multiplexer>> Multiplexer::start(
   fanout_options.queue_capacity = options.viewer_queue_capacity;
   mux->fanout_ = std::make_unique<common::ShardedFanout>(
       fanout_options, [self](std::uint64_t id) { self->remove_viewer(id); });
-  mux->sim_accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->sim_accept_loop(st); });
-  mux->viewer_accept_thread_ = std::jthread(
-      [self](std::stop_token st) { self->viewer_accept_loop(st); });
+  if (options.use_event_host) {
+    auto host = net::EventHost::start(
+        {.pollers = options.event_host_pollers,
+         .queue_capacity = options.viewer_queue_capacity});
+    if (host.is_ok()) {
+      mux->event_host_ = std::move(host).value();
+    } else {
+      CS_LOG_WARN("visit.mux")
+          << "event host unavailable, falling back to pump threads: "
+          << host.status().to_string();
+    }
+  }
+  // Accepts stay on pump threads in both modes: the password handshake is
+  // a blocking exchange and must never stall an event-host poller.
+  mux->sim_accept_pump_ = std::make_unique<net::AcceptPump>(
+      *mux->sim_listener_,
+      [self](net::ConnectionPtr conn) { self->handle_sim_conn(std::move(conn)); },
+      net::ServeOptions{.accept_slice = kPumpSlice});
+  mux->viewer_accept_pump_ = std::make_unique<net::AcceptPump>(
+      *mux->viewer_listener_,
+      [self](net::ConnectionPtr conn) {
+        self->handle_viewer_conn(std::move(conn));
+      },
+      net::ServeOptions{.accept_slice = kPumpSlice});
   return mux;
 }
 
@@ -58,14 +78,13 @@ Multiplexer::~Multiplexer() { stop(); }
 
 void Multiplexer::stop() {
   if (stopped_.exchange(true)) return;
-  sim_accept_thread_.request_stop();
-  viewer_accept_thread_.request_stop();
+  // Close the listeners first (wakes blocked accepts with kClosed), then
+  // join the accept pumps so no new sim pump can be spawned, then take down
+  // the current pump under its handoff lock.
   if (sim_listener_) sim_listener_->close();
   if (viewer_listener_) viewer_listener_->close();
-  // Join the accept loops first so no new sim pump can be spawned, then
-  // take down the current pump under its handoff lock.
-  if (sim_accept_thread_.joinable()) sim_accept_thread_.join();
-  if (viewer_accept_thread_.joinable()) viewer_accept_thread_.join();
+  if (sim_accept_pump_) sim_accept_pump_->stop();
+  if (viewer_accept_pump_) viewer_accept_pump_->stop();
   {
     std::scoped_lock lock(sim_pump_mutex_);
     if (sim_pump_thread_.joinable()) {
@@ -75,14 +94,16 @@ void Multiplexer::stop() {
   }
   // The sim pump is gone, so nothing publishes anymore. Close every viewer
   // connection first — that wakes any shard worker blocked inside a send
-  // with kClosed immediately — then join the fan-out workers. The join must
-  // happen before mutex_ is taken exclusively: a worker may be blocked in
-  // its on-dead callback (remove_viewer) waiting for that lock.
+  // with kClosed immediately — then join the fan-out workers and the
+  // event-host pollers. Those joins must happen before mutex_ is taken
+  // exclusively: a worker (or poller) may be blocked in a callback
+  // (remove_viewer) waiting for that lock.
   {
     std::shared_lock lock(mutex_);
     for (auto& [id, viewer] : viewers_) viewer.conn->close();
   }
   if (fanout_) fanout_->stop();
+  if (event_host_) event_host_->stop();
   std::vector<Viewer> doomed;
   std::vector<std::jthread> graves;
   {
@@ -110,6 +131,15 @@ void Multiplexer::stop() {
   }
 }
 
+std::string Multiplexer::sim_address() const {
+  return sim_listener_ ? sim_listener_->address() : options_.sim_address;
+}
+
+std::string Multiplexer::viewer_address() const {
+  return viewer_listener_ ? viewer_listener_->address()
+                          : options_.viewer_address;
+}
+
 std::size_t Multiplexer::viewer_count() const {
   std::shared_lock lock(mutex_);
   return viewers_.size();
@@ -122,60 +152,67 @@ std::uint64_t Multiplexer::master_id() const {
 
 Multiplexer::Stats Multiplexer::stats() const {
   Stats out;
+  std::size_t legacy_pumps = 0;
   {
     std::shared_lock lock(mutex_);
     out = stats_;
+    for (const auto& [id, viewer] : viewers_) {
+      if (!viewer.hosted) ++legacy_pumps;
+    }
   }
   out.fanout = fanout_->stats();
-  // The fan-out owns delivery accounting; surface it under the historical
-  // sample counters (missed = shed by overflow or a per-send deadline).
-  out.samples_out = out.fanout.data_delivered;
-  out.samples_missed = out.fanout.data_dropped;
+  if (event_host_) out.event_host = event_host_->stats();
+  // Delivery accounting lives with whoever drains the queue; surface both
+  // populations under the historical sample counters (missed = shed by
+  // overflow or a per-send deadline).
+  out.samples_out = out.fanout.data_delivered + out.event_host.data_delivered;
+  out.samples_missed = out.fanout.data_dropped + out.event_host.data_dropped;
+  bool sim_pump_alive = false;
+  {
+    std::scoped_lock lock(sim_pump_mutex_);
+    sim_pump_alive = sim_pump_thread_.joinable();
+  }
+  const auto pump_thread = [](const std::unique_ptr<net::AcceptPump>& p) {
+    return (p != nullptr && !p->event_driven()) ? std::size_t{1}
+                                                : std::size_t{0};
+  };
+  out.service_threads = pump_thread(sim_accept_pump_) +
+                        pump_thread(viewer_accept_pump_) +
+                        (sim_pump_alive ? 1 : 0) + fanout_->shard_count() +
+                        (event_host_ ? event_host_->poller_count() : 0) +
+                        legacy_pumps;
   return out;
 }
 
-void Multiplexer::sim_accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = sim_listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    if (!handshake_accept(*conn.value(), options_.password,
-                          Deadline::after(std::chrono::seconds(2)))
-             .is_ok()) {
-      continue;
-    }
-    // One simulation at a time: a fresh pump replaces the previous one.
-    std::scoped_lock lock(sim_pump_mutex_);
-    if (st.stop_requested()) return;  // raced with stop(): don't respawn
-    if (sim_pump_thread_.joinable()) {
-      sim_pump_thread_.request_stop();
-      sim_pump_thread_.join();
-    }
-    net::ConnectionPtr sim = std::move(conn).value();
-    sim_pump_thread_ = std::jthread(
-        [this, sim](std::stop_token pump_st) { sim_pump(pump_st, sim); });
+void Multiplexer::handle_sim_conn(net::ConnectionPtr conn) {
+  if (!handshake_accept(*conn, options_.password,
+                        Deadline::after(std::chrono::seconds(2)))
+           .or_log("visit.mux.sim")) {
+    return;
   }
+  // One simulation at a time: a fresh pump replaces the previous one.
+  std::scoped_lock lock(sim_pump_mutex_);
+  if (stopped_.load()) return;  // raced with stop(): don't respawn
+  if (sim_pump_thread_.joinable()) {
+    sim_pump_thread_.request_stop();
+    sim_pump_thread_.join();
+  }
+  net::ConnectionPtr sim = std::move(conn);
+  sim_pump_thread_ = std::jthread(
+      [this, sim](std::stop_token pump_st) { sim_pump(pump_st, sim); });
 }
 
-void Multiplexer::viewer_accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = viewer_listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    if (!handshake_accept(*conn.value(), options_.password,
-                          Deadline::after(std::chrono::seconds(2)), "pending")
-             .is_ok()) {
-      continue;
-    }
-    add_viewer(std::move(conn).value());
+void Multiplexer::handle_viewer_conn(net::ConnectionPtr conn) {
+  if (!handshake_accept(*conn, options_.password,
+                        Deadline::after(std::chrono::seconds(2)), "pending")
+           .or_log("visit.mux.viewer")) {
+    return;
   }
+  add_viewer(std::move(conn));
 }
 
 void Multiplexer::add_viewer(net::ConnectionPtr conn) {
+  const bool hosted = event_host_ != nullptr && conn->native_handle() >= 0;
   std::unique_lock lock(mutex_);
   const std::uint64_t id = next_viewer_id_++;
   // Late joiners get the schema announcements, the last sample of each tag
@@ -202,7 +239,28 @@ void Multiplexer::add_viewer(net::ConnectionPtr conn) {
        OverflowPolicy::kDisconnect});
   Viewer viewer;
   viewer.conn = conn;
+  viewer.hosted = hosted;
   viewers_.emplace(id, std::move(viewer));
+  if (hosted) {
+    // Epoll path: the event host owns ingress decode and the outbound
+    // queue — this viewer costs no thread anywhere. Registration happens
+    // under mutex_ so the replay seed and master bookkeeping are atomic
+    // with the registry insert (the poller's callbacks block on mutex_
+    // until it is released).
+    if (!event_host_->host(
+            id, conn,
+            [this](std::uint64_t vid, common::Bytes raw) {
+              on_viewer_bytes(vid, std::move(raw));
+            },
+            [this](std::uint64_t vid, const Status&) { remove_viewer(vid); },
+            std::move(replay))) {
+      // Host refused (shutting down): undo the registration.
+      viewers_.erase(id);
+      if (master_id_ == id) master_id_ = 0;
+      conn->close();
+    }
+    return;
+  }
   auto& slot = viewers_[id];
   slot.pump =
       std::jthread([this, id](std::stop_token st) { viewer_pump(st, id); });
@@ -216,10 +274,11 @@ void Multiplexer::add_viewer(net::ConnectionPtr conn) {
 }
 
 void Multiplexer::remove_viewer(std::uint64_t id) {
-  // Deregister from the fan-out first so no further frames are queued; a
-  // frame already claimed by a shard worker may still complete against the
-  // closing connection, which reports kClosed harmlessly.
+  // Deregister from the delivery paths first so no further frames are
+  // queued; a frame already claimed by a shard worker may still complete
+  // against the closing connection, which reports kClosed harmlessly.
   fanout_->remove(id);
+  if (event_host_) event_host_->unhost(id);
   bool was_master = false;
   std::uint64_t successor = 0;
   {
@@ -227,11 +286,13 @@ void Multiplexer::remove_viewer(std::uint64_t id) {
     auto it = viewers_.find(id);
     if (it == viewers_.end()) return;
     it->second.conn->close();
-    it->second.pump.request_stop();
-    // This may run on the viewer's own pump thread (or a fan-out worker),
-    // so the jthread cannot be joined here; it is parked and joined at
-    // stop() time.
-    graveyard_.push_back(std::move(it->second.pump));
+    if (it->second.pump.joinable()) {
+      it->second.pump.request_stop();
+      // This may run on the viewer's own pump thread (or a fan-out
+      // worker), so the jthread cannot be joined here; it is parked and
+      // joined at stop() time. Hosted viewers have no pump to park.
+      graveyard_.push_back(std::move(it->second.pump));
+    }
     viewers_.erase(it);
     was_master = (master_id_ == id);
     if (was_master) {
@@ -251,17 +312,31 @@ void Multiplexer::promote(std::uint64_t id) {
     master_id_ = id;
   }
   if (old_master != 0) {
-    (void)fanout_->send_to(
+    (void)deliver_to(
         old_master,
         common::make_frame(
             wire::make_control_message(kTagRole, "viewer").encode()),
         OverflowPolicy::kDisconnect);
   }
-  (void)fanout_->send_to(
+  (void)deliver_to(
       id,
       common::make_frame(
           wire::make_control_message(kTagRole, "master").encode()),
       OverflowPolicy::kDisconnect);
+}
+
+void Multiplexer::deliver(const FramePtr& frame, OverflowPolicy policy) {
+  // Each viewer is registered with exactly one of the two paths, so the
+  // double publish reaches everyone exactly once.
+  fanout_->publish(frame, policy);
+  if (event_host_) event_host_->publish(frame, policy);
+}
+
+bool Multiplexer::deliver_to(std::uint64_t id, FramePtr frame,
+                             OverflowPolicy policy) {
+  if (fanout_->send_to(id, frame, policy)) return true;
+  return event_host_ != nullptr &&
+         event_host_->send_to(id, std::move(frame), policy);
 }
 
 void Multiplexer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
@@ -272,9 +347,7 @@ void Multiplexer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
       continue;  // timeout slice
     }
     auto m = wire::Message::decode(raw.value());
-    if (!m.is_ok()) {
-      CS_LOG_WARN("visit.mux") << "bad frame from sim: "
-                               << m.status().to_string();
+    if (!m.or_log("visit.mux.sim")) {
       conn->close();
       return;
     }
@@ -296,7 +369,7 @@ void Multiplexer::handle_sim_message(wire::Message m,
       }
       // Publish outside the lock: it only enqueues, and an overflow
       // disconnect re-enters remove_viewer, which takes the lock itself.
-      fanout_->publish(frame, OverflowPolicy::kDropOldest);
+      deliver(frame, OverflowPolicy::kDropOldest);
       return;
     }
     case wire::MessageKind::kControl: {
@@ -311,7 +384,7 @@ void Multiplexer::handle_sim_message(wire::Message m,
           schema_cache_.insert_or_assign(tag, frame);
         }
       }
-      fanout_->publish(frame, policy_for_tag(m.header.tag));
+      deliver(frame, policy_for_tag(m.header.tag));
       return;
     }
     case wire::MessageKind::kRequest: {
@@ -357,6 +430,15 @@ void Multiplexer::viewer_pump(const std::stop_token& st, std::uint64_t id) {
     }
     handle_viewer_message(id, std::move(m).value());
   }
+}
+
+void Multiplexer::on_viewer_bytes(std::uint64_t id, common::Bytes raw) {
+  auto m = wire::Message::decode(raw);
+  if (!m.or_log("visit.mux.viewer")) {
+    remove_viewer(id);
+    return;
+  }
+  handle_viewer_message(id, std::move(m).value());
 }
 
 void Multiplexer::handle_viewer_message(std::uint64_t id, wire::Message m) {

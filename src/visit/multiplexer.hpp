@@ -24,6 +24,14 @@
 //     dropping the oldest queued sample; control frames (roles, schemas,
 //     shutdown) are lossless — a viewer that cannot absorb them is
 //     disconnected. See docs/ARCHITECTURE.md for the full threading model.
+//
+//   * Viewer connections whose transport exposes readiness (TCP) are hosted
+//     on a shared net::EventHost epoll loop: no pump thread and no fan-out
+//     subscription per viewer — ingress decode and the bounded outbound
+//     queue both live on the poller, so the thread count stays flat no
+//     matter how many viewers join. Handle-less transports (in-process)
+//     keep the pump+fanout path; the two populations coexist and every
+//     broadcast reaches both.
 #pragma once
 
 #include <atomic>
@@ -40,6 +48,8 @@
 #include "common/clock.hpp"
 #include "common/fanout.hpp"
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
+#include "net/event_host.hpp"
 #include "net/transport.hpp"
 #include "wire/message.hpp"
 
@@ -69,6 +79,14 @@ class Multiplexer {
     /// the delivered sample is up to `capacity / sample-rate` stale, so
     /// depth buys burst absorption at the price of tail latency.
     std::size_t viewer_queue_capacity = 32;
+    /// Host readiness-capable viewer connections (TCP) on a shared epoll
+    /// loop instead of a pump thread each. Viewers on handle-less
+    /// transports always use pump threads regardless. Off is the legacy
+    /// thread-per-viewer path, kept as the bench baseline.
+    bool use_event_host = true;
+    /// Poller threads for the event host (one per core is the ceiling that
+    /// makes sense; one is right on a small host).
+    std::size_t event_host_pollers = 1;
   };
 
   struct Stats {
@@ -81,6 +99,13 @@ class Multiplexer {
     /// Fan-out internals: per-shard queue/delivery counters, including
     /// control-frame traffic and overflow disconnects.
     common::FanoutStats fanout;
+    /// Event-host internals for epoll-hosted viewers (zeros when disabled).
+    net::EventHostStats event_host;
+    /// Threads this service owns right now: accept pumps, the sim pump,
+    /// fan-out shard workers, event-host pollers, and legacy per-viewer
+    /// pumps. With the event host on and TCP viewers, this is constant in
+    /// the viewer count — the loadgen scenario asserts exactly that.
+    std::size_t service_threads = 0;
   };
 
   /// Starts listeners, the fan-out worker pool, and the pump threads.
@@ -95,6 +120,11 @@ class Multiplexer {
   /// Idempotent; also invoked by the destructor.
   void stop();
 
+  /// Resolved listener addresses — differ from the requested ones when the
+  /// transport assigns them (TCP with port 0).
+  std::string sim_address() const;
+  std::string viewer_address() const;
+
   /// Number of currently registered viewers.
   std::size_t viewer_count() const;
   /// Id of the current master viewer, or 0 when none.
@@ -105,10 +135,14 @@ class Multiplexer {
  private:
   Multiplexer() = default;
 
-  void sim_accept_loop(const std::stop_token& st);
-  void viewer_accept_loop(const std::stop_token& st);
+  /// Accept-pump handlers: handshake (blocking, on the pump thread) then
+  /// hand the connection to the sim pump slot / viewer registry.
+  void handle_sim_conn(net::ConnectionPtr conn);
+  void handle_viewer_conn(net::ConnectionPtr conn);
   void sim_pump(const std::stop_token& st, net::ConnectionPtr conn);
   void viewer_pump(const std::stop_token& st, std::uint64_t id);
+  /// Ingress from an epoll-hosted viewer (runs on the poller thread).
+  void on_viewer_bytes(std::uint64_t id, common::Bytes raw);
 
   void handle_sim_message(wire::Message m, net::Connection& sim_conn);
   void handle_viewer_message(std::uint64_t id, wire::Message m);
@@ -116,20 +150,25 @@ class Multiplexer {
   void remove_viewer(std::uint64_t id);
   /// Sets viewer `id` as master and notifies affected viewers.
   void promote(std::uint64_t id);
+  /// Broadcast/unicast across both viewer populations (fan-out + hosted).
+  void deliver(const common::FramePtr& frame, common::OverflowPolicy policy);
+  bool deliver_to(std::uint64_t id, common::FramePtr frame,
+                  common::OverflowPolicy policy);
 
   struct Viewer {
     net::ConnectionPtr conn;
-    std::jthread pump;
+    std::jthread pump;   ///< legacy path only; hosted viewers own no thread
+    bool hosted = false; ///< lives on the event host, not the fan-out
   };
 
   Options options_;
   net::ListenerPtr sim_listener_;
   net::ListenerPtr viewer_listener_;
-  std::jthread sim_accept_thread_;
-  std::jthread viewer_accept_thread_;
-  /// Guards sim_pump_thread_: the accept loop replaces it when a new
+  std::unique_ptr<net::AcceptPump> sim_accept_pump_;
+  std::unique_ptr<net::AcceptPump> viewer_accept_pump_;
+  /// Guards sim_pump_thread_: the accept handler replaces it when a new
   /// simulation connects while stop() requests its termination.
-  std::mutex sim_pump_mutex_;
+  mutable std::mutex sim_pump_mutex_;
   std::jthread sim_pump_thread_;
 
   /// Guards the viewer registry, master bookkeeping, parameter table, and
@@ -149,8 +188,12 @@ class Multiplexer {
   /// its own viewer and must not join itself).
   std::vector<std::jthread> graveyard_;
   Stats stats_;
-  /// Sharded outbound path; owns the per-viewer queues and worker threads.
+  /// Sharded outbound path for pump-thread viewers; owns their queues and
+  /// the worker threads.
   std::unique_ptr<common::ShardedFanout> fanout_;
+  /// Epoll host for readiness-capable viewers; owns their sockets, decode
+  /// state, and outbound queues on a fixed poller pool.
+  std::unique_ptr<net::EventHost> event_host_;
   std::atomic<bool> stopped_{false};
 };
 

@@ -119,8 +119,9 @@ Result<std::unique_ptr<ProxyServer>> ProxyServer::start(
   server->options_ = options;
   server->listener_ = std::move(listener).value();
   ProxyServer* self = server.get();
-  server->accept_thread_ =
-      std::jthread([self](std::stop_token st) { self->accept_loop(st); });
+  server->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *server->listener_,
+      [self](net::ConnectionPtr conn) { self->handle_sim_conn(std::move(conn)); });
   return server;
 }
 
@@ -128,11 +129,10 @@ ProxyServer::~ProxyServer() { stop(); }
 
 void ProxyServer::stop() {
   if (stopped_.exchange(true)) return;
-  accept_thread_.request_stop();
   if (listener_) listener_->close();
-  // Join the accept loop first so no new sim pump can be spawned, then take
+  // Stop the accept pump first so no new sim pump can be spawned, then take
   // down the current pump under its handoff lock.
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (accept_pump_) accept_pump_->stop();
   std::scoped_lock lock(sim_pump_mutex_);
   if (sim_pump_thread_.joinable()) {
     sim_pump_thread_.request_stop();
@@ -140,28 +140,21 @@ void ProxyServer::stop() {
   }
 }
 
-void ProxyServer::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(Deadline::after(kPumpSlice));
-    if (!conn.is_ok()) {
-      if (conn.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    if (!handshake_accept(*conn.value(), options_.password,
-                          Deadline::after(std::chrono::seconds(2)))
-             .is_ok()) {
-      continue;
-    }
-    std::scoped_lock lock(sim_pump_mutex_);
-    if (st.stop_requested()) return;  // raced with stop(): don't respawn
-    if (sim_pump_thread_.joinable()) {
-      sim_pump_thread_.request_stop();
-      sim_pump_thread_.join();
-    }
-    net::ConnectionPtr sim = std::move(conn).value();
-    sim_pump_thread_ = std::jthread(
-        [this, sim](std::stop_token pst) { sim_pump(pst, sim); });
+void ProxyServer::handle_sim_conn(net::ConnectionPtr conn) {
+  if (!handshake_accept(*conn, options_.password,
+                        Deadline::after(std::chrono::seconds(2)))
+           .or_log("visit.proxy")) {
+    return;
   }
+  std::scoped_lock lock(sim_pump_mutex_);
+  if (stopped_.load()) return;  // raced with stop(): don't respawn
+  if (sim_pump_thread_.joinable()) {
+    sim_pump_thread_.request_stop();
+    sim_pump_thread_.join();
+  }
+  net::ConnectionPtr sim = std::move(conn);
+  sim_pump_thread_ =
+      std::jthread([this, sim](std::stop_token pst) { sim_pump(pst, sim); });
 }
 
 void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {

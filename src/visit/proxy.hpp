@@ -41,6 +41,7 @@
 #include "common/clock.hpp"
 #include "common/fanout.hpp"
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
 #include "net/transport.hpp"
 #include "wire/message.hpp"
 
@@ -124,7 +125,9 @@ class ProxyServer {
 
  private:
   ProxyServer() = default;
-  void accept_loop(const std::stop_token& st);
+  /// Accept-pump handler: handshake on the pump thread, then (re)spawn the
+  /// sim pump for the new connection.
+  void handle_sim_conn(net::ConnectionPtr conn);
   void sim_pump(const std::stop_token& st, net::ConnectionPtr conn);
   void enqueue_to_all(const common::FramePtr& frame,
                       common::OverflowPolicy policy);
@@ -144,8 +147,8 @@ class ProxyServer {
 
   Options options_;
   net::ListenerPtr listener_;
-  std::jthread accept_thread_;
-  /// Guards sim_pump_thread_: the accept loop replaces it when a new
+  std::unique_ptr<net::AcceptPump> accept_pump_;
+  /// Guards sim_pump_thread_: the accept handler replaces it when a new
   /// simulation connects while stop() requests its termination.
   std::mutex sim_pump_mutex_;
   std::jthread sim_pump_thread_;

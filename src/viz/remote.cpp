@@ -207,6 +207,18 @@ Result<std::unique_ptr<RemoteRenderServer>> RemoteRenderServer::start(
   pipeline_options.queue_capacity = options.queue_capacity;
   server->pipeline_ = std::make_unique<common::ShardedFanout>(
       pipeline_options, [self](std::uint64_t id) { self->drop_client(id); });
+  // Accepts happen on the pump's thread, but admission stays with the
+  // render loop: the pump only parks connections, and the loop drains them
+  // at the point where the ordering/seeding invariant holds.
+  server->accept_pump_ = std::make_unique<net::AcceptPump>(
+      *server->listener_, [self](net::ConnectionPtr conn) {
+        std::scoped_lock lock(self->pending_mutex_);
+        if (self->stopped_.load()) {
+          conn->close();
+          return;
+        }
+        self->pending_conns_.push_back(std::move(conn));
+      });
   server->render_thread_ =
       std::jthread([self](std::stop_token st) { self->render_loop(st); });
   return server;
@@ -218,7 +230,14 @@ void RemoteRenderServer::stop() {
   if (stopped_.exchange(true)) return;
   render_thread_.request_stop();
   if (listener_) listener_->close();
+  if (accept_pump_) accept_pump_->stop();
   if (render_thread_.joinable()) render_thread_.join();
+  {
+    // Connections the pump parked but the render loop never admitted.
+    std::scoped_lock lock(pending_mutex_);
+    for (auto& conn : pending_conns_) conn->close();
+    pending_conns_.clear();
+  }
   // Close every client connection first — that wakes any pipeline worker
   // blocked inside a send with kClosed immediately — then join the
   // workers. The lock is not held across pipeline_->stop(): a worker may
@@ -261,6 +280,7 @@ RemoteRenderServer::Stats RemoteRenderServer::stats() const {
   out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
   out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   out.view_events = view_events_.load(std::memory_order_relaxed);
+  out.render_loop_iterations = loop_iterations_.load(std::memory_order_relaxed);
   out.fanout = pipeline_->stats();
   return out;
 }
@@ -276,14 +296,15 @@ void RemoteRenderServer::render_loop(const std::stop_token& st) {
   // image sequence.
   std::shared_ptr<const RenderedFrame> last_published;
   while (!st.stop_requested()) {
+    loop_iterations_.fetch_add(1, std::memory_order_relaxed);
     // Ordering is what makes the shared-camera handshake deterministic:
     // observe the version counters first, then admit pending connections.
-    // A connection whose connect() completed before a camera change was
-    // applied is in the listener backlog by the time the change is visible
-    // here, so it is admitted — seeded with the previous frame — strictly
-    // before the frame for that change is published. Every participant
-    // sees the same sequence of images regardless of how accepts, view
-    // events, and renders interleave.
+    // A connection the accept pump parked before a camera change was
+    // applied is admitted here — seeded with the previous frame — strictly
+    // before the frame for that change is published, so every participant
+    // sees the same sequence of images. A connection still in flight at
+    // the pump joins one iteration later and is seeded with whatever frame
+    // its siblings already hold; the sequence property is unchanged.
     Camera camera;
     std::uint64_t observed_camera = 0;
     std::uint64_t observed_scene = 0;
@@ -339,11 +360,12 @@ void RemoteRenderServer::render_loop(const std::stop_token& st) {
 
 void RemoteRenderServer::admit_clients(
     const std::shared_ptr<const RenderedFrame>& last_published) {
-  for (;;) {
-    auto conn = listener_->accept(Deadline::expired());
-    if (!conn.is_ok()) break;  // kTimeout: backlog empty; kClosed: stopping
-    admit(std::move(conn).value(), last_published);
+  std::deque<net::ConnectionPtr> batch;
+  {
+    std::scoped_lock lock(pending_mutex_);
+    batch.swap(pending_conns_);
   }
+  for (auto& conn : batch) admit(std::move(conn), last_published);
 }
 
 void RemoteRenderServer::admit(

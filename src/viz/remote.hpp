@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,7 @@
 
 #include "common/fanout.hpp"
 #include "common/status.hpp"
+#include "net/accept_pump.hpp"
 #include "net/transport.hpp"
 #include "viz/camera.hpp"
 #include "viz/compress.hpp"
@@ -108,6 +110,12 @@ class RemoteRenderServer {
     std::uint64_t frames_sent = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t view_events = 0;
+    /// Render-loop wakeups. Every iteration either renders or sleeps a
+    /// frame period, so this stays near elapsed/frame_period +
+    /// frames_rendered; a value far beyond that bound means the loop is
+    /// spinning (the historical failure mode: polling accept with an
+    /// expired deadline every pass).
+    std::uint64_t render_loop_iterations = 0;
     /// Per-shard pipeline counters: queue depths/high-water, per-class
     /// delivery and drop counts, disconnects.
     common::FanoutStats fanout;
@@ -162,12 +170,13 @@ class RemoteRenderServer {
 
   RemoteRenderServer() = default;
   void render_loop(const std::stop_token& st);
-  /// Drains the listener backlog, registering each connection with the
-  /// pipeline (seeded with `last_published` so a newcomer immediately
-  /// receives the current shared view as a key frame; before the first
-  /// publish there is nothing to seed, but then the initial camera version
-  /// is still unconsumed and the render loop draws the first frame in the
-  /// same iteration).
+  /// Drains the pending-connection queue (fed by the accept pump),
+  /// registering each connection with the pipeline (seeded with
+  /// `last_published` so a newcomer immediately receives the current
+  /// shared view as a key frame; before the first publish there is
+  /// nothing to seed, but then the initial camera version is still
+  /// unconsumed and the render loop draws the first frame in the same
+  /// iteration).
   void admit_clients(
       const std::shared_ptr<const RenderedFrame>& last_published);
   void admit(net::ConnectionPtr conn,
@@ -191,6 +200,13 @@ class RemoteRenderServer {
   Options options_;
   std::shared_ptr<SceneStore> scene_;
   net::ListenerPtr listener_;
+  /// Blocks in accept() on its own thread and parks fresh connections in
+  /// pending_conns_; the render loop admits them at the one point in its
+  /// iteration where the seeding invariant holds. Replaces the old
+  /// expired-deadline accept poll that spun the render loop.
+  std::unique_ptr<net::AcceptPump> accept_pump_;
+  std::mutex pending_mutex_;  // guards pending_conns_
+  std::deque<net::ConnectionPtr> pending_conns_;
   std::unique_ptr<common::ShardedFanout> pipeline_;
   std::jthread render_thread_;
   mutable std::mutex clients_mutex_;  // guards clients_, graveyard_, ids
@@ -204,6 +220,7 @@ class RemoteRenderServer {
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> view_events_{0};
+  std::atomic<std::uint64_t> loop_iterations_{0};
   std::atomic<bool> stopped_{false};
 };
 

@@ -10,6 +10,7 @@
 #include "ag/media.hpp"
 #include "ag/venue.hpp"
 #include "net/inproc.hpp"
+#include "net/tcp.hpp"
 
 namespace cs::ag {
 namespace {
@@ -307,6 +308,74 @@ TEST(Media, BridgeRelaysUnicastIntoGroup) {
   auto got = receiver.value().receive_frame(Deadline::after(2s));
   ASSERT_TRUE(got.is_ok());
   EXPECT_EQ(got.value(), frame);
+}
+
+TEST(Media, TcpBridgeClientsAreHostedWithoutPumpThreads) {
+  // Unicast side over TCP: clients carry a native handle, so the bridge
+  // hosts them on its event host — no pump thread and no relay
+  // subscription per client, and the relay still flows both ways.
+  net::InProcNetwork group_net;
+  net::TcpNetwork client_net;
+  UnicastBridge::Options options;
+  options.group = "mcast/v6";
+  options.address = "0";  // kernel-assigned loopback port
+  options.relay_shards = 1;
+  auto bridge = UnicastBridge::start(group_net, client_net, options);
+  ASSERT_TRUE(bridge.is_ok());
+  auto sender = MediaStream::join(group_net, "mcast/v6");
+  ASSERT_TRUE(sender.is_ok());
+
+  auto c1 = client_net.connect(bridge.value()->address(), Deadline::after(2s));
+  auto c2 = client_net.connect(bridge.value()->address(), Deadline::after(2s));
+  ASSERT_TRUE(c1.is_ok() && c2.is_ok());
+
+  // Group -> both hosted clients (the group pump drains accepts before
+  // relaying, so neither client can miss this frame).
+  const viz::Image frame = test_frame(24, 24, 90);
+  ASSERT_TRUE(sender.value().send_frame(frame).is_ok());
+  for (auto* c : {&c1, &c2}) {
+    auto raw = c->value()->recv(Deadline::after(2s));
+    ASSERT_TRUE(raw.is_ok());
+    auto decoded = viz::decompress_frame(raw.value());
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value(), frame);
+  }
+  const std::size_t threads_with_two = bridge.value()->service_threads();
+  EXPECT_EQ(bridge.value()->host_stats().hosted, 2u);
+  EXPECT_EQ(bridge.value()->relay_stats().subscribers, 0u);
+
+  // Client -> group and -> sibling, via the poller ingress path.
+  const viz::Image reply = test_frame(16, 16, 40);
+  ASSERT_TRUE(
+      c1.value()->send(viz::compress_frame(reply), Deadline::after(2s)).is_ok());
+  auto got = sender.value().receive_frame(Deadline::after(2s));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), reply);
+  auto sibling_raw = c2.value()->recv(Deadline::after(2s));
+  ASSERT_TRUE(sibling_raw.is_ok());
+  auto sibling = viz::decompress_frame(sibling_raw.value());
+  ASSERT_TRUE(sibling.is_ok());
+  EXPECT_EQ(sibling.value(), reply);
+
+  // More clients, same thread count.
+  auto c3 = client_net.connect(bridge.value()->address(), Deadline::after(2s));
+  ASSERT_TRUE(c3.is_ok());
+  const auto reg_deadline = Deadline::after(2s);
+  while (bridge.value()->client_count() < 3 && !reg_deadline.has_expired()) {
+    ASSERT_TRUE(sender.value().send_frame(frame).is_ok());
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(bridge.value()->client_count(), 3u);
+  EXPECT_EQ(bridge.value()->service_threads(), threads_with_two);
+
+  // A hosted client's close reaches drop_client via the poller.
+  c1.value()->close();
+  const auto drop_deadline = Deadline::after(2s);
+  while (bridge.value()->client_count() > 2 && !drop_deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(bridge.value()->client_count(), 2u);
+  bridge.value()->stop();
 }
 
 // --------------------------------------------------------------- desktop --

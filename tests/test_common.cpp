@@ -35,6 +35,15 @@ TEST(Status, CarriesCodeAndMessage) {
   EXPECT_EQ(s.to_string(), "TIMEOUT: deadline passed");
 }
 
+TEST(Status, OrLogReturnsIsOk) {
+  EXPECT_TRUE(Status::ok().or_log("test"));
+  EXPECT_FALSE(Status(StatusCode::kTimeout, "late").or_log("test"));
+  Result<int> ok{7};
+  Result<int> bad{Status{StatusCode::kNotFound, "missing"}};
+  EXPECT_TRUE(ok.or_log("test"));
+  EXPECT_FALSE(bad.or_log("test"));
+}
+
 TEST(Status, EveryCodeHasAName) {
   for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
     EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");

@@ -1,0 +1,438 @@
+// Lifecycle tests for net::EventHost and net::AcceptPump: many idle
+// connections burst-activating on one poller thread, incremental decode
+// across wakeups, EPOLLOUT resumption of a partially-written batch, and
+// teardown from inside a callback. Runs under TSan in CI like the fanout
+// suites.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fanout.hpp"
+#include "net/accept_pump.hpp"
+#include "net/event_host.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+
+namespace cs::net {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Bytes;
+using common::Deadline;
+using common::OverflowPolicy;
+using common::Status;
+using common::StatusCode;
+
+Bytes bytes_of(std::string_view s) { return Bytes{s.begin(), s.end()}; }
+
+std::string text_of(const Bytes& b) { return std::string{b.begin(), b.end()}; }
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds budget = 5000ms) {
+  const Deadline deadline = Deadline::after(budget);
+  while (!pred()) {
+    if (deadline.has_expired()) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+/// One accepted TCP pair: `client` is the caller's end, `server` the end to
+/// hand to the host.
+struct TcpPair {
+  TcpNetwork net;
+  ListenerPtr listener;
+  ConnectionPtr client;
+  ConnectionPtr server;
+
+  void connect() {
+    auto l = net.listen("0");
+    ASSERT_TRUE(l.is_ok());
+    listener = std::move(l).value();
+    auto c = net.connect(listener->address(), Deadline::after(2s));
+    ASSERT_TRUE(c.is_ok());
+    client = std::move(c).value();
+    auto s = listener->accept(Deadline::after(2s));
+    ASSERT_TRUE(s.is_ok());
+    server = std::move(s).value();
+  }
+};
+
+// ------------------------------------------------------------ transport --
+
+TEST(Readiness, TryRecvReportsWouldBlockThenDelivers) {
+  TcpPair pair;
+  pair.connect();
+  auto r = pair.server->try_recv();
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+
+  ASSERT_TRUE(pair.client->send(bytes_of("ping"), Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(wait_until([&] {
+    auto got = pair.server->try_recv();
+    if (!got.is_ok()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+      return false;
+    }
+    EXPECT_EQ(text_of(got.value()), "ping");
+    return true;
+  }));
+}
+
+TEST(Readiness, RecvKeepsPartialProgressAcrossDeadlines) {
+  TcpPair pair;
+  pair.connect();
+  // Half a frame on the wire: a deadline-bounded recv must time out
+  // *without* losing the consumed prefix, or the stream desynchronizes.
+  const std::string payload = "split frame";
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  Bytes frame = {static_cast<std::uint8_t>(n >> 24),
+                 static_cast<std::uint8_t>(n >> 16),
+                 static_cast<std::uint8_t>(n >> 8),
+                 static_cast<std::uint8_t>(n)};
+  frame.insert(frame.end(), payload.begin(), payload.begin() + 5);
+  ASSERT_EQ(::send(pair.client->native_handle(), frame.data(), frame.size(),
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+
+  auto r = pair.server->recv(Deadline::after(50ms));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+
+  ASSERT_EQ(::send(pair.client->native_handle(), payload.data() + 5,
+                   payload.size() - 5, MSG_NOSIGNAL),
+            static_cast<ssize_t>(payload.size() - 5));
+  auto whole = pair.server->recv(Deadline::after(2s));
+  ASSERT_TRUE(whole.is_ok());
+  EXPECT_EQ(text_of(whole.value()), payload);
+}
+
+TEST(Readiness, InProcConnectionsHaveNoNativeHandle) {
+  InProcNetwork net;
+  auto listener = net.listen("host:1");
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net.connect("host:1", Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  EXPECT_LT(client.value()->native_handle(), 0);
+  EXPECT_LT(listener.value()->native_handle(), 0);
+
+  auto host = EventHost::start({});
+  ASSERT_TRUE(host.is_ok());
+  EXPECT_FALSE(host.value()->host(1, client.value(), nullptr, nullptr));
+}
+
+// ------------------------------------------------------------ EventHost --
+
+TEST(EventHost, ThousandIdleConnectionsBurstActivate) {
+  TcpNetwork net;
+  auto l = net.listen("0");
+  ASSERT_TRUE(l.is_ok());
+  ListenerPtr listener = std::move(l).value();
+
+  auto started = EventHost::start({.pollers = 1, .queue_capacity = 8});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+  ASSERT_EQ(host.poller_count(), 1u);
+
+  constexpr std::size_t kConns = 1000;
+  std::atomic<std::size_t> received{0};
+  std::vector<ConnectionPtr> clients;
+  clients.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    auto c = net.connect(listener->address(), Deadline::after(5s));
+    ASSERT_TRUE(c.is_ok());
+    auto s = listener->accept(Deadline::after(5s));
+    ASSERT_TRUE(s.is_ok());
+    ASSERT_TRUE(host.host(
+        i + 1, std::move(s).value(),
+        [&received](std::uint64_t, Bytes) { ++received; }, nullptr));
+    clients.push_back(std::move(c).value());
+  }
+  ASSERT_EQ(host.hosted_count(), kConns);
+
+  // Idle: the host sits in epoll_wait, no thread per connection.
+  std::this_thread::sleep_for(20ms);
+
+  // Burst: every client speaks at once; one poller decodes all of it.
+  for (auto& client : clients) {
+    ASSERT_TRUE(client->send(bytes_of("hi"), Deadline::after(5s)).is_ok());
+  }
+  ASSERT_TRUE(wait_until([&] { return received.load() == kConns; }, 20000ms));
+
+  // Broadcast back through the hosted egress path.
+  host.publish(common::make_frame(bytes_of("all")),
+               OverflowPolicy::kDisconnect);
+  for (auto& client : clients) {
+    auto got = client->recv(Deadline::after(10s));
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(text_of(got.value()), "all");
+  }
+  // Delivery accounting trails the last wire write by one lock acquisition,
+  // so converge on it rather than asserting the instantaneous value.
+  ASSERT_TRUE(wait_until(
+      [&] { return host.stats().control_delivered == kConns; }));
+  const EventHostStats stats = host.stats();
+  EXPECT_EQ(stats.messages_in, kConns);
+  EXPECT_EQ(stats.pollers, 1u);
+}
+
+TEST(EventHost, DecodesPartialFrameAcrossTwoWakeups) {
+  TcpPair pair;
+  pair.connect();
+  auto started = EventHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  std::mutex mutex;
+  std::vector<std::string> messages;
+  ASSERT_TRUE(host.host(1, pair.server,
+                        [&](std::uint64_t, Bytes b) {
+                          std::scoped_lock lock(mutex);
+                          messages.push_back(text_of(b));
+                        },
+                        nullptr));
+
+  const std::string payload = "two wakeups";
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  Bytes frame = {static_cast<std::uint8_t>(n >> 24),
+                 static_cast<std::uint8_t>(n >> 16),
+                 static_cast<std::uint8_t>(n >> 8),
+                 static_cast<std::uint8_t>(n)};
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  // First wakeup sees the header and three payload bytes; the decoder must
+  // park mid-message and resume on the second wakeup.
+  const int fd = pair.client->native_handle();
+  ASSERT_EQ(::send(fd, frame.data(), 7, MSG_NOSIGNAL), 7);
+  std::this_thread::sleep_for(50ms);
+  {
+    std::scoped_lock lock(mutex);
+    EXPECT_TRUE(messages.empty());
+  }
+  ASSERT_EQ(::send(fd, frame.data() + 7, frame.size() - 7, MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size() - 7));
+  ASSERT_TRUE(wait_until([&] {
+    std::scoped_lock lock(mutex);
+    return messages.size() == 1;
+  }));
+  std::scoped_lock lock(mutex);
+  EXPECT_EQ(messages.front(), payload);
+}
+
+TEST(EventHost, ResumesAbortedSendTailOnWritability) {
+  TcpPair pair;
+  pair.connect();
+  // A tiny send buffer forces try_send_many to abort mid-message, leaving
+  // a tail the poller must flush on later EPOLLOUT wakeups.
+  const int small = 8 * 1024;
+  ASSERT_EQ(::setsockopt(pair.server->native_handle(), SOL_SOCKET, SO_SNDBUF,
+                         &small, sizeof(small)),
+            0);
+
+  auto started = EventHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+  ASSERT_TRUE(host.host(7, pair.server, nullptr, nullptr));
+
+  Bytes big(512 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(host.send_to(7, common::make_frame(big),
+                           OverflowPolicy::kDropOldest));
+  ASSERT_TRUE(host.send_to(7, common::make_frame(bytes_of("done")),
+                           OverflowPolicy::kDisconnect));
+
+  // Let the poller wedge on the full socket before the reader starts, so
+  // the flush really rides EPOLLOUT resumption.
+  std::this_thread::sleep_for(50ms);
+
+  auto first = pair.client->recv(Deadline::after(10s));
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value(), big);
+  auto second = pair.client->recv(Deadline::after(10s));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(text_of(second.value()), "done");
+
+  ASSERT_TRUE(wait_until([&] {
+    const EventHostStats stats = host.stats();
+    return stats.data_delivered == 1 && stats.control_delivered == 1 &&
+           stats.queued_frames == 0;
+  }));
+}
+
+TEST(EventHost, UnhostFromInsideCallback) {
+  TcpPair pair;
+  pair.connect();
+  auto started = EventHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  std::atomic<int> delivered{0};
+  ASSERT_TRUE(host.host(3, pair.server,
+                        [&](std::uint64_t id, Bytes) {
+                          ++delivered;
+                          host.unhost(id);  // close-during-callback
+                        },
+                        nullptr));
+
+  // Two back-to-back messages: the first callback tears the connection
+  // down, so the second must never be delivered.
+  ASSERT_TRUE(pair.client->send(bytes_of("one"), Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(pair.client->send(bytes_of("two"), Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(wait_until([&] { return host.hosted_count() == 0; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(EventHost, PeerCloseFiresOnCloseOnce) {
+  TcpPair pair;
+  pair.connect();
+  auto started = EventHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  std::atomic<int> closes{0};
+  std::atomic<int> code{-1};
+  ASSERT_TRUE(host.host(4, pair.server, nullptr,
+                        [&](std::uint64_t, const Status& cause) {
+                          ++closes;
+                          code = static_cast<int>(cause.code());
+                        }));
+  pair.client->close();
+  ASSERT_TRUE(wait_until([&] { return closes.load() == 1; }));
+  EXPECT_EQ(host.hosted_count(), 0u);
+  EXPECT_EQ(code.load(), static_cast<int>(StatusCode::kClosed));
+  EXPECT_EQ(host.stats().disconnects, 1u);
+}
+
+TEST(EventHost, ControlOverflowDisconnectsLosslessOrDead) {
+  TcpPair pair;
+  pair.connect();
+  const int small = 4 * 1024;
+  ASSERT_EQ(::setsockopt(pair.server->native_handle(), SOL_SOCKET, SO_SNDBUF,
+                         &small, sizeof(small)),
+            0);
+  auto started = EventHost::start({.pollers = 1, .queue_capacity = 2});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  std::atomic<int> code{-1};
+  ASSERT_TRUE(host.host(5, pair.server, nullptr,
+                        [&](std::uint64_t, const Status& cause) {
+                          code = static_cast<int>(cause.code());
+                        }));
+  // Wedge the socket with a frame larger than both socket buffers, then
+  // outrun the 2-deep queue with control frames: control is never evicted,
+  // so the push that finds the queue all-control and full must disconnect.
+  auto wedge = common::make_frame(Bytes(256 * 1024));
+  ASSERT_TRUE(host.send_to(5, wedge, OverflowPolicy::kDropOldest));
+  auto control = common::make_frame(bytes_of("ctl"));
+  ASSERT_TRUE(wait_until([&] {
+    if (code.load() >= 0) return true;
+    host.send_to(5, control, OverflowPolicy::kDisconnect);
+    return code.load() >= 0;
+  }));
+  EXPECT_EQ(code.load(), static_cast<int>(StatusCode::kResourceExhausted));
+  EXPECT_EQ(host.hosted_count(), 0u);
+}
+
+TEST(EventHost, ReplaySeedsAreDeliveredFirst) {
+  TcpPair pair;
+  pair.connect();
+  auto started = EventHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  std::vector<common::OutboundQueue::Item> replay;
+  replay.push_back({common::make_frame(bytes_of("schema")),
+                    OverflowPolicy::kDisconnect, nullptr});
+  ASSERT_TRUE(host.host(6, pair.server, nullptr, nullptr, std::move(replay)));
+  host.publish(common::make_frame(bytes_of("sample")),
+               OverflowPolicy::kDropOldest);
+
+  auto first = pair.client->recv(Deadline::after(2s));
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(text_of(first.value()), "schema");
+  auto second = pair.client->recv(Deadline::after(2s));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(text_of(second.value()), "sample");
+}
+
+// ----------------------------------------------------------- AcceptPump --
+
+TEST(AcceptPump, ThreadModePumpsUntilListenerCloses) {
+  InProcNetwork net;
+  auto l = net.listen("svc:1");
+  ASSERT_TRUE(l.is_ok());
+  ListenerPtr listener = std::move(l).value();
+
+  std::atomic<std::size_t> conns{0};
+  AcceptPump pump(*listener, [&](ConnectionPtr) { ++conns; },
+                  {.accept_slice = 10ms});
+  EXPECT_FALSE(pump.event_driven());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(net.connect("svc:1", Deadline::after(1s)).is_ok());
+  }
+  ASSERT_TRUE(wait_until([&] { return conns.load() == 3; }));
+  EXPECT_EQ(pump.accepted(), 3u);
+  listener->close();
+  pump.stop();
+}
+
+TEST(AcceptPump, EventDrivenAcceptsWithoutAThread) {
+  TcpNetwork net;
+  auto l = net.listen("0");
+  ASSERT_TRUE(l.is_ok());
+  ListenerPtr listener = std::move(l).value();
+  auto started = EventHost::start({});
+  ASSERT_TRUE(started.is_ok());
+
+  std::atomic<std::size_t> conns{0};
+  AcceptPump pump(*started.value(), *listener,
+                  [&](ConnectionPtr) { ++conns; });
+  EXPECT_TRUE(pump.event_driven());
+
+  std::vector<ConnectionPtr> clients;
+  for (int i = 0; i < 5; ++i) {
+    auto c = net.connect(listener->address(), Deadline::after(2s));
+    ASSERT_TRUE(c.is_ok());
+    clients.push_back(std::move(c).value());
+  }
+  ASSERT_TRUE(wait_until([&] { return conns.load() == 5; }));
+  EXPECT_EQ(started.value()->stats().accepts, 5u);
+}
+
+TEST(AcceptPump, MaxConnsRefusesUntilRetired) {
+  InProcNetwork net;
+  auto l = net.listen("svc:2");
+  ASSERT_TRUE(l.is_ok());
+  ListenerPtr listener = std::move(l).value();
+
+  std::atomic<std::size_t> conns{0};
+  AcceptPump pump(*listener, [&](ConnectionPtr) { ++conns; },
+                  {.accept_slice = 10ms, .max_conns = 1});
+  ASSERT_TRUE(net.connect("svc:2", Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(wait_until([&] { return conns.load() == 1; }));
+  // Second arrival is over the cap: accepted off the backlog but closed.
+  ASSERT_TRUE(net.connect("svc:2", Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(wait_until([&] { return pump.refused() == 1; }));
+  EXPECT_EQ(conns.load(), 1u);
+
+  pump.connection_retired();
+  ASSERT_TRUE(net.connect("svc:2", Deadline::after(1s)).is_ok());
+  ASSERT_TRUE(wait_until([&] { return conns.load() == 2; }));
+}
+
+}  // namespace
+}  // namespace cs::net

@@ -266,6 +266,41 @@ TEST(Scenarios, MultiplexerSoakScalesTo256Viewers) {
   expect_consistent(report.value());
 }
 
+TEST(Scenarios, MultiplexerSoakOverTcpKeepsThreadCountFlat) {
+  ScenarioOptions options;
+  options.connections = 32;
+  options.duration = 500ms;
+  options.rate_per_sec = 100.0;
+  options.payload_bytes = 128;
+  options.fanout_shards = 1;
+  options.transport = ScenarioOptions::Transport::kTcp;
+  // A thread-per-viewer design needs 32+ threads here; the epoll host
+  // needs a handful (accept pumps, sim pump, one shard, one poller).
+  options.max_service_threads = 8;
+  auto report = run_multiplexer_soak(options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_GT(report.value().ops, 0u);
+  double hosted = 0.0;
+  for (const auto& [key, value] : report.value().service_metrics) {
+    if (key == "hosted_viewers") hosted = value;
+  }
+  EXPECT_EQ(hosted, 32.0);
+  expect_consistent(report.value());
+}
+
+TEST(Scenarios, MultiplexerSoakThreadBoundCatchesPumpBaseline) {
+  ScenarioOptions options;
+  options.connections = 16;
+  options.duration = 300ms;
+  options.rate_per_sec = 100.0;
+  options.fanout_shards = 1;
+  options.transport = ScenarioOptions::Transport::kTcp;
+  options.use_event_host = false;  // legacy baseline: one pump per viewer
+  options.max_service_threads = 8;
+  EXPECT_EQ(run_multiplexer_soak(options).status().code(),
+            StatusCode::kInternal);
+}
+
 TEST(Scenarios, VizServerLoopDeliversFrames) {
   ScenarioOptions options;
   options.connections = 4;
@@ -275,6 +310,30 @@ TEST(Scenarios, VizServerLoopDeliversFrames) {
   ASSERT_TRUE(report.is_ok());
   EXPECT_GT(report.value().ops, 0u);
   EXPECT_GT(report.value().latency.count(), 0u);
+  expect_consistent(report.value());
+}
+
+TEST(Scenarios, VizServerLoopStaysAsleepWithStalledClients) {
+  // The stalled participants wedge their receive windows and never drain;
+  // the scenario itself fails with kInternal if the render loop wakes up
+  // more often than sleeping/rendering can explain (the old bug: polling
+  // accept with an expired deadline every pass).
+  ScenarioOptions options;
+  options.connections = 6;
+  options.stalled_connections = 2;
+  options.duration = 500ms;
+  options.rate_per_sec = 40.0;
+  auto report = run_vizserver_loop(options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_GT(report.value().ops, 0u);
+  double iterations = 0.0;
+  double budget = 0.0;
+  for (const auto& [key, value] : report.value().service_metrics) {
+    if (key == "render_loop_iterations") iterations = value;
+    if (key == "render_loop_wakeup_budget") budget = value;
+  }
+  EXPECT_GT(iterations, 0.0);
+  EXPECT_LE(iterations, budget);
   expect_consistent(report.value());
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "net/inproc.hpp"
+#include "net/tcp.hpp"
 #include "visit/client.hpp"
 #include "visit/control.hpp"
 #include "visit/multiplexer.hpp"
@@ -447,6 +448,84 @@ TEST(Multiplexer, MasterDisconnectPromotesSurvivor) {
   });
   ASSERT_TRUE(promoted.is_ok());
   EXPECT_EQ(f.mux->viewer_count(), 1u);
+}
+
+TEST(Multiplexer, TcpViewersAreHostedWithoutPumpThreads) {
+  net::TcpNetwork tcp;
+  Multiplexer::Options o;
+  o.sim_address = "0";  // kernel-assigned loopback ports
+  o.viewer_address = "0";
+  o.password = "pw";
+  o.fanout_shards = 1;
+  auto r = Multiplexer::start(tcp, o);
+  ASSERT_TRUE(r.is_ok());
+  auto& mux = *r.value();
+
+  const std::size_t baseline_threads = mux.stats().service_threads;
+  constexpr std::size_t kViewers = 8;
+  std::vector<ViewerClient> viewers;
+  for (std::size_t i = 0; i < kViewers; ++i) {
+    auto v = ViewerClient::connect(tcp, {mux.viewer_address(), "pw", 200ms},
+                                   Deadline::after(5s));
+    ASSERT_TRUE(v.is_ok());
+    viewers.push_back(std::move(v).value());
+  }
+  const auto reg_deadline = Deadline::after(5s);
+  while (mux.viewer_count() < kViewers && !reg_deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(mux.viewer_count(), kViewers);
+  // Every TCP viewer lives on the event host: no pump threads, no growth.
+  EXPECT_EQ(mux.stats().event_host.hosted, kViewers);
+  EXPECT_EQ(mux.stats().service_threads, baseline_threads);
+
+  // Roles flow through the hosted outbound path; find the master.
+  ViewerClient* master = nullptr;
+  for (auto& v : viewers) {
+    auto role = poll_until(v, [](const ViewerClient::Event& e) {
+      return e.kind == ViewerClient::Event::Kind::kRole;
+    });
+    ASSERT_TRUE(role.is_ok());
+    if (role.value().role == "master") master = &v;
+  }
+  ASSERT_NE(master, nullptr);
+
+  // Broadcast reaches every hosted viewer.
+  auto sim = SimClient::connect(tcp, {mux.sim_address(), "pw", 200ms},
+                                Deadline::after(5s));
+  ASSERT_TRUE(sim.is_ok());
+  const std::vector<float> sample{4.f, 5.f, 6.f};
+  ASSERT_TRUE(sim.value().send(kTagField, sample).is_ok());
+  for (auto& v : viewers) {
+    auto e = poll_until(v, [](const ViewerClient::Event& e) {
+      return e.kind == ViewerClient::Event::Kind::kData && e.tag == kTagField;
+    }, 5s);
+    ASSERT_TRUE(e.is_ok());
+    auto values = v.extract<float>(e.value());
+    ASSERT_TRUE(values.is_ok());
+    EXPECT_EQ(values.value(), sample);
+  }
+
+  // Steering arrives via the poller's ingress path (on_viewer_bytes).
+  ASSERT_TRUE(master->steer<double>(kTagMiscibility, {0.25}).is_ok());
+  const auto steer_deadline = Deadline::after(5s);
+  while (mux.stats().steers_accepted == 0 && !steer_deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  auto param = sim.value().request<double>(kTagMiscibility,
+                                           Deadline::after(2s));
+  ASSERT_TRUE(param.is_ok());
+  ASSERT_EQ(param.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(param.value()[0], 0.25);
+
+  // A hosted master's disconnect promotes a survivor (poller close path).
+  master->disconnect();
+  ViewerClient* survivor =
+      &viewers.front() == master ? &viewers[1] : &viewers.front();
+  auto promoted = poll_until(*survivor, [](const ViewerClient::Event& e) {
+    return e.kind == ViewerClient::Event::Kind::kRole && e.role == "master";
+  }, 5s);
+  ASSERT_TRUE(promoted.is_ok());
 }
 
 TEST(Multiplexer, StatsSurfacePerShardFanoutCounters) {
