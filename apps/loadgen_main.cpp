@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "loadgen/driver.hpp"
 #include "loadgen/scenarios.hpp"
@@ -31,9 +32,27 @@ struct CliOptions {
   std::string scenario = "mux";
   std::string transport = "inproc";
   std::string out_path;
+  /// service_metrics keys that must be present AND nonzero in the report.
+  std::vector<std::string> assert_nonzero;
+  /// service_metrics keys that must be present (zero is acceptable).
+  std::vector<std::string> assert_present;
   loadgen::ScenarioOptions scenario_options;
   loadgen::Workload workload;
 };
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const auto comma = value.find(',', start);
+    const auto len =
+        (comma == std::string::npos ? value.size() : comma) - start;
+    if (len > 0) out.push_back(value.substr(start, len));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 void usage(const char* argv0) {
   std::fprintf(
@@ -65,6 +84,15 @@ void usage(const char* argv0) {
       "                                 threads with all viewers connected "
       "(default\n"
       "                                 0 = no bound)\n"
+      "  --metricsz=0|1                 mux: serve /metricsz and scrape it "
+      "mid-run\n"
+      "                                 into the report (default 1)\n"
+      "  --assert-nonzero=k1,k2,...     fail unless each service-metric key "
+      "is\n"
+      "                                 present and nonzero in the report\n"
+      "  --assert-present=k1,k2,...     fail unless each service-metric key "
+      "is\n"
+      "                                 present (zero allowed)\n"
       "  --out=FILE                     write the JSON report here "
       "(default stdout)\n"
       "raw-scenario options:\n"
@@ -147,6 +175,12 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       s.use_event_host = (n != 0);
     } else if (key == "--max-service-threads" && parse_u64(value.c_str(), n)) {
       s.max_service_threads = n;
+    } else if (key == "--metricsz" && parse_u64(value.c_str(), n)) {
+      s.scrape_metricsz = (n != 0);
+    } else if (key == "--assert-nonzero") {
+      cli.assert_nonzero = split_csv(value);
+    } else if (key == "--assert-present") {
+      cli.assert_present = split_csv(value);
     } else {
       std::fprintf(stderr, "unknown or malformed option: %s\n", arg.c_str());
       return false;
@@ -217,6 +251,36 @@ int main(int argc, char** argv) {
                  report.status().to_string().c_str());
     return 1;
   }
+  // Server-side truth assertions: the report's service_metrics always carry
+  // every registered key explicitly (zero = measured-and-zero), so absence
+  // means the metric was never wired — as hard a failure as a zero where
+  // traffic must have flowed.
+  bool asserts_ok = true;
+  auto find_metric = [&](const std::string& key) -> const double* {
+    for (const auto& [name, value] : report.value().service_metrics) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  };
+  for (const auto& key : cli.assert_present) {
+    if (find_metric(key) == nullptr) {
+      std::fprintf(stderr, "assert-present failed: no service metric '%s'\n",
+                   key.c_str());
+      asserts_ok = false;
+    }
+  }
+  for (const auto& key : cli.assert_nonzero) {
+    const double* value = find_metric(key);
+    if (value == nullptr) {
+      std::fprintf(stderr, "assert-nonzero failed: no service metric '%s'\n",
+                   key.c_str());
+      asserts_ok = false;
+    } else if (*value == 0.0) {
+      std::fprintf(stderr, "assert-nonzero failed: '%s' is zero\n",
+                   key.c_str());
+      asserts_ok = false;
+    }
+  }
   std::fprintf(stderr, "%s\n", loadgen::summary_line(report.value()).c_str());
   const std::string json = loadgen::to_json(report.value());
   if (cli.out_path.empty()) {
@@ -231,5 +295,6 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
   // A soak that completed but moved no traffic is a failure, not a report.
+  if (!asserts_ok) return 1;
   return report.value().ops > 0 ? 0 : 1;
 }

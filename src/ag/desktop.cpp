@@ -82,9 +82,8 @@ Status DesktopShareServer::update(const viz::Image& desktop) {
         wire::make_data_message(kTagUpdate, payload.data(), payload.size());
     if (conn->send(m.encode(), Deadline::after(std::chrono::seconds(1)))
             .is_ok()) {
-      std::scoped_lock lock(mutex_);
-      ++stats_.updates_pushed;
-      stats_.bytes_pushed += payload.size();
+      ctr_updates_pushed_.add();
+      ctr_bytes_pushed_.add(payload.size());
     }
   }
   return Status::ok();
@@ -96,8 +95,12 @@ std::size_t DesktopShareServer::viewer_count() const {
 }
 
 DesktopShareServer::Stats DesktopShareServer::stats() const {
-  std::scoped_lock lock(mutex_);
-  return stats_;
+  // Shim over the registry-backed counters (see desktop.hpp).
+  Stats out;
+  out.updates_pushed = ctr_updates_pushed_.value();
+  out.bytes_pushed = ctr_bytes_pushed_.value();
+  out.events_received = ctr_events_received_.value();
+  return out;
 }
 
 void DesktopShareServer::handle_conn(net::ConnectionPtr conn) {
@@ -158,10 +161,10 @@ void DesktopShareServer::viewer_pump(const std::stop_token& st,
     if (!m.is_ok() || m.value().header.tag != kTagEvent) continue;
     auto body = wire::extract_string(m.value());
     if (!body.is_ok()) continue;
+    ctr_events_received_.add();
     std::function<void(const std::string&)> handler;
     {
       std::scoped_lock lock(mutex_);
-      ++stats_.events_received;
       handler = on_event_;
     }
     if (handler) handler(body.value());

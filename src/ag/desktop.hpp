@@ -25,6 +25,7 @@
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
 #include "net/inproc.hpp"
+#include "obs/registry.hpp"
 #include "viz/compress.hpp"
 #include "viz/image.hpp"
 
@@ -56,7 +57,10 @@ class DesktopShareServer {
   common::Status update(const viz::Image& desktop);
 
   std::size_t viewer_count() const;
+  /// Snapshot of the push counters (shim over the metrics registry).
   Stats stats() const;
+  /// The service's metrics registry (source of truth for the counters).
+  obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   DesktopShareServer() = default;
@@ -77,7 +81,14 @@ class DesktopShareServer {
   std::vector<std::jthread> graveyard_;
   std::uint64_t next_id_ = 1;
   viz::Image desktop_;
-  Stats stats_;
+  /// Registry-backed counters; stats() reads them back for the old shape.
+  obs::Registry metrics_;
+  obs::Counter& ctr_updates_pushed_ =
+      metrics_.counter("frames_delivered", "frames");
+  obs::Counter& ctr_bytes_pushed_ =
+      metrics_.counter("desktop_bytes_pushed", "bytes");
+  obs::Counter& ctr_events_received_ =
+      metrics_.counter("desktop_events_received", "events");
   std::atomic<bool> stopped_{false};
 };
 

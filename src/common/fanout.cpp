@@ -10,6 +10,7 @@ namespace cs::common {
 // ---------------------------------------------------------------------------
 
 OutboundQueue::Push OutboundQueue::push(Item item) {
+  item.enqueued_ns = steady_now_ns();
   if (item.coalesce_key != 0) {
     for (auto& queued : items_) {
       if (queued.coalesce_key == item.coalesce_key) {
@@ -46,6 +47,7 @@ OutboundQueue::Push OutboundQueue::push(Item item) {
 }
 
 void OutboundQueue::seed(Item item) {
+  item.enqueued_ns = steady_now_ns();
   items_.push_back(std::move(item));
   high_water_ = std::max(high_water_, items_.size());
 }
@@ -55,6 +57,31 @@ OutboundQueue::Item OutboundQueue::pop() {
   Item item = std::move(items_.front());
   items_.pop_front();
   return item;
+}
+
+// ---------------------------------------------------------------------------
+// FrameStageStats
+// ---------------------------------------------------------------------------
+
+void FrameStageStats::record(const OutboundQueue::Item& item,
+                             std::uint64_t write_ns) noexcept {
+  if (item.enqueued_ns != 0 && write_ns >= item.enqueued_ns) {
+    enqueue_to_write.record(write_ns - item.enqueued_ns);
+  }
+  if (item.frame == nullptr) return;
+  const FrameTrace& trace = item.frame->trace;
+  if (trace.encode_ns != 0 && item.enqueued_ns >= trace.encode_ns) {
+    encode_to_enqueue.record(item.enqueued_ns - trace.encode_ns);
+  }
+  if (trace.ingress_ns != 0 && trace.encode_ns >= trace.ingress_ns) {
+    ingress_to_encode.record(trace.encode_ns - trace.ingress_ns);
+  }
+}
+
+void FrameStageStats::merge(const FrameStageStats& other) noexcept {
+  ingress_to_encode.merge(other.ingress_to_encode);
+  encode_to_enqueue.merge(other.encode_to_enqueue);
+  enqueue_to_write.merge(other.enqueue_to_write);
 }
 
 // ---------------------------------------------------------------------------
@@ -273,6 +300,7 @@ FanoutStats ShardedFanout::stats() const {
       s = shard->stats;
       s.subscribers = shard->subs.size();
       s.queued_frames = shard->pending;
+      out.stages.merge(shard->stages);
     }
     out.data_enqueued += s.data_enqueued;
     out.data_delivered += s.data_delivered;
@@ -312,6 +340,9 @@ void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
   struct Burst {
     std::shared_ptr<Subscriber> sub;
     std::vector<OutboundQueue::Item> items;
+    /// Leading items confirmed delivered by the sink this pass; these are
+    /// the ones whose stage latencies get recorded.
+    std::size_t stage_delivered = 0;
   };
   std::vector<Burst> bursts;
   std::vector<std::uint64_t> dead;
@@ -364,6 +395,7 @@ void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
           std::span<const OutboundQueue::Item>(items.data(), items.size()),
           delivered);
       delivered = std::min(delivered, items.size());
+      burst.stage_delivered = delivered;
       for (std::size_t k = 0; k < delivered; ++k) {
         if (items[k].policy == OverflowPolicy::kDisconnect) {
           ++control_delivered;
@@ -407,6 +439,18 @@ void ShardedFanout::worker_loop(const std::stop_token& st, Shard& shard) {
         }
       }
       if (is_dead) dead.push_back(burst.sub->id);
+    }
+    if (!bursts.empty()) {
+      // Fold this pass's stage latencies in under one lock acquisition; one
+      // write stamp per pass is plenty of granularity (a pass is one sink
+      // call per subscriber).
+      const std::uint64_t write_ns = steady_now_ns();
+      std::scoped_lock lock(shard.mutex);
+      for (const Burst& burst : bursts) {
+        for (std::size_t k = 0; k < burst.stage_delivered; ++k) {
+          shard.stages.record(burst.items[k], write_ns);
+        }
+      }
     }
     if (!dead.empty()) disconnect(shard, dead);
   }

@@ -28,17 +28,44 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
 #include "common/status.hpp"
 
 namespace cs::common {
 
+/// Lifecycle stamps (steady_now_ns) a frame carries from birth. They are set
+/// once, before the frame is published, and immutable afterwards — the
+/// shared frame fans out to many consumer queues and threads, so per-consumer
+/// stages (queue wait) live on OutboundQueue::Item, never here.
+struct FrameTrace {
+  /// When the raw input behind this frame entered the process (0 = unknown;
+  /// producers that relay external data pass it to make_frame).
+  std::uint64_t ingress_ns = 0;
+  /// When wire encoding finished (stamped by make_frame).
+  std::uint64_t encode_ns = 0;
+};
+
 /// One encoded wire frame, shared across all consumer queues. A broadcast
 /// serializes exactly once; every queue holds a reference, never a copy.
-using FramePtr = std::shared_ptr<const Bytes>;
+/// Frame IS-A Bytes (public inheritance), so every consumer of the payload —
+/// span views, codecs, sinks — keeps treating it as the byte vector; the
+/// trace stamps ride along without touching the wire format.
+struct Frame : Bytes {
+  explicit Frame(Bytes bytes) : Bytes(std::move(bytes)) {}
+  FrameTrace trace;
+};
 
-/// Wraps freshly encoded bytes into a shareable frame.
-inline FramePtr make_frame(Bytes bytes) {
-  return std::make_shared<const Bytes>(std::move(bytes));
+using FramePtr = std::shared_ptr<const Frame>;
+
+/// Wraps freshly encoded bytes into a shareable frame, stamping encode time.
+/// `ingress_ns` is the optional birth stamp of the raw input (a steering
+/// sample's arrival, a media frame's capture) for ingress→encode accounting.
+inline FramePtr make_frame(Bytes bytes, std::uint64_t ingress_ns = 0) {
+  auto frame = std::make_shared<Frame>(std::move(bytes));
+  frame->trace.ingress_ns = ingress_ns;
+  frame->trace.encode_ns = steady_now_ns();
+  return frame;
 }
 
 /// What happens when a consumer's queue is full.
@@ -98,6 +125,10 @@ class OutboundQueue {
     /// overflow the queue, and lossless-or-dead still holds for the
     /// latest value.
     std::uint64_t coalesce_key = 0;
+    /// When this item entered *this consumer's* queue (stamped by
+    /// push()/seed(); per-consumer by construction, unlike the shared
+    /// FrameTrace). Feeds the enqueue→write stage histogram.
+    std::uint64_t enqueued_ns = 0;
   };
 
   /// @param capacity maximum queued frames; at least 1 is enforced.
@@ -137,6 +168,26 @@ class OutboundQueue {
   std::uint64_t dropped_ = 0;
 };
 
+/// Per-stage frame-lifecycle latency: where a frame's time goes between its
+/// birth and the moment its bytes are handed to the consumer's transport.
+/// Recorded at delivery, so every histogram is delivery-weighted — a frame
+/// fanned out to N consumers contributes N samples per stage. Stages whose
+/// stamps are absent (no ingress stamp, source-payload items with no shared
+/// frame) are simply skipped, never recorded as zero.
+struct FrameStageStats {
+  Histogram ingress_to_encode;  ///< raw input arrival -> encoded frame
+  Histogram encode_to_enqueue;  ///< encoded frame -> consumer queue entry
+  Histogram enqueue_to_write;   ///< consumer queue entry -> transport write
+
+  /// Records every stage the item's stamps cover; `write_ns` is when the
+  /// item's bytes were handed to the transport.
+  void record(const OutboundQueue::Item& item, std::uint64_t write_ns) noexcept;
+  void merge(const FrameStageStats& other) noexcept;
+  /// Delivery-weighted sample count (the enqueue→write stage sees every
+  /// delivered item that was ever queued).
+  std::uint64_t samples() const noexcept { return enqueue_to_write.count(); }
+};
+
 /// Per-shard delivery counters. "data" rows account frames published under
 /// OverflowPolicy::kDropOldest, "control" rows frames published under
 /// kDisconnect — the policy is the traffic-class tag.
@@ -162,6 +213,9 @@ struct FanoutStats {
   std::uint64_t disconnects = 0;
   std::size_t subscribers = 0;
   std::size_t queued_frames = 0;
+  /// Frame-lifecycle stage latencies, merged across shards (deliveries by
+  /// this fanout's workers only).
+  FrameStageStats stages;
   std::vector<FanoutShardStats> shards;
 };
 
@@ -318,6 +372,7 @@ class ShardedFanout {
     std::map<std::uint64_t, std::shared_ptr<Subscriber>> subs;
     std::size_t pending = 0;  ///< total queued frames across subs
     FanoutShardStats stats;
+    FrameStageStats stages;  ///< guarded by mutex, like stats
     std::jthread worker;
   };
 

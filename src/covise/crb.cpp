@@ -85,9 +85,8 @@ void RequestBroker::serve_connection(const std::stop_token& st,
       const Bytes encoded = object.value()->encode();
       reply = wire::make_data_message(kTagObject, encoded.data(),
                                       encoded.size());
-      std::scoped_lock lock(mutex_);
-      ++stats_.objects_served;
-      stats_.bytes_sent += encoded.size();
+      ctr_objects_served_.add();
+      ctr_bytes_sent_.add(encoded.size());
     } else {
       reply = wire::make_control_message(kTagMiss, name.value());
     }
@@ -115,8 +114,7 @@ Result<net::ConnectionPtr> RequestBroker::peer_connection(
 Result<DataObjectPtr> RequestBroker::resolve(const std::string& object_name,
                                              Deadline deadline) {
   if (auto local = sds_->get(object_name); local.is_ok()) {
-    std::scoped_lock lock(mutex_);
-    ++stats_.local_hits;
+    ctr_local_hits_.add();
     return local;
   }
   // Owner host is the leading name component ("host/module/port/serial").
@@ -147,18 +145,21 @@ Result<DataObjectPtr> RequestBroker::resolve(const std::string& object_name,
   auto object = DataObject::decode(m.value().payload);
   if (!object.is_ok()) return object.status();
   auto ptr = std::make_shared<const DataObject>(std::move(object).value());
-  {
-    std::scoped_lock lock(mutex_);
-    ++stats_.objects_fetched;
-    stats_.bytes_received += m.value().payload.size();
-  }
+  ctr_objects_fetched_.add();
+  ctr_bytes_received_.add(m.value().payload.size());
   (void)sds_->put(ptr);  // cache locally; name collision means already there
   return DataObjectPtr{ptr};
 }
 
 RequestBroker::Stats RequestBroker::stats() const {
-  std::scoped_lock lock(mutex_);
-  return stats_;
+  // Shim over the registry-backed counters (see crb.hpp).
+  Stats out;
+  out.objects_served = ctr_objects_served_.value();
+  out.objects_fetched = ctr_objects_fetched_.value();
+  out.bytes_sent = ctr_bytes_sent_.value();
+  out.bytes_received = ctr_bytes_received_.value();
+  out.local_hits = ctr_local_hits_.value();
+  return out;
 }
 
 }  // namespace cs::covise

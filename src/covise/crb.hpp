@@ -20,6 +20,7 @@
 #include "covise/sds.hpp"
 #include "net/accept_pump.hpp"
 #include "net/inproc.hpp"
+#include "obs/registry.hpp"
 
 namespace cs::covise {
 
@@ -50,7 +51,10 @@ class RequestBroker {
                                         common::Deadline deadline);
 
   std::shared_ptr<SharedDataSpace> sds() const { return sds_; }
+  /// Snapshot of the transfer counters (shim over the metrics registry).
   Stats stats() const;
+  /// The service's metrics registry (source of truth for the counters).
+  obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   RequestBroker() = default;
@@ -68,7 +72,17 @@ class RequestBroker {
   mutable std::mutex mutex_;
   std::map<std::string, net::ConnectionPtr> peers_;
   std::vector<std::jthread> connection_threads_;
-  Stats stats_;
+  /// Registry-backed counters; stats() reads them back for the old shape.
+  obs::Registry metrics_;
+  obs::Counter& ctr_objects_served_ =
+      metrics_.counter("crb_objects_served", "objects");
+  obs::Counter& ctr_objects_fetched_ =
+      metrics_.counter("crb_objects_fetched", "objects");
+  obs::Counter& ctr_bytes_sent_ = metrics_.counter("crb_bytes_sent", "bytes");
+  obs::Counter& ctr_bytes_received_ =
+      metrics_.counter("crb_bytes_received", "bytes");
+  obs::Counter& ctr_local_hits_ =
+      metrics_.counter("crb_local_hits", "requests");
   std::atomic<bool> stopped_{false};
 };
 

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
+#include "obs/endpoint.hpp"
 #include "visit/client.hpp"
 #include "visit/multiplexer.hpp"
 #include "visit/viewer.hpp"
@@ -72,12 +73,18 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
   } else {
     net = std::make_unique<net::InProcNetwork>();
   }
+  // Process-global TCP wire counters would otherwise accumulate across
+  // scenarios run in one process (tests, sweeps).
+  net::reset_tcp_wire_stats();
   visit::Multiplexer::Options mux_options;
   mux_options.sim_address = tcp ? "0" : "mux:sim";
   mux_options.viewer_address = tcp ? "0" : "mux:viewer";
   mux_options.password = "soak";
   mux_options.fanout_shards = options.fanout_shards;
   mux_options.use_event_host = options.use_event_host;
+  if (options.scrape_metricsz) {
+    mux_options.metricsz_address = tcp ? "0" : "mux:metricsz";
+  }
   auto mux = visit::Multiplexer::start(*net, mux_options);
   if (!mux.is_ok()) return mux.status();
 
@@ -102,6 +109,16 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
       *net, sim_options, Deadline::after(std::chrono::seconds(5)));
   if (!sim.is_ok()) return sim.status();
 
+  // A viewer's connect() returns when its handshake completes, but the
+  // server hands the socket to the event host asynchronously — give the
+  // last registrations a moment to land before reading the peak shape.
+  if (tcp && options.use_event_host) {
+    const auto hosted_deadline = Deadline::after(std::chrono::seconds(5));
+    while (mux.value()->stats().event_host.hosted < options.connections &&
+           !hosted_deadline.has_expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   // Thread-count assertion: with the full fleet connected, the service
   // must stay within the bound. Measured here — before traffic — because
   // this is the moment the viewer population peaks.
@@ -161,11 +178,26 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
   auto next_send = t_start;
   std::uint64_t sent = 0;
   std::uint64_t sim_timeouts = 0;
+  // The mid-run /metricsz scrape: taken while the fleet is connected and
+  // samples are flowing, so gauges (hosted_viewers) and stage histograms
+  // show the service under load — the server-side truth the report carries.
+  const auto scrape_at = t_start + options.duration / 2;
+  std::vector<std::pair<std::string, double>> scraped;
+  std::uint64_t scrapes_ok = 0;
   Bytes payload(std::max<std::size_t>(options.payload_bytes, 8));
   common::Rng rng(options.seed);
   while (common::Clock::now() < end) {
     std::this_thread::sleep_until(std::min(next_send, end));
     if (common::Clock::now() >= end) break;
+    if (scrapes_ok == 0 && !mux.value()->metricsz_address().empty() &&
+        common::Clock::now() >= scrape_at) {
+      auto mid = obs::scrape_metrics(*net, mux.value()->metricsz_address(),
+                                     Deadline::after(std::chrono::seconds(2)));
+      if (mid.is_ok()) {
+        scraped = std::move(mid).value();
+        ++scrapes_ok;
+      }
+    }
     next_send += interval;
     payload.assign(payload.size(), static_cast<std::uint8_t>(rng.next_u64()));
     Bytes stamped;
@@ -198,8 +230,11 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
     report.add_connection(outcome.report, outcome.latency);
   }
   report.timeouts += sim_timeouts;
-  // Peak-population service shape, so the report itself documents whether
-  // the run exercised the epoll host or the pump-thread baseline.
+  // Every registered roll-up key is emitted explicitly — zero means
+  // "measured, and it was zero", never "not measured" — so CI can assert on
+  // absence vs. value. Peak-population shape comes from connected_stats
+  // (the moment the viewer fleet was largest); everything else is
+  // overwritten by the mid-run scrape when one succeeded.
   report.service_metrics = {
       {"service_threads",
        static_cast<double>(connected_stats.service_threads)},
@@ -207,7 +242,30 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
        static_cast<double>(connected_stats.event_host.hosted)},
       {"event_host_pollers",
        static_cast<double>(connected_stats.event_host.pollers)},
+      {"frames_published", 0.0},
+      {"frames_delivered", 0.0},
+      {"queue_drops", 0.0},
+      {"queue_depth_high_water", 0.0},
+      {"overflow_disconnects", 0.0},
+      {"poller_wakeups", 0.0},
+      {"metricsz_scrapes", static_cast<double>(scrapes_ok)},
   };
+  for (const auto& [key, value] : scraped) {
+    // hosted_viewers/service_threads stay peak-population; the scrape's
+    // other rows (counters, stage histogram expansions) are server truth.
+    if (key == "service_threads" || key == "hosted_viewers" ||
+        key == "event_host_pollers") {
+      continue;
+    }
+    auto it = std::find_if(
+        report.service_metrics.begin(), report.service_metrics.end(),
+        [&key = key](const auto& pair) { return pair.first == key; });
+    if (it != report.service_metrics.end()) {
+      it->second = value;
+    } else {
+      report.service_metrics.emplace_back(key, value);
+    }
+  }
   return report;
 }
 
@@ -344,11 +402,23 @@ Result<Report> run_vizserver_loop(const ScenarioOptions& options) {
   for (const auto& outcome : outcomes) {
     report.add_connection(outcome.report, outcome.latency);
   }
+  std::size_t viz_high_water = 0;
+  for (const auto& shard : server_stats.fanout.shards) {
+    viz_high_water = std::max(viz_high_water, shard.queue_high_water);
+  }
   report.service_metrics = {
       {"render_loop_iterations",
        static_cast<double>(server_stats.render_loop_iterations)},
       {"render_loop_wakeup_budget", wakeup_budget},
       {"frames_rendered", static_cast<double>(server_stats.frames_rendered)},
+      // Explicit even when zero: "no drops" must be distinguishable from
+      // "not measured".
+      {"frames_delivered",
+       static_cast<double>(server_stats.fanout.data_delivered)},
+      {"queue_drops", static_cast<double>(server_stats.fanout.data_dropped)},
+      {"queue_depth_high_water", static_cast<double>(viz_high_water)},
+      {"overflow_disconnects",
+       static_cast<double>(server_stats.fanout.disconnects)},
   };
   return report;
 }
@@ -504,6 +574,8 @@ Result<Report> run_media_bridge(const ScenarioOptions& options) {
   for (auto& w : workers) w.join();
   const auto elapsed = common::Clock::now() - t_start;
   sender.value().leave();
+  const auto relay_stats = bridge.value()->relay_stats();
+  const auto host_stats = bridge.value()->host_stats();
   bridge.value()->stop();
 
   Report report;
@@ -514,6 +586,23 @@ Result<Report> run_media_bridge(const ScenarioOptions& options) {
     report.add_connection(outcome.report, outcome.latency);
   }
   report.errors += send_errors;
+  std::size_t bridge_high_water = host_stats.queue_high_water;
+  for (const auto& shard : relay_stats.shards) {
+    bridge_high_water = std::max(bridge_high_water, shard.queue_high_water);
+  }
+  // Explicit even when zero — same contract as the mux and viz scenarios.
+  report.service_metrics = {
+      {"frames_published", static_cast<double>(seq)},
+      {"frames_delivered",
+       static_cast<double>(relay_stats.data_delivered +
+                           host_stats.data_delivered)},
+      {"queue_drops", static_cast<double>(relay_stats.data_dropped +
+                                          host_stats.data_dropped)},
+      {"queue_depth_high_water", static_cast<double>(bridge_high_water)},
+      {"overflow_disconnects", static_cast<double>(relay_stats.disconnects +
+                                                   host_stats.disconnects)},
+      {"poller_wakeups", static_cast<double>(host_stats.wakeups)},
+  };
   return report;
 }
 

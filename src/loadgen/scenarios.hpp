@@ -61,6 +61,13 @@ struct ScenarioOptions {
   /// the 1024-viewer TCP soak with a bound a thread-per-viewer design
   /// cannot meet.
   std::size_t max_service_threads = 0;
+  /// Mux scenario: start the service's /metricsz endpoint and scrape it
+  /// mid-run (while the fleet is connected and traffic is flowing). The
+  /// scraped rows land in Report::service_metrics verbatim, so the report
+  /// carries server-side truth — poller wakeups, queue drops, frame-stage
+  /// latencies — not client-side inference. On by default; turn off to
+  /// measure the service with zero observers attached.
+  bool scrape_metricsz = true;
 };
 
 /// Steering fan-out soak: one simulation pushes timestamped samples through

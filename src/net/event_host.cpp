@@ -416,6 +416,8 @@ EventHostStats EventHost::stats() const {
     out.disconnects += s.disconnects;
     out.hosted += poller->conns.size();
     out.queue_high_water = std::max(out.queue_high_water, s.queue_high_water);
+    out.poll_latency.merge(s.poll_latency);
+    out.stages.merge(s.stages);
     for (const auto& [id, hosted] : poller->conns) {
       out.queued_frames += hosted->queue.size() + hosted->claimed.size();
     }
@@ -431,10 +433,7 @@ void EventHost::poll_loop(const std::stop_token& st, Poller& poller) {
       if (errno == EINTR) continue;
       return;  // epoll fd gone: host is being destroyed
     }
-    {
-      std::scoped_lock lock(poller.mutex);
-      ++poller.stats.wakeups;
-    }
+    const std::uint64_t wake_ns = common::steady_now_ns();
     for (int i = 0; i < n && !st.stop_requested(); ++i) {
       const std::uint64_t tag = events[i].data.u64;
       if (tag == kWakeTag) {
@@ -454,6 +453,14 @@ void EventHost::poll_loop(const std::stop_token& st, Poller& poller) {
       if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
         drain_ingress(poller, tag, st);
       }
+    }
+    {
+      // One wakeup handled: count it and record how long its event batch
+      // held the loop — the time every other connection on this poller
+      // waited before being serviced.
+      std::scoped_lock lock(poller.mutex);
+      ++poller.stats.wakeups;
+      poller.stats.poll_latency.record(common::ns_since(wake_ns));
     }
   }
 }
@@ -531,6 +538,7 @@ void EventHost::drain_egress(Poller& poller, std::uint64_t id) {
     bool in_flight = false;
     const Status s = hosted->conn->try_send_many(
         std::span<const ByteSpan>(spans, count), sent, in_flight);
+    const std::uint64_t write_ns = common::steady_now_ns();
     {
       std::scoped_lock lock(poller.mutex);
       // A message the stream stopped inside counts as sent: its remainder
@@ -544,6 +552,7 @@ void EventHost::drain_egress(Poller& poller, std::uint64_t id) {
         } else {
           ++poller.stats.data_delivered;
         }
+        poller.stats.stages.record(hosted->claimed.front(), write_ns);
         hosted->claimed.pop_front();
       }
       if (s.is_ok()) {

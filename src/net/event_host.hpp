@@ -68,6 +68,13 @@ struct EventHostStats {
   std::size_t queued_frames = 0;       ///< outbound frames pending
   std::size_t queue_high_water = 0;    ///< deepest single-connection backlog
   std::size_t pollers = 0;             ///< poller thread count (constant)
+  /// Time spent handling one epoll_wait's event batch (epoll_wait return →
+  /// batch handled), per wakeup. The poller-loop latency: how long hosted
+  /// connections wait behind their poller-mates.
+  common::Histogram poll_latency;
+  /// Frame-lifecycle stage latencies for frames delivered by the pollers'
+  /// vectored-send path (see common::FrameStageStats).
+  common::FrameStageStats stages;
 };
 
 /// Hosts many connections on a few epoll loops; see the file comment.

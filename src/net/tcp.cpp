@@ -28,6 +28,39 @@ using common::StatusCode;
 
 namespace {
 
+/// Process-global wire telemetry, striped by connection so concurrent
+/// senders on different sockets don't bounce one mutex. Merged on read by
+/// tcp_wire_stats().
+constexpr std::size_t kWireStripes = 4;
+struct WireStripe {
+  std::mutex mutex;
+  TcpWireStats stats;
+};
+WireStripe g_wire_stripes[kWireStripes];
+
+/// One completed wire batch: `committed` framed messages fully handed to
+/// the kernel by this writev pass.
+void record_wire_batch(std::size_t stripe, std::size_t committed) {
+  WireStripe& s = g_wire_stripes[stripe % kWireStripes];
+  std::scoped_lock lock(s.mutex);
+  ++s.stats.send_batches;
+  s.stats.messages_sent += committed;
+  s.stats.batch_messages.record(committed);
+}
+
+/// Same, for a batch the kernel cut short: `tail_bytes` is the unsent
+/// remainder parked as the stream tail.
+void record_wire_short(std::size_t stripe, std::size_t committed,
+                       std::size_t tail_bytes) {
+  WireStripe& s = g_wire_stripes[stripe % kWireStripes];
+  std::scoped_lock lock(s.mutex);
+  ++s.stats.send_batches;
+  s.stats.messages_sent += committed;
+  s.stats.batch_messages.record(committed);
+  ++s.stats.short_writes;
+  s.stats.short_write_bytes.record(tail_bytes);
+}
+
 Status errno_status(const char* what) {
   return Status{StatusCode::kInternal,
                 std::string(what) + ": " + std::strerror(errno)};
@@ -145,6 +178,7 @@ class TcpConnection : public Connection {
         }
       }
       std::size_t done = 0;
+      const std::size_t batch_start_sent = sent;
       const Status s = writev_all(iov, iovcnt, deadline, done);
       if (s.is_ok()) {
         send_tail_.clear();
@@ -155,6 +189,7 @@ class TcpConnection : public Connection {
         messages_sent_.fetch_add(count, std::memory_order_relaxed);
         sent += count;
         index += count;
+        record_wire_batch(static_cast<std::size_t>(fd_), count);
         continue;
       }
       // Aborted mid-batch. Bytes [0, done) of [tail][h0 p0][h1 p1]... are
@@ -166,6 +201,7 @@ class TcpConnection : public Connection {
         send_tail_.erase(
             send_tail_.begin(),
             send_tail_.begin() + static_cast<std::ptrdiff_t>(done));
+        record_wire_short(static_cast<std::size_t>(fd_), 0, send_tail_.size());
         return s;
       }
       std::size_t off = done - tail_len;  // bytes into this batch's frames
@@ -198,6 +234,8 @@ class TcpConnection : public Connection {
                           m.end());
         break;
       }
+      record_wire_short(static_cast<std::size_t>(fd_),
+                        sent - batch_start_sent, send_tail_.size());
       return s;
     }
     return Status::ok();
@@ -503,6 +541,26 @@ Result<ConnectionPtr> TcpNetwork::connect(const std::string& address,
                   std::string("connect: ") + std::strerror(err)};
   }
   return ConnectionPtr{std::make_shared<TcpConnection>(fd, "127.0.0.1:" + address)};
+}
+
+TcpWireStats tcp_wire_stats() {
+  TcpWireStats out;
+  for (WireStripe& stripe : g_wire_stripes) {
+    std::scoped_lock lock(stripe.mutex);
+    out.send_batches += stripe.stats.send_batches;
+    out.messages_sent += stripe.stats.messages_sent;
+    out.short_writes += stripe.stats.short_writes;
+    out.batch_messages.merge(stripe.stats.batch_messages);
+    out.short_write_bytes.merge(stripe.stats.short_write_bytes);
+  }
+  return out;
+}
+
+void reset_tcp_wire_stats() {
+  for (WireStripe& stripe : g_wire_stripes) {
+    std::scoped_lock lock(stripe.mutex);
+    stripe.stats = TcpWireStats{};
+  }
 }
 
 }  // namespace cs::net

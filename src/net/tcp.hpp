@@ -9,9 +9,34 @@
 #include <cstdint>
 #include <string>
 
+#include "common/histogram.hpp"
 #include "net/transport.hpp"
 
 namespace cs::net {
+
+/// Process-wide TCP wire-path telemetry: how well the vectored send path
+/// batches, and how often the kernel takes less than a full batch.
+/// Per-connection granularity would cost ~20 KiB of histogram per socket at
+/// thousands of hosted connections, so the counters are process-global,
+/// striped across a few mutexes keyed by connection (see tcp.cpp); services
+/// bridge this into their obs::Registry.
+struct TcpWireStats {
+  std::uint64_t send_batches = 0;   ///< send_many/try_send_many wire batches
+  std::uint64_t messages_sent = 0;  ///< framed messages fully committed
+  std::uint64_t short_writes = 0;   ///< batches aborted by would-block/deadline
+  /// Messages per wire batch (value = count, not ns): the syscall
+  /// amortization the PR-6 batching bought, observed live.
+  common::Histogram batch_messages;
+  /// Unsent remainder parked as the stream tail at each short write, in
+  /// bytes — how deep inside a frame the kernel stopped taking data.
+  common::Histogram short_write_bytes;
+};
+
+/// Snapshot of the process-global wire counters (merged across stripes).
+TcpWireStats tcp_wire_stats();
+
+/// Zeroes the process-global wire counters (bench/test isolation).
+void reset_tcp_wire_stats();
 
 /// Network backed by the host TCP stack, bound to 127.0.0.1.
 ///

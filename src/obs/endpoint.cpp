@@ -1,0 +1,116 @@
+#include "obs/endpoint.hpp"
+
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace cs::obs {
+
+MetricsEndpoint::MetricsEndpoint(Source source, Options options)
+    : source_(std::move(source)), options_(options) {}
+
+common::Result<std::unique_ptr<MetricsEndpoint>> MetricsEndpoint::start(
+    net::Network& net, const std::string& address, Source source,
+    const Options& options) {
+  auto listener = net.listen(address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<MetricsEndpoint> endpoint{
+      new MetricsEndpoint(std::move(source), options)};
+  endpoint->listener_ = std::move(listener.value());
+  MetricsEndpoint* self = endpoint.get();
+  // Thread-mode pump: scrapes are rare and a serve thread per scraper is
+  // the simple, obviously-correct shape. The endpoint never sits on a
+  // service's hot path.
+  endpoint->pump_ = std::make_unique<net::AcceptPump>(
+      *endpoint->listener_, [self](net::ConnectionPtr conn) {
+        std::scoped_lock lock(self->mutex_);
+        if (self->stopped_.load(std::memory_order_acquire)) {
+          conn->close();
+          return;
+        }
+        // Reap finished clients lazily on each accept, so the vector stays
+        // bounded by concurrent scrapers (plus stragglers since the last
+        // accept). Joining a done thread returns immediately.
+        std::erase_if(self->clients_, [](const std::unique_ptr<Client>& c) {
+          return c->done.load(std::memory_order_acquire);
+        });
+        auto client = std::make_unique<Client>();
+        Client* raw = client.get();
+        raw->conn = std::move(conn);
+        self->clients_.push_back(std::move(client));
+        raw->thread = std::jthread([self, raw](std::stop_token st) {
+          self->serve(st, raw->conn);
+          raw->done.store(true, std::memory_order_release);
+        });
+      });
+  return endpoint;
+}
+
+MetricsEndpoint::~MetricsEndpoint() { stop(); }
+
+void MetricsEndpoint::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  if (pump_ != nullptr) pump_->stop();
+  if (listener_ != nullptr) listener_->close();
+  std::vector<std::unique_ptr<Client>> clients;
+  {
+    std::scoped_lock lock(mutex_);
+    clients.swap(clients_);
+  }
+  for (auto& client : clients) {
+    client->thread.request_stop();
+    client->conn->close();  // wakes a blocked recv with kClosed
+  }
+  for (auto& client : clients) {
+    if (client->thread.joinable()) client->thread.join();
+  }
+}
+
+void MetricsEndpoint::serve(const std::stop_token& st,
+                            net::ConnectionPtr conn) {
+  // One request frame in, one exposition frame out, until the scraper
+  // hangs up or the endpoint stops. The short recv slice bounds how long
+  // stop() waits on an idle scraper.
+  while (!st.stop_requested()) {
+    auto request = conn->recv(common::Deadline::after(common::ms(100)));
+    if (!request.is_ok()) {
+      if (request.status().code() == common::StatusCode::kTimeout) continue;
+      break;  // closed or errored
+    }
+    const std::string text = to_text(source_());
+    common::Bytes reply(text.begin(), text.end());
+    if (!conn->send(common::ByteSpan(reply),
+                    common::Deadline::after(options_.send_timeout))
+             .is_ok()) {
+      break;
+    }
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn->close();
+}
+
+common::Result<std::string> scrape_text(net::Network& net,
+                                        const std::string& address,
+                                        common::Deadline deadline) {
+  auto conn = net.connect(address, deadline);
+  if (!conn.is_ok()) return conn.status();
+  static constexpr char kRequest[] = "/metricsz";
+  const common::Bytes request(kRequest, kRequest + sizeof(kRequest) - 1);
+  if (auto s = conn.value()->send(common::ByteSpan(request), deadline);
+      !s.is_ok()) {
+    return s;
+  }
+  auto reply = conn.value()->recv(deadline);
+  conn.value()->close();
+  if (!reply.is_ok()) return reply.status();
+  return std::string(reply.value().begin(), reply.value().end());
+}
+
+common::Result<std::vector<std::pair<std::string, double>>> scrape_metrics(
+    net::Network& net, const std::string& address, common::Deadline deadline) {
+  auto text = scrape_text(net, address, deadline);
+  if (!text.is_ok()) return text.status();
+  return parse_text(text.value());
+}
+
+}  // namespace cs::obs

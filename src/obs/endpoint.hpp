@@ -1,0 +1,96 @@
+// /metricsz — live scrape endpoint any service can opt into.
+//
+// One AcceptPump-hosted listener speaks a one-frame request/response
+// protocol over the stack's ordinary framed transport: a scraper connects,
+// sends "/metricsz", and receives one frame holding the text exposition of
+// the service's registry (obs::to_text). Repeated requests on one
+// connection re-snapshot, so a soak can poll mid-run over a single
+// connection. loadgen's scrape side lives in obs::scrape_*; CI greps the
+// same text.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/accept_pump.hpp"
+#include "net/transport.hpp"
+#include "obs/registry.hpp"
+
+namespace cs::obs {
+
+/// Serves a registry snapshot as text on every request frame.
+class MetricsEndpoint {
+ public:
+  /// Produces the snapshot to expose. A service typically binds its
+  /// Registry's snapshot(); composing several registries is just a merge
+  /// inside the callback.
+  using Source = std::function<Snapshot()>;
+
+  struct Options {
+    /// Per-request send deadline; a scraper that stops reading is cut off.
+    common::Duration send_timeout = std::chrono::seconds(2);
+  };
+
+  /// Binds `address` on `net` and starts serving. The endpoint owns the
+  /// listener and its serve threads until stop().
+  static common::Result<std::unique_ptr<MetricsEndpoint>> start(
+      net::Network& net, const std::string& address, Source source,
+      const Options& options);
+  static common::Result<std::unique_ptr<MetricsEndpoint>> start(
+      net::Network& net, const std::string& address, Source source) {
+    return start(net, address, std::move(source), Options());
+  }
+
+  ~MetricsEndpoint();
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  /// Stops accepting, closes every live scrape connection, joins the serve
+  /// threads. Idempotent.
+  void stop();
+
+  /// Resolved listen address (kernel-assigned ports made concrete).
+  std::string address() const { return listener_->address(); }
+
+  /// Requests answered so far.
+  std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MetricsEndpoint(Source source, Options options);
+  void serve(const std::stop_token& st, net::ConnectionPtr conn);
+
+  Source source_;
+  Options options_;
+  net::ListenerPtr listener_;
+  std::unique_ptr<net::AcceptPump> pump_;
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex mutex_;
+  struct Client {
+    net::ConnectionPtr conn;
+    std::atomic<bool> done{false};  ///< serve loop exited; safe to reap
+    std::jthread thread;
+  };
+  std::vector<std::unique_ptr<Client>> clients_;  ///< guarded by mutex_
+};
+
+/// One-shot scrape: connect, request, return the raw exposition text.
+common::Result<std::string> scrape_text(net::Network& net,
+                                        const std::string& address,
+                                        common::Deadline deadline);
+
+/// One-shot scrape parsed to flat name→value pairs (obs::parse_text).
+common::Result<std::vector<std::pair<std::string, double>>> scrape_metrics(
+    net::Network& net, const std::string& address, common::Deadline deadline);
+
+}  // namespace cs::obs

@@ -1,0 +1,131 @@
+// Lock-light metric instruments: the write-side primitives behind
+// obs::Registry.
+//
+// Hot paths hold a reference to their instrument (resolved once at
+// registration) and update it with no registry involvement. Counters shard
+// writers across cache-line-padded atomic cells so concurrent increments
+// from service threads, fan-out workers, and pollers never bounce one line;
+// Timers stripe the mergeable common::Histogram behind small mutexes the
+// same way loadgen workers already shard their recording. Reads (snapshot
+// scrapes) never stop writers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+
+namespace cs::obs {
+
+namespace detail {
+
+/// Small dense per-thread slot for striping writers across shards. Stable
+/// for the thread's lifetime; consecutive threads land on consecutive
+/// shards, so a handful of workers spread instead of clumping.
+inline std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+/// Monotonic event count (frames published, drops, accepts). Writers add
+/// into one of kShards padded cells chosen by thread; value() sums the
+/// cells. The sum is not a point-in-time linearization across shards —
+/// exactly the tearing a scrape tolerates — but every added unit is counted
+/// exactly once.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::thread_slot() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Cell& cell : cells_) {
+      sum += cell.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Point-in-time level (current viewers, queue depth high-water). One atomic
+/// — levels have one logical writer or want last/max-writer-wins semantics,
+/// not per-thread accumulation.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Monotonic ratchet: keeps the maximum ever set (high-water marks).
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency distribution (nanoseconds by convention), built on the mergeable
+/// log-bucketed common::Histogram. Writers stripe across kStripes
+/// mutex-guarded histograms by thread; snapshot() merges the stripes into
+/// one histogram without pausing recorders (it takes each stripe lock
+/// briefly, one at a time).
+class Timer {
+ public:
+  static constexpr std::size_t kStripes = 4;
+
+  void record(std::uint64_t ns) noexcept {
+    Stripe& stripe = stripes_[detail::thread_slot() % kStripes];
+    std::scoped_lock lock(stripe.mutex);
+    stripe.hist.record(ns);
+  }
+
+  void record(common::Duration d) noexcept {
+    record(d.count() < 0 ? 0u : static_cast<std::uint64_t>(
+                                    std::chrono::duration_cast<
+                                        std::chrono::nanoseconds>(d)
+                                        .count()));
+  }
+
+  common::Histogram snapshot() const {
+    common::Histogram merged;
+    for (const Stripe& stripe : stripes_) {
+      std::scoped_lock lock(stripe.mutex);
+      merged.merge(stripe.hist);
+    }
+    return merged;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    mutable std::mutex mutex;
+    common::Histogram hist;
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+}  // namespace cs::obs

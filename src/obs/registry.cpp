@@ -1,0 +1,288 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cs::obs {
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+void Snapshot::merge(const Snapshot& other) {
+  auto find_counter = [this](const std::string& name) -> CounterSample* {
+    for (auto& c : counters) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  };
+  for (const auto& c : other.counters) {
+    if (CounterSample* mine = find_counter(c.name)) {
+      mine->value += c.value;
+    } else {
+      counters.push_back(c);
+    }
+  }
+  auto find_gauge = [this](const std::string& name) -> GaugeSample* {
+    for (auto& g : gauges) {
+      if (g.name == name) return &g;
+    }
+    return nullptr;
+  };
+  for (const auto& g : other.gauges) {
+    if (GaugeSample* mine = find_gauge(g.name)) {
+      mine->value += g.value;
+    } else {
+      gauges.push_back(g);
+    }
+  }
+  auto find_timer = [this](const std::string& name) -> TimerSample* {
+    for (auto& t : timers) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  };
+  for (const auto& t : other.timers) {
+    if (TimerSample* mine = find_timer(t.name)) {
+      mine->hist.merge(t.hist);
+    } else {
+      timers.push_back(t);
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(counters.begin(), counters.end(), by_name);
+  std::sort(gauges.begin(), gauges.end(), by_name);
+  std::sort(timers.begin(), timers.end(), by_name);
+}
+
+std::vector<std::pair<std::string, double>> Snapshot::flatten() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters.size() + gauges.size() + timers.size() * 4);
+  for (const auto& c : counters) {
+    out.emplace_back(c.name, static_cast<double>(c.value));
+  }
+  for (const auto& g : gauges) {
+    out.emplace_back(g.name, g.value);
+  }
+  for (const auto& t : timers) {
+    out.emplace_back(t.name + "_count", static_cast<double>(t.hist.count()));
+    out.emplace_back(t.name + "_p50_ns", static_cast<double>(t.hist.p50()));
+    out.emplace_back(t.name + "_p95_ns", static_cast<double>(t.hist.p95()));
+    out.emplace_back(t.name + "_p99_ns", static_cast<double>(t.hist.p99()));
+    out.emplace_back(t.name + "_max_ns", static_cast<double>(t.hist.max()));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name, const std::string& unit) {
+  std::scoped_lock lock(mutex_);
+  auto& entry = counters_[name];
+  if (entry.owned == nullptr && !entry.fn) {
+    entry.unit = unit;
+    entry.owned = std::make_unique<Counter>();
+  }
+  if (entry.owned == nullptr) {
+    // A callback already holds this name; give the caller a live counter
+    // anyway (the callback keeps serving the snapshot). Never returns null
+    // on a name collision — hot paths don't check.
+    entry.owned = std::make_unique<Counter>();
+  }
+  return *entry.owned;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& unit) {
+  std::scoped_lock lock(mutex_);
+  auto& entry = gauges_[name];
+  if (entry.owned == nullptr) {
+    if (!entry.fn) entry.unit = unit;
+    entry.owned = std::make_unique<Gauge>();
+  }
+  return *entry.owned;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& entry = timers_[name];
+  if (entry.owned == nullptr) {
+    entry.owned = std::make_unique<Timer>();
+  }
+  return *entry.owned;
+}
+
+void Registry::counter_fn(const std::string& name, const std::string& unit,
+                          std::function<std::uint64_t()> fn) {
+  std::scoped_lock lock(mutex_);
+  auto& entry = counters_[name];
+  entry.unit = unit;
+  entry.fn = std::move(fn);
+  entry.owned.reset();
+}
+
+void Registry::gauge_fn(const std::string& name, const std::string& unit,
+                        std::function<double()> fn) {
+  std::scoped_lock lock(mutex_);
+  auto& entry = gauges_[name];
+  entry.unit = unit;
+  entry.fn = std::move(fn);
+  entry.owned.reset();
+}
+
+void Registry::timer_fn(const std::string& name,
+                        std::function<common::Histogram()> fn) {
+  std::scoped_lock lock(mutex_);
+  auto& entry = timers_[name];
+  entry.fn = std::move(fn);
+  entry.owned.reset();
+}
+
+Snapshot Registry::snapshot() const {
+  // Copy the registration table under the lock, then read instruments and
+  // evaluate callbacks outside it: a callback is free to take service locks
+  // (fanout shards, poller mutexes) without ordering against registration.
+  struct PendingCounter {
+    std::string name, unit;
+    const Counter* owned;
+    std::function<std::uint64_t()> fn;
+  };
+  struct PendingGauge {
+    std::string name, unit;
+    const Gauge* owned;
+    std::function<double()> fn;
+  };
+  struct PendingTimer {
+    std::string name;
+    const Timer* owned;
+    std::function<common::Histogram()> fn;
+  };
+  std::vector<PendingCounter> pc;
+  std::vector<PendingGauge> pg;
+  std::vector<PendingTimer> pt;
+  {
+    std::scoped_lock lock(mutex_);
+    pc.reserve(counters_.size());
+    for (const auto& [name, e] : counters_) {
+      pc.push_back({name, e.unit, e.owned.get(), e.fn});
+    }
+    pg.reserve(gauges_.size());
+    for (const auto& [name, e] : gauges_) {
+      pg.push_back({name, e.unit, e.owned.get(), e.fn});
+    }
+    pt.reserve(timers_.size());
+    for (const auto& [name, e] : timers_) {
+      pt.push_back({name, e.owned.get(), e.fn});
+    }
+  }
+  Snapshot snap;
+  snap.counters.reserve(pc.size());
+  for (const auto& p : pc) {
+    std::uint64_t v = p.owned != nullptr ? p.owned->value() : 0;
+    if (p.fn) v += p.fn();
+    snap.counters.push_back({p.name, p.unit, v});
+  }
+  snap.gauges.reserve(pg.size());
+  for (const auto& p : pg) {
+    double v = p.owned != nullptr ? static_cast<double>(p.owned->value()) : 0.0;
+    if (p.fn) v += p.fn();
+    snap.gauges.push_back({p.name, p.unit, v});
+  }
+  snap.timers.reserve(pt.size());
+  for (const auto& p : pt) {
+    common::Histogram h;
+    if (p.owned != nullptr) h = p.owned->snapshot();
+    if (p.fn) h.merge(p.fn());
+    snap.timers.push_back({p.name, h});
+  }
+  // std::map iteration is already name-sorted; the sections stay sorted.
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Text exposition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_value(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof buf, "%" PRId64,
+                  static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_text(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(256 + snapshot.counters.size() * 48 +
+              snapshot.gauges.size() * 48 + snapshot.timers.size() * 320);
+  for (const auto& c : snapshot.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += "# UNIT " + c.name + " " + c.unit + "\n";
+    out += c.name + " ";
+    append_u64(out, c.value);
+    out += "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += "# UNIT " + g.name + " " + g.unit + "\n";
+    out += g.name + " ";
+    append_value(out, g.value);
+    out += "\n";
+  }
+  for (const auto& t : snapshot.timers) {
+    out += "# TYPE " + t.name + " summary\n";
+    out += "# UNIT " + t.name + " ns\n";
+    const common::Histogram& h = t.hist;
+    const std::pair<const char*, std::uint64_t> rows[] = {
+        {"_count", h.count()},     {"_sum_ns", h.sum()},
+        {"_min_ns", h.min()},      {"_max_ns", h.max()},
+        {"_p50_ns", h.p50()},      {"_p95_ns", h.p95()},
+        {"_p99_ns", h.p99()},      {"_p999_ns", h.p999()},
+    };
+    for (const auto& [suffix, value] : rows) {
+      out += t.name + suffix + " ";
+      append_u64(out, value);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> parse_text(std::string_view text) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos || space == 0) continue;
+    const std::string name(line.substr(0, space));
+    const std::string value_text(line.substr(space + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) continue;  // not a number
+    out.emplace_back(name, value);
+  }
+  return out;
+}
+
+}  // namespace cs::obs

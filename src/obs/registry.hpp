@@ -1,0 +1,127 @@
+// Named-metric registry with non-stopping snapshots and a text exposition.
+//
+// A service owns one Registry and registers every metric it exposes by name
+// + unit. Two registration flavors cover the stack:
+//
+//   * owned instruments — counter()/gauge()/timer() return a stable
+//     reference the hot path updates directly (registration is idempotent:
+//     the same name yields the same instrument).
+//   * callback instruments — counter_fn()/gauge_fn()/timer_fn() adapt the
+//     stats surfaces that already exist (ShardedFanout, EventHost,
+//     AcceptPump, ConnStats) without double-counting: the snapshot pulls
+//     the value at scrape time.
+//
+// snapshot() never blocks writers: owned instruments are lock-light by
+// construction (see metrics.hpp) and callbacks are evaluated outside the
+// registration lock. Snapshots merge across registries/processes — the
+// controller/worker loadgen split reports through exactly this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace cs::obs {
+
+/// Point-in-time copy of every registered metric, sorted by name within
+/// each section. Plain data: safe to ship across threads and processes.
+struct Snapshot {
+  struct CounterSample {
+    std::string name;
+    std::string unit;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string unit;
+    double value = 0.0;
+  };
+  struct TimerSample {
+    std::string name;  ///< unit is always nanoseconds
+    common::Histogram hist;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<TimerSample> timers;
+
+  /// Folds `other` in: counters and gauges with the same name sum, timers
+  /// merge their histograms, unmatched names union in — the worker→
+  /// controller aggregation rule.
+  void merge(const Snapshot& other);
+
+  /// Flat name→value view: counters and gauges one entry each, timers
+  /// expanded to <name>_count and <name>_{p50,p95,p99,max}_ns. This is the
+  /// shape loadgen's Report::service_metrics consumes.
+  std::vector<std::pair<std::string, double>> flatten() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// References stay valid for the registry's lifetime. The unit of the
+  /// first registration wins.
+  Counter& counter(const std::string& name, const std::string& unit = "count");
+  Gauge& gauge(const std::string& name, const std::string& unit = "count");
+  Timer& timer(const std::string& name);
+
+  /// Callback flavors: the snapshot evaluates `fn` at scrape time (outside
+  /// the registration lock). Re-registering a name replaces its callback —
+  /// services re-wire bridges across restarts of their internals.
+  void counter_fn(const std::string& name, const std::string& unit,
+                  std::function<std::uint64_t()> fn);
+  void gauge_fn(const std::string& name, const std::string& unit,
+                std::function<double()> fn);
+  void timer_fn(const std::string& name,
+                std::function<common::Histogram()> fn);
+
+  /// Copies every metric without stopping writers.
+  Snapshot snapshot() const;
+
+ private:
+  struct CounterEntry {
+    std::string unit;
+    std::unique_ptr<Counter> owned;       // exactly one of owned/fn is set
+    std::function<std::uint64_t()> fn;
+  };
+  struct GaugeEntry {
+    std::string unit;
+    std::unique_ptr<Gauge> owned;
+    std::function<double()> fn;
+  };
+  struct TimerEntry {
+    std::unique_ptr<Timer> owned;
+    std::function<common::Histogram()> fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, GaugeEntry> gauges_;
+  std::map<std::string, TimerEntry> timers_;
+};
+
+/// Renders a snapshot in the /metricsz text exposition format: `# TYPE` /
+/// `# UNIT` comment lines followed by `<name> <value>` samples; timers
+/// expand to `_count/_sum_ns/_min_ns/_max_ns/_p50_ns/_p95_ns/_p99_ns/
+/// _p999_ns` rows. Deterministic: sections in counter/gauge/timer order,
+/// names sorted within each — golden-testable and diffable across scrapes.
+std::string to_text(const Snapshot& snapshot);
+
+/// Parses text exposition back into flat name→value pairs (comment lines
+/// skipped, file order preserved). The scrape side of to_text; tolerant of
+/// unknown names so old scrapers survive new metrics.
+std::vector<std::pair<std::string, double>> parse_text(std::string_view text);
+
+}  // namespace cs::obs

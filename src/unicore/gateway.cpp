@@ -51,8 +51,11 @@ void Gateway::register_vsite(Njs& njs) {
 }
 
 Gateway::Stats Gateway::stats() const {
-  std::scoped_lock lock(mutex_);
-  return stats_;
+  // Shim over the registry-backed counters (see gateway.hpp).
+  Stats out;
+  out.transactions = ctr_transactions_.value();
+  out.rejected_untrusted = ctr_rejected_untrusted_.value();
+  return out;
 }
 
 void Gateway::handle_conn(net::ConnectionPtr conn) {
@@ -93,11 +96,11 @@ void Gateway::serve_connection(const std::stop_token& st,
 UplResponse Gateway::handle(const UplRequest& request) {
   UplResponse response;
   Njs* njs = nullptr;
+  ctr_transactions_.add();
   {
     std::scoped_lock lock(mutex_);
-    ++stats_.transactions;
     if (!trust_.is_trusted(request.identity)) {
-      ++stats_.rejected_untrusted;
+      ctr_rejected_untrusted_.add();
       response.status =
           Status{StatusCode::kPermissionDenied,
                  "certificate not trusted: " + request.identity.subject};

@@ -22,6 +22,7 @@
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 #include "unicore/identity.hpp"
 #include "unicore/njs.hpp"
 #include "unicore/upl.hpp"
@@ -55,7 +56,10 @@ class Gateway {
   /// tests and by co-located services).
   UplResponse handle(const UplRequest& request);
 
+  /// Snapshot of the transaction counters (shim over the metrics registry).
   Stats stats() const;
+  /// The service's metrics registry (source of truth for the counters).
+  obs::Registry& metrics() noexcept { return metrics_; }
   const std::string& address() const noexcept { return options_.address; }
 
  private:
@@ -70,7 +74,12 @@ class Gateway {
   std::map<std::string, Njs*> vsites_;
   TrustStore trust_;
   std::vector<std::jthread> connection_threads_;
-  Stats stats_;
+  /// Registry-backed counters; stats() reads them back for the old shape.
+  obs::Registry metrics_;
+  obs::Counter& ctr_transactions_ =
+      metrics_.counter("gateway_transactions", "requests");
+  obs::Counter& ctr_rejected_untrusted_ =
+      metrics_.counter("gateway_rejected_untrusted", "requests");
   std::atomic<bool> stopped_{false};
 };
 

@@ -68,8 +68,11 @@ std::size_t ControlServer::participant_count() const {
 }
 
 ControlServer::Stats ControlServer::stats() const {
-  std::scoped_lock lock(mutex_);
-  return stats_;
+  // Shim over the registry-backed counters (see control.hpp).
+  Stats out;
+  out.updates_relayed = ctr_updates_relayed_.value();
+  out.updates_rejected = ctr_updates_rejected_.value();
+  return out;
 }
 
 void ControlServer::handle_conn(net::ConnectionPtr conn) {
@@ -131,19 +134,18 @@ void ControlServer::pump(const std::stop_token& st, std::uint64_t id) {
     }
     if (m.value().header.tag != kTagControlData) continue;
     if (!actor) {
-      std::scoped_lock lock(mutex_);
-      ++stats_.updates_rejected;
+      ctr_updates_rejected_.add();
       continue;
     }
     // Relay to everyone else, best effort within the forward timeout.
     std::vector<net::ConnectionPtr> targets;
     {
       std::scoped_lock lock(mutex_);
-      ++stats_.updates_relayed;
       for (const auto& [pid, p] : participants_) {
         if (pid != id) targets.push_back(p.conn);
       }
     }
+    ctr_updates_relayed_.add();
     const common::Bytes frame = raw.value();
     for (auto& t : targets) {
       (void)t->send(frame, Deadline::after(options_.forward_timeout));

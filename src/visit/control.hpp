@@ -28,6 +28,7 @@
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 #include "wire/message.hpp"
 
 namespace cs::visit {
@@ -61,8 +62,10 @@ class ControlServer {
   void stop();
   /// Number of currently connected participants.
   std::size_t participant_count() const;
-  /// Snapshot of the relay counters.
+  /// Snapshot of the relay counters (shim over the metrics registry).
   Stats stats() const;
+  /// The service's metrics registry (source of truth for the counters).
+  obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   ControlServer() = default;
@@ -85,7 +88,12 @@ class ControlServer {
   std::map<std::uint64_t, Participant> participants_;
   std::vector<std::jthread> graveyard_;
   std::uint64_t next_id_ = 1;
-  Stats stats_;
+  /// Registry-backed counters; stats() reads them back for the old shape.
+  obs::Registry metrics_;
+  obs::Counter& ctr_updates_relayed_ =
+      metrics_.counter("control_updates_relayed", "updates");
+  obs::Counter& ctr_updates_rejected_ =
+      metrics_.counter("control_updates_rejected", "updates");
   std::atomic<bool> stopped_{false};
 };
 

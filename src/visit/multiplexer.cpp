@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "net/fanout_sink.hpp"
+#include "net/tcp.hpp"
 #include "visit/server.hpp"
 #include "visit/tags.hpp"
 
@@ -71,13 +72,112 @@ Result<std::unique_ptr<Multiplexer>> Multiplexer::start(
         self->handle_viewer_conn(std::move(conn));
       },
       net::ServeOptions{.accept_slice = kPumpSlice});
+  mux->register_metric_bridges();
+  if (!options.metricsz_address.empty()) {
+    auto endpoint = obs::MetricsEndpoint::start(
+        net, options.metricsz_address,
+        [self] { return self->metrics_.snapshot(); });
+    if (endpoint.is_ok()) {
+      mux->metrics_endpoint_ = std::move(endpoint).value();
+    } else {
+      CS_LOG_WARN("visit.mux") << "metricsz endpoint unavailable: "
+                               << endpoint.status().to_string();
+    }
+  }
   return mux;
+}
+
+void Multiplexer::register_metric_bridges() {
+  // Derived metrics pull from the stats surfaces that already exist —
+  // fan-out shards, event-host pollers, accept pumps, the process-global
+  // TCP wire stripes — at scrape time, so the hot paths stay untouched and
+  // nothing is double-counted. Scrapes are rare; the copies are cheap
+  // relative to their cadence.
+  auto host_stats = [this] {
+    return event_host_ ? event_host_->stats() : net::EventHostStats{};
+  };
+  metrics_.counter_fn("frames_delivered", "frames", [this, host_stats] {
+    return fanout_->stats().data_delivered + host_stats().data_delivered;
+  });
+  metrics_.counter_fn("queue_drops", "frames", [this, host_stats] {
+    return fanout_->stats().data_dropped + host_stats().data_dropped;
+  });
+  metrics_.counter_fn("overflow_disconnects", "count", [this, host_stats] {
+    return fanout_->stats().disconnects + host_stats().disconnects;
+  });
+  metrics_.counter_fn("poller_wakeups", "count",
+                      [host_stats] { return host_stats().wakeups; });
+  metrics_.counter_fn("accepts", "count", [this] {
+    return (sim_accept_pump_ ? sim_accept_pump_->accepted() : 0) +
+           (viewer_accept_pump_ ? viewer_accept_pump_->accepted() : 0);
+  });
+  metrics_.counter_fn("rejects", "count", [this] {
+    return (sim_accept_pump_ ? sim_accept_pump_->refused() : 0) +
+           (viewer_accept_pump_ ? viewer_accept_pump_->refused() : 0);
+  });
+  metrics_.gauge_fn("viewers", "count", [this] {
+    return static_cast<double>(viewer_count());
+  });
+  metrics_.gauge_fn("hosted_viewers", "count", [host_stats] {
+    return static_cast<double>(host_stats().hosted);
+  });
+  metrics_.gauge_fn("event_host_pollers", "threads", [host_stats] {
+    return static_cast<double>(host_stats().pollers);
+  });
+  metrics_.gauge_fn("service_threads", "threads", [this] {
+    return static_cast<double>(stats().service_threads);
+  });
+  metrics_.gauge_fn("queue_depth_high_water", "frames", [this, host_stats] {
+    const auto fan = fanout_->stats();
+    std::size_t high = host_stats().queue_high_water;
+    for (const auto& shard : fan.shards) {
+      high = std::max(high, shard.queue_high_water);
+    }
+    return static_cast<double>(high);
+  });
+  metrics_.gauge_fn("queued_frames", "frames", [this, host_stats] {
+    return static_cast<double>(fanout_->stats().queued_frames +
+                               host_stats().queued_frames);
+  });
+  metrics_.timer_fn("poll_latency",
+                    [host_stats] { return host_stats().poll_latency; });
+  // Frame-lifecycle stages, merged across both delivery populations
+  // (fan-out workers and event-host pollers).
+  metrics_.timer_fn("stage_ingress_to_encode", [this, host_stats] {
+    auto h = fanout_->stats().stages.ingress_to_encode;
+    h.merge(host_stats().stages.ingress_to_encode);
+    return h;
+  });
+  metrics_.timer_fn("stage_encode_to_enqueue", [this, host_stats] {
+    auto h = fanout_->stats().stages.encode_to_enqueue;
+    h.merge(host_stats().stages.encode_to_enqueue);
+    return h;
+  });
+  metrics_.timer_fn("stage_enqueue_to_write", [this, host_stats] {
+    auto h = fanout_->stats().stages.enqueue_to_write;
+    h.merge(host_stats().stages.enqueue_to_write);
+    return h;
+  });
+  // Process-global TCP wire path (how well the vectored sends batch).
+  metrics_.counter_fn("tcp_send_batches", "count",
+                      [] { return net::tcp_wire_stats().send_batches; });
+  metrics_.counter_fn("tcp_short_writes", "count",
+                      [] { return net::tcp_wire_stats().short_writes; });
+  metrics_.timer_fn("tcp_batch_messages", [] {
+    return net::tcp_wire_stats().batch_messages;  // value = messages, not ns
+  });
+  metrics_.timer_fn("tcp_short_write_bytes", [] {
+    return net::tcp_wire_stats().short_write_bytes;  // value = bytes
+  });
 }
 
 Multiplexer::~Multiplexer() { stop(); }
 
 void Multiplexer::stop() {
   if (stopped_.exchange(true)) return;
+  // The metrics endpoint goes first: its snapshot callbacks read the very
+  // internals (fanout_, event_host_, accept pumps) this method tears down.
+  if (metrics_endpoint_) metrics_endpoint_->stop();
   // Close the listeners first (wakes blocked accepts with kClosed), then
   // join the accept pumps so no new sim pump can be spawned, then take down
   // the current pump under its handoff lock.
@@ -152,10 +252,15 @@ std::uint64_t Multiplexer::master_id() const {
 
 Multiplexer::Stats Multiplexer::stats() const {
   Stats out;
+  // Shim over the registry-backed counters: the registry is the source of
+  // truth, the historical struct shape survives for callers and tests.
+  out.samples_in = ctr_samples_in_.value();
+  out.steers_accepted = ctr_steers_accepted_.value();
+  out.steers_rejected = ctr_steers_rejected_.value();
+  out.requests_served = ctr_requests_served_.value();
   std::size_t legacy_pumps = 0;
   {
     std::shared_lock lock(mutex_);
-    out = stats_;
     for (const auto& [id, viewer] : viewers_) {
       if (!viewer.hosted) ++legacy_pumps;
     }
@@ -346,25 +451,27 @@ void Multiplexer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
       if (raw.status().code() == StatusCode::kClosed) return;
       continue;  // timeout slice
     }
+    const std::uint64_t ingress_ns = common::steady_now_ns();
     auto m = wire::Message::decode(raw.value());
     if (!m.or_log("visit.mux.sim")) {
       conn->close();
       return;
     }
-    handle_sim_message(std::move(m).value(), *conn);
+    handle_sim_message(std::move(m).value(), *conn, ingress_ns);
   }
 }
 
 void Multiplexer::handle_sim_message(wire::Message m,
-                                     net::Connection& sim_conn) {
+                                     net::Connection& sim_conn,
+                                     std::uint64_t ingress_ns) {
   switch (m.header.kind) {
     case wire::MessageKind::kData: {
       // One encode per broadcast: the same immutable frame feeds every
       // viewer queue and the late-joiner replay cache.
-      const FramePtr frame = common::make_frame(m.encode());
+      const FramePtr frame = common::make_frame(m.encode(), ingress_ns);
+      ctr_samples_in_.add();
       {
         std::unique_lock lock(mutex_);
-        ++stats_.samples_in;
         last_sample_.insert_or_assign(m.header.tag, frame);
       }
       // Publish outside the lock: it only enqueues, and an overflow
@@ -373,7 +480,7 @@ void Multiplexer::handle_sim_message(wire::Message m,
       return;
     }
     case wire::MessageKind::kControl: {
-      const FramePtr frame = common::make_frame(m.encode());
+      const FramePtr frame = common::make_frame(m.encode(), ingress_ns);
       if (m.header.tag == kTagSchema) {
         std::unique_lock lock(mutex_);
         // Schema cache keyed by the data tag named in the body.
@@ -397,8 +504,8 @@ void Multiplexer::handle_sim_message(wire::Message m,
                     ? it->second
                     : wire::make_data_message<std::uint8_t>(m.header.tag,
                                                             nullptr, 0);
-        ++stats_.requests_served;
       }
+      ctr_requests_served_.add();
       (void)sim_conn.send(reply.encode(),
                           Deadline::after(options_.forward_timeout));
       return;
@@ -459,9 +566,9 @@ void Multiplexer::handle_viewer_message(std::uint64_t id, wire::Message m) {
     std::unique_lock lock(mutex_);
     if (id == master_id_) {
       parameters_.insert_or_assign(m.header.tag, std::move(m));
-      ++stats_.steers_accepted;
+      ctr_steers_accepted_.add();
     } else {
-      ++stats_.steers_rejected;  // only the master steers
+      ctr_steers_rejected_.add();  // only the master steers
     }
   }
 }

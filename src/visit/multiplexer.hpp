@@ -51,6 +51,8 @@
 #include "net/accept_pump.hpp"
 #include "net/event_host.hpp"
 #include "net/transport.hpp"
+#include "obs/endpoint.hpp"
+#include "obs/registry.hpp"
 #include "wire/message.hpp"
 
 namespace cs::visit {
@@ -87,6 +89,11 @@ class Multiplexer {
     /// Poller threads for the event host (one per core is the ceiling that
     /// makes sense; one is right on a small host).
     std::size_t event_host_pollers = 1;
+    /// When non-empty, serve the service's obs::Registry as a /metricsz
+    /// text-exposition endpoint on this address (same Network as the
+    /// listeners; "0" lets TCP pick a port — read it back via
+    /// metricsz_address()).
+    std::string metricsz_address;
   };
 
   struct Stats {
@@ -130,7 +137,19 @@ class Multiplexer {
   /// Id of the current master viewer, or 0 when none.
   std::uint64_t master_id() const;
   /// Snapshot of the service counters, including per-shard fan-out stats.
+  /// A thin shim over the obs::Registry counters (the registry is the
+  /// source of truth; this keeps the historical accessor shape).
   Stats stats() const;
+
+  /// The service's metrics registry: counters/gauges/timers plus callback
+  /// bridges into the fan-out, event-host, accept-pump, and TCP wire
+  /// internals. Scrape it via snapshot(), or over the wire when
+  /// Options::metricsz_address enabled the endpoint.
+  obs::Registry& metrics() noexcept { return metrics_; }
+  /// Resolved /metricsz endpoint address; empty when not enabled.
+  std::string metricsz_address() const {
+    return metrics_endpoint_ ? metrics_endpoint_->address() : std::string{};
+  }
 
  private:
   Multiplexer() = default;
@@ -144,12 +163,19 @@ class Multiplexer {
   /// Ingress from an epoll-hosted viewer (runs on the poller thread).
   void on_viewer_bytes(std::uint64_t id, common::Bytes raw);
 
-  void handle_sim_message(wire::Message m, net::Connection& sim_conn);
+  /// `ingress_ns` is when the raw bytes arrived off the sim connection —
+  /// the frame-trace birth stamp (decode + re-encode shows up as the
+  /// ingress→encode stage).
+  void handle_sim_message(wire::Message m, net::Connection& sim_conn,
+                          std::uint64_t ingress_ns);
   void handle_viewer_message(std::uint64_t id, wire::Message m);
   void add_viewer(net::ConnectionPtr conn);
   void remove_viewer(std::uint64_t id);
   /// Sets viewer `id` as master and notifies affected viewers.
   void promote(std::uint64_t id);
+  /// Wires the callback metrics (fan-out/event-host/accept-pump/TCP-wire
+  /// bridges) into metrics_; called once from start().
+  void register_metric_bridges();
   /// Broadcast/unicast across both viewer populations (fan-out + hosted).
   void deliver(const common::FramePtr& frame, common::OverflowPolicy policy);
   bool deliver_to(std::uint64_t id, common::FramePtr frame,
@@ -187,7 +213,19 @@ class Multiplexer {
   /// Pump threads of departed viewers; joined at stop() (a pump may remove
   /// its own viewer and must not join itself).
   std::vector<std::jthread> graveyard_;
-  Stats stats_;
+  /// Registry-backed counters (hot paths hold the references; stats() and
+  /// /metricsz read them). Derived metrics — deliveries, drops, poller
+  /// latency, frame stages — are callback bridges wired in start().
+  obs::Registry metrics_;
+  obs::Counter& ctr_samples_in_ =
+      metrics_.counter("frames_published", "frames");
+  obs::Counter& ctr_steers_accepted_ =
+      metrics_.counter("mux_steers_accepted", "updates");
+  obs::Counter& ctr_steers_rejected_ =
+      metrics_.counter("mux_steers_rejected", "updates");
+  obs::Counter& ctr_requests_served_ =
+      metrics_.counter("mux_requests_served", "requests");
+  std::unique_ptr<obs::MetricsEndpoint> metrics_endpoint_;
   /// Sharded outbound path for pump-thread viewers; owns their queues and
   /// the worker threads.
   std::unique_ptr<common::ShardedFanout> fanout_;

@@ -177,7 +177,7 @@ void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
         const common::FramePtr frame = common::make_frame(m.encode());
         {
           std::scoped_lock lock(mutex_);
-          ++stats_.samples_in;
+          ctr_samples_in_.add();
           last_sample_.insert_or_assign(m.header.tag, frame);
         }
         enqueue_to_all(frame, common::OverflowPolicy::kDropOldest);
@@ -206,7 +206,7 @@ void ProxyServer::sim_pump(const std::stop_token& st, net::ConnectionPtr conn) {
                       ? it->second
                       : wire::make_data_message<std::uint8_t>(m.header.tag,
                                                               nullptr, 0);
-          ++stats_.requests_served;
+          ctr_requests_served_.add();
         }
         (void)conn->send(reply.encode(), Deadline::after(kPumpSlice));
         break;
@@ -223,14 +223,14 @@ void ProxyServer::enqueue_to_all(const common::FramePtr& frame,
   for (auto& [id, att] : attachments_) {
     switch (att.queue.push(frame, policy)) {
       case common::OutboundQueue::Push::kQueued:
-        ++stats_.frames_queued;
+        ctr_frames_queued_.add();
         break;
       case common::OutboundQueue::Push::kQueuedDropOldest:
-        ++stats_.frames_queued;
-        ++stats_.frames_dropped;
+        ctr_frames_queued_.add();
+        ctr_frames_dropped_.add();
         break;
       case common::OutboundQueue::Push::kDroppedNewest:
-        ++stats_.frames_dropped;
+        ctr_frames_dropped_.add();
         break;
       case common::OutboundQueue::Push::kRejectedOverflow:
         doomed.push_back(id);
@@ -240,7 +240,7 @@ void ProxyServer::enqueue_to_all(const common::FramePtr& frame,
     }
   }
   for (std::uint64_t id : doomed) {
-    ++stats_.overflow_disconnects;
+    ctr_overflow_disconnects_.add();
     detach_locked(id);
   }
 }
@@ -251,17 +251,17 @@ bool ProxyServer::enqueue_to(std::uint64_t id, common::FramePtr frame,
   if (it == attachments_.end()) return false;
   switch (it->second.queue.push(std::move(frame), policy)) {
     case common::OutboundQueue::Push::kQueued:
-      ++stats_.frames_queued;
+      ctr_frames_queued_.add();
       return true;
     case common::OutboundQueue::Push::kQueuedDropOldest:
-      ++stats_.frames_queued;
-      ++stats_.frames_dropped;
+      ctr_frames_queued_.add();
+      ctr_frames_dropped_.add();
       return true;
     case common::OutboundQueue::Push::kDroppedNewest:
-      ++stats_.frames_dropped;
+      ctr_frames_dropped_.add();
       return true;
     case common::OutboundQueue::Push::kRejectedOverflow:
-      ++stats_.overflow_disconnects;
+      ctr_overflow_disconnects_.add();
       detach_locked(id);
       return false;
     case common::OutboundQueue::Push::kCoalesced:
@@ -316,11 +316,11 @@ ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
       auto& queue = it->second.queue;
       for (const auto& [tag, frame] : schema_cache_) {
         queue.seed({frame, common::OverflowPolicy::kDisconnect});
-        ++stats_.frames_queued;
+        ctr_frames_queued_.add();
       }
       for (const auto& [tag, frame] : last_sample_) {
         queue.seed({frame, common::OverflowPolicy::kDropOldest});
-        ++stats_.frames_queued;
+        ctr_frames_queued_.add();
       }
       const bool becomes_master = (master_id_ == 0);
       if (becomes_master) master_id_ = id;
@@ -329,7 +329,7 @@ ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
                           kTagRole, becomes_master ? "master" : "viewer")
                           .encode()),
                   common::OverflowPolicy::kDisconnect});
-      ++stats_.frames_queued;
+      ctr_frames_queued_.add();
       response.attachment = id;
       return response;
     }
@@ -371,9 +371,9 @@ ProxyResponse ProxyServer::transact(const ProxyRequest& request) {
           if (request.attachment == master_id_) {
             parameters_.insert_or_assign(m.value().header.tag,
                                          std::move(m).value());
-            ++stats_.steers_accepted;
+            ctr_steers_accepted_.add();
           } else {
-            ++stats_.steers_rejected;
+            ctr_steers_rejected_.add();
           }
         }
       }
@@ -395,8 +395,16 @@ std::uint64_t ProxyServer::master_id() const {
 }
 
 ProxyServer::Stats ProxyServer::stats() const {
-  std::scoped_lock lock(mutex_);
-  return stats_;
+  // Shim over the registry-backed counters (see proxy.hpp).
+  Stats out;
+  out.samples_in = ctr_samples_in_.value();
+  out.frames_queued = ctr_frames_queued_.value();
+  out.frames_dropped = ctr_frames_dropped_.value();
+  out.overflow_disconnects = ctr_overflow_disconnects_.value();
+  out.steers_accepted = ctr_steers_accepted_.value();
+  out.steers_rejected = ctr_steers_rejected_.value();
+  out.requests_served = ctr_requests_served_.value();
+  return out;
 }
 
 // ---------------------------------------------------------------------------

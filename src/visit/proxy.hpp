@@ -43,6 +43,7 @@
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 #include "wire/message.hpp"
 
 namespace cs::visit {
@@ -118,7 +119,10 @@ class ProxyServer {
 
   std::size_t attachment_count() const;
   std::uint64_t master_id() const;
+  /// Snapshot of the service counters (shim over the metrics registry).
   Stats stats() const;
+  /// The service's metrics registry (source of truth for the counters).
+  obs::Registry& metrics() noexcept { return metrics_; }
   const std::string& sim_address() const noexcept {
     return options_.sim_address;
   }
@@ -162,7 +166,24 @@ class ProxyServer {
   /// replay.
   std::map<std::uint32_t, common::FramePtr> schema_cache_;
   std::map<std::uint32_t, common::FramePtr> last_sample_;
-  Stats stats_;
+  /// Registry-backed counters; stats() reads them back for the old shape.
+  /// Uniform roll-up names (frames_published, queue_drops,
+  /// overflow_disconnects) match every other service; proxy-specific rows
+  /// carry the service prefix.
+  obs::Registry metrics_;
+  obs::Counter& ctr_samples_in_ =
+      metrics_.counter("frames_published", "frames");
+  obs::Counter& ctr_frames_queued_ =
+      metrics_.counter("proxy_frames_queued", "frames");
+  obs::Counter& ctr_frames_dropped_ = metrics_.counter("queue_drops", "frames");
+  obs::Counter& ctr_overflow_disconnects_ =
+      metrics_.counter("overflow_disconnects", "count");
+  obs::Counter& ctr_steers_accepted_ =
+      metrics_.counter("proxy_steers_accepted", "updates");
+  obs::Counter& ctr_steers_rejected_ =
+      metrics_.counter("proxy_steers_rejected", "updates");
+  obs::Counter& ctr_requests_served_ =
+      metrics_.counter("proxy_requests_served", "requests");
   std::atomic<bool> stopped_{false};
 };
 

@@ -207,6 +207,31 @@ Result<std::unique_ptr<RemoteRenderServer>> RemoteRenderServer::start(
   pipeline_options.queue_capacity = options.queue_capacity;
   server->pipeline_ = std::make_unique<common::ShardedFanout>(
       pipeline_options, [self](std::uint64_t id) { self->drop_client(id); });
+  // Per-service roll-ups bridged from the pipeline internals: the drop and
+  // disconnect totals were per-shard only before the registry existed.
+  self->metrics_.counter_fn("queue_drops", "frames", [self] {
+    return self->pipeline_->stats().data_dropped;
+  });
+  self->metrics_.counter_fn("overflow_disconnects", "count", [self] {
+    return self->pipeline_->stats().disconnects;
+  });
+  self->metrics_.gauge_fn("queue_depth_high_water", "frames", [self] {
+    const auto fan = self->pipeline_->stats();
+    std::size_t high = 0;
+    for (const auto& shard : fan.shards) {
+      high = std::max(high, shard.queue_high_water);
+    }
+    return static_cast<double>(high);
+  });
+  self->metrics_.gauge_fn("viewers", "count", [self] {
+    return static_cast<double>(self->client_count());
+  });
+  self->metrics_.timer_fn("stage_encode_to_enqueue", [self] {
+    return self->pipeline_->stats().stages.encode_to_enqueue;
+  });
+  self->metrics_.timer_fn("stage_enqueue_to_write", [self] {
+    return self->pipeline_->stats().stages.enqueue_to_write;
+  });
   // Accepts happen on the pump's thread, but admission stays with the
   // render loop: the pump only parks connections, and the loop drains them
   // at the point where the ordering/seeding invariant holds.
@@ -275,12 +300,13 @@ std::size_t RemoteRenderServer::client_count() const {
 }
 
 RemoteRenderServer::Stats RemoteRenderServer::stats() const {
+  // Shim over the registry-backed counters (see remote.hpp).
   Stats out;
-  out.frames_rendered = frames_rendered_.load(std::memory_order_relaxed);
-  out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
-  out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-  out.view_events = view_events_.load(std::memory_order_relaxed);
-  out.render_loop_iterations = loop_iterations_.load(std::memory_order_relaxed);
+  out.frames_rendered = ctr_frames_rendered_.value();
+  out.frames_sent = ctr_frames_sent_.value();
+  out.bytes_sent = ctr_bytes_sent_.value();
+  out.view_events = ctr_view_events_.value();
+  out.render_loop_iterations = ctr_loop_iterations_.value();
   out.fanout = pipeline_->stats();
   return out;
 }
@@ -296,7 +322,7 @@ void RemoteRenderServer::render_loop(const std::stop_token& st) {
   // image sequence.
   std::shared_ptr<const RenderedFrame> last_published;
   while (!st.stop_requested()) {
-    loop_iterations_.fetch_add(1, std::memory_order_relaxed);
+    ctr_loop_iterations_.add();
     // Ordering is what makes the shared-camera handshake deterministic:
     // observe the version counters first, then admit pending connections.
     // A connection the accept pump parked before a camera change was
@@ -335,7 +361,7 @@ void RemoteRenderServer::render_loop(const std::stop_token& st) {
     seen_camera = observed_camera;
     seen_scene = observed_scene;
     scene_->render(renderer, camera);
-    frames_rendered_.fetch_add(1, std::memory_order_relaxed);
+    ctr_frames_rendered_.add();
     // Publish once. The common delta (vs. the previous frame) and its wire
     // message are encoded here exactly once per broadcast; a client's
     // pipeline worker reuses them when that client's delivered baseline is
@@ -471,8 +497,8 @@ Status RemoteRenderServer::deliver(Lane& lane,
   if (s.is_ok()) {
     lane.encoder.commit();
     lane.delivered_seq = rendered.seq;
-    frames_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    ctr_frames_sent_.add();
+    ctr_bytes_sent_.add(payload_bytes);
   } else {
     // The client never received this frame: the next delta must not be
     // keyed off it. Drop the baseline so the next frame is a key frame.
@@ -526,7 +552,7 @@ void RemoteRenderServer::client_pump(const std::stop_token& st,
       ack.coalesce_key = kTagViewAck;
       (void)pipeline_->send_to(id, std::move(ack));
     }
-    view_events_.fetch_add(1, std::memory_order_relaxed);
+    ctr_view_events_.add();
   }
 }
 

@@ -28,6 +28,7 @@
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 #include "viz/camera.hpp"
 #include "viz/compress.hpp"
 #include "viz/render.hpp"
@@ -133,7 +134,10 @@ class RemoteRenderServer {
   std::string address() const { return listener_->address(); }
 
   std::size_t client_count() const;
+  /// Snapshot of the pipeline counters (shim over the metrics registry).
   Stats stats() const;
+  /// The service's metrics registry (source of truth for the counters).
+  obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   /// One rendered frame, published once and shared by every client's
@@ -216,11 +220,19 @@ class RemoteRenderServer {
   mutable std::mutex camera_mutex_;  // guards the shared camera + version
   Camera camera_;
   std::uint64_t camera_version_ = 1;
-  std::atomic<std::uint64_t> frames_rendered_{0};
-  std::atomic<std::uint64_t> frames_sent_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> view_events_{0};
-  std::atomic<std::uint64_t> loop_iterations_{0};
+  /// Registry-backed counters; stats() reads them back for the old shape.
+  /// Uniform roll-up names (frames_published, frames_delivered) match every
+  /// other service; viz-specific rows carry the service prefix.
+  obs::Registry metrics_;
+  obs::Counter& ctr_frames_rendered_ =
+      metrics_.counter("frames_published", "frames");
+  obs::Counter& ctr_frames_sent_ =
+      metrics_.counter("frames_delivered", "frames");
+  obs::Counter& ctr_bytes_sent_ = metrics_.counter("viz_bytes_sent", "bytes");
+  obs::Counter& ctr_view_events_ =
+      metrics_.counter("viz_view_events", "events");
+  obs::Counter& ctr_loop_iterations_ =
+      metrics_.counter("viz_render_loop_iterations", "count");
   std::atomic<bool> stopped_{false};
 };
 

@@ -231,6 +231,11 @@ TEST(Media, BridgeIsolatesSlowClientAndKeepsFramesIntact) {
   EXPECT_GE(stats.data_delivered, static_cast<std::uint64_t>(kFrames));
   EXPECT_GT(stats.data_dropped, 0u);      // the wedged client missed frames
   EXPECT_EQ(stats.disconnects, 0u);
+  // The service-level drop total must be exactly the per-shard sum — the
+  // roll-up is how every drop consumer (reports, /metricsz) reads it.
+  std::uint64_t per_shard_drops = 0;
+  for (const auto& shard : stats.shards) per_shard_drops += shard.data_dropped;
+  EXPECT_EQ(stats.data_dropped, per_shard_drops);
   EXPECT_EQ(bridge.value()->client_count(), 2u);
   bridge.value()->stop();
 }

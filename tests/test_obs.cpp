@@ -1,0 +1,399 @@
+// Observability layer: lock-light instruments, the registry's non-stopping
+// snapshots, the /metricsz text exposition, the frame-trace stamps, and the
+// endpoint serving a live service's registry while it publishes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/fanout.hpp"
+#include "net/event_host.hpp"
+#include "net/tcp.hpp"
+#include "obs/endpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+
+namespace cs::obs {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+
+// ---------------------------------------------------------------------------
+// Instruments and registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, OwnedInstrumentsAreIdempotentAndStable) {
+  Registry registry;
+  Counter& a = registry.counter("frames_published", "frames");
+  Counter& b = registry.counter("frames_published", "frames");
+  EXPECT_EQ(&a, &b);  // same name -> same instrument
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(a.value(), 5u);
+
+  Gauge& g = registry.gauge("viewers");
+  g.set(7);
+  g.update_max(3);  // ratchet never goes down
+  EXPECT_EQ(g.value(), 7);
+  g.update_max(12);
+  EXPECT_EQ(g.value(), 12);
+
+  Timer& t = registry.timer("poll_latency");
+  t.record(1000u);
+  t.record(2000u);
+  EXPECT_EQ(t.snapshot().count(), 2u);
+
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "frames_published");
+  EXPECT_EQ(snap.counters[0].unit, "frames");
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 12.0);
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].hist.count(), 2u);
+}
+
+TEST(Registry, CallbackInstrumentsEvaluateAtScrapeTime) {
+  Registry registry;
+  std::atomic<std::uint64_t> source{41};
+  registry.counter_fn("bridged", "count",
+                      [&] { return source.load(std::memory_order_relaxed); });
+  registry.gauge_fn("level", "frames", [] { return 2.5; });
+  registry.timer_fn("stage", [] {
+    common::Histogram h;
+    h.record(500);
+    return h;
+  });
+  source.store(42);
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 42u);  // read at scrape, not registration
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 2.5);
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].hist.count(), 1u);
+}
+
+// Run under TSan: writers on several threads hammer one counter and one
+// timer while a reader snapshots continuously. Counts must balance exactly
+// once the writers join — nothing lost, nothing double-counted.
+TEST(Registry, ConcurrentIncrementAndSnapshot) {
+  Registry registry;
+  Counter& counter = registry.counter("ops");
+  Timer& timer = registry.timer("lat");
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop_reader.load(std::memory_order_acquire)) {
+      const Snapshot snap = registry.snapshot();
+      ASSERT_EQ(snap.counters.size(), 1u);
+      // Monotonic even mid-run: a torn read may lag, never run backwards.
+      EXPECT_GE(snap.counters[0].value, last);
+      last = snap.counters[0].value;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.add();
+        if (i % 64 == 0) timer.record(i);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop_reader.store(true, std::memory_order_release);
+  reader.join();
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters[0].value, kWriters * kPerWriter);
+  EXPECT_EQ(snap.timers[0].hist.count(),
+            kWriters * ((kPerWriter + 63) / 64));
+}
+
+TEST(Snapshot, MergeSumsCountersAndMergesHistograms) {
+  // The worker -> controller aggregation rule: same name sums/merges,
+  // unmatched names union in. This is how multi-registry (or
+  // multi-process) metrics combine.
+  Registry a;
+  a.counter("frames", "frames").add(10);
+  a.timer("lat").record(1000u);
+  Registry b;
+  b.counter("frames", "frames").add(5);
+  b.counter("only_b").add(1);
+  b.timer("lat").record(3000u);
+  b.timer("lat").record(5000u);
+
+  Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0].name, "frames");
+  EXPECT_EQ(merged.counters[0].value, 15u);
+  EXPECT_EQ(merged.counters[1].name, "only_b");
+  ASSERT_EQ(merged.timers.size(), 1u);
+  EXPECT_EQ(merged.timers[0].hist.count(), 3u);
+  EXPECT_GE(merged.timers[0].hist.max(), 5000u);
+}
+
+// ---------------------------------------------------------------------------
+// Text exposition
+// ---------------------------------------------------------------------------
+
+TEST(Exposition, GoldenFormat) {
+  // The format is a contract: CI greps it, goldens diff it. Deterministic
+  // ordering (counter/gauge/timer sections, names sorted) and exact row
+  // shapes are the test.
+  Registry registry;
+  registry.counter("frames_published", "frames").add(12);
+  registry.counter("accepts").add(3);
+  registry.gauge("viewers").set(4);
+  Timer& t = registry.timer("poll_latency");
+  t.record(1000u);
+  t.record(1000u);
+
+  const std::string text = to_text(registry.snapshot());
+  const common::Histogram expect_hist = [] {
+    common::Histogram h;
+    h.record(1000u);
+    h.record(1000u);
+    return h;
+  }();
+  const std::string golden = std::string() +
+      "# TYPE accepts counter\n"
+      "# UNIT accepts count\n"
+      "accepts 3\n"
+      "# TYPE frames_published counter\n"
+      "# UNIT frames_published frames\n"
+      "frames_published 12\n"
+      "# TYPE viewers gauge\n"
+      "# UNIT viewers count\n"
+      "viewers 4\n"
+      "# TYPE poll_latency summary\n"
+      "# UNIT poll_latency ns\n"
+      "poll_latency_count 2\n"
+      "poll_latency_sum_ns " + std::to_string(expect_hist.sum()) + "\n"
+      "poll_latency_min_ns " + std::to_string(expect_hist.min()) + "\n"
+      "poll_latency_max_ns " + std::to_string(expect_hist.max()) + "\n"
+      "poll_latency_p50_ns " + std::to_string(expect_hist.p50()) + "\n"
+      "poll_latency_p95_ns " + std::to_string(expect_hist.p95()) + "\n"
+      "poll_latency_p99_ns " + std::to_string(expect_hist.p99()) + "\n"
+      "poll_latency_p999_ns " + std::to_string(expect_hist.p999()) + "\n";
+  EXPECT_EQ(text, golden);
+}
+
+TEST(Exposition, ParseTextRoundTrip) {
+  Registry registry;
+  registry.counter("frames", "frames").add(7);
+  registry.gauge("depth").set(3);
+  registry.timer("lat").record(2000u);
+  const auto parsed = parse_text(to_text(registry.snapshot()));
+  auto value_of = [&](const std::string& key) -> double {
+    for (const auto& [name, value] : parsed) {
+      if (name == key) return value;
+    }
+    ADD_FAILURE() << "missing key " << key;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("frames"), 7.0);
+  EXPECT_EQ(value_of("depth"), 3.0);
+  EXPECT_EQ(value_of("lat_count"), 1.0);
+  EXPECT_GT(value_of("lat_p50_ns"), 0.0);
+}
+
+TEST(Exposition, ZeroMetricsAreEmittedExplicitly) {
+  // "No drops" and "not measured" must be distinguishable: a registered
+  // metric that never fired still produces its row.
+  Registry registry;
+  registry.counter("queue_drops", "frames");
+  (void)registry.timer("stage_enqueue_to_write");
+  const std::string text = to_text(registry.snapshot());
+  EXPECT_NE(text.find("queue_drops 0\n"), std::string::npos);
+  EXPECT_NE(text.find("stage_enqueue_to_write_count 0\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Frame lifecycle trace
+// ---------------------------------------------------------------------------
+
+TEST(FrameTrace, MakeFrameStampsAndQueueStampsFeedStages) {
+  const std::uint64_t ingress = common::steady_now_ns();
+  const common::FramePtr frame = common::make_frame(common::Bytes{1, 2, 3},
+                                                    ingress);
+  EXPECT_EQ(frame->trace.ingress_ns, ingress);
+  EXPECT_GE(frame->trace.encode_ns, ingress);
+  EXPECT_EQ(frame->size(), 3u);  // Frame IS-A Bytes; payload untouched
+
+  common::OutboundQueue queue(4);
+  ASSERT_EQ(queue.push(frame, common::OverflowPolicy::kDropOldest),
+            common::OutboundQueue::Push::kQueued);
+  common::OutboundQueue::Item item = queue.pop();
+  EXPECT_GE(item.enqueued_ns, frame->trace.encode_ns);
+
+  common::FrameStageStats stages;
+  stages.record(item, common::steady_now_ns());
+  EXPECT_EQ(stages.ingress_to_encode.count(), 1u);
+  EXPECT_EQ(stages.encode_to_enqueue.count(), 1u);
+  EXPECT_EQ(stages.enqueue_to_write.count(), 1u);
+  EXPECT_EQ(stages.samples(), 1u);
+
+  // Absent stamps are skipped, never recorded as zero.
+  common::OutboundQueue::Item bare;
+  bare.frame = common::make_frame(common::Bytes{9});
+  bare.enqueued_ns = 0;
+  stages.record(bare, common::steady_now_ns());
+  EXPECT_EQ(stages.ingress_to_encode.count(), 1u);  // no ingress stamp
+  EXPECT_EQ(stages.enqueue_to_write.count(), 1u);   // no enqueue stamp
+}
+
+TEST(FrameTrace, FanoutDeliveryPopulatesStageHistograms) {
+  common::ShardedFanout::Options options;
+  options.shards = 1;
+  common::ShardedFanout fanout(options, [](std::uint64_t) {});
+  std::atomic<int> delivered{0};
+  fanout.add(1, [&](const common::Bytes&) {
+    delivered.fetch_add(1);
+    return common::Status::ok();
+  });
+  for (int i = 0; i < 8; ++i) {
+    fanout.publish(common::make_frame(common::Bytes{0, 1},
+                                      common::steady_now_ns()),
+                   common::OverflowPolicy::kDropOldest);
+  }
+  const auto deadline = Deadline::after(5s);
+  while (delivered.load() < 8 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(delivered.load(), 8);
+  // Stage accounting folds in at the end of the worker pass that delivered;
+  // one more pass may still be in flight.
+  const auto stages_deadline = Deadline::after(5s);
+  while (fanout.stats().stages.samples() < 8 &&
+         !stages_deadline.has_expired()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto stats = fanout.stats();
+  EXPECT_EQ(stats.stages.samples(), 8u);
+  EXPECT_EQ(stats.stages.ingress_to_encode.count(), 8u);
+  EXPECT_EQ(stats.stages.encode_to_enqueue.count(), 8u);
+  fanout.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint: scrape-while-publish against a live EventHost
+// ---------------------------------------------------------------------------
+
+TEST(MetricsEndpoint, ScrapeWhilePublishingOnLiveEventHost) {
+  net::TcpNetwork net;
+  auto host = net::EventHost::start({.pollers = 1, .queue_capacity = 64});
+  ASSERT_TRUE(host.is_ok());
+
+  // One hosted consumer fed by a publisher thread, while a scraper polls
+  // the endpoint: the snapshot path must never stop the writers, and every
+  // scrape must parse.
+  auto listener = net.listen("0");
+  ASSERT_TRUE(listener.is_ok());
+  auto client_conn = net.connect(listener.value()->address(),
+                                 Deadline::after(2s));
+  ASSERT_TRUE(client_conn.is_ok());
+  auto served = listener.value()->accept(Deadline::after(2s));
+  ASSERT_TRUE(served.is_ok());
+  ASSERT_TRUE(host.value()->host(
+      1, std::move(served).value(),
+      [](std::uint64_t, common::Bytes) {},
+      [](std::uint64_t, const common::Status&) {}));
+
+  Registry registry;
+  Counter& published = registry.counter("frames_published", "frames");
+  net::EventHost* host_ptr = host.value().get();
+  registry.counter_fn("poller_wakeups", "count", [host_ptr] {
+    return host_ptr->stats().wakeups;
+  });
+  registry.gauge_fn("hosted_viewers", "count", [host_ptr] {
+    return static_cast<double>(host_ptr->stats().hosted);
+  });
+  registry.timer_fn("stage_enqueue_to_write", [host_ptr] {
+    return host_ptr->stats().stages.enqueue_to_write;
+  });
+
+  auto endpoint = MetricsEndpoint::start(
+      net, "0", [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(endpoint.is_ok());
+  const std::string address = endpoint.value()->address();
+
+  std::atomic<bool> stop_publisher{false};
+  std::thread publisher([&] {
+    while (!stop_publisher.load(std::memory_order_acquire)) {
+      host.value()->publish(common::make_frame(common::Bytes(64, 0xAB),
+                                               common::steady_now_ns()),
+                            common::OverflowPolicy::kDropOldest);
+      published.add();
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  std::thread drainer([&] {
+    while (!stop_publisher.load(std::memory_order_acquire)) {
+      (void)client_conn.value()->recv(Deadline::after(50ms));
+    }
+  });
+
+  std::uint64_t last_published = 0;
+  for (int scrape = 0; scrape < 5; ++scrape) {
+    auto metrics = scrape_metrics(net, address, Deadline::after(2s));
+    ASSERT_TRUE(metrics.is_ok()) << metrics.status().to_string();
+    double published_now = -1.0;
+    double hosted = -1.0;
+    for (const auto& [name, value] : metrics.value()) {
+      if (name == "frames_published") published_now = value;
+      if (name == "hosted_viewers") hosted = value;
+    }
+    ASSERT_GE(published_now, 0.0);
+    EXPECT_GE(static_cast<std::uint64_t>(published_now), last_published);
+    last_published = static_cast<std::uint64_t>(published_now);
+    EXPECT_EQ(hosted, 1.0);
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GE(endpoint.value()->scrapes(), 5u);
+
+  stop_publisher.store(true, std::memory_order_release);
+  publisher.join();
+  drainer.join();
+  endpoint.value()->stop();
+  host.value()->stop();
+  // The publisher ran throughout: the last scrape observed live traffic.
+  EXPECT_GT(last_published, 0u);
+}
+
+TEST(MetricsEndpoint, RepeatedRequestsOnOneConnectionResnapshot) {
+  net::TcpNetwork net;
+  Registry registry;
+  Counter& counter = registry.counter("ops");
+  auto endpoint = MetricsEndpoint::start(
+      net, "0", [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(endpoint.is_ok());
+
+  auto conn = net.connect(endpoint.value()->address(), Deadline::after(2s));
+  ASSERT_TRUE(conn.is_ok());
+  const common::Bytes request{'/', 'm', 'e', 't', 'r', 'i', 'c', 's', 'z'};
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    counter.add();
+    ASSERT_TRUE(conn.value()->send(request, Deadline::after(2s)).is_ok());
+    auto raw = conn.value()->recv(Deadline::after(2s));
+    ASSERT_TRUE(raw.is_ok());
+    const std::string text(raw.value().begin(), raw.value().end());
+    EXPECT_NE(text.find("ops " + std::to_string(i) + "\n"),
+              std::string::npos)
+        << text;
+  }
+  conn.value()->close();
+  endpoint.value()->stop();
+}
+
+}  // namespace
+}  // namespace cs::obs

@@ -651,6 +651,34 @@ TEST(Multiplexer, SlowViewerDoesNotStallOtherShard) {
   // the same burst, with headroom for sanitizer/scheduler noise.
   EXPECT_LT(fast_latency, std::chrono::milliseconds(500));
 
+  // The slow viewer's missed samples must surface as the service-level
+  // queue_drops total (registry bridge over the per-shard counters), not
+  // just inside the per-shard breakdown. Its shard grinds through the
+  // burst one forward-timeout at a time, so wait for the first drop to be
+  // accounted rather than sampling a race.
+  const auto drops_deadline = Deadline::after(10s);
+  auto queue_drops = [&]() -> std::uint64_t {
+    const auto snap = mux.metrics().snapshot();
+    for (const auto& counter : snap.counters) {
+      if (counter.name == "queue_drops") return counter.value;
+    }
+    return 0;
+  };
+  while (queue_drops() == 0 && !drops_deadline.has_expired()) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GT(queue_drops(), 0u);
+  // The slow shard is still grinding (and dropping) while we read, so
+  // sandwich the registry value between two stats() reads instead of
+  // expecting exact equality against a moving counter.
+  const auto drops_before = mux.stats().fanout.data_dropped +
+                            mux.stats().event_host.data_dropped;
+  const auto drops_bridged = queue_drops();
+  const auto drops_after = mux.stats().fanout.data_dropped +
+                           mux.stats().event_host.data_dropped;
+  EXPECT_GE(drops_bridged, drops_before);
+  EXPECT_LE(drops_bridged, drops_after);
+
   slow_conn.value()->close();
   fast.value().disconnect();
   sim.value().disconnect();

@@ -716,6 +716,33 @@ TEST_P(RemoteTransport, WedgedClientDoesNotDelaySiblingFrames) {
   EXPECT_LT(worst, 4s);
   const auto stats = server.value()->stats();
   EXPECT_GE(stats.frames_rendered, 15u);
+  // The per-service queue_drops roll-up (registry bridge) must agree with
+  // the pipeline's aggregate — the per-shard breakdown was the only place
+  // drops were visible before the registry existed.
+  {
+    // The render loop is still publishing (and the wedged queue still
+    // evicting) while we read, so sandwich the snapshot between two
+    // stats() reads instead of expecting exact equality.
+    const auto snap = server.value()->metrics().snapshot();
+    const auto after = server.value()->stats();
+    std::uint64_t queue_drops = 0;
+    bool found = false;
+    for (const auto& counter : snap.counters) {
+      if (counter.name == "queue_drops") {
+        queue_drops = counter.value;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_GE(queue_drops, stats.fanout.data_dropped);
+    EXPECT_LE(queue_drops, after.fanout.data_dropped);
+    // With a 2-frame queue and a wedged inproc client whose sends burn the
+    // full deadline, eviction at publish time is certain. (TCP socket
+    // buffers can absorb the whole run, so only inproc asserts drops.)
+    if (dynamic_cast<net::InProcNetwork*>(net.get()) != nullptr) {
+      EXPECT_GT(queue_drops, 0u);
+    }
+  }
   wedged.disconnect();
   server.value()->stop();
 }
