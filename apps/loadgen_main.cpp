@@ -3,6 +3,16 @@
 //   loadgen --scenario=mux --connections=64 --duration-ms=3000 --out=r.json
 //   loadgen --scenario=raw --pattern=duplex --transport=tcp --rate=500
 //
+// Distributed (controller/worker driver split over TCP):
+//
+//   loadgen --role=controller --scenario=mux --workers=2 --listen=45117
+//   loadgen --role=worker --controller=45117 --name=worker0
+//
+// The controller hosts the target service plus the control channel; each
+// worker dials in, receives its slice of the workload, and the controller
+// merges the shards into one report with per-worker breakdowns. Workers may
+// be launched before the controller — dialing retries until it is up.
+//
 // Scenarios:
 //   mux    steering fan-out soak on visit::Multiplexer (1 master + viewers)
 //   viz    viewpoint/frame loop on viz::RemoteRenderServer (shared camera)
@@ -21,6 +31,7 @@
 
 #include "loadgen/driver.hpp"
 #include "loadgen/scenarios.hpp"
+#include "loadgen/worker.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 
@@ -32,6 +43,13 @@ struct CliOptions {
   std::string scenario = "mux";
   std::string transport = "inproc";
   std::string out_path;
+  /// local = the classic single-process run; controller/worker = the
+  /// distributed driver split (always TCP).
+  std::string role = "local";
+  std::string controller_address;  ///< worker: control address to dial
+  std::string listen = "0";        ///< controller: control bind address
+  std::string name = "worker";     ///< worker: name announced on JOIN
+  std::size_t workers = 2;         ///< controller: fleet size awaited
   /// service_metrics keys that must be present AND nonzero in the report.
   std::vector<std::string> assert_nonzero;
   /// service_metrics keys that must be present (zero is acceptable).
@@ -95,6 +113,16 @@ void usage(const char* argv0) {
       "                                 present (zero allowed)\n"
       "  --out=FILE                     write the JSON report here "
       "(default stdout)\n"
+      "distributed options:\n"
+      "  --role=local|controller|worker    driver role (default local)\n"
+      "  --workers=N                       controller: worker fleet size "
+      "(default 2)\n"
+      "  --listen=ADDR                     controller: control bind address "
+      "(default\n"
+      "                                    0 = kernel-assigned TCP port)\n"
+      "  --controller=PORT                 worker: control port to dial\n"
+      "                                    (loopback)\n"
+      "  --name=NAME                       worker: name announced on join\n"
       "raw-scenario options:\n"
       "  --pattern=push|pull|duplex|burst  traffic shape (default duplex)\n"
       "  --transport=inproc|tcp            substrate for raw and mux "
@@ -177,6 +205,16 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       s.max_service_threads = n;
     } else if (key == "--metricsz" && parse_u64(value.c_str(), n)) {
       s.scrape_metricsz = (n != 0);
+    } else if (key == "--role") {
+      cli.role = value;
+    } else if (key == "--controller") {
+      cli.controller_address = value;
+    } else if (key == "--listen") {
+      cli.listen = value;
+    } else if (key == "--name") {
+      cli.name = value;
+    } else if (key == "--workers" && parse_u64(value.c_str(), n)) {
+      cli.workers = n;
     } else if (key == "--assert-nonzero") {
       cli.assert_nonzero = split_csv(value);
     } else if (key == "--assert-present") {
@@ -217,6 +255,59 @@ common::Result<loadgen::Report> run_raw(const CliOptions& cli) {
   return report;
 }
 
+/// --role=worker: one full control session against --controller, then exit.
+int run_worker(const CliOptions& cli) {
+  if (cli.controller_address.empty()) {
+    std::fprintf(stderr, "--role=worker requires --controller=PORT\n");
+    return 2;
+  }
+  net::TcpNetwork network;
+  loadgen::WorkerAgent::Options options;
+  options.controller_address = cli.controller_address;
+  options.name = cli.name;
+  auto shard = loadgen::WorkerAgent::run(network, options);
+  if (!shard.is_ok()) {
+    std::fprintf(stderr, "worker %s failed: %s\n", cli.name.c_str(),
+                 shard.status().to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "worker %s: %llu conns, %llu ops, %llu timeouts, %llu errors\n",
+               cli.name.c_str(),
+               static_cast<unsigned long long>(shard.value().connections),
+               static_cast<unsigned long long>(shard.value().ops),
+               static_cast<unsigned long long>(shard.value().timeouts),
+               static_cast<unsigned long long>(shard.value().errors));
+  return 0;
+}
+
+/// --role=controller: host the target service + control channel, merge the
+/// worker shards into the one report main() post-processes.
+common::Result<loadgen::Report> run_controller(const CliOptions& cli) {
+  net::TcpNetwork network;
+  loadgen::DistributedOptions options;
+  options.workers = cli.workers;
+  options.control_listen = cli.listen;
+  options.workload = cli.workload;
+  options.scenario = cli.scenario_options;
+  options.on_listening = [](const std::string& address) {
+    std::fprintf(stderr, "controller listening on %s\n", address.c_str());
+  };
+  if (options.workload.pattern == loadgen::Pattern::kBurst &&
+      options.workload.messages_per_sec <= 0.0) {
+    options.workload.messages_per_sec = 200.0;
+  }
+  if (cli.scenario == "mux") {
+    return loadgen::run_distributed_mux_soak(network, options);
+  }
+  if (cli.scenario == "raw") {
+    return loadgen::run_distributed_raw(network, options);
+  }
+  return common::Status{
+      common::StatusCode::kInvalidArgument,
+      "scenario '" + cli.scenario + "' has no distributed form (mux|raw)"};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,10 +321,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (cli.role == "worker") return run_worker(cli);
+  if (cli.role != "local" && cli.role != "controller") {
+    usage(argv[0]);
+    return 2;
+  }
+
   common::Result<loadgen::Report> report =
       common::Status{common::StatusCode::kInvalidArgument,
                      "unknown scenario: " + cli.scenario};
-  if (cli.scenario == "mux") {
+  if (cli.role == "controller") {
+    report = run_controller(cli);
+  } else if (cli.scenario == "mux") {
     report = loadgen::run_multiplexer_soak(cli.scenario_options);
   } else if (cli.scenario == "viz") {
     report = loadgen::run_vizserver_loop(cli.scenario_options);
@@ -296,5 +395,12 @@ int main(int argc, char** argv) {
   }
   // A soak that completed but moved no traffic is a failure, not a report.
   if (!asserts_ok) return 1;
+  // So is a distributed run that lost workers: the JSON (flagged partial)
+  // is still written above for forensics, but CI must not read it as a
+  // clean data point.
+  if (report.value().is_partial()) {
+    std::fprintf(stderr, "report is partial: one or more workers lost\n");
+    return 1;
+  }
   return report.value().ops > 0 ? 0 : 1;
 }

@@ -69,4 +69,62 @@ std::uint64_t Histogram::value_at_quantile(double q) const noexcept {
 
 void Histogram::reset() noexcept { *this = Histogram{}; }
 
+void Histogram::encode(Bytes& out) const {
+  append_uint<std::uint64_t>(out, count_, ByteOrder::kBig);
+  append_uint<std::uint64_t>(out, sum_, ByteOrder::kBig);
+  append_uint<std::uint64_t>(out, count_ ? min_ : 0, ByteOrder::kBig);
+  append_uint<std::uint64_t>(out, max_, ByteOrder::kBig);
+  std::uint32_t nonzero = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] != 0) ++nonzero;
+  }
+  append_uint<std::uint32_t>(out, nonzero, ByteOrder::kBig);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(i),
+                               ByteOrder::kBig);
+    append_uint<std::uint64_t>(out, buckets_[i], ByteOrder::kBig);
+  }
+}
+
+Result<Histogram> Histogram::decode(ByteSpan in, std::size_t& consumed) {
+  constexpr std::size_t kHeader = 4 * 8 + 4;
+  const auto invalid = [](const char* what) {
+    return Status{StatusCode::kInvalidArgument, what};
+  };
+  if (in.size() < kHeader) return invalid("histogram header truncated");
+  Histogram h;
+  h.count_ = read_uint<std::uint64_t>(in, ByteOrder::kBig);
+  h.sum_ = read_uint<std::uint64_t>(in.subspan(8), ByteOrder::kBig);
+  const std::uint64_t min = read_uint<std::uint64_t>(in.subspan(16),
+                                                     ByteOrder::kBig);
+  h.min_ = h.count_ ? min : ~0ull;
+  h.max_ = read_uint<std::uint64_t>(in.subspan(24), ByteOrder::kBig);
+  const auto nonzero = read_uint<std::uint32_t>(in.subspan(32),
+                                                ByteOrder::kBig);
+  if (nonzero > kBucketCount) return invalid("histogram bucket count");
+  const std::size_t need = kHeader + static_cast<std::size_t>(nonzero) * 12;
+  if (in.size() < need) return invalid("histogram buckets truncated");
+  std::uint64_t total = 0;
+  std::int64_t prev = -1;
+  for (std::uint32_t i = 0; i < nonzero; ++i) {
+    const ByteSpan entry = in.subspan(kHeader + std::size_t{i} * 12);
+    const auto index = read_uint<std::uint32_t>(entry, ByteOrder::kBig);
+    const auto count = read_uint<std::uint64_t>(entry.subspan(4),
+                                                ByteOrder::kBig);
+    if (index >= kBucketCount) return invalid("histogram bucket index");
+    if (static_cast<std::int64_t>(index) <= prev) {
+      return invalid("histogram bucket order");
+    }
+    if (count == 0) return invalid("histogram zero bucket");
+    prev = index;
+    h.buckets_[index] = count;
+    total += count;
+  }
+  if (total != h.count_) return invalid("histogram count mismatch");
+  if (h.count_ != 0 && min > h.max_) return invalid("histogram min > max");
+  consumed = need;
+  return h;
+}
+
 }  // namespace cs::common

@@ -13,6 +13,9 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
 namespace cs::common {
 
 class Histogram {
@@ -56,6 +59,19 @@ class Histogram {
   std::uint64_t p999() const noexcept { return value_at_quantile(0.999); }
 
   void reset() noexcept;
+
+  /// Appends a sparse wire encoding to `out`: the summary fields plus only
+  /// the nonzero buckets as (index, count) pairs, all big-endian. A shard
+  /// shipped from a loadgen worker to the controller costs bytes
+  /// proportional to the buckets it touched, not the full bucket array.
+  void encode(Bytes& out) const;
+
+  /// Reverses encode(), consuming one histogram from the front of `in`;
+  /// `consumed` reports how many bytes it used, so histograms compose into
+  /// larger frames. Rejects truncated input, out-of-range or non-ascending
+  /// bucket indices, and bucket totals that contradict the sample count
+  /// with kInvalidArgument — a malformed shard never crashes the merge.
+  static Result<Histogram> decode(ByteSpan in, std::size_t& consumed);
 
  private:
   static std::size_t bucket_index(std::uint64_t value) noexcept;

@@ -1,0 +1,322 @@
+#include "loadgen/control.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "loadgen/driver.hpp"
+
+namespace cs::loadgen {
+
+using common::ByteOrder;
+using common::Bytes;
+using common::ByteSpan;
+using common::Histogram;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+/// Cap on any string field in a control frame; a corrupt length prefix must
+/// not make the decoder allocate gigabytes.
+constexpr std::size_t kMaxStringBytes = 4096;
+
+Status invalid(const char* what) {
+  return Status{StatusCode::kInvalidArgument, what};
+}
+
+void append_header(Bytes& out, ControlOp op) {
+  common::append_uint<std::uint32_t>(out, LoadFrame::kMagic, ByteOrder::kBig);
+  out.push_back(static_cast<std::uint8_t>(op));
+}
+
+void append_string(Bytes& out, const std::string& s) {
+  common::append_uint<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()),
+                                     ByteOrder::kBig);
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked cursor over a frame body. Every read either succeeds or
+/// trips `fail` — callers check once at the end, so a truncated frame walks
+/// through as zeros and is rejected, never read out of range.
+class Reader {
+ public:
+  explicit Reader(ByteSpan in) : in_(in) {}
+
+  template <typename T>
+  T uint() {
+    if (fail_ || in_.size() - pos_ < sizeof(T)) {
+      fail_ = true;
+      return T{};
+    }
+    const T v = common::read_uint<T>(in_.subspan(pos_), ByteOrder::kBig);
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string str() {
+    const auto len = uint<std::uint32_t>();
+    if (fail_ || len > kMaxStringBytes || in_.size() - pos_ < len) {
+      fail_ = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(in_.data()) + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  Result<Histogram> histogram() {
+    if (fail_) return invalid("truncated control frame");
+    std::size_t consumed = 0;
+    auto h = Histogram::decode(in_.subspan(pos_), consumed);
+    if (h.is_ok()) pos_ += consumed;
+    else fail_ = true;
+    return h;
+  }
+
+  bool failed() const { return fail_; }
+  bool exhausted() const { return pos_ == in_.size(); }
+
+ private:
+  ByteSpan in_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+/// Validates header + op match and returns the body span.
+Result<ByteSpan> body_of(ByteSpan frame, ControlOp want) {
+  auto op = decode_control_op(frame);
+  if (!op.is_ok()) return op.status();
+  if (op.value() != want) {
+    return invalid("unexpected control op");
+  }
+  return frame.subspan(5);
+}
+
+/// Shared epilogue: a frame must parse fully and exactly — trailing bytes
+/// mean a peer speaking a different version, and we refuse to guess.
+Status finish(const Reader& r) {
+  if (r.failed()) return invalid("truncated control frame");
+  if (!r.exhausted()) return invalid("oversized control frame");
+  return Status::ok();
+}
+
+}  // namespace
+
+std::string_view to_string(ControlOp op) noexcept {
+  switch (op) {
+    case ControlOp::kJoin: return "join";
+    case ControlOp::kAssign: return "assign";
+    case ControlOp::kReady: return "ready";
+    case ControlOp::kStart: return "start";
+    case ControlOp::kResult: return "result";
+    case ControlOp::kBye: return "bye";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(WorkloadSpec::Kind kind) noexcept {
+  switch (kind) {
+    case WorkloadSpec::Kind::kRaw: return "raw";
+    case WorkloadSpec::Kind::kMuxViewers: return "mux_viewers";
+  }
+  return "unknown";
+}
+
+Result<ControlOp> decode_control_op(ByteSpan frame) {
+  if (frame.size() < 5) return invalid("control frame too short");
+  if (common::read_uint<std::uint32_t>(frame, ByteOrder::kBig) !=
+      LoadFrame::kMagic) {
+    return invalid("bad control magic");
+  }
+  const std::uint8_t op = frame[4];
+  if (op < kControlOpBase ||
+      op > static_cast<std::uint8_t>(ControlOp::kBye)) {
+    return invalid("unknown control op");
+  }
+  return static_cast<ControlOp>(op);
+}
+
+// ---------------------------------------------------------------- encode --
+
+Bytes encode_join(const JoinFrame& join) {
+  Bytes out;
+  append_header(out, ControlOp::kJoin);
+  append_string(out, join.worker_name);
+  append_string(out, join.metricsz_address);
+  return out;
+}
+
+Bytes encode_assign(const WorkloadSpec& spec) {
+  Bytes out;
+  append_header(out, ControlOp::kAssign);
+  out.push_back(static_cast<std::uint8_t>(spec.kind));
+  common::append_uint<std::uint32_t>(out, spec.worker_index, ByteOrder::kBig);
+  common::append_uint<std::uint32_t>(out, spec.worker_count, ByteOrder::kBig);
+  append_string(out, spec.target);
+  append_string(out, spec.password);
+  const Workload& w = spec.workload;
+  out.push_back(static_cast<std::uint8_t>(w.pattern));
+  common::append_uint<std::uint64_t>(
+      out, static_cast<std::uint64_t>(w.connections), ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(
+      out,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(w.duration)
+              .count()),
+      ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(
+      out,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(w.ramp_up)
+              .count()),
+      ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(
+      out, static_cast<std::uint64_t>(w.min_payload), ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(
+      out, static_cast<std::uint64_t>(w.max_payload), ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(
+      out, std::bit_cast<std::uint64_t>(w.messages_per_sec), ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, w.seed, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(
+      out,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(w.op_timeout)
+              .count()),
+      ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(
+      out, static_cast<std::uint64_t>(w.batch), ByteOrder::kBig);
+  return out;
+}
+
+Bytes encode_ready(std::uint32_t worker_index) {
+  Bytes out;
+  append_header(out, ControlOp::kReady);
+  common::append_uint<std::uint32_t>(out, worker_index, ByteOrder::kBig);
+  return out;
+}
+
+Bytes encode_start() {
+  Bytes out;
+  append_header(out, ControlOp::kStart);
+  return out;
+}
+
+Bytes encode_result(const WireWorkerReport& report) {
+  Bytes out;
+  append_header(out, ControlOp::kResult);
+  common::append_uint<std::uint32_t>(out, report.worker_index, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.connections, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.ops, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.timeouts, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.errors, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.elapsed_ns, ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.transport.messages_sent,
+                                     ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.transport.bytes_sent,
+                                     ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.transport.messages_received,
+                                     ByteOrder::kBig);
+  common::append_uint<std::uint64_t>(out, report.transport.bytes_received,
+                                     ByteOrder::kBig);
+  report.latency.encode(out);
+  return out;
+}
+
+Bytes encode_bye() {
+  Bytes out;
+  append_header(out, ControlOp::kBye);
+  return out;
+}
+
+// ---------------------------------------------------------------- decode --
+
+Result<JoinFrame> decode_join(ByteSpan frame) {
+  auto body = body_of(frame, ControlOp::kJoin);
+  if (!body.is_ok()) return body.status();
+  Reader r(body.value());
+  JoinFrame join;
+  join.worker_name = r.str();
+  join.metricsz_address = r.str();
+  if (Status s = finish(r); !s.is_ok()) return s;
+  return join;
+}
+
+Result<WorkloadSpec> decode_assign(ByteSpan frame) {
+  auto body = body_of(frame, ControlOp::kAssign);
+  if (!body.is_ok()) return body.status();
+  Reader r(body.value());
+  WorkloadSpec spec;
+  const auto kind = r.uint<std::uint8_t>();
+  if (kind > static_cast<std::uint8_t>(WorkloadSpec::Kind::kMuxViewers)) {
+    return invalid("unknown spec kind");
+  }
+  spec.kind = static_cast<WorkloadSpec::Kind>(kind);
+  spec.worker_index = r.uint<std::uint32_t>();
+  spec.worker_count = r.uint<std::uint32_t>();
+  spec.target = r.str();
+  spec.password = r.str();
+  Workload& w = spec.workload;
+  const auto pattern = r.uint<std::uint8_t>();
+  if (pattern > static_cast<std::uint8_t>(Pattern::kBurst)) {
+    return invalid("unknown workload pattern");
+  }
+  w.pattern = static_cast<Pattern>(pattern);
+  w.connections = static_cast<std::size_t>(r.uint<std::uint64_t>());
+  w.duration = std::chrono::duration_cast<common::Duration>(
+      std::chrono::nanoseconds(r.uint<std::uint64_t>()));
+  w.ramp_up = std::chrono::duration_cast<common::Duration>(
+      std::chrono::nanoseconds(r.uint<std::uint64_t>()));
+  w.min_payload = static_cast<std::size_t>(r.uint<std::uint64_t>());
+  w.max_payload = static_cast<std::size_t>(r.uint<std::uint64_t>());
+  w.messages_per_sec = std::bit_cast<double>(r.uint<std::uint64_t>());
+  w.seed = r.uint<std::uint64_t>();
+  w.op_timeout = std::chrono::duration_cast<common::Duration>(
+      std::chrono::nanoseconds(r.uint<std::uint64_t>()));
+  w.batch = static_cast<std::size_t>(r.uint<std::uint64_t>());
+  if (Status s = finish(r); !s.is_ok()) return s;
+  if (spec.worker_count == 0 || spec.worker_index >= spec.worker_count) {
+    return invalid("worker index out of range");
+  }
+  // A spec that validates client-side must also validate after the round
+  // trip; re-checking here keeps a malicious controller from handing a
+  // worker an unusable (e.g. zero-duration busy-spin) assignment.
+  if (Status s = w.validate(); !s.is_ok()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "assigned workload invalid: " + s.message()};
+  }
+  return spec;
+}
+
+Result<std::uint32_t> decode_ready(ByteSpan frame) {
+  auto body = body_of(frame, ControlOp::kReady);
+  if (!body.is_ok()) return body.status();
+  Reader r(body.value());
+  const auto index = r.uint<std::uint32_t>();
+  if (Status s = finish(r); !s.is_ok()) return s;
+  return index;
+}
+
+Result<WireWorkerReport> decode_result(ByteSpan frame) {
+  auto body = body_of(frame, ControlOp::kResult);
+  if (!body.is_ok()) return body.status();
+  Reader r(body.value());
+  WireWorkerReport report;
+  report.worker_index = r.uint<std::uint32_t>();
+  report.connections = r.uint<std::uint64_t>();
+  report.ops = r.uint<std::uint64_t>();
+  report.timeouts = r.uint<std::uint64_t>();
+  report.errors = r.uint<std::uint64_t>();
+  report.elapsed_ns = r.uint<std::uint64_t>();
+  report.transport.messages_sent = r.uint<std::uint64_t>();
+  report.transport.bytes_sent = r.uint<std::uint64_t>();
+  report.transport.messages_received = r.uint<std::uint64_t>();
+  report.transport.bytes_received = r.uint<std::uint64_t>();
+  auto latency = r.histogram();
+  if (!latency.is_ok()) return latency.status();
+  report.latency = std::move(latency).value();
+  if (Status s = finish(r); !s.is_ok()) return s;
+  return report;
+}
+
+}  // namespace cs::loadgen

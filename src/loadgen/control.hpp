@@ -1,0 +1,109 @@
+// Wire codecs for the distributed-loadgen control channel.
+//
+// A Controller hands each WorkerAgent a serialized WorkloadSpec over a
+// length-prefixed control connection, barriers the start, and collects one
+// WireWorkerReport per worker — the ctsTraffic controller/worker
+// orchestration shape. Control frames share the LoadFrame magic but occupy
+// their own op range (kControlOpBase upward), so a control frame can never
+// be mistaken for traffic and vice versa: LoadFrame::decode rejects control
+// ops, decode_control rejects traffic ops.
+//
+// Every decoder here treats the peer as untrusted: truncated bodies,
+// oversized strings, unknown tags, and internally inconsistent histograms
+// all come back as kInvalidArgument, never a crash — a worker shard is
+// merged only after it parsed clean.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "common/status.hpp"
+#include "loadgen/workload.hpp"
+#include "net/transport.hpp"
+
+namespace cs::loadgen {
+
+/// Control ops live above the LoadFrame traffic ops (kAck..kStream) in the
+/// same magic'd frame namespace.
+constexpr std::uint8_t kControlOpBase = 0x10;
+
+enum class ControlOp : std::uint8_t {
+  /// worker -> controller on connect: name + /metricsz address.
+  kJoin = kControlOpBase + 0,
+  /// controller -> worker: the serialized WorkloadSpec to prepare.
+  kAssign = kControlOpBase + 1,
+  /// worker -> controller: spec prepared (connections open), awaiting start.
+  kReady = kControlOpBase + 2,
+  /// controller -> worker: start barrier release; run begins now.
+  kStart = kControlOpBase + 3,
+  /// worker -> controller: the run's merged shard (WireWorkerReport).
+  kResult = kControlOpBase + 4,
+  /// controller -> worker: session over, tear down. Empty body.
+  kBye = kControlOpBase + 5,
+};
+
+std::string_view to_string(ControlOp op) noexcept;
+
+/// Worker -> controller introduction.
+struct JoinFrame {
+  std::string worker_name;
+  /// Where the controller can scrape this worker's /metricsz registry;
+  /// empty when the worker serves none.
+  std::string metricsz_address;
+};
+
+/// What one worker must execute: the declarative Workload plus the scenario
+/// binding (which service to drive, where it lives, this worker's slot in
+/// the fleet).
+struct WorkloadSpec {
+  enum class Kind : std::uint8_t {
+    kRaw = 0,         ///< run `workload` against a LoadPeer at `target`
+    kMuxViewers = 1,  ///< a viewer fleet on a visit::Multiplexer at `target`
+  };
+  Kind kind = Kind::kRaw;
+  /// The per-worker slice: `workload.connections` is THIS worker's count,
+  /// not the fleet total.
+  Workload workload;
+  /// Address of the system under test (LoadPeer or mux viewer port).
+  std::string target;
+  /// Session password for handshaking scenarios (mux); unused for raw.
+  std::string password;
+  std::uint32_t worker_index = 0;
+  std::uint32_t worker_count = 1;
+};
+
+std::string_view to_string(WorkloadSpec::Kind kind) noexcept;
+
+/// One worker's merged shard, shipped back over the control connection.
+/// The histogram is the log-bucketed latency shard — mergeable into the
+/// controller's aggregate with zero loss (identical bucket layout).
+struct WireWorkerReport {
+  std::uint32_t worker_index = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t elapsed_ns = 0;
+  net::ConnStats transport;
+  common::Histogram latency;
+};
+
+common::Bytes encode_join(const JoinFrame& join);
+common::Bytes encode_assign(const WorkloadSpec& spec);
+common::Bytes encode_ready(std::uint32_t worker_index);
+common::Bytes encode_start();
+common::Bytes encode_result(const WireWorkerReport& report);
+common::Bytes encode_bye();
+
+/// Validates the magic and returns the control op, or kInvalidArgument for
+/// short frames, foreign magic, traffic ops, and unknown tags.
+common::Result<ControlOp> decode_control_op(common::ByteSpan frame);
+
+common::Result<JoinFrame> decode_join(common::ByteSpan frame);
+common::Result<WorkloadSpec> decode_assign(common::ByteSpan frame);
+common::Result<std::uint32_t> decode_ready(common::ByteSpan frame);
+common::Result<WireWorkerReport> decode_result(common::ByteSpan frame);
+
+}  // namespace cs::loadgen

@@ -1,0 +1,304 @@
+#include "loadgen/controller.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/endpoint.hpp"
+
+namespace cs::loadgen {
+
+using common::Bytes;
+using common::Deadline;
+using common::Duration;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+double ns_to_us(std::uint64_t ns) noexcept {
+  return static_cast<double>(ns) / 1000.0;
+}
+
+Status unavailable(std::string what) {
+  return Status{StatusCode::kUnavailable, std::move(what)};
+}
+
+}  // namespace
+
+Controller::Controller(net::Network& net, Options options)
+    : net_(net), options_(std::move(options)) {}
+
+Result<std::unique_ptr<Controller>> Controller::start(net::Network& net,
+                                                      const Options& options) {
+  if (options.workers == 0) {
+    return Status{StatusCode::kInvalidArgument, "workers must be >= 1"};
+  }
+  auto listener = net.listen(options.listen_address);
+  if (!listener.is_ok()) return listener.status();
+  std::unique_ptr<Controller> controller{new Controller(net, options)};
+  controller->listener_ = std::move(listener).value();
+  controller->address_ = controller->listener_->address();
+  Controller* self = controller.get();
+  controller->pump_ = std::make_unique<net::AcceptPump>(
+      *controller->listener_,
+      [self](net::ConnectionPtr conn) { self->on_conn(std::move(conn)); });
+  return controller;
+}
+
+Controller::~Controller() { stop(); }
+
+void Controller::stop() {
+  if (stopped_.exchange(true)) return;
+  if (listener_) listener_->close();
+  if (pump_) pump_->stop();
+  std::vector<net::ConnectionPtr> conns;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& conn : pending_) conns.push_back(std::move(conn));
+    pending_.clear();
+    for (auto& slot : slots_) {
+      if (slot.conn) conns.push_back(std::move(slot.conn));
+    }
+    pending_cv_.notify_all();
+  }
+  for (auto& conn : conns) conn->close();
+}
+
+void Controller::on_conn(net::ConnectionPtr conn) {
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load()) {
+    conn->close();
+    return;
+  }
+  pending_.push_back(std::move(conn));
+  pending_cv_.notify_all();
+}
+
+Status Controller::await_workers() {
+  const Deadline deadline = Deadline::after(options_.join_timeout);
+  for (;;) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (slots_.size() >= options_.workers) return Status::ok();
+    }
+    net::ConnectionPtr conn;
+    {
+      std::unique_lock lock(mutex_);
+      if (!pending_cv_.wait_until(lock, deadline.time_point(), [&] {
+            return !pending_.empty() || stopped_.load();
+          })) {
+        return unavailable("fleet incomplete: " +
+                           std::to_string(slots_.size()) + " of " +
+                           std::to_string(options_.workers) +
+                           " workers joined by the deadline");
+      }
+      if (stopped_.load()) return unavailable("controller stopped");
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    // JOIN handshake off the lock: a worker that stalls here must not
+    // block later arrivals from being accepted (only from being joined —
+    // the fleet joins serially, bounded by io_timeout each).
+    auto raw = conn->recv(
+        Deadline{std::min(Deadline::after(options_.io_timeout).time_point(),
+                          deadline.time_point())});
+    if (!raw.is_ok()) {
+      conn->close();
+      continue;
+    }
+    auto join = decode_join(raw.value());
+    if (!join.or_log("loadgen.controller")) {
+      conn->close();
+      continue;
+    }
+    std::scoped_lock lock(mutex_);
+    WorkerSlot slot;
+    slot.conn = std::move(conn);
+    slot.name = join.value().worker_name;
+    slot.metricsz_address = join.value().metricsz_address;
+    slot.alive = true;
+    slots_.push_back(std::move(slot));
+  }
+}
+
+std::size_t Controller::live_workers() const {
+  std::scoped_lock lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const WorkerSlot& s) { return s.alive; }));
+}
+
+Result<Bytes> Controller::recv_frame(WorkerSlot& slot, ControlOp want,
+                                     Deadline deadline) {
+  while (!deadline.has_expired()) {
+    auto raw = slot.conn->recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto op = decode_control_op(raw.value());
+    if (!op.is_ok()) return op.status();
+    if (op.value() == want) return raw;
+    // Anything else out of protocol order is tolerated and skipped (a
+    // leftover READY racing a slow collect, say) — the deadline still
+    // bounds the whole wait.
+  }
+  return Status{StatusCode::kTimeout, "control frame deadline"};
+}
+
+Status Controller::assign(const std::vector<WorkloadSpec>& specs) {
+  std::vector<WorkerSlot*> fleet;
+  {
+    std::scoped_lock lock(mutex_);
+    if (specs.size() != slots_.size()) {
+      return Status{StatusCode::kInvalidArgument,
+                    "spec count != joined worker count"};
+    }
+    for (auto& slot : slots_) fleet.push_back(&slot);
+  }
+  // Ship every assignment first, then await the READYs: workers prepare
+  // (open their connection fleets) concurrently, not one after another.
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (!fleet[i]->alive) continue;
+    if (!fleet[i]
+             ->conn->send(encode_assign(specs[i]),
+                          Deadline::after(options_.io_timeout))
+             .or_log("loadgen.controller")) {
+      fleet[i]->alive = false;
+      fleet[i]->conn->close();
+    }
+  }
+  const Deadline ready_deadline = Deadline::after(options_.ready_timeout);
+  bool all_ready = true;
+  for (auto* slot : fleet) {
+    if (!slot->alive) {
+      all_ready = false;
+      continue;
+    }
+    auto frame = recv_frame(*slot, ControlOp::kReady, ready_deadline);
+    if (!frame.is_ok() || !decode_ready(frame.value()).is_ok()) {
+      slot->alive = false;
+      slot->conn->close();
+      all_ready = false;
+    }
+  }
+  return all_ready ? Status::ok()
+                   : unavailable("not every worker reached ready");
+}
+
+Status Controller::start_run() {
+  std::size_t started = 0;
+  std::scoped_lock lock(mutex_);
+  for (auto& slot : slots_) {
+    if (!slot.alive) continue;
+    if (slot.conn->send(encode_start(), Deadline::after(options_.io_timeout))
+            .or_log("loadgen.controller")) {
+      ++started;
+    } else {
+      slot.alive = false;
+      slot.conn->close();
+    }
+  }
+  return started > 0 ? Status::ok() : unavailable("no workers left to start");
+}
+
+Report Controller::collect(Deadline deadline) {
+  std::vector<WorkerSlot*> fleet;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& slot : slots_) fleet.push_back(&slot);
+  }
+  // One gatherer thread per live worker, all bounded by the same absolute
+  // deadline: a worker that never reports costs exactly the deadline, and
+  // costs it in parallel — it cannot starve a sibling whose shard is
+  // already sitting in the receive buffer.
+  std::vector<std::thread> gatherers;
+  gatherers.reserve(fleet.size());
+  for (auto* slot : fleet) {
+    if (!slot->alive) continue;
+    gatherers.emplace_back([this, slot, deadline] {
+      auto frame = recv_frame(*slot, ControlOp::kResult, deadline);
+      if (!frame.is_ok()) {
+        slot->alive = false;
+        slot->conn->close();
+        return;
+      }
+      auto result = decode_result(frame.value());
+      if (!result.or_log("loadgen.controller")) {
+        slot->alive = false;
+        slot->conn->close();
+        return;
+      }
+      slot->result = std::move(result).value();
+      slot->reported = true;
+    });
+  }
+  for (auto& t : gatherers) t.join();
+
+  Report report;
+  report.name = "distributed";
+  std::uint64_t max_elapsed_ns = 0;
+  std::size_t reported = 0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const WorkerSlot& slot = *fleet[i];
+    if (!slot.reported) continue;
+    ++reported;
+    const WireWorkerReport& shard = slot.result;
+    ConnectionReport conn;
+    conn.ops = shard.ops;
+    conn.timeouts = shard.timeouts;
+    conn.errors = shard.errors;
+    conn.transport = shard.transport;
+    report.add_connection(conn, shard.latency);
+    report.connections += static_cast<std::size_t>(shard.connections);
+    max_elapsed_ns = std::max(max_elapsed_ns, shard.elapsed_ns);
+    const std::string prefix = "worker" + std::to_string(i) + "_";
+    report.service_metrics.emplace_back(prefix + "connections",
+                                        static_cast<double>(shard.connections));
+    report.service_metrics.emplace_back(prefix + "ops",
+                                        static_cast<double>(shard.ops));
+    report.service_metrics.emplace_back(prefix + "timeouts",
+                                        static_cast<double>(shard.timeouts));
+    report.service_metrics.emplace_back(prefix + "errors",
+                                        static_cast<double>(shard.errors));
+    report.service_metrics.emplace_back(prefix + "latency_p99_us",
+                                        ns_to_us(shard.latency.p99()));
+  }
+  report.elapsed = std::chrono::duration_cast<Duration>(
+      std::chrono::nanoseconds(max_elapsed_ns));
+  // per_connection carries one entry per *worker* here (each already an
+  // aggregate over its own connections), so the usual size==connections
+  // invariant is intentionally different for distributed reports.
+  report.service_metrics.emplace_back(
+      "workers_expected", static_cast<double>(options_.workers));
+  report.service_metrics.emplace_back("workers_reported",
+                                      static_cast<double>(reported));
+  if (reported < options_.workers) {
+    report.completeness = StatusCode::kUnavailable;
+  }
+
+  // Server-side truth from each surviving worker's own registry; the rows
+  // land prefixed so CI can assert per-worker keys are present and nonzero.
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    WorkerSlot& slot = *fleet[i];
+    if (!slot.reported || slot.metricsz_address.empty()) continue;
+    auto scraped = obs::scrape_metrics(
+        net_, slot.metricsz_address, Deadline::after(options_.scrape_timeout));
+    if (!scraped.or_log("loadgen.controller")) continue;
+    const std::string prefix = "worker" + std::to_string(i) + "_";
+    for (auto& [key, value] : scraped.value()) {
+      report.service_metrics.emplace_back(prefix + key, value);
+    }
+  }
+
+  // Session over: release the fleet. Workers treat BYE (or a close) as the
+  // signal to tear down their endpoints and exit.
+  for (auto* slot : fleet) {
+    if (!slot->alive) continue;
+    (void)slot->conn->send(encode_bye(), Deadline::after(options_.io_timeout));
+    slot->conn->close();
+    slot->alive = false;
+  }
+  return report;
+}
+
+}  // namespace cs::loadgen

@@ -1,0 +1,135 @@
+// The controller half of the distributed load driver.
+//
+// One Controller accepts N WorkerAgents on a control address, hands each a
+// WorkloadSpec, barriers the start so every worker begins offering load at
+// the same instant, then collects the per-worker histogram shards and op
+// counters and folds them into one Report with per-worker breakdowns in
+// service_metrics — the ctsTraffic controller/worker orchestration on this
+// stack's own transport layer.
+//
+// The session is phased, and every phase is deadline-bounded — a worker
+// that disconnects, sends garbage, or never reports costs the run its
+// shard, never a hang:
+//
+//   await_workers()  accept + JOIN until the fleet is complete
+//   assign(specs)    ship one spec per worker, await READY (prepare done)
+//   start_run()      broadcast START (the barrier release)
+//   collect()        await RESULT shards, scrape worker /metricsz, merge
+//
+// Workers lost along the way leave the merged Report flagged
+// kUnavailable (Report::completeness) with the surviving shards merged.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "loadgen/control.hpp"
+#include "loadgen/report.hpp"
+#include "net/accept_pump.hpp"
+#include "net/transport.hpp"
+
+namespace cs::loadgen {
+
+class Controller {
+ public:
+  struct Options {
+    /// Control listen address ("0" = kernel-assigned TCP port; query
+    /// address() for the result).
+    std::string listen_address = "0";
+    /// Fleet size: await_workers() blocks until this many joined.
+    std::size_t workers = 1;
+    /// Bound on await_workers(): kUnavailable when the fleet is still
+    /// incomplete at this point.
+    common::Duration join_timeout = std::chrono::seconds(30);
+    /// Bound on one worker finishing prepare() during assign() — viewer
+    /// fleets open hundreds of connections before READY.
+    common::Duration ready_timeout = std::chrono::seconds(30);
+    /// Per control-frame send/recv bound for the short exchanges.
+    common::Duration io_timeout = std::chrono::seconds(5);
+    /// Per-worker /metricsz scrape bound during collect().
+    common::Duration scrape_timeout = std::chrono::seconds(2);
+  };
+
+  /// Binds the control listener and starts accepting. Workers may connect
+  /// from this point on; await_workers() consumes them.
+  static common::Result<std::unique_ptr<Controller>> start(
+      net::Network& net, const Options& options);
+
+  ~Controller();
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Stops accepting and closes every control connection. Idempotent;
+  /// called by the destructor.
+  void stop();
+
+  /// Resolved control address (kernel-assigned ports made concrete).
+  const std::string& address() const noexcept { return address_; }
+
+  /// Blocks until `workers` workers completed the JOIN handshake, or
+  /// join_timeout — then kUnavailable with however many made it. A
+  /// connection whose first frame is not a valid JOIN is closed and does
+  /// not count toward the fleet.
+  common::Status await_workers();
+
+  /// Workers that joined (and have not been marked lost).
+  std::size_t live_workers() const;
+
+  /// Ships specs[i] to worker i and waits for every READY. A worker that
+  /// fails the exchange is marked lost; returns kUnavailable when any was,
+  /// ok when the whole fleet is ready. specs.size() must equal the joined
+  /// fleet size (kInvalidArgument otherwise).
+  common::Status assign(const std::vector<WorkloadSpec>& specs);
+
+  /// Broadcasts the START barrier release to every live worker. Returns
+  /// immediately; kUnavailable when no worker is left to start.
+  common::Status start_run();
+
+  /// Collects RESULT shards from every live worker until `deadline`, then
+  /// merges them (in worker order) into one Report: counters summed,
+  /// histograms merged, one per_connection entry per worker, and per-worker
+  /// breakdowns (worker<i>_ops, worker<i>_p99_us, ...) plus each worker's
+  /// scraped /metricsz rows (worker<i>_<key>) in service_metrics. Lost or
+  /// late workers flag the report kUnavailable. Always returns by
+  /// `deadline` plus the scrape/io slack — never hangs on a dead worker.
+  Report collect(common::Deadline deadline);
+
+ private:
+  struct WorkerSlot {
+    net::ConnectionPtr conn;
+    std::string name;
+    std::string metricsz_address;
+    bool alive = false;
+    bool reported = false;
+    WireWorkerReport result;
+  };
+
+  Controller(net::Network& net, Options options);
+  void on_conn(net::ConnectionPtr conn);
+  /// Receives frames until one decodes to `want` (deadline-bounded).
+  /// Anything else on the control stream marks the worker lost.
+  common::Result<common::Bytes> recv_frame(WorkerSlot& slot, ControlOp want,
+                                           common::Deadline deadline);
+
+  net::Network& net_;
+  Options options_;
+  std::string address_;
+  net::ListenerPtr listener_;
+  std::unique_ptr<net::AcceptPump> pump_;
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<net::ConnectionPtr> pending_;  ///< accepted, not yet joined
+  std::vector<WorkerSlot> slots_;           ///< joined fleet, by index
+};
+
+}  // namespace cs::loadgen

@@ -79,6 +79,9 @@ std::string to_json(const Report& report) {
   append_field(out, "bytes_per_second", report.recv_bytes_per_second());
   append_field(out, "timeouts", report.timeouts);
   append_field(out, "errors", report.errors);
+  // 1 when worker shards are missing (see Report::completeness); tooling
+  // must not read a partial soak as a clean before/after data point.
+  append_field(out, "partial", std::uint64_t{report.is_partial() ? 1u : 0u});
   append_field(out, "messages_sent", report.transport.messages_sent);
   append_field(out, "bytes_sent", report.transport.bytes_sent);
   append_field(out, "messages_received", report.transport.messages_received);
@@ -105,10 +108,11 @@ std::string summary_line(const Report& report) {
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      "%s: %zu conns, %.2fs, %" PRIu64 " ops (%.0f/s), %" PRIu64
+      "%s%s: %zu conns, %.2fs, %" PRIu64 " ops (%.0f/s), %" PRIu64
       " timeouts, %" PRIu64
       " errors, latency us p50=%.1f p95=%.1f p99=%.1f max=%.1f",
-      report.name.c_str(), report.connections, report.seconds(), report.ops,
+      report.name.c_str(), report.is_partial() ? " [PARTIAL]" : "",
+      report.connections, report.seconds(), report.ops,
       report.ops_per_second(), report.timeouts, report.errors,
       ns_to_us(report.latency.p50()), ns_to_us(report.latency.p95()),
       ns_to_us(report.latency.p99()), ns_to_us(report.latency.max()));

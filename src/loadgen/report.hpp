@@ -14,6 +14,7 @@
 
 #include "common/clock.hpp"
 #include "common/histogram.hpp"
+#include "common/status.hpp"
 #include "net/transport.hpp"
 
 namespace cs::loadgen {
@@ -43,6 +44,15 @@ struct Report {
   /// in the JSON benchmark entry as an extra numeric field, so CI can
   /// assert on them with the same tooling that reads the latency fields.
   std::vector<std::pair<std::string, double>> service_metrics;
+  /// kOk for a complete run. A distributed controller sets kUnavailable
+  /// when one or more workers disconnected or missed the result deadline:
+  /// the report then holds the surviving shards merged — still honest
+  /// numbers, but for a smaller fleet than was asked for.
+  common::StatusCode completeness = common::StatusCode::kOk;
+
+  bool is_partial() const noexcept {
+    return completeness != common::StatusCode::kOk;
+  }
 
   double seconds() const noexcept;
   double ops_per_second() const noexcept;

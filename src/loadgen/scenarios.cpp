@@ -7,9 +7,12 @@
 #include "ag/media.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "loadgen/controller.hpp"
+#include "loadgen/driver.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "obs/endpoint.hpp"
+#include "obs/registry.hpp"
 #include "visit/client.hpp"
 #include "visit/multiplexer.hpp"
 #include "visit/viewer.hpp"
@@ -56,6 +59,98 @@ Status check(const ScenarioOptions& options) {
 common::Duration rate_interval(double per_sec) {
   return std::chrono::duration_cast<common::Duration>(
       std::chrono::duration<double>(1.0 / per_sec));
+}
+
+/// One viewer's drain loop until `end`: account timestamped samples into
+/// the latency histogram, steer periodically while holding the master role.
+/// Shared verbatim by the in-process soak and the distributed viewer fleet
+/// (MuxViewerRunner) — the scenario IS the worker-executable spec.
+void drain_viewer(visit::ViewerClient& viewer, common::TimePoint end,
+                  Participant& out) {
+  std::uint64_t polls = 0;
+  while (common::Clock::now() < end) {
+    auto event = viewer.poll(Deadline::after(kPollSlice));
+    if (!event.is_ok()) {
+      if (event.status().code() == StatusCode::kClosed) break;
+      continue;  // poll slice elapsed without a sample
+    }
+    if (event.value().kind == visit::ViewerClient::Event::Kind::kBye) break;
+    if (event.value().kind == visit::ViewerClient::Event::Kind::kData &&
+        event.value().tag == kSampleTag &&
+        event.value().message.payload.size() >= 8) {
+      out.latency.record(common::ns_since(common::read_uint<std::uint64_t>(
+          event.value().message.payload, ByteOrder::kBig)));
+      ++out.report.ops;
+    }
+    // The master periodically publishes a steering update — the
+    // "1 master + many passive viewers" collaboration shape.
+    if (viewer.is_master() && ++polls % 32 == 0) {
+      if (!viewer.steer_string(kSteerTag, "step=" + std::to_string(polls))
+               .is_ok()) {
+        ++out.report.errors;
+      }
+    }
+  }
+  out.report.transport = viewer.stats();
+  viewer.disconnect();
+}
+
+/// Outcome of one simulation-driver run (the producer side of a mux soak).
+struct SimDrive {
+  std::uint64_t sent = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t scrapes_ok = 0;
+  std::vector<std::pair<std::string, double>> scraped;
+};
+
+/// The simulation: timestamped samples at a fixed rate, a parameter pull
+/// every 32 samples to exercise the request/reply path, and one mid-run
+/// /metricsz scrape (when `metricsz_address` is nonempty) so the report
+/// carries server-side truth captured under load.
+SimDrive drive_sim(net::Network& net, visit::SimClient& sim,
+                   const std::string& metricsz_address,
+                   const ScenarioOptions& options, common::TimePoint t_start,
+                   common::TimePoint end) {
+  SimDrive drive;
+  const auto interval = rate_interval(options.rate_per_sec);
+  auto next_send = t_start;
+  const auto scrape_at = t_start + options.duration / 2;
+  Bytes payload(std::max<std::size_t>(options.payload_bytes, 8));
+  common::Rng rng(options.seed);
+  while (common::Clock::now() < end) {
+    std::this_thread::sleep_until(std::min(next_send, end));
+    if (common::Clock::now() >= end) break;
+    if (drive.scrapes_ok == 0 && !metricsz_address.empty() &&
+        common::Clock::now() >= scrape_at) {
+      auto mid = obs::scrape_metrics(net, metricsz_address,
+                                     Deadline::after(std::chrono::seconds(2)));
+      if (mid.is_ok()) {
+        drive.scraped = std::move(mid).value();
+        ++drive.scrapes_ok;
+      }
+    }
+    next_send += interval;
+    payload.assign(payload.size(), static_cast<std::uint8_t>(rng.next_u64()));
+    Bytes stamped;
+    common::append_uint<std::uint64_t>(stamped, common::steady_now_ns(),
+                                       ByteOrder::kBig);
+    std::copy(stamped.begin(), stamped.end(), payload.begin());
+    const Status s =
+        sim.send(kSampleTag, payload.data(), payload.size(),
+                 Deadline::after(std::chrono::seconds(1)));
+    if (!s.is_ok()) {
+      if (s.code() == StatusCode::kClosed) break;
+      ++drive.timeouts;
+      continue;
+    }
+    ++drive.sent;
+    if (drive.sent % 32 == 0) {
+      (void)sim.request_string(kSteerTag,
+                               Deadline::after(std::chrono::seconds(1)));
+    }
+  }
+  sim.disconnect();
+  return drive;
 }
 
 }  // namespace
@@ -139,86 +234,18 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
   std::vector<std::thread> workers;
   workers.reserve(options.connections);
   for (std::size_t i = 0; i < options.connections; ++i) {
-    workers.emplace_back([&, i] {
-      auto& viewer = viewers[i];
-      auto& out = outcomes[i];
-      std::uint64_t polls = 0;
-      while (common::Clock::now() < end) {
-        auto event = viewer.poll(Deadline::after(kPollSlice));
-        if (!event.is_ok()) {
-          if (event.status().code() == StatusCode::kClosed) break;
-          continue;  // poll slice elapsed without a sample
-        }
-        if (event.value().kind == visit::ViewerClient::Event::Kind::kBye) break;
-        if (event.value().kind == visit::ViewerClient::Event::Kind::kData &&
-            event.value().tag == kSampleTag &&
-            event.value().message.payload.size() >= 8) {
-          out.latency.record(
-              common::ns_since(common::read_uint<std::uint64_t>(
-                  event.value().message.payload, ByteOrder::kBig)));
-          ++out.report.ops;
-        }
-        // The master periodically publishes a steering update — the
-        // "1 master + many passive viewers" collaboration shape.
-        if (viewer.is_master() && ++polls % 32 == 0) {
-          if (!viewer.steer_string(kSteerTag, "step=" + std::to_string(polls))
-                   .is_ok()) {
-            ++out.report.errors;
-          }
-        }
-      }
-      out.report.transport = viewer.stats();
-      viewer.disconnect();
+    workers.emplace_back([&viewers, &outcomes, end, i] {
+      drain_viewer(viewers[i], end, outcomes[i]);
     });
   }
 
-  // The simulation: timestamped samples at a fixed rate, plus a parameter
-  // pull every 32 samples to exercise the request/reply path.
-  const auto interval = rate_interval(options.rate_per_sec);
-  auto next_send = t_start;
-  std::uint64_t sent = 0;
-  std::uint64_t sim_timeouts = 0;
-  // The mid-run /metricsz scrape: taken while the fleet is connected and
-  // samples are flowing, so gauges (hosted_viewers) and stage histograms
-  // show the service under load — the server-side truth the report carries.
-  const auto scrape_at = t_start + options.duration / 2;
-  std::vector<std::pair<std::string, double>> scraped;
-  std::uint64_t scrapes_ok = 0;
-  Bytes payload(std::max<std::size_t>(options.payload_bytes, 8));
-  common::Rng rng(options.seed);
-  while (common::Clock::now() < end) {
-    std::this_thread::sleep_until(std::min(next_send, end));
-    if (common::Clock::now() >= end) break;
-    if (scrapes_ok == 0 && !mux.value()->metricsz_address().empty() &&
-        common::Clock::now() >= scrape_at) {
-      auto mid = obs::scrape_metrics(*net, mux.value()->metricsz_address(),
-                                     Deadline::after(std::chrono::seconds(2)));
-      if (mid.is_ok()) {
-        scraped = std::move(mid).value();
-        ++scrapes_ok;
-      }
-    }
-    next_send += interval;
-    payload.assign(payload.size(), static_cast<std::uint8_t>(rng.next_u64()));
-    Bytes stamped;
-    common::append_uint<std::uint64_t>(stamped, common::steady_now_ns(),
-                                       ByteOrder::kBig);
-    std::copy(stamped.begin(), stamped.end(), payload.begin());
-    const Status s = sim.value().send(kSampleTag, payload.data(),
-                                      payload.size(),
-                                      Deadline::after(std::chrono::seconds(1)));
-    if (!s.is_ok()) {
-      if (s.code() == StatusCode::kClosed) break;
-      ++sim_timeouts;
-      continue;
-    }
-    ++sent;
-    if (sent % 32 == 0) {
-      (void)sim.value().request_string(
-          kSteerTag, Deadline::after(std::chrono::seconds(1)));
-    }
-  }
-  sim.value().disconnect();
+  // The mid-run /metricsz scrape inside drive_sim is taken while the fleet
+  // is connected and samples are flowing, so gauges (hosted_viewers) and
+  // stage histograms show the service under load — the server-side truth
+  // the report carries.
+  const SimDrive drive = drive_sim(*net, sim.value(),
+                                   mux.value()->metricsz_address(), options,
+                                   t_start, end);
   for (auto& w : workers) w.join();
   mux.value()->stop();
 
@@ -229,7 +256,7 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
   for (const auto& outcome : outcomes) {
     report.add_connection(outcome.report, outcome.latency);
   }
-  report.timeouts += sim_timeouts;
+  report.timeouts += drive.timeouts;
   // Every registered roll-up key is emitted explicitly — zero means
   // "measured, and it was zero", never "not measured" — so CI can assert on
   // absence vs. value. Peak-population shape comes from connected_stats
@@ -248,9 +275,9 @@ Result<Report> run_multiplexer_soak(const ScenarioOptions& options) {
       {"queue_depth_high_water", 0.0},
       {"overflow_disconnects", 0.0},
       {"poller_wakeups", 0.0},
-      {"metricsz_scrapes", static_cast<double>(scrapes_ok)},
+      {"metricsz_scrapes", static_cast<double>(drive.scrapes_ok)},
   };
-  for (const auto& [key, value] : scraped) {
+  for (const auto& [key, value] : drive.scraped) {
     // hosted_viewers/service_threads stay peak-population; the scrape's
     // other rows (counters, stage histogram expansions) are server truth.
     if (key == "service_threads" || key == "hosted_viewers" ||
@@ -603,6 +630,338 @@ Result<Report> run_media_bridge(const ScenarioOptions& options) {
                                                    host_stats.disconnects)},
       {"poller_wakeups", static_cast<double>(host_stats.wakeups)},
   };
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Worker-executable specs + the distributed driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Worker i's share when `total` is split across `workers` slots.
+std::size_t slice_of(std::size_t total, std::size_t workers, std::size_t i) {
+  return total / workers + (i < total % workers ? 1 : 0);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::size_t i) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+}
+
+/// "0" stays "0" (kernel-assigned TCP port); an in-process stem becomes a
+/// distinct name per role so one InProcNetwork hosts the whole topology.
+std::string bind_address(const DistributedOptions& options,
+                         const char* suffix) {
+  return options.address_stem == "0" ? std::string("0")
+                                     : options.address_stem + ":" + suffix;
+}
+
+WireWorkerReport shard_of(const Report& report, std::uint32_t worker_index) {
+  WireWorkerReport shard;
+  shard.worker_index = worker_index;
+  shard.connections = report.connections;
+  shard.ops = report.ops;
+  shard.timeouts = report.timeouts;
+  shard.errors = report.errors;
+  shard.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(report.elapsed)
+          .count());
+  shard.transport = report.transport;
+  shard.latency = report.latency;
+  return shard;
+}
+
+/// kRaw: the classic driver fleet against a LoadPeer. run_workload ramps
+/// its own connections (the stagger is part of the measured shape), so
+/// prepare() only validates — READY means "spec accepted".
+class RawRunner : public SpecRunner {
+ public:
+  RawRunner(net::Network& net, WorkloadSpec spec)
+      : net_(net), spec_(std::move(spec)) {}
+
+  Status prepare(Deadline /*deadline*/) override {
+    return spec_.workload.validate();
+  }
+
+  Result<WireWorkerReport> execute() override {
+    auto report = run_workload(net_, spec_.target, spec_.workload);
+    if (!report.is_ok()) return report.status();
+    return shard_of(report.value(), spec_.worker_index);
+  }
+
+ private:
+  net::Network& net_;
+  WorkloadSpec spec_;
+};
+
+/// kMuxViewers: this worker's slice of the steering-soak viewer fleet.
+/// prepare() connects every viewer (so the whole distributed fleet is in
+/// place before any sample flows); execute() runs the same drain loop as
+/// the in-process soak.
+class MuxViewerRunner : public SpecRunner {
+ public:
+  MuxViewerRunner(net::Network& net, WorkloadSpec spec)
+      : net_(net), spec_(std::move(spec)) {}
+
+  Status prepare(Deadline deadline) override {
+    visit::ViewerClient::Options viewer_options;
+    viewer_options.mux_address = spec_.target;
+    viewer_options.password = spec_.password;
+    viewers_.reserve(spec_.workload.connections);
+    for (std::size_t i = 0; i < spec_.workload.connections; ++i) {
+      auto viewer = visit::ViewerClient::connect(net_, viewer_options,
+                                                 deadline);
+      if (!viewer.is_ok()) return viewer.status();
+      viewers_.push_back(std::move(viewer).value());
+    }
+    return Status::ok();
+  }
+
+  Result<WireWorkerReport> execute() override {
+    const auto t_start = common::Clock::now();
+    const auto end = t_start + spec_.workload.duration;
+    std::vector<Participant> outcomes(viewers_.size());
+    std::vector<std::thread> workers;
+    workers.reserve(viewers_.size());
+    for (std::size_t i = 0; i < viewers_.size(); ++i) {
+      workers.emplace_back([this, &outcomes, end, i] {
+        drain_viewer(viewers_[i], end, outcomes[i]);
+      });
+    }
+    for (auto& w : workers) w.join();
+    WireWorkerReport shard;
+    shard.worker_index = spec_.worker_index;
+    shard.connections = viewers_.size();
+    shard.elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            common::Clock::now() - t_start)
+            .count());
+    for (const auto& outcome : outcomes) {
+      shard.ops += outcome.report.ops;
+      shard.timeouts += outcome.report.timeouts;
+      shard.errors += outcome.report.errors;
+      shard.transport.messages_sent += outcome.report.transport.messages_sent;
+      shard.transport.bytes_sent += outcome.report.transport.bytes_sent;
+      shard.transport.messages_received +=
+          outcome.report.transport.messages_received;
+      shard.transport.bytes_received +=
+          outcome.report.transport.bytes_received;
+      shard.latency.merge(outcome.latency);
+    }
+    return shard;
+  }
+
+ private:
+  net::Network& net_;
+  WorkloadSpec spec_;
+  std::vector<visit::ViewerClient> viewers_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SpecRunner>> make_spec_runner(net::Network& net,
+                                                     const WorkloadSpec& spec) {
+  switch (spec.kind) {
+    case WorkloadSpec::Kind::kRaw:
+      return std::unique_ptr<SpecRunner>(new RawRunner(net, spec));
+    case WorkloadSpec::Kind::kMuxViewers:
+      return std::unique_ptr<SpecRunner>(new MuxViewerRunner(net, spec));
+  }
+  return invalid("unknown spec kind");
+}
+
+Result<Report> run_distributed_raw(net::Network& net,
+                                   const DistributedOptions& options) {
+  if (options.workers == 0) return invalid("workers must be >= 1");
+  if (Status s = options.workload.validate(); !s.is_ok()) return s;
+  if (options.workload.connections < options.workers) {
+    return invalid("need at least one connection per worker");
+  }
+  net::reset_tcp_wire_stats();
+  auto peer = LoadPeer::start(net, bind_address(options, "peer"));
+  if (!peer.is_ok()) return peer.status();
+
+  // The target's own /metricsz: the controller scrapes it after the run, so
+  // the merged report carries server-side delivery truth next to the
+  // client-side shards (for kBurst the two reconcile exactly).
+  obs::Registry target_registry;
+  LoadPeer* peer_ptr = peer.value().get();
+  target_registry.counter_fn("peer_stream_frames", "frames",
+                             [peer_ptr] { return peer_ptr->stream_frames(); });
+  target_registry.timer_fn("peer_stream_latency", [peer_ptr] {
+    return peer_ptr->stream_latency();
+  });
+  auto target_mz = obs::MetricsEndpoint::start(
+      net, bind_address(options, "metricsz"),
+      [&target_registry] { return target_registry.snapshot(); });
+  if (!target_mz.is_ok()) return target_mz.status();
+
+  Controller::Options copts;
+  copts.listen_address = options.control_listen.empty()
+                             ? bind_address(options, "ctl")
+                             : options.control_listen;
+  copts.workers = options.workers;
+  copts.join_timeout = options.join_timeout;
+  auto controller = Controller::start(net, copts);
+  if (!controller.is_ok()) return controller.status();
+  if (options.on_listening) options.on_listening(controller.value()->address());
+
+  // A short fleet still runs (the report comes back flagged partial); only
+  // zero workers is fatal.
+  (void)controller.value()->await_workers().or_log("loadgen.dist");
+  const std::size_t fleet = controller.value()->live_workers();
+  if (fleet == 0) {
+    return Status{StatusCode::kUnavailable, "no workers joined"};
+  }
+
+  std::vector<WorkloadSpec> specs(fleet);
+  for (std::size_t i = 0; i < fleet; ++i) {
+    specs[i].kind = WorkloadSpec::Kind::kRaw;
+    specs[i].workload = options.workload;
+    specs[i].workload.connections =
+        slice_of(options.workload.connections, fleet, i);
+    specs[i].workload.seed = derive_seed(options.workload.seed, i);
+    specs[i].target = peer.value()->address();
+    specs[i].worker_index = static_cast<std::uint32_t>(i);
+    specs[i].worker_count = static_cast<std::uint32_t>(fleet);
+  }
+  (void)controller.value()->assign(specs).or_log("loadgen.dist");
+  if (controller.value()->live_workers() == 0) {
+    return Status{StatusCode::kUnavailable, "no worker survived prepare"};
+  }
+  if (Status s = controller.value()->start_run(); !s.is_ok()) return s;
+
+  Report report = controller.value()->collect(
+      Deadline::after(options.workload.ramp_up + options.workload.duration +
+                      options.collect_slack));
+  report.name =
+      "raw_dist/" + std::string(to_string(options.workload.pattern));
+  if (options.workload.pattern == Pattern::kBurst) {
+    // One-way latency lives at the receiver for burst; fold the peer-side
+    // histogram in, exactly as the single-driver path does.
+    report.latency.merge(peer.value()->stream_latency());
+  }
+  auto scraped =
+      obs::scrape_metrics(net, target_mz.value()->address(),
+                          Deadline::after(std::chrono::seconds(2)));
+  if (scraped.or_log("loadgen.dist")) {
+    for (const auto& [key, value] : scraped.value()) {
+      report.service_metrics.emplace_back("target_" + key, value);
+    }
+  }
+  target_mz.value()->stop();
+  peer.value()->stop();
+  return report;
+}
+
+Result<Report> run_distributed_mux_soak(net::Network& net,
+                                        const DistributedOptions& options) {
+  if (Status s = check(options.scenario); !s.is_ok()) return s;
+  if (options.workers == 0) return invalid("workers must be >= 1");
+  if (options.scenario.connections < options.workers) {
+    return invalid("need at least one viewer per worker");
+  }
+  net::reset_tcp_wire_stats();
+  visit::Multiplexer::Options mux_options;
+  mux_options.sim_address = bind_address(options, "sim");
+  mux_options.viewer_address = bind_address(options, "viewer");
+  mux_options.password = "soak";
+  mux_options.fanout_shards = options.scenario.fanout_shards;
+  mux_options.use_event_host = options.scenario.use_event_host;
+  if (options.scenario.scrape_metricsz) {
+    mux_options.metricsz_address = bind_address(options, "metricsz");
+  }
+  auto mux = visit::Multiplexer::start(net, mux_options);
+  if (!mux.is_ok()) return mux.status();
+
+  Controller::Options copts;
+  copts.listen_address = options.control_listen.empty()
+                             ? bind_address(options, "ctl")
+                             : options.control_listen;
+  copts.workers = options.workers;
+  copts.join_timeout = options.join_timeout;
+  auto controller = Controller::start(net, copts);
+  if (!controller.is_ok()) return controller.status();
+  if (options.on_listening) options.on_listening(controller.value()->address());
+
+  (void)controller.value()->await_workers().or_log("loadgen.dist");
+  const std::size_t fleet = controller.value()->live_workers();
+  if (fleet == 0) {
+    return Status{StatusCode::kUnavailable, "no workers joined"};
+  }
+
+  std::vector<WorkloadSpec> specs(fleet);
+  for (std::size_t i = 0; i < fleet; ++i) {
+    specs[i].kind = WorkloadSpec::Kind::kMuxViewers;
+    specs[i].workload.connections =
+        slice_of(options.scenario.connections, fleet, i);
+    specs[i].workload.duration = options.scenario.duration;
+    specs[i].workload.seed = derive_seed(options.scenario.seed, i);
+    specs[i].target = mux.value()->viewer_address();
+    specs[i].password = mux_options.password;
+    specs[i].worker_index = static_cast<std::uint32_t>(i);
+    specs[i].worker_count = static_cast<std::uint32_t>(fleet);
+  }
+  // Workers open their viewer fleets during assign(); READY from everyone
+  // means the whole distributed audience is connected before the first
+  // sample — the same full-fan-out contract as the in-process soak.
+  const bool all_ready =
+      controller.value()->assign(specs).or_log("loadgen.dist");
+  if (controller.value()->live_workers() == 0) {
+    return Status{StatusCode::kUnavailable, "no worker survived prepare"};
+  }
+
+  // Peak-population shape, measured with the fleet connected and before
+  // traffic; only meaningful when every worker made it.
+  const auto connected_stats = mux.value()->stats();
+  if (all_ready && options.scenario.max_service_threads != 0 &&
+      connected_stats.service_threads > options.scenario.max_service_threads) {
+    return Status{StatusCode::kInternal,
+                  "service owns " +
+                      std::to_string(connected_stats.service_threads) +
+                      " threads with " +
+                      std::to_string(options.scenario.connections) +
+                      " viewers connected; bound is " +
+                      std::to_string(options.scenario.max_service_threads)};
+  }
+
+  visit::SimClientOptions sim_options;
+  sim_options.server_address = mux.value()->sim_address();
+  sim_options.password = mux_options.password;
+  auto sim = visit::SimClient::connect(
+      net, sim_options, Deadline::after(std::chrono::seconds(5)));
+  if (!sim.is_ok()) return sim.status();
+
+  if (Status s = controller.value()->start_run(); !s.is_ok()) return s;
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.scenario.duration;
+  const SimDrive drive =
+      drive_sim(net, sim.value(), mux.value()->metricsz_address(),
+                options.scenario, t_start, end);
+
+  Report report =
+      controller.value()->collect(Deadline::after(options.collect_slack));
+  mux.value()->stop();
+  report.name = "mux_soak_dist";
+  report.timeouts += drive.timeouts;
+  report.service_metrics.emplace_back("samples_published",
+                                      static_cast<double>(drive.sent));
+  report.service_metrics.emplace_back("service_threads",
+                                      static_cast<double>(
+                                          connected_stats.service_threads));
+  report.service_metrics.emplace_back(
+      "hosted_viewers", static_cast<double>(connected_stats.event_host.hosted));
+  report.service_metrics.emplace_back("metricsz_scrapes",
+                                      static_cast<double>(drive.scrapes_ok));
+  // The target's mid-run scrape rows ride along unprefixed (same keys as
+  // the in-process soak); peak-population keys above stay authoritative.
+  for (const auto& [key, value] : drive.scraped) {
+    if (key == "service_threads" || key == "hosted_viewers" ||
+        key == "event_host_pollers") {
+      continue;
+    }
+    report.service_metrics.emplace_back(key, value);
+  }
   return report;
 }
 

@@ -10,10 +10,16 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
+#include "loadgen/control.hpp"
 #include "loadgen/report.hpp"
+#include "loadgen/workload.hpp"
+#include "net/transport.hpp"
 
 namespace cs::loadgen {
 
@@ -86,5 +92,71 @@ common::Result<Report> run_vizserver_loop(const ScenarioOptions& options);
 /// an ag::UnicastBridge. Latency = one-way frame delay (timestamp encoded
 /// in the frame pixels, surviving the lossless codec).
 common::Result<Report> run_media_bridge(const ScenarioOptions& options);
+
+// ---------------------------------------------------------------------------
+// Worker-executable specs (the distributed driver)
+// ---------------------------------------------------------------------------
+
+/// One worker's executable slice of a scenario. The two phases mirror the
+/// control protocol: prepare() opens the spec's connection fleet (its
+/// completion is what the worker's READY ack means), execute() runs the
+/// measurement window after the START barrier and returns the shard.
+class SpecRunner {
+ public:
+  virtual ~SpecRunner() = default;
+  virtual common::Status prepare(common::Deadline deadline) = 0;
+  virtual common::Result<WireWorkerReport> execute() = 0;
+};
+
+/// Binds a decoded WorkloadSpec to its runner: kRaw drives a LoadPeer via
+/// run_workload, kMuxViewers runs a viewer fleet against a
+/// visit::Multiplexer — the same drain loop the in-process mux soak uses.
+common::Result<std::unique_ptr<SpecRunner>> make_spec_runner(
+    net::Network& net, const WorkloadSpec& spec);
+
+/// Controller-side knobs for the distributed scenarios. The functions stand
+/// up the target service and the control listener on `net`; the worker
+/// fleet is external (threads in tests, processes under --role=worker) and
+/// dials in via `on_listening`'s address.
+struct DistributedOptions {
+  /// Fleet size the controller waits for before assigning work.
+  std::size_t workers = 2;
+  /// "0" (default): every listener takes a kernel-assigned TCP port. Any
+  /// other value is an in-process name stem — listeners bind <stem>:ctl,
+  /// <stem>:peer, <stem>:sim, <stem>:viewer, <stem>:metricsz — so the
+  /// whole topology runs on one InProcNetwork.
+  std::string address_stem = "0";
+  /// Overrides the control listener's bind address when nonempty. CI binds
+  /// a fixed TCP port here so worker processes can be launched before the
+  /// controller and dial a known address (connect_retry absorbs the race).
+  std::string control_listen;
+  /// Fleet-total workload for run_distributed_raw; connections are sliced
+  /// across the workers (per-worker seed derived from workload.seed).
+  Workload workload;
+  /// Scenario knobs for run_distributed_mux_soak; connections sliced the
+  /// same way.
+  ScenarioOptions scenario;
+  /// Bound on the fleet assembling; a short fleet still runs (the merged
+  /// report is flagged partial) as long as at least one worker joined.
+  common::Duration join_timeout = std::chrono::seconds(30);
+  /// Slack past the nominal end of the run for RESULT shards to arrive.
+  common::Duration collect_slack = std::chrono::seconds(10);
+  /// Called with the resolved control address once the controller listens —
+  /// launch (or announce to) the worker fleet from here.
+  std::function<void(const std::string&)> on_listening;
+};
+
+/// Distributed raw driver: controller hosts a LoadPeer plus a /metricsz
+/// registry over it, slices `workload` across the fleet, barriers the
+/// start, and merges the shards. kBurst reconciles exactly: merged ops ==
+/// the target's delivered-frame count (target_peer_stream_frames).
+common::Result<Report> run_distributed_raw(net::Network& net,
+                                           const DistributedOptions& options);
+
+/// Distributed steering soak: controller hosts the visit::Multiplexer and
+/// drives the simulation; workers each run a viewer-fleet slice. The merged
+/// report carries per-worker breakdowns plus the mux's own /metricsz rows.
+common::Result<Report> run_distributed_mux_soak(
+    net::Network& net, const DistributedOptions& options);
 
 }  // namespace cs::loadgen

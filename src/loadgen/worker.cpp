@@ -1,0 +1,167 @@
+#include "loadgen/worker.hpp"
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "loadgen/scenarios.hpp"
+#include "obs/endpoint.hpp"
+#include "obs/registry.hpp"
+
+namespace cs::loadgen {
+
+using common::Deadline;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Result<net::ConnectionPtr> connect_retry(net::Network& net,
+                                         const std::string& address,
+                                         Deadline deadline) {
+  Status last{StatusCode::kTimeout, "connect deadline"};
+  for (;;) {
+    auto conn = net.connect(address, deadline);
+    if (conn.is_ok()) return conn;
+    last = conn.status();
+    if (deadline.has_expired()) break;
+    switch (last.code()) {
+      case StatusCode::kNotFound:
+      case StatusCode::kTimeout:
+      case StatusCode::kUnavailable:
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      default:
+        return last;  // a refusal that waiting will not fix
+    }
+  }
+  return last;
+}
+
+namespace {
+
+/// Receives control frames until `want` arrives; unexpected-but-valid
+/// control ops are skipped (the deadline still bounds the whole wait).
+Result<common::Bytes> recv_control(net::Connection& conn, ControlOp want,
+                                   Deadline deadline) {
+  while (!deadline.has_expired()) {
+    auto raw = conn.recv(deadline);
+    if (!raw.is_ok()) return raw.status();
+    auto op = decode_control_op(raw.value());
+    if (!op.is_ok()) return op.status();
+    if (op.value() == want) return raw;
+  }
+  return Status{StatusCode::kTimeout, "control frame deadline"};
+}
+
+}  // namespace
+
+Result<WireWorkerReport> WorkerAgent::run(net::Network& net,
+                                          const Options& options) {
+  auto dialed = connect_retry(net, options.controller_address,
+                              Deadline::after(options.connect_timeout));
+  if (!dialed.is_ok()) return dialed.status();
+  net::ConnectionPtr conn = std::move(dialed).value();
+
+  // Worker-side registry, scraped by the controller during collect().
+  // Declared before the endpoint so the endpoint (whose source reads it)
+  // is torn down first.
+  obs::Registry registry;
+  std::unique_ptr<obs::MetricsEndpoint> endpoint;
+  std::string metricsz;
+  if (!options.metricsz_address.empty()) {
+    auto started = obs::MetricsEndpoint::start(
+        net, options.metricsz_address,
+        [&registry] { return registry.snapshot(); });
+    if (!started.is_ok()) {
+      conn->close();
+      return started.status();
+    }
+    endpoint = std::move(started).value();
+    metricsz = endpoint->address();
+  }
+
+  JoinFrame join;
+  join.worker_name = options.name;
+  join.metricsz_address = metricsz;
+  if (Status s =
+          conn->send(encode_join(join), Deadline::after(options.io_timeout));
+      !s.is_ok()) {
+    conn->close();
+    return s;
+  }
+
+  auto assign_frame = recv_control(*conn, ControlOp::kAssign,
+                                   Deadline::after(options.session_timeout));
+  if (!assign_frame.is_ok()) {
+    conn->close();
+    return assign_frame.status();
+  }
+  auto spec = decode_assign(assign_frame.value());
+  if (!spec.is_ok()) {
+    conn->close();
+    return spec.status();
+  }
+
+  auto runner = make_spec_runner(net, spec.value());
+  if (!runner.is_ok()) {
+    conn->close();
+    return runner.status();
+  }
+  if (Status s =
+          runner.value()->prepare(Deadline::after(options.prepare_timeout));
+      !s.is_ok()) {
+    // Closing (instead of acking) is the failure signal: the controller
+    // marks this slot lost when its READY wait errors out.
+    conn->close();
+    return s;
+  }
+  if (Status s = conn->send(encode_ready(spec.value().worker_index),
+                            Deadline::after(options.io_timeout));
+      !s.is_ok()) {
+    conn->close();
+    return s;
+  }
+
+  auto start_frame = recv_control(*conn, ControlOp::kStart,
+                                  Deadline::after(options.session_timeout));
+  if (!start_frame.is_ok()) {
+    conn->close();
+    return start_frame.status();
+  }
+
+  auto shard = runner.value()->execute();
+  if (!shard.is_ok()) {
+    conn->close();
+    return shard.status();
+  }
+  shard.value().worker_index = spec.value().worker_index;
+
+  // Publish the shard into the registry before RESULT goes out: the
+  // controller scrapes between receiving RESULT and sending BYE, so these
+  // must already be visible.
+  registry.counter("agent_connections").add(shard.value().connections);
+  registry.counter("agent_ops").add(shard.value().ops);
+  registry.counter("agent_timeouts").add(shard.value().timeouts);
+  registry.counter("agent_errors").add(shard.value().errors);
+  registry.counter("agent_bytes_received", "bytes")
+      .add(shard.value().transport.bytes_received);
+  registry.timer_fn("agent_latency", [hist = shard.value().latency] {
+    return hist;
+  });
+
+  if (Status s = conn->send(encode_result(shard.value()),
+                            Deadline::after(options.io_timeout));
+      !s.is_ok()) {
+    conn->close();
+    return s;
+  }
+
+  // Hold the session open for the controller's scrape; BYE (or a close,
+  // which errors the recv — same thing) releases us.
+  (void)recv_control(*conn, ControlOp::kBye,
+                     Deadline::after(options.session_timeout));
+  conn->close();
+  return std::move(shard).value();
+}
+
+}  // namespace cs::loadgen

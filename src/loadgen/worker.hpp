@@ -1,0 +1,64 @@
+// The worker half of the distributed load driver.
+//
+// A WorkerAgent dials the controller's control address, introduces itself
+// (JOIN, announcing its own /metricsz endpoint), receives a WorkloadSpec
+// (ASSIGN), opens the spec's connection fleet (prepare -> READY), waits for
+// the start barrier (START), executes, and ships its shard back (RESULT).
+// The controller releases it with BYE — or by closing the connection, which
+// the worker treats the same way.
+//
+// The agent hosts its own obs::Registry behind a MetricsEndpoint so the
+// controller can scrape worker-side truth (agent_ops, agent_errors, the
+// latency timer) alongside the target service's /metricsz.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "loadgen/control.hpp"
+#include "net/transport.hpp"
+
+namespace cs::loadgen {
+
+class WorkerAgent {
+ public:
+  struct Options {
+    /// Control address of the controller (host:port for TCP).
+    std::string controller_address;
+    /// Name announced in the JOIN frame (CI uses worker0/worker1/...).
+    std::string name = "worker";
+    /// Where this worker serves its own /metricsz ("0" = kernel-assigned
+    /// TCP port, any in-process name works too, "" disables the endpoint).
+    std::string metricsz_address = "0";
+    /// Dialing the controller retries until this elapses, so a worker
+    /// launched before its controller still joins — the order CI starts
+    /// processes in must not matter.
+    common::Duration connect_timeout = std::chrono::seconds(10);
+    /// Bound on each controller-driven wait (ASSIGN after joining, START
+    /// after READY). Generous: START waits on the slowest sibling's
+    /// prepare.
+    common::Duration session_timeout = std::chrono::seconds(120);
+    /// Per control-frame send bound.
+    common::Duration io_timeout = std::chrono::seconds(5);
+    /// Bound on prepare() (opening the spec's connection fleet).
+    common::Duration prepare_timeout = std::chrono::seconds(30);
+  };
+
+  /// Runs one full control session and returns the shard it reported.
+  /// Every wait is deadline-bounded; a dead controller yields an error,
+  /// never a hang. Blocking call — run it on its own thread (tests) or as
+  /// the whole process (loadgen --role=worker).
+  static common::Result<WireWorkerReport> run(net::Network& net,
+                                              const Options& options);
+};
+
+/// Dials `address`, retrying while nothing listens there yet (kNotFound /
+/// kTimeout / kUnavailable), until `deadline`. The standard way any
+/// distributed-loadgen participant reaches a peer that may not be up yet.
+common::Result<net::ConnectionPtr> connect_retry(net::Network& net,
+                                                 const std::string& address,
+                                                 common::Deadline deadline);
+
+}  // namespace cs::loadgen

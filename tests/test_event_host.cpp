@@ -21,6 +21,7 @@
 #include "net/event_host.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
+#include "util.hpp"
 
 namespace cs::net {
 namespace {
@@ -31,41 +32,10 @@ using common::Deadline;
 using common::OverflowPolicy;
 using common::Status;
 using common::StatusCode;
-
-Bytes bytes_of(std::string_view s) { return Bytes{s.begin(), s.end()}; }
-
-std::string text_of(const Bytes& b) { return std::string{b.begin(), b.end()}; }
-
-bool wait_until(const std::function<bool()>& pred,
-                std::chrono::milliseconds budget = 5000ms) {
-  const Deadline deadline = Deadline::after(budget);
-  while (!pred()) {
-    if (deadline.has_expired()) return false;
-    std::this_thread::sleep_for(1ms);
-  }
-  return true;
-}
-
-/// One accepted TCP pair: `client` is the caller's end, `server` the end to
-/// hand to the host.
-struct TcpPair {
-  TcpNetwork net;
-  ListenerPtr listener;
-  ConnectionPtr client;
-  ConnectionPtr server;
-
-  void connect() {
-    auto l = net.listen("0");
-    ASSERT_TRUE(l.is_ok());
-    listener = std::move(l).value();
-    auto c = net.connect(listener->address(), Deadline::after(2s));
-    ASSERT_TRUE(c.is_ok());
-    client = std::move(c).value();
-    auto s = listener->accept(Deadline::after(2s));
-    ASSERT_TRUE(s.is_ok());
-    server = std::move(s).value();
-  }
-};
+using testutil::bytes_of;
+using testutil::TcpPair;
+using testutil::text_of;
+using testutil::wait_until;
 
 // ------------------------------------------------------------ transport --
 

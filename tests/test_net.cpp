@@ -12,6 +12,7 @@
 
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
+#include "util.hpp"
 
 namespace cs::net {
 namespace {
@@ -20,14 +21,8 @@ using namespace std::chrono_literals;
 using common::Bytes;
 using common::Deadline;
 using common::StatusCode;
-
-Bytes bytes_of(std::string_view s) {
-  return Bytes{s.begin(), s.end()};
-}
-
-std::string text_of(const Bytes& b) {
-  return std::string{b.begin(), b.end()};
-}
+using testutil::bytes_of;
+using testutil::text_of;
 
 // ---------------------------------------------------------------- InProc --
 
@@ -431,12 +426,7 @@ TEST(Tcp, PeerCloseYieldsClosed) {
 // and close() wakes a blocked send with kClosed. Loadgen soaks lean on
 // exactly these semantics when slow consumers push senders into the window.
 
-struct TransportPair {
-  std::shared_ptr<Network> net;  // keeps an inproc universe alive
-  ListenerPtr listener;
-  ConnectionPtr client;
-  ConnectionPtr server;
-};
+using testutil::TransportPair;
 
 struct ParityCase {
   const char* name;
@@ -447,28 +437,11 @@ struct ParityCase {
   std::size_t chunk_bytes;
 };
 
-TransportPair make_inproc_pair() {
-  TransportPair pair;
-  auto net = std::make_shared<InProcNetwork>();
-  pair.listener = net->listen("parity:1").value();
-  ConnectOptions opts;
-  opts.recv_capacity_bytes = 64 << 10;  // small window: sends block quickly
-  pair.client = net->connect("parity:1", Deadline::after(1s), opts).value();
-  pair.server = pair.listener->accept(Deadline::after(1s)).value();
-  pair.net = std::move(net);
-  return pair;
-}
+// Shared spinup lives in tests/util.hpp; these shims pin the no-argument
+// signature ParityCase stores.
+TransportPair make_inproc_pair() { return testutil::make_inproc_pair(); }
 
-TransportPair make_tcp_pair() {
-  TransportPair pair;
-  auto net = std::make_shared<TcpNetwork>();
-  pair.listener = net->listen("0").value();
-  pair.client =
-      net->connect(pair.listener->address(), Deadline::after(1s)).value();
-  pair.server = pair.listener->accept(Deadline::after(1s)).value();
-  pair.net = std::move(net);
-  return pair;
-}
+TransportPair make_tcp_pair() { return testutil::make_tcp_pair(); }
 
 class TransportParity : public ::testing::TestWithParam<ParityCase> {
  protected:

@@ -16,6 +16,7 @@
 #include "obs/endpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
+#include "util.hpp"
 
 namespace cs::obs {
 namespace {
@@ -290,22 +291,17 @@ TEST(FrameTrace, FanoutDeliveryPopulatesStageHistograms) {
 // ---------------------------------------------------------------------------
 
 TEST(MetricsEndpoint, ScrapeWhilePublishingOnLiveEventHost) {
-  net::TcpNetwork net;
   auto host = net::EventHost::start({.pollers = 1, .queue_capacity = 64});
   ASSERT_TRUE(host.is_ok());
 
   // One hosted consumer fed by a publisher thread, while a scraper polls
   // the endpoint: the snapshot path must never stop the writers, and every
   // scrape must parse.
-  auto listener = net.listen("0");
-  ASSERT_TRUE(listener.is_ok());
-  auto client_conn = net.connect(listener.value()->address(),
-                                 Deadline::after(2s));
-  ASSERT_TRUE(client_conn.is_ok());
-  auto served = listener.value()->accept(Deadline::after(2s));
-  ASSERT_TRUE(served.is_ok());
+  testutil::TcpPair pair;
+  pair.connect();
+  net::TcpNetwork& net = pair.net;
   ASSERT_TRUE(host.value()->host(
-      1, std::move(served).value(),
+      1, std::move(pair.server),
       [](std::uint64_t, common::Bytes) {},
       [](std::uint64_t, const common::Status&) {}));
 
@@ -339,7 +335,7 @@ TEST(MetricsEndpoint, ScrapeWhilePublishingOnLiveEventHost) {
   });
   std::thread drainer([&] {
     while (!stop_publisher.load(std::memory_order_acquire)) {
-      (void)client_conn.value()->recv(Deadline::after(50ms));
+      (void)pair.client->recv(Deadline::after(50ms));
     }
   });
 

@@ -1,0 +1,138 @@
+// Shared test plumbing: byte/string conversions, predicate polling, and the
+// ephemeral-port listener-spinup helpers that every TCP-facing suite used
+// to hand-roll. Dialing always goes through connect_retry, so a listener
+// that is still coming up (or an accept loop that has not reached the
+// socket yet) costs a retry, not a flaky kNotFound failure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+
+namespace cs::testutil {
+
+inline common::Bytes bytes_of(std::string_view s) {
+  return common::Bytes{s.begin(), s.end()};
+}
+
+inline std::string text_of(const common::Bytes& b) {
+  return std::string{b.begin(), b.end()};
+}
+
+/// Polls `pred` (1ms cadence) until it holds or `budget` elapses.
+inline bool wait_until(const std::function<bool()>& pred,
+                       std::chrono::milliseconds budget =
+                           std::chrono::milliseconds(5000)) {
+  const common::Deadline deadline = common::Deadline::after(budget);
+  while (!pred()) {
+    if (deadline.has_expired()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// Dials `address`, retrying the not-up-yet failures (kNotFound, kTimeout,
+/// kUnavailable) until `deadline`. Mirrors loadgen::connect_retry without
+/// making every suite link cs_loadgen.
+inline common::Result<net::ConnectionPtr> connect_retry(
+    net::Network& net, const std::string& address, common::Deadline deadline) {
+  common::Status last{common::StatusCode::kTimeout, "connect deadline"};
+  for (;;) {
+    auto conn = net.connect(address, deadline);
+    if (conn.is_ok()) return conn;
+    last = conn.status();
+    if (deadline.has_expired()) break;
+    switch (last.code()) {
+      case common::StatusCode::kNotFound:
+      case common::StatusCode::kTimeout:
+      case common::StatusCode::kUnavailable:
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      default:
+        return last;
+    }
+  }
+  return last;
+}
+
+/// One accepted loopback TCP pair on a kernel-assigned port: `client` is
+/// the caller's end, `server` the accepted end (hand it to a host, serve
+/// loop, ...). Use inside a void function (gtest ASSERTs).
+struct TcpPair {
+  net::TcpNetwork net;
+  net::ListenerPtr listener;
+  net::ConnectionPtr client;
+  net::ConnectionPtr server;
+
+  void connect() {
+    auto l = net.listen("0");
+    ASSERT_TRUE(l.is_ok());
+    listener = std::move(l).value();
+    auto c = connect_retry(net, listener->address(),
+                           common::Deadline::after(std::chrono::seconds(2)));
+    ASSERT_TRUE(c.is_ok());
+    client = std::move(c).value();
+    auto s = listener->accept(common::Deadline::after(std::chrono::seconds(2)));
+    ASSERT_TRUE(s.is_ok());
+    server = std::move(s).value();
+  }
+};
+
+/// An accepted pair over either transport, network kept alive alongside —
+/// the parameterized-parity shape (TestWithParam over inproc + TCP).
+struct TransportPair {
+  std::shared_ptr<net::Network> net;  // keeps an inproc universe alive
+  net::ListenerPtr listener;
+  net::ConnectionPtr client;
+  net::ConnectionPtr server;
+};
+
+/// In-process pair with a deliberately small receive window (sends block
+/// quickly — backpressure tests) unless overridden.
+inline TransportPair make_inproc_pair(std::size_t recv_capacity_bytes =
+                                          64u << 10) {
+  TransportPair pair;
+  auto net = std::make_shared<net::InProcNetwork>();
+  pair.listener = net->listen("parity:1").value();
+  net::ConnectOptions opts;
+  opts.recv_capacity_bytes = recv_capacity_bytes;
+  pair.client = net->connect("parity:1",
+                             common::Deadline::after(std::chrono::seconds(1)),
+                             opts)
+                    .value();
+  pair.server =
+      pair.listener->accept(common::Deadline::after(std::chrono::seconds(1)))
+          .value();
+  pair.net = std::move(net);
+  return pair;
+}
+
+/// Loopback TCP pair on a kernel-assigned port.
+inline TransportPair make_tcp_pair() {
+  TransportPair pair;
+  auto net = std::make_shared<net::TcpNetwork>();
+  pair.listener = net->listen("0").value();
+  pair.client = connect_retry(*net, pair.listener->address(),
+                              common::Deadline::after(std::chrono::seconds(2)))
+                    .value();
+  pair.server =
+      pair.listener->accept(common::Deadline::after(std::chrono::seconds(2)))
+          .value();
+  pair.net = std::move(net);
+  return pair;
+}
+
+}  // namespace cs::testutil
