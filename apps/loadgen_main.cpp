@@ -6,19 +6,24 @@
 // Distributed (controller/worker driver split over TCP):
 //
 //   loadgen --role=controller --scenario=mux --workers=2 --listen=45117
-//   loadgen --role=worker --controller=45117 --name=worker0
+//   loadgen --role=worker --controller=10.0.0.7:45117 --name=worker0
 //
 // The controller hosts the target service plus the control channel; each
 // worker dials in, receives its slice of the workload, and the controller
 // merges the shards into one report with per-worker breakdowns. Workers may
 // be launched before the controller — dialing retries until it is up.
+// Addresses are HOST:PORT; a bare PORT keeps the loopback shorthand, so
+// single-machine runs and scripts predating multi-host drive still work.
 //
 // Scenarios:
-//   mux    steering fan-out soak on visit::Multiplexer (1 master + viewers)
-//   viz    viewpoint/frame loop on viz::RemoteRenderServer (shared camera)
-//   media  fixed-rate media stream over an ag multicast group + bridge
-//   raw    generic Workload (push/pull/duplex/burst) against a built-in
-//          LoadPeer over the chosen transport (inproc or tcp)
+//   mux      steering fan-out soak on visit::Multiplexer (1 master + viewers)
+//   viz      viewpoint/frame loop on viz::RemoteRenderServer (shared camera)
+//   media    fixed-rate media stream over an ag multicast group + bridge
+//   control  relay soak on visit::ControlServer (1 actor + observers)
+//   desktop  framebuffer push soak on ag::DesktopShareServer
+//   gateway  UPL request/reply soak on unicore::Gateway
+//   raw      generic Workload (push/pull/duplex/burst) against a built-in
+//            LoadPeer over the chosen transport (inproc or tcp)
 //
 // The JSON report follows the Google Benchmark schema, so it lands in the
 // same tooling as the BENCH_*.json files from `cmake --build . --target
@@ -76,7 +81,8 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --scenario=mux|viz|media|raw   what to run (default mux)\n"
+      "  --scenario=mux|viz|media|control|desktop|gateway|raw\n"
+      "                                 what to run (default mux)\n"
       "  --connections=N                concurrent participants (default 64)\n"
       "  --duration-ms=N                measurement window (default 2000)\n"
       "  --rate=R                       producer msgs|frames per sec "
@@ -97,11 +103,12 @@ void usage(const char* argv0) {
       "                                 loop (default 1; 0 is the "
       "thread-per-viewer\n"
       "                                 baseline)\n"
-      "  --max-service-threads=N        mux: fail if the service owns more "
-      "than N\n"
-      "                                 threads with all viewers connected "
-      "(default\n"
-      "                                 0 = no bound)\n"
+      "  --max-service-threads=N        mux/control/desktop/gateway: fail if "
+      "the\n"
+      "                                 service owns more than N threads with "
+      "the\n"
+      "                                 full fleet connected (default 0 = no "
+      "bound)\n"
       "  --metricsz=0|1                 mux: serve /metricsz and scrape it "
       "mid-run\n"
       "                                 into the report (default 1)\n"
@@ -117,11 +124,16 @@ void usage(const char* argv0) {
       "  --role=local|controller|worker    driver role (default local)\n"
       "  --workers=N                       controller: worker fleet size "
       "(default 2)\n"
-      "  --listen=ADDR                     controller: control bind address "
-      "(default\n"
-      "                                    0 = kernel-assigned TCP port)\n"
-      "  --controller=PORT                 worker: control port to dial\n"
-      "                                    (loopback)\n"
+      "  --listen=ADDR                     controller: control bind address,\n"
+      "                                    HOST:PORT or bare PORT (default 0 "
+      "=\n"
+      "                                    kernel-assigned loopback port; "
+      "bind\n"
+      "                                    0.0.0.0:PORT for multi-host "
+      "drive)\n"
+      "  --controller=HOST:PORT            worker: control address to dial "
+      "(bare\n"
+      "                                    PORT dials loopback)\n"
       "  --name=NAME                       worker: name announced on join\n"
       "raw-scenario options:\n"
       "  --pattern=push|pull|duplex|burst  traffic shape (default duplex)\n"
@@ -258,7 +270,7 @@ common::Result<loadgen::Report> run_raw(const CliOptions& cli) {
 /// --role=worker: one full control session against --controller, then exit.
 int run_worker(const CliOptions& cli) {
   if (cli.controller_address.empty()) {
-    std::fprintf(stderr, "--role=worker requires --controller=PORT\n");
+    std::fprintf(stderr, "--role=worker requires --controller=HOST:PORT\n");
     return 2;
   }
   net::TcpNetwork network;
@@ -338,6 +350,12 @@ int main(int argc, char** argv) {
     report = loadgen::run_vizserver_loop(cli.scenario_options);
   } else if (cli.scenario == "media") {
     report = loadgen::run_media_bridge(cli.scenario_options);
+  } else if (cli.scenario == "control") {
+    report = loadgen::run_control_soak(cli.scenario_options);
+  } else if (cli.scenario == "desktop") {
+    report = loadgen::run_desktop_soak(cli.scenario_options);
+  } else if (cli.scenario == "gateway") {
+    report = loadgen::run_gateway_soak(cli.scenario_options);
   } else if (cli.scenario == "raw") {
     report = run_raw(cli);
   } else {

@@ -11,22 +11,27 @@ using common::Status;
 using common::StatusCode;
 
 namespace {
-constexpr auto kPumpSlice = std::chrono::milliseconds(50);
 constexpr std::uint32_t kTagUpdate = 0xa6c1;
 constexpr std::uint32_t kTagEvent = 0xa6c2;
 }  // namespace
 
 Result<std::unique_ptr<DesktopShareServer>> DesktopShareServer::start(
-    net::InProcNetwork& net, const Options& options,
+    net::Network& net, const Options& options,
     std::function<void(const std::string&)> on_event) {
   auto listener = net.listen(options.address);
   if (!listener.is_ok()) return listener.status();
+  auto host = net::ConnectionHost::start(net::ConnectionHost::Options{});
+  if (!host.is_ok()) return host.status();
   std::unique_ptr<DesktopShareServer> server{new DesktopShareServer};
   server->listener_ = std::move(listener).value();
+  server->host_ = std::move(host).value();
   server->on_event_ = std::move(on_event);
   DesktopShareServer* self = server.get();
+  // Event-driven accept when the transport allows: registration is
+  // enqueue-only (the key frame rides the replay seed), so the handler is
+  // poller-safe.
   server->accept_pump_ = std::make_unique<net::AcceptPump>(
-      *server->listener_,
+      server->host_->event_host(), *server->listener_,
       [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return server;
 }
@@ -35,55 +40,45 @@ DesktopShareServer::~DesktopShareServer() { stop(); }
 
 void DesktopShareServer::stop() {
   if (stopped_.exchange(true)) return;
+  // Uniform teardown order: listener, accept pump, host (joins delivery
+  // threads — no callback can run past this), then the registry.
   if (listener_) listener_->close();
   if (accept_pump_) accept_pump_->stop();
-  std::vector<Viewer> doomed;
-  std::vector<std::jthread> graves;
-  {
-    std::scoped_lock lock(mutex_);
-    for (auto& [id, v] : viewers_) {
-      v.conn->close();
-      doomed.push_back(std::move(v));
-    }
-    viewers_.clear();
-    graves = std::move(graveyard_);
-  }
-  for (auto& v : doomed) {
-    if (v.pump.joinable()) {
-      v.pump.request_stop();
-      v.pump.join();
-    }
-  }
-  for (auto& t : graves) {
-    if (t.joinable()) {
-      t.request_stop();
-      t.join();
-    }
-  }
+  if (host_) host_->stop();
+  std::scoped_lock lock(mutex_);
+  for (auto& [id, v] : viewers_) v.conn->close();
+  viewers_.clear();
 }
 
 Status DesktopShareServer::update(const viz::Image& desktop) {
-  std::vector<std::pair<std::uint64_t, net::ConnectionPtr>> targets;
+  std::vector<std::uint64_t> targets;
   {
     std::scoped_lock lock(mutex_);
     desktop_ = desktop;
-    for (auto& [id, v] : viewers_) targets.emplace_back(id, v.conn);
+    targets.reserve(viewers_.size());
+    for (auto& [id, v] : viewers_) targets.push_back(id);
   }
-  for (auto& [id, conn] : targets) {
-    Bytes payload;
+  for (const std::uint64_t id : targets) {
+    common::FramePtr frame;
+    std::size_t payload_size = 0;
     {
       std::scoped_lock lock(mutex_);
       auto it = viewers_.find(id);
       if (it == viewers_.end()) continue;
-      payload = viz::compress_frame_delta(desktop, it->second.last_frame);
+      Bytes payload = viz::compress_frame_delta(desktop, it->second.last_frame);
       it->second.last_frame = desktop;
+      payload_size = payload.size();
+      frame = common::make_frame(
+          wire::make_data_message(kTagUpdate, payload.data(), payload.size())
+              .encode());
     }
-    const auto m =
-        wire::make_data_message(kTagUpdate, payload.data(), payload.size());
-    if (conn->send(m.encode(), Deadline::after(std::chrono::seconds(1)))
-            .is_ok()) {
+    // Outside the lock: an overflow doom fires on_close (-> remove) on this
+    // thread. kDisconnect because a dropped delta would corrupt every later
+    // frame the viewer decodes against its stale base.
+    if (host_->send_to(id, std::move(frame),
+                       common::OverflowPolicy::kDisconnect)) {
       ctr_updates_pushed_.add();
-      ctr_bytes_pushed_.add(payload.size());
+      ctr_bytes_pushed_.add(payload_size);
     }
   }
   return Status::ok();
@@ -103,79 +98,75 @@ DesktopShareServer::Stats DesktopShareServer::stats() const {
   return out;
 }
 
+std::size_t DesktopShareServer::service_threads() const {
+  return (accept_pump_ && !accept_pump_->event_driven() ? 1 : 0) +
+         (host_ ? host_->thread_count() : 0);
+}
+
 void DesktopShareServer::handle_conn(net::ConnectionPtr conn) {
-  net::ConnectionPtr c = std::move(conn);
-  // Send the current desktop as a key frame so the viewer has a base.
-  viz::Image snapshot;
-  {
-    std::scoped_lock lock(mutex_);
-    snapshot = desktop_;
-  }
-  if (!snapshot.empty()) {
-    const Bytes payload = viz::compress_frame(snapshot);
-    (void)c->send(
-        wire::make_data_message(kTagUpdate, payload.data(), payload.size())
-            .encode(),
-        Deadline::after(std::chrono::seconds(1)));
-  }
+  // Register and host under one lock: the current desktop becomes the
+  // viewer's key frame via the replay seed, atomically with registration,
+  // so no update() can slip a delta in front of the base it deltas against.
   std::scoped_lock lock(mutex_);
-  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
-    c->close();
+  if (stopped_.load()) {  // raced with stop(): don't leak a live conn
+    conn->close();
     return;
   }
   const std::uint64_t id = next_id_++;
-  Viewer viewer;
-  viewer.conn = c;
-  viewer.last_frame = snapshot;
-  viewers_.emplace(id, std::move(viewer));
-  viewers_[id].pump =
-      std::jthread([this, id](std::stop_token pst) { viewer_pump(pst, id); });
+  std::vector<common::OutboundQueue::Item> replay;
+  if (!desktop_.empty()) {
+    const Bytes payload = viz::compress_frame(desktop_);
+    replay.push_back(common::OutboundQueue::Item{
+        common::make_frame(
+            wire::make_data_message(kTagUpdate, payload.data(), payload.size())
+                .encode()),
+        common::OverflowPolicy::kDisconnect, nullptr});
+  }
+  viewers_.emplace(id, Viewer{conn, desktop_});
+  const bool hosted = host_->add(
+      id, conn,
+      [this](std::uint64_t vid, common::Bytes message) {
+        on_message(vid, message);
+      },
+      [this](std::uint64_t vid, const Status&) { remove(vid); },
+      std::move(replay));
+  if (!hosted) {  // raced with stop(): the host refused, unwind
+    viewers_.erase(id);
+    conn->close();
+  }
 }
 
-void DesktopShareServer::viewer_pump(const std::stop_token& st,
-                                     std::uint64_t id) {
-  net::ConnectionPtr conn;
+void DesktopShareServer::on_message(std::uint64_t /*id*/,
+                                    const common::Bytes& message) {
+  auto m = wire::Message::decode(message);
+  if (!m.is_ok() || m.value().header.tag != kTagEvent) return;
+  auto body = wire::extract_string(m.value());
+  if (!body.is_ok()) return;
+  ctr_events_received_.add();
+  std::function<void(const std::string&)> handler;
+  {
+    std::scoped_lock lock(mutex_);
+    handler = on_event_;
+  }
+  if (handler) handler(body.value());
+}
+
+void DesktopShareServer::remove(std::uint64_t id) {
   {
     std::scoped_lock lock(mutex_);
     auto it = viewers_.find(id);
     if (it == viewers_.end()) return;
-    conn = it->second.conn;
+    it->second.conn->close();
+    viewers_.erase(it);
   }
-  while (!st.stop_requested()) {
-    auto raw = conn->recv(Deadline::after(kPumpSlice));
-    if (!raw.is_ok()) {
-      if (raw.status().code() == StatusCode::kClosed) {
-        std::scoped_lock lock(mutex_);
-        auto it = viewers_.find(id);
-        if (it != viewers_.end()) {
-          it->second.conn->close();
-          it->second.pump.request_stop();
-          graveyard_.push_back(std::move(it->second.pump));
-          viewers_.erase(it);
-        }
-        return;
-      }
-      continue;
-    }
-    auto m = wire::Message::decode(raw.value());
-    if (!m.is_ok() || m.value().header.tag != kTagEvent) continue;
-    auto body = wire::extract_string(m.value());
-    if (!body.is_ok()) continue;
-    ctr_events_received_.add();
-    std::function<void(const std::string&)> handler;
-    {
-      std::scoped_lock lock(mutex_);
-      handler = on_event_;
-    }
-    if (handler) handler(body.value());
-  }
+  host_->remove(id);
 }
 
 // ---------------------------------------------------------------------------
 // DesktopShareViewer
 // ---------------------------------------------------------------------------
 
-Result<DesktopShareViewer> DesktopShareViewer::connect(net::InProcNetwork& net,
+Result<DesktopShareViewer> DesktopShareViewer::connect(net::Network& net,
                                                        const std::string& address,
                                                        Deadline deadline) {
   auto conn = net.connect(address, deadline);

@@ -24,7 +24,8 @@
 
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
-#include "net/inproc.hpp"
+#include "net/conn_host.hpp"
+#include "net/transport.hpp"
 #include "obs/registry.hpp"
 #include "viz/compress.hpp"
 #include "viz/image.hpp"
@@ -43,10 +44,11 @@ class DesktopShareServer {
     std::uint64_t events_received = 0;
   };
 
-  /// `on_event` runs on a pump thread whenever a viewer sends an input
-  /// event (e.g. "SET miscibility 0.3").
+  /// `on_event` runs on a hosting thread (poller or fallback pump) whenever
+  /// a viewer sends an input event (e.g. "SET miscibility 0.3"); it must
+  /// not block — a stalled handler stalls every hosted viewer.
   static common::Result<std::unique_ptr<DesktopShareServer>> start(
-      net::InProcNetwork& net, const Options& options,
+      net::Network& net, const Options& options,
       std::function<void(const std::string&)> on_event = {});
   ~DesktopShareServer();
   DesktopShareServer(const DesktopShareServer&) = delete;
@@ -54,31 +56,38 @@ class DesktopShareServer {
   void stop();
 
   /// Publishes a new desktop frame; every viewer receives a delta update.
+  /// Deltas ride each viewer's bounded outbound queue as control traffic
+  /// (lossless-or-dead): a viewer that cannot keep up is disconnected
+  /// rather than handed a delta chain with holes in it.
   common::Status update(const viz::Image& desktop);
 
+  /// Resolved listen address (kernel-assigned ports made concrete).
+  std::string address() const { return listener_->address(); }
   std::size_t viewer_count() const;
   /// Snapshot of the push counters (shim over the metrics registry).
   Stats stats() const;
+  /// Threads owned regardless of viewer count: accept pump + host threads.
+  std::size_t service_threads() const;
   /// The service's metrics registry (source of truth for the counters).
   obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   DesktopShareServer() = default;
   void handle_conn(net::ConnectionPtr conn);
-  void viewer_pump(const std::stop_token& st, std::uint64_t id);
+  void on_message(std::uint64_t id, const common::Bytes& message);
+  void remove(std::uint64_t id);
 
   struct Viewer {
     net::ConnectionPtr conn;
     viz::Image last_frame;
-    std::jthread pump;
   };
 
   net::ListenerPtr listener_;
+  std::unique_ptr<net::ConnectionHost> host_;
   std::unique_ptr<net::AcceptPump> accept_pump_;
   std::function<void(const std::string&)> on_event_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Viewer> viewers_;
-  std::vector<std::jthread> graveyard_;
   std::uint64_t next_id_ = 1;
   viz::Image desktop_;
   /// Registry-backed counters; stats() reads them back for the old shape.
@@ -94,7 +103,7 @@ class DesktopShareServer {
 
 class DesktopShareViewer {
  public:
-  static common::Result<DesktopShareViewer> connect(net::InProcNetwork& net,
+  static common::Result<DesktopShareViewer> connect(net::Network& net,
                                                     const std::string& address,
                                                     common::Deadline deadline);
   /// Wraps an existing connection (lets benchmarks attach a link model).

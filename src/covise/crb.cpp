@@ -12,7 +12,6 @@ using common::Status;
 using common::StatusCode;
 
 namespace {
-constexpr auto kPumpSlice = std::chrono::milliseconds(50);
 constexpr std::uint32_t kTagGet = 0xc0b1;
 constexpr std::uint32_t kTagObject = 0xc0b2;
 constexpr std::uint32_t kTagMiss = 0xc0b3;
@@ -24,15 +23,20 @@ Result<std::unique_ptr<RequestBroker>> RequestBroker::start(
   if (!sds) return Status{StatusCode::kInvalidArgument, "null SDS"};
   auto listener = net.listen("crb/" + session + "/" + sds->host());
   if (!listener.is_ok()) return listener.status();
+  auto host = net::ConnectionHost::start(net::ConnectionHost::Options{});
+  if (!host.is_ok()) return host.status();
   std::unique_ptr<RequestBroker> broker{new RequestBroker};
   broker->net_ = &net;
   broker->session_ = session;
   broker->link_ = link;
   broker->sds_ = std::move(sds);
   broker->listener_ = std::move(listener).value();
+  broker->host_ = std::move(host).value();
   RequestBroker* self = broker.get();
+  // Event-driven accept when the transport allows: registration with the
+  // host is enqueue-only, so the handler is poller-safe.
   broker->accept_pump_ = std::make_unique<net::AcceptPump>(
-      *broker->listener_,
+      broker->host_->event_host(), *broker->listener_,
       [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return broker;
 }
@@ -41,60 +45,54 @@ RequestBroker::~RequestBroker() { stop(); }
 
 void RequestBroker::stop() {
   if (stopped_.exchange(true)) return;
+  // Uniform teardown order: listener, accept pump, host, then the peer
+  // cache (nothing can dial a new peer once stopped_ is set).
   if (listener_) listener_->close();
   if (accept_pump_) accept_pump_->stop();
-  std::vector<std::jthread> threads;
-  {
-    std::scoped_lock lock(mutex_);
-    threads = std::move(connection_threads_);
-    for (auto& [host, conn] : peers_) conn->close();
-    peers_.clear();
-  }
-  for (auto& t : threads) {
-    t.request_stop();
-    if (t.joinable()) t.join();
-  }
+  if (host_) host_->stop();
+  std::scoped_lock lock(mutex_);
+  for (auto& [host, conn] : peers_) conn->close();
+  peers_.clear();
+}
+
+std::size_t RequestBroker::service_threads() const {
+  return (accept_pump_ && !accept_pump_->event_driven() ? 1 : 0) +
+         (host_ ? host_->thread_count() : 0);
 }
 
 void RequestBroker::handle_conn(net::ConnectionPtr conn) {
-  std::scoped_lock lock(mutex_);
-  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+  if (stopped_.load()) {  // raced with stop(): don't leak a live conn
     conn->close();
     return;
   }
-  net::ConnectionPtr c = std::move(conn);
-  connection_threads_.emplace_back(
-      [this, c](std::stop_token cst) { serve_connection(cst, c); });
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const bool hosted = host_->add(
+      id, conn,
+      [this](std::uint64_t cid, common::Bytes message) {
+        on_message(cid, message);
+      },
+      {});
+  if (!hosted) conn->close();  // raced with stop()
 }
 
-void RequestBroker::serve_connection(const std::stop_token& st,
-                                     net::ConnectionPtr conn) {
-  while (!st.stop_requested()) {
-    auto raw = conn->recv(Deadline::after(kPumpSlice));
-    if (!raw.is_ok()) {
-      if (raw.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    auto m = wire::Message::decode(raw.value());
-    if (!m.is_ok() || m.value().header.tag != kTagGet) continue;
-    auto name = wire::extract_string(m.value());
-    if (!name.is_ok()) continue;
-    auto object = sds_->get(name.value());
-    wire::Message reply;
-    if (object.is_ok()) {
-      const Bytes encoded = object.value()->encode();
-      reply = wire::make_data_message(kTagObject, encoded.data(),
-                                      encoded.size());
-      ctr_objects_served_.add();
-      ctr_bytes_sent_.add(encoded.size());
-    } else {
-      reply = wire::make_control_message(kTagMiss, name.value());
-    }
-    if (!conn->send(reply.encode(), Deadline::after(std::chrono::seconds(5)))
-             .is_ok()) {
-      return;
-    }
+void RequestBroker::on_message(std::uint64_t id, const common::Bytes& message) {
+  auto m = wire::Message::decode(message);
+  if (!m.is_ok() || m.value().header.tag != kTagGet) return;
+  auto name = wire::extract_string(m.value());
+  if (!name.is_ok()) return;
+  auto object = sds_->get(name.value());
+  wire::Message reply;
+  if (object.is_ok()) {
+    const Bytes encoded = object.value()->encode();
+    reply = wire::make_data_message(kTagObject, encoded.data(), encoded.size());
+    ctr_objects_served_.add();
+    ctr_bytes_sent_.add(encoded.size());
+  } else {
+    reply = wire::make_control_message(kTagMiss, name.value());
   }
+  // Replies are control traffic (lossless-or-dead): a requester that stops
+  // draining them is disconnected, never silently starved.
+  (void)host_->reply(id, reply.encode());
 }
 
 Result<net::ConnectionPtr> RequestBroker::peer_connection(

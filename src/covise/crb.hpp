@@ -19,6 +19,7 @@
 #include "common/status.hpp"
 #include "covise/sds.hpp"
 #include "net/accept_pump.hpp"
+#include "net/conn_host.hpp"
 #include "net/inproc.hpp"
 #include "obs/registry.hpp"
 
@@ -53,13 +54,16 @@ class RequestBroker {
   std::shared_ptr<SharedDataSpace> sds() const { return sds_; }
   /// Snapshot of the transfer counters (shim over the metrics registry).
   Stats stats() const;
+  /// Threads owned regardless of connection count (the hosted request/reply
+  /// path replaced the thread-per-connection serve loop).
+  std::size_t service_threads() const;
   /// The service's metrics registry (source of truth for the counters).
   obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   RequestBroker() = default;
   void handle_conn(net::ConnectionPtr conn);
-  void serve_connection(const std::stop_token& st, net::ConnectionPtr conn);
+  void on_message(std::uint64_t id, const common::Bytes& message);
   common::Result<net::ConnectionPtr> peer_connection(
       const std::string& host, common::Deadline deadline);
 
@@ -68,10 +72,11 @@ class RequestBroker {
   net::LinkModel link_;
   std::shared_ptr<SharedDataSpace> sds_;
   net::ListenerPtr listener_;
+  std::unique_ptr<net::ConnectionHost> host_;
   std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::map<std::string, net::ConnectionPtr> peers_;
-  std::vector<std::jthread> connection_threads_;
+  std::atomic<std::uint64_t> next_id_{1};
   /// Registry-backed counters; stats() reads them back for the old shape.
   obs::Registry metrics_;
   obs::Counter& ctr_objects_served_ =

@@ -1,9 +1,11 @@
 #include "loadgen/scenarios.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "ag/desktop.hpp"
 #include "ag/media.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
@@ -13,7 +15,9 @@
 #include "net/tcp.hpp"
 #include "obs/endpoint.hpp"
 #include "obs/registry.hpp"
+#include "unicore/gateway.hpp"
 #include "visit/client.hpp"
+#include "visit/control.hpp"
 #include "visit/multiplexer.hpp"
 #include "visit/viewer.hpp"
 #include "viz/remote.hpp"
@@ -629,6 +633,346 @@ Result<Report> run_media_bridge(const ScenarioOptions& options) {
       {"overflow_disconnects", static_cast<double>(relay_stats.disconnects +
                                                    host_stats.disconnects)},
       {"poller_wakeups", static_cast<double>(host_stats.wakeups)},
+  };
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Hosted-population soaks (control relay, desktop share, gateway)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Transport selection shared by the hosted-population soaks; the mux soak
+/// predates it and keeps its inline version.
+std::unique_ptr<net::Network> make_network(const ScenarioOptions& options) {
+  if (options.transport == ScenarioOptions::Transport::kTcp) {
+    return std::make_unique<net::TcpNetwork>();
+  }
+  return std::make_unique<net::InProcNetwork>();
+}
+
+/// The flat-thread assertion every hosted service must pass: with the full
+/// participant fleet connected, the service owns at most `bound` threads.
+/// A thread-per-connection design fails this the moment connections exceed
+/// the bound; the hosted design passes at any population.
+Status check_thread_bound(const char* service, std::size_t threads,
+                          std::size_t connections, std::size_t bound) {
+  if (bound != 0 && threads > bound) {
+    return Status{StatusCode::kInternal,
+                  std::string(service) + " owns " + std::to_string(threads) +
+                      " threads with " + std::to_string(connections) +
+                      " participants connected; bound is " +
+                      std::to_string(bound)};
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<Report> run_control_soak(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  if (options.connections < 2) {
+    return invalid("control soak needs an actor and at least one observer");
+  }
+  auto net = make_network(options);
+  const bool tcp = options.transport == ScenarioOptions::Transport::kTcp;
+  visit::ControlServer::Options server_options;
+  server_options.address = tcp ? "0" : "ctl:soak";
+  server_options.password = "soak";
+  auto server = visit::ControlServer::start(*net, server_options);
+  if (!server.is_ok()) return server.status();
+
+  // First participant in is the actor; the rest observe the relay.
+  std::vector<visit::ControlClient> participants;
+  participants.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    auto client = visit::ControlClient::connect(
+        *net, server.value()->address(), server_options.password,
+        i == 0 ? "actor" : "observer",
+        Deadline::after(std::chrono::seconds(5)));
+    if (!client.is_ok()) return client.status();
+    participants.push_back(std::move(client).value());
+  }
+  // connect() returns when the handshake completes; registration with the
+  // connection host lands on the accept thread shortly after.
+  const auto joined = Deadline::after(std::chrono::seconds(5));
+  while (server.value()->participant_count() < options.connections &&
+         !joined.has_expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::size_t peak_threads = server.value()->service_threads();
+  if (Status s = check_thread_bound("control server", peak_threads,
+                                    options.connections,
+                                    options.max_service_threads);
+      !s.is_ok()) {
+    return s;
+  }
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  std::vector<Participant> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections - 1);
+  for (std::size_t i = 1; i < options.connections; ++i) {
+    workers.emplace_back([&participants, &outcomes, end, i] {
+      auto& observer = participants[i];
+      auto& out = outcomes[i];
+      while (common::Clock::now() < end) {
+        auto record = observer.receive(Deadline::after(kPollSlice));
+        if (!record.is_ok()) {
+          if (record.status().code() == StatusCode::kClosed) break;
+          continue;
+        }
+        // Record format: "<send-ns>;<padding>".
+        const std::uint64_t stamp =
+            std::strtoull(record.value().c_str(), nullptr, 10);
+        if (stamp != 0) out.latency.record(common::ns_since(stamp));
+        ++out.report.ops;
+      }
+      observer.disconnect();
+    });
+  }
+
+  // The actor: timestamped control records at the producer rate (the view
+  // matrices of the paper's presence channel).
+  auto& actor = participants[0];
+  auto& actor_out = outcomes[0];
+  const auto interval = rate_interval(options.rate_per_sec);
+  const std::string padding(
+      options.payload_bytes > 24 ? options.payload_bytes - 24 : 0, 'v');
+  auto next_send = t_start;
+  while (common::Clock::now() < end) {
+    std::this_thread::sleep_until(std::min(next_send, end));
+    if (common::Clock::now() >= end) break;
+    next_send += interval;
+    const std::string record =
+        std::to_string(common::steady_now_ns()) + ";" + padding;
+    const Status s =
+        actor.publish(record, Deadline::after(std::chrono::seconds(1)));
+    if (!s.is_ok()) {
+      if (s.code() == StatusCode::kClosed) break;
+      ++actor_out.report.errors;
+      continue;
+    }
+    ++actor_out.report.ops;
+  }
+  actor.disconnect();
+  for (auto& w : workers) w.join();
+  const auto elapsed = common::Clock::now() - t_start;
+  const auto server_stats = server.value()->stats();
+  server.value()->stop();
+
+  Report report;
+  report.name = "control_soak";
+  report.connections = options.connections;
+  report.elapsed = elapsed;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.report, outcome.latency);
+  }
+  // Explicit even when zero — same contract as every other scenario.
+  report.service_metrics = {
+      {"service_threads", static_cast<double>(peak_threads)},
+      {"control_updates_relayed",
+       static_cast<double>(server_stats.updates_relayed)},
+      {"control_updates_rejected",
+       static_cast<double>(server_stats.updates_rejected)},
+  };
+  return report;
+}
+
+Result<Report> run_desktop_soak(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  auto net = make_network(options);
+  const bool tcp = options.transport == ScenarioOptions::Transport::kTcp;
+  ag::DesktopShareServer::Options server_options;
+  server_options.address = tcp ? "0" : "desk:soak";
+  auto server = ag::DesktopShareServer::start(*net, server_options);
+  if (!server.is_ok()) return server.status();
+
+  std::vector<ag::DesktopShareViewer> viewers;
+  viewers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    auto viewer = ag::DesktopShareViewer::connect(
+        *net, server.value()->address(),
+        Deadline::after(std::chrono::seconds(5)));
+    if (!viewer.is_ok()) return viewer.status();
+    viewers.push_back(std::move(viewer).value());
+  }
+  const auto joined = Deadline::after(std::chrono::seconds(5));
+  while (server.value()->viewer_count() < options.connections &&
+         !joined.has_expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::size_t peak_threads = server.value()->service_threads();
+  if (Status s = check_thread_bound("desktop server", peak_threads,
+                                    options.connections,
+                                    options.max_service_threads);
+      !s.is_ok()) {
+    return s;
+  }
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  std::vector<Participant> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&viewers, &outcomes, end, i] {
+      auto& viewer = viewers[i];
+      auto& out = outcomes[i];
+      while (common::Clock::now() < end) {
+        auto frame = viewer.await_update(Deadline::after(kPollSlice));
+        if (!frame.is_ok()) {
+          if (frame.status().code() == StatusCode::kClosed) break;
+          continue;
+        }
+        out.latency.record(common::ns_since(read_stamp(frame.value())));
+        ++out.report.ops;
+        // Viewer 0 exercises the upstream input-event path (active
+        // collaboration: "sharing the steering client requires vnc").
+        if (i == 0 && out.report.ops % 32 == 0) {
+          (void)viewer.send_event("poll=" + std::to_string(out.report.ops),
+                                  Deadline::after(std::chrono::seconds(1)));
+        }
+      }
+      viewer.disconnect();
+    });
+  }
+
+  // The producer: stamped desktop updates at the fixed rate. Every update
+  // is delta-compressed per viewer against that viewer's delivered frame.
+  const auto [width, height] = frame_dims(options.payload_bytes);
+  const auto interval = rate_interval(options.rate_per_sec);
+  auto next_send = t_start;
+  std::uint64_t published = 0;
+  std::uint64_t publish_errors = 0;
+  while (common::Clock::now() < end) {
+    std::this_thread::sleep_until(std::min(next_send, end));
+    if (common::Clock::now() >= end) break;
+    next_send += interval;
+    ++published;
+    viz::Image desktop(width, height,
+                       viz::Color{static_cast<std::uint8_t>(published * 31),
+                                  static_cast<std::uint8_t>(published * 59),
+                                  static_cast<std::uint8_t>(published * 83)});
+    stamp_frame(desktop, common::steady_now_ns());
+    if (!server.value()->update(desktop).is_ok()) ++publish_errors;
+  }
+  for (auto& w : workers) w.join();
+  const auto elapsed = common::Clock::now() - t_start;
+  const auto server_stats = server.value()->stats();
+  server.value()->stop();
+
+  Report report;
+  report.name = "desktop_soak";
+  report.connections = options.connections;
+  report.elapsed = elapsed;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.report, outcome.latency);
+  }
+  report.errors += publish_errors;
+  report.service_metrics = {
+      {"service_threads", static_cast<double>(peak_threads)},
+      {"frames_published", static_cast<double>(published)},
+      {"frames_delivered", static_cast<double>(server_stats.updates_pushed)},
+      {"desktop_bytes_pushed", static_cast<double>(server_stats.bytes_pushed)},
+      {"desktop_events_received",
+       static_cast<double>(server_stats.events_received)},
+  };
+  return report;
+}
+
+Result<Report> run_gateway_soak(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  auto net = make_network(options);
+  const bool tcp = options.transport == ScenarioOptions::Transport::kTcp;
+  unicore::Gateway::Options server_options;
+  server_options.address = tcp ? "0" : "gw:soak";
+  auto gateway = unicore::Gateway::start(*net, server_options);
+  if (!gateway.is_ok()) return gateway.status();
+  const unicore::Certificate cert =
+      unicore::issue_certificate("CN=soak", "soak-key");
+  gateway.value()->trust_store().trust(cert);
+
+  // One raw connection per client; the request/reply loop runs closed-loop
+  // (ctsTraffic duplex style), so throughput is the latency reciprocal.
+  std::vector<net::ConnectionPtr> conns;
+  conns.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    auto conn = net->connect(gateway.value()->address(),
+                             Deadline::after(std::chrono::seconds(5)));
+    if (!conn.is_ok()) return conn.status();
+    conns.push_back(std::move(conn).value());
+  }
+  const std::size_t peak_threads = gateway.value()->service_threads();
+  if (Status s = check_thread_bound("gateway", peak_threads,
+                                    options.connections,
+                                    options.max_service_threads);
+      !s.is_ok()) {
+    return s;
+  }
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  std::vector<Participant> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&conns, &outcomes, &cert, end, i] {
+      auto& conn = conns[i];
+      auto& out = outcomes[i];
+      // Status transactions against a vsite that is never registered: the
+      // gateway authenticates, routes, and answers kNotFound — the full
+      // wire round trip without standing up an NJS per soak.
+      unicore::UplRequest request;
+      request.op = unicore::UplOp::kStatus;
+      request.identity = cert;
+      request.vsite = "soak-vsite";
+      request.job_id = "j" + std::to_string(i);
+      const Bytes encoded = unicore::encode_upl_request(request);
+      while (common::Clock::now() < end) {
+        const auto sent_at = common::Clock::now();
+        if (!conn->send(common::ByteSpan(encoded),
+                        Deadline::after(std::chrono::seconds(1)))
+                 .is_ok()) {
+          break;
+        }
+        auto raw = conn->recv(Deadline::after(std::chrono::seconds(1)));
+        if (!raw.is_ok()) {
+          if (raw.status().code() == StatusCode::kClosed) break;
+          ++out.report.timeouts;
+          continue;
+        }
+        if (!unicore::decode_upl_response(raw.value()).is_ok()) {
+          ++out.report.errors;
+          continue;
+        }
+        out.latency.record(common::Clock::now() - sent_at);
+        ++out.report.ops;
+      }
+      out.report.transport = conn->stats();
+      conn->close();
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto elapsed = common::Clock::now() - t_start;
+  const auto gateway_stats = gateway.value()->stats();
+  gateway.value()->stop();
+
+  Report report;
+  report.name = "gateway_soak";
+  report.connections = options.connections;
+  report.elapsed = elapsed;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.report, outcome.latency);
+  }
+  report.service_metrics = {
+      {"service_threads", static_cast<double>(peak_threads)},
+      {"gateway_transactions",
+       static_cast<double>(gateway_stats.transactions)},
+      {"gateway_rejected_untrusted",
+       static_cast<double>(gateway_stats.rejected_untrusted)},
   };
   return report;
 }

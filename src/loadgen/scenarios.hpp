@@ -93,6 +93,25 @@ common::Result<Report> run_vizserver_loop(const ScenarioOptions& options);
 /// in the frame pixels, surviving the lossless codec).
 common::Result<Report> run_media_bridge(const ScenarioOptions& options);
 
+/// Control-channel relay soak: one actor publishes timestamped control
+/// records at the producer rate through a visit::ControlServer;
+/// `connections - 1` observers drain the relay. Latency = publish ->
+/// observer delivery. Honors max_service_threads with the full fleet
+/// connected (the hosted population must not grow the thread count).
+common::Result<Report> run_control_soak(const ScenarioOptions& options);
+
+/// Desktop-share push soak: the server publishes stamped framebuffer
+/// updates to `connections` ag::DesktopShareViewer participants at the
+/// producer rate; every 32nd update, one viewer sends an input event
+/// upstream to exercise the hosted ingress path. Latency = update ->
+/// decoded viewer frame. Honors max_service_threads.
+common::Result<Report> run_desktop_soak(const ScenarioOptions& options);
+
+/// Gateway request/reply soak: `connections` clients each run a closed
+/// request/reply loop of UPL transactions against one unicore::Gateway.
+/// Latency = request -> decoded response. Honors max_service_threads.
+common::Result<Report> run_gateway_soak(const ScenarioOptions& options);
+
 // ---------------------------------------------------------------------------
 // Worker-executable specs (the distributed driver)
 // ---------------------------------------------------------------------------

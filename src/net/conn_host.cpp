@@ -1,0 +1,300 @@
+#include "net/conn_host.hpp"
+
+#include <utility>
+
+namespace cs::net {
+
+using common::Deadline;
+using common::OutboundQueue;
+using common::OverflowPolicy;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+/// Per-connection work bound in one sweep, so one chatty peer cannot starve
+/// its pump-mates (the fallback analog of the poller's drain burst).
+constexpr int kSweepBurst = 64;
+
+}  // namespace
+
+Result<std::unique_ptr<ConnectionHost>> ConnectionHost::start(
+    const Options& options) {
+  auto host = EventHost::start(EventHost::Options{
+      .pollers = options.pollers, .queue_capacity = options.queue_capacity});
+  if (!host.is_ok()) return host.status();
+  auto out = std::unique_ptr<ConnectionHost>(new ConnectionHost());
+  out->options_ = options;
+  out->event_host_ = std::move(host.value());
+  return out;
+}
+
+ConnectionHost::~ConnectionHost() { stop(); }
+
+void ConnectionHost::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  event_host_->stop();
+  std::jthread pump;
+  std::map<std::uint64_t, FallbackPtr> drained;
+  {
+    std::scoped_lock lock(mutex_);
+    pump = std::move(pump_);
+    pump_running_.store(false, std::memory_order_release);
+    drained.swap(fallback_);
+    for (auto& [id, entry] : drained) {
+      entry->alive.store(false, std::memory_order_release);
+    }
+  }
+  if (pump.joinable()) {
+    pump.request_stop();
+    pump.join();
+  }
+  for (auto& [id, entry] : drained) entry->conn->close();
+}
+
+bool ConnectionHost::add(std::uint64_t id, ConnectionPtr conn,
+                         MessageHandler on_message, CloseHandler on_close,
+                         std::vector<OutboundQueue::Item> replay) {
+  if (!conn || stopped_.load(std::memory_order_acquire)) return false;
+  if (conn->native_handle() >= 0) {
+    return event_host_->host(id, std::move(conn), std::move(on_message),
+                             std::move(on_close), std::move(replay));
+  }
+  std::scoped_lock lock(mutex_);
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  if (fallback_.contains(id)) return false;
+  auto entry =
+      std::make_shared<Fallback>(std::move(conn), std::move(on_message),
+                                 std::move(on_close), options_.queue_capacity);
+  for (OutboundQueue::Item& item : replay) entry->queue.seed(std::move(item));
+  fallback_.emplace(id, std::move(entry));
+  if (!pump_running_.load(std::memory_order_acquire)) {
+    pump_ = std::jthread([this](const std::stop_token& st) { pump_loop(st); });
+    pump_running_.store(true, std::memory_order_release);
+  }
+  return true;
+}
+
+ConnectionHost::FallbackPtr ConnectionHost::extract(std::uint64_t id) {
+  std::scoped_lock lock(mutex_);
+  auto it = fallback_.find(id);
+  if (it == fallback_.end()) return nullptr;
+  FallbackPtr entry = std::move(it->second);
+  entry->alive.store(false, std::memory_order_release);
+  fallback_.erase(it);
+  return entry;
+}
+
+void ConnectionHost::remove(std::uint64_t id) {
+  event_host_->unhost(id);
+  if (FallbackPtr entry = extract(id)) entry->conn->close();
+}
+
+bool ConnectionHost::send_to(std::uint64_t id, OutboundQueue::Item item) {
+  const OverflowPolicy policy = item.policy;
+  FallbackPtr entry;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = fallback_.find(id);
+    if (it != fallback_.end()) entry = it->second;
+  }
+  if (!entry) return event_host_->send_to(id, std::move(item));
+  // Source-payload items need a per-consumer encode step neither population
+  // has; mirror EventHost (shed data, doom control).
+  const bool undeliverable = item.frame == nullptr;
+  OutboundQueue::Push result = OutboundQueue::Push::kDroppedNewest;
+  {
+    std::scoped_lock lock(mutex_);
+    if (!entry->alive.load(std::memory_order_acquire)) return false;
+    if (!undeliverable) {
+      result = entry->queue.push(std::move(item));
+    } else if (policy == OverflowPolicy::kDisconnect) {
+      result = OutboundQueue::Push::kRejectedOverflow;
+    }
+  }
+  if (result == OutboundQueue::Push::kRejectedOverflow &&
+      policy == OverflowPolicy::kDisconnect) {
+    if (FallbackPtr doomed = extract(id)) {
+      doomed->conn->close();
+      fallback_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (doomed->on_close) {
+        doomed->on_close(id, Status{StatusCode::kResourceExhausted,
+                                    "control frame overflow"});
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+/// An id no connection can hold (EventHost reserves the top bit).
+constexpr std::uint64_t kNoExclusion = ~std::uint64_t{0};
+}  // namespace
+
+void ConnectionHost::publish(const OutboundQueue::Item& item) {
+  event_host_->publish(item);
+  publish_fallback(kNoExclusion, item);
+}
+
+void ConnectionHost::publish_except(std::uint64_t excluded_id,
+                                    const OutboundQueue::Item& item) {
+  event_host_->publish_except(excluded_id, item);
+  publish_fallback(excluded_id, item);
+}
+
+void ConnectionHost::publish_fallback(std::uint64_t excluded_id,
+                                      const OutboundQueue::Item& item) {
+  std::vector<std::pair<std::uint64_t, FallbackPtr>> doomed;
+  const bool undeliverable = item.frame == nullptr;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [id, entry] : fallback_) {
+      if (id == excluded_id) continue;
+      if (!entry->alive.load(std::memory_order_acquire)) continue;
+      OutboundQueue::Push result;
+      if (!undeliverable) {
+        result = entry->queue.push(item);
+      } else if (item.policy == OverflowPolicy::kDisconnect) {
+        result = OutboundQueue::Push::kRejectedOverflow;
+      } else {
+        continue;  // shed the data item for this consumer
+      }
+      if (result == OutboundQueue::Push::kRejectedOverflow &&
+          item.policy == OverflowPolicy::kDisconnect) {
+        entry->alive.store(false, std::memory_order_release);
+        doomed.emplace_back(id, entry);
+      }
+    }
+    for (auto& [id, entry] : doomed) fallback_.erase(id);
+  }
+  for (auto& [id, entry] : doomed) {
+    entry->conn->close();
+    fallback_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    if (entry->on_close) {
+      entry->on_close(
+          id, Status{StatusCode::kResourceExhausted, "control frame overflow"});
+    }
+  }
+}
+
+bool ConnectionHost::sweep_one(
+    std::uint64_t id, const FallbackPtr& entry,
+    std::vector<std::pair<std::uint64_t, FallbackPtr>>& doomed,
+    const std::stop_token& st) {
+  bool progressed = false;
+  Status doom_cause = Status::ok();
+  // Egress: pop under the lock, send outside it. A send the peer's window
+  // refuses parks the item in `pending` so ordering survives backpressure.
+  for (int i = 0; i < kSweepBurst && !st.stop_requested(); ++i) {
+    OutboundQueue::Item item;
+    {
+      std::scoped_lock lock(mutex_);
+      if (!entry->alive.load(std::memory_order_acquire)) return progressed;
+      if (entry->pending.frame) {
+        item = entry->pending;
+      } else {
+        item = entry->queue.pop();
+        entry->pending = item;
+      }
+    }
+    if (!item.frame) break;  // queue empty
+    const Status s = entry->conn->send(
+        common::ByteSpan{*item.frame}, Deadline::expired());
+    if (s.is_ok()) {
+      progressed = true;
+      std::scoped_lock lock(mutex_);
+      entry->pending = OutboundQueue::Item{};
+      continue;
+    }
+    if (s.code() == StatusCode::kTimeout) break;  // window full: retry later
+    doom_cause = s;
+    break;
+  }
+  // Ingress: advance the blocking transport's non-blocking surface until it
+  // would block. Only this pump thread ever receives on a fallback conn.
+  if (doom_cause.is_ok()) {
+    for (int i = 0; i < kSweepBurst && !st.stop_requested(); ++i) {
+      if (!entry->alive.load(std::memory_order_acquire)) return progressed;
+      auto r = entry->conn->try_recv();
+      if (r.is_ok()) {
+        progressed = true;
+        fallback_messages_in_.fetch_add(1, std::memory_order_relaxed);
+        if (entry->on_message) entry->on_message(id, std::move(r.value()));
+        continue;
+      }
+      if (r.status().code() == StatusCode::kUnavailable) break;
+      doom_cause = r.status();
+      break;
+    }
+  }
+  if (!doom_cause.is_ok()) {
+    bool mine = false;
+    {
+      std::scoped_lock lock(mutex_);
+      if (entry->alive.exchange(false, std::memory_order_acq_rel)) {
+        fallback_.erase(id);
+        mine = true;
+      }
+    }
+    if (mine) {
+      entry->conn->close();
+      fallback_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      entry->close_cause = doom_cause;
+      doomed.emplace_back(id, entry);
+    }
+  }
+  return progressed;
+}
+
+void ConnectionHost::pump_loop(const std::stop_token& st) {
+  std::vector<std::pair<std::uint64_t, FallbackPtr>> snapshot;
+  std::vector<std::pair<std::uint64_t, FallbackPtr>> doomed;
+  while (!st.stop_requested()) {
+    snapshot.clear();
+    doomed.clear();
+    {
+      std::scoped_lock lock(mutex_);
+      snapshot.assign(fallback_.begin(), fallback_.end());
+    }
+    bool progressed = false;
+    for (auto& [id, entry] : snapshot) {
+      if (st.stop_requested()) break;
+      progressed = sweep_one(id, entry, doomed, st) || progressed;
+    }
+    for (auto& [id, entry] : doomed) {
+      if (entry->on_close) entry->on_close(id, entry->close_cause);
+    }
+    if (!progressed && doomed.empty() && !st.stop_requested()) {
+      std::this_thread::sleep_for(options_.idle_slice);
+    }
+  }
+}
+
+std::size_t ConnectionHost::size() const {
+  std::scoped_lock lock(mutex_);
+  return event_host_->hosted_count() + fallback_.size();
+}
+
+std::size_t ConnectionHost::thread_count() const {
+  return event_host_->poller_count() +
+         (pump_running_.load(std::memory_order_acquire) ? 1 : 0);
+}
+
+ConnectionHostStats ConnectionHost::stats() const {
+  ConnectionHostStats out;
+  out.event_host = event_host_->stats();
+  {
+    std::scoped_lock lock(mutex_);
+    out.fallback_hosted = fallback_.size();
+  }
+  out.fallback_messages_in =
+      fallback_messages_in_.load(std::memory_order_relaxed);
+  out.fallback_disconnects =
+      fallback_disconnects_.load(std::memory_order_relaxed);
+  out.hosted = out.event_host.hosted + out.fallback_hosted;
+  out.threads = thread_count();
+  return out;
+}
+
+}  // namespace cs::net

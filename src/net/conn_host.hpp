@@ -1,0 +1,193 @@
+// One hosting surface for every service population, across both transports.
+//
+// net::EventHost gives a service flat thread counts for TCP connections, but
+// it refuses handle-less transports (in-process connections have no fd to
+// park an epoll on), so every service that ported to it kept a second,
+// thread-per-connection code path for inproc peers — the exact shape the
+// readiness migration exists to retire. ConnectionHost closes that gap:
+//
+//   * Connections with a native handle are hosted on an owned EventHost
+//     (epoll pollers, bounded OutboundQueue egress, vectored sends).
+//   * Handle-less connections share ONE fallback pump thread that sweeps
+//     them all with Connection::try_recv() and drains each one's own
+//     OutboundQueue — same callbacks, same overflow policies, same
+//     lossless-or-dead control semantics, still a constant thread count.
+//     The pump starts lazily on the first handle-less add(), so a TCP-only
+//     service never pays for it.
+//
+// The request/reply hosting idiom lives here too: reply() enqueues one
+// pre-encoded control frame (OverflowPolicy::kDisconnect) to a single
+// connection — a peer that stops reading its replies is cut off rather than
+// silently starved, which is the only correct behavior for control traffic.
+//
+// Callback contract (identical to EventHost): on_message/on_close run on
+// the poller or fallback-pump thread and must not block; enqueue-only calls
+// (send_to, reply, publish, add, remove) are safe from inside callbacks.
+// remove()/stop() never fire on_close; connections torn down for cause
+// (peer close, decode error, control overflow) always do, outside all locks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/fanout.hpp"
+#include "common/status.hpp"
+#include "net/event_host.hpp"
+#include "net/transport.hpp"
+
+namespace cs::net {
+
+/// Aggregate view across both populations. `threads` is the whole point:
+/// pollers + (fallback pump running ? 1 : 0), constant in connection count.
+struct ConnectionHostStats {
+  EventHostStats event_host;
+  std::size_t fallback_hosted = 0;
+  std::uint64_t fallback_messages_in = 0;
+  std::uint64_t fallback_disconnects = 0;
+  std::size_t hosted = 0;   ///< event-hosted + fallback connections
+  std::size_t threads = 0;  ///< pollers + fallback pump (0 or 1)
+};
+
+/// Hosts a service's whole connection population; see the file comment.
+class ConnectionHost {
+ public:
+  struct Options {
+    /// Forwarded to EventHost::Options.
+    std::size_t pollers = 1;
+    /// Per-connection outbound queue bound, both populations.
+    std::size_t queue_capacity = 32;
+    /// Fallback pump sleep when a full sweep moved no bytes. Bounds idle
+    /// wakeups without adding visible latency at inproc test scale.
+    common::Duration idle_slice = std::chrono::milliseconds(1);
+  };
+
+  using MessageHandler = EventHost::MessageHandler;
+  using CloseHandler = EventHost::CloseHandler;
+
+  static common::Result<std::unique_ptr<ConnectionHost>> start(
+      const Options& options);
+
+  ~ConnectionHost();
+  ConnectionHost(const ConnectionHost&) = delete;
+  ConnectionHost& operator=(const ConnectionHost&) = delete;
+
+  /// Stops both populations: joins the pollers and the fallback pump, closes
+  /// every hosted connection, discards pending frames. No on_close callbacks
+  /// fire. Idempotent — the uniform tail of every service's stop() order.
+  void stop();
+
+  /// Hosts `conn` under caller-chosen `id` (unique across both populations;
+  /// EventHost reserves the top bit). Routes by native_handle(): kernel
+  /// transports go to the EventHost, handle-less ones to the fallback pump.
+  /// `replay` frames are seeded atomically with registration, ahead of any
+  /// later publish. Returns false (taking no ownership) when the id is taken
+  /// or the host is stopped.
+  bool add(std::uint64_t id, ConnectionPtr conn, MessageHandler on_message,
+           CloseHandler on_close,
+           std::vector<common::OutboundQueue::Item> replay = {});
+
+  /// Deregisters and closes `id`, discarding pending frames. Idempotent; no
+  /// on_close. Safe from any thread, including `id`'s own callbacks.
+  void remove(std::uint64_t id);
+
+  /// Enqueues one frame for `id` under the item's policy; never blocks on
+  /// I/O. Returns false when `id` is not hosted.
+  bool send_to(std::uint64_t id, common::OutboundQueue::Item item);
+
+  bool send_to(std::uint64_t id, common::FramePtr frame,
+               common::OverflowPolicy policy) {
+    return send_to(
+        id, common::OutboundQueue::Item{std::move(frame), policy, nullptr});
+  }
+
+  /// The request/reply idiom: enqueues pre-encoded reply bytes as control
+  /// traffic (kDisconnect — lossless-or-dead). Returns false when `id` is
+  /// not hosted.
+  bool reply(std::uint64_t id, common::Bytes encoded) {
+    return send_to(id, common::make_frame(std::move(encoded)),
+                   common::OverflowPolicy::kDisconnect);
+  }
+
+  /// Enqueues a copy of `item` to every hosted connection, both populations.
+  void publish(const common::OutboundQueue::Item& item);
+
+  void publish(const common::FramePtr& frame, common::OverflowPolicy policy) {
+    publish(common::OutboundQueue::Item{frame, policy, nullptr});
+  }
+
+  /// publish() to everyone except `excluded_id` (relay traffic whose origin
+  /// is itself hosted).
+  void publish_except(std::uint64_t excluded_id,
+                      const common::OutboundQueue::Item& item);
+
+  std::size_t size() const;
+  /// Pollers + fallback pump — the constant the flat-thread assertions pin.
+  std::size_t thread_count() const;
+  ConnectionHostStats stats() const;
+
+  /// The underlying EventHost, for event-driven AcceptPump construction.
+  EventHost& event_host() noexcept { return *event_host_; }
+
+ private:
+  /// One handle-less connection on the shared fallback pump. Queue and
+  /// pending slot are guarded by mutex_; `alive` lets a sweep that already
+  /// snapshotted the entry skip callbacks for a concurrently removed id.
+  struct Fallback {
+    ConnectionPtr conn;
+    MessageHandler on_message;
+    CloseHandler on_close;
+    common::OutboundQueue queue;
+    /// Popped but not yet deliverable (peer window full): retried next
+    /// sweep so ordering survives backpressure.
+    common::OutboundQueue::Item pending;
+    std::atomic<bool> alive{true};
+    /// Why the connection was torn down for cause; written by the thread
+    /// that won the alive exchange, read by it when firing on_close.
+    common::Status close_cause = common::Status::ok();
+
+    Fallback(ConnectionPtr c, MessageHandler m, CloseHandler cl,
+             std::size_t capacity)
+        : conn(std::move(c)),
+          on_message(std::move(m)),
+          on_close(std::move(cl)),
+          queue(capacity) {}
+  };
+  using FallbackPtr = std::shared_ptr<Fallback>;
+
+  ConnectionHost() = default;
+
+  void pump_loop(const std::stop_token& st);
+  /// Drains one fallback connection's ingress+egress; returns true when any
+  /// message moved. Appends entries torn down for cause to `doomed` (their
+  /// on_close fires after the sweep, outside the lock).
+  bool sweep_one(std::uint64_t id, const FallbackPtr& entry,
+                 std::vector<std::pair<std::uint64_t, FallbackPtr>>& doomed,
+                 const std::stop_token& st);
+  /// Removes `id` from the registry; returns the entry when it was present
+  /// (caller fires on_close outside the lock when warranted).
+  FallbackPtr extract(std::uint64_t id);
+  /// Fans `item` out to the fallback population (excluding `excluded_id`;
+  /// pass kNoExclusion for everyone), applying overflow policies and firing
+  /// doomed consumers' on_close outside the lock.
+  void publish_fallback(std::uint64_t excluded_id,
+                        const common::OutboundQueue::Item& item);
+
+  Options options_;
+  std::unique_ptr<EventHost> event_host_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, FallbackPtr> fallback_;
+  std::jthread pump_;  ///< lazily started; guarded by mutex_
+  std::atomic<bool> pump_running_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> fallback_messages_in_{0};
+  std::atomic<std::uint64_t> fallback_disconnects_{0};
+};
+
+}  // namespace cs::net

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 
@@ -470,21 +471,63 @@ class TcpListener : public Listener {
   std::string address_;
 };
 
+/// One parsed "host:port" (or bare-port) address. `host` is in network byte
+/// order; `loopback` records whether the host was implied rather than named,
+/// so listen() can keep returning the historical bare-port form.
+struct ParsedAddress {
+  std::uint32_t host = 0;
+  std::uint16_t port = 0;
+  bool loopback = true;
+};
+
+/// Accepts "PORT" (loopback, the historical form), "HOST:PORT" with a dotted
+/// quad, "localhost:PORT", and "0.0.0.0:PORT" (any-interface bind for
+/// cross-host fleets). `min_port` is 0 for listen (ephemeral bind) and 1 for
+/// connect (you cannot dial port 0).
+Result<ParsedAddress> parse_address(const std::string& address, int min_port) {
+  ParsedAddress out;
+  std::string host = "";
+  std::string port_text = address;
+  if (const auto colon = address.rfind(':'); colon != std::string::npos) {
+    host = address.substr(0, colon);
+    port_text = address.substr(colon + 1);
+  }
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status{StatusCode::kInvalidArgument, "bad port: " + address};
+  }
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port < min_port || port > 65535) {
+    return Status{StatusCode::kInvalidArgument, "bad port: " + address};
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  if (host.empty() || host == "localhost" || host == "127.0.0.1") {
+    out.host = htonl(INADDR_LOOPBACK);
+    out.loopback = host.empty();
+    return out;
+  }
+  out.loopback = false;
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, host.c_str(), &parsed) != 1) {
+    return Status{StatusCode::kInvalidArgument, "bad host: " + address};
+  }
+  out.host = parsed.s_addr;
+  return out;
+}
+
 }  // namespace
 
 Result<ListenerPtr> TcpNetwork::listen(const std::string& address) {
-  const int port = std::atoi(address.c_str());
-  if (port < 0 || port > 65535) {
-    return Status{StatusCode::kInvalidArgument, "bad port: " + address};
-  }
+  Result<ParsedAddress> parsed = parse_address(address, 0);
+  if (!parsed.is_ok()) return parsed.status();
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return errno_status("socket");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = parsed.value().host;
+  addr.sin_port = htons(parsed.value().port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
     return errno_status("bind");
@@ -495,22 +538,28 @@ Result<ListenerPtr> TcpNetwork::listen(const std::string& address) {
   }
   socklen_t len = sizeof(addr);
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  return ListenerPtr{
-      std::make_unique<TcpListener>(fd, std::to_string(ntohs(addr.sin_port)))};
+  // The historical bare-port form stays bare (every loopback caller feeds
+  // the returned address straight back into connect()); named hosts come
+  // back in the same host:port form they were given.
+  std::string bound = std::to_string(ntohs(addr.sin_port));
+  if (!parsed.value().loopback) {
+    char buf[64];
+    ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+    bound = std::string(buf) + ":" + bound;
+  }
+  return ListenerPtr{std::make_unique<TcpListener>(fd, std::move(bound))};
 }
 
 Result<ConnectionPtr> TcpNetwork::connect(const std::string& address,
                                           Deadline deadline) {
-  const int port = std::atoi(address.c_str());
-  if (port <= 0 || port > 65535) {
-    return Status{StatusCode::kInvalidArgument, "bad port: " + address};
-  }
+  Result<ParsedAddress> parsed = parse_address(address, 1);
+  if (!parsed.is_ok()) return parsed.status();
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return errno_status("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = parsed.value().host;
+  addr.sin_port = htons(parsed.value().port);
   // Non-blocking connect + poll honors the caller's deadline (a blocking
   // ::connect would ignore it for however long the kernel retries SYNs);
   // the handshake outcome is then read back from SO_ERROR.
@@ -540,7 +589,10 @@ Result<ConnectionPtr> TcpNetwork::connect(const std::string& address,
     return Status{StatusCode::kInternal,
                   std::string("connect: ") + std::strerror(err)};
   }
-  return ConnectionPtr{std::make_shared<TcpConnection>(fd, "127.0.0.1:" + address)};
+  char peer[64];
+  ::inet_ntop(AF_INET, &addr.sin_addr, peer, sizeof(peer));
+  return ConnectionPtr{std::make_shared<TcpConnection>(
+      fd, std::string(peer) + ":" + std::to_string(parsed.value().port))};
 }
 
 TcpWireStats tcp_wire_stats() {

@@ -14,34 +14,30 @@ common::Result<std::unique_ptr<MetricsEndpoint>> MetricsEndpoint::start(
     const Options& options) {
   auto listener = net.listen(address);
   if (!listener.is_ok()) return listener.status();
+  auto host = net::ConnectionHost::start(net::ConnectionHost::Options{});
+  if (!host.is_ok()) return host.status();
   std::unique_ptr<MetricsEndpoint> endpoint{
       new MetricsEndpoint(std::move(source), options)};
   endpoint->listener_ = std::move(listener.value());
+  endpoint->host_ = std::move(host).value();
   MetricsEndpoint* self = endpoint.get();
-  // Thread-mode pump: scrapes are rare and a serve thread per scraper is
-  // the simple, obviously-correct shape. The endpoint never sits on a
-  // service's hot path.
+  // Scrapers are hosted like any other population: one request frame in,
+  // one exposition frame enqueued out. An idle endpoint holds no
+  // per-scraper threads at all.
   endpoint->pump_ = std::make_unique<net::AcceptPump>(
-      *endpoint->listener_, [self](net::ConnectionPtr conn) {
-        std::scoped_lock lock(self->mutex_);
+      endpoint->host_->event_host(), *endpoint->listener_,
+      [self](net::ConnectionPtr conn) {
         if (self->stopped_.load(std::memory_order_acquire)) {
           conn->close();
           return;
         }
-        // Reap finished clients lazily on each accept, so the vector stays
-        // bounded by concurrent scrapers (plus stragglers since the last
-        // accept). Joining a done thread returns immediately.
-        std::erase_if(self->clients_, [](const std::unique_ptr<Client>& c) {
-          return c->done.load(std::memory_order_acquire);
-        });
-        auto client = std::make_unique<Client>();
-        Client* raw = client.get();
-        raw->conn = std::move(conn);
-        self->clients_.push_back(std::move(client));
-        raw->thread = std::jthread([self, raw](std::stop_token st) {
-          self->serve(st, raw->conn);
-          raw->done.store(true, std::memory_order_release);
-        });
+        const std::uint64_t id =
+            self->next_id_.fetch_add(1, std::memory_order_relaxed);
+        const bool hosted = self->host_->add(
+            id, conn,
+            [self](std::uint64_t cid, common::Bytes) { self->on_message(cid); },
+            {});
+        if (!hosted) conn->close();  // raced with stop()
       });
   return endpoint;
 }
@@ -50,43 +46,26 @@ MetricsEndpoint::~MetricsEndpoint() { stop(); }
 
 void MetricsEndpoint::stop() {
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
-  if (pump_ != nullptr) pump_->stop();
+  // Uniform teardown order: listener, accept pump, host.
   if (listener_ != nullptr) listener_->close();
-  std::vector<std::unique_ptr<Client>> clients;
-  {
-    std::scoped_lock lock(mutex_);
-    clients.swap(clients_);
-  }
-  for (auto& client : clients) {
-    client->thread.request_stop();
-    client->conn->close();  // wakes a blocked recv with kClosed
-  }
-  for (auto& client : clients) {
-    if (client->thread.joinable()) client->thread.join();
-  }
+  if (pump_ != nullptr) pump_->stop();
+  if (host_ != nullptr) host_->stop();
 }
 
-void MetricsEndpoint::serve(const std::stop_token& st,
-                            net::ConnectionPtr conn) {
-  // One request frame in, one exposition frame out, until the scraper
-  // hangs up or the endpoint stops. The short recv slice bounds how long
-  // stop() waits on an idle scraper.
-  while (!st.stop_requested()) {
-    auto request = conn->recv(common::Deadline::after(common::ms(100)));
-    if (!request.is_ok()) {
-      if (request.status().code() == common::StatusCode::kTimeout) continue;
-      break;  // closed or errored
-    }
-    const std::string text = to_text(source_());
-    common::Bytes reply(text.begin(), text.end());
-    if (!conn->send(common::ByteSpan(reply),
-                    common::Deadline::after(options_.send_timeout))
-             .is_ok()) {
-      break;
-    }
+std::size_t MetricsEndpoint::service_threads() const {
+  return (pump_ && !pump_->event_driven() ? 1 : 0) +
+         (host_ ? host_->thread_count() : 0);
+}
+
+void MetricsEndpoint::on_message(std::uint64_t id) {
+  // Any request frame asks for one fresh snapshot (the request body is not
+  // inspected, matching the historical endpoint). The reply rides the
+  // hosted queue as control traffic: a scraper that stops draining is
+  // disconnected by kDisconnect overflow instead of wedging a thread.
+  const std::string text = to_text(source_());
+  if (host_->reply(id, common::Bytes(text.begin(), text.end()))) {
     scrapes_.fetch_add(1, std::memory_order_relaxed);
   }
-  conn->close();
 }
 
 common::Result<std::string> scrape_text(net::Network& net,

@@ -7,6 +7,11 @@
 // connection re-snapshot, so a soak can poll mid-run over a single
 // connection. loadgen's scrape side lives in obs::scrape_*; CI greps the
 // same text.
+//
+// Scrapers ride a net::ConnectionHost (readiness-driven, request/reply
+// idiom): an idle endpoint holds zero per-scraper threads, and a scraper
+// that stops reading its replies is disconnected by the lossless-or-dead
+// control overflow policy rather than holding a serve thread hostage.
 #pragma once
 
 #include <atomic>
@@ -20,6 +25,7 @@
 #include "common/clock.hpp"
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
+#include "net/conn_host.hpp"
 #include "net/transport.hpp"
 #include "obs/registry.hpp"
 
@@ -34,7 +40,9 @@ class MetricsEndpoint {
   using Source = std::function<Snapshot()>;
 
   struct Options {
-    /// Per-request send deadline; a scraper that stops reading is cut off.
+    /// Historical per-request send deadline. Replies now ride the hosted
+    /// outbound queue; the queue's lossless-or-dead control policy keeps
+    /// the contract (a scraper that stops reading is cut off).
     common::Duration send_timeout = std::chrono::seconds(2);
   };
 
@@ -52,8 +60,8 @@ class MetricsEndpoint {
   MetricsEndpoint(const MetricsEndpoint&) = delete;
   MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
 
-  /// Stops accepting, closes every live scrape connection, joins the serve
-  /// threads. Idempotent.
+  /// Stops accepting, closes every live scrape connection, stops the host.
+  /// Idempotent.
   void stop();
 
   /// Resolved listen address (kernel-assigned ports made concrete).
@@ -64,24 +72,21 @@ class MetricsEndpoint {
     return scrapes_.load(std::memory_order_relaxed);
   }
 
+  /// Threads owned regardless of scraper count (zero per-scraper threads).
+  std::size_t service_threads() const;
+
  private:
   MetricsEndpoint(Source source, Options options);
-  void serve(const std::stop_token& st, net::ConnectionPtr conn);
+  void on_message(std::uint64_t id);
 
   Source source_;
   Options options_;
   net::ListenerPtr listener_;
+  std::unique_ptr<net::ConnectionHost> host_;
   std::unique_ptr<net::AcceptPump> pump_;
+  std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> scrapes_{0};
   std::atomic<bool> stopped_{false};
-
-  std::mutex mutex_;
-  struct Client {
-    net::ConnectionPtr conn;
-    std::atomic<bool> done{false};  ///< serve loop exited; safe to reap
-    std::jthread thread;
-  };
-  std::vector<std::unique_ptr<Client>> clients_;  ///< guarded by mutex_
 };
 
 /// One-shot scrape: connect, request, return the raw exposition text.

@@ -12,7 +12,6 @@ using common::Status;
 using common::StatusCode;
 
 namespace {
-constexpr auto kPumpSlice = std::chrono::milliseconds(50);
 constexpr std::uint32_t kRpcTag = 0x0651;  // "OGSI" RPC channel
 constexpr char kSep = '\x1f';
 
@@ -34,12 +33,17 @@ Result<std::unique_ptr<ServiceHost>> ServiceHost::start(
   }
   auto listener = net.listen(options.address);
   if (!listener.is_ok()) return listener.status();
+  auto conn_host = net::ConnectionHost::start(net::ConnectionHost::Options{});
+  if (!conn_host.is_ok()) return conn_host.status();
   std::unique_ptr<ServiceHost> host{new ServiceHost};
   host->registry_ = std::move(registry);
   host->listener_ = std::move(listener).value();
+  host->host_ = std::move(conn_host).value();
   ServiceHost* self = host.get();
+  // Event-driven accept when the transport allows: registration with the
+  // host is enqueue-only, so the handler is poller-safe.
   host->accept_pump_ = std::make_unique<net::AcceptPump>(
-      *host->listener_,
+      host->host_->event_host(), *host->listener_,
       [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return host;
 }
@@ -48,81 +52,75 @@ ServiceHost::~ServiceHost() { stop(); }
 
 void ServiceHost::stop() {
   if (stopped_.exchange(true)) return;
+  // Uniform teardown order: listener, accept pump, host.
   if (listener_) listener_->close();
   if (accept_pump_) accept_pump_->stop();
-  std::vector<std::jthread> threads;
-  {
-    std::scoped_lock lock(mutex_);
-    threads = std::move(connection_threads_);
-  }
-  for (auto& t : threads) {
-    t.request_stop();
-    if (t.joinable()) t.join();
-  }
+  if (host_) host_->stop();
+}
+
+std::size_t ServiceHost::service_threads() const {
+  return (accept_pump_ && !accept_pump_->event_driven() ? 1 : 0) +
+         (host_ ? host_->thread_count() : 0);
 }
 
 void ServiceHost::handle_conn(net::ConnectionPtr conn) {
-  std::scoped_lock lock(mutex_);
-  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+  if (stopped_.load()) {  // raced with stop(): don't leak a live conn
     conn->close();
     return;
   }
-  net::ConnectionPtr c = std::move(conn);
-  connection_threads_.emplace_back(
-      [this, c](std::stop_token cst) { serve(cst, c); });
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const bool hosted = host_->add(
+      id, conn,
+      [this](std::uint64_t cid, common::Bytes message) {
+        on_message(cid, message);
+      },
+      {});
+  if (!hosted) conn->close();  // raced with stop()
 }
 
-void ServiceHost::serve(const std::stop_token& st, net::ConnectionPtr conn) {
-  while (!st.stop_requested()) {
-    auto raw = conn->recv(Deadline::after(kPumpSlice));
-    if (!raw.is_ok()) {
-      if (raw.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    std::string reply;
-    auto m = wire::Message::decode(raw.value());
-    auto body = m.is_ok() ? wire::extract_string(m.value())
-                          : Result<std::string>{m.status()};
-    if (!body.is_ok()) {
-      reply = std::string("ERR") + kSep + "PROTOCOL_ERROR" + kSep +
-              body.status().to_string();
-    } else {
-      const auto fields = common::split(body.value(), kSep);
-      if (fields.size() >= 2 && fields[0] == "FIND") {
-        std::string out;
-        for (const auto& entry : registry_->find(fields[1])) {
-          if (!out.empty()) out += '\n';
-          out += entry.handle;
-        }
-        reply = std::string("OK") + kSep + out;
-      } else if (fields.size() >= 3 && fields[0] == "INVOKE") {
-        auto service = registry_->resolve(fields[1]);
-        if (!service.is_ok()) {
-          reply = std::string("ERR") + kSep +
-                  std::string(common::to_string(service.status().code())) +
-                  kSep + service.status().message();
-        } else {
-          std::vector<std::string> args(fields.begin() + 3, fields.end());
-          auto result = service.value()->invoke(fields[2], args);
-          if (result.is_ok()) {
-            reply = std::string("OK") + kSep + result.value();
-          } else {
-            reply = std::string("ERR") + kSep +
-                    std::string(common::to_string(result.status().code())) +
-                    kSep + result.status().message();
-          }
-        }
-      } else {
-        reply = std::string("ERR") + kSep + "INVALID_ARGUMENT" + kSep +
-                "bad request";
+void ServiceHost::on_message(std::uint64_t id, const common::Bytes& message) {
+  std::string reply;
+  auto m = wire::Message::decode(message);
+  auto body = m.is_ok() ? wire::extract_string(m.value())
+                        : Result<std::string>{m.status()};
+  if (!body.is_ok()) {
+    reply = std::string("ERR") + kSep + "PROTOCOL_ERROR" + kSep +
+            body.status().to_string();
+  } else {
+    const auto fields = common::split(body.value(), kSep);
+    if (fields.size() >= 2 && fields[0] == "FIND") {
+      std::string out;
+      for (const auto& entry : registry_->find(fields[1])) {
+        if (!out.empty()) out += '\n';
+        out += entry.handle;
       }
-    }
-    if (!conn->send(wire::make_control_message(kRpcTag, reply).encode(),
-                    Deadline::after(std::chrono::seconds(2)))
-             .is_ok()) {
-      return;
+      reply = std::string("OK") + kSep + out;
+    } else if (fields.size() >= 3 && fields[0] == "INVOKE") {
+      auto service = registry_->resolve(fields[1]);
+      if (!service.is_ok()) {
+        reply = std::string("ERR") + kSep +
+                std::string(common::to_string(service.status().code())) + kSep +
+                service.status().message();
+      } else {
+        std::vector<std::string> args(fields.begin() + 3, fields.end());
+        auto result = service.value()->invoke(fields[2], args);
+        if (result.is_ok()) {
+          reply = std::string("OK") + kSep + result.value();
+        } else {
+          reply = std::string("ERR") + kSep +
+                  std::string(common::to_string(result.status().code())) +
+                  kSep + result.status().message();
+        }
+      }
+    } else {
+      reply = std::string("ERR") + kSep + "INVALID_ARGUMENT" + kSep +
+              "bad request";
     }
   }
+  // Replies are control traffic (lossless-or-dead): a client that stops
+  // draining them is disconnected, never silently starved.
+  (void)host_->reply(id,
+                     wire::make_control_message(kRpcTag, reply).encode());
 }
 
 Result<ServiceClient> ServiceClient::connect(net::Network& net,

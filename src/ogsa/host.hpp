@@ -18,6 +18,7 @@
 
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
+#include "net/conn_host.hpp"
 #include "net/transport.hpp"
 #include "ogsa/registry.hpp"
 
@@ -38,17 +39,23 @@ class ServiceHost {
   void stop();
 
   std::shared_ptr<Registry> registry() const { return registry_; }
+  /// Resolved listen address (the kernel-assigned port when the options
+  /// asked for "0").
+  std::string address() const { return listener_->address(); }
+  /// Threads owned regardless of connection count (the hosted request/reply
+  /// path replaced the thread-per-connection serve loop).
+  std::size_t service_threads() const;
 
  private:
   ServiceHost() = default;
   void handle_conn(net::ConnectionPtr conn);
-  void serve(const std::stop_token& st, net::ConnectionPtr conn);
+  void on_message(std::uint64_t id, const common::Bytes& message);
 
   std::shared_ptr<Registry> registry_;
   net::ListenerPtr listener_;
+  std::unique_ptr<net::ConnectionHost> host_;
   std::unique_ptr<net::AcceptPump> accept_pump_;
-  std::mutex mutex_;
-  std::vector<std::jthread> connection_threads_;
+  std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> stopped_{false};
 };
 

@@ -4,25 +4,25 @@
 
 namespace cs::unicore {
 
-using common::Deadline;
 using common::Result;
 using common::Status;
 using common::StatusCode;
-
-namespace {
-constexpr auto kPumpSlice = std::chrono::milliseconds(50);
-}
 
 Result<std::unique_ptr<Gateway>> Gateway::start(net::Network& net,
                                                 const Options& options) {
   auto listener = net.listen(options.address);
   if (!listener.is_ok()) return listener.status();
+  auto host = net::ConnectionHost::start(net::ConnectionHost::Options{});
+  if (!host.is_ok()) return host.status();
   std::unique_ptr<Gateway> gw{new Gateway};
   gw->options_ = options;
   gw->listener_ = std::move(listener).value();
+  gw->host_ = std::move(host).value();
   Gateway* self = gw.get();
+  // Event-driven accept when the transport allows: registration with the
+  // host is enqueue-only, so the handler is poller-safe.
   gw->accept_pump_ = std::make_unique<net::AcceptPump>(
-      *gw->listener_,
+      gw->host_->event_host(), *gw->listener_,
       [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
   return gw;
 }
@@ -31,18 +31,10 @@ Gateway::~Gateway() { stop(); }
 
 void Gateway::stop() {
   if (stopped_.exchange(true)) return;
+  // Uniform teardown order: listener, accept pump, host.
   if (listener_) listener_->close();
   if (accept_pump_) accept_pump_->stop();
-  std::vector<std::jthread> threads;
-  {
-    std::scoped_lock lock(mutex_);
-    threads = std::move(connection_threads_);
-    connection_threads_.clear();
-  }
-  for (auto& t : threads) {
-    t.request_stop();
-    if (t.joinable()) t.join();
-  }
+  if (host_) host_->stop();
 }
 
 void Gateway::register_vsite(Njs& njs) {
@@ -58,39 +50,39 @@ Gateway::Stats Gateway::stats() const {
   return out;
 }
 
+std::size_t Gateway::service_threads() const {
+  return (accept_pump_ && !accept_pump_->event_driven() ? 1 : 0) +
+         (host_ ? host_->thread_count() : 0);
+}
+
 void Gateway::handle_conn(net::ConnectionPtr conn) {
-  std::scoped_lock lock(mutex_);
-  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
+  if (stopped_.load()) {  // raced with stop(): don't leak a live conn
     conn->close();
     return;
   }
-  net::ConnectionPtr c = std::move(conn);
-  connection_threads_.emplace_back(
-      [this, c](std::stop_token cst) { serve_connection(cst, c); });
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // The gateway keeps no per-connection state beyond the host's own entry,
+  // so teardown-for-cause needs no service-side cleanup.
+  const bool hosted = host_->add(
+      id, conn,
+      [this](std::uint64_t cid, common::Bytes message) {
+        on_message(cid, message);
+      },
+      {});
+  if (!hosted) conn->close();  // raced with stop()
 }
 
-void Gateway::serve_connection(const std::stop_token& st,
-                               net::ConnectionPtr conn) {
-  while (!st.stop_requested()) {
-    auto raw = conn->recv(Deadline::after(kPumpSlice));
-    if (!raw.is_ok()) {
-      if (raw.status().code() == StatusCode::kClosed) return;
-      continue;
-    }
-    UplResponse response;
-    auto request = decode_upl_request(raw.value());
-    if (!request.is_ok()) {
-      response.status = request.status();
-    } else {
-      response = handle(request.value());
-    }
-    if (!conn->send(encode_upl_response(response),
-                    Deadline::after(std::chrono::seconds(2)))
-             .is_ok()) {
-      conn->close();
-      return;
-    }
+void Gateway::on_message(std::uint64_t id, const common::Bytes& message) {
+  UplResponse response;
+  auto request = decode_upl_request(message);
+  if (!request.is_ok()) {
+    response.status = request.status();
+  } else {
+    response = handle(request.value());
   }
+  // Replies are control traffic: a client that stops draining its replies
+  // is disconnected (lossless-or-dead), never silently starved.
+  (void)host_->reply(id, encode_upl_response(response));
 }
 
 UplResponse Gateway::handle(const UplRequest& request) {

@@ -21,6 +21,7 @@
 
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
+#include "net/conn_host.hpp"
 #include "net/transport.hpp"
 #include "obs/registry.hpp"
 #include "unicore/identity.hpp"
@@ -58,22 +59,27 @@ class Gateway {
 
   /// Snapshot of the transaction counters (shim over the metrics registry).
   Stats stats() const;
+  /// Threads owned regardless of connection count (the hosted request/reply
+  /// path replaced the thread-per-connection serve loop).
+  std::size_t service_threads() const;
   /// The service's metrics registry (source of truth for the counters).
   obs::Registry& metrics() noexcept { return metrics_; }
-  const std::string& address() const noexcept { return options_.address; }
+  /// Resolved listen address (kernel-assigned ports made concrete).
+  std::string address() const { return listener_->address(); }
 
  private:
   Gateway() = default;
   void handle_conn(net::ConnectionPtr conn);
-  void serve_connection(const std::stop_token& st, net::ConnectionPtr conn);
+  void on_message(std::uint64_t id, const common::Bytes& message);
 
   Options options_;
   net::ListenerPtr listener_;
+  std::unique_ptr<net::ConnectionHost> host_;
   std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::map<std::string, Njs*> vsites_;
   TrustStore trust_;
-  std::vector<std::jthread> connection_threads_;
+  std::atomic<std::uint64_t> next_id_{1};
   /// Registry-backed counters; stats() reads them back for the old shape.
   obs::Registry metrics_;
   obs::Counter& ctr_transactions_ =

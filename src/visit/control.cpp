@@ -11,18 +11,20 @@ using common::Result;
 using common::Status;
 using common::StatusCode;
 
-namespace {
-constexpr auto kPumpSlice = std::chrono::milliseconds(50);
-}
-
 Result<std::unique_ptr<ControlServer>> ControlServer::start(
     net::Network& net, const Options& options) {
   auto listener = net.listen(options.address);
   if (!listener.is_ok()) return listener.status();
+  auto host = net::ConnectionHost::start(
+      net::ConnectionHost::Options{.queue_capacity = options.queue_capacity});
+  if (!host.is_ok()) return host.status();
   std::unique_ptr<ControlServer> server{new ControlServer};
   server->options_ = options;
   server->listener_ = std::move(listener).value();
+  server->host_ = std::move(host).value();
   ControlServer* self = server.get();
+  // Thread-mode accept on purpose: the password handshake and role read
+  // block, which a poller thread must never do.
   server->accept_pump_ = std::make_unique<net::AcceptPump>(
       *server->listener_,
       [self](net::ConnectionPtr conn) { self->handle_conn(std::move(conn)); });
@@ -33,38 +35,25 @@ ControlServer::~ControlServer() { stop(); }
 
 void ControlServer::stop() {
   if (stopped_.exchange(true)) return;
+  // Uniform teardown order: close the listener, stop the accept pump so no
+  // late arrival can register, stop the host (joins every delivery thread —
+  // after this no on_message can run), then clear the registry race-free.
   if (listener_) listener_->close();
-  // Stop the pump before tearing down participants so no late arrival can
-  // register against a dying registry.
   if (accept_pump_) accept_pump_->stop();
-  std::vector<Participant> doomed;
-  std::vector<std::jthread> graves;
-  {
-    std::scoped_lock lock(mutex_);
-    for (auto& [id, p] : participants_) {
-      p.conn->close();
-      doomed.push_back(std::move(p));
-    }
-    participants_.clear();
-    graves = std::move(graveyard_);
-  }
-  for (auto& p : doomed) {
-    if (p.pump.joinable()) {
-      p.pump.request_stop();
-      p.pump.join();
-    }
-  }
-  for (auto& t : graves) {
-    if (t.joinable()) {
-      t.request_stop();
-      t.join();
-    }
-  }
+  if (host_) host_->stop();
+  std::scoped_lock lock(mutex_);
+  for (auto& [id, p] : participants_) p.conn->close();
+  participants_.clear();
 }
 
 std::size_t ControlServer::participant_count() const {
   std::scoped_lock lock(mutex_);
   return participants_.size();
+}
+
+std::size_t ControlServer::service_threads() const {
+  return (accept_pump_ && !accept_pump_->event_driven() ? 1 : 0) +
+         (host_ ? host_->thread_count() : 0);
 }
 
 ControlServer::Stats ControlServer::stats() const {
@@ -90,77 +79,60 @@ void ControlServer::handle_conn(net::ConnectionPtr conn) {
   if (!body.is_ok()) return;
   const bool actor = (body.value() == "actor");
 
-  std::scoped_lock lock(mutex_);
-  if (stopped_.load()) {  // raced with stop(): don't leak a live pump
-    conn->close();
-    return;
+  std::uint64_t id = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopped_.load()) {  // raced with stop(): don't leak a live conn
+      conn->close();
+      return;
+    }
+    id = next_id_++;
+    participants_.emplace(id, Participant{conn, actor});
   }
-  const std::uint64_t id = next_id_++;
-  Participant p;
-  p.conn = std::move(conn);
-  p.actor = actor;
-  participants_.emplace(id, std::move(p));
-  participants_[id].pump =
-      std::jthread([this, id](std::stop_token pst) { pump(pst, id); });
+  // Register with the host *after* the participant exists, so the first
+  // delivered message always finds it. The host owns delivery from here on.
+  const bool hosted = host_->add(
+      id, conn,
+      [this, actor](std::uint64_t pid, common::Bytes message) {
+        on_message(pid, actor, message);
+      },
+      [this](std::uint64_t pid, const Status&) { remove(pid); });
+  if (!hosted) {  // raced with stop(): the host refused, unwind
+    remove(id);
+  }
 }
 
-void ControlServer::pump(const std::stop_token& st, std::uint64_t id) {
-  net::ConnectionPtr conn;
-  bool actor = false;
+void ControlServer::on_message(std::uint64_t id, bool actor,
+                               const common::Bytes& message) {
+  auto m = wire::Message::decode(message);
+  if (!m.is_ok() || m.value().header.tag == kTagBye) {
+    remove(id);
+    return;
+  }
+  if (m.value().header.tag != kTagControlData) return;
+  if (!actor) {
+    ctr_updates_rejected_.add();
+    return;
+  }
+  ctr_updates_relayed_.add();
+  // Relay to everyone else. Drop-oldest keeps the old best-effort contract:
+  // a participant that cannot keep up misses stale updates instead of
+  // stalling the fan-out (the next view matrix supersedes the missed one).
+  host_->publish_except(
+      id, common::OutboundQueue::Item{common::make_frame(message),
+                                      common::OverflowPolicy::kDropOldest,
+                                      nullptr});
+}
+
+void ControlServer::remove(std::uint64_t id) {
   {
     std::scoped_lock lock(mutex_);
     auto it = participants_.find(id);
     if (it == participants_.end()) return;
-    conn = it->second.conn;
-    actor = it->second.actor;
+    it->second.conn->close();
+    participants_.erase(it);
   }
-  while (!st.stop_requested()) {
-    auto raw = conn->recv(Deadline::after(kPumpSlice));
-    if (!raw.is_ok()) {
-      if (raw.status().code() == StatusCode::kClosed) {
-        remove(id);
-        return;
-      }
-      continue;
-    }
-    auto m = wire::Message::decode(raw.value());
-    if (!m.is_ok()) {
-      remove(id);
-      return;
-    }
-    if (m.value().header.tag == kTagBye) {
-      remove(id);
-      return;
-    }
-    if (m.value().header.tag != kTagControlData) continue;
-    if (!actor) {
-      ctr_updates_rejected_.add();
-      continue;
-    }
-    // Relay to everyone else, best effort within the forward timeout.
-    std::vector<net::ConnectionPtr> targets;
-    {
-      std::scoped_lock lock(mutex_);
-      for (const auto& [pid, p] : participants_) {
-        if (pid != id) targets.push_back(p.conn);
-      }
-    }
-    ctr_updates_relayed_.add();
-    const common::Bytes frame = raw.value();
-    for (auto& t : targets) {
-      (void)t->send(frame, Deadline::after(options_.forward_timeout));
-    }
-  }
-}
-
-void ControlServer::remove(std::uint64_t id) {
-  std::scoped_lock lock(mutex_);
-  auto it = participants_.find(id);
-  if (it == participants_.end()) return;
-  it->second.conn->close();
-  it->second.pump.request_stop();
-  graveyard_.push_back(std::move(it->second.pump));
-  participants_.erase(it);
+  host_->remove(id);
 }
 
 Result<ControlClient> ControlClient::connect(net::Network& net,

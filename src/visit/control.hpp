@@ -27,6 +27,7 @@
 #include "common/clock.hpp"
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
+#include "net/conn_host.hpp"
 #include "net/transport.hpp"
 #include "obs/registry.hpp"
 #include "wire/message.hpp"
@@ -40,9 +41,13 @@ class ControlServer {
   struct Options {
     std::string address;   ///< address participants connect to
     std::string password;  ///< shared session password
-    /// Per-participant relay deadline; a slow participant misses the update
-    /// rather than delaying the rest of the fan-out.
+    /// Historical per-participant relay deadline. Relays now ride each
+    /// participant's bounded outbound queue (drop-oldest), which preserves
+    /// the contract the deadline enforced: a slow participant misses
+    /// updates rather than delaying the rest of the fan-out.
     common::Duration forward_timeout = std::chrono::milliseconds(20);
+    /// Per-participant relay queue bound, in frames.
+    std::size_t queue_capacity = 32;
   };
 
   struct Stats {
@@ -58,35 +63,40 @@ class ControlServer {
   ControlServer(const ControlServer&) = delete;
   ControlServer& operator=(const ControlServer&) = delete;
 
-  /// Disconnects every participant and joins all pumps. Idempotent.
+  /// Disconnects every participant and stops the hosting threads.
+  /// Idempotent.
   void stop();
+  /// Resolved listen address (kernel-assigned ports made concrete).
+  std::string address() const { return listener_->address(); }
   /// Number of currently connected participants.
   std::size_t participant_count() const;
   /// Snapshot of the relay counters (shim over the metrics registry).
   Stats stats() const;
+  /// Threads the server owns regardless of participant count: the accept
+  /// pump plus the connection host (pollers + fallback pump).
+  std::size_t service_threads() const;
   /// The service's metrics registry (source of truth for the counters).
   obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   ControlServer() = default;
   /// Accept-pump handler: handshake + role declaration (blocking, on the
-  /// pump thread), then participant registration.
+  /// pump thread), then registration with the connection host.
   void handle_conn(net::ConnectionPtr conn);
-  void pump(const std::stop_token& st, std::uint64_t id);
+  void on_message(std::uint64_t id, bool actor, const common::Bytes& message);
   void remove(std::uint64_t id);
 
   struct Participant {
     net::ConnectionPtr conn;
     bool actor = false;
-    std::jthread pump;
   };
 
   Options options_;
   net::ListenerPtr listener_;
+  std::unique_ptr<net::ConnectionHost> host_;
   std::unique_ptr<net::AcceptPump> accept_pump_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Participant> participants_;
-  std::vector<std::jthread> graveyard_;
   std::uint64_t next_id_ = 1;
   /// Registry-backed counters; stats() reads them back for the old shape.
   obs::Registry metrics_;

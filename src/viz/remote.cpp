@@ -18,7 +18,6 @@ using common::StatusCode;
 using common::Vec3;
 
 namespace {
-constexpr auto kPumpSlice = std::chrono::milliseconds(50);
 constexpr std::uint32_t kTagView = 0x7601;     // viewpoint event (control)
 constexpr std::uint32_t kTagFrame = 0x7602;    // compressed frame (data)
 constexpr std::uint32_t kTagScene = 0x7603;    // geometry snapshot (data)
@@ -194,10 +193,13 @@ Result<std::unique_ptr<RemoteRenderServer>> RemoteRenderServer::start(
   if (!scene) return Status{StatusCode::kInvalidArgument, "null scene"};
   auto listener = net.listen(options.address);
   if (!listener.is_ok()) return listener.status();
+  auto host = net::ConnectionHost::start(net::ConnectionHost::Options{});
+  if (!host.is_ok()) return host.status();
   std::unique_ptr<RemoteRenderServer> server{new RemoteRenderServer};
   server->options_ = options;
   server->scene_ = std::move(scene);
   server->listener_ = std::move(listener).value();
+  server->host_ = std::move(host).value();
   RemoteRenderServer* self = server.get();
   common::ShardedFanout::Options pipeline_options;
   pipeline_options.shards =
@@ -232,11 +234,13 @@ Result<std::unique_ptr<RemoteRenderServer>> RemoteRenderServer::start(
   self->metrics_.timer_fn("stage_enqueue_to_write", [self] {
     return self->pipeline_->stats().stages.enqueue_to_write;
   });
-  // Accepts happen on the pump's thread, but admission stays with the
-  // render loop: the pump only parks connections, and the loop drains them
-  // at the point where the ordering/seeding invariant holds.
+  // Accepts ride the host's pollers when the transport allows, but
+  // admission stays with the render loop: the handler only parks
+  // connections (enqueue-only, poller-safe), and the loop drains them at
+  // the point where the ordering/seeding invariant holds.
   server->accept_pump_ = std::make_unique<net::AcceptPump>(
-      *server->listener_, [self](net::ConnectionPtr conn) {
+      server->host_->event_host(), *server->listener_,
+      [self](net::ConnectionPtr conn) {
         std::scoped_lock lock(self->pending_mutex_);
         if (self->stopped_.load()) {
           conn->close();
@@ -254,6 +258,8 @@ RemoteRenderServer::~RemoteRenderServer() { stop(); }
 void RemoteRenderServer::stop() {
   if (stopped_.exchange(true)) return;
   render_thread_.request_stop();
+  // Uniform teardown order: listener, accept pump, host, then the egress
+  // pipeline once ingress is quiesced.
   if (listener_) listener_->close();
   if (accept_pump_) accept_pump_->stop();
   if (render_thread_.joinable()) render_thread_.join();
@@ -264,39 +270,29 @@ void RemoteRenderServer::stop() {
     pending_conns_.clear();
   }
   // Close every client connection first — that wakes any pipeline worker
-  // blocked inside a send with kClosed immediately — then join the
-  // workers. The lock is not held across pipeline_->stop(): a worker may
-  // be blocked in its on-dead callback (drop_client) waiting for it.
+  // blocked inside a send with kClosed immediately. Stopping the host next
+  // quiesces view-event ingress, so nothing enqueues into the pipeline
+  // while it drains; the lock is not held across either stop(): a worker
+  // may be blocked in its on-dead callback (drop_client) waiting for it.
   {
     std::scoped_lock lock(clients_mutex_);
-    for (auto& [id, client] : clients_) client.conn->close();
+    for (auto& [id, conn] : clients_) conn->close();
   }
+  if (host_) host_->stop();
   if (pipeline_) pipeline_->stop();
-  std::vector<Client> doomed;
-  std::vector<std::jthread> graves;
-  {
-    std::scoped_lock lock(clients_mutex_);
-    for (auto& [id, client] : clients_) doomed.push_back(std::move(client));
-    clients_.clear();
-    graves = std::move(graveyard_);
-  }
-  for (auto& c : doomed) {
-    if (c.pump.joinable()) {
-      c.pump.request_stop();
-      c.pump.join();
-    }
-  }
-  for (auto& t : graves) {
-    if (t.joinable()) {
-      t.request_stop();
-      t.join();
-    }
-  }
+  std::scoped_lock lock(clients_mutex_);
+  clients_.clear();
 }
 
 std::size_t RemoteRenderServer::client_count() const {
   std::scoped_lock lock(clients_mutex_);
   return clients_.size();
+}
+
+std::size_t RemoteRenderServer::service_threads() const {
+  return (accept_pump_ && !accept_pump_->event_driven() ? 1 : 0) +
+         (host_ ? host_->thread_count() : 0) + 1 /* render loop */ +
+         (pipeline_ ? pipeline_->shard_count() : 0);
 }
 
 RemoteRenderServer::Stats RemoteRenderServer::stats() const {
@@ -401,7 +397,7 @@ void RemoteRenderServer::admit(
   {
     std::scoped_lock lock(clients_mutex_);
     id = next_client_id_++;
-    clients_[id].conn = conn;
+    clients_[id] = conn;
   }
   // The newcomer's key frame is the seeded replay: its fresh DeltaEncoder
   // has no baseline, so the seed encodes self-contained, and every delta
@@ -421,14 +417,15 @@ void RemoteRenderServer::admit(
             return deliver_batch(*lane, items, delivered);
           }},
       std::move(replay));
-  // Start the pump only once the subscription exists, so a view ack can
+  // Host ingress only once the subscription exists, so a view ack can
   // never race its own client's registration.
-  std::scoped_lock lock(clients_mutex_);
-  auto it = clients_.find(id);
-  if (it != clients_.end()) {
-    it->second.pump = std::jthread(
-        [this, id](std::stop_token pst) { client_pump(pst, id); });
-  }
+  const bool hosted = host_->add(
+      id, conn,
+      [this](std::uint64_t cid, common::Bytes message) {
+        on_view_event(cid, message);
+      },
+      [this](std::uint64_t cid, const common::Status&) { drop_client(cid); });
+  if (!hosted) drop_client(id);  // raced with stop()
 }
 
 Status RemoteRenderServer::deliver_batch(
@@ -508,52 +505,35 @@ Status RemoteRenderServer::deliver(Lane& lane,
   return s;
 }
 
-void RemoteRenderServer::client_pump(const std::stop_token& st,
-                                     std::uint64_t id) {
-  net::ConnectionPtr conn;
+void RemoteRenderServer::on_view_event(std::uint64_t id,
+                                       const common::Bytes& message) {
+  auto m = wire::Message::decode(message);
+  if (!m.is_ok()) return;
+  if (m.value().header.tag != kTagView) return;
+  auto body = wire::extract_string(m.value());
+  if (!body.is_ok()) return;
+  auto camera = Camera::parse(body.value());
+  if (!camera.is_ok()) return;
   {
-    std::scoped_lock lock(clients_mutex_);
-    auto it = clients_.find(id);
-    if (it == clients_.end()) return;
-    conn = it->second.conn;
+    std::scoped_lock lock(camera_mutex_);
+    camera_ = camera.value();  // shared camera: VizServer collaboration
+    const std::uint64_t version = ++camera_version_;
+    // Ack the applied view to its sender. Control class: lossless-or-dead
+    // (an ack is never shed; a client that cannot take one is torn down),
+    // coalescing on the tag so a burst of view events supersedes the
+    // queued ack in place instead of overflowing the shallow queue.
+    // Enqueued while the camera lock is held so the render loop cannot
+    // observe the new version — and publish its frame — first: in the
+    // sender's queue the ack always precedes the frame it provoked.
+    common::OutboundQueue::Item ack;
+    ack.frame = common::make_frame(
+        wire::make_control_message(kTagViewAck, std::to_string(version))
+            .encode());
+    ack.policy = common::OverflowPolicy::kDisconnect;
+    ack.coalesce_key = kTagViewAck;
+    (void)pipeline_->send_to(id, std::move(ack));
   }
-  while (!st.stop_requested()) {
-    auto raw = conn->recv(Deadline::after(kPumpSlice));
-    if (!raw.is_ok()) {
-      if (raw.status().code() == StatusCode::kClosed) {
-        drop_client(id);
-        return;
-      }
-      continue;
-    }
-    auto m = wire::Message::decode(raw.value());
-    if (!m.is_ok()) continue;
-    if (m.value().header.tag != kTagView) continue;
-    auto body = wire::extract_string(m.value());
-    if (!body.is_ok()) continue;
-    auto camera = Camera::parse(body.value());
-    if (!camera.is_ok()) continue;
-    {
-      std::scoped_lock lock(camera_mutex_);
-      camera_ = camera.value();  // shared camera: VizServer collaboration
-      const std::uint64_t version = ++camera_version_;
-      // Ack the applied view to its sender. Control class: lossless-or-dead
-      // (an ack is never shed; a client that cannot take one is torn down),
-      // coalescing on the tag so a burst of view events supersedes the
-      // queued ack in place instead of overflowing the shallow queue.
-      // Enqueued while the camera lock is held so the render loop cannot
-      // observe the new version — and publish its frame — first: in the
-      // sender's queue the ack always precedes the frame it provoked.
-      common::OutboundQueue::Item ack;
-      ack.frame = common::make_frame(
-          wire::make_control_message(kTagViewAck, std::to_string(version))
-              .encode());
-      ack.policy = common::OverflowPolicy::kDisconnect;
-      ack.coalesce_key = kTagViewAck;
-      (void)pipeline_->send_to(id, std::move(ack));
-    }
-    ctr_view_events_.add();
-  }
+  ctr_view_events_.add();
 }
 
 void RemoteRenderServer::drop_client(std::uint64_t id) {
@@ -561,16 +541,16 @@ void RemoteRenderServer::drop_client(std::uint64_t id) {
   // item already claimed by a worker may still complete against the
   // closing connection, which reports kClosed harmlessly.
   pipeline_->remove(id);
-  std::scoped_lock lock(clients_mutex_);
-  auto it = clients_.find(id);
-  if (it == clients_.end()) return;
-  it->second.conn->close();
-  it->second.pump.request_stop();
-  // This may run on the client's own pump thread (or a pipeline worker),
-  // so the jthread cannot be joined here; it is parked and joined at
-  // stop() time.
-  graveyard_.push_back(std::move(it->second.pump));
-  clients_.erase(it);
+  {
+    std::scoped_lock lock(clients_mutex_);
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    it->second->close();
+    clients_.erase(it);
+  }
+  // Outside the lock: may run on a host delivery thread (own on_close —
+  // safe and idempotent) or a pipeline worker.
+  host_->remove(id);
 }
 
 // ---------------------------------------------------------------------------

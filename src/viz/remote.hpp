@@ -27,6 +27,7 @@
 #include "common/fanout.hpp"
 #include "common/status.hpp"
 #include "net/accept_pump.hpp"
+#include "net/conn_host.hpp"
 #include "net/transport.hpp"
 #include "obs/registry.hpp"
 #include "viz/camera.hpp"
@@ -134,6 +135,10 @@ class RemoteRenderServer {
   std::string address() const { return listener_->address(); }
 
   std::size_t client_count() const;
+  /// Threads owned regardless of client count: render loop, pipeline
+  /// shards, and the connection host's pollers. View-event ingress rides
+  /// the hosted readiness path, so clients add no threads.
+  std::size_t service_threads() const;
   /// Snapshot of the pipeline counters (shim over the metrics registry).
   Stats stats() const;
   /// The service's metrics registry (source of truth for the counters).
@@ -167,11 +172,6 @@ class RemoteRenderServer {
     std::uint64_t delivered_seq = 0;
   };
 
-  struct Client {
-    net::ConnectionPtr conn;
-    std::jthread pump;
-  };
-
   RemoteRenderServer() = default;
   void render_loop(const std::stop_token& st);
   /// Drains the pending-connection queue (fed by the accept pump),
@@ -185,7 +185,10 @@ class RemoteRenderServer {
       const std::shared_ptr<const RenderedFrame>& last_published);
   void admit(net::ConnectionPtr conn,
              const std::shared_ptr<const RenderedFrame>& last_published);
-  void client_pump(const std::stop_token& st, std::uint64_t id);
+  /// Hosted ingress handler: decodes a viewpoint event, applies it to the
+  /// shared camera, and enqueues the ack. Runs on a host delivery thread —
+  /// enqueue-only, never blocks on a connection.
+  void on_view_event(std::uint64_t id, const common::Bytes& message);
   /// Compresses (data frames) and sends one queued item for `lane`'s
   /// client; runs on a pipeline worker.
   common::Status deliver(Lane& lane, const common::OutboundQueue::Item& item);
@@ -196,26 +199,30 @@ class RemoteRenderServer {
   common::Status deliver_batch(
       Lane& lane, std::span<const common::OutboundQueue::Item> items,
       std::size_t& delivered);
-  /// Deregisters a client and parks its pump for joining at stop(). Safe
-  /// from any thread, including the client's own pump and the pipeline
-  /// workers (on_dead).
+  /// Deregisters a client from the pipeline and the connection host. Safe
+  /// from any thread, including host delivery threads (on_close) and the
+  /// pipeline workers (on_dead).
   void drop_client(std::uint64_t id);
 
   Options options_;
   std::shared_ptr<SceneStore> scene_;
   net::ListenerPtr listener_;
-  /// Blocks in accept() on its own thread and parks fresh connections in
-  /// pending_conns_; the render loop admits them at the one point in its
-  /// iteration where the seeding invariant holds. Replaces the old
-  /// expired-deadline accept poll that spun the render loop.
+  /// Parks fresh connections in pending_conns_ (event-driven off the
+  /// host's pollers when the transport allows); the render loop admits
+  /// them at the one point in its iteration where the seeding invariant
+  /// holds. Replaces the old expired-deadline accept poll that spun the
+  /// render loop.
   std::unique_ptr<net::AcceptPump> accept_pump_;
   std::mutex pending_mutex_;  // guards pending_conns_
   std::deque<net::ConnectionPtr> pending_conns_;
   std::unique_ptr<common::ShardedFanout> pipeline_;
+  /// Hosts every client connection for view-event ingress; frame egress
+  /// stays on the pipeline because each client needs a per-consumer delta
+  /// encode keyed off its own delivery history.
+  std::unique_ptr<net::ConnectionHost> host_;
   std::jthread render_thread_;
-  mutable std::mutex clients_mutex_;  // guards clients_, graveyard_, ids
-  std::map<std::uint64_t, Client> clients_;
-  std::vector<std::jthread> graveyard_;
+  mutable std::mutex clients_mutex_;  // guards clients_, ids
+  std::map<std::uint64_t, net::ConnectionPtr> clients_;
   std::uint64_t next_client_id_ = 1;
   mutable std::mutex camera_mutex_;  // guards the shared camera + version
   Camera camera_;

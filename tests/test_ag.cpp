@@ -496,5 +496,88 @@ TEST(Desktop, ViewerDisconnectCleansUp) {
   EXPECT_TRUE(server.value()->update(test_frame(20, 20, 1)).is_ok());
 }
 
+TEST(Desktop, TcpViewersAreHostedWithoutPumpThreads) {
+  // Sixteen TCP viewers land on the shared readiness host: the server's
+  // thread count stays where it was with one viewer, and a key frame still
+  // reaches the whole populated fleet.
+  net::TcpNetwork net;
+  auto server = DesktopShareServer::start(net, {"0"});
+  ASSERT_TRUE(server.is_ok());
+  ASSERT_TRUE(server.value()->update(test_frame(32, 24, 60)).is_ok());
+  const std::string address = server.value()->address();
+
+  std::vector<DesktopShareViewer> viewers;
+  std::size_t threads_with_one = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto viewer = DesktopShareViewer::connect(net, address, Deadline::after(5s));
+    ASSERT_TRUE(viewer.is_ok());
+    viewers.push_back(std::move(viewer).value());
+    if (i == 0) {
+      const auto first_deadline = Deadline::after(5s);
+      while (server.value()->viewer_count() < 1 &&
+             !first_deadline.has_expired()) {
+        std::this_thread::sleep_for(2ms);
+      }
+      threads_with_one = server.value()->service_threads();
+    }
+  }
+  auto deadline = Deadline::after(5s);
+  while (server.value()->viewer_count() < 16 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(server.value()->viewer_count(), 16u);
+  EXPECT_EQ(server.value()->service_threads(), threads_with_one);
+  EXPECT_LE(server.value()->service_threads(), 2u);
+
+  // Every viewer decodes the join snapshot; the ingress path still works
+  // with the fleet attached.
+  for (auto& viewer : viewers) {
+    auto first = viewer.await_update(Deadline::after(5s));
+    ASSERT_TRUE(first.is_ok());
+    EXPECT_EQ(first.value(), test_frame(32, 24, 60));
+  }
+  ASSERT_TRUE(viewers[0].send_event("poll", Deadline::after(2s)).is_ok());
+  deadline = Deadline::after(5s);
+  while (server.value()->stats().events_received < 1 &&
+         !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_EQ(server.value()->stats().events_received, 1u);
+
+  server.value()->stop();
+  server.value()->stop();  // idempotent
+  EXPECT_FALSE(
+      DesktopShareViewer::connect(net, address, Deadline::after(200ms))
+          .is_ok());
+}
+
+TEST(Desktop, InProcViewersShareOneFallbackPump) {
+  // Handle-less viewers share the connection host's single fallback pump;
+  // the population never grows the thread count.
+  net::InProcNetwork net;
+  auto server = DesktopShareServer::start(net, {"vnc:flat"});
+  ASSERT_TRUE(server.is_ok());
+  ASSERT_TRUE(server.value()->update(test_frame(16, 12, 30)).is_ok());
+  std::vector<DesktopShareViewer> viewers;
+  for (int i = 0; i < 8; ++i) {
+    auto viewer =
+        DesktopShareViewer::connect(net, "vnc:flat", Deadline::after(5s));
+    ASSERT_TRUE(viewer.is_ok());
+    viewers.push_back(std::move(viewer).value());
+  }
+  const auto deadline = Deadline::after(5s);
+  while (server.value()->viewer_count() < 8 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(server.value()->viewer_count(), 8u);
+  // In-process accept pump + epoll poller + shared fallback pump.
+  EXPECT_LE(server.value()->service_threads(), 3u);
+  for (auto& viewer : viewers) {
+    ASSERT_TRUE(viewer.await_update(Deadline::after(5s)).is_ok());
+  }
+  server.value()->stop();
+  server.value()->stop();
+}
+
 }  // namespace
 }  // namespace cs::ag

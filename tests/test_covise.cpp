@@ -191,6 +191,46 @@ TEST(Crb, UnknownHostReported) {
   EXPECT_FALSE(r.is_ok());
 }
 
+TEST(Crb, HostedPeersKeepServeThreadsFlat) {
+  // Several peer brokers fetch from hostA; every inbound connection rides
+  // the serving broker's connection host (shared fallback pump for these
+  // handle-less links), so its thread count is the same with four peers
+  // attached as with one.
+  net::InProcNetwork net;
+  auto sds_a = std::make_shared<SharedDataSpace>("hostA");
+  auto crb_a = RequestBroker::start(net, sds_a, "flat");
+  ASSERT_TRUE(crb_a.is_ok());
+  auto obj = std::make_shared<DataObject>("hostA/src/field/0",
+                                          make_test_field(8));
+  ASSERT_TRUE(sds_a->put(obj).is_ok());
+
+  std::vector<std::shared_ptr<SharedDataSpace>> peer_spaces;
+  std::vector<std::unique_ptr<RequestBroker>> peers;
+  std::size_t threads_with_one = 0;
+  for (int i = 0; i < 4; ++i) {
+    peer_spaces.push_back(
+        std::make_shared<SharedDataSpace>("host" + std::to_string(i)));
+    auto peer = RequestBroker::start(net, peer_spaces.back(), "flat");
+    ASSERT_TRUE(peer.is_ok());
+    peers.push_back(std::move(peer).value());
+    auto fetched =
+        peers.back()->resolve("hostA/src/field/0", Deadline::after(5s));
+    ASSERT_TRUE(fetched.is_ok());
+    if (i == 0) threads_with_one = crb_a.value()->service_threads();
+  }
+  EXPECT_EQ(crb_a.value()->stats().objects_served, 4u);
+  EXPECT_EQ(crb_a.value()->service_threads(), threads_with_one);
+  // In-process accept pump + epoll poller + shared fallback pump.
+  EXPECT_LE(crb_a.value()->service_threads(), 3u);
+
+  crb_a.value()->stop();
+  crb_a.value()->stop();  // idempotent
+  // A peer's fetch now fails instead of hanging; its own broker survives.
+  EXPECT_FALSE(
+      peers[0]->resolve("hostA/src/field/1", Deadline::after(200ms)).is_ok());
+  for (auto& peer : peers) peer->stop();
+}
+
 // ------------------------------------------------------------ controller --
 
 struct PipelineFixture {

@@ -18,6 +18,7 @@
 
 #include "common/fanout.hpp"
 #include "net/accept_pump.hpp"
+#include "net/conn_host.hpp"
 #include "net/event_host.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
@@ -402,6 +403,204 @@ TEST(AcceptPump, MaxConnsRefusesUntilRetired) {
   pump.connection_retired();
   ASSERT_TRUE(net.connect("svc:2", Deadline::after(1s)).is_ok());
   ASSERT_TRUE(wait_until([&] { return conns.load() == 2; }));
+}
+
+// ------------------------------------------------------- ConnectionHost --
+
+TEST(ConnectionHost, PipelinedRequestsReplyInOrderOverTcp) {
+  TcpPair pair;
+  pair.connect();
+  auto started = ConnectionHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  ConnectionHost& host = *started.value();
+  EXPECT_EQ(host.thread_count(), 1u);  // pollers only, no fallback pump
+
+  ASSERT_TRUE(host.add(
+      1, pair.server,
+      [&](std::uint64_t id, Bytes b) {
+        (void)host.reply(id, bytes_of("re:" + text_of(b)));
+      },
+      nullptr));
+  // Pipelined: all requests on the wire before the first reply is read.
+  // Per-connection callbacks are serialized, so replies come back in
+  // request order.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pair.client
+                    ->send(bytes_of("q" + std::to_string(i)),
+                           Deadline::after(1s))
+                    .is_ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto got = pair.client->recv(Deadline::after(5s));
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(text_of(got.value()), "re:q" + std::to_string(i));
+  }
+}
+
+TEST(ConnectionHost, HandleLessConnectionsRideTheFallbackPump) {
+  InProcNetwork net;
+  auto l = net.listen("ch:rr");
+  ASSERT_TRUE(l.is_ok());
+  auto client = net.connect("ch:rr", Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  auto server = l.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(server.is_ok());
+
+  auto started = ConnectionHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  ConnectionHost& host = *started.value();
+  EXPECT_EQ(host.thread_count(), 1u);
+
+  // Replay seeds must precede live replies on the fallback path too.
+  std::vector<common::OutboundQueue::Item> replay;
+  replay.push_back({common::make_frame(bytes_of("seed")),
+                    OverflowPolicy::kDisconnect, nullptr});
+  ASSERT_TRUE(host.add(
+      9, std::move(server).value(),
+      [&](std::uint64_t id, Bytes b) {
+        (void)host.reply(id, bytes_of("re:" + text_of(b)));
+      },
+      nullptr, std::move(replay)));
+  // The shared pump starts lazily with the first handle-less connection —
+  // one thread total, regardless of how many are added after.
+  EXPECT_EQ(host.thread_count(), 2u);
+
+  auto seed = client.value()->recv(Deadline::after(5s));
+  ASSERT_TRUE(seed.is_ok());
+  EXPECT_EQ(text_of(seed.value()), "seed");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.value()
+                    ->send(bytes_of("q" + std::to_string(i)),
+                           Deadline::after(1s))
+                    .is_ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto got = client.value()->recv(Deadline::after(5s));
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(text_of(got.value()), "re:q" + std::to_string(i));
+  }
+  EXPECT_EQ(host.stats().fallback_messages_in, 4u);
+}
+
+TEST(ConnectionHost, ReplyOverflowDisconnectsLosslessOrDead) {
+  TcpPair pair;
+  pair.connect();
+  const int small = 4 * 1024;
+  ASSERT_EQ(::setsockopt(pair.server->native_handle(), SOL_SOCKET, SO_SNDBUF,
+                         &small, sizeof(small)),
+            0);
+  auto started = ConnectionHost::start({.pollers = 1, .queue_capacity = 2});
+  ASSERT_TRUE(started.is_ok());
+  ConnectionHost& host = *started.value();
+
+  std::atomic<int> code{-1};
+  ASSERT_TRUE(host.add(2, pair.server, nullptr,
+                       [&](std::uint64_t, const Status& cause) {
+                         code = static_cast<int>(cause.code());
+                       }));
+  // Wedge the socket, then outrun the 2-deep queue with replies: a reply
+  // is control class, so the push that cannot queue it kills the
+  // connection instead of dropping it.
+  ASSERT_TRUE(host.send_to(2, {common::make_frame(Bytes(256 * 1024)),
+                               OverflowPolicy::kDropOldest, nullptr}));
+  ASSERT_TRUE(wait_until([&] {
+    if (code.load() >= 0) return true;
+    (void)host.reply(2, bytes_of("reply"));
+    return code.load() >= 0;
+  }));
+  EXPECT_EQ(code.load(), static_cast<int>(StatusCode::kResourceExhausted));
+  EXPECT_EQ(host.size(), 0u);
+}
+
+TEST(ConnectionHost, FallbackControlOverflowDisconnects) {
+  InProcNetwork net;
+  auto l = net.listen("ch:wedge");
+  ASSERT_TRUE(l.is_ok());
+  // The client's receive window wedges after ~2 frames and is never
+  // drained — the fallback pump's egress must doom the connection when a
+  // control frame cannot be queued.
+  net::ConnectOptions wedge;
+  wedge.recv_capacity_bytes = 4096;
+  auto client = net.connect("ch:wedge", Deadline::after(1s), wedge);
+  ASSERT_TRUE(client.is_ok());
+  auto server = l.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(server.is_ok());
+
+  auto started = ConnectionHost::start({.pollers = 1, .queue_capacity = 2});
+  ASSERT_TRUE(started.is_ok());
+  ConnectionHost& host = *started.value();
+  std::atomic<int> code{-1};
+  ASSERT_TRUE(host.add(3, std::move(server).value(), nullptr,
+                       [&](std::uint64_t, const Status& cause) {
+                         code = static_cast<int>(cause.code());
+                       }));
+  auto frame = common::make_frame(Bytes(2048));
+  ASSERT_TRUE(wait_until([&] {
+    if (code.load() >= 0) return true;
+    (void)host.send_to(3, {frame, OverflowPolicy::kDisconnect, nullptr});
+    return code.load() >= 0;
+  }));
+  EXPECT_EQ(code.load(), static_cast<int>(StatusCode::kResourceExhausted));
+  ASSERT_TRUE(wait_until([&] { return host.size() == 0; }));
+  EXPECT_EQ(host.stats().fallback_disconnects, 1u);
+}
+
+TEST(ConnectionHost, PeerCloseDuringReplyFiresOnCloseOnce) {
+  TcpPair pair;
+  pair.connect();
+  auto started = ConnectionHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  ConnectionHost& host = *started.value();
+
+  std::atomic<int> closes{0};
+  ASSERT_TRUE(host.add(
+      4, pair.server,
+      [&](std::uint64_t id, Bytes) {
+        // The peer hangs up without reading its reply: the enqueue must
+        // not crash or leak, and teardown reports exactly one close.
+        (void)host.reply(id, bytes_of(std::string(64 * 1024, 'r')));
+      },
+      [&](std::uint64_t, const Status&) { ++closes; }));
+  ASSERT_TRUE(
+      pair.client->send(bytes_of("last request"), Deadline::after(1s)).is_ok());
+  pair.client->close();
+  ASSERT_TRUE(wait_until([&] { return closes.load() == 1; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(closes.load(), 1);
+  EXPECT_EQ(host.size(), 0u);
+}
+
+TEST(ConnectionHost, StopIsIdempotentAndSilencesCallbacks) {
+  TcpPair pair;
+  pair.connect();
+  InProcNetwork net;
+  auto l = net.listen("ch:stop");
+  ASSERT_TRUE(l.is_ok());
+  auto client = net.connect("ch:stop", Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  auto inproc_server = l.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(inproc_server.is_ok());
+
+  auto started = ConnectionHost::start({});
+  ASSERT_TRUE(started.is_ok());
+  ConnectionHost& host = *started.value();
+  std::atomic<int> closes{0};
+  const auto on_close = [&](std::uint64_t, const Status&) { ++closes; };
+  ASSERT_TRUE(host.add(5, pair.server, nullptr, on_close));
+  ASSERT_TRUE(host.add(6, std::move(inproc_server).value(), nullptr,
+                       on_close));
+  EXPECT_EQ(host.size(), 2u);
+
+  // stop() must quiesce both delivery paths without firing on_close (the
+  // service initiated the teardown), and a second stop() is a no-op.
+  host.stop();
+  host.stop();
+  EXPECT_EQ(host.size(), 0u);
+  EXPECT_EQ(closes.load(), 0);
+  // A connection arriving after stop() is refused, not leaked.
+  TcpPair late;
+  late.connect();
+  EXPECT_FALSE(host.add(7, late.server, nullptr, nullptr));
 }
 
 }  // namespace

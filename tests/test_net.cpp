@@ -419,6 +419,78 @@ TEST(Tcp, PeerCloseYieldsClosed) {
   EXPECT_EQ(r.status().code(), StatusCode::kClosed);
 }
 
+TEST(Tcp, HostPortAddressingRoundTrips) {
+  // A named host survives listen() -> address() -> connect() in the same
+  // host:port form, and the historical bare-port form keeps dialing the
+  // same socket.
+  TcpNetwork net;
+  auto listener = net.listen("127.0.0.1:0");
+  ASSERT_TRUE(listener.is_ok());
+  const std::string address = listener.value()->address();
+  ASSERT_EQ(address.rfind("127.0.0.1:", 0), 0u) << address;
+  const std::string port = address.substr(address.rfind(':') + 1);
+  EXPECT_NE(std::stoi(port), 0);
+
+  for (const std::string& dial :
+       {address, "localhost:" + port, port}) {
+    auto client = net.connect(dial, Deadline::after(1s));
+    ASSERT_TRUE(client.is_ok()) << dial;
+    auto server = listener.value()->accept(Deadline::after(1s));
+    ASSERT_TRUE(server.is_ok());
+    ASSERT_TRUE(
+        client.value()->send(bytes_of(dial), Deadline::after(1s)).is_ok());
+    auto r = server.value()->recv(Deadline::after(1s));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(text_of(r.value()), dial);
+  }
+}
+
+TEST(Tcp, BarePortListenKeepsHistoricalForm) {
+  // Loopback callers feed the returned address straight back into
+  // connect(), so a bare-port listen must keep returning bare digits.
+  TcpNetwork net;
+  auto listener = net.listen("0");
+  ASSERT_TRUE(listener.is_ok());
+  const std::string address = listener.value()->address();
+  EXPECT_EQ(address.find(':'), std::string::npos) << address;
+  EXPECT_EQ(address.find_first_not_of("0123456789"), std::string::npos)
+      << address;
+}
+
+TEST(Tcp, AnyInterfaceBindAcceptsLoopbackDials) {
+  // "0.0.0.0:PORT" binds every interface — the multi-host loadgen form —
+  // and a loopback dial to the kernel-assigned port still lands on it.
+  TcpNetwork net;
+  auto listener = net.listen("0.0.0.0:0");
+  ASSERT_TRUE(listener.is_ok());
+  const std::string address = listener.value()->address();
+  ASSERT_EQ(address.rfind("0.0.0.0:", 0), 0u) << address;
+  const std::string port = address.substr(address.rfind(':') + 1);
+  auto client = net.connect("127.0.0.1:" + port, Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  EXPECT_TRUE(listener.value()->accept(Deadline::after(1s)).is_ok());
+}
+
+TEST(Tcp, MalformedAddressesAreRejectedBeforeTheWire) {
+  // Bad host:port forms fail fast with kInvalidArgument instead of a dial
+  // timeout or an errno surprise.
+  TcpNetwork net;
+  for (const std::string& bad :
+       {std::string{""}, std::string{"abc"}, std::string{"12x4"},
+        std::string{"99999"}, std::string{"10.0.0.7:"},
+        std::string{"not-a-host:80"}, std::string{"1.2.3:80"},
+        std::string{"1.2.3.4:port"}}) {
+    auto listener = net.listen(bad);
+    ASSERT_FALSE(listener.is_ok()) << bad;
+    EXPECT_EQ(listener.status().code(), StatusCode::kInvalidArgument) << bad;
+    auto conn = net.connect(bad, Deadline::after(100ms));
+    ASSERT_FALSE(conn.is_ok()) << bad;
+    EXPECT_EQ(conn.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // Port 0 is a valid ephemeral bind but never a dialable peer.
+  EXPECT_FALSE(net.connect("127.0.0.1:0", Deadline::after(100ms)).is_ok());
+}
+
 // -------------------------------------------------- Transport parity --
 //
 // The deadline/close contract must hold identically for both transports:

@@ -391,5 +391,40 @@ TEST(MetricsEndpoint, RepeatedRequestsOnOneConnectionResnapshot) {
   endpoint.value()->stop();
 }
 
+TEST(MetricsEndpoint, ScrapersAreHostedWithoutPerConnectionThreads) {
+  // Eight concurrent scrapers ride the endpoint's shared readiness host:
+  // the thread count stays at the single-scraper figure and stop() is
+  // idempotent with the fleet still connected.
+  net::TcpNetwork net;
+  Registry registry;
+  registry.counter("ops").add(7);
+  auto endpoint = MetricsEndpoint::start(
+      net, "0", [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(endpoint.is_ok());
+
+  std::vector<net::ConnectionPtr> conns;
+  std::size_t threads_with_one = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto conn = net.connect(endpoint.value()->address(), Deadline::after(5s));
+    ASSERT_TRUE(conn.is_ok());
+    conns.push_back(std::move(conn).value());
+    if (i == 0) threads_with_one = endpoint.value()->service_threads();
+  }
+  const common::Bytes request{'/', 'm', 'e', 't', 'r', 'i', 'c', 's', 'z'};
+  for (auto& conn : conns) {
+    ASSERT_TRUE(conn->send(request, Deadline::after(2s)).is_ok());
+    auto raw = conn->recv(Deadline::after(2s));
+    ASSERT_TRUE(raw.is_ok());
+    const std::string text(raw.value().begin(), raw.value().end());
+    EXPECT_NE(text.find("ops 7\n"), std::string::npos) << text;
+  }
+  EXPECT_GE(endpoint.value()->scrapes(), 8u);
+  EXPECT_EQ(endpoint.value()->service_threads(), threads_with_one);
+  EXPECT_LE(endpoint.value()->service_threads(), 2u);
+
+  endpoint.value()->stop();
+  endpoint.value()->stop();  // idempotent
+}
+
 }  // namespace
 }  // namespace cs::obs

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "net/inproc.hpp"
+#include "net/tcp.hpp"
 #include "ogsa/host.hpp"
 #include "ogsa/registry.hpp"
 #include "ogsa/steering_service.hpp"
@@ -367,6 +368,48 @@ TEST(Fig2, StatusAndCommandsFlowThroughService) {
                           {"stop"}, Deadline::after(2s))
                   .is_ok());
   EXPECT_TRUE(f.ctl->stop_requested());
+}
+
+TEST(Fig2, TcpClientsAreHostedWithoutPerConnectionThreads) {
+  // Eight steering clients bind over TCP; the hosting environment serves
+  // them all from the shared readiness host, so its thread count never
+  // grows past the single-client figure.
+  net::TcpNetwork net;
+  auto registry = std::make_shared<Registry>();
+  auto service = std::make_shared<GridService>("ogsi://fleet/app");
+  service->set_service_data("component", "application");
+  ASSERT_TRUE(registry->publish(service).is_ok());
+  auto host = ServiceHost::start(net, registry, {"0"});
+  ASSERT_TRUE(host.is_ok());
+  const std::string address = host.value()->address();
+
+  std::vector<ServiceClient> clients;
+  std::size_t threads_with_one = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto client = ServiceClient::connect(net, address, Deadline::after(5s));
+    ASSERT_TRUE(client.is_ok());
+    clients.push_back(std::move(client).value());
+    if (i == 0) threads_with_one = host.value()->service_threads();
+  }
+  EXPECT_EQ(host.value()->service_threads(), threads_with_one);
+  EXPECT_LE(host.value()->service_threads(), 2u);
+
+  // Every client runs a discover + invoke round trip on the populated host.
+  for (auto& client : clients) {
+    auto handles = client.find("ogsi://fleet/*", Deadline::after(2s));
+    ASSERT_TRUE(handles.is_ok());
+    ASSERT_EQ(handles.value().size(), 1u);
+    auto component = client.invoke(handles.value()[0], "find-service-data",
+                                   {"component"}, Deadline::after(2s));
+    ASSERT_TRUE(component.is_ok());
+    EXPECT_EQ(component.value(), "application");
+  }
+  EXPECT_EQ(host.value()->service_threads(), threads_with_one);
+
+  host.value()->stop();
+  host.value()->stop();  // idempotent
+  EXPECT_FALSE(
+      ServiceClient::connect(net, address, Deadline::after(200ms)).is_ok());
 }
 
 }  // namespace

@@ -6,12 +6,14 @@
 #include <thread>
 
 #include "net/inproc.hpp"
+#include "net/tcp.hpp"
 #include "unicore/ajo.hpp"
 #include "unicore/client.hpp"
 #include "unicore/gateway.hpp"
 #include "unicore/identity.hpp"
 #include "unicore/njs.hpp"
 #include "unicore/tsi.hpp"
+#include "unicore/upl.hpp"
 #include "visit/client.hpp"
 #include "visit/proxy.hpp"
 #include "visit/viewer.hpp"
@@ -308,6 +310,54 @@ TEST(Grid, StatusOfUnknownJob) {
   auto s = client.status("juelich", "juelich-job-999");
   ASSERT_FALSE(s.is_ok());
   EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Grid, GatewayHostsTcpClientsWithoutPerConnectionThreads) {
+  // Sixteen TCP clients land on the gateway's shared readiness host; the
+  // thread count stays where one client left it, and every connection still
+  // gets a full authenticate-route-reply round trip.
+  net::TcpNetwork net;
+  auto gateway = Gateway::start(net, {"0"});
+  ASSERT_TRUE(gateway.is_ok());
+  const Certificate cert = issue_certificate("CN=Fleet", "fleet-key");
+  gateway.value()->trust_store().trust(cert);
+  const std::string address = gateway.value()->address();
+
+  std::vector<net::ConnectionPtr> conns;
+  std::size_t threads_with_one = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto conn = net.connect(address, Deadline::after(5s));
+    ASSERT_TRUE(conn.is_ok());
+    conns.push_back(std::move(conn).value());
+    if (i == 0) threads_with_one = gateway.value()->service_threads();
+  }
+  EXPECT_EQ(gateway.value()->service_threads(), threads_with_one);
+  EXPECT_LE(gateway.value()->service_threads(), 2u);
+
+  // Status transactions against a vsite that is never registered: the
+  // gateway authenticates, routes, and answers kNotFound — a full wire
+  // round trip per connection without standing up an NJS.
+  UplRequest request;
+  request.op = UplOp::kStatus;
+  request.identity = cert;
+  request.vsite = "nowhere";
+  request.job_id = "j1";
+  const common::Bytes encoded = encode_upl_request(request);
+  for (auto& conn : conns) {
+    ASSERT_TRUE(
+        conn->send(common::ByteSpan(encoded), Deadline::after(2s)).is_ok());
+    auto raw = conn->recv(Deadline::after(2s));
+    ASSERT_TRUE(raw.is_ok());
+    auto response = decode_upl_response(common::ByteSpan(raw.value()));
+    ASSERT_TRUE(response.is_ok());
+    EXPECT_EQ(response.value().status.code(), StatusCode::kNotFound);
+  }
+  EXPECT_EQ(gateway.value()->stats().transactions, 16u);
+  EXPECT_EQ(gateway.value()->service_threads(), threads_with_one);
+
+  gateway.value()->stop();
+  gateway.value()->stop();  // idempotent
+  EXPECT_FALSE(net.connect(address, Deadline::after(200ms)).is_ok());
 }
 
 // ------------------------------------------------ VISIT-over-UNICORE path --

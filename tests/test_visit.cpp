@@ -789,5 +789,77 @@ TEST(ControlServer, ParticipantDepartureIsHandled) {
   EXPECT_TRUE(a.value().publish("VIEW x", Deadline::after(1s)).is_ok());
 }
 
+TEST(ControlServer, TcpPopulationKeepsThreadsFlat) {
+  // A full TCP fleet lands on the shared readiness host: the thread count
+  // with sixteen participants matches the count with one, and the bound is
+  // one a thread-per-connection design cannot meet.
+  net::TcpNetwork net;
+  auto server = ControlServer::start(net, {"0", "pw", 50ms});
+  ASSERT_TRUE(server.is_ok());
+  const std::string address = server.value()->address();
+  auto actor = ControlClient::connect(net, address, "pw", "actor",
+                                      Deadline::after(5s));
+  ASSERT_TRUE(actor.is_ok());
+  auto deadline = Deadline::after(5s);
+  while (server.value()->participant_count() < 1 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  const std::size_t threads_with_one = server.value()->service_threads();
+
+  std::vector<ControlClient> observers;
+  for (int i = 0; i < 15; ++i) {
+    auto obs = ControlClient::connect(net, address, "pw", "observer",
+                                      Deadline::after(5s));
+    ASSERT_TRUE(obs.is_ok());
+    observers.push_back(std::move(obs).value());
+  }
+  deadline = Deadline::after(5s);
+  while (server.value()->participant_count() < 16 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(server.value()->participant_count(), 16u);
+  EXPECT_EQ(server.value()->service_threads(), threads_with_one);
+  EXPECT_LE(server.value()->service_threads(), 2u);
+
+  // The populated fleet still relays.
+  ASSERT_TRUE(actor.value().publish("VIEW fleet", Deadline::after(2s)).is_ok());
+  for (auto& obs : observers) {
+    auto r = obs.receive(Deadline::after(2s));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value(), "VIEW fleet");
+  }
+
+  server.value()->stop();
+  server.value()->stop();  // idempotent
+  EXPECT_FALSE(ControlClient::connect(net, address, "pw", "observer",
+                                      Deadline::after(200ms))
+                   .is_ok());
+}
+
+TEST(ControlServer, InProcPopulationSharesOneFallbackPump) {
+  // Handle-less connections cannot ride epoll; they share the connection
+  // host's single fallback pump instead of one thread each.
+  net::InProcNetwork net;
+  auto server = ControlServer::start(net, {"ctl:flat", "pw", 50ms});
+  ASSERT_TRUE(server.is_ok());
+  std::vector<ControlClient> fleet;
+  for (int i = 0; i < 8; ++i) {
+    auto c = ControlClient::connect(net, "ctl:flat", "pw",
+                                    i == 0 ? "actor" : "observer",
+                                    Deadline::after(5s));
+    ASSERT_TRUE(c.is_ok());
+    fleet.push_back(std::move(c).value());
+  }
+  const auto deadline = Deadline::after(5s);
+  while (server.value()->participant_count() < 8 && !deadline.has_expired()) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(server.value()->participant_count(), 8u);
+  // In-process accept pump + epoll poller + shared fallback pump.
+  EXPECT_LE(server.value()->service_threads(), 3u);
+  server.value()->stop();
+  server.value()->stop();
+}
+
 }  // namespace
 }  // namespace cs::visit
