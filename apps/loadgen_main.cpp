@@ -24,6 +24,12 @@
 //   gateway  UPL request/reply soak on unicore::Gateway
 //   raw      generic Workload (push/pull/duplex/burst) against a built-in
 //            LoadPeer over the chosen transport (inproc or tcp)
+//   chaos-mux     mux soak with every viewer dialed through a seeded
+//                 fault-injecting network; flapped viewers reconnect with
+//                 backoff and the report carries the chaos ledger
+//                 (injected/observed/recovered + recovery percentiles)
+//   chaos-bridge  same fault plan against receivers behind the ag unicast
+//                 bridge (no replay: recovery = first live frame)
 //
 // The JSON report follows the Google Benchmark schema, so it lands in the
 // same tooling as the BENCH_*.json files from `cmake --build . --target
@@ -81,7 +87,8 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --scenario=mux|viz|media|control|desktop|gateway|raw\n"
+      "  --scenario=mux|viz|media|control|desktop|gateway|raw|\n"
+      "             chaos-mux|chaos-bridge\n"
       "                                 what to run (default mux)\n"
       "  --connections=N                concurrent participants (default 64)\n"
       "  --duration-ms=N                measurement window (default 2000)\n"
@@ -112,6 +119,15 @@ void usage(const char* argv0) {
       "  --metricsz=0|1                 mux: serve /metricsz and scrape it "
       "mid-run\n"
       "                                 into the report (default 1)\n"
+      "  --fault-after-ops=N            chaos: close each initial connection "
+      "after\n"
+      "                                 N transport ops (default 64)\n"
+      "  --fault-ops-jitter=N           chaos: seeded per-connection spread "
+      "added\n"
+      "                                 to the close threshold (default 32)\n"
+      "  --fault-delay-ms=N             chaos: added latency per op on "
+      "faulted\n"
+      "                                 connections (default 0)\n"
       "  --assert-nonzero=k1,k2,...     fail unless each service-metric key "
       "is\n"
       "                                 present and nonzero in the report\n"
@@ -217,6 +233,12 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       s.max_service_threads = n;
     } else if (key == "--metricsz" && parse_u64(value.c_str(), n)) {
       s.scrape_metricsz = (n != 0);
+    } else if (key == "--fault-after-ops" && parse_u64(value.c_str(), n)) {
+      s.fault_after_ops = n;
+    } else if (key == "--fault-ops-jitter" && parse_u64(value.c_str(), n)) {
+      s.fault_after_ops_jitter = n;
+    } else if (key == "--fault-delay-ms" && parse_u64(value.c_str(), n)) {
+      s.fault_delay = std::chrono::milliseconds(n);
     } else if (key == "--role") {
       cli.role = value;
     } else if (key == "--controller") {
@@ -356,6 +378,10 @@ int main(int argc, char** argv) {
     report = loadgen::run_desktop_soak(cli.scenario_options);
   } else if (cli.scenario == "gateway") {
     report = loadgen::run_gateway_soak(cli.scenario_options);
+  } else if (cli.scenario == "chaos-mux") {
+    report = loadgen::run_chaos_mux_soak(cli.scenario_options);
+  } else if (cli.scenario == "chaos-bridge") {
+    report = loadgen::run_chaos_bridge_soak(cli.scenario_options);
   } else if (cli.scenario == "raw") {
     report = run_raw(cli);
   } else {

@@ -62,6 +62,7 @@ void Controller::stop() {
       if (slot.conn) conns.push_back(std::move(slot.conn));
     }
     pending_cv_.notify_all();
+    rejoin_cv_.notify_all();
   }
   for (auto& conn : conns) conn->close();
 }
@@ -130,10 +131,10 @@ std::size_t Controller::live_workers() const {
                     [](const WorkerSlot& s) { return s.alive; }));
 }
 
-Result<Bytes> Controller::recv_frame(WorkerSlot& slot, ControlOp want,
+Result<Bytes> Controller::recv_frame(net::Connection& conn, ControlOp want,
                                      Deadline deadline) {
   while (!deadline.has_expired()) {
-    auto raw = slot.conn->recv(deadline);
+    auto raw = conn.recv(deadline);
     if (!raw.is_ok()) return raw.status();
     auto op = decode_control_op(raw.value());
     if (!op.is_ok()) return op.status();
@@ -174,7 +175,7 @@ Status Controller::assign(const std::vector<WorkloadSpec>& specs) {
       all_ready = false;
       continue;
     }
-    auto frame = recv_frame(*slot, ControlOp::kReady, ready_deadline);
+    auto frame = recv_frame(*slot->conn, ControlOp::kReady, ready_deadline);
     if (!frame.is_ok() || !decode_ready(frame.value()).is_ok()) {
       slot->alive = false;
       slot->conn->close();
@@ -210,29 +211,123 @@ Report Controller::collect(Deadline deadline) {
   // One gatherer thread per live worker, all bounded by the same absolute
   // deadline: a worker that never reports costs exactly the deadline, and
   // costs it in parallel — it cannot starve a sibling whose shard is
-  // already sitting in the receive buffer.
+  // already sitting in the receive buffer. A dropped connection is a
+  // degradation, not a loss: the gatherer parks on rejoin_cv_ and retries
+  // when the readmission loop below swaps a fresh conn into the slot.
+  std::atomic<std::uint64_t> rejoins{0};
+  std::atomic<bool> gather_done{false};
   std::vector<std::thread> gatherers;
   gatherers.reserve(fleet.size());
   for (auto* slot : fleet) {
     if (!slot->alive) continue;
     gatherers.emplace_back([this, slot, deadline] {
-      auto frame = recv_frame(*slot, ControlOp::kResult, deadline);
-      if (!frame.is_ok()) {
+      for (;;) {
+        net::ConnectionPtr conn;
+        std::uint64_t gen;
+        {
+          std::scoped_lock lock(mutex_);
+          conn = slot->conn;
+          gen = slot->generation;
+        }
+        auto frame = recv_frame(*conn, ControlOp::kResult, deadline);
+        if (frame.is_ok()) {
+          auto result = decode_result(frame.value());
+          if (!result.or_log("loadgen.controller")) {
+            // Garbage on the control stream is a protocol failure, not a
+            // flap — the slot is lost for good.
+            std::scoped_lock lock(mutex_);
+            slot->alive = false;
+            conn->close();
+            return;
+          }
+          std::scoped_lock lock(mutex_);
+          slot->result = std::move(result).value();
+          slot->reported = true;
+          return;
+        }
+        conn->close();
+        std::unique_lock lock(mutex_);
         slot->alive = false;
-        slot->conn->close();
-        return;
+        slot->degraded = true;
+        // Only a dropped connection earns a readmission window; a timeout
+        // means the collect deadline itself expired.
+        if (frame.status().code() != StatusCode::kClosed) return;
+        if (!rejoin_cv_.wait_until(lock, deadline.time_point(), [&] {
+              return slot->generation != gen || stopped_.load();
+            })) {
+          return;  // never came back: lost
+        }
+        if (stopped_.load()) return;
+        // Readmitted: go around and recv on the fresh connection.
       }
-      auto result = decode_result(frame.value());
-      if (!result.or_log("loadgen.controller")) {
-        slot->alive = false;
-        slot->conn->close();
-        return;
-      }
-      slot->result = std::move(result).value();
-      slot->reported = true;
     });
   }
+
+  // Readmission loop: accepted connections landing in pending_ during
+  // collect are re-JOINing workers. Match by name against a degraded,
+  // unreported slot and swap the fresh conn in; anything else is closed.
+  std::thread readmitter([this, &fleet, &rejoins, &gather_done, deadline] {
+    for (;;) {
+      net::ConnectionPtr conn;
+      {
+        std::unique_lock lock(mutex_);
+        if (!pending_cv_.wait_until(lock, deadline.time_point(), [&] {
+              return !pending_.empty() || stopped_.load() ||
+                     gather_done.load();
+            })) {
+          return;  // collect deadline: readmission window over
+        }
+        if (stopped_.load() || gather_done.load()) return;
+        conn = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      // JOIN handshake off the lock, same shape as await_workers().
+      auto raw = conn->recv(
+          Deadline{std::min(Deadline::after(options_.io_timeout).time_point(),
+                            deadline.time_point())});
+      if (!raw.is_ok()) {
+        conn->close();
+        continue;
+      }
+      auto join = decode_join(raw.value());
+      if (!join.or_log("loadgen.controller")) {
+        conn->close();
+        continue;
+      }
+      std::scoped_lock lock(mutex_);
+      WorkerSlot* match = nullptr;
+      for (auto* slot : fleet) {
+        if (!slot->alive && !slot->reported &&
+            slot->name == join.value().worker_name) {
+          match = slot;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        // Unknown name, or the slot is still (or again) healthy — the
+        // worker's next RESULT attempt on this conn fails and it redials.
+        conn->close();
+        continue;
+      }
+      if (match->conn) match->conn->close();
+      match->conn = std::move(conn);
+      match->metricsz_address = join.value().metricsz_address;
+      match->alive = true;
+      ++match->generation;
+      rejoins.fetch_add(1, std::memory_order_relaxed);
+      rejoin_cv_.notify_all();
+    }
+  });
+
   for (auto& t : gatherers) t.join();
+  gather_done.store(true);
+  {
+    // Wake the readmitter so it observes gather_done without waiting out
+    // the deadline.
+    std::scoped_lock lock(mutex_);
+    pending_cv_.notify_all();
+  }
+  readmitter.join();
 
   Report report;
   report.name = "distributed";
@@ -268,27 +363,54 @@ Report Controller::collect(Deadline deadline) {
   // per_connection carries one entry per *worker* here (each already an
   // aggregate over its own connections), so the usual size==connections
   // invariant is intentionally different for distributed reports.
+  std::size_t degraded = 0;
+  for (auto* slot : fleet) {
+    if (slot->degraded) ++degraded;
+  }
   report.service_metrics.emplace_back(
       "workers_expected", static_cast<double>(options_.workers));
   report.service_metrics.emplace_back("workers_reported",
                                       static_cast<double>(reported));
+  report.service_metrics.emplace_back("workers_degraded",
+                                      static_cast<double>(degraded));
+  report.service_metrics.emplace_back(
+      "worker_rejoins", static_cast<double>(rejoins.load()));
   if (reported < options_.workers) {
     report.completeness = StatusCode::kUnavailable;
   }
 
   // Server-side truth from each surviving worker's own registry; the rows
   // land prefixed so CI can assert per-worker keys are present and nonzero.
+  // Scrapes run in parallel, each under its own scrape_timeout: one dead
+  // worker endpoint costs exactly one scrape window, never the sum.
+  std::atomic<std::uint64_t> scrape_failures{0};
+  std::vector<std::vector<std::pair<std::string, double>>> scraped_rows(
+      fleet.size());
+  std::vector<std::thread> scrapers;
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     WorkerSlot& slot = *fleet[i];
     if (!slot.reported || slot.metricsz_address.empty()) continue;
-    auto scraped = obs::scrape_metrics(
-        net_, slot.metricsz_address, Deadline::after(options_.scrape_timeout));
-    if (!scraped.or_log("loadgen.controller")) continue;
+    scrapers.emplace_back(
+        [this, i, &scraped_rows, &scrape_failures,
+         address = slot.metricsz_address] {
+          auto scraped = obs::scrape_metrics(
+              net_, address, Deadline::after(options_.scrape_timeout));
+          if (!scraped.or_log("loadgen.controller")) {
+            scrape_failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          scraped_rows[i] = std::move(scraped).value();
+        });
+  }
+  for (auto& t : scrapers) t.join();
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
     const std::string prefix = "worker" + std::to_string(i) + "_";
-    for (auto& [key, value] : scraped.value()) {
+    for (auto& [key, value] : scraped_rows[i]) {
       report.service_metrics.emplace_back(prefix + key, value);
     }
   }
+  report.service_metrics.emplace_back(
+      "scrape_failures", static_cast<double>(scrape_failures.load()));
 
   // Session over: release the fleet. Workers treat BYE (or a close) as the
   // signal to tear down their endpoints and exit.

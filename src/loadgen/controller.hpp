@@ -18,6 +18,11 @@
 //
 // Workers lost along the way leave the merged Report flagged
 // kUnavailable (Report::completeness) with the surviving shards merged.
+// During collect() a worker is degraded, not dead: a control connection
+// that drops mid-RESULT parks its slot, and a re-JOIN under the same
+// worker name (the worker side redials with backoff) readmits it until the
+// collect deadline. Only a worker that never comes back costs the run its
+// shard.
 #pragma once
 
 #include <atomic>
@@ -97,9 +102,15 @@ class Controller {
   /// merges them (in worker order) into one Report: counters summed,
   /// histograms merged, one per_connection entry per worker, and per-worker
   /// breakdowns (worker<i>_ops, worker<i>_p99_us, ...) plus each worker's
-  /// scraped /metricsz rows (worker<i>_<key>) in service_metrics. Lost or
-  /// late workers flag the report kUnavailable. Always returns by
-  /// `deadline` plus the scrape/io slack — never hangs on a dead worker.
+  /// scraped /metricsz rows (worker<i>_<key>) in service_metrics. A worker
+  /// whose connection drops mid-collect is degraded-not-dead: its slot
+  /// waits for a re-JOIN under the same name until the deadline
+  /// (workers_degraded / worker_rejoins rows count the churn). Each
+  /// /metricsz scrape is bounded by its own scrape_timeout, in parallel —
+  /// one dead worker endpoint cannot burn the siblings' scrape window
+  /// (failures land in the scrape_failures row). Lost or late workers flag
+  /// the report kUnavailable. Always returns by `deadline` plus the
+  /// scrape/io slack — never hangs on a dead worker.
   Report collect(common::Deadline deadline);
 
  private:
@@ -109,14 +120,21 @@ class Controller {
     std::string metricsz_address;
     bool alive = false;
     bool reported = false;
+    /// Dropped at least once during collect (degraded-not-dead window).
+    bool degraded = false;
+    /// Bumped on every readmission; a gatherer that saw its recv die waits
+    /// for the generation to move before retrying on the fresh conn.
+    std::uint64_t generation = 0;
     WireWorkerReport result;
   };
 
   Controller(net::Network& net, Options options);
   void on_conn(net::ConnectionPtr conn);
-  /// Receives frames until one decodes to `want` (deadline-bounded).
-  /// Anything else on the control stream marks the worker lost.
-  common::Result<common::Bytes> recv_frame(WorkerSlot& slot, ControlOp want,
+  /// Receives frames on `conn` until one decodes to `want`
+  /// (deadline-bounded). Anything else on the control stream marks the
+  /// worker lost.
+  common::Result<common::Bytes> recv_frame(net::Connection& conn,
+                                           ControlOp want,
                                            common::Deadline deadline);
 
   net::Network& net_;
@@ -128,6 +146,8 @@ class Controller {
 
   mutable std::mutex mutex_;
   std::condition_variable pending_cv_;
+  /// Signals a degraded slot's generation moved (readmission landed).
+  std::condition_variable rejoin_cv_;
   std::deque<net::ConnectionPtr> pending_;  ///< accepted, not yet joined
   std::vector<WorkerSlot> slots_;           ///< joined fleet, by index
 };

@@ -1,6 +1,7 @@
 #include "loadgen/scenarios.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <thread>
 #include <vector>
@@ -11,7 +12,9 @@
 #include "common/rng.hpp"
 #include "loadgen/controller.hpp"
 #include "loadgen/driver.hpp"
+#include "net/fault.hpp"
 #include "net/inproc.hpp"
+#include "net/reconnect.hpp"
 #include "net/tcp.hpp"
 #include "obs/endpoint.hpp"
 #include "obs/registry.hpp"
@@ -974,6 +977,432 @@ Result<Report> run_gateway_soak(const ScenarioOptions& options) {
       {"gateway_rejected_untrusted",
        static_cast<double>(gateway_stats.rejected_untrusted)},
   };
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soaks (seeded fault injection + supervised recovery)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One chaos participant's outcome: the usual soak accounting plus its flap
+/// ledger — what it felt, what came back, and how fast.
+struct ChaosOutcome {
+  Participant participant;
+  std::uint64_t observed_disconnects = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t reconnect_failures = 0;
+  std::uint64_t dial_attempts = 0;
+  std::uint64_t dial_retries = 0;
+  /// Disconnect observed -> first data frame on the re-dialed session.
+  Histogram recovery;
+};
+
+/// Transport counters accumulate across a participant's incarnations (the
+/// pre-flap connection's traffic must not vanish with the connection).
+void accumulate_transport(net::ConnStats& into, const net::ConnStats& from) {
+  into.messages_sent += from.messages_sent;
+  into.bytes_sent += from.bytes_sent;
+  into.messages_received += from.messages_received;
+  into.bytes_received += from.bytes_received;
+}
+
+/// The chaos fault plan: every initial participant connection is abruptly
+/// closed after a seeded per-connection op threshold, optionally with fixed
+/// latency on every op until then. Capping the faulted ordinals at the
+/// initial fleet size leaves re-dialed replacements clean — which is what
+/// makes "every flap recovered by the end" a deterministic assertion, and
+/// the injected counts identical run-to-run for a fixed seed.
+net::FaultPlan chaos_plan(const ScenarioOptions& options) {
+  net::FaultPlan plan;
+  plan.seed = options.seed;
+  plan.max_faulted_connections = options.connections;
+  if (options.fault_delay > common::Duration::zero()) {
+    net::Fault delay;
+    delay.kind = net::FaultKind::kDelay;
+    delay.delay = options.fault_delay;
+    plan.faults.push_back(delay);
+  }
+  net::Fault flap;
+  flap.kind = net::FaultKind::kClose;
+  flap.after_ops = options.fault_after_ops;
+  flap.after_ops_jitter = options.fault_after_ops_jitter;
+  plan.faults.push_back(flap);
+  return plan;
+}
+
+/// The chaos ledger every chaos scenario reports, explicit even when zero:
+/// injected (what the plan fired) vs observed (what participants felt) vs
+/// recovered (what came back and saw data again), plus how fast and how
+/// many dials it took.
+void append_chaos_metrics(Report& report, const net::FaultStats& fault_stats,
+                          const std::vector<ChaosOutcome>& outcomes) {
+  Histogram recovery;
+  std::uint64_t observed = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t dial_attempts = 0;
+  std::uint64_t dial_retries = 0;
+  for (const auto& outcome : outcomes) {
+    observed += outcome.observed_disconnects;
+    reconnects += outcome.reconnects;
+    failures += outcome.reconnect_failures;
+    dial_attempts += outcome.dial_attempts;
+    dial_retries += outcome.dial_retries;
+    recovery.merge(outcome.recovery);
+  }
+  report.service_metrics.emplace_back(
+      "chaos_faulted_connections",
+      static_cast<double>(fault_stats.connections));
+  report.service_metrics.emplace_back(
+      "chaos_injected_closes", static_cast<double>(fault_stats.closes));
+  report.service_metrics.emplace_back(
+      "chaos_injected_delay_ops",
+      static_cast<double>(fault_stats.delayed_ops));
+  report.service_metrics.emplace_back("chaos_observed_disconnects",
+                                      static_cast<double>(observed));
+  report.service_metrics.emplace_back("chaos_reconnects",
+                                      static_cast<double>(reconnects));
+  report.service_metrics.emplace_back("chaos_reconnect_failures",
+                                      static_cast<double>(failures));
+  report.service_metrics.emplace_back("chaos_recovered",
+                                      static_cast<double>(recovery.count()));
+  report.service_metrics.emplace_back(
+      "chaos_recovery_p50_us", static_cast<double>(recovery.p50()) / 1000.0);
+  report.service_metrics.emplace_back(
+      "chaos_recovery_p99_us", static_cast<double>(recovery.p99()) / 1000.0);
+  report.service_metrics.emplace_back("chaos_dial_attempts",
+                                      static_cast<double>(dial_attempts));
+  report.service_metrics.emplace_back("chaos_dial_retries",
+                                      static_cast<double>(dial_retries));
+  // Every observed flap must have reconnected and seen data again;
+  // anything less is a partial run.
+  if (failures > 0 || recovery.count() < observed) {
+    report.completeness = StatusCode::kUnavailable;
+  }
+}
+
+}  // namespace
+
+Result<Report> run_chaos_mux_soak(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  auto net = make_network(options);
+  const bool tcp = options.transport == ScenarioOptions::Transport::kTcp;
+  net::reset_tcp_wire_stats();
+  visit::Multiplexer::Options mux_options;
+  mux_options.sim_address = tcp ? "0" : "chaos:sim";
+  mux_options.viewer_address = tcp ? "0" : "chaos:viewer";
+  mux_options.password = "chaos";
+  mux_options.fanout_shards = options.fanout_shards;
+  mux_options.use_event_host = options.use_event_host;
+  if (options.scrape_metricsz) {
+    mux_options.metricsz_address = tcp ? "0" : "chaos:metricsz";
+  }
+  auto mux = visit::Multiplexer::start(*net, mux_options);
+  if (!mux.is_ok()) return mux.status();
+
+  // Viewers dial through the fault decorator; the simulation and the
+  // mid-run scrape stay on the clean network — the faults under test are
+  // the audience's, not the producer's.
+  net::FaultNetwork chaos_net(*net, chaos_plan(options));
+
+  visit::ViewerClient::Options viewer_options;
+  viewer_options.mux_address = mux.value()->viewer_address();
+  viewer_options.password = mux_options.password;
+  std::vector<visit::ViewerClient> viewers;
+  viewers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    auto viewer = visit::ViewerClient::connect(
+        chaos_net, viewer_options, Deadline::after(std::chrono::seconds(5)));
+    if (!viewer.is_ok()) return viewer.status();
+    viewers.push_back(std::move(viewer).value());
+  }
+
+  visit::SimClientOptions sim_options;
+  sim_options.server_address = mux.value()->sim_address();
+  sim_options.password = mux_options.password;
+  auto sim = visit::SimClient::connect(
+      *net, sim_options, Deadline::after(std::chrono::seconds(5)));
+  if (!sim.is_ok()) return sim.status();
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  // Stragglers flapping near the end still get to prove recovery: the mux
+  // replays its cached last sample to every re-attached viewer, so the
+  // grace window needs no live producer.
+  const auto hard_end = end + std::chrono::seconds(2);
+  std::vector<ChaosOutcome> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&, i] {
+      auto viewer = std::move(viewers[i]);
+      auto& out = outcomes[i];
+      net::Reconnector::Options reconnect_options;
+      reconnect_options.seed =
+          options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      net::Reconnector reconnector(reconnect_options);
+      bool awaiting_recovery = false;
+      common::TimePoint dropped_at{};
+      const auto run = [&] {
+        for (;;) {
+          bool dropped = false;
+          while (common::Clock::now() <
+                 (awaiting_recovery ? hard_end : end)) {
+            auto event = viewer.poll(Deadline::after(kPollSlice));
+            if (!event.is_ok()) {
+              if (event.status().code() == StatusCode::kClosed) {
+                dropped = true;
+                break;
+              }
+              continue;
+            }
+            if (event.value().kind ==
+                visit::ViewerClient::Event::Kind::kBye) {
+              // Graceful session end (the simulation left) — not a fault;
+              // the chaos ledger counts only abrupt closes.
+              return;
+            }
+            if (event.value().kind !=
+                    visit::ViewerClient::Event::Kind::kData ||
+                event.value().tag != kSampleTag ||
+                event.value().message.payload.size() < 8) {
+              continue;
+            }
+            if (awaiting_recovery) {
+              // First sample on the re-attached session is the replay
+              // seed: it proves resumption, but its stamp predates the
+              // flap, so it feeds the recovery histogram, not latency.
+              out.recovery.record(common::Clock::now() - dropped_at);
+              awaiting_recovery = false;
+              continue;
+            }
+            out.participant.latency.record(
+                common::ns_since(common::read_uint<std::uint64_t>(
+                    event.value().message.payload, ByteOrder::kBig)));
+            ++out.participant.report.ops;
+          }
+          if (!dropped) return;
+          accumulate_transport(out.participant.report.transport,
+                               viewer.stats());
+          ++out.observed_disconnects;
+          dropped_at = common::Clock::now();
+          // Reconnect through the same fault network: ordinals past the
+          // initial fleet carry no plan, so the replacement lives.
+          auto conn = reconnector.dial(chaos_net, viewer_options.mux_address,
+                                       Deadline{hard_end});
+          if (!conn.is_ok()) {
+            ++out.reconnect_failures;
+            return;
+          }
+          auto reattached = visit::ViewerClient::attach(
+              std::move(conn).value(), viewer_options, Deadline{hard_end});
+          if (!reattached.is_ok()) {
+            ++out.reconnect_failures;
+            return;
+          }
+          viewer = std::move(reattached).value();
+          ++out.reconnects;
+          awaiting_recovery = true;
+        }
+      };
+      run();
+      const auto dial_stats = reconnector.stats();
+      out.dial_attempts = dial_stats.attempts;
+      out.dial_retries = dial_stats.retries;
+      accumulate_transport(out.participant.report.transport, viewer.stats());
+      viewer.disconnect();
+    });
+  }
+
+  const SimDrive drive = drive_sim(*net, sim.value(),
+                                   mux.value()->metricsz_address(), options,
+                                   t_start, end);
+  for (auto& w : workers) w.join();
+  const auto elapsed = common::Clock::now() - t_start;
+  mux.value()->stop();
+
+  Report report;
+  report.name = "chaos_mux";
+  report.connections = options.connections;
+  report.elapsed = elapsed;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.participant.report,
+                          outcome.participant.latency);
+  }
+  report.timeouts += drive.timeouts;
+  append_chaos_metrics(report, chaos_net.stats(), outcomes);
+  report.service_metrics.emplace_back("samples_published",
+                                      static_cast<double>(drive.sent));
+  report.service_metrics.emplace_back("metricsz_scrapes",
+                                      static_cast<double>(drive.scrapes_ok));
+  // Server-side truth captured mid-run rides along where it does not
+  // collide with the chaos ledger.
+  for (const auto& [key, value] : drive.scraped) {
+    auto it = std::find_if(
+        report.service_metrics.begin(), report.service_metrics.end(),
+        [&key = key](const auto& pair) { return pair.first == key; });
+    if (it == report.service_metrics.end()) {
+      report.service_metrics.emplace_back(key, value);
+    }
+  }
+  return report;
+}
+
+Result<Report> run_chaos_bridge_soak(const ScenarioOptions& options) {
+  if (Status s = check(options); !s.is_ok()) return s;
+  net::InProcNetwork net;
+  const std::string group = "venue/video";
+  ag::UnicastBridge::Options bridge_options;
+  bridge_options.group = group;
+  bridge_options.address = "chaosbridge:media";
+  bridge_options.relay_shards = options.fanout_shards;
+  auto bridge = ag::UnicastBridge::start(net, bridge_options);
+  if (!bridge.is_ok()) return bridge.status();
+
+  auto sender = ag::MediaStream::join(net, group);
+  if (!sender.is_ok()) return sender.status();
+
+  // Every receiver sits behind the bridge and dials it through the fault
+  // decorator — the bridge side of the wire is exactly where the paper's
+  // venue links flap.
+  net::FaultNetwork chaos_net(net, chaos_plan(options));
+  std::vector<net::ConnectionPtr> bridged;
+  bridged.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    auto conn = chaos_net.connect(bridge_options.address,
+                                  Deadline::after(std::chrono::seconds(5)));
+    if (!conn.is_ok()) return conn.status();
+    bridged.push_back(std::move(conn).value());
+  }
+  // The bridge registers unicast clients on its pump cycle; give it one
+  // cycle so the first frames are not missed by the whole fleet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  const auto t_start = common::Clock::now();
+  const auto end = t_start + options.duration;
+  // The bridge has no replay path — it relays live frames only — so the
+  // sender keeps publishing past `end` while any receiver is still mid
+  // recovery, and recovery means the first live frame on the re-dialed
+  // connection (which also covers the bridge re-registering it).
+  const auto hard_end = end + std::chrono::seconds(2);
+  std::atomic<std::size_t> active{options.connections};
+  std::vector<ChaosOutcome> outcomes(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&, i] {
+      auto& out = outcomes[i];
+      auto conn = std::move(bridged[i]);
+      net::Reconnector::Options reconnect_options;
+      reconnect_options.seed =
+          options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      net::Reconnector reconnector(reconnect_options);
+      bool awaiting_recovery = false;
+      common::TimePoint dropped_at{};
+      const auto run = [&] {
+        for (;;) {
+          bool dropped = false;
+          while (common::Clock::now() <
+                 (awaiting_recovery ? hard_end : end)) {
+            auto raw = conn->recv(Deadline::after(kPollSlice));
+            if (!raw.is_ok()) {
+              if (raw.status().code() == StatusCode::kClosed) {
+                dropped = true;
+                break;
+              }
+              continue;
+            }
+            auto frame = viz::decompress_frame(raw.value());
+            if (!frame.is_ok()) {
+              ++out.participant.report.errors;
+              continue;
+            }
+            if (awaiting_recovery) {
+              out.recovery.record(common::Clock::now() - dropped_at);
+              awaiting_recovery = false;
+              continue;
+            }
+            out.participant.latency.record(
+                common::ns_since(read_stamp(frame.value())));
+            ++out.participant.report.ops;
+          }
+          if (!dropped) return;
+          accumulate_transport(out.participant.report.transport,
+                               conn->stats());
+          ++out.observed_disconnects;
+          dropped_at = common::Clock::now();
+          auto redial = reconnector.dial(chaos_net, bridge_options.address,
+                                         Deadline{hard_end});
+          if (!redial.is_ok()) {
+            ++out.reconnect_failures;
+            return;
+          }
+          conn = std::move(redial).value();
+          ++out.reconnects;
+          awaiting_recovery = true;
+        }
+      };
+      run();
+      const auto dial_stats = reconnector.stats();
+      out.dial_attempts = dial_stats.attempts;
+      out.dial_retries = dial_stats.retries;
+      accumulate_transport(out.participant.report.transport, conn->stats());
+      conn->close();
+      active.fetch_sub(1);
+    });
+  }
+
+  // Fixed-rate stamped frames; the loop outlives `end` only while a
+  // receiver is still proving its recovery (no replay to lean on).
+  const auto [width, height] = frame_dims(options.payload_bytes);
+  const auto interval = rate_interval(options.rate_per_sec);
+  auto next_send = t_start;
+  std::uint64_t seq = 0;
+  std::uint64_t send_errors = 0;
+  for (;;) {
+    const auto now = common::Clock::now();
+    if (now >= hard_end) break;
+    if (now >= end && active.load() == 0) break;
+    std::this_thread::sleep_until(std::min(next_send, hard_end));
+    next_send += interval;
+    ++seq;
+    viz::Image frame(width, height,
+                     viz::Color{static_cast<std::uint8_t>(seq * 29),
+                                static_cast<std::uint8_t>(seq * 53),
+                                static_cast<std::uint8_t>(seq * 97)});
+    stamp_frame(frame, common::steady_now_ns());
+    if (!sender.value().send_frame(frame).is_ok()) ++send_errors;
+  }
+  for (auto& w : workers) w.join();
+  const auto elapsed = common::Clock::now() - t_start;
+  sender.value().leave();
+  const auto relay_stats = bridge.value()->relay_stats();
+  const auto host_stats = bridge.value()->host_stats();
+  bridge.value()->stop();
+
+  Report report;
+  report.name = "chaos_bridge";
+  report.connections = options.connections;
+  report.elapsed = elapsed;
+  for (const auto& outcome : outcomes) {
+    report.add_connection(outcome.participant.report,
+                          outcome.participant.latency);
+  }
+  report.errors += send_errors;
+  append_chaos_metrics(report, chaos_net.stats(), outcomes);
+  report.service_metrics.emplace_back("frames_published",
+                                      static_cast<double>(seq));
+  report.service_metrics.emplace_back(
+      "frames_delivered", static_cast<double>(relay_stats.data_delivered +
+                                              host_stats.data_delivered));
+  report.service_metrics.emplace_back(
+      "queue_drops", static_cast<double>(relay_stats.data_dropped +
+                                         host_stats.data_dropped));
+  report.service_metrics.emplace_back(
+      "overflow_disconnects", static_cast<double>(relay_stats.disconnects +
+                                                  host_stats.disconnects));
   return report;
 }
 

@@ -74,6 +74,17 @@ struct ScenarioOptions {
   /// latencies — not client-side inference. On by default; turn off to
   /// measure the service with zero observers attached.
   bool scrape_metricsz = true;
+  /// Chaos scenarios: each initial participant connection is abruptly
+  /// closed after this many transport operations (sends + recv attempts),
+  /// plus a seeded jitter below. The threshold is per-connection and
+  /// derived from `seed`, so a fixed seed injects the identical fault
+  /// schedule run-to-run.
+  std::uint64_t fault_after_ops = 64;
+  /// Uniform jitter added to fault_after_ops, seeded per connection.
+  std::uint64_t fault_after_ops_jitter = 32;
+  /// Chaos scenarios: fixed latency injected on every faulted-connection
+  /// operation before the close fires (zero = pure disconnect sweep).
+  common::Duration fault_delay = common::Duration::zero();
 };
 
 /// Steering fan-out soak: one simulation pushes timestamped samples through
@@ -111,6 +122,23 @@ common::Result<Report> run_desktop_soak(const ScenarioOptions& options);
 /// request/reply loop of UPL transactions against one unicore::Gateway.
 /// Latency = request -> decoded response. Honors max_service_threads.
 common::Result<Report> run_gateway_soak(const ScenarioOptions& options);
+
+/// Chaos steering soak: the mux soak with every initial viewer connection
+/// dialed through a seeded net::FaultNetwork that abruptly closes it after
+/// a per-connection op threshold (fault_after_ops ± jitter, plus optional
+/// fault_delay latency). Dropped viewers reconnect through a
+/// net::Reconnector, re-handshake, and resume via the multiplexer's
+/// replay-seed path. The report adds chaos_* rows — injected vs observed
+/// vs recovered counts and the disconnect->first-frame recovery-time
+/// percentiles — and is flagged partial unless every observed disconnect
+/// recovered.
+common::Result<Report> run_chaos_mux_soak(const ScenarioOptions& options);
+
+/// Chaos media soak: every receiver sits behind an ag::UnicastBridge and
+/// dials it through the same seeded fault plan. The bridge has no replay,
+/// so the sender keeps publishing through a grace window and recovery =
+/// disconnect -> first live frame on the redialed connection.
+common::Result<Report> run_chaos_bridge_soak(const ScenarioOptions& options);
 
 // ---------------------------------------------------------------------------
 // Worker-executable specs (the distributed driver)

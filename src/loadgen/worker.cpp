@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "loadgen/scenarios.hpp"
+#include "net/reconnect.hpp"
 #include "obs/endpoint.hpp"
 #include "obs/registry.hpp"
 
@@ -14,28 +15,6 @@ using common::Deadline;
 using common::Result;
 using common::Status;
 using common::StatusCode;
-
-Result<net::ConnectionPtr> connect_retry(net::Network& net,
-                                         const std::string& address,
-                                         Deadline deadline) {
-  Status last{StatusCode::kTimeout, "connect deadline"};
-  for (;;) {
-    auto conn = net.connect(address, deadline);
-    if (conn.is_ok()) return conn;
-    last = conn.status();
-    if (deadline.has_expired()) break;
-    switch (last.code()) {
-      case StatusCode::kNotFound:
-      case StatusCode::kTimeout:
-      case StatusCode::kUnavailable:
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        continue;
-      default:
-        return last;  // a refusal that waiting will not fix
-    }
-  }
-  return last;
-}
 
 namespace {
 
@@ -57,8 +36,8 @@ Result<common::Bytes> recv_control(net::Connection& conn, ControlOp want,
 
 Result<WireWorkerReport> WorkerAgent::run(net::Network& net,
                                           const Options& options) {
-  auto dialed = connect_retry(net, options.controller_address,
-                              Deadline::after(options.connect_timeout));
+  auto dialed = net::connect_retry(net, options.controller_address,
+                                   Deadline::after(options.connect_timeout));
   if (!dialed.is_ok()) return dialed.status();
   net::ConnectionPtr conn = std::move(dialed).value();
 
@@ -149,17 +128,42 @@ Result<WireWorkerReport> WorkerAgent::run(net::Network& net,
     return hist;
   });
 
-  if (Status s = conn->send(encode_result(shard.value()),
-                            Deadline::after(options.io_timeout));
-      !s.is_ok()) {
+  // Ship the shard and hold the session open for the controller's scrape;
+  // BYE releases us. A control connection that dies here (controller
+  // flapped, injected fault cut the link) is a degradation, not a loss:
+  // redial, re-JOIN under the same name — the controller readmits degraded
+  // workers by name until its collect deadline — and resend the shard.
+  net::Reconnector redial;
+  Deadline rejoin_deadline = Deadline::infinite();  // armed on first failure
+  bool result_on_wire = false;
+  for (;;) {
+    Status sent = conn->send(encode_result(shard.value()),
+                             Deadline::after(options.io_timeout));
+    if (sent.is_ok()) {
+      result_on_wire = true;
+      auto bye = recv_control(*conn, ControlOp::kBye,
+                              Deadline::after(options.session_timeout));
+      // A timeout means the controller is alive but slow — the session is
+      // over either way. Only a dropped connection warrants a rejoin.
+      if (bye.is_ok() || bye.status().code() != StatusCode::kClosed) break;
+    }
     conn->close();
-    return s;
+    if (rejoin_deadline.is_infinite()) {
+      rejoin_deadline = Deadline::after(options.rejoin_timeout);
+    }
+    auto re = redial.dial(net, options.controller_address, rejoin_deadline);
+    if (!re.is_ok()) {
+      // RESULT reached the wire at least once: best-effort delivered, the
+      // controller just never confirmed. A shard that never shipped is a
+      // real failure.
+      if (result_on_wire) break;
+      return sent;
+    }
+    conn = std::move(re).value();
+    // JOIN introduces us again; a failed send just loops back into the
+    // RESULT attempt, which fails and redials under the same deadline.
+    (void)conn->send(encode_join(join), Deadline::after(options.io_timeout));
   }
-
-  // Hold the session open for the controller's scrape; BYE (or a close,
-  // which errors the recv — same thing) releases us.
-  (void)recv_control(*conn, ControlOp::kBye,
-                     Deadline::after(options.session_timeout));
   conn->close();
   return std::move(shard).value();
 }

@@ -44,6 +44,11 @@ class WorkerAgent {
     common::Duration io_timeout = std::chrono::seconds(5);
     /// Bound on prepare() (opening the spec's connection fleet).
     common::Duration prepare_timeout = std::chrono::seconds(30);
+    /// After the control connection dies mid-RESULT, how long the worker
+    /// keeps redialing to re-JOIN and resend its shard before giving up.
+    /// Should stay under the controller's collect_timeout — past that the
+    /// controller has already published a partial report.
+    common::Duration rejoin_timeout = std::chrono::seconds(10);
   };
 
   /// Runs one full control session and returns the shard it reported.
@@ -53,12 +58,5 @@ class WorkerAgent {
   static common::Result<WireWorkerReport> run(net::Network& net,
                                               const Options& options);
 };
-
-/// Dials `address`, retrying while nothing listens there yet (kNotFound /
-/// kTimeout / kUnavailable), until `deadline`. The standard way any
-/// distributed-loadgen participant reaches a peer that may not be up yet.
-common::Result<net::ConnectionPtr> connect_retry(net::Network& net,
-                                                 const std::string& address,
-                                                 common::Deadline deadline);
 
 }  // namespace cs::loadgen

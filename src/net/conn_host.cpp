@@ -1,5 +1,7 @@
 #include "net/conn_host.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace cs::net {
@@ -21,12 +23,29 @@ constexpr int kSweepBurst = 64;
 
 Result<std::unique_ptr<ConnectionHost>> ConnectionHost::start(
     const Options& options) {
-  auto host = EventHost::start(EventHost::Options{
-      .pollers = options.pollers, .queue_capacity = options.queue_capacity});
+  auto host = EventHost::start(
+      EventHost::Options{.pollers = options.pollers,
+                         .queue_capacity = options.queue_capacity,
+                         .heartbeat_interval = options.heartbeat_interval,
+                         .heartbeat_grace = options.heartbeat_grace,
+                         .ping_frame = options.ping_frame});
   if (!host.is_ok()) return host.status();
   auto out = std::unique_ptr<ConnectionHost>(new ConnectionHost());
   out->options_ = options;
   out->event_host_ = std::move(host.value());
+  if (options.heartbeat_interval > common::Duration::zero()) {
+    out->heartbeat_interval_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            options.heartbeat_interval)
+            .count());
+    out->heartbeat_grace_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::max(options.heartbeat_grace, common::Duration::zero()))
+            .count());
+    if (!options.ping_frame.empty()) {
+      out->ping_frame_ = common::make_frame(options.ping_frame);
+    }
+  }
   return out;
 }
 
@@ -67,6 +86,7 @@ bool ConnectionHost::add(std::uint64_t id, ConnectionPtr conn,
   auto entry =
       std::make_shared<Fallback>(std::move(conn), std::move(on_message),
                                  std::move(on_close), options_.queue_capacity);
+  entry->last_in_ns = common::steady_now_ns();
   for (OutboundQueue::Item& item : replay) entry->queue.seed(std::move(item));
   fallback_.emplace(id, std::move(entry));
   if (!pump_running_.load(std::memory_order_acquire)) {
@@ -219,6 +239,7 @@ bool ConnectionHost::sweep_one(
       auto r = entry->conn->try_recv();
       if (r.is_ok()) {
         progressed = true;
+        entry->last_in_ns = common::steady_now_ns();
         fallback_messages_in_.fetch_add(1, std::memory_order_relaxed);
         if (entry->on_message) entry->on_message(id, std::move(r.value()));
         continue;
@@ -247,9 +268,50 @@ bool ConnectionHost::sweep_one(
   return progressed;
 }
 
+void ConnectionHost::heartbeat_fallback(
+    const std::vector<std::pair<std::uint64_t, FallbackPtr>>& snapshot,
+    std::vector<std::pair<std::uint64_t, FallbackPtr>>& doomed) {
+  const std::uint64_t now = common::steady_now_ns();
+  for (const auto& [id, entry] : snapshot) {
+    if (!entry->alive.load(std::memory_order_acquire)) continue;
+    const std::uint64_t silent =
+        now > entry->last_in_ns ? now - entry->last_in_ns : 0;
+    if (silent >= heartbeat_interval_ns_ + heartbeat_grace_ns_) {
+      bool mine = false;
+      {
+        std::scoped_lock lock(mutex_);
+        if (entry->alive.exchange(false, std::memory_order_acq_rel)) {
+          fallback_.erase(id);
+          mine = true;
+        }
+      }
+      if (mine) {
+        entry->conn->close();
+        fallback_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        fallback_idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        entry->close_cause =
+            Status{StatusCode::kTimeout, "peer silent past heartbeat grace"};
+        doomed.emplace_back(id, entry);
+      }
+      continue;
+    }
+    if (silent >= heartbeat_interval_ns_ && ping_frame_ != nullptr &&
+        now - entry->last_ping_ns >= heartbeat_interval_ns_) {
+      entry->last_ping_ns = now;
+      // Data-class: a full queue sheds the ping; the silence detector is
+      // what passes sentence on an unresponsive peer.
+      std::scoped_lock lock(mutex_);
+      entry->queue.push(ping_frame_, OverflowPolicy::kDropOldest);
+      fallback_pings_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 void ConnectionHost::pump_loop(const std::stop_token& st) {
   std::vector<std::pair<std::uint64_t, FallbackPtr>> snapshot;
   std::vector<std::pair<std::uint64_t, FallbackPtr>> doomed;
+  std::uint64_t next_sweep_ns =
+      common::steady_now_ns() + heartbeat_interval_ns_;
   while (!st.stop_requested()) {
     snapshot.clear();
     doomed.clear();
@@ -261,6 +323,13 @@ void ConnectionHost::pump_loop(const std::stop_token& st) {
     for (auto& [id, entry] : snapshot) {
       if (st.stop_requested()) break;
       progressed = sweep_one(id, entry, doomed, st) || progressed;
+    }
+    if (heartbeat_interval_ns_ != 0 && !st.stop_requested()) {
+      const std::uint64_t now = common::steady_now_ns();
+      if (now >= next_sweep_ns) {
+        heartbeat_fallback(snapshot, doomed);
+        next_sweep_ns = now + heartbeat_interval_ns_ / 4;
+      }
     }
     for (auto& [id, entry] : doomed) {
       if (entry->on_close) entry->on_close(id, entry->close_cause);
@@ -294,6 +363,11 @@ ConnectionHostStats ConnectionHost::stats() const {
       fallback_disconnects_.load(std::memory_order_relaxed);
   out.hosted = out.event_host.hosted + out.fallback_hosted;
   out.threads = thread_count();
+  out.pings_sent = out.event_host.pings_sent +
+                   fallback_pings_.load(std::memory_order_relaxed);
+  out.idle_disconnects =
+      out.event_host.idle_disconnects +
+      fallback_idle_disconnects_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/fanout.hpp"
@@ -52,6 +53,9 @@ struct ConnectionHostStats {
   std::uint64_t fallback_disconnects = 0;
   std::size_t hosted = 0;   ///< event-hosted + fallback connections
   std::size_t threads = 0;  ///< pollers + fallback pump (0 or 1)
+  /// Heartbeat totals across both populations (pollers + fallback pump).
+  std::uint64_t pings_sent = 0;
+  std::uint64_t idle_disconnects = 0;
 };
 
 /// Hosts a service's whole connection population; see the file comment.
@@ -65,6 +69,14 @@ class ConnectionHost {
     /// Fallback pump sleep when a full sweep moved no bytes. Bounds idle
     /// wakeups without adding visible latency at inproc test scale.
     common::Duration idle_slice = std::chrono::milliseconds(1);
+    /// Liveness across both populations, same contract as
+    /// EventHost::Options: a connection silent for heartbeat_interval is
+    /// pinged, one silent past interval + grace is torn down through the
+    /// normal on_close path with kTimeout. Zero (default) disables.
+    common::Duration heartbeat_interval = common::Duration::zero();
+    common::Duration heartbeat_grace = std::chrono::seconds(2);
+    /// Encoded ping frame (data-class); empty = idle timeout without pings.
+    common::Bytes ping_frame = {};
   };
 
   using MessageHandler = EventHost::MessageHandler;
@@ -150,6 +162,11 @@ class ConnectionHost {
     /// Why the connection was torn down for cause; written by the thread
     /// that won the alive exchange, read by it when firing on_close.
     common::Status close_cause = common::Status::ok();
+    /// Last inbound activity (hosting counts); stamped by the pump thread,
+    /// read by the liveness sweep on the same thread.
+    std::uint64_t last_in_ns = 0;
+    /// When the last heartbeat ping was enqueued; pump thread only.
+    std::uint64_t last_ping_ns = 0;
 
     Fallback(ConnectionPtr c, MessageHandler m, CloseHandler cl,
              std::size_t capacity)
@@ -177,9 +194,19 @@ class ConnectionHost {
   /// doomed consumers' on_close outside the lock.
   void publish_fallback(std::uint64_t excluded_id,
                         const common::OutboundQueue::Item& item);
+  /// Pump-thread liveness pass over `snapshot`: pings the silent, appends
+  /// the dead (kTimeout) to `doomed` for the sweep's callback phase.
+  void heartbeat_fallback(
+      const std::vector<std::pair<std::uint64_t, FallbackPtr>>& snapshot,
+      std::vector<std::pair<std::uint64_t, FallbackPtr>>& doomed);
 
   Options options_;
   std::unique_ptr<EventHost> event_host_;
+  std::uint64_t heartbeat_interval_ns_ = 0;  ///< 0 = liveness disabled
+  std::uint64_t heartbeat_grace_ns_ = 0;
+  common::FramePtr ping_frame_;  ///< null when no ping is configured
+  std::atomic<std::uint64_t> fallback_pings_{0};
+  std::atomic<std::uint64_t> fallback_idle_disconnects_{0};
 
   mutable std::mutex mutex_;
   std::map<std::uint64_t, FallbackPtr> fallback_;

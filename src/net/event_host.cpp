@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -17,6 +18,7 @@ namespace cs::net {
 using common::Bytes;
 using common::ByteSpan;
 using common::Deadline;
+using common::Duration;
 using common::OutboundQueue;
 using common::OverflowPolicy;
 using common::Result;
@@ -64,6 +66,12 @@ struct EventHost::Hosted {
   /// Torn down; skip further callbacks and traffic. Atomic because the
   /// ingress loop checks it between callbacks without taking the mutex.
   std::atomic<bool> dead{false};
+  /// Last inbound activity (host time counts as activity: a fresh
+  /// connection gets a full interval before its first ping). Atomic because
+  /// the ingress loop stamps it without the mutex.
+  std::atomic<std::uint64_t> last_in_ns;
+  /// When the last heartbeat ping was enqueued; guarded by the poller mutex.
+  std::uint64_t last_ping_ns = 0;
 
   Hosted(std::uint64_t id_, ConnectionPtr conn_, MessageHandler on_message_,
          CloseHandler on_close_, std::size_t capacity)
@@ -72,7 +80,8 @@ struct EventHost::Hosted {
         fd(conn->native_handle()),
         on_message(std::move(on_message_)),
         on_close(std::move(on_close_)),
-        queue(capacity) {}
+        queue(capacity),
+        last_in_ns(common::steady_now_ns()) {}
 };
 
 struct EventHost::Watched {
@@ -103,6 +112,19 @@ Result<std::unique_ptr<EventHost>> EventHost::start(const Options& options) {
   auto host = std::unique_ptr<EventHost>(new EventHost);
   host->queue_capacity_ =
       options.queue_capacity == 0 ? 1 : options.queue_capacity;
+  if (options.heartbeat_interval > Duration::zero()) {
+    host->heartbeat_interval_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            options.heartbeat_interval)
+            .count());
+    host->heartbeat_grace_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::max(options.heartbeat_grace, Duration::zero()))
+            .count());
+    if (!options.ping_frame.empty()) {
+      host->ping_frame_ = common::make_frame(options.ping_frame);
+    }
+  }
   const std::size_t n = std::max<std::size_t>(1, options.pollers);
   for (std::size_t i = 0; i < n; ++i) {
     auto poller = std::make_unique<Poller>();
@@ -414,6 +436,8 @@ EventHostStats EventHost::stats() const {
     out.control_enqueued += s.control_enqueued;
     out.control_delivered += s.control_delivered;
     out.disconnects += s.disconnects;
+    out.pings_sent += s.pings_sent;
+    out.idle_disconnects += s.idle_disconnects;
     out.hosted += poller->conns.size();
     out.queue_high_water = std::max(out.queue_high_water, s.queue_high_water);
     out.poll_latency.merge(s.poll_latency);
@@ -427,12 +451,29 @@ EventHostStats EventHost::stats() const {
 
 void EventHost::poll_loop(const std::stop_token& st, Poller& poller) {
   epoll_event events[kMaxEvents];
+  // Liveness needs a bounded tick; without it the loop parks indefinitely
+  // (the pre-heartbeat behavior, still the default).
+  const int tick_ms =
+      heartbeat_interval_ns_ == 0
+          ? -1
+          : std::max<int>(
+                1, static_cast<int>(heartbeat_interval_ns_ / 4'000'000ULL));
+  std::uint64_t next_sweep_ns =
+      common::steady_now_ns() + heartbeat_interval_ns_;
   while (!st.stop_requested()) {
-    const int n = ::epoll_wait(poller.epoll_fd, events, kMaxEvents, -1);
+    const int n = ::epoll_wait(poller.epoll_fd, events, kMaxEvents, tick_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // epoll fd gone: host is being destroyed
     }
+    if (heartbeat_interval_ns_ != 0) {
+      const std::uint64_t now = common::steady_now_ns();
+      if (now >= next_sweep_ns) {
+        heartbeat_sweep(poller);
+        next_sweep_ns = now + heartbeat_interval_ns_ / 4;
+      }
+    }
+    if (n == 0) continue;  // tick with no events: timer work only
     const std::uint64_t wake_ns = common::steady_now_ns();
     for (int i = 0; i < n && !st.stop_requested(); ++i) {
       const std::uint64_t tag = events[i].data.u64;
@@ -465,6 +506,43 @@ void EventHost::poll_loop(const std::stop_token& st, Poller& poller) {
   }
 }
 
+void EventHost::heartbeat_sweep(Poller& poller) {
+  const std::uint64_t now = common::steady_now_ns();
+  std::vector<std::uint64_t> doomed;
+  {
+    std::scoped_lock lock(poller.mutex);
+    for (auto& [id, hosted] : poller.conns) {
+      if (hosted->dead.load(std::memory_order_acquire)) continue;
+      const std::uint64_t last =
+          hosted->last_in_ns.load(std::memory_order_relaxed);
+      const std::uint64_t silent = now > last ? now - last : 0;
+      if (silent >= heartbeat_interval_ns_ + heartbeat_grace_ns_) {
+        ++poller.stats.idle_disconnects;
+        doomed.push_back(id);
+        continue;
+      }
+      if (silent >= heartbeat_interval_ns_ && ping_frame_ != nullptr &&
+          now - hosted->last_ping_ns >= heartbeat_interval_ns_) {
+        hosted->last_ping_ns = now;
+        // Data-class: a full queue sheds the ping instead of dooming the
+        // peer — the silence detector is what passes sentence.
+        if (!account_push(
+                poller, *hosted,
+                hosted->queue.push(ping_frame_, OverflowPolicy::kDropOldest),
+                OverflowPolicy::kDropOldest)) {
+          arm_out_locked(poller, *hosted);
+        }
+        ++poller.stats.pings_sent;
+      }
+    }
+  }
+  for (std::uint64_t id : doomed) {
+    teardown(poller, id,
+             Status{StatusCode::kTimeout, "peer silent past heartbeat grace"},
+             /*notify=*/true);
+  }
+}
+
 void EventHost::drain_ingress(Poller& poller, std::uint64_t id,
                               const std::stop_token& st) {
   std::shared_ptr<Hosted> hosted;
@@ -480,6 +558,8 @@ void EventHost::drain_ingress(Poller& poller, std::uint64_t id,
     }
     Result<Bytes> r = hosted->conn->try_recv();
     if (r.is_ok()) {
+      hosted->last_in_ns.store(common::steady_now_ns(),
+                               std::memory_order_relaxed);
       {
         std::scoped_lock lock(poller.mutex);
         ++poller.stats.messages_in;

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -64,6 +65,8 @@ struct EventHostStats {
   std::uint64_t control_enqueued = 0;
   std::uint64_t control_delivered = 0;
   std::uint64_t disconnects = 0;       ///< hosted connections torn down for cause
+  std::uint64_t pings_sent = 0;        ///< heartbeat pings enqueued
+  std::uint64_t idle_disconnects = 0;  ///< peers declared dead by the idle timer
   std::size_t hosted = 0;              ///< currently hosted connections
   std::size_t queued_frames = 0;       ///< outbound frames pending
   std::size_t queue_high_water = 0;    ///< deepest single-connection backlog
@@ -88,6 +91,22 @@ class EventHost {
     /// visit::Multiplexer::Options::viewer_queue_capacity for the
     /// depth-vs-staleness tradeoff).
     std::size_t queue_capacity = 32;
+    /// Liveness (zero disables, the default). When set, a hosted connection
+    /// with no inbound traffic for `heartbeat_interval` is sent
+    /// `ping_frame`, and one still silent past `heartbeat_interval +
+    /// heartbeat_grace` is torn down through the normal on_close path with
+    /// kTimeout — the only way to catch a peer that is stalled but keeps
+    /// its socket open (one-way partition, wedged process). The pollers
+    /// trade their infinite epoll_wait for a bounded tick to run the timer.
+    common::Duration heartbeat_interval = common::Duration::zero();
+    /// Slack past the interval before a silent peer is declared dead; the
+    /// peer's pong (any inbound frame counts) must land within it.
+    common::Duration heartbeat_grace = std::chrono::seconds(2);
+    /// Encoded ping frame, enqueued as data-class traffic (a backed-up peer
+    /// is not doomed for missing a ping — the silence detector handles it).
+    /// Empty disables the ping but keeps the idle timer: a pure idle
+    /// timeout for protocols whose peers talk on their own.
+    common::Bytes ping_frame = {};
   };
 
   /// One complete inbound message. Runs on the poller thread; must not
@@ -202,9 +221,15 @@ class EventHost {
   void arm_out_locked(Poller& poller, Hosted& hosted);
   void publish_impl(const common::OutboundQueue::Item& item,
                     const std::uint64_t* excluded);
+  /// Pings connections silent past the interval, tears down (kTimeout,
+  /// normal on_close path) those silent past interval + grace.
+  void heartbeat_sweep(Poller& poller);
 
   std::vector<std::unique_ptr<Poller>> pollers_;
   std::size_t queue_capacity_ = 32;
+  std::uint64_t heartbeat_interval_ns_ = 0;  ///< 0 = liveness disabled
+  std::uint64_t heartbeat_grace_ns_ = 0;
+  common::FramePtr ping_frame_;  ///< null when no ping is configured
   std::atomic<std::uint64_t> next_listener_token_{0};
   std::atomic<bool> stopped_{false};
 };

@@ -1,0 +1,349 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace cs::net {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Deadline;
+using common::Duration;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kThrottle:
+      return "throttle";
+    case FaultKind::kStallSend:
+      return "stall_send";
+    case FaultKind::kStallRecv:
+      return "stall_recv";
+    case FaultKind::kShortWrite:
+      return "short_write";
+    case FaultKind::kClose:
+      return "close";
+    case FaultKind::kPartitionSend:
+      return "partition_send";
+    case FaultKind::kPartitionRecv:
+      return "partition_recv";
+  }
+  return "unknown";
+}
+
+struct FaultStatsCell {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> faults_fired{0};
+  std::atomic<std::uint64_t> closes{0};
+  std::atomic<std::uint64_t> delayed_ops{0};
+  std::atomic<std::uint64_t> throttled_ops{0};
+  std::atomic<std::uint64_t> stalled_ops{0};
+  std::atomic<std::uint64_t> short_writes{0};
+  std::atomic<std::uint64_t> dropped_messages{0};
+};
+
+namespace {
+
+using CellPtr = std::shared_ptr<FaultStatsCell>;
+
+/// Sleeps in short slices so a concurrent close() (or the deadline) ends an
+/// injected wait instead of serving it blind.
+constexpr auto kStallSlice = std::chrono::milliseconds(10);
+
+/// Decorated endpoint: every op consults the plan's armed faults before
+/// touching the inner connection. The mutex guards only the schedule state
+/// (counters, fired/expired flags, the throttle's serialization point) —
+/// never held across a sleep or an inner call, so send and recv stay
+/// concurrently callable per the Connection contract.
+class FaultConnection : public Connection {
+ public:
+  FaultConnection(ConnectionPtr inner, const FaultPlan& plan,
+                  std::uint64_t ordinal, CellPtr cell)
+      : inner_(std::move(inner)),
+        cell_(std::move(cell)),
+        start_ns_(common::steady_now_ns()) {
+    common::Rng rng(plan.seed ^ (0x9e3779b97f4a7c15ULL * (ordinal + 1)));
+    faults_.reserve(plan.faults.size());
+    for (const Fault& fault : plan.faults) {
+      Armed armed;
+      armed.fault = fault;
+      armed.threshold_ops =
+          fault.after_ops + (fault.after_ops_jitter > 0
+                                 ? rng.next_below(fault.after_ops_jitter + 1)
+                                 : 0);
+      faults_.push_back(armed);
+    }
+  }
+
+  Status send(ByteSpan message, Deadline deadline) override {
+    const Action action = decide(Dir::kSend, message.size());
+    if (Status s = apply(action, deadline); !s.is_ok()) return s;
+    if (action.drop) {
+      cell_->dropped_messages.fetch_add(1, std::memory_order_relaxed);
+      return Status::ok();
+    }
+    return inner_->send(message, deadline);
+  }
+
+  Status send_many(std::span<const ByteSpan> messages, Deadline deadline,
+                   std::size_t& sent) override {
+    sent = 0;
+    for (const ByteSpan& message : messages) {
+      const Action action = decide(Dir::kSend, message.size());
+      if (action.short_write && sent >= 1) {
+        cell_->short_writes.fetch_add(1, std::memory_order_relaxed);
+        return Status{StatusCode::kTimeout, "injected short write"};
+      }
+      if (Status s = apply(action, deadline); !s.is_ok()) return s;
+      if (action.drop) {
+        cell_->dropped_messages.fetch_add(1, std::memory_order_relaxed);
+        ++sent;
+        continue;
+      }
+      if (Status s = inner_->send(message, deadline); !s.is_ok()) return s;
+      ++sent;
+    }
+    return Status::ok();
+  }
+
+  Result<Bytes> recv(Deadline deadline) override {
+    for (;;) {
+      const Action action = decide(Dir::kRecv, 0);
+      if (Status s = apply(action, deadline); !s.is_ok()) return s;
+      auto r = inner_->recv(deadline);
+      if (!r.is_ok()) return r;
+      {
+        std::scoped_lock lock(mutex_);
+        bytes_ += r.value().size();
+      }
+      if (action.drop) {
+        cell_->dropped_messages.fetch_add(1, std::memory_order_relaxed);
+        if (deadline.has_expired()) {
+          return Status{StatusCode::kTimeout, "partitioned receive"};
+        }
+        continue;  // the partition eats this message; wait for the next
+      }
+      return r;
+    }
+  }
+
+  void close() override { inner_->close(); }
+  bool is_open() const override { return inner_->is_open(); }
+  std::string peer_address() const override { return inner_->peer_address(); }
+  ConnStats stats() const override { return inner_->stats(); }
+  // native_handle() stays -1: see the header — fault injection opts out of
+  // the readiness fast path.
+
+ private:
+  enum class Dir : std::uint8_t { kSend, kRecv };
+
+  struct Armed {
+    Fault fault;
+    std::uint64_t threshold_ops = 0;  ///< after_ops with jitter applied
+    bool fired = false;
+    bool expired = false;
+    std::uint64_t fired_at_op = 0;
+  };
+
+  /// What the current op must do, resolved under the mutex, executed
+  /// outside it.
+  struct Action {
+    std::uint64_t delay_ns = 0;  ///< combined kDelay + kThrottle wait
+    bool stall = false;
+    bool drop = false;
+    bool close = false;
+    bool short_write = false;
+  };
+
+  Action decide(Dir dir, std::size_t bytes) {
+    Action action;
+    const std::uint64_t now = common::steady_now_ns();
+    std::scoped_lock lock(mutex_);
+    for (Armed& armed : faults_) {
+      if (!armed.fired) {
+        const auto after_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                armed.fault.after)
+                .count());
+        if (ops_ >= armed.threshold_ops && bytes_ >= armed.fault.after_bytes &&
+            now - start_ns_ >= after_ns) {
+          armed.fired = true;
+          armed.fired_at_op = ops_;
+          cell_->faults_fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!armed.fired || armed.expired) continue;
+      if (armed.fault.for_ops > 0 &&
+          ops_ - armed.fired_at_op >= armed.fault.for_ops) {
+        armed.expired = true;
+        continue;
+      }
+      switch (armed.fault.kind) {
+        case FaultKind::kDelay:
+          action.delay_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  armed.fault.delay)
+                  .count());
+          cell_->delayed_ops.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FaultKind::kThrottle:
+          if (dir == Dir::kSend && armed.fault.bandwidth_bytes_per_sec > 0) {
+            const std::uint64_t tx_ns =
+                bytes * 1'000'000'000ULL / armed.fault.bandwidth_bytes_per_sec;
+            const std::uint64_t start = std::max(now, throttle_busy_until_ns_);
+            action.delay_ns += start - now;
+            throttle_busy_until_ns_ = start + tx_ns;
+            cell_->throttled_ops.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        case FaultKind::kStallSend:
+          if (dir == Dir::kSend) action.stall = true;
+          break;
+        case FaultKind::kStallRecv:
+          if (dir == Dir::kRecv) action.stall = true;
+          break;
+        case FaultKind::kShortWrite:
+          if (dir == Dir::kSend) action.short_write = true;
+          break;
+        case FaultKind::kClose:
+          action.close = true;
+          break;
+        case FaultKind::kPartitionSend:
+          if (dir == Dir::kSend) action.drop = true;
+          break;
+        case FaultKind::kPartitionRecv:
+          if (dir == Dir::kRecv) action.drop = true;
+          break;
+      }
+    }
+    ++ops_;
+    if (dir == Dir::kSend) bytes_ += bytes;
+    return action;
+  }
+
+  /// Executes the blocking parts of an action: injected close, delay, or
+  /// stall. Returns ok when the op may proceed to the inner connection.
+  Status apply(const Action& action, Deadline deadline) {
+    if (action.close) {
+      inner_->close();
+      cell_->closes.fetch_add(1, std::memory_order_relaxed);
+      return Status{StatusCode::kClosed, "injected close"};
+    }
+    if (action.delay_ns > 0) {
+      const auto wanted = std::chrono::nanoseconds(action.delay_ns);
+      if (!deadline.is_infinite() &&
+          wanted > std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       deadline.remaining())) {
+        std::this_thread::sleep_for(deadline.remaining());
+        return Status{StatusCode::kTimeout, "injected delay"};
+      }
+      std::this_thread::sleep_for(wanted);
+    }
+    if (action.stall) {
+      cell_->stalled_ops.fetch_add(1, std::memory_order_relaxed);
+      while (!deadline.has_expired()) {
+        if (!inner_->is_open()) {
+          return Status{StatusCode::kClosed, "closed during injected stall"};
+        }
+        const auto slice = std::min<Duration>(kStallSlice, deadline.remaining());
+        std::this_thread::sleep_for(slice);
+      }
+      return Status{StatusCode::kTimeout, "injected stall"};
+    }
+    return Status::ok();
+  }
+
+  ConnectionPtr inner_;
+  CellPtr cell_;
+  const std::uint64_t start_ns_;
+
+  std::mutex mutex_;  ///< guards the schedule state below only
+  std::vector<Armed> faults_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t throttle_busy_until_ns_ = 0;
+};
+
+ConnectionPtr wrap(ConnectionPtr conn, const FaultPlan& plan,
+                   std::uint64_t ordinal, const CellPtr& cell) {
+  if (plan.empty() || ordinal >= plan.max_faulted_connections) return conn;
+  cell->connections.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<FaultConnection>(std::move(conn), plan, ordinal,
+                                           cell);
+}
+
+/// Accept-side decorator: each accepted connection gets the accept plan
+/// under this listener's own ordinal sequence. No native handle — accepted
+/// connections must pass through wrap(), which the readiness accept path
+/// would bypass.
+class FaultListener : public Listener {
+ public:
+  FaultListener(ListenerPtr inner, FaultPlan plan, CellPtr cell)
+      : inner_(std::move(inner)), plan_(std::move(plan)),
+        cell_(std::move(cell)) {}
+
+  Result<ConnectionPtr> accept(Deadline deadline) override {
+    auto r = inner_->accept(deadline);
+    if (!r.is_ok()) return r;
+    return wrap(std::move(r).value(), plan_,
+                ordinal_.fetch_add(1, std::memory_order_relaxed), cell_);
+  }
+
+  void close() override { inner_->close(); }
+  std::string address() const override { return inner_->address(); }
+
+ private:
+  ListenerPtr inner_;
+  FaultPlan plan_;
+  CellPtr cell_;
+  std::atomic<std::uint64_t> ordinal_{0};
+};
+
+}  // namespace
+
+FaultNetwork::FaultNetwork(Network& inner, FaultPlan dial_plan,
+                           FaultPlan accept_plan)
+    : inner_(inner),
+      dial_plan_(std::move(dial_plan)),
+      accept_plan_(std::move(accept_plan)),
+      cell_(std::make_shared<FaultStatsCell>()) {}
+
+Result<ListenerPtr> FaultNetwork::listen(const std::string& address) {
+  auto listener = inner_.listen(address);
+  if (!listener.is_ok() || accept_plan_.empty()) return listener;
+  return ListenerPtr{std::make_unique<FaultListener>(
+      std::move(listener).value(), accept_plan_, cell_)};
+}
+
+Result<ConnectionPtr> FaultNetwork::connect(const std::string& address,
+                                            Deadline deadline) {
+  auto conn = inner_.connect(address, deadline);
+  if (!conn.is_ok()) return conn;
+  return wrap(std::move(conn).value(), dial_plan_,
+              dial_ordinal_.fetch_add(1, std::memory_order_relaxed), cell_);
+}
+
+FaultStats FaultNetwork::stats() const {
+  FaultStats out;
+  out.connections = cell_->connections.load(std::memory_order_relaxed);
+  out.faults_fired = cell_->faults_fired.load(std::memory_order_relaxed);
+  out.closes = cell_->closes.load(std::memory_order_relaxed);
+  out.delayed_ops = cell_->delayed_ops.load(std::memory_order_relaxed);
+  out.throttled_ops = cell_->throttled_ops.load(std::memory_order_relaxed);
+  out.stalled_ops = cell_->stalled_ops.load(std::memory_order_relaxed);
+  out.short_writes = cell_->short_writes.load(std::memory_order_relaxed);
+  out.dropped_messages =
+      cell_->dropped_messages.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cs::net

@@ -1,0 +1,147 @@
+// Fault injection: a decorator over any net::Network that makes connections
+// fail on purpose, deterministically.
+//
+// The paper's grid topology (gateway -> sites -> venues) lives on wide-area
+// links that stall, flap, and partition; nothing in a clean in-process or
+// loopback run exercises the code that must survive that. FaultNetwork
+// wraps a real Network (inproc or TCP) and applies a seeded FaultPlan to
+// each connection it produces: added latency, bandwidth throttling, stalled
+// reads/writes, short (partial) batch writes, abrupt closes, and one-way
+// partitions — each scheduled to fire when the connection crosses an
+// op/byte/time threshold, and each optionally clearing again after a
+// window (a flap).
+//
+// Determinism is the point: the only randomness is the per-connection
+// jitter on trigger thresholds, drawn from the plan's seed and the
+// connection's ordinal, so a chaos run with a fixed seed injects exactly
+// the same faults at the same per-connection ops every time. Plans compose
+// on both sides — the dial side (connections this network's connect()
+// returns) and the accept side (connections its listeners accept) carry
+// independent plans — so loadgen can chaos-test a real service from either
+// end of the wire.
+//
+// Faulted connections deliberately report no native handle: the readiness
+// fast path (EventHost) promises kernel-accurate readability, which a
+// fault schedule cannot honor. Hosts route them to their blocking/fallback
+// paths instead — fault injection tests the portable contract, not the
+// epoll shortcut.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+
+namespace cs::net {
+
+enum class FaultKind : std::uint8_t {
+  /// Every op sleeps `delay` before touching the wire (deadline-bounded:
+  /// a delay the deadline cannot absorb returns kTimeout).
+  kDelay = 0,
+  /// Sends serialize at `bandwidth_bytes_per_sec` (deadline-bounded).
+  kThrottle,
+  /// Sends block until their deadline and fail with kTimeout.
+  kStallSend,
+  /// Receives block until their deadline and fail with kTimeout.
+  kStallRecv,
+  /// Batch sends (send_many) commit at most one leading message per call,
+  /// then report kTimeout — the partial-write shape stream callers must
+  /// absorb without corrupting their framing.
+  kShortWrite,
+  /// The inner connection is closed abruptly when the fault fires.
+  kClose,
+  /// Sends report success but the bytes never reach the peer: the far side
+  /// sees an open, silent connection (what heartbeat liveness exists to
+  /// catch).
+  kPartitionSend,
+  /// Inbound messages are silently discarded; receives see only silence
+  /// until their deadline.
+  kPartitionRecv,
+};
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// One scheduled fault. It arms when the connection's counters cross every
+/// configured threshold (ops AND bytes AND elapsed time — unset thresholds
+/// are zero and always satisfied), stays active for `for_ops` further ops
+/// (0 = permanently), then clears. Ops count completed messages in either
+/// direction; the current op observes the fault state before executing, so
+/// `after_ops = N` lets exactly N ops through clean.
+struct Fault {
+  FaultKind kind = FaultKind::kClose;
+  std::uint64_t after_ops = 0;
+  /// Per-connection spread: the effective threshold is after_ops plus a
+  /// deterministic draw in [0, after_ops_jitter] from the plan seed and the
+  /// connection ordinal — a fleet flaps staggered, not in lockstep.
+  std::uint64_t after_ops_jitter = 0;
+  std::uint64_t after_bytes = 0;
+  common::Duration after = common::Duration::zero();
+  /// Active window once fired, in ops; 0 keeps the fault active forever.
+  std::uint64_t for_ops = 0;
+  /// kDelay: sleep added per op.
+  common::Duration delay = common::Duration::zero();
+  /// kThrottle: serialization rate; 0 means no throttle.
+  std::uint64_t bandwidth_bytes_per_sec = 0;
+};
+
+/// A seeded schedule of faults applied to each connection independently.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<Fault> faults;
+  /// Only the first `max_faulted_connections` connections (by ordinal, per
+  /// side) receive the plan; later ones pass through clean. Chaos scenarios
+  /// use this to flap every initial participant exactly once and let the
+  /// re-dialed replacements live — which is what makes "all participants
+  /// recovered by the end of the run" a deterministic assertion.
+  std::uint64_t max_faulted_connections = ~std::uint64_t{0};
+
+  bool empty() const noexcept { return faults.empty(); }
+};
+
+/// Injection counters, aggregated over every connection the network (or its
+/// listeners) produced. Reproducible for a fixed seed and op-threshold
+/// plans.
+struct FaultStats {
+  std::uint64_t connections = 0;      ///< connections wrapped with a plan
+  std::uint64_t faults_fired = 0;     ///< trigger crossings
+  std::uint64_t closes = 0;           ///< abrupt closes injected
+  std::uint64_t delayed_ops = 0;      ///< ops that slept under kDelay
+  std::uint64_t throttled_ops = 0;    ///< sends paced by kThrottle
+  std::uint64_t stalled_ops = 0;      ///< ops failed by kStallSend/Recv
+  std::uint64_t short_writes = 0;     ///< batches truncated by kShortWrite
+  std::uint64_t dropped_messages = 0; ///< messages eaten by a partition
+};
+
+/// Shared injection counters; connections hold a reference so the counts
+/// survive a connection outliving its network (internal to fault.cpp).
+struct FaultStatsCell;
+
+/// Decorates `inner`, applying `dial_plan` to connections returned by
+/// connect() and `accept_plan` to connections accepted by its listeners.
+/// Either plan may be empty (those connections pass through unwrapped).
+/// `inner` must outlive this network and everything it produced.
+class FaultNetwork : public Network {
+ public:
+  FaultNetwork(Network& inner, FaultPlan dial_plan,
+               FaultPlan accept_plan = {});
+
+  common::Result<ListenerPtr> listen(const std::string& address) override;
+  common::Result<ConnectionPtr> connect(const std::string& address,
+                                        common::Deadline deadline) override;
+
+  FaultStats stats() const;
+
+ private:
+  Network& inner_;
+  FaultPlan dial_plan_;
+  FaultPlan accept_plan_;
+  std::shared_ptr<FaultStatsCell> cell_;
+  std::atomic<std::uint64_t> dial_ordinal_{0};
+};
+
+}  // namespace cs::net

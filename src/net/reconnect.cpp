@@ -1,0 +1,95 @@
+#include "net/reconnect.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace cs::net {
+
+using common::Deadline;
+using common::Duration;
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+Reconnector::Reconnector(Options options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.initial_backoff < Duration::zero()) {
+    options_.initial_backoff = Duration::zero();
+  }
+  if (options_.max_backoff < options_.initial_backoff) {
+    options_.max_backoff = options_.initial_backoff;
+  }
+  options_.jitter = std::clamp(options_.jitter, 0.0, 0.999);
+}
+
+bool Reconnector::retriable(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kNotFound:
+    case StatusCode::kTimeout:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Duration Reconnector::next_sleep(Duration backoff, Deadline deadline) {
+  double fraction = 1.0;
+  if (options_.jitter > 0.0) {
+    std::scoped_lock lock(mutex_);
+    fraction = 1.0 - options_.jitter * rng_.next_double();
+  }
+  auto sleep = std::chrono::duration_cast<Duration>(backoff * fraction);
+  if (!deadline.is_infinite()) sleep = std::min(sleep, deadline.remaining());
+  return sleep;
+}
+
+Result<ConnectionPtr> Reconnector::dial(Network& net,
+                                        const std::string& address,
+                                        Deadline deadline) {
+  Status last{StatusCode::kTimeout, "connect deadline"};
+  Duration backoff = options_.initial_backoff;
+  for (;;) {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = net.connect(address, deadline);
+    if (conn.is_ok()) {
+      successes_.fetch_add(1, std::memory_order_relaxed);
+      return conn;
+    }
+    last = conn.status();
+    if (!retriable(last.code())) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return last;
+    }
+    if (deadline.has_expired()) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(next_sleep(backoff, deadline));
+    if (deadline.has_expired()) break;
+    if (options_.multiplier > 1.0) {
+      backoff = std::min(
+          options_.max_backoff,
+          std::chrono::duration_cast<Duration>(backoff * options_.multiplier));
+    }
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+Reconnector::Stats Reconnector::stats() const {
+  Stats out;
+  out.attempts = attempts_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.successes = successes_.load(std::memory_order_relaxed);
+  out.failures = failures_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Result<ConnectionPtr> connect_retry(Network& net, const std::string& address,
+                                    Deadline deadline,
+                                    const Reconnector::Options& options) {
+  Reconnector reconnector(options);
+  return reconnector.dial(net, address, deadline);
+}
+
+}  // namespace cs::net

@@ -1,0 +1,95 @@
+// Supervised dialing: capped exponential backoff with jitter, bounded by a
+// deadline.
+//
+// Every distributed participant in the stack (loadgen workers reaching a
+// controller that may not be up yet, chaos-scenario viewers re-dialing a
+// multiplexer after an injected flap, test suites racing a listener's
+// spin-up) needs the same loop: try to connect, treat "nothing listens here
+// yet" as transient, wait a little longer each time, give up at the
+// deadline. Before Reconnector existed that loop was hand-rolled twice
+// (tests/util.hpp and loadgen::connect_retry) with fixed sleeps; this is
+// the one real implementation, with backoff that backs off, jitter that
+// de-synchronizes a reconnecting fleet, and counters a service can bridge
+// into its /metricsz registry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+
+namespace cs::net {
+
+/// Dial loop with capped exponential backoff + seeded jitter; see the file
+/// comment. Thread-safe: one Reconnector may serve many dialing threads
+/// (each dial keeps its own backoff ladder; only the jitter stream and the
+/// counters are shared).
+class Reconnector {
+ public:
+  struct Options {
+    /// First retry sleep; subsequent sleeps multiply until max_backoff.
+    common::Duration initial_backoff = std::chrono::milliseconds(5);
+    /// Backoff ceiling.
+    common::Duration max_backoff = std::chrono::milliseconds(250);
+    /// Backoff growth per retry; values <= 1 mean a constant cadence.
+    double multiplier = 2.0;
+    /// Fraction of each sleep randomized away, in [0, 1): a sleep of B
+    /// becomes uniform in [B * (1 - jitter), B], so a fleet whose
+    /// connections died together does not re-dial in lockstep.
+    double jitter = 0.25;
+    /// Seed for the jitter stream (deterministic runs stay deterministic).
+    std::uint64_t seed = 1;
+  };
+
+  /// Counters for /metricsz bridges. attempts counts connect() calls,
+  /// retries the backoff sleeps taken, successes/failures the dial()
+  /// outcomes.
+  struct Stats {
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+  };
+
+  Reconnector() : Reconnector(Options{}) {}
+  explicit Reconnector(Options options);
+
+  /// True when `code` means the peer may simply not be up yet (kNotFound /
+  /// kTimeout / kUnavailable) — the codes a retry can fix. Anything else is
+  /// a refusal that waiting will not change.
+  static bool retriable(common::StatusCode code) noexcept;
+
+  /// Dials `address`, retrying retriable failures with backoff until the
+  /// deadline. Returns the connection, the last transient error once the
+  /// deadline expires, or the first non-retriable error immediately.
+  common::Result<ConnectionPtr> dial(Network& net, const std::string& address,
+                                     common::Deadline deadline);
+
+  Stats stats() const;
+
+ private:
+  common::Duration next_sleep(common::Duration backoff,
+                              common::Deadline deadline);
+
+  Options options_;
+  mutable std::mutex mutex_;  ///< guards rng_ only
+  common::Rng rng_;
+  std::atomic<std::uint64_t> attempts_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> successes_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+/// One-shot convenience over a throwaway Reconnector — the shared body of
+/// testutil::connect_retry and the loadgen participants' dialing.
+common::Result<ConnectionPtr> connect_retry(
+    Network& net, const std::string& address, common::Deadline deadline,
+    const Reconnector::Options& options = {});
+
+}  // namespace cs::net

@@ -51,7 +51,10 @@ Result<std::unique_ptr<Multiplexer>> Multiplexer::start(
   if (options.use_event_host) {
     auto host = net::EventHost::start(
         {.pollers = options.event_host_pollers,
-         .queue_capacity = options.viewer_queue_capacity});
+         .queue_capacity = options.viewer_queue_capacity,
+         .heartbeat_interval = options.heartbeat_interval,
+         .heartbeat_grace = options.heartbeat_grace,
+         .ping_frame = wire::make_control_message(kTagPing, "").encode()});
     if (host.is_ok()) {
       mux->event_host_ = std::move(host).value();
     } else {
@@ -107,6 +110,11 @@ void Multiplexer::register_metric_bridges() {
   });
   metrics_.counter_fn("poller_wakeups", "count",
                       [host_stats] { return host_stats().wakeups; });
+  metrics_.counter_fn("mux_pings_sent", "count",
+                      [host_stats] { return host_stats().pings_sent; });
+  metrics_.counter_fn("mux_idle_disconnects", "count", [host_stats] {
+    return host_stats().idle_disconnects;
+  });
   metrics_.counter_fn("accepts", "count", [this] {
     return (sim_accept_pump_ ? sim_accept_pump_->accepted() : 0) +
            (viewer_accept_pump_ ? viewer_accept_pump_->accepted() : 0);

@@ -89,6 +89,15 @@ class Multiplexer {
     /// Poller threads for the event host (one per core is the ceiling that
     /// makes sense; one is right on a small host).
     std::size_t event_host_pollers = 1;
+    /// Viewer liveness (epoll-hosted population; zero disables, the
+    /// default). A hosted viewer silent for this long is sent a kTagPing
+    /// probe; one still silent past interval + grace is torn down through
+    /// the normal close path (kTimeout) and counted in
+    /// `mux_idle_disconnects` — the only way to shed a viewer whose
+    /// process wedged but whose socket stayed open.
+    common::Duration heartbeat_interval = common::Duration::zero();
+    /// Slack past the interval before a silent viewer is declared dead.
+    common::Duration heartbeat_grace = std::chrono::seconds(2);
     /// When non-empty, serve the service's obs::Registry as a /metricsz
     /// text-exposition endpoint on this address (same Network as the
     /// listeners; "0" lets TCP pick a port — read it back via

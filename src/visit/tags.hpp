@@ -24,7 +24,9 @@ constexpr std::uint32_t kTagRole = kControlTagBase + 6;
 /// Collaboration control data (view point, tool parameters): body is
 /// application-defined text, relayed by the ControlServer.
 constexpr std::uint32_t kTagControlData = kControlTagBase + 7;
-/// Heartbeat used by proxies to flush polling cycles.
+/// Heartbeat: proxies use it to flush polling cycles, and a host with
+/// liveness enabled pings silent peers with it. Receivers echo it back
+/// (any inbound frame counts as the pong); it never surfaces as an event.
 constexpr std::uint32_t kTagPing = kControlTagBase + 8;
 
 constexpr const char* kProtocolVersion = "1";

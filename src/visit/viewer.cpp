@@ -15,8 +15,14 @@ Result<ViewerClient> ViewerClient::connect(net::Network& net,
                                            Deadline deadline) {
   auto conn = net.connect(options.mux_address, deadline);
   if (!conn.is_ok()) return conn.status();
+  return attach(std::move(conn).value(), options, deadline);
+}
+
+Result<ViewerClient> ViewerClient::attach(net::ConnectionPtr conn,
+                                          const Options& options,
+                                          Deadline deadline) {
   ViewerClient client;
-  client.conn_ = std::move(conn).value();
+  client.conn_ = std::move(conn);
   client.options_ = options;
   const auto hello = wire::make_control_message(
       kTagHello,
@@ -82,6 +88,14 @@ Result<ViewerClient::Event> ViewerClient::poll(Deadline deadline) {
         e.kind = Event::Kind::kBye;
         e.tag = kTagBye;
         return e;
+      }
+      if (m.header.tag == kTagPing) {
+        // Heartbeat probe from the multiplexer: echo it so the host's
+        // silence detector sees inbound traffic. Never surfaced as an
+        // event — liveness is transport plumbing, not application data.
+        (void)conn_->send(wire::make_control_message(kTagPing, "").encode(),
+                          Deadline::after(options_.default_timeout));
+        continue;
       }
       continue;
     }

@@ -54,6 +54,13 @@ class ViewerClient {
                                               const Options& options,
                                               common::Deadline deadline);
 
+  /// Performs the password handshake on an already-dialed connection —
+  /// the supervised-redial path (net::Reconnector produced the transport,
+  /// this completes the session). connect() is dial + attach.
+  static common::Result<ViewerClient> attach(net::ConnectionPtr conn,
+                                             const Options& options,
+                                             common::Deadline deadline);
+
   /// Wraps an already-authenticated connection (the VISIT-UNICORE proxy
   /// path: UNICORE authenticated the user, so there is no VISIT handshake).
   static ViewerClient adopt(net::ConnectionPtr conn, const Options& options);

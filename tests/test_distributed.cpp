@@ -434,6 +434,65 @@ INSTANTIATE_TEST_SUITE_P(Modes, WorkerFailure,
                                       : std::string("NeverReports");
                          });
 
+TEST(WorkerFailure, MidAssignPartitionYieldsBoundedPartialReport) {
+  // The worker vanishes between JOIN and ASSIGN — the partition lands in
+  // the middle of the assignment exchange, the phase the reporting path
+  // never sees. The controller must surface it at assign() time, run the
+  // survivors anyway, and still produce the partial merged report within
+  // the collect deadline.
+  net::InProcNetwork net;
+  Controller::Options copts;
+  copts.listen_address = "assign:ctl";
+  copts.workers = 2;
+  copts.join_timeout = std::chrono::seconds(5);
+  copts.ready_timeout = std::chrono::seconds(1);
+  copts.io_timeout = std::chrono::seconds(1);
+  auto controller = Controller::start(net, copts);
+  ASSERT_TRUE(controller.is_ok());
+
+  WireWorkerReport good_shard;
+  good_shard.worker_index = 0;
+  good_shard.connections = 2;
+  good_shard.ops = 777;
+  good_shard.latency.record(3'000'000);
+  std::thread good([&] {
+    scripted_worker(net, "assign:ctl", FailureMode::kReports, good_shard);
+  });
+  std::thread bad([&] {
+    auto conn = connect_retry(net, "assign:ctl", Deadline::after(5s));
+    ASSERT_TRUE(conn.is_ok());
+    JoinFrame join;
+    join.worker_name = "vanishes";
+    ASSERT_TRUE(
+        conn.value()->send(encode_join(join), Deadline::after(2s)).is_ok());
+    conn.value()->close();  // gone before the assignment can land
+  });
+
+  ASSERT_TRUE(controller.value()->await_workers().is_ok());
+  bad.join();
+  WorkloadSpec spec = sample_spec();
+  spec.worker_index = 0;
+  spec.worker_count = 2;
+  std::vector<WorkloadSpec> specs = {spec, spec};
+  specs[1].worker_index = 1;
+  // The loss is visible here, not swallowed: whichever of the ASSIGN send
+  // and the READY wait hits the dead connection first, assign() reports
+  // an incomplete fleet.
+  EXPECT_EQ(controller.value()->assign(specs).code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(controller.value()->start_run().is_ok());
+
+  const auto t0 = common::Clock::now();
+  Report report = controller.value()->collect(Deadline::after(1500ms));
+  EXPECT_LT(common::Clock::now() - t0, 4s);
+  EXPECT_TRUE(report.is_partial());
+  EXPECT_EQ(report.ops, good_shard.ops);
+  EXPECT_EQ(report.latency.count(), good_shard.latency.count());
+
+  controller.value()->stop();
+  good.join();
+}
+
 TEST(WorkerFailure, IncompleteFleetTimesOutUnavailable) {
   net::InProcNetwork net;
   Controller::Options copts;

@@ -603,5 +603,96 @@ TEST(ConnectionHost, StopIsIdempotentAndSilencesCallbacks) {
   EXPECT_FALSE(host.add(7, late.server, nullptr, nullptr));
 }
 
+// ------------------------------------------------------------ heartbeat --
+
+TEST(EventHost, HeartbeatDeclaresSilentButOpenPeerDead) {
+  TcpPair pair;
+  pair.connect();
+  auto started = EventHost::start({.heartbeat_interval = 50ms,
+                                   .heartbeat_grace = 100ms,
+                                   .ping_frame = bytes_of("ping")});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  // The pathological peer: connected, socket open, never speaks — the
+  // shape a one-way partition or wedged process leaves behind, which no
+  // amount of epoll readability will ever surface.
+  std::atomic<int> closes{0};
+  Status cause = Status::ok();
+  std::mutex mutex;
+  ASSERT_TRUE(host.host(1, pair.server, nullptr,
+                        [&](std::uint64_t, const Status& s) {
+                          std::scoped_lock lock(mutex);
+                          cause = s;
+                          ++closes;
+                        }));
+
+  // The host probes first (the peer gets a chance to pong)...
+  auto probe = pair.client->recv(Deadline::after(2s));
+  ASSERT_TRUE(probe.is_ok());
+  EXPECT_EQ(text_of(probe.value()), "ping");
+
+  // ...then declares it dead within interval + grace, through the normal
+  // on_close path, exactly once.
+  ASSERT_TRUE(wait_until([&] { return closes.load() == 1; }, 2000ms));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(closes.load(), 1);
+  {
+    std::scoped_lock lock(mutex);
+    EXPECT_EQ(cause.code(), StatusCode::kTimeout);
+  }
+  EXPECT_EQ(host.hosted_count(), 0u);
+  const EventHostStats stats = host.stats();
+  EXPECT_GE(stats.pings_sent, 1u);
+  EXPECT_EQ(stats.idle_disconnects, 1u);
+}
+
+TEST(EventHost, HeartbeatSparesAPeerThatKeepsTalking) {
+  TcpPair pair;
+  pair.connect();
+  auto started = EventHost::start({.heartbeat_interval = 40ms,
+                                   .heartbeat_grace = 40ms,
+                                   .ping_frame = bytes_of("ping")});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  std::atomic<int> closes{0};
+  ASSERT_TRUE(host.host(1, pair.server, nullptr,
+                        [&](std::uint64_t, const Status&) { ++closes; }));
+
+  // Any inbound frame counts as a pong; a peer chatting at half the
+  // interval must ride out many interval + grace windows untouched.
+  const auto end = common::Clock::now() + 400ms;
+  while (common::Clock::now() < end) {
+    ASSERT_TRUE(
+        pair.client->send(bytes_of("alive"), Deadline::after(1s)).is_ok());
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_EQ(closes.load(), 0);
+  EXPECT_EQ(host.hosted_count(), 1u);
+  EXPECT_EQ(host.stats().idle_disconnects, 0u);
+}
+
+TEST(EventHost, EmptyPingFrameIsAPureIdleTimer) {
+  TcpPair pair;
+  pair.connect();
+  auto started = EventHost::start(
+      {.heartbeat_interval = 40ms, .heartbeat_grace = 40ms});
+  ASSERT_TRUE(started.is_ok());
+  EventHost& host = *started.value();
+
+  std::atomic<int> closes{0};
+  ASSERT_TRUE(host.host(1, pair.server, nullptr,
+                        [&](std::uint64_t, const Status&) { ++closes; }));
+
+  // No probe ever goes out, but the silent peer is still reaped.
+  auto nothing = pair.client->recv(Deadline::after(30ms));
+  EXPECT_EQ(nothing.status().code(), StatusCode::kTimeout);
+  ASSERT_TRUE(wait_until([&] { return closes.load() == 1; }, 2000ms));
+  const EventHostStats stats = host.stats();
+  EXPECT_EQ(stats.pings_sent, 0u);
+  EXPECT_EQ(stats.idle_disconnects, 1u);
+}
+
 }  // namespace
 }  // namespace cs::net

@@ -1,0 +1,314 @@
+// Fault-injection transport (net::FaultNetwork) and supervised dialing
+// (net::Reconnector): the chaos substrate must itself be trustworthy —
+// deterministic for a fixed seed, precise about when a fault fires, and
+// honest about what the peer observes — or every chaos soak built on it
+// measures noise.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/fault.hpp"
+#include "net/inproc.hpp"
+#include "net/reconnect.hpp"
+#include "net/transport.hpp"
+#include "util.hpp"
+
+namespace cs::net {
+namespace {
+
+using namespace std::chrono_literals;
+using common::Deadline;
+using common::Status;
+using common::StatusCode;
+using testutil::bytes_of;
+using testutil::text_of;
+
+/// Listener + an accept drain so faulted dials always find a peer.
+struct Echoless {
+  InProcNetwork net;
+  ListenerPtr listener;
+  std::vector<ConnectionPtr> accepted;
+
+  explicit Echoless(const std::string& address) {
+    listener = net.listen(address).value();
+  }
+  void accept_one() {
+    accepted.push_back(listener->accept(Deadline::after(2s)).value());
+  }
+};
+
+FaultPlan close_after(std::uint64_t ops, std::uint64_t jitter = 0,
+                      std::uint64_t seed = 1) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Fault fault;
+  fault.kind = FaultKind::kClose;
+  fault.after_ops = ops;
+  fault.after_ops_jitter = jitter;
+  plan.faults.push_back(fault);
+  return plan;
+}
+
+TEST(FaultNetwork, CloseFiresAfterExactOpThreshold) {
+  Echoless peer("fault:close");
+  FaultNetwork chaos(peer.net, close_after(3));
+  auto conn = chaos.connect("fault:close", Deadline::after(1s));
+  ASSERT_TRUE(conn.is_ok());
+  peer.accept_one();
+
+  // after_ops = 3 lets exactly three ops through clean; the fourth observes
+  // the fired fault and dies.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(conn.value()->send(bytes_of("ok"), Deadline::after(1s)).is_ok())
+        << "op " << i;
+  }
+  const Status s = conn.value()->send(bytes_of("doomed"), Deadline::after(1s));
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kClosed);
+  EXPECT_FALSE(conn.value()->is_open());
+
+  const FaultStats stats = chaos.stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.faults_fired, 1u);
+  EXPECT_EQ(stats.closes, 1u);
+}
+
+TEST(FaultNetwork, SameSeedInjectsIdenticalSchedule) {
+  // Two independent networks with the same seeded plan: each connection's
+  // clean-op count before the injected close must match by ordinal. A
+  // different seed must produce a different schedule (jitter of 64 over 8
+  // connections makes an accidental full match astronomically unlikely).
+  const auto schedule_of = [](std::uint64_t seed) {
+    Echoless peer("fault:seed");
+    FaultNetwork chaos(peer.net, close_after(16, 64, seed));
+    std::vector<std::uint64_t> clean_ops;
+    for (int c = 0; c < 8; ++c) {
+      auto conn = chaos.connect("fault:seed", Deadline::after(1s));
+      EXPECT_TRUE(conn.is_ok());
+      peer.accept_one();
+      std::uint64_t ops = 0;
+      while (conn.value()->send(bytes_of("x"), Deadline::after(1s)).is_ok()) {
+        ++ops;
+      }
+      clean_ops.push_back(ops);
+    }
+    return clean_ops;
+  };
+  const auto first = schedule_of(42);
+  const auto second = schedule_of(42);
+  const auto other = schedule_of(43);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);
+}
+
+TEST(FaultNetwork, MaxFaultedConnectionsCapsTheBlastRadius) {
+  Echoless peer("fault:cap");
+  FaultPlan plan = close_after(0);
+  plan.max_faulted_connections = 1;
+  FaultNetwork chaos(peer.net, plan);
+
+  auto first = chaos.connect("fault:cap", Deadline::after(1s));
+  ASSERT_TRUE(first.is_ok());
+  peer.accept_one();
+  EXPECT_EQ(first.value()
+                ->send(bytes_of("dead on arrival"), Deadline::after(1s))
+                .code(),
+            StatusCode::kClosed);
+
+  // Ordinal 1 is past the cap: it passes through unwrapped and lives.
+  auto second = chaos.connect("fault:cap", Deadline::after(1s));
+  ASSERT_TRUE(second.is_ok());
+  peer.accept_one();
+  EXPECT_TRUE(
+      second.value()->send(bytes_of("alive"), Deadline::after(1s)).is_ok());
+  EXPECT_EQ(chaos.stats().connections, 1u);
+}
+
+TEST(FaultNetwork, PartitionSendLeavesAnOpenSilentPeer) {
+  Echoless peer("fault:part");
+  FaultPlan plan;
+  Fault fault;
+  fault.kind = FaultKind::kPartitionSend;
+  plan.faults.push_back(fault);
+  FaultNetwork chaos(peer.net, plan);
+  auto conn = chaos.connect("fault:part", Deadline::after(1s));
+  ASSERT_TRUE(conn.is_ok());
+  peer.accept_one();
+
+  // The sender believes its traffic left; the peer sees only silence on an
+  // open connection — the exact shape heartbeat liveness exists to catch.
+  ASSERT_TRUE(
+      conn.value()->send(bytes_of("into the void"), Deadline::after(1s))
+          .is_ok());
+  EXPECT_TRUE(conn.value()->is_open());
+  auto got = peer.accepted.front()->recv(Deadline::after(100ms));
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(chaos.stats().dropped_messages, 1u);
+}
+
+TEST(FaultNetwork, FlapClearsAfterItsOpWindow) {
+  Echoless peer("fault:flap");
+  FaultPlan plan;
+  Fault fault;
+  fault.kind = FaultKind::kPartitionSend;
+  fault.for_ops = 2;  // ops 0 and 1 vanish, op 2 goes through
+  plan.faults.push_back(fault);
+  FaultNetwork chaos(peer.net, plan);
+  auto conn = chaos.connect("fault:flap", Deadline::after(1s));
+  ASSERT_TRUE(conn.is_ok());
+  peer.accept_one();
+
+  for (const char* msg : {"m0", "m1", "m2"}) {
+    ASSERT_TRUE(conn.value()->send(bytes_of(msg), Deadline::after(1s)).is_ok());
+  }
+  auto got = peer.accepted.front()->recv(Deadline::after(1s));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(text_of(got.value()), "m2");
+  EXPECT_EQ(chaos.stats().dropped_messages, 2u);
+}
+
+TEST(FaultNetwork, DelayIsBoundedByTheDeadline) {
+  Echoless peer("fault:delay");
+  FaultPlan plan;
+  Fault fault;
+  fault.kind = FaultKind::kDelay;
+  fault.delay = 50ms;
+  plan.faults.push_back(fault);
+  FaultNetwork chaos(peer.net, plan);
+  auto conn = chaos.connect("fault:delay", Deadline::after(1s));
+  ASSERT_TRUE(conn.is_ok());
+  peer.accept_one();
+
+  const auto before = common::Clock::now();
+  ASSERT_TRUE(
+      conn.value()->send(bytes_of("slow"), Deadline::after(1s)).is_ok());
+  EXPECT_GE(common::Clock::now() - before, 45ms);
+
+  // A delay the deadline cannot absorb must fail as a timeout, not sleep
+  // through the caller's budget.
+  const Status s = conn.value()->send(bytes_of("x"), Deadline::after(5ms));
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+}
+
+TEST(FaultNetwork, ShortWriteTruncatesBatchWithoutCorruption) {
+  Echoless peer("fault:short");
+  FaultPlan plan;
+  Fault fault;
+  fault.kind = FaultKind::kShortWrite;
+  plan.faults.push_back(fault);
+  FaultNetwork chaos(peer.net, plan);
+  auto conn = chaos.connect("fault:short", Deadline::after(1s));
+  ASSERT_TRUE(conn.is_ok());
+  peer.accept_one();
+
+  const common::Bytes a = bytes_of("first");
+  const common::Bytes b = bytes_of("second");
+  const common::Bytes c = bytes_of("third");
+  const common::ByteSpan batch[] = {common::ByteSpan(a), common::ByteSpan(b),
+                                    common::ByteSpan(c)};
+  std::size_t sent = 0;
+  const Status s = conn.value()->send_many(batch, Deadline::after(1s), sent);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(sent, 1u);  // partial progress is reported, never lied about
+  // What did land is a whole message, not a torn frame.
+  auto got = peer.accepted.front()->recv(Deadline::after(1s));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(text_of(got.value()), "first");
+  EXPECT_EQ(chaos.stats().short_writes, 1u);
+}
+
+TEST(FaultNetwork, AcceptPlanFaultsTheServedSideOnly) {
+  InProcNetwork net;
+  FaultNetwork chaos(net, /*dial_plan=*/{}, close_after(0));
+  auto listener = chaos.listen("fault:accept");
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net.connect("fault:accept", Deadline::after(1s));
+  ASSERT_TRUE(client.is_ok());
+  auto served = listener.value()->accept(Deadline::after(1s));
+  ASSERT_TRUE(served.is_ok());
+
+  // The accepted side dies on its first op; the dialing side was produced
+  // by the clean inner network and only observes the close.
+  EXPECT_EQ(served.value()->send(bytes_of("x"), Deadline::after(1s)).code(),
+            StatusCode::kClosed);
+  auto got = client.value()->recv(Deadline::after(1s));
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kClosed);
+}
+
+TEST(FaultNetwork, FaultedConnectionsOptOutOfReadiness) {
+  Echoless peer("fault:handle");
+  FaultNetwork chaos(peer.net, close_after(100));
+  auto conn = chaos.connect("fault:handle", Deadline::after(1s));
+  ASSERT_TRUE(conn.is_ok());
+  // A fault schedule cannot honor kernel-accurate readiness; hosts must see
+  // no native handle and take their fallback paths.
+  EXPECT_LT(conn.value()->native_handle(), 0);
+}
+
+// -------------------------------------------------------------- Reconnector
+
+TEST(Reconnector, RetriableCodesAreTheNotUpYetOnes) {
+  EXPECT_TRUE(Reconnector::retriable(StatusCode::kNotFound));
+  EXPECT_TRUE(Reconnector::retriable(StatusCode::kTimeout));
+  EXPECT_TRUE(Reconnector::retriable(StatusCode::kUnavailable));
+  EXPECT_FALSE(Reconnector::retriable(StatusCode::kPermissionDenied));
+  EXPECT_FALSE(Reconnector::retriable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(Reconnector::retriable(StatusCode::kClosed));
+}
+
+TEST(Reconnector, DialOutlastsALateListener) {
+  InProcNetwork net;
+  std::thread late([&net] {
+    std::this_thread::sleep_for(60ms);
+    auto listener = net.listen("recon:late");
+    ASSERT_TRUE(listener.is_ok());
+    ASSERT_TRUE(listener.value()->accept(Deadline::after(2s)).is_ok());
+  });
+  Reconnector reconnector;
+  auto conn = reconnector.dial(net, "recon:late", Deadline::after(2s));
+  EXPECT_TRUE(conn.is_ok());
+  late.join();
+
+  const Reconnector::Stats stats = reconnector.stats();
+  EXPECT_GE(stats.attempts, 2u);  // at least one miss before the listener
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(Reconnector, DeadlineBoundsAFailedDial) {
+  InProcNetwork net;
+  Reconnector reconnector;
+  const auto before = common::Clock::now();
+  auto conn = reconnector.dial(net, "recon:never", Deadline::after(120ms));
+  const auto elapsed = common::Clock::now() - before;
+  ASSERT_FALSE(conn.is_ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kNotFound);
+  EXPECT_GE(elapsed, 100ms);  // kept trying until the deadline
+  EXPECT_LT(elapsed, 2s);     // and not a moment longer than the backoff cap
+
+  const Reconnector::Stats stats = reconnector.stats();
+  EXPECT_GE(stats.retries, 2u);
+  EXPECT_EQ(stats.successes, 0u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(Reconnector, FreeFunctionKeepsTheHistoricalShape) {
+  InProcNetwork net;
+  auto listener = net.listen("recon:free");
+  ASSERT_TRUE(listener.is_ok());
+  auto conn = connect_retry(net, "recon:free", Deadline::after(1s));
+  EXPECT_TRUE(conn.is_ok());
+}
+
+}  // namespace
+}  // namespace cs::net

@@ -19,6 +19,7 @@
 #include "common/clock.hpp"
 #include "common/status.hpp"
 #include "net/inproc.hpp"
+#include "net/reconnect.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
 
@@ -44,28 +45,12 @@ inline bool wait_until(const std::function<bool()>& pred,
   return true;
 }
 
-/// Dials `address`, retrying the not-up-yet failures (kNotFound, kTimeout,
-/// kUnavailable) until `deadline`. Mirrors loadgen::connect_retry without
-/// making every suite link cs_loadgen.
+/// Dials `address`, retrying the not-up-yet failures until `deadline`.
+/// Thin alias over net::connect_retry — the supervised dial loop lives in
+/// src/net/reconnect.hpp now; this keeps the historical testutil name.
 inline common::Result<net::ConnectionPtr> connect_retry(
     net::Network& net, const std::string& address, common::Deadline deadline) {
-  common::Status last{common::StatusCode::kTimeout, "connect deadline"};
-  for (;;) {
-    auto conn = net.connect(address, deadline);
-    if (conn.is_ok()) return conn;
-    last = conn.status();
-    if (deadline.has_expired()) break;
-    switch (last.code()) {
-      case common::StatusCode::kNotFound:
-      case common::StatusCode::kTimeout:
-      case common::StatusCode::kUnavailable:
-        std::this_thread::sleep_for(std::chrono::milliseconds(5));
-        continue;
-      default:
-        return last;
-    }
-  }
-  return last;
+  return net::connect_retry(net, address, deadline);
 }
 
 /// One accepted loopback TCP pair on a kernel-assigned port: `client` is
@@ -81,8 +66,8 @@ struct TcpPair {
     auto l = net.listen("0");
     ASSERT_TRUE(l.is_ok());
     listener = std::move(l).value();
-    auto c = connect_retry(net, listener->address(),
-                           common::Deadline::after(std::chrono::seconds(2)));
+    auto c = net::connect_retry(net, listener->address(),
+                                common::Deadline::after(std::chrono::seconds(2)));
     ASSERT_TRUE(c.is_ok());
     client = std::move(c).value();
     auto s = listener->accept(common::Deadline::after(std::chrono::seconds(2)));
@@ -125,9 +110,10 @@ inline TransportPair make_tcp_pair() {
   TransportPair pair;
   auto net = std::make_shared<net::TcpNetwork>();
   pair.listener = net->listen("0").value();
-  pair.client = connect_retry(*net, pair.listener->address(),
-                              common::Deadline::after(std::chrono::seconds(2)))
-                    .value();
+  pair.client =
+      net::connect_retry(*net, pair.listener->address(),
+                         common::Deadline::after(std::chrono::seconds(2)))
+          .value();
   pair.server =
       pair.listener->accept(common::Deadline::after(std::chrono::seconds(2)))
           .value();
